@@ -1,0 +1,104 @@
+// Ablation: average chunk size vs dedup ratio and metadata cost (paper
+// Section III.C: "the deduplication ratio is inversely proportional to
+// the average chunk size... a smaller average chunk size translates to a
+// higher processing cost").
+//
+// Sweeps SC fixed sizes and CDC expected sizes from 2 KB to 32 KB over a
+// two-session mixed corpus and reports DR, chunk count (metadata burden)
+// and chunking+hashing throughput.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "chunk/cdc_chunker.hpp"
+#include "chunk/static_chunker.hpp"
+#include "dataset/generator.hpp"
+#include "hash/sha1.hpp"
+#include "index/memory_index.hpp"
+#include "metrics/params.hpp"
+#include "metrics/table_writer.hpp"
+#include "util/stopwatch.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace aadedupe;
+
+struct SweepResult {
+  double dr = 1.0;
+  std::uint64_t chunks = 0;
+  double mbps = 0.0;
+};
+
+SweepResult run(const chunk::Chunker& chunker,
+                const std::vector<ByteBuffer>& files,
+                std::uint64_t total_bytes) {
+  index::MemoryChunkIndex index;
+  std::uint64_t unique = 0, chunks = 0;
+  StopWatch watch;
+  for (const ByteBuffer& content : files) {
+    for (const chunk::ChunkRef& ref : chunker.split(content)) {
+      ++chunks;
+      const auto digest = hash::Sha1::hash(
+          ConstByteSpan{content}.subspan(ref.offset, ref.length));
+      if (!index.lookup(digest)) {
+        index.insert(digest, index::ChunkLocation{0, 0, ref.length});
+        unique += ref.length;
+      }
+    }
+  }
+  SweepResult result;
+  result.dr = metrics::dedupe_ratio(total_bytes, unique);
+  result.chunks = chunks;
+  result.mbps = static_cast<double>(total_bytes) / watch.seconds() / 1e6;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const auto bench_config = bench::BenchConfig::from_env();
+  dataset::DatasetGenerator generator(bench_config.dataset_config());
+  const auto snapshots = generator.sessions(2);
+
+  std::vector<ByteBuffer> files;
+  std::uint64_t total = 0;
+  for (const auto& snapshot : snapshots) {
+    for (const auto& entry : snapshot.files) {
+      files.push_back(dataset::materialize(entry.content));
+      total += files.back().size();
+    }
+  }
+  std::printf("=== Ablation: chunk size sweep (2 sessions, %s, SHA-1 "
+              "fingerprints) ===\n\n",
+              format_bytes(total).c_str());
+
+  metrics::TableWriter table({"chunking", "size", "DR", "chunks",
+                              "throughput MB/s"});
+  for (const std::size_t size : {2048, 4096, 8192, 16384, 32768}) {
+    chunk::StaticChunker sc(size);
+    const SweepResult r = run(sc, files, total);
+    table.add_row({"SC", format_bytes(size),
+                   metrics::TableWriter::num(r.dr, 3),
+                   metrics::TableWriter::integer(r.chunks),
+                   metrics::TableWriter::num(r.mbps, 1)});
+  }
+  for (const std::size_t size : {2048, 4096, 8192, 16384, 32768}) {
+    chunk::CdcParams params;
+    params.expected_size = size;
+    params.min_size = std::max<std::size_t>(size / 4, 64);
+    params.max_size = size * 2;
+    chunk::CdcChunker cdc(params);
+    const SweepResult r = run(cdc, files, total);
+    table.add_row({"CDC", format_bytes(size),
+                   metrics::TableWriter::num(r.dr, 3),
+                   metrics::TableWriter::integer(r.chunks),
+                   metrics::TableWriter::num(r.mbps, 1)});
+  }
+  table.print();
+  std::printf("\nshape checks: DR falls and throughput rises as chunks "
+              "grow; chunk count (index/metadata burden) scales inversely "
+              "with chunk size — the tradeoff AA-Dedupe's per-category "
+              "policy navigates.\n");
+  return 0;
+}

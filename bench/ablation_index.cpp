@@ -1,0 +1,184 @@
+// Ablation: application-aware partitioned index vs one monolithic global
+// index — the design choice of paper Section III.E / Fig. 6.
+//
+// Measures three effects:
+//   1. serial lookup throughput (small per-app indices vs one big map),
+//   2. concurrent lookup throughput (per-shard locks vs one global lock —
+//      the parallelism Observation 2 enables),
+//   3. simulated disk-index cache behaviour: a monolithic index whose
+//      working set overflows the RAM cache thrashes, while per-app
+//      shards individually fit (modeled hit rates).
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "hash/sha1.hpp"
+#include "index/memory_index.hpp"
+#include "index/partitioned_index.hpp"
+#include "index/sim_disk_index.hpp"
+#include "metrics/table_writer.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace aadedupe;
+
+constexpr std::size_t kApps = 12;
+constexpr std::size_t kChunksPerApp = 40000;
+
+std::vector<std::vector<hash::Digest>> make_digests() {
+  std::vector<std::vector<hash::Digest>> per_app(kApps);
+  for (std::size_t a = 0; a < kApps; ++a) {
+    per_app[a].reserve(kChunksPerApp);
+    for (std::size_t i = 0; i < kChunksPerApp; ++i) {
+      per_app[a].push_back(hash::Sha1::hash(
+          as_bytes("app" + std::to_string(a) + "/" + std::to_string(i))));
+    }
+  }
+  return per_app;
+}
+
+double lookups_per_second_serial(index::ChunkIndex& idx,
+                                 const std::vector<hash::Digest>& digests,
+                                 int rounds) {
+  StopWatch watch;
+  for (int r = 0; r < rounds; ++r) {
+    for (const auto& d : digests) (void)idx.lookup(d);
+  }
+  return static_cast<double>(digests.size()) * rounds / watch.seconds();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: application-aware partitioned index vs global "
+              "index ===\n");
+  std::printf("%zu apps x %zu chunks\n\n", kApps, kChunksPerApp);
+
+  const auto per_app = make_digests();
+
+  // Build both index organizations with identical contents.
+  index::MemoryChunkIndex global;
+  index::PartitionedIndex partitioned;
+  for (std::size_t a = 0; a < kApps; ++a) {
+    index::ChunkIndex& shard = partitioned.shard("app" + std::to_string(a));
+    for (const auto& d : per_app[a]) {
+      const index::ChunkLocation loc{a, 0, 8192};
+      global.insert(d, loc);
+      shard.insert(d, loc);
+    }
+  }
+
+  // 1. Serial lookups (all apps interleaved).
+  std::vector<hash::Digest> all;
+  for (const auto& app : per_app) {
+    all.insert(all.end(), app.begin(), app.end());
+  }
+  const double global_serial = lookups_per_second_serial(global, all, 3);
+
+  StopWatch watch;
+  for (int r = 0; r < 3; ++r) {
+    for (std::size_t a = 0; a < kApps; ++a) {
+      index::ChunkIndex& shard = partitioned.shard("app" + std::to_string(a));
+      for (const auto& d : per_app[a]) (void)shard.lookup(d);
+    }
+  }
+  const double part_serial =
+      static_cast<double>(all.size()) * 3 / watch.seconds();
+
+  // 2. Concurrent lookups: one thread per application.
+  auto concurrent = [&](auto&& lookup_fn) {
+    StopWatch w;
+    std::vector<std::thread> threads;
+    for (std::size_t a = 0; a < kApps; ++a) {
+      threads.emplace_back([&, a] {
+        for (int r = 0; r < 3; ++r) {
+          for (const auto& d : per_app[a]) lookup_fn(a, d);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    return static_cast<double>(all.size()) * 3 / w.seconds();
+  };
+  const double global_parallel = concurrent(
+      [&](std::size_t, const hash::Digest& d) { (void)global.lookup(d); });
+  // Resolve each application's shard once (as the dedup streams do), then
+  // probe lock-free with respect to other applications.
+  std::vector<index::ChunkIndex*> shards;
+  for (std::size_t a = 0; a < kApps; ++a) {
+    shards.push_back(&partitioned.shard("app" + std::to_string(a)));
+  }
+  const double part_parallel =
+      concurrent([&](std::size_t a, const hash::Digest& d) {
+        (void)shards[a]->lookup(d);
+      });
+
+  metrics::TableWriter table({"organization", "serial Mlookups/s",
+                              "12-thread Mlookups/s", "parallel speedup"});
+  table.add_row({"global (monolithic)",
+                 metrics::TableWriter::num(global_serial / 1e6, 2),
+                 metrics::TableWriter::num(global_parallel / 1e6, 2),
+                 metrics::TableWriter::num(global_parallel / global_serial,
+                                           2)});
+  table.add_row({"partitioned (app-aware)",
+                 metrics::TableWriter::num(part_serial / 1e6, 2),
+                 metrics::TableWriter::num(part_parallel / 1e6, 2),
+                 metrics::TableWriter::num(part_parallel / part_serial, 2)});
+  table.print();
+
+  // 3. Simulated RAM-cache behaviour with a cache sized for ONE
+  // application's index — the paper's design point: each small per-app
+  // index stays RAM-resident, while the monolithic index streams 12 apps'
+  // fingerprints through the same budget and thrashes.
+  index::SimDiskOptions options;
+  options.cache_entries = kChunksPerApp;
+  options.miss_seek_seconds = 0.0;
+  options.insert_seconds = 0.0;
+
+  double sink = 0;
+  index::SimulatedDiskIndex sim_global(
+      std::make_unique<index::MemoryChunkIndex>(), options,
+      [&sink](double s) { sink += s; });
+  for (const auto& d : all) sim_global.insert(d, {});
+  // Two passes of interleaved cross-app lookups (a backup session scans
+  // apps in turn).
+  for (int r = 0; r < 2; ++r) {
+    for (const auto& d : all) (void)sim_global.lookup(d);
+  }
+  const double global_hit_rate =
+      static_cast<double>(sim_global.cache_hits()) /
+      static_cast<double>(sim_global.cache_hits() + sim_global.cache_misses());
+
+  std::uint64_t shard_hits = 0, shard_misses = 0;
+  for (std::size_t a = 0; a < kApps; ++a) {
+    index::SimulatedDiskIndex sim_shard(
+        std::make_unique<index::MemoryChunkIndex>(), options,
+        [&sink](double s) { sink += s; });
+    for (const auto& d : per_app[a]) sim_shard.insert(d, {});
+    for (int r = 0; r < 2; ++r) {
+      for (const auto& d : per_app[a]) (void)sim_shard.lookup(d);
+    }
+    shard_hits += sim_shard.cache_hits();
+    shard_misses += sim_shard.cache_misses();
+  }
+  const double shard_hit_rate =
+      static_cast<double>(shard_hits) /
+      static_cast<double>(shard_hits + shard_misses);
+
+  std::printf("\nsimulated RAM-cache hit rate (cache sized for one app's "
+              "index): global %.1f%%, per-app shards %.1f%%\n",
+              100 * global_hit_rate, 100 * shard_hit_rate);
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("host hardware threads: %u%s\n", hw,
+              hw <= 1 ? "  (single-core host: thread-level speedups cannot "
+                        "materialize here; the per-shard locking still "
+                        "removes the global index's serialization point)"
+                      : "");
+  std::printf("shape checks: partitioned >= global on serial lookups; on "
+              "multi-core hosts partitioned scales with threads while the "
+              "global index serializes on its lock; per-app shards stay "
+              "RAM-resident (100%% hits) while the monolithic index "
+              "thrashes.\n");
+  return sink < 0 ? 1 : 0;
+}

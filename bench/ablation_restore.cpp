@@ -1,0 +1,71 @@
+// Ablation: restore performance — the paper's chunk-locality claim
+// (Section III.F: containers "group chunks likely to be retrieved
+// together so that the data restoration performance will be reasonably
+// good").
+//
+// Backs up the same workload with AA-Dedupe (container objects) and the
+// chunk-level baseline (one object per chunk), then restores every file
+// of the final session and compares download requests, downloaded bytes,
+// and simulated WAN restore time.
+#include <cstdio>
+
+#include "backup/chunk_level.hpp"
+#include "bench_common.hpp"
+#include "core/aa_dedupe.hpp"
+#include "dataset/generator.hpp"
+#include "metrics/table_writer.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace aadedupe;
+
+  const auto bench_config = bench::BenchConfig::from_env();
+  dataset::DatasetConfig config = bench_config.dataset_config();
+  dataset::DatasetGenerator generator(config);
+  const auto snapshots = generator.sessions(2);
+
+  std::printf("=== Ablation: full restore after 2 sessions (~%llu MiB each) "
+              "===\n\n",
+              static_cast<unsigned long long>(bench_config.session_mib));
+
+  metrics::TableWriter table({"scheme", "restored", "GET requests",
+                              "downloaded", "WAN restore (s)"});
+
+  const auto run = [&](backup::BackupScheme& scheme) {
+    for (const auto& s : snapshots) scheme.backup(s);
+    scheme.target().reset_transfer_clock();
+    const auto stats_before = scheme.target().store().stats();
+
+    std::uint64_t restored_bytes = 0;
+    for (const auto& file : snapshots.back().files) {
+      restored_bytes += scheme.restore_file(file.path).size();
+    }
+    const auto stats_after = scheme.target().store().stats();
+    table.add_row(
+        {std::string(scheme.name()), format_bytes(restored_bytes),
+         metrics::TableWriter::integer(stats_after.get_requests -
+                                       stats_before.get_requests),
+         format_bytes(stats_after.bytes_downloaded -
+                      stats_before.bytes_downloaded),
+         metrics::TableWriter::num(scheme.target().transfer_seconds(), 1)});
+  };
+
+  {
+    cloud::CloudTarget target;
+    backup::ChunkLevelScheme avamar(target);
+    run(avamar);
+  }
+  {
+    cloud::CloudTarget target;
+    core::AaDedupeScheme aa(target);
+    run(aa);
+  }
+
+  table.print();
+  std::printf("\nshape checks: AA-Dedupe needs far fewer GET requests "
+              "(container locality: one fetch serves many related chunks); "
+              "it may download somewhat more raw bytes (whole containers), "
+              "but the request-overhead savings dominate restore time on a "
+              "high-latency WAN.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation: the file size filter (paper Section III.B / Observation 1).
+//
+// Tiny files (< 10 KB) are ~61% of the file count but ~1% of the bytes;
+// AA-Dedupe routes them around deduplication entirely and just packs them
+// into containers. This bench runs the same workload with the filter at
+// 10 KB (paper), 4 KB, and disabled (threshold 0 = dedup everything) and
+// reports index load, chunk metadata, dedup time and effectiveness.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/aa_dedupe.hpp"
+#include "dataset/generator.hpp"
+#include "metrics/table_writer.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace aadedupe;
+
+  const auto bench_config = bench::BenchConfig::from_env();
+  std::printf("=== Ablation: file size filter threshold (2 sessions, ~%llu "
+              "MiB each) ===\n\n",
+              static_cast<unsigned long long>(bench_config.session_mib));
+
+  metrics::TableWriter table({"threshold", "files filtered", "index entries",
+                              "index lookups", "shipped", "requests",
+                              "dedupe s", "DR"});
+  for (const std::uint64_t threshold : {std::uint64_t{0},
+                                        std::uint64_t{4} * 1024,
+                                        std::uint64_t{10} * 1024}) {
+    dataset::DatasetGenerator generator(bench_config.dataset_config());
+    const auto snapshots = generator.sessions(2);
+
+    cloud::CloudTarget target;
+    core::AaDedupeOptions options;
+    options.tiny_file_threshold = threshold;
+    core::AaDedupeScheme scheme(target, options);
+
+    std::uint64_t shipped = 0, requests = 0, filtered = 0, file_count = 0;
+    double dedupe_seconds = 0, dr = 0;
+    for (const auto& snapshot : snapshots) {
+      const auto report = scheme.backup(snapshot);
+      shipped += report.transferred_bytes;
+      requests += report.upload_requests;
+      dedupe_seconds += report.dedupe_seconds;
+      dr = report.dedupe_ratio();
+      for (const auto& f : snapshot.files) {
+        ++file_count;
+        if (f.size() < threshold) ++filtered;
+      }
+    }
+    const auto stats = scheme.aa_index().total_stats();
+    char filtered_cell[64];
+    std::snprintf(filtered_cell, sizeof(filtered_cell), "%llu/%llu",
+                  static_cast<unsigned long long>(filtered),
+                  static_cast<unsigned long long>(file_count));
+    table.add_row({threshold == 0 ? "off (dedup all)"
+                                  : format_bytes(threshold),
+                   filtered_cell,
+                   metrics::TableWriter::integer(
+                       scheme.aa_index().total_size()),
+                   metrics::TableWriter::integer(stats.lookups),
+                   format_bytes(shipped),
+                   metrics::TableWriter::integer(requests),
+                   metrics::TableWriter::num(dedupe_seconds, 2),
+                   metrics::TableWriter::num(dr, 2)});
+  }
+  table.print();
+  std::printf("\nshape checks: the filter removes the majority of FILES "
+              "from the dedup path while shipped bytes barely move (tiny "
+              "files hold ~1%% of capacity) — the Observation 1 trade. At "
+              "this reduced scale each regular file contributes many "
+              "chunks, so the *relative* index-entry savings are smaller "
+              "than at the paper's 68,972-file scale, where per-file "
+              "metadata dominates.\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "backup/chunk_level.hpp"
+#include "backup/file_level.hpp"
+#include "backup/full_backup.hpp"
+#include "backup/incremental.hpp"
+#include "backup/sam.hpp"
+#include "core/aa_dedupe.hpp"
+
+namespace aadedupe::bench {
+
+namespace {
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return static_cast<std::uint64_t>(std::strtoull(value, nullptr, 10));
+}
+}  // namespace
+
+BenchConfig BenchConfig::from_env() {
+  BenchConfig config;
+  config.session_mib = env_u64("AAD_BENCH_MIB", config.session_mib);
+  config.sessions = static_cast<std::uint32_t>(
+      env_u64("AAD_BENCH_SESSIONS", config.sessions));
+  config.seed = env_u64("AAD_BENCH_SEED", config.seed);
+  return config;
+}
+
+dataset::DatasetConfig BenchConfig::dataset_config() const {
+  dataset::DatasetConfig dc;
+  dc.seed = seed;
+  dc.session_bytes = session_mib * 1024 * 1024;
+  dc.max_file_bytes = 8ull * 1024 * 1024;
+  return dc;
+}
+
+std::vector<std::string> scheme_names(bool include_full) {
+  std::vector<std::string> names;
+  if (include_full) names.push_back("FullBackup");
+  names.insert(names.end(),
+               {"JungleDisk", "BackupPC", "Avamar", "SAM", "AA-Dedupe"});
+  return names;
+}
+
+std::unique_ptr<backup::BackupScheme> make_scheme(const std::string& name,
+                                                  cloud::CloudTarget& target) {
+  if (name == "FullBackup") {
+    return std::make_unique<backup::FullBackupScheme>(target);
+  }
+  if (name == "JungleDisk") {
+    return std::make_unique<backup::IncrementalScheme>(target);
+  }
+  if (name == "BackupPC") {
+    return std::make_unique<backup::FileLevelScheme>(target);
+  }
+  if (name == "Avamar") {
+    return std::make_unique<backup::ChunkLevelScheme>(target);
+  }
+  if (name == "SAM") {
+    return std::make_unique<backup::SamScheme>(target);
+  }
+  if (name == "AA-Dedupe") {
+    return std::make_unique<core::AaDedupeScheme>(target);
+  }
+  std::fprintf(stderr, "unknown scheme '%s'\n", name.c_str());
+  std::abort();
+}
+
+std::vector<dataset::Snapshot> suite_snapshots(const BenchConfig& config) {
+  dataset::DatasetGenerator generator(config.dataset_config());
+  return generator.sessions(config.sessions);
+}
+
+namespace {
+/// Optional raw export of every (scheme, session) report for external
+/// plotting: set AAD_BENCH_CSV=<path> and every run_suite() appends rows.
+void maybe_export_csv(const BenchConfig& config,
+                      const std::vector<SchemeRun>& runs) {
+  const char* path = std::getenv("AAD_BENCH_CSV");
+  if (path == nullptr || *path == '\0') return;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "# cannot open AAD_BENCH_CSV=%s\n", path);
+    return;
+  }
+  if (std::ftell(f) == 0) {
+    std::fprintf(f,
+                 "seed,session_mib,scheme,session,dataset_bytes,"
+                 "transferred_bytes,upload_requests,cumulative_stored_bytes,"
+                 "dedupe_seconds,cpu_seconds,transfer_seconds,dedupe_ratio,"
+                 "bytes_saved_per_second,backup_window_seconds\n");
+  }
+  for (const SchemeRun& run : runs) {
+    for (const auto& r : run.reports) {
+      std::fprintf(
+          f, "%llu,%llu,%s,%u,%llu,%llu,%llu,%llu,%.6f,%.6f,%.6f,%.4f,%.1f,"
+             "%.3f\n",
+          static_cast<unsigned long long>(config.seed),
+          static_cast<unsigned long long>(config.session_mib),
+          run.name.c_str(), r.session,
+          static_cast<unsigned long long>(r.dataset_bytes),
+          static_cast<unsigned long long>(r.transferred_bytes),
+          static_cast<unsigned long long>(r.upload_requests),
+          static_cast<unsigned long long>(r.cumulative_stored_bytes),
+          r.dedupe_seconds, r.cpu_seconds, r.transfer_seconds,
+          r.dedupe_ratio(), r.bytes_saved_per_second(),
+          r.backup_window_seconds());
+    }
+  }
+  std::fclose(f);
+}
+}  // namespace
+
+std::vector<SchemeRun> run_suite(const BenchConfig& config,
+                                 const std::vector<std::string>& names) {
+  const auto snapshots = suite_snapshots(config);
+  std::printf("# workload: %u weekly sessions, ~%llu MiB/session, seed %llu\n",
+              config.sessions,
+              static_cast<unsigned long long>(config.session_mib),
+              static_cast<unsigned long long>(config.seed));
+
+  std::vector<SchemeRun> runs;
+  runs.reserve(names.size());
+  for (const std::string& name : names) {
+    cloud::CloudTarget target;
+    auto scheme = make_scheme(name, target);
+    SchemeRun run;
+    run.name = name;
+    for (const auto& snapshot : snapshots) {
+      run.reports.push_back(scheme->backup(snapshot));
+    }
+    const cloud::StoreStats stats = target.store().stats();
+    run.final_stored_bytes = target.store().stored_bytes();
+    run.total_uploaded_bytes = stats.bytes_uploaded;
+    run.total_upload_requests = stats.put_requests;
+    run.monthly_cost = target.monthly_cost();
+    runs.push_back(std::move(run));
+    std::printf("# ran %-10s (%zu sessions)\n", name.c_str(),
+                runs.back().reports.size());
+  }
+  maybe_export_csv(config, runs);
+  return runs;
+}
+
+}  // namespace aadedupe::bench

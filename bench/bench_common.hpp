@@ -1,0 +1,60 @@
+// Shared driver for the figure-reproduction benches: builds the paper's
+// five-scheme lineup (plus the full-backup reference), runs them over the
+// same weekly snapshot sequence, and collects per-session reports.
+//
+// Scale knobs (environment variables):
+//   AAD_BENCH_MIB       MiB per backup session        (default 32)
+//   AAD_BENCH_SESSIONS  number of weekly sessions     (default 10)
+//   AAD_BENCH_SEED      dataset seed                  (default 20110926,
+//                       the CLUSTER'11 conference date)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backup/scheme.hpp"
+#include "cloud/cloud_target.hpp"
+#include "dataset/generator.hpp"
+
+namespace aadedupe::bench {
+
+struct BenchConfig {
+  std::uint64_t session_mib = 32;
+  std::uint32_t sessions = 10;
+  std::uint64_t seed = 20110926;
+
+  static BenchConfig from_env();
+
+  dataset::DatasetConfig dataset_config() const;
+};
+
+/// One scheme's full multi-session run.
+struct SchemeRun {
+  std::string name;
+  std::vector<backup::SessionReport> reports;
+  std::uint64_t final_stored_bytes = 0;
+  std::uint64_t total_uploaded_bytes = 0;
+  std::uint64_t total_upload_requests = 0;
+  double monthly_cost = 0.0;
+};
+
+/// The paper's scheme lineup. `include_full` prepends the non-dedup
+/// full-backup reference (used by Figs. 7 and 9).
+std::vector<std::string> scheme_names(bool include_full);
+
+/// Instantiate a scheme by lineup name against a target.
+std::unique_ptr<backup::BackupScheme> make_scheme(const std::string& name,
+                                                  cloud::CloudTarget& target);
+
+/// Run every scheme in `names` over the same snapshot sequence (each gets
+/// its own cloud target). Prints one progress line per scheme.
+std::vector<SchemeRun> run_suite(const BenchConfig& config,
+                                 const std::vector<std::string>& names);
+
+/// The snapshot sequence a suite runs on (for benches that need the
+/// workload itself).
+std::vector<dataset::Snapshot> suite_snapshots(const BenchConfig& config);
+
+}  // namespace aadedupe::bench

@@ -1,0 +1,57 @@
+// Figure 8: deduplication efficiency — the paper's "bytes saved per
+// second" metric, DE = (1 - 1/DR) x DT — per backup session for the five
+// schemes.
+//
+// Paper claims: AA-Dedupe's DE is ~2x BackupPC, ~5x SAM and ~7x Avamar on
+// average, driven by application-aware chunking (cheap where redundancy
+// is absent), adaptive weak hashing, and small RAM-resident per-app
+// indices instead of one monolithic on-disk index.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "metrics/table_writer.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace aadedupe;
+
+  const auto config = bench::BenchConfig::from_env();
+  std::printf("=== Fig. 8: dedup efficiency, bytes saved per second (MB/s) "
+              "===\n");
+  const auto runs = bench::run_suite(config, bench::scheme_names(false));
+  std::printf("\n");
+
+  std::vector<std::string> headers{"session"};
+  for (const auto& run : runs) headers.push_back(run.name);
+  metrics::TableWriter table(std::move(headers));
+
+  std::vector<double> totals(runs.size(), 0.0);
+  for (std::uint32_t s = 0; s < config.sessions; ++s) {
+    std::vector<std::string> row{std::to_string(s + 1)};
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      const double de = runs[r].reports[s].bytes_saved_per_second() / 1e6;
+      totals[r] += de;
+      row.push_back(metrics::TableWriter::num(de, 1));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+
+  std::printf("\naverage DE (MB/s): ");
+  double aa_avg = 0.0;
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    const double avg = totals[r] / config.sessions;
+    if (runs[r].name == "AA-Dedupe") aa_avg = avg;
+    std::printf("%s %.1f  ", runs[r].name.c_str(), avg);
+  }
+  std::printf("\nAA-Dedupe multiples: ");
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    if (runs[r].name == "AA-Dedupe") continue;
+    const double avg = totals[r] / config.sessions;
+    std::printf("%.1fx vs %s  ", avg > 0 ? aa_avg / avg : 0.0,
+                runs[r].name.c_str());
+  }
+  std::printf("\nshape checks (paper): AA-Dedupe highest every session; "
+              "~2x BackupPC, ~5x SAM, ~7x Avamar on average.\n");
+  return 0;
+}

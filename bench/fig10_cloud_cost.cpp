@@ -1,0 +1,57 @@
+// Figure 10: monthly cloud cost of the backed-up workload per scheme,
+// using the paper's April-2011 Amazon S3 pricing ($0.14/GB-month storage,
+// $0.10/GB upload, $0.01 per 1000 upload requests):
+//   CC = DS/DR x (SP + TP) + OC x OP
+//
+// Paper shape: Avamar and SAM pay heavily for per-chunk upload requests;
+// file-granularity JungleDisk/BackupPC are cheap on requests but store
+// more; AA-Dedupe is cheapest overall (12-29% below the others) because
+// 1 MB containers slash the request count at chunk-level space
+// efficiency.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cloud/cost_model.hpp"
+#include "metrics/table_writer.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace aadedupe;
+
+  const auto config = bench::BenchConfig::from_env();
+  std::printf("=== Fig. 10: monthly cloud backup cost (USD) ===\n");
+  const auto runs = bench::run_suite(config, bench::scheme_names(true));
+  std::printf("\n");
+
+  const cloud::CostModel pricing;  // paper's S3 prices
+  metrics::TableWriter table({"scheme", "stored", "uploaded", "requests",
+                              "storage $", "transfer $", "request $",
+                              "total $/month"});
+  double aa_cost = 0, best_other = 1e300;
+  for (const auto& run : runs) {
+    const double storage = pricing.storage_cost(run.final_stored_bytes);
+    const double transfer = pricing.transfer_cost(run.total_uploaded_bytes);
+    const double requests = pricing.request_cost(run.total_upload_requests);
+    const double total = storage + transfer + requests;
+    if (run.name == "AA-Dedupe") {
+      aa_cost = total;
+    } else if (total < best_other) {
+      best_other = total;
+    }
+    table.add_row({run.name, format_bytes(run.final_stored_bytes),
+                   format_bytes(run.total_uploaded_bytes),
+                   metrics::TableWriter::integer(run.total_upload_requests),
+                   metrics::TableWriter::num(storage, 4),
+                   metrics::TableWriter::num(transfer, 4),
+                   metrics::TableWriter::num(requests, 4),
+                   metrics::TableWriter::num(total, 4)});
+  }
+  table.print();
+
+  std::printf("\nAA-Dedupe vs cheapest other scheme: %.1f%% cheaper "
+              "(paper: 12-29%% cheaper than the others)\n",
+              100.0 * (1.0 - aa_cost / best_other));
+  std::printf("shape checks (paper): request cost dominates for "
+              "Avamar/SAM; AA-Dedupe cheapest overall.\n");
+  return 0;
+}

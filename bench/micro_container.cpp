@@ -1,0 +1,115 @@
+// Google-benchmark microbenchmarks for container/recipe serialization and
+// the crypto substrate.
+#include <benchmark/benchmark.h>
+
+#include "container/container.hpp"
+#include "container/recipe.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/convergent.hpp"
+#include "hash/md5.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace aadedupe;
+
+ByteBuffer make_data(std::size_t size, std::uint64_t seed) {
+  ByteBuffer data(size);
+  Xoshiro256 rng(seed);
+  rng.fill(data);
+  return data;
+}
+
+void BM_ContainerBuildSeal(benchmark::State& state) {
+  const std::size_t chunk_size = 8192;
+  const auto chunks = static_cast<std::size_t>(state.range(0));
+  std::vector<ByteBuffer> payloads;
+  std::vector<hash::Digest> digests;
+  for (std::size_t i = 0; i < chunks; ++i) {
+    payloads.push_back(make_data(chunk_size, i));
+    digests.push_back(hash::Md5::hash(payloads.back()));
+  }
+  for (auto _ : state) {
+    container::ContainerBuilder builder(1, chunks * chunk_size + 1024);
+    for (std::size_t i = 0; i < chunks; ++i) {
+      builder.add(digests[i], payloads[i]);
+    }
+    benchmark::DoNotOptimize(builder.seal(false));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(chunks * chunk_size));
+}
+BENCHMARK(BM_ContainerBuildSeal)->Arg(128);
+
+void BM_ContainerParse(benchmark::State& state) {
+  container::ContainerBuilder builder(1, 2 << 20);
+  for (int i = 0; i < 128; ++i) {
+    const ByteBuffer chunk = make_data(8192, static_cast<std::uint64_t>(i));
+    builder.add(hash::Md5::hash(chunk), chunk);
+  }
+  const ByteBuffer sealed = builder.seal(false);
+  for (auto _ : state) {
+    container::ContainerReader reader{ByteBuffer(sealed)};
+    benchmark::DoNotOptimize(reader.descriptors().size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sealed.size()));
+}
+BENCHMARK(BM_ContainerParse);
+
+void BM_RecipeSerializeRoundTrip(benchmark::State& state) {
+  container::RecipeStore store;
+  for (int f = 0; f < 200; ++f) {
+    container::FileRecipe recipe;
+    recipe.path = "app/file" + std::to_string(f) + ".doc";
+    recipe.tag = "doc";
+    for (int c = 0; c < 20; ++c) {
+      container::RecipeEntry e;
+      e.digest = hash::Md5::hash(
+          as_bytes(std::to_string(f) + "/" + std::to_string(c)));
+      e.location = index::ChunkLocation{static_cast<std::uint64_t>(f),
+                                        static_cast<std::uint32_t>(c), 8192};
+      recipe.entries.push_back(e);
+      recipe.file_size += 8192;
+    }
+    store.put(std::move(recipe));
+  }
+  for (auto _ : state) {
+    const ByteBuffer image = store.serialize();
+    benchmark::DoNotOptimize(container::RecipeStore::deserialize(image));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          200);
+}
+BENCHMARK(BM_RecipeSerializeRoundTrip);
+
+void BM_ChaCha20(benchmark::State& state) {
+  ByteBuffer data = make_data(static_cast<std::size_t>(state.range(0)), 3);
+  crypto::ChaChaKey key{};
+  const crypto::ChaChaNonce nonce{};
+  for (auto _ : state) {
+    crypto::chacha20_xor(key, nonce, 0, data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ChaCha20)->Arg(8 << 10)->Arg(1 << 20);
+
+void BM_ConvergentSealChunk(benchmark::State& state) {
+  // Full secure-dedup cost per chunk: key derivation + encryption.
+  const ByteBuffer chunk = make_data(8192, 4);
+  for (auto _ : state) {
+    const crypto::ChaChaKey key = crypto::derive_content_key(chunk);
+    ByteBuffer ct = chunk;
+    crypto::convergent_encrypt(key, ct);
+    benchmark::DoNotOptimize(ct.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          8192);
+}
+BENCHMARK(BM_ConvergentSealChunk);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Google-benchmark microbenchmarks for the three fingerprint functions
+// and the Rabin rolling window (CDC's inner loop).
+#include <benchmark/benchmark.h>
+
+#include "hash/md5.hpp"
+#include "hash/rabin.hpp"
+#include "hash/sha1.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace aadedupe;
+
+ByteBuffer make_data(std::size_t size) {
+  ByteBuffer data(size);
+  Xoshiro256 rng(size);
+  rng.fill(data);
+  return data;
+}
+
+void BM_Md5(benchmark::State& state) {
+  const ByteBuffer data = make_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash::Md5::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Md5)->Arg(8 << 10)->Arg(1 << 20);
+
+void BM_Sha1(benchmark::State& state) {
+  const ByteBuffer data = make_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash::Sha1::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(8 << 10)->Arg(1 << 20);
+
+void BM_Rabin96(benchmark::State& state) {
+  const ByteBuffer data = make_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash::Rabin96::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Rabin96)->Arg(8 << 10)->Arg(1 << 20);
+
+void BM_RabinRollingWindow(benchmark::State& state) {
+  const ByteBuffer data = make_data(static_cast<std::size_t>(state.range(0)));
+  const hash::RabinPoly poly;
+  hash::RabinWindow window(poly, 48);
+  for (auto _ : state) {
+    std::uint64_t fp = 0;
+    for (std::byte b : data) fp = window.push(b);
+    benchmark::DoNotOptimize(fp);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_RabinRollingWindow)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Google-benchmark microbenchmarks for the index implementations.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "hash/sha1.hpp"
+#include "index/memory_index.hpp"
+#include "index/partitioned_index.hpp"
+#include "index/persistent_index.hpp"
+#include "util/bytes.hpp"
+
+namespace {
+
+using namespace aadedupe;
+
+std::vector<hash::Digest> make_digests(std::size_t count) {
+  std::vector<hash::Digest> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(hash::Sha1::hash(as_bytes("d" + std::to_string(i))));
+  }
+  return out;
+}
+
+void BM_MemoryIndexLookupHit(benchmark::State& state) {
+  const auto digests = make_digests(static_cast<std::size_t>(state.range(0)));
+  index::MemoryChunkIndex idx;
+  for (const auto& d : digests) idx.insert(d, {});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.lookup(digests[i++ % digests.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MemoryIndexLookupHit)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_MemoryIndexLookupMiss(benchmark::State& state) {
+  const auto digests = make_digests(1 << 14);
+  const auto probes = make_digests(1 << 15);  // second half absent
+  index::MemoryChunkIndex idx;
+  for (const auto& d : digests) idx.insert(d, {});
+  std::size_t i = probes.size() / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.lookup(probes[i]));
+    if (++i == probes.size()) i = probes.size() / 2;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MemoryIndexLookupMiss);
+
+void BM_PartitionedShardLookup(benchmark::State& state) {
+  const auto digests = make_digests(1 << 14);
+  index::PartitionedIndex idx;
+  index::ChunkIndex& shard = idx.shard("doc");
+  for (const auto& d : digests) shard.insert(d, {});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shard.lookup(digests[i++ % digests.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PartitionedShardLookup);
+
+void BM_PersistentIndexLookup(benchmark::State& state) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "aad_bench_persistent_index.bin";
+  std::filesystem::remove(path);
+  {
+    index::PersistentChunkIndex::Options options;
+    options.cache_entries = static_cast<std::size_t>(state.range(0));
+    index::PersistentChunkIndex idx(path.string(), options);
+    const auto digests = make_digests(1 << 12);
+    for (const auto& d : digests) idx.insert(d, {});
+    std::size_t i = 0;
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(idx.lookup(digests[i++ % digests.size()]));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  }
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_PersistentIndexLookup)
+    ->Arg(0)        // no RAM cache: every lookup reads the file
+    ->Arg(1 << 13)  // cache covers the working set
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Disaster-recovery walkthrough: run several weekly AA-Dedupe backups,
+// then "lose the laptop" and restore every file of the latest session from
+// the cloud, verifying byte-exact integrity — including the application-
+// aware index image synced per session.
+//
+// Run:  ./backup_and_restore [sessions]
+#include <cstdio>
+#include <cstdlib>
+
+#include "backup/keys.hpp"
+#include "core/aa_dedupe.hpp"
+#include "dataset/generator.hpp"
+#include "index/partitioned_index.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aadedupe;
+
+  const std::uint32_t sessions =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 3;
+
+  cloud::CloudTarget cloud_target;
+  core::AaDedupeScheme scheme(cloud_target);
+
+  dataset::DatasetConfig config;
+  config.seed = 4242;
+  config.session_bytes = 24ull * 1024 * 1024;
+  dataset::DatasetGenerator generator(config);
+  const auto snapshots = generator.sessions(sessions);
+
+  for (const auto& snapshot : snapshots) {
+    const auto report = scheme.backup(snapshot);
+    std::printf(
+        "session %u: %zu files, %s logical -> %s shipped (DR %.2f), "
+        "window %.1f s\n",
+        snapshot.session, snapshot.files.size(),
+        format_bytes(report.dataset_bytes).c_str(),
+        format_bytes(report.transferred_bytes).c_str(),
+        report.dedupe_ratio(), report.backup_window_seconds());
+  }
+
+  // --- disaster strikes; everything below uses only the cloud ---
+
+  const dataset::Snapshot& latest = snapshots.back();
+  std::printf("\nrestoring %zu files from the cloud...\n",
+              latest.files.size());
+  std::size_t verified = 0;
+  std::uint64_t restored_bytes = 0;
+  for (const auto& file : latest.files) {
+    const ByteBuffer restored = scheme.restore_file(file.path);
+    const ByteBuffer original = dataset::materialize(file.content);
+    if (restored != original) {
+      std::printf("INTEGRITY FAILURE: %s\n", file.path.c_str());
+      return 1;
+    }
+    ++verified;
+    restored_bytes += restored.size();
+  }
+  std::printf("restored and verified %zu files (%s) byte-exactly\n", verified,
+              format_bytes(restored_bytes).c_str());
+
+  // The synced application-aware index can be reloaded from the cloud —
+  // this is what a replacement machine would bootstrap from.
+  const auto image = cloud_target.store().get(backup::keys::session_meta(
+      "AA-Dedupe", latest.session, "index"));
+  if (!image) {
+    std::printf("missing index sync object!\n");
+    return 1;
+  }
+  index::PartitionedIndex recovered;
+  recovered.deserialize(*image);
+  std::printf("recovered application-aware index: %llu chunks in %zu "
+              "per-application shards\n",
+              static_cast<unsigned long long>(recovered.total_size()),
+              recovered.partitions().size());
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Compare the five cloud backup schemes of the paper's evaluation on the
+// same multi-session workload: Jungle Disk-style incremental, BackupPC-
+// style file-level dedup, Avamar-style chunk-level dedup, SAM-style hybrid
+// dedup, and AA-Dedupe. Prints a per-scheme summary resembling the
+// aggregate view of Figs. 7-10.
+//
+// Run:  ./compare_schemes [sessions] [mib_per_session]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "backup/chunk_level.hpp"
+#include "backup/file_level.hpp"
+#include "backup/full_backup.hpp"
+#include "backup/incremental.hpp"
+#include "backup/sam.hpp"
+#include "core/aa_dedupe.hpp"
+#include "dataset/generator.hpp"
+#include "metrics/table_writer.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aadedupe;
+
+  const std::uint32_t sessions =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 4;
+  const std::uint64_t session_mib =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoi(argv[2])) : 32;
+
+  dataset::DatasetConfig config;
+  config.seed = 99;
+  config.session_bytes = session_mib * 1024 * 1024;
+  dataset::DatasetGenerator generator(config);
+  const std::vector<dataset::Snapshot> snapshots =
+      generator.sessions(sessions);
+
+  struct Row {
+    std::string name;
+    std::uint64_t stored = 0;
+    std::uint64_t shipped = 0;
+    std::uint64_t requests = 0;
+    double window = 0;
+    double efficiency = 0;
+    double cost = 0;
+  };
+  std::vector<Row> rows;
+
+  auto run = [&](std::unique_ptr<backup::BackupScheme> scheme,
+                 cloud::CloudTarget& target) {
+    Row row;
+    row.name = scheme->name();
+    double efficiency_sum = 0;
+    for (const auto& snapshot : snapshots) {
+      const auto report = scheme->backup(snapshot);
+      row.shipped += report.transferred_bytes;
+      row.requests += report.upload_requests;
+      row.window += report.backup_window_seconds();
+      efficiency_sum += report.bytes_saved_per_second();
+    }
+    row.stored = target.store().stored_bytes();
+    row.efficiency = efficiency_sum / sessions;
+    row.cost = target.monthly_cost();
+    rows.push_back(row);
+    std::printf("  %-11s done\n", row.name.c_str());
+  };
+
+  std::printf("running %u sessions x %llu MiB for 6 schemes...\n", sessions,
+              static_cast<unsigned long long>(session_mib));
+  {
+    cloud::CloudTarget t;
+    run(std::make_unique<backup::FullBackupScheme>(t), t);
+  }
+  {
+    cloud::CloudTarget t;
+    run(std::make_unique<backup::IncrementalScheme>(t), t);
+  }
+  {
+    cloud::CloudTarget t;
+    run(std::make_unique<backup::FileLevelScheme>(t), t);
+  }
+  {
+    cloud::CloudTarget t;
+    run(std::make_unique<backup::ChunkLevelScheme>(t), t);
+  }
+  {
+    cloud::CloudTarget t;
+    run(std::make_unique<backup::SamScheme>(t), t);
+  }
+  {
+    cloud::CloudTarget t;
+    run(std::make_unique<core::AaDedupeScheme>(t), t);
+  }
+
+  metrics::TableWriter table({"scheme", "cloud stored", "shipped", "requests",
+                              "sum BWS (s)", "avg DE", "monthly $"});
+  for (const Row& row : rows) {
+    table.add_row({row.name, format_bytes(row.stored),
+                   format_bytes(row.shipped),
+                   metrics::TableWriter::integer(row.requests),
+                   metrics::TableWriter::num(row.window, 1),
+                   format_rate(row.efficiency),
+                   metrics::TableWriter::num(row.cost, 4)});
+  }
+  std::printf("\n");
+  table.print();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Using the library as a deduplication toolkit, below the backup-scheme
+// level: chunk a buffer three ways, fingerprint with the three hash
+// families, and drive the application-aware partitioned index directly.
+// This is the API a downstream system would embed.
+//
+// Run:  ./dedup_toolkit
+#include <cstdio>
+
+#include "chunk/cdc_chunker.hpp"
+#include "chunk/static_chunker.hpp"
+#include "chunk/whole_file_chunker.hpp"
+#include "hash/hash_kind.hpp"
+#include "index/partitioned_index.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace aadedupe;
+
+  // Build a 4 MiB buffer: random content with an embedded repeated region.
+  ByteBuffer data(4ull << 20);
+  Xoshiro256 rng(1);
+  rng.fill(data);
+  std::copy(data.begin(), data.begin() + (64 << 10),
+            data.begin() + (2 << 20));  // plant a 64 KiB duplicate region
+
+  // 1. Chunk it three ways.
+  chunk::WholeFileChunker wfc;
+  chunk::StaticChunker sc;     // 8 KB fixed
+  chunk::CdcChunker cdc;       // Rabin, 8 KB expected, 2-16 KB
+  for (const chunk::Chunker* chunker :
+       {static_cast<const chunk::Chunker*>(&wfc),
+        static_cast<const chunk::Chunker*>(&sc),
+        static_cast<const chunk::Chunker*>(&cdc)}) {
+    const auto chunks = chunker->split(data);
+    std::printf("%-4s -> %6zu chunks, avg %s\n",
+                std::string(chunker->name()).c_str(), chunks.size(),
+                format_bytes(data.size() / chunks.size()).c_str());
+  }
+
+  // 2. Fingerprint one chunk with each hash family.
+  const ConstByteSpan chunk_bytes = ConstByteSpan{data}.subspan(0, 8192);
+  for (const hash::HashKind kind :
+       {hash::HashKind::kRabin96, hash::HashKind::kMd5,
+        hash::HashKind::kSha1}) {
+    const hash::Digest digest = hash::compute_digest(kind, chunk_bytes);
+    std::printf("%-8s (%2zu bytes): %s\n",
+                std::string(hash::to_string(kind)).c_str(), digest.size(),
+                digest.hex().c_str());
+  }
+
+  // 3. Deduplicate the CDC chunks into a partitioned index, routing by a
+  // made-up application tag, and count what a backup would actually ship.
+  index::PartitionedIndex index;
+  std::uint64_t unique_bytes = 0, dup_bytes = 0;
+  for (const chunk::ChunkRef& ref : cdc.split(data)) {
+    const auto bytes = ConstByteSpan{data}.subspan(ref.offset, ref.length);
+    const hash::Digest digest = hash::Sha1::hash(bytes);
+    index::ChunkIndex& shard = index.shard("demo-app");
+    if (shard.lookup(digest)) {
+      dup_bytes += ref.length;
+    } else {
+      shard.insert(digest, index::ChunkLocation{0, 0, ref.length});
+      unique_bytes += ref.length;
+    }
+  }
+  std::printf("\nCDC dedup over the buffer: %s unique, %s duplicate "
+              "(the planted 64 KiB region)\n",
+              format_bytes(unique_bytes).c_str(),
+              format_bytes(dup_bytes).c_str());
+
+  const auto stats = index.total_stats();
+  std::printf("index: %llu entries, %llu lookups, %llu hits\n",
+              static_cast<unsigned long long>(index.total_size()),
+              static_cast<unsigned long long>(stats.lookups),
+              static_cast<unsigned long long>(stats.hits));
+  return 0;
+}

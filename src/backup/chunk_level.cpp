@@ -1,0 +1,73 @@
+#include "backup/chunk_level.hpp"
+
+#include "backup/keys.hpp"
+#include "hash/sha1.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::backup {
+
+ChunkLevelScheme::ChunkLevelScheme(cloud::CloudTarget& target,
+                                   bool model_disk_index,
+                                   index::SimDiskOptions disk_options)
+    : BackupScheme(target) {
+  auto memory = std::make_unique<index::MemoryChunkIndex>();
+  if (model_disk_index) {
+    chunk_index_ = std::make_unique<index::SimulatedDiskIndex>(
+        std::move(memory), disk_options,
+        [this](double seconds) { charge_sim_seconds(seconds); });
+  } else {
+    chunk_index_ = std::move(memory);
+  }
+}
+
+void ChunkLevelScheme::run_session(const dataset::Snapshot& snapshot) {
+  container::RecipeStore recipes;
+  ByteBuffer content;
+  for (const dataset::FileEntry& file : snapshot.files) {
+    dataset::materialize_into(file.content, content);
+    container::FileRecipe recipe;
+    recipe.path = file.path;
+    recipe.file_size = content.size();
+
+    for (const chunk::ChunkRef& ref : chunker_.split(content)) {
+      const ConstByteSpan chunk_bytes =
+          ConstByteSpan{content}.subspan(ref.offset, ref.length);
+      const hash::Digest digest = hash::Sha1::hash(chunk_bytes);
+      index::ChunkLocation location{0, 0, ref.length};
+      if (const auto existing = chunk_index_->lookup(digest)) {
+        location = *existing;
+      } else {
+        // Per-chunk upload: this is what drives Avamar's request count and
+        // WAN overhead in Figs. 9 and 10.
+        target().upload(keys::chunk_object(digest),
+                        ByteBuffer(chunk_bytes.begin(), chunk_bytes.end()));
+        chunk_index_->insert(digest, location);
+      }
+      recipe.entries.push_back(container::RecipeEntry{digest, location});
+    }
+    recipes.put(std::move(recipe));
+  }
+  recipes_ = std::move(recipes);
+}
+
+ByteBuffer ChunkLevelScheme::restore_file(const std::string& path) {
+  const container::FileRecipe* recipe = recipes_.find(path);
+  if (recipe == nullptr) {
+    throw FormatError("chunk-level: unknown path " + path);
+  }
+  ByteBuffer out;
+  out.reserve(recipe->file_size);
+  for (const container::RecipeEntry& entry : recipe->entries) {
+    auto chunk_bytes = target().download(keys::chunk_object(entry.digest));
+    if (!chunk_bytes) {
+      throw FormatError("chunk-level: missing chunk " + entry.digest.hex());
+    }
+    append(out, *chunk_bytes);
+  }
+  if (out.size() != recipe->file_size) {
+    throw FormatError("chunk-level: reassembled size mismatch for " + path);
+  }
+  return out;
+}
+
+}  // namespace aadedupe::backup

@@ -1,0 +1,38 @@
+#include "backup/file_level.hpp"
+
+#include "backup/keys.hpp"
+#include "hash/sha1.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::backup {
+
+void FileLevelScheme::run_session(const dataset::Snapshot& snapshot) {
+  std::map<std::string, hash::Digest> catalog;
+  ByteBuffer content;
+  for (const dataset::FileEntry& file : snapshot.files) {
+    dataset::materialize_into(file.content, content);
+    const hash::Digest digest = hash::Sha1::hash(content);
+    if (!file_index_.lookup(digest)) {
+      target().upload(keys::file_object(digest), content);
+      file_index_.insert(
+          digest, index::ChunkLocation{
+                      0, 0, static_cast<std::uint32_t>(content.size())});
+    }
+    catalog.emplace(file.path, digest);
+  }
+  catalog_ = std::move(catalog);
+}
+
+ByteBuffer FileLevelScheme::restore_file(const std::string& path) {
+  const auto it = catalog_.find(path);
+  if (it == catalog_.end()) {
+    throw FormatError("file-level: unknown path " + path);
+  }
+  auto data = target().download(keys::file_object(it->second));
+  if (!data) {
+    throw FormatError("file-level: missing object for " + path);
+  }
+  return std::move(*data);
+}
+
+}  // namespace aadedupe::backup

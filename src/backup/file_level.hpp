@@ -1,0 +1,33 @@
+// Source file-level deduplication (models BackupPC, paper ref [26]).
+//
+// Every file is fingerprinted whole with SHA-1 and deduplicated against a
+// global file index: low metadata and lookup overhead, high throughput,
+// but no sub-file redundancy detection — a modified document re-ships
+// entirely.
+#pragma once
+
+#include <map>
+
+#include "backup/scheme.hpp"
+#include "index/memory_index.hpp"
+
+namespace aadedupe::backup {
+
+class FileLevelScheme final : public BackupScheme {
+ public:
+  explicit FileLevelScheme(cloud::CloudTarget& target)
+      : BackupScheme(target) {}
+
+  std::string_view name() const noexcept override { return "BackupPC"; }
+
+  ByteBuffer restore_file(const std::string& path) override;
+
+ protected:
+  void run_session(const dataset::Snapshot& snapshot) override;
+
+ private:
+  index::MemoryChunkIndex file_index_;        // digest -> (stored) marker
+  std::map<std::string, hash::Digest> catalog_;  // path -> content digest
+};
+
+}  // namespace aadedupe::backup

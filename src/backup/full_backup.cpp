@@ -1,0 +1,31 @@
+#include "backup/full_backup.hpp"
+
+#include "backup/keys.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::backup {
+
+void FullBackupScheme::run_session(const dataset::Snapshot& snapshot) {
+  std::map<std::string, std::string> session_keys;
+  ByteBuffer content;
+  for (const dataset::FileEntry& file : snapshot.files) {
+    dataset::materialize_into(file.content, content);
+    std::string key =
+        keys::session_file_object(name(), snapshot.session, file.path);
+    target().upload(key, content);
+    session_keys.emplace(file.path, std::move(key));
+  }
+  latest_key_ = std::move(session_keys);
+}
+
+ByteBuffer FullBackupScheme::restore_file(const std::string& path) {
+  const auto it = latest_key_.find(path);
+  if (it == latest_key_.end()) {
+    throw FormatError("full backup: unknown path " + path);
+  }
+  auto data = target().download(it->second);
+  if (!data) throw FormatError("full backup: missing object " + it->second);
+  return std::move(*data);
+}
+
+}  // namespace aadedupe::backup

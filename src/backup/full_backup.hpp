@@ -1,0 +1,31 @@
+// Full backup: every session uploads every file in its entirety.
+//
+// The non-dedup reference point: maximal transfer and storage, minimal
+// client compute. The paper's Fig. 9 notes Avamar's backup window is
+// "even worse than the full backup method" in their environment — this
+// scheme is what makes that comparison runnable.
+#pragma once
+
+#include <map>
+
+#include "backup/scheme.hpp"
+
+namespace aadedupe::backup {
+
+class FullBackupScheme final : public BackupScheme {
+ public:
+  explicit FullBackupScheme(cloud::CloudTarget& target)
+      : BackupScheme(target) {}
+
+  std::string_view name() const noexcept override { return "FullBackup"; }
+
+  ByteBuffer restore_file(const std::string& path) override;
+
+ protected:
+  void run_session(const dataset::Snapshot& snapshot) override;
+
+ private:
+  std::map<std::string, std::string> latest_key_;  // path -> object key
+};
+
+}  // namespace aadedupe::backup

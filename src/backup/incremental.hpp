@@ -1,0 +1,46 @@
+// Incremental file backup (models Jungle Disk, paper ref [25]).
+//
+// No deduplication: the client tracks per-path versions and uploads any
+// file that is new or has changed since the previous session, whole. This
+// already removes the dominant cross-session redundancy (unchanged files)
+// but re-ships every modified file entirely and never detects duplicate
+// content across paths.
+//
+// Like the real Jungle Disk client (rsync-style change detection), the
+// scan pass reads every file and computes block checksums to decide what
+// changed — modeled here as an MD5 pass over all content — so the
+// "dedupe time" of this scheme reflects a full read-and-checksum scan,
+// not a free mtime check.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "backup/scheme.hpp"
+#include "hash/rabin.hpp"
+
+namespace aadedupe::backup {
+
+class IncrementalScheme final : public BackupScheme {
+ public:
+  explicit IncrementalScheme(cloud::CloudTarget& target)
+      : BackupScheme(target) {}
+
+  std::string_view name() const noexcept override { return "JungleDisk"; }
+
+  ByteBuffer restore_file(const std::string& path) override;
+
+ protected:
+  void run_session(const dataset::Snapshot& snapshot) override;
+
+ private:
+  struct FileState {
+    std::uint32_t version = 0;
+    std::string object_key;
+  };
+  std::map<std::string, FileState> files_;
+  hash::RabinPoly scan_poly_;                 // rsync-style weak checksum
+  hash::RabinWindow scan_window_{scan_poly_, 48};
+};
+
+}  // namespace aadedupe::backup

@@ -1,0 +1,52 @@
+// Cloud object key conventions shared by schemes and restore paths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hash/digest.hpp"
+
+namespace aadedupe::backup::keys {
+
+/// Whole file stored by content digest (file-level dedup schemes).
+inline std::string file_object(const hash::Digest& digest) {
+  return "files/" + digest.hex();
+}
+
+/// Single chunk stored by content digest (per-chunk upload schemes).
+inline std::string chunk_object(const hash::Digest& digest) {
+  return "chunks/" + digest.hex();
+}
+
+/// Sealed container object (AA-Dedupe).
+inline std::string container_object(std::uint64_t container_id) {
+  return "containers/c" + std::to_string(container_id);
+}
+
+/// Whole file stored under a session-qualified path (full/incremental).
+inline std::string session_file_object(std::string_view scheme,
+                                       std::uint32_t session,
+                                       const std::string& path) {
+  std::string key;
+  key += scheme;
+  key += "/s";
+  key += std::to_string(session);
+  key += "/";
+  key += path;
+  return key;
+}
+
+/// Per-session client metadata (catalog/recipes/index sync).
+inline std::string session_meta(std::string_view scheme,
+                                std::uint32_t session,
+                                std::string_view what) {
+  std::string key = "meta/";
+  key += scheme;
+  key += "/s";
+  key += std::to_string(session);
+  key += "/";
+  key += what;
+  return key;
+}
+
+}  // namespace aadedupe::backup::keys

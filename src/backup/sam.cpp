@@ -1,0 +1,110 @@
+#include "backup/sam.hpp"
+
+#include "backup/keys.hpp"
+#include "dataset/file_kind.hpp"
+#include "hash/sha1.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::backup {
+
+namespace {
+/// SAM's semantic split: compressed media gain nothing from sub-file
+/// dedup, so they stop at the whole-file tier.
+bool chunk_tier_eligible(dataset::FileKind kind) {
+  return dataset::category_of(kind) != dataset::AppCategory::kCompressed;
+}
+
+/// container_id tag marking a recipe entry stored as a whole-file object
+/// rather than a chunk object.
+constexpr std::uint64_t kFileObjectTag = ~std::uint64_t{0};
+}  // namespace
+
+SamScheme::SamScheme(cloud::CloudTarget& target, bool model_disk_index,
+                     index::SimDiskOptions disk_options)
+    : BackupScheme(target) {
+  auto memory = std::make_unique<index::MemoryChunkIndex>();
+  if (model_disk_index) {
+    chunk_index_ = std::make_unique<index::SimulatedDiskIndex>(
+        std::move(memory), disk_options,
+        [this](double seconds) { charge_sim_seconds(seconds); });
+  } else {
+    chunk_index_ = std::move(memory);
+  }
+}
+
+void SamScheme::run_session(const dataset::Snapshot& snapshot) {
+  container::RecipeStore recipes;
+  ByteBuffer content;
+  for (const dataset::FileEntry& file : snapshot.files) {
+    dataset::materialize_into(file.content, content);
+    container::FileRecipe recipe;
+    recipe.path = file.path;
+    recipe.file_size = content.size();
+
+    // Tier 1: whole-file dedup. A hit reuses the canonical recipe recorded
+    // when this content was first stored (it may be chunked).
+    const hash::Digest file_digest = hash::Sha1::hash(content);
+    if (file_index_.lookup(file_digest)) {
+      const auto canon = canonical_.find(file_digest);
+      AAD_ENSURES(canon != canonical_.end());
+      recipe.entries = canon->second;
+      recipes.put(std::move(recipe));
+      continue;
+    }
+    file_index_.insert(
+        file_digest,
+        index::ChunkLocation{0, 0, static_cast<std::uint32_t>(content.size())});
+
+    if (!chunk_tier_eligible(file.kind) || content.empty()) {
+      // Whole-file upload for compressed media (and empty files).
+      if (!content.empty()) {
+        target().upload(keys::file_object(file_digest), content);
+      }
+      recipe.entries.push_back(container::RecipeEntry{
+          file_digest,
+          index::ChunkLocation{kFileObjectTag, 0,
+                               static_cast<std::uint32_t>(content.size())}});
+    } else {
+      // Tier 2: CDC chunk-level dedup for uncompressed data.
+      for (const chunk::ChunkRef& ref : chunker_.split(content)) {
+        const ConstByteSpan chunk_bytes =
+            ConstByteSpan{content}.subspan(ref.offset, ref.length);
+        const hash::Digest digest = hash::Sha1::hash(chunk_bytes);
+        index::ChunkLocation location{0, 0, ref.length};
+        if (const auto existing = chunk_index_->lookup(digest)) {
+          location = *existing;
+        } else {
+          target().upload(keys::chunk_object(digest),
+                          ByteBuffer(chunk_bytes.begin(), chunk_bytes.end()));
+          chunk_index_->insert(digest, location);
+        }
+        recipe.entries.push_back(container::RecipeEntry{digest, location});
+      }
+    }
+    canonical_.emplace(file_digest, recipe.entries);
+    recipes.put(std::move(recipe));
+  }
+  recipes_ = std::move(recipes);
+}
+
+ByteBuffer SamScheme::restore_file(const std::string& path) {
+  const container::FileRecipe* recipe = recipes_.find(path);
+  if (recipe == nullptr) throw FormatError("sam: unknown path " + path);
+
+  ByteBuffer out;
+  out.reserve(recipe->file_size);
+  for (const container::RecipeEntry& entry : recipe->entries) {
+    const std::string key = entry.location.container_id == kFileObjectTag
+                                ? keys::file_object(entry.digest)
+                                : keys::chunk_object(entry.digest);
+    auto bytes = target().download(key);
+    if (!bytes) throw FormatError("sam: missing object " + key);
+    append(out, *bytes);
+  }
+  if (out.size() != recipe->file_size) {
+    throw FormatError("sam: reassembled size mismatch for " + path);
+  }
+  return out;
+}
+
+}  // namespace aadedupe::backup

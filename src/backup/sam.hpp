@@ -1,0 +1,50 @@
+// SAM: semantic-aware multi-tiered source deduplication (paper ref [11],
+// Tan et al., ICPP'10) — the closest prior work to AA-Dedupe.
+//
+// SAM combines file-level and chunk-level dedup using file semantics:
+// every file is first deduplicated whole (global SHA-1 file index); files
+// that miss and belong to uncompressed/editable types additionally go
+// through CDC chunk-level dedup against a global chunk index. Compared to
+// AA-Dedupe it still pays SHA-1 everywhere, runs CDC on static data where
+// SC would do, keeps monolithic global indices, and ships chunks
+// individually (no container aggregation).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "backup/scheme.hpp"
+#include "chunk/cdc_chunker.hpp"
+#include "container/recipe.hpp"
+#include "index/memory_index.hpp"
+#include "index/sim_disk_index.hpp"
+
+namespace aadedupe::backup {
+
+class SamScheme final : public BackupScheme {
+ public:
+  /// SAM's whole-file tier keeps metadata small (that is its design
+  /// point), so the file index stays in RAM; the sub-file chunk index is
+  /// still a monolithic global index and pays the simulated on-disk
+  /// lookup cost by default, like Avamar's.
+  explicit SamScheme(cloud::CloudTarget& target, bool model_disk_index = true,
+                     index::SimDiskOptions disk_options = {});
+
+  std::string_view name() const noexcept override { return "SAM"; }
+
+  ByteBuffer restore_file(const std::string& path) override;
+
+ protected:
+  void run_session(const dataset::Snapshot& snapshot) override;
+
+ private:
+  chunk::CdcChunker chunker_;
+  index::MemoryChunkIndex file_index_;            // whole-file tier (RAM)
+  std::unique_ptr<index::ChunkIndex> chunk_index_;  // sub-file tier
+  container::RecipeStore recipes_;       // latest session
+  /// Canonical recipe per whole-file digest, so a tier-1 duplicate of a
+  /// previously *chunked* file can still be restored.
+  std::map<hash::Digest, std::vector<container::RecipeEntry>> canonical_;
+};
+
+}  // namespace aadedupe::backup

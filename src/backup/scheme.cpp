@@ -1,0 +1,33 @@
+#include "backup/scheme.hpp"
+
+#include "util/stopwatch.hpp"
+
+namespace aadedupe::backup {
+
+SessionReport BackupScheme::backup(const dataset::Snapshot& snapshot) {
+  SessionReport report;
+  report.scheme = std::string(name());
+  report.session = snapshot.session;
+  report.dataset_bytes = snapshot.total_bytes();
+  report.dataset_files = snapshot.file_count();
+
+  const cloud::StoreStats before = target_->store().stats();
+  target_->reset_transfer_clock();
+  sim_seconds_.store(0.0);
+  const double cpu_before = process_cpu_seconds();
+  StopWatch wall;
+
+  run_session(snapshot);
+
+  report.dedupe_seconds = wall.seconds() + sim_seconds_.load();
+  report.cpu_seconds = process_cpu_seconds() - cpu_before;
+  report.transfer_seconds = target_->transfer_seconds();
+
+  const cloud::StoreStats after = target_->store().stats();
+  report.transferred_bytes = after.bytes_uploaded - before.bytes_uploaded;
+  report.upload_requests = after.put_requests - before.put_requests;
+  report.cumulative_stored_bytes = target_->store().stored_bytes();
+  return report;
+}
+
+}  // namespace aadedupe::backup

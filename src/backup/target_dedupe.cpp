@@ -1,0 +1,68 @@
+#include "backup/target_dedupe.hpp"
+
+#include "backup/keys.hpp"
+#include "hash/sha1.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::backup {
+
+void TargetDedupeScheme::run_session(const dataset::Snapshot& snapshot) {
+  container::RecipeStore recipes;
+  ByteBuffer content;
+  for (const dataset::FileEntry& file : snapshot.files) {
+    dataset::materialize_into(file.content, content);
+
+    // --- client side: no processing, ship the whole file over the WAN ---
+    const std::string inbox_key = keys::session_file_object(
+        "target-inbox", snapshot.session, file.path);
+    target().upload(inbox_key, content);
+
+    // --- server side: dedup on arrival, then drop the raw upload ---
+    container::FileRecipe recipe;
+    recipe.path = file.path;
+    recipe.file_size = content.size();
+    for (const chunk::ChunkRef& ref : chunker_.split(content)) {
+      const ConstByteSpan chunk_bytes =
+          ConstByteSpan{content}.subspan(ref.offset, ref.length);
+      const hash::Digest digest = hash::Sha1::hash(chunk_bytes);
+      index::ChunkLocation location{0, 0, ref.length};
+      if (const auto existing = server_index_.lookup(digest)) {
+        location = *existing;
+      } else {
+        // Server-internal store: placed without a WAN hop, so bypass
+        // upload/request accounting and write the object directly.
+        target().store().put_internal(keys::chunk_object(digest),
+                                      ByteBuffer(chunk_bytes.begin(),
+                                                 chunk_bytes.end()));
+        server_index_.insert(digest, location);
+        server_stored_bytes_ += ref.length;
+      }
+      recipe.entries.push_back(container::RecipeEntry{digest, location});
+    }
+    recipes.put(std::move(recipe));
+    target().store().remove(inbox_key);  // raw upload discarded post-dedup
+  }
+  server_recipes_ = std::move(recipes);
+}
+
+ByteBuffer TargetDedupeScheme::restore_file(const std::string& path) {
+  const container::FileRecipe* recipe = server_recipes_.find(path);
+  if (recipe == nullptr) {
+    throw FormatError("target-dedup: unknown path " + path);
+  }
+  ByteBuffer out;
+  out.reserve(recipe->file_size);
+  for (const container::RecipeEntry& entry : recipe->entries) {
+    auto chunk_bytes = target().download(keys::chunk_object(entry.digest));
+    if (!chunk_bytes) {
+      throw FormatError("target-dedup: missing chunk " + entry.digest.hex());
+    }
+    append(out, *chunk_bytes);
+  }
+  if (out.size() != recipe->file_size) {
+    throw FormatError("target-dedup: reassembled size mismatch for " + path);
+  }
+  return out;
+}
+
+}  // namespace aadedupe::backup

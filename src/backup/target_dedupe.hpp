@@ -1,0 +1,50 @@
+// Target (server-side) deduplication — the other half of the paper's
+// taxonomy (Section II.B): "source deduplication ... eliminates redundant
+// data at the client site; target deduplication eliminates redundant data
+// at the backup server site."
+//
+// The client ships every file whole across the WAN each session; the
+// *server* chunks, fingerprints, and deduplicates before storing. Storage
+// efficiency matches chunk-level source dedup, but none of the WAN
+// transfer is saved — exactly why the paper argues source dedup is the
+// right choice for cloud backup over slow uplinks. Included so the
+// source-vs-target comparison is runnable, not just cited.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "backup/scheme.hpp"
+#include "chunk/cdc_chunker.hpp"
+#include "container/recipe.hpp"
+#include "index/memory_index.hpp"
+
+namespace aadedupe::backup {
+
+class TargetDedupeScheme final : public BackupScheme {
+ public:
+  explicit TargetDedupeScheme(cloud::CloudTarget& target)
+      : BackupScheme(target) {}
+
+  std::string_view name() const noexcept override { return "TargetDedup"; }
+
+  ByteBuffer restore_file(const std::string& path) override;
+
+  /// Logical bytes the server actually keeps (post-dedup) — the number
+  /// that matches source chunk-level dedup despite full WAN transfers.
+  std::uint64_t server_stored_bytes() const noexcept {
+    return server_stored_bytes_;
+  }
+
+ protected:
+  void run_session(const dataset::Snapshot& snapshot) override;
+
+ private:
+  // Server-side state: the dedup happens after the WAN hop.
+  chunk::CdcChunker chunker_;
+  index::MemoryChunkIndex server_index_;
+  container::RecipeStore server_recipes_;
+  std::uint64_t server_stored_bytes_ = 0;
+};
+
+}  // namespace aadedupe::backup

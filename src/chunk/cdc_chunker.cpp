@@ -1,0 +1,30 @@
+#include "chunk/cdc_chunker.hpp"
+
+namespace aadedupe::chunk {
+
+std::vector<ChunkRef> CdcChunker::split(ConstByteSpan data) const {
+  std::vector<ChunkRef> out;
+  if (data.empty()) return out;
+  out.reserve(data.size() / params_.expected_size + 1);
+
+  hash::RabinWindow window = prototype_;  // fresh zero-filled window
+  const std::uint64_t size = data.size();
+  std::uint64_t start = 0;
+  std::uint64_t pos = 0;
+
+  while (pos < size) {
+    const std::uint64_t fp = window.push(data[pos]);
+    ++pos;
+    const std::uint64_t len = pos - start;
+    const bool at_boundary =
+        len >= params_.min_size && (fp & mask_) == (kMagic & mask_);
+    if (at_boundary || len >= params_.max_size || pos == size) {
+      out.push_back(ChunkRef{start, static_cast<std::uint32_t>(len)});
+      start = pos;
+      window.reset();  // boundaries depend only on bytes since the last cut
+    }
+  }
+  return out;
+}
+
+}  // namespace aadedupe::chunk

@@ -1,0 +1,66 @@
+// Content-Defined Chunking (CDC) via Rabin fingerprinting.
+//
+// Chunk boundaries are declared where the rolling fingerprint of the last
+// `window` bytes hits a fixed pattern, so boundaries move with content and
+// survive insertions/deletions (the boundary-shifting problem that defeats
+// SC on edited files). Parameters follow the paper's evaluation setup
+// exactly: 8 KB expected, 2 KB minimum, 16 KB maximum, 48-byte sliding
+// window, 1-byte step.
+#pragma once
+
+#include <memory>
+
+#include "chunk/chunker.hpp"
+#include "hash/rabin.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::chunk {
+
+struct CdcParams {
+  /// Expected chunk size; must be a power of two (it defines the mask).
+  std::size_t expected_size = 8 * 1024;
+  std::size_t min_size = 2 * 1024;
+  std::size_t max_size = 16 * 1024;
+  std::size_t window_size = 48;
+
+  bool valid() const noexcept {
+    return expected_size >= 2 && (expected_size & (expected_size - 1)) == 0 &&
+           min_size >= window_size && min_size <= expected_size &&
+           expected_size <= max_size && max_size <= 0xffffffffull;
+  }
+};
+
+class CdcChunker final : public Chunker {
+ public:
+  explicit CdcChunker(CdcParams params = {},
+                      std::uint64_t poly = hash::kRabinPolyA)
+      : params_(params),
+        poly_(poly),
+        prototype_(poly_, params.window_size),
+        mask_(params.expected_size - 1) {
+    AAD_EXPECTS(params.valid());
+  }
+
+  // prototype_ holds a pointer to poly_; forbid copies/moves so it can
+  // never dangle. Chunkers are shared via (smart) pointers.
+  CdcChunker(const CdcChunker&) = delete;
+  CdcChunker& operator=(const CdcChunker&) = delete;
+
+  std::vector<ChunkRef> split(ConstByteSpan data) const override;
+
+  std::string_view name() const noexcept override { return "cdc"; }
+
+  const CdcParams& params() const noexcept { return params_; }
+
+ private:
+  CdcParams params_;
+  hash::RabinPoly poly_;
+  hash::RabinWindow prototype_;  // copied per split() call (cheap, ~2 KB)
+  std::uint64_t mask_;
+
+  /// Boundary pattern. Any fixed non-zero value works; non-zero avoids
+  /// declaring a boundary at every byte of long zero runs.
+  static constexpr std::uint64_t kMagic = ~std::uint64_t{0};
+};
+
+}  // namespace aadedupe::chunk

@@ -1,0 +1,14 @@
+#include "chunk/chunker.hpp"
+
+namespace aadedupe::chunk {
+
+bool is_exact_cover(const std::vector<ChunkRef>& chunks, std::uint64_t size) {
+  std::uint64_t pos = 0;
+  for (const ChunkRef& c : chunks) {
+    if (c.offset != pos || c.length == 0) return false;
+    pos += c.length;
+  }
+  return pos == size;
+}
+
+}  // namespace aadedupe::chunk

@@ -1,0 +1,45 @@
+// Chunking engine interface.
+//
+// A Chunker partitions a file's bytes into contiguous chunks. AA-Dedupe
+// selects one of three engines per application category (paper Section
+// III.C): WholeFileChunker for compressed files, StaticChunker (8 KB) for
+// static uncompressed files, CdcChunker (Rabin, 8 KB expected) for dynamic
+// uncompressed files.
+//
+// Implementations are immutable after construction and safe to use from
+// multiple threads concurrently.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace aadedupe::chunk {
+
+/// A chunk's position within its file.
+struct ChunkRef {
+  std::uint64_t offset = 0;
+  std::uint32_t length = 0;
+
+  friend bool operator==(const ChunkRef&, const ChunkRef&) = default;
+};
+
+class Chunker {
+ public:
+  virtual ~Chunker() = default;
+
+  /// Partition `data` into chunks covering it exactly, in order, with no
+  /// gaps or overlaps. An empty input yields no chunks.
+  virtual std::vector<ChunkRef> split(ConstByteSpan data) const = 0;
+
+  /// Short engine name for reports ("wfc", "sc", "cdc").
+  virtual std::string_view name() const noexcept = 0;
+};
+
+/// Check the split() postcondition (exact, ordered, gap-free cover).
+/// Used by tests and debug assertions.
+bool is_exact_cover(const std::vector<ChunkRef>& chunks, std::uint64_t size);
+
+}  // namespace aadedupe::chunk

@@ -1,0 +1,84 @@
+#include "chunk/fastcdc_chunker.hpp"
+
+#include "util/rng.hpp"
+
+namespace aadedupe::chunk {
+
+namespace {
+/// Spread mask bits across the word (FastCDC uses sparse masks so the
+/// gear hash's well-mixed high bits decide boundaries).
+std::uint64_t spread_mask(unsigned bits) {
+  // Place `bits` ones on even positions from the top.
+  std::uint64_t mask = 0;
+  unsigned placed = 0;
+  for (unsigned pos = 63; placed < bits && pos >= 1; pos -= 2) {
+    mask |= (std::uint64_t{1} << pos);
+    ++placed;
+  }
+  return mask;
+}
+
+unsigned log2_of_power_of_two(std::size_t v) {
+  unsigned bits = 0;
+  while ((std::size_t{1} << bits) < v) ++bits;
+  return bits;
+}
+}  // namespace
+
+FastCdcChunker::FastCdcChunker(FastCdcParams params, std::uint64_t gear_seed)
+    : params_(params) {
+  AAD_EXPECTS(params.valid());
+  const unsigned bits = log2_of_power_of_two(params.expected_size);
+  mask_small_ = spread_mask(bits + params.normalization);
+  mask_large_ = spread_mask(bits - params.normalization);
+  // Deterministic gear table (the published variant uses random constants;
+  // ours derive from a fixed seed so chunking is reproducible everywhere).
+  Xoshiro256 rng(gear_seed);
+  for (auto& g : gear_) g = rng.next();
+}
+
+std::vector<ChunkRef> FastCdcChunker::split(ConstByteSpan data) const {
+  std::vector<ChunkRef> out;
+  if (data.empty()) return out;
+  out.reserve(data.size() / params_.expected_size + 1);
+
+  const std::uint64_t size = data.size();
+  std::uint64_t start = 0;
+  while (start < size) {
+    const std::uint64_t remaining = size - start;
+    if (remaining <= params_.min_size) {
+      out.push_back(ChunkRef{start, static_cast<std::uint32_t>(remaining)});
+      break;
+    }
+    const std::uint64_t normal_point =
+        std::min<std::uint64_t>(params_.expected_size, remaining);
+    const std::uint64_t max_point =
+        std::min<std::uint64_t>(params_.max_size, remaining);
+
+    std::uint64_t fp = 0;
+    std::uint64_t cut = max_point;  // forced cut if no boundary found
+    // Skip the minimum region entirely (FastCDC's "cut-point skipping").
+    std::uint64_t i = params_.min_size;
+    for (; i < normal_point; ++i) {
+      fp = (fp << 1) + gear_[static_cast<std::uint8_t>(data[start + i])];
+      if ((fp & mask_small_) == 0) {
+        cut = i + 1;
+        break;
+      }
+    }
+    if (cut == max_point) {
+      for (; i < max_point; ++i) {
+        fp = (fp << 1) + gear_[static_cast<std::uint8_t>(data[start + i])];
+        if ((fp & mask_large_) == 0) {
+          cut = i + 1;
+          break;
+        }
+      }
+    }
+    out.push_back(ChunkRef{start, static_cast<std::uint32_t>(cut)});
+    start += cut;
+  }
+  return out;
+}
+
+}  // namespace aadedupe::chunk

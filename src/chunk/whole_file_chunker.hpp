@@ -1,0 +1,24 @@
+// Whole-File Chunking (WFC): the entire file is a single chunk.
+//
+// Per paper Observation 1 / Table I, compressed application data (AVI, MP3,
+// ISO, DMG, RAR, JPG) has essentially no sub-file redundancy, so file-level
+// duplicate detection loses nothing while slashing metadata and hash cost.
+#pragma once
+
+#include "chunk/chunker.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::chunk {
+
+class WholeFileChunker final : public Chunker {
+ public:
+  std::vector<ChunkRef> split(ConstByteSpan data) const override {
+    if (data.empty()) return {};
+    AAD_EXPECTS(data.size() <= 0xffffffffull);
+    return {ChunkRef{0, static_cast<std::uint32_t>(data.size())}};
+  }
+
+  std::string_view name() const noexcept override { return "wfc"; }
+};
+
+}  // namespace aadedupe::chunk

@@ -1,0 +1,77 @@
+// CloudTarget — the backup destination as seen by a scheme: an object
+// store behind a WAN link, with transfer-time and cost accounting.
+//
+// Every upload advances the simulated transfer clock by the WAN model's
+// duration for those bytes; session reports read the accumulated transfer
+// time to compute the backup window with the paper's pipelined-overlap
+// formula.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "cloud/cost_model.hpp"
+#include "cloud/object_store.hpp"
+#include "cloud/wan_link.hpp"
+#include "util/bytes.hpp"
+
+namespace aadedupe::cloud {
+
+class CloudTarget {
+ public:
+  CloudTarget() = default;
+  CloudTarget(WanLink link, CostModel cost) : link_(link), cost_(cost) {}
+
+  /// Upload an object; accounts request, bytes, and transfer time.
+  void upload(const std::string& key, ByteBuffer data) {
+    const std::uint64_t size = data.size();
+    store_.put(key, std::move(data));
+    std::lock_guard lock(mutex_);
+    transfer_seconds_ += link_.upload_seconds(size, 1);
+  }
+
+  /// Download an object; accounts request, bytes, and transfer time.
+  std::optional<ByteBuffer> download(const std::string& key) {
+    auto data = store_.get(key);
+    if (data) {
+      std::lock_guard lock(mutex_);
+      transfer_seconds_ += link_.download_seconds(data->size(), 1);
+    }
+    return data;
+  }
+
+  /// Accumulated simulated transfer time (upload + download) in seconds.
+  double transfer_seconds() const {
+    std::lock_guard lock(mutex_);
+    return transfer_seconds_;
+  }
+
+  /// Reset the transfer clock (e.g. at the start of a backup session).
+  void reset_transfer_clock() {
+    std::lock_guard lock(mutex_);
+    transfer_seconds_ = 0.0;
+  }
+
+  /// Monthly cost of the current cloud state given everything uploaded so
+  /// far (paper Section IV.E formula).
+  double monthly_cost() const {
+    const StoreStats s = store_.stats();
+    return cost_.monthly_cost(store_.stored_bytes(), s.bytes_uploaded,
+                              s.put_requests);
+  }
+
+  ObjectStore& store() noexcept { return store_; }
+  const ObjectStore& store() const noexcept { return store_; }
+  const WanLink& link() const noexcept { return link_; }
+  const CostModel& cost_model() const noexcept { return cost_; }
+
+ private:
+  ObjectStore store_;
+  WanLink link_;
+  CostModel cost_;
+  mutable std::mutex mutex_;
+  double transfer_seconds_ = 0.0;
+};
+
+}  // namespace aadedupe::cloud

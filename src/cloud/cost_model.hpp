@@ -1,0 +1,45 @@
+// Cloud cost model with the paper's Amazon S3 pricing (April 2011):
+//   $0.14 per GB-month of storage, $0.10 per GB of upload transfer,
+//   $0.01 per 1000 upload requests.
+// The paper's formula (Section IV.E):
+//   CC = DS/DR * (SP + TP) + OC * OP
+// i.e. post-dedup stored/transferred bytes times (storage + transfer price)
+// plus the request count times the per-request price.
+#pragma once
+
+#include <cstdint>
+
+namespace aadedupe::cloud {
+
+struct CostModel {
+  double storage_per_gb_month = 0.14;
+  double transfer_per_gb_upload = 0.10;
+  double per_1000_requests = 0.01;
+
+  static constexpr double kBytesPerGb = 1e9;
+
+  double storage_cost(std::uint64_t stored_bytes, double months = 1.0) const {
+    return static_cast<double>(stored_bytes) / kBytesPerGb *
+           storage_per_gb_month * months;
+  }
+
+  double transfer_cost(std::uint64_t uploaded_bytes) const {
+    return static_cast<double>(uploaded_bytes) / kBytesPerGb *
+           transfer_per_gb_upload;
+  }
+
+  double request_cost(std::uint64_t upload_requests) const {
+    return static_cast<double>(upload_requests) / 1000.0 * per_1000_requests;
+  }
+
+  /// One month of service for a given backed-up state: storage rent for
+  /// what ended up stored, plus what it cost to ship it there.
+  double monthly_cost(std::uint64_t stored_bytes,
+                      std::uint64_t uploaded_bytes,
+                      std::uint64_t upload_requests) const {
+    return storage_cost(stored_bytes) + transfer_cost(uploaded_bytes) +
+           request_cost(upload_requests);
+  }
+};
+
+}  // namespace aadedupe::cloud

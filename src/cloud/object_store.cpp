@@ -1,0 +1,145 @@
+#include "cloud/object_store.hpp"
+
+#include <fstream>
+#include <string_view>
+
+#include "util/check.hpp"
+
+namespace aadedupe::cloud {
+
+namespace {
+constexpr char kStoreMagic[8] = {'A', 'A', 'D', 'S', 'T', 'O', 'R', '1'};
+}  // namespace
+
+void ObjectStore::save_to_file(const std::string& path) const {
+  std::lock_guard lock(mutex_);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw FormatError("object store: cannot write " + path);
+  out.write(kStoreMagic, 8);
+  std::byte scratch[8];
+  store_le64(scratch, objects_.size());
+  out.write(reinterpret_cast<const char*>(scratch), 8);
+  for (const auto& [key, data] : objects_) {
+    store_le64(scratch, key.size());
+    out.write(reinterpret_cast<const char*>(scratch), 8);
+    out.write(key.data(), static_cast<std::streamsize>(key.size()));
+    store_le64(scratch, data.size());
+    out.write(reinterpret_cast<const char*>(scratch), 8);
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+  }
+  if (!out) throw FormatError("object store: write failed for " + path);
+}
+
+void ObjectStore::load_from_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw FormatError("object store: cannot read " + path);
+  char magic[8];
+  if (!in.read(magic, 8) || std::string_view(magic, 8) !=
+                                std::string_view(kStoreMagic, 8)) {
+    throw FormatError("object store: bad magic in " + path);
+  }
+  std::byte scratch[8];
+  auto read_u64 = [&]() -> std::uint64_t {
+    if (!in.read(reinterpret_cast<char*>(scratch), 8)) {
+      throw FormatError("object store: truncated image " + path);
+    }
+    return load_le64(scratch);
+  };
+  const std::uint64_t count = read_u64();
+  std::map<std::string, ByteBuffer> fresh;
+  std::uint64_t total = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t key_len = read_u64();
+    if (key_len > 4096) throw FormatError("object store: absurd key length");
+    std::string key(key_len, '\0');
+    if (!in.read(key.data(), static_cast<std::streamsize>(key_len))) {
+      throw FormatError("object store: truncated key");
+    }
+    const std::uint64_t data_len = read_u64();
+    ByteBuffer data(data_len);
+    if (data_len > 0 &&
+        !in.read(reinterpret_cast<char*>(data.data()),
+                 static_cast<std::streamsize>(data_len))) {
+      throw FormatError("object store: truncated object");
+    }
+    total += data_len;
+    fresh.emplace(std::move(key), std::move(data));
+  }
+  std::lock_guard lock(mutex_);
+  objects_ = std::move(fresh);
+  stored_bytes_ = total;
+}
+
+void ObjectStore::put(const std::string& key, ByteBuffer data) {
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.put_requests;
+    stats_.bytes_uploaded += data.size();
+  }
+  put_internal(key, std::move(data));
+}
+
+void ObjectStore::put_internal(const std::string& key, ByteBuffer data) {
+  std::lock_guard lock(mutex_);
+  auto it = objects_.find(key);
+  if (it != objects_.end()) {
+    stored_bytes_ -= it->second.size();
+    stored_bytes_ += data.size();
+    it->second = std::move(data);
+  } else {
+    stored_bytes_ += data.size();
+    objects_.emplace(key, std::move(data));
+  }
+}
+
+std::optional<ByteBuffer> ObjectStore::get(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  ++stats_.get_requests;
+  const auto it = objects_.find(key);
+  if (it == objects_.end()) return std::nullopt;
+  stats_.bytes_downloaded += it->second.size();
+  return it->second;  // copy: callers own their bytes
+}
+
+bool ObjectStore::remove(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  ++stats_.delete_requests;
+  const auto it = objects_.find(key);
+  if (it == objects_.end()) return false;
+  stored_bytes_ -= it->second.size();
+  objects_.erase(it);
+  return true;
+}
+
+bool ObjectStore::exists(const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  return objects_.contains(key);
+}
+
+std::vector<std::string> ObjectStore::list(const std::string& prefix) const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> keys;
+  for (auto it = objects_.lower_bound(prefix);
+       it != objects_.end() && it->first.starts_with(prefix); ++it) {
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+std::uint64_t ObjectStore::stored_bytes() const {
+  std::lock_guard lock(mutex_);
+  return stored_bytes_;
+}
+
+std::uint64_t ObjectStore::object_count() const {
+  std::lock_guard lock(mutex_);
+  return objects_.size();
+}
+
+StoreStats ObjectStore::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace aadedupe::cloud

@@ -1,0 +1,72 @@
+// Simulated cloud object store (the S3-like target of cloud backup).
+//
+// The paper's backend is Amazon S3; we substitute an in-memory key/object
+// store with full request and byte accounting so the cost model (per-GB
+// storage, per-GB upload, per-1000-requests) can be evaluated exactly.
+// Thread-safe: the uploader stage of the pipeline and restore readers may
+// touch it concurrently.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace aadedupe::cloud {
+
+struct StoreStats {
+  std::uint64_t put_requests = 0;
+  std::uint64_t get_requests = 0;
+  std::uint64_t delete_requests = 0;
+  std::uint64_t bytes_uploaded = 0;
+  std::uint64_t bytes_downloaded = 0;
+};
+
+class ObjectStore {
+ public:
+  /// Store (or overwrite) an object. Counts one put request.
+  void put(const std::string& key, ByteBuffer data);
+
+  /// Store an object WITHOUT request/byte accounting — for data placed by
+  /// the provider itself (e.g. a target-dedup server rewriting arrived
+  /// data), which never crossed the client's WAN.
+  void put_internal(const std::string& key, ByteBuffer data);
+
+  /// Fetch an object; nullopt when absent. Counts one get request.
+  std::optional<ByteBuffer> get(const std::string& key);
+
+  /// Remove an object; returns whether it existed. Counts one delete.
+  bool remove(const std::string& key);
+
+  bool exists(const std::string& key) const;
+
+  /// Keys with the given prefix, sorted.
+  std::vector<std::string> list(const std::string& prefix) const;
+
+  /// Total logical bytes currently stored (sum of object sizes).
+  std::uint64_t stored_bytes() const;
+
+  std::uint64_t object_count() const;
+
+  StoreStats stats() const;
+
+  /// Persist every object to a single file (demo-scale durability for the
+  /// backup_tool example; accounting counters are not persisted).
+  void save_to_file(const std::string& path) const;
+
+  /// Replace contents from a save_to_file() image. Throws FormatError on
+  /// malformed input.
+  void load_from_file(const std::string& path);
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, ByteBuffer> objects_;
+  std::uint64_t stored_bytes_ = 0;
+  StoreStats stats_;
+};
+
+}  // namespace aadedupe::cloud

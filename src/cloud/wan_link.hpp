@@ -1,0 +1,38 @@
+// WAN link model.
+//
+// The paper's testbed uplink is an 802.11g connection reaching about
+// 500 KB/s up and 1 MB/s down; the backup window for every
+// transfer-bound scheme is set by this uplink. The model charges
+// bytes/bandwidth plus a fixed per-request overhead — the paper's
+// motivation for container aggregation is precisely that "the overhead of
+// lower layer protocols can be high for small data transfers".
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace aadedupe::cloud {
+
+struct WanLink {
+  double upload_bytes_per_s = 500.0 * 1000.0;    // paper: ~500 KB/s
+  double download_bytes_per_s = 1000.0 * 1000.0; // paper: ~1 MB/s
+  /// Fixed cost per request (connection/protocol overhead + RTT).
+  double per_request_s = 0.012;
+
+  /// Wall-clock seconds to upload `bytes` across `requests` transfers.
+  double upload_seconds(std::uint64_t bytes, std::uint64_t requests) const {
+    AAD_EXPECTS(upload_bytes_per_s > 0);
+    return static_cast<double>(bytes) / upload_bytes_per_s +
+           static_cast<double>(requests) * per_request_s;
+  }
+
+  /// Wall-clock seconds to download `bytes` across `requests` transfers.
+  double download_seconds(std::uint64_t bytes, std::uint64_t requests) const {
+    AAD_EXPECTS(download_bytes_per_s > 0);
+    return static_cast<double>(bytes) / download_bytes_per_s +
+           static_cast<double>(requests) * per_request_s;
+  }
+};
+
+}  // namespace aadedupe::cloud

@@ -1,0 +1,124 @@
+#include "container/container.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace aadedupe::container {
+
+namespace {
+constexpr char kMagic[8] = {'A', 'A', 'D', 'C', 'O', 'N', 'T', '1'};
+constexpr std::size_t kFixedHeader = 8 + 8 + 4 + 4;
+}  // namespace
+
+ContainerBuilder::ContainerBuilder(std::uint64_t container_id,
+                                   std::size_t capacity)
+    : id_(container_id), capacity_(capacity) {
+  AAD_EXPECTS(capacity >= 1024);
+  payload_.reserve(capacity);
+}
+
+bool ContainerBuilder::fits(std::size_t size) const noexcept {
+  if (descriptors_.empty()) return true;  // oversized-single-chunk rule
+  return payload_.size() + size <= capacity_;
+}
+
+std::uint32_t ContainerBuilder::add(const hash::Digest& digest,
+                                    ConstByteSpan chunk) {
+  AAD_EXPECTS(!chunk.empty());
+  AAD_EXPECTS(chunk.size() <= 0xffffffffull);
+  AAD_EXPECTS(fits(chunk.size()));
+  const auto offset = static_cast<std::uint32_t>(payload_.size());
+  descriptors_.push_back(
+      ChunkDescriptor{digest, offset, static_cast<std::uint32_t>(chunk.size())});
+  append(payload_, chunk);
+  return offset;
+}
+
+ByteBuffer ContainerBuilder::seal(bool pad) const {
+  ByteBuffer out;
+  const bool oversized = payload_.size() > capacity_;
+  const std::size_t padded_payload =
+      (pad && !oversized) ? capacity_ : payload_.size();
+  out.reserve(kFixedHeader + descriptors_.size() * 29 + padded_payload);
+
+  append(out, ConstByteSpan{reinterpret_cast<const std::byte*>(kMagic), 8});
+  append_le64(out, id_);
+  append_le32(out, static_cast<std::uint32_t>(descriptors_.size()));
+  append_le32(out, static_cast<std::uint32_t>(payload_.size()));
+  for (const ChunkDescriptor& d : descriptors_) {
+    out.push_back(static_cast<std::byte>(d.digest.size()));
+    append(out, d.digest.bytes());
+    append_le32(out, d.offset);
+    append_le32(out, d.length);
+  }
+  append(out, payload_);
+  out.resize(out.size() + (padded_payload - payload_.size()), std::byte{0});
+  return out;
+}
+
+ContainerReader::ContainerReader(ByteBuffer serialized)
+    : raw_(std::move(serialized)) {
+  if (raw_.size() < kFixedHeader) {
+    throw FormatError("container: truncated header");
+  }
+  if (std::memcmp(raw_.data(), kMagic, 8) != 0) {
+    throw FormatError("container: bad magic");
+  }
+  id_ = load_le64(raw_.data() + 8);
+  const std::uint32_t descriptor_count = load_le32(raw_.data() + 16);
+  payload_size_ = load_le32(raw_.data() + 20);
+
+  std::size_t pos = kFixedHeader;
+  // Bound by what could fit (>= 9 bytes per descriptor on the wire): a
+  // corrupted count must not drive a huge allocation.
+  descriptors_.reserve(std::min<std::size_t>(
+      descriptor_count, (raw_.size() - kFixedHeader) / 9));
+  for (std::uint32_t i = 0; i < descriptor_count; ++i) {
+    if (pos >= raw_.size()) throw FormatError("container: truncated descriptor");
+    const auto digest_size = static_cast<std::size_t>(raw_[pos]);
+    ++pos;
+    if (digest_size == 0 || digest_size > hash::Digest::kMaxSize ||
+        pos + digest_size + 8 > raw_.size()) {
+      throw FormatError("container: bad descriptor");
+    }
+    ChunkDescriptor d;
+    d.digest = hash::Digest(ConstByteSpan{raw_.data() + pos, digest_size});
+    pos += digest_size;
+    d.offset = load_le32(raw_.data() + pos);
+    pos += 4;
+    d.length = load_le32(raw_.data() + pos);
+    pos += 4;
+    descriptors_.push_back(std::move(d));
+  }
+  payload_begin_ = pos;
+  if (payload_begin_ + payload_size_ > raw_.size()) {
+    throw FormatError("container: payload overruns object");
+  }
+  // Validate descriptors against the payload extent up front so chunk_at
+  // callers cannot be lured out of bounds by a crafted descriptor table.
+  for (const ChunkDescriptor& d : descriptors_) {
+    if (static_cast<std::size_t>(d.offset) + d.length > payload_size_) {
+      throw FormatError("container: descriptor outside payload");
+    }
+  }
+}
+
+ConstByteSpan ContainerReader::chunk_at(std::uint32_t offset,
+                                        std::uint32_t length) const {
+  if (static_cast<std::size_t>(offset) + length > payload_size_) {
+    throw FormatError("container: chunk read out of bounds");
+  }
+  return ConstByteSpan{raw_.data() + payload_begin_ + offset, length};
+}
+
+std::optional<ChunkDescriptor> ContainerReader::find(
+    const hash::Digest& digest) const {
+  for (const ChunkDescriptor& d : descriptors_) {
+    if (d.digest == digest) return d;
+  }
+  return std::nullopt;
+}
+
+}  // namespace aadedupe::container

@@ -1,0 +1,105 @@
+// Self-describing chunk containers (paper Section III.F).
+//
+// Deduplication turns large sequential writes into many small random ones;
+// shipping each new chunk or tiny file as its own WAN transfer would drown
+// in per-request overhead and S3 request fees. AA-Dedupe therefore appends
+// new data to an open per-stream container and ships the container as one
+// object when it reaches a fixed size (1 MB by default), padding it out if
+// it must be flushed early. A container is self-describing: a metadata
+// section holds the chunk descriptors for the stored chunks, so restore
+// needs nothing but the container bytes.
+//
+// Serialized layout (little-endian):
+//   magic "AADCONT1" | container_id u64 | descriptor_count u32 |
+//   payload_size u32 |
+//   descriptors: { digest_size u8 | digest bytes | offset u32 | length u32 }*
+//   payload bytes | zero padding (only for early-flushed fixed containers)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hash/digest.hpp"
+#include "util/bytes.hpp"
+
+namespace aadedupe::container {
+
+/// Default sealed-container size target from the paper.
+inline constexpr std::size_t kDefaultCapacity = 1024 * 1024;
+
+/// Descriptor of one chunk stored in a container.
+struct ChunkDescriptor {
+  hash::Digest digest;
+  std::uint32_t offset = 0;  // within the payload section
+  std::uint32_t length = 0;
+
+  friend bool operator==(const ChunkDescriptor&,
+                         const ChunkDescriptor&) = default;
+};
+
+/// Accumulates chunks for one container object, then serializes it.
+class ContainerBuilder {
+ public:
+  /// `capacity` bounds the payload size; a single chunk larger than the
+  /// capacity is still accepted into an *empty* builder (it becomes an
+  /// oversized single-chunk container, shipped unpadded).
+  explicit ContainerBuilder(std::uint64_t container_id,
+                            std::size_t capacity = kDefaultCapacity);
+
+  /// Whether `size` more payload bytes still fit.
+  bool fits(std::size_t size) const noexcept;
+
+  /// Append a chunk; returns its payload offset.
+  /// Precondition: fits(chunk.size()) || (empty() && chunk oversized).
+  std::uint32_t add(const hash::Digest& digest, ConstByteSpan chunk);
+
+  bool empty() const noexcept { return descriptors_.empty(); }
+  std::size_t payload_size() const noexcept { return payload_.size(); }
+  std::uint64_t id() const noexcept { return id_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  const std::vector<ChunkDescriptor>& descriptors() const noexcept {
+    return descriptors_;
+  }
+
+  /// Serialize. With `pad` the result is padded with zeros so that the
+  /// *payload section* occupies exactly `capacity` bytes (the paper pads
+  /// early-flushed containers to their full size); oversized containers
+  /// are never padded.
+  ByteBuffer seal(bool pad) const;
+
+ private:
+  std::uint64_t id_;
+  std::size_t capacity_;
+  std::vector<ChunkDescriptor> descriptors_;
+  ByteBuffer payload_;
+};
+
+/// Parses a serialized container and serves chunk reads.
+class ContainerReader {
+ public:
+  /// Throws FormatError on malformed input.
+  explicit ContainerReader(ByteBuffer serialized);
+
+  std::uint64_t id() const noexcept { return id_; }
+  const std::vector<ChunkDescriptor>& descriptors() const noexcept {
+    return descriptors_;
+  }
+
+  /// Payload bytes for a descriptor range. Throws FormatError if out of
+  /// bounds.
+  ConstByteSpan chunk_at(std::uint32_t offset, std::uint32_t length) const;
+
+  /// Find a chunk by fingerprint (linear over descriptors — containers
+  /// hold at most a few hundred chunks).
+  std::optional<ChunkDescriptor> find(const hash::Digest& digest) const;
+
+ private:
+  ByteBuffer raw_;
+  std::uint64_t id_ = 0;
+  std::vector<ChunkDescriptor> descriptors_;
+  std::size_t payload_begin_ = 0;
+  std::size_t payload_size_ = 0;
+};
+
+}  // namespace aadedupe::container

@@ -1,0 +1,59 @@
+#include "container/container_manager.hpp"
+
+#include "util/check.hpp"
+
+namespace aadedupe::container {
+
+ContainerManager::ContainerManager(ContainerIdAllocator& ids,
+                                   ContainerSink sink, std::size_t capacity,
+                                   bool pad_on_flush)
+    : ids_(&ids),
+      sink_(std::move(sink)),
+      capacity_(capacity),
+      pad_on_flush_(pad_on_flush) {
+  AAD_EXPECTS(sink_ != nullptr);
+  open_fresh();
+}
+
+ContainerManager::~ContainerManager() {
+  // Deliberately no implicit flush: an unflushed manager at destruction
+  // would silently lose data, which tests must be able to detect. Schemes
+  // call flush() at end of session.
+}
+
+void ContainerManager::open_fresh() {
+  open_ = std::make_unique<ContainerBuilder>(ids_->allocate(), capacity_);
+}
+
+void ContainerManager::ship(bool pad) {
+  ByteBuffer serialized = open_->seal(pad);
+  const std::size_t payload = open_->payload_size();
+  bytes_stored_ += serialized.size();
+  if (pad && payload < capacity_) padding_bytes_ += capacity_ - payload;
+  ++shipped_;
+  sink_(open_->id(), std::move(serialized));
+  open_fresh();
+}
+
+index::ChunkLocation ContainerManager::store(const hash::Digest& digest,
+                                             ConstByteSpan chunk) {
+  if (!open_->fits(chunk.size())) {
+    ship(/*pad=*/false);  // full (or chunk oversized): seal at natural size
+  }
+  const std::uint32_t offset = open_->add(digest, chunk);
+  index::ChunkLocation loc{open_->id(), offset,
+                           static_cast<std::uint32_t>(chunk.size())};
+  // An at-capacity container ships immediately so its chunks become
+  // durable in order.
+  if (open_->payload_size() >= capacity_) {
+    ship(/*pad=*/false);
+  }
+  return loc;
+}
+
+void ContainerManager::flush() {
+  if (open_->empty()) return;
+  ship(pad_on_flush_);
+}
+
+}  // namespace aadedupe::container

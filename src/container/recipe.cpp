@@ -1,0 +1,114 @@
+#include "container/recipe.hpp"
+
+#include <algorithm>
+#include "util/check.hpp"
+
+namespace aadedupe::container {
+
+void RecipeStore::put(FileRecipe recipe) {
+  AAD_EXPECTS(!recipe.path.empty());
+  std::uint64_t total = 0;
+  for (const RecipeEntry& e : recipe.entries) total += e.location.length;
+  AAD_EXPECTS(total == recipe.file_size);
+  recipes_[recipe.path] = std::move(recipe);
+}
+
+const FileRecipe* RecipeStore::find(const std::string& path) const {
+  const auto it = recipes_.find(path);
+  return it == recipes_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> RecipeStore::paths() const {
+  std::vector<std::string> out;
+  out.reserve(recipes_.size());
+  for (const auto& [path, recipe] : recipes_) out.push_back(path);
+  return out;
+}
+
+ByteBuffer RecipeStore::serialize() const {
+  ByteBuffer out;
+  append_le32(out, static_cast<std::uint32_t>(recipes_.size()));
+  for (const auto& [path, recipe] : recipes_) {
+    append_le32(out, static_cast<std::uint32_t>(path.size()));
+    append(out, as_bytes(path));
+    append_le64(out, recipe.file_size);
+    append_le32(out, static_cast<std::uint32_t>(recipe.tag.size()));
+    append(out, as_bytes(recipe.tag));
+    append_le32(out, static_cast<std::uint32_t>(recipe.entries.size()));
+    for (const RecipeEntry& e : recipe.entries) {
+      out.push_back(static_cast<std::byte>(e.digest.size()));
+      append(out, e.digest.bytes());
+      append_le64(out, e.location.container_id);
+      append_le32(out, e.location.offset);
+      append_le32(out, e.location.length);
+    }
+  }
+  return out;
+}
+
+RecipeStore RecipeStore::deserialize(ConstByteSpan image) {
+  RecipeStore store;
+  if (image.size() < 4) throw FormatError("recipe store: missing header");
+  const std::uint32_t file_count = load_le32(image.data());
+  std::size_t pos = 4;
+  for (std::uint32_t f = 0; f < file_count; ++f) {
+    if (pos + 4 > image.size()) throw FormatError("recipe store: truncated");
+    const std::uint32_t path_len = load_le32(image.data() + pos);
+    pos += 4;
+    if (pos + path_len + 12 > image.size()) {
+      throw FormatError("recipe store: truncated path");
+    }
+    FileRecipe recipe;
+    recipe.path = to_string(image.subspan(pos, path_len));
+    pos += path_len;
+    recipe.file_size = load_le64(image.data() + pos);
+    pos += 8;
+    const std::uint32_t tag_len = load_le32(image.data() + pos);
+    pos += 4;
+    if (pos + tag_len + 4 > image.size()) {
+      throw FormatError("recipe store: truncated tag");
+    }
+    recipe.tag = to_string(image.subspan(pos, tag_len));
+    pos += tag_len;
+    const std::uint32_t entry_count = load_le32(image.data() + pos);
+    pos += 4;
+    // Bound the reservation by what could possibly fit in the image — a
+    // corrupted count must not trigger a huge allocation.
+    recipe.entries.reserve(
+        std::min<std::size_t>(entry_count, (image.size() - pos) / 17));
+    for (std::uint32_t i = 0; i < entry_count; ++i) {
+      if (pos >= image.size()) throw FormatError("recipe store: truncated entry");
+      const auto digest_size = static_cast<std::size_t>(image[pos]);
+      ++pos;
+      if (digest_size == 0 || digest_size > hash::Digest::kMaxSize ||
+          pos + digest_size + 16 > image.size()) {
+        throw FormatError("recipe store: bad entry");
+      }
+      RecipeEntry e;
+      e.digest = hash::Digest(image.subspan(pos, digest_size));
+      pos += digest_size;
+      e.location.container_id = load_le64(image.data() + pos);
+      pos += 8;
+      e.location.offset = load_le32(image.data() + pos);
+      pos += 4;
+      e.location.length = load_le32(image.data() + pos);
+      pos += 4;
+      recipe.entries.push_back(std::move(e));
+    }
+    // Validate here (FormatError) rather than relying on put()'s
+    // precondition check — this is untrusted external data.
+    std::uint64_t entry_total = 0;
+    for (const RecipeEntry& e : recipe.entries) {
+      entry_total += e.location.length;
+    }
+    if (entry_total != recipe.file_size || recipe.path.empty()) {
+      throw FormatError("recipe store: inconsistent recipe for '" +
+                        recipe.path + "'");
+    }
+    store.put(std::move(recipe));
+  }
+  if (pos != image.size()) throw FormatError("recipe store: trailing bytes");
+  return store;
+}
+
+}  // namespace aadedupe::container

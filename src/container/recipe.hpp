@@ -1,0 +1,63 @@
+// File recipes: the per-file metadata that maps a backed-up file to the
+// cloud locations of its chunks, in order. Restore walks the recipe,
+// fetches each referenced container, and reassembles the file. Recipes are
+// the "metadata for the file updated to point to the location of the
+// existing chunk" in the paper's architecture (Section III.A).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hash/digest.hpp"
+#include "index/chunk_index.hpp"
+#include "util/bytes.hpp"
+
+namespace aadedupe::container {
+
+struct RecipeEntry {
+  hash::Digest digest;
+  index::ChunkLocation location;
+
+  friend bool operator==(const RecipeEntry&, const RecipeEntry&) = default;
+};
+
+struct FileRecipe {
+  std::string path;
+  std::uint64_t file_size = 0;
+  /// Application tag: the index-partition key this file's chunks were
+  /// deduplicated under (empty for unindexed data, e.g. tiny files).
+  /// Garbage collection uses it to rebuild the application-aware index
+  /// from retained recipes.
+  std::string tag;
+  std::vector<RecipeEntry> entries;  // in file order; sum of lengths == size
+
+  friend bool operator==(const FileRecipe&, const FileRecipe&) = default;
+};
+
+/// Recipes for one backup session (path -> recipe). Serializable so a
+/// session's full metadata can itself be shipped to the cloud.
+class RecipeStore {
+ public:
+  /// Insert or replace the recipe for recipe.path.
+  void put(FileRecipe recipe);
+
+  const FileRecipe* find(const std::string& path) const;
+
+  std::size_t size() const noexcept { return recipes_.size(); }
+
+  /// Paths in sorted order.
+  std::vector<std::string> paths() const;
+
+  ByteBuffer serialize() const;
+
+  /// Throws FormatError on malformed input.
+  static RecipeStore deserialize(ConstByteSpan image);
+
+ private:
+  std::map<std::string, FileRecipe> recipes_;
+};
+
+}  // namespace aadedupe::container

@@ -1,0 +1,715 @@
+#include "core/aa_dedupe.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "backup/keys.hpp"
+#include "core/upload_pipeline.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::core {
+
+namespace {
+/// Partition key for the tiny-file stream (bypasses dedup entirely).
+const std::string kTinyStream = "tiny";
+}  // namespace
+
+AaDedupeScheme::AaDedupeScheme(cloud::CloudTarget& target,
+                               AaDedupeOptions options)
+    : BackupScheme(target),
+      options_(options),
+      policy_(options.policy),
+      size_filter_(options.tiny_file_threshold) {
+  if (options_.parallel) {
+    pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
+  }
+  if (options_.convergent_encryption) {
+    master_key_ = crypto::derive_master_key(options_.passphrase);
+  }
+}
+
+AaDedupeScheme::StreamResult AaDedupeScheme::process_stream(
+    const std::string& partition,
+    const std::vector<const dataset::FileEntry*>& files,
+    UploadPipeline& pipeline) {
+  StreamResult result;
+  result.recipes.reserve(files.size());
+
+  // One open container per stream (paper Section III.F); sealed ones go to
+  // the pipelined uploader.
+  container::ContainerManager manager(
+      container_ids_,
+      [&pipeline](std::uint64_t id, ByteBuffer bytes) {
+        pipeline.enqueue(backup::keys::container_object(id),
+                         std::move(bytes));
+      },
+      options_.container_capacity);
+
+  const bool tiny_stream = partition == kTinyStream;
+  index::ChunkIndex* shard =
+      tiny_stream ? nullptr : &index_.shard(partition);
+
+  // Secure dedup: encrypt a plaintext chunk under its content-derived key
+  // and remember the key for restore. Returns the ciphertext view.
+  ByteBuffer crypt_scratch;
+  const auto seal_chunk = [&](const hash::Digest& digest,
+                              ConstByteSpan plaintext) -> ConstByteSpan {
+    if (!options_.convergent_encryption) return plaintext;
+    const crypto::ChaChaKey key = crypto::derive_content_key(plaintext);
+    crypt_scratch.assign(plaintext.begin(), plaintext.end());
+    crypto::convergent_encrypt(key, crypt_scratch);
+    {
+      std::lock_guard lock(key_store_mutex_);
+      key_store_.put(digest, key);
+    }
+    return crypt_scratch;
+  };
+
+  ByteBuffer content;
+  for (const dataset::FileEntry* file : files) {
+    dataset::materialize_into(file->content, content);
+    container::FileRecipe recipe;
+    recipe.path = file->path;
+    recipe.file_size = content.size();
+    recipe.tag = tiny_stream ? std::string() : partition;
+
+    if (tiny_stream) {
+      // Tiny files skip dedup: a cheap Rabin-96 tag labels the container
+      // descriptor, and the bytes are packed directly.
+      if (!content.empty()) {
+        const hash::Digest digest = hash::Rabin96::hash(content);
+        const index::ChunkLocation loc =
+            manager.store(digest, seal_chunk(digest, content));
+        recipe.entries.push_back(container::RecipeEntry{digest, loc});
+      }
+      result.recipes.push_back(std::move(recipe));
+      continue;
+    }
+
+    const CategoryPolicy policy = policy_.for_kind(file->kind);
+    for (const chunk::ChunkRef& ref : policy.chunker->split(content)) {
+      const ConstByteSpan chunk_bytes =
+          ConstByteSpan{content}.subspan(ref.offset, ref.length);
+      const hash::Digest digest =
+          hash::compute_digest(policy.hash_kind, chunk_bytes);
+      index::ChunkLocation location;
+      if (const auto existing = shard->lookup(digest)) {
+        location = *existing;
+      } else {
+        location = manager.store(digest, seal_chunk(digest, chunk_bytes));
+        shard->insert(digest, location);
+      }
+      recipe.entries.push_back(container::RecipeEntry{digest, location});
+    }
+    result.recipes.push_back(std::move(recipe));
+  }
+  manager.flush();
+  return result;
+}
+
+void AaDedupeScheme::run_session(const dataset::Snapshot& snapshot) {
+  latest_session_ = snapshot.session;
+
+  // Route files to application streams: tiny files to the packing stream,
+  // everything else to its file-type stream (= index partition).
+  std::map<std::string, std::vector<const dataset::FileEntry*>> streams;
+  for (const dataset::FileEntry& file : snapshot.files) {
+    const std::string key = size_filter_.is_tiny(file.size())
+                                ? kTinyStream
+                                : DedupPolicy::partition_key(file.kind);
+    streams[key].push_back(&file);
+  }
+
+  UploadPipeline pipeline(target());
+  std::vector<StreamResult> results(streams.size());
+
+  if (pool_) {
+    // Observation 2 makes streams independent: deduplicate them in
+    // parallel, each against its own index shard and container.
+    std::vector<std::pair<const std::string*,
+                          const std::vector<const dataset::FileEntry*>*>>
+        work;
+    work.reserve(streams.size());
+    for (const auto& [key, files] : streams) work.push_back({&key, &files});
+    pool_->parallel_for(work.size(), [&](std::size_t i) {
+      results[i] = process_stream(*work[i].first, *work[i].second, pipeline);
+    });
+  } else {
+    std::size_t i = 0;
+    for (const auto& [key, files] : streams) {
+      results[i++] = process_stream(key, files, pipeline);
+    }
+  }
+
+  container::RecipeStore recipes;
+  for (StreamResult& result : results) {
+    for (container::FileRecipe& recipe : result.recipes) {
+      recipes.put(std::move(recipe));
+    }
+  }
+
+  // Periodic metadata synchronization: recipes plus the application-aware
+  // index image, shipped through the same pipeline.
+  pipeline.enqueue(
+      backup::keys::session_meta(name(), snapshot.session, "recipes"),
+      recipes.serialize());
+  if (options_.sync_index) {
+    pipeline.enqueue(
+        backup::keys::session_meta(name(), snapshot.session, "index"),
+        index_.serialize());
+  }
+  if (options_.convergent_encryption) {
+    // The wrapped key store is itself ciphertext — safe to sync.
+    pipeline.enqueue(
+        backup::keys::session_meta(name(), snapshot.session, "keys"),
+        key_store_.serialize(master_key_));
+  }
+  pipeline.finish();
+
+  history_[snapshot.session] = recipes;
+  recipes_ = std::move(recipes);
+  reader_cache_.clear();  // cloud contents changed
+}
+
+GcReport AaDedupeScheme::collect_garbage(std::uint32_t keep_sessions,
+                                         const GcOptions& options) {
+  AAD_EXPECTS(keep_sessions >= 1);
+  AAD_EXPECTS(options.rewrite_threshold >= 0.0 &&
+              options.rewrite_threshold <= 1.0);
+  GcReport report;
+  if (history_.empty()) return report;
+
+  // 1. Retention: keep the newest `keep_sessions` sessions; expired
+  // sessions lose their cloud metadata objects.
+  while (history_.size() > keep_sessions) {
+    const std::uint32_t expired = history_.begin()->first;
+    target().store().remove(
+        backup::keys::session_meta(name(), expired, "recipes"));
+    target().store().remove(
+        backup::keys::session_meta(name(), expired, "index"));
+    target().store().remove(
+        backup::keys::session_meta(name(), expired, "keys"));
+    history_.erase(history_.begin());
+    ++report.sessions_expired;
+  }
+  report.sessions_retained = static_cast<std::uint32_t>(history_.size());
+
+  // 2. Liveness: every (container, offset) a retained recipe references.
+  struct LiveRef {
+    hash::Digest digest;
+    index::ChunkLocation location;
+  };
+  std::map<std::uint64_t, std::map<std::uint32_t, LiveRef>> live;
+  for (const auto& [session, recipes] : history_) {
+    for (const std::string& path : recipes.paths()) {
+      const container::FileRecipe* recipe = recipes.find(path);
+      for (const container::RecipeEntry& entry : recipe->entries) {
+        live[entry.location.container_id].emplace(
+            entry.location.offset, LiveRef{entry.digest, entry.location});
+      }
+    }
+  }
+
+  // 3. Sweep containers: delete dead ones, rewrite under-utilized ones.
+  // `remap` records where relocated chunks now live, keyed by old
+  // (container, offset).
+  std::map<std::pair<std::uint64_t, std::uint32_t>, index::ChunkLocation>
+      remap;
+  container::ContainerManager rewriter(
+      container_ids_,
+      [this](std::uint64_t id, ByteBuffer bytes) {
+        target().upload(backup::keys::container_object(id), std::move(bytes));
+      },
+      options_.container_capacity);
+
+  for (const std::string& key : target().store().list("containers/")) {
+    ++report.containers_scanned;
+    auto object = target().store().get(key);
+    if (!object) continue;
+    const std::uint64_t object_size = object->size();
+    container::ContainerReader reader(std::move(*object));
+
+    const auto live_it = live.find(reader.id());
+    if (live_it == live.end()) {
+      target().store().remove(key);
+      ++report.containers_deleted;
+      report.bytes_reclaimed += object_size;
+      continue;
+    }
+
+    std::uint64_t live_bytes = 0, payload_bytes = 0;
+    for (const container::ChunkDescriptor& d : reader.descriptors()) {
+      payload_bytes += d.length;
+      if (live_it->second.contains(d.offset)) live_bytes += d.length;
+    }
+    const double utilization =
+        payload_bytes == 0
+            ? 0.0
+            : static_cast<double>(live_bytes) /
+                  static_cast<double>(payload_bytes);
+    if (utilization >= options.rewrite_threshold || live_bytes == 0) {
+      continue;  // healthy container (fully-dead handled above)
+    }
+
+    // Rewrite: copy live chunks into fresh containers.
+    for (const auto& [offset, ref] : live_it->second) {
+      const ConstByteSpan chunk =
+          reader.chunk_at(offset, ref.location.length);
+      const index::ChunkLocation fresh = rewriter.store(ref.digest, chunk);
+      remap[{reader.id(), offset}] = fresh;
+      ++report.chunks_relocated;
+      report.live_bytes_copied += chunk.size();
+    }
+    target().store().remove(key);
+    ++report.containers_rewritten;
+    report.bytes_reclaimed += object_size;
+  }
+  rewriter.flush();
+
+  // 4. Repoint retained recipes at the relocated chunks and rebuild the
+  // application-aware index from them (dead fingerprints drop out, so no
+  // future session can dedup against a reclaimed chunk).
+  index_.clear();
+  crypto::KeyStore live_keys;
+  for (auto& [session, recipes] : history_) {
+    container::RecipeStore updated;
+    for (const std::string& path : recipes.paths()) {
+      container::FileRecipe recipe = *recipes.find(path);
+      for (container::RecipeEntry& entry : recipe.entries) {
+        const auto it = remap.find(
+            {entry.location.container_id, entry.location.offset});
+        if (it != remap.end()) entry.location = it->second;
+        if (options_.convergent_encryption) {
+          std::lock_guard lock(key_store_mutex_);
+          if (const auto key = key_store_.get(entry.digest)) {
+            live_keys.put(entry.digest, *key);
+          }
+        }
+      }
+      if (!recipe.tag.empty()) {
+        index::ChunkIndex& shard = index_.shard(recipe.tag);
+        for (const container::RecipeEntry& entry : recipe.entries) {
+          shard.insert(entry.digest, entry.location);
+        }
+      }
+      updated.put(std::move(recipe));
+    }
+    target().upload(backup::keys::session_meta(name(), session, "recipes"),
+                    updated.serialize());
+    recipes = std::move(updated);
+  }
+  if (options_.convergent_encryption) {
+    // Content keys of reclaimed chunks are dropped with them.
+    std::lock_guard lock(key_store_mutex_);
+    key_store_ = std::move(live_keys);
+    target().upload(backup::keys::session_meta(
+                        name(), history_.rbegin()->first, "keys"),
+                    key_store_.serialize(master_key_));
+  }
+  if (options_.sync_index && !history_.empty()) {
+    target().upload(backup::keys::session_meta(
+                        name(), history_.rbegin()->first, "index"),
+                    index_.serialize());
+  }
+  recipes_ = history_.rbegin()->second;
+  reader_cache_.clear();
+  return report;
+}
+
+namespace {
+constexpr char kStateMagic[8] = {'A', 'A', 'D', 'S', 'T', 'A', 'T', '1'};
+
+void append_sized(ByteBuffer& out, const ByteBuffer& blob) {
+  append_le64(out, blob.size());
+  append(out, blob);
+}
+
+ConstByteSpan read_sized(ConstByteSpan image, std::size_t& pos) {
+  if (pos + 8 > image.size()) throw FormatError("state: truncated length");
+  const std::uint64_t len = load_le64(image.data() + pos);
+  pos += 8;
+  if (pos + len > image.size()) throw FormatError("state: truncated blob");
+  const ConstByteSpan blob = image.subspan(pos, len);
+  pos += len;
+  return blob;
+}
+}  // namespace
+
+ByteBuffer AaDedupeScheme::export_state() const {
+  ByteBuffer out;
+  append(out, ConstByteSpan{reinterpret_cast<const std::byte*>(kStateMagic),
+                            8});
+  append_le32(out, options_.convergent_encryption ? 1u : 0u);
+  append_le32(out, latest_session_);
+  append_le64(out, container_ids_.next_id());
+  append_sized(out, index_.serialize());
+  append_le32(out, static_cast<std::uint32_t>(history_.size()));
+  for (const auto& [session, recipes] : history_) {
+    append_le32(out, session);
+    append_sized(out, recipes.serialize());
+  }
+  if (options_.convergent_encryption) {
+    std::lock_guard lock(key_store_mutex_);
+    append_sized(out, key_store_.serialize(master_key_));
+  }
+  return out;
+}
+
+void AaDedupeScheme::import_state(ConstByteSpan image) {
+  if (image.size() < 24 ||
+      std::memcmp(image.data(), kStateMagic, 8) != 0) {
+    throw FormatError("state: bad magic");
+  }
+  std::size_t pos = 8;
+  const std::uint32_t encrypted = load_le32(image.data() + pos);
+  pos += 4;
+  if ((encrypted != 0) != options_.convergent_encryption) {
+    throw FormatError("state: encryption mode mismatch with options");
+  }
+  const std::uint32_t latest = load_le32(image.data() + pos);
+  pos += 4;
+  const std::uint64_t next_container = load_le64(image.data() + pos);
+  pos += 8;
+
+  const ConstByteSpan index_blob = read_sized(image, pos);
+
+  if (pos + 4 > image.size()) throw FormatError("state: truncated history");
+  const std::uint32_t session_count = load_le32(image.data() + pos);
+  pos += 4;
+  std::map<std::uint32_t, container::RecipeStore> fresh_history;
+  for (std::uint32_t i = 0; i < session_count; ++i) {
+    if (pos + 4 > image.size()) throw FormatError("state: truncated session");
+    const std::uint32_t session = load_le32(image.data() + pos);
+    pos += 4;
+    fresh_history.emplace(
+        session, container::RecipeStore::deserialize(read_sized(image, pos)));
+  }
+
+  crypto::KeyStore fresh_keys;
+  if (options_.convergent_encryption) {
+    fresh_keys = crypto::KeyStore::deserialize(read_sized(image, pos),
+                                               master_key_);
+  }
+  if (pos != image.size()) throw FormatError("state: trailing bytes");
+  if (fresh_history.empty() && session_count != 0) {
+    throw FormatError("state: inconsistent history");
+  }
+
+  // Commit. PartitionedIndex::deserialize is internally all-or-nothing,
+  // and everything else above has already been validated.
+  index_.deserialize(index_blob);
+  history_ = std::move(fresh_history);
+  recipes_ = history_.empty() ? container::RecipeStore{}
+                              : history_.rbegin()->second;
+  latest_session_ = latest;
+  container_ids_.reset(next_container);
+  {
+    std::lock_guard lock(key_store_mutex_);
+    key_store_ = std::move(fresh_keys);
+  }
+  reader_cache_.clear();
+}
+
+std::vector<AaDedupeScheme::ApplicationStats>
+AaDedupeScheme::application_stats() const {
+  // Index-side counters per partition.
+  std::map<std::string, ApplicationStats> rows;
+  auto& index = const_cast<index::PartitionedIndex&>(index_);
+  for (const std::string& partition : index_.partitions()) {
+    ApplicationStats row;
+    row.partition = partition;
+    const index::ChunkIndex& shard = index.shard(partition);
+    row.index_entries = shard.size();
+    const index::IndexStats stats = shard.stats();
+    row.index_lookups = stats.lookups;
+    row.index_hits = stats.hits;
+    rows.emplace(partition, std::move(row));
+  }
+  rows.emplace("tiny", ApplicationStats{"tiny", "-", "-", 0, 0, 0, 0, 0, 0});
+
+  // Latest-session composition from the recipes.
+  for (const std::string& path : recipes_.paths()) {
+    const container::FileRecipe* recipe = recipes_.find(path);
+    const std::string key = recipe->tag.empty() ? "tiny" : recipe->tag;
+    ApplicationStats& row = rows[key];
+    if (row.partition.empty()) row.partition = key;
+    ++row.session_files;
+    row.session_bytes += recipe->file_size;
+    row.session_chunks += recipe->entries.size();
+  }
+
+  // Fill in the policy columns for real partitions; "tiny" goes last.
+  std::vector<ApplicationStats> out;
+  out.reserve(rows.size());
+  for (auto& [key, row] : rows) {
+    if (key == "tiny") continue;
+    for (const dataset::FileKind kind : dataset::all_file_kinds()) {
+      if (key == dataset::extension(kind)) {
+        const CategoryPolicy policy = policy_.for_kind(kind);
+        row.chunker = std::string(policy.chunker->name());
+        row.hash = std::string(hash::to_string(policy.hash_kind));
+        break;
+      }
+    }
+    out.push_back(std::move(row));
+  }
+  out.push_back(std::move(rows.at("tiny")));
+  return out;
+}
+
+AaDedupeScheme::ScrubReport AaDedupeScheme::scrub() {
+  if (history_.empty()) return ScrubReport{};
+  return scrub(history_.rbegin()->first);
+}
+
+AaDedupeScheme::ScrubReport AaDedupeScheme::scrub(std::uint32_t session) {
+  const auto it = history_.find(session);
+  if (it == history_.end()) {
+    throw FormatError("aa-dedupe: session " + std::to_string(session) +
+                      " is not retained");
+  }
+  const container::RecipeStore& recipes = it->second;
+
+  ScrubReport report;
+  std::map<std::uint64_t, std::shared_ptr<container::ContainerReader>>
+      readers;
+  auto note_damage = [&report](const std::string& path) {
+    if (report.damaged_paths.size() < 100 &&
+        (report.damaged_paths.empty() ||
+         report.damaged_paths.back() != path)) {
+      report.damaged_paths.push_back(path);
+    }
+  };
+
+  ByteBuffer scratch;
+  for (const std::string& path : recipes.paths()) {
+    const container::FileRecipe* recipe = recipes.find(path);
+    ++report.files_checked;
+    for (const container::RecipeEntry& entry : recipe->entries) {
+      ++report.chunks_checked;
+      report.bytes_checked += entry.location.length;
+
+      auto reader_it = readers.find(entry.location.container_id);
+      if (reader_it == readers.end()) {
+        auto object = target().download(
+            backup::keys::container_object(entry.location.container_id));
+        if (!object) {
+          ++report.missing_containers;
+          note_damage(path);
+          readers.emplace(entry.location.container_id, nullptr);
+          continue;
+        }
+        std::shared_ptr<container::ContainerReader> reader;
+        try {
+          reader = std::make_shared<container::ContainerReader>(
+              std::move(*object));
+        } catch (const FormatError&) {
+          // Unparseable container counts as missing.
+          ++report.missing_containers;
+          note_damage(path);
+        }
+        reader_it =
+            readers.emplace(entry.location.container_id, std::move(reader))
+                .first;
+        if (reader_it->second == nullptr) continue;
+      } else if (reader_it->second == nullptr) {
+        note_damage(path);
+        continue;
+      }
+
+      ConstByteSpan stored;
+      try {
+        stored = reader_it->second->chunk_at(entry.location.offset,
+                                             entry.location.length);
+      } catch (const FormatError&) {
+        ++report.corrupt_chunks;
+        note_damage(path);
+        continue;
+      }
+
+      // Recover plaintext if encrypted, then recompute the fingerprint.
+      ConstByteSpan plaintext = stored;
+      if (options_.convergent_encryption) {
+        std::optional<crypto::ChaChaKey> key;
+        {
+          std::lock_guard lock(key_store_mutex_);
+          key = key_store_.get(entry.digest);
+        }
+        if (!key) {
+          ++report.missing_keys;
+          note_damage(path);
+          continue;
+        }
+        scratch.assign(stored.begin(), stored.end());
+        crypto::convergent_decrypt(*key, scratch);
+        plaintext = scratch;
+      }
+      const hash::HashKind kind =
+          entry.digest.size() == hash::Rabin96::kDigestSize
+              ? hash::HashKind::kRabin96
+          : entry.digest.size() == hash::Md5::kDigestSize
+              ? hash::HashKind::kMd5
+              : hash::HashKind::kSha1;
+      if (hash::compute_digest(kind, plaintext) != entry.digest) {
+        ++report.corrupt_chunks;
+        note_damage(path);
+      }
+    }
+  }
+  return report;
+}
+
+std::uint32_t AaDedupeScheme::bootstrap_from_cloud() {
+  // Session recipe objects live under "meta/<name>/s<N>/recipes".
+  const std::string prefix = "meta/" + std::string(name()) + "/s";
+  std::map<std::uint32_t, container::RecipeStore> recovered;
+  for (const std::string& key : target().store().list(prefix)) {
+    const std::size_t session_begin = prefix.size();
+    const std::size_t slash = key.find('/', session_begin);
+    if (slash == std::string::npos ||
+        key.substr(slash + 1) != "recipes") {
+      continue;
+    }
+    std::uint32_t session = 0;
+    for (std::size_t i = session_begin; i < slash; ++i) {
+      if (key[i] < '0' || key[i] > '9') {
+        session = ~std::uint32_t{0};
+        break;
+      }
+      session = session * 10 + static_cast<std::uint32_t>(key[i] - '0');
+    }
+    if (session == ~std::uint32_t{0}) continue;
+    auto image = target().download(key);
+    if (!image) continue;
+    recovered.emplace(session,
+                      container::RecipeStore::deserialize(*image));
+  }
+  if (recovered.empty()) return 0;
+  const std::uint32_t latest = recovered.rbegin()->first;
+
+  // The index image of the latest session (if synced) restores dedup
+  // state directly; otherwise rebuild it from the recovered recipes.
+  index_.clear();
+  bool index_loaded = false;
+  if (auto image = target().download(
+          backup::keys::session_meta(name(), latest, "index"))) {
+    index_.deserialize(*image);
+    index_loaded = true;
+  }
+  if (!index_loaded) {
+    for (const auto& [session, recipes] : recovered) {
+      for (const std::string& path : recipes.paths()) {
+        const container::FileRecipe* recipe = recipes.find(path);
+        if (recipe->tag.empty()) continue;
+        index::ChunkIndex& shard = index_.shard(recipe->tag);
+        for (const auto& entry : recipe->entries) {
+          shard.insert(entry.digest, entry.location);
+        }
+      }
+    }
+  }
+
+  if (options_.convergent_encryption) {
+    auto image = target().download(
+        backup::keys::session_meta(name(), latest, "keys"));
+    if (!image) {
+      throw FormatError(
+          "aa-dedupe: cloud holds no key store; encrypted chunks would be "
+          "unrestorable");
+    }
+    std::lock_guard lock(key_store_mutex_);
+    key_store_ = crypto::KeyStore::deserialize(*image, master_key_);
+  }
+
+  // Container ids resume beyond everything present in the cloud.
+  std::uint64_t max_container = 0;
+  for (const std::string& key : target().store().list("containers/c")) {
+    const std::uint64_t id = std::strtoull(key.c_str() + 12, nullptr, 10);
+    max_container = std::max(max_container, id);
+  }
+  container_ids_.reset(max_container + 1);
+
+  history_ = std::move(recovered);
+  recipes_ = history_.rbegin()->second;
+  latest_session_ = latest;
+  reader_cache_.clear();
+  return static_cast<std::uint32_t>(history_.size());
+}
+
+ByteBuffer AaDedupeScheme::restore_file(const std::string& path) {
+  const container::FileRecipe* recipe = recipes_.find(path);
+  if (recipe == nullptr) throw FormatError("aa-dedupe: unknown path " + path);
+  return restore_recipe(*recipe);
+}
+
+ByteBuffer AaDedupeScheme::restore_file_at(const std::string& path,
+                                           std::uint32_t session) {
+  const auto it = history_.find(session);
+  if (it == history_.end()) {
+    throw FormatError("aa-dedupe: session " + std::to_string(session) +
+                      " is not restorable (never backed up or expired)");
+  }
+  const container::FileRecipe* recipe = it->second.find(path);
+  if (recipe == nullptr) {
+    throw FormatError("aa-dedupe: path " + path + " not in session " +
+                      std::to_string(session));
+  }
+  return restore_recipe(*recipe);
+}
+
+std::vector<std::uint32_t> AaDedupeScheme::restorable_sessions() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(history_.size());
+  for (const auto& [session, recipes] : history_) out.push_back(session);
+  return out;
+}
+
+ByteBuffer AaDedupeScheme::restore_recipe(
+    const container::FileRecipe& recipe_ref) {
+  const container::FileRecipe* recipe = &recipe_ref;
+  ByteBuffer out;
+  out.reserve(recipe->file_size);
+  for (const container::RecipeEntry& entry : recipe->entries) {
+    auto it = reader_cache_.find(entry.location.container_id);
+    if (it == reader_cache_.end()) {
+      auto object = target().download(
+          backup::keys::container_object(entry.location.container_id));
+      if (!object) {
+        throw FormatError("aa-dedupe: missing container " +
+                          std::to_string(entry.location.container_id));
+      }
+      it = reader_cache_
+               .emplace(entry.location.container_id,
+                        std::make_shared<container::ContainerReader>(
+                            std::move(*object)))
+               .first;
+    }
+    const ConstByteSpan stored =
+        it->second->chunk_at(entry.location.offset, entry.location.length);
+    if (options_.convergent_encryption) {
+      std::optional<crypto::ChaChaKey> key;
+      {
+        std::lock_guard lock(key_store_mutex_);
+        key = key_store_.get(entry.digest);
+      }
+      if (!key) {
+        throw FormatError("aa-dedupe: missing content key for chunk " +
+                          entry.digest.hex());
+      }
+      const std::size_t base = out.size();
+      out.insert(out.end(), stored.begin(), stored.end());
+      crypto::convergent_decrypt(
+          *key, ByteSpan{out.data() + base, stored.size()});
+    } else {
+      append(out, stored);
+    }
+  }
+  if (out.size() != recipe->file_size) {
+    throw FormatError("aa-dedupe: reassembled size mismatch for " +
+                      recipe->path);
+  }
+  return out;
+}
+
+}  // namespace aadedupe::core

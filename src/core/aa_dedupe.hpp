@@ -1,0 +1,213 @@
+// AA-Dedupe: the paper's application-aware source deduplication scheme.
+//
+// Session flow (paper Fig. 5):
+//   1. The file size filter diverts tiny files (< 10 KB) around
+//      deduplication; they are packed straight into containers.
+//   2. The intelligent chunker splits each remaining file with the engine
+//      chosen by its application category (WFC / SC / CDC).
+//   3. The deduplicator fingerprints chunks with the category's hash
+//      (Rabin-96 / MD5 / SHA-1) and probes the application-aware index —
+//      one small independent index per file type.
+//   4. New chunks are appended to the per-application open container;
+//      sealed (1 MB) containers are shipped through the pipelined uploader
+//      while deduplication continues.
+//   5. At session end, open containers are flushed (padded), file recipes
+//      and a serialized image of the application-aware index are synced to
+//      the cloud (Section III.E's periodical data synchronization).
+//
+// Because applications share no data (Observation 2), the per-application
+// streams deduplicate independently and — when `parallel` is on — run
+// concurrently on a thread pool, each against its own index shard.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backup/scheme.hpp"
+#include "container/container_manager.hpp"
+#include "container/recipe.hpp"
+#include "core/policy.hpp"
+#include "crypto/convergent.hpp"
+#include "index/partitioned_index.hpp"
+#include "util/thread_pool.hpp"
+
+namespace aadedupe::core {
+
+struct AaDedupeOptions {
+  std::uint64_t tiny_file_threshold = FileSizeFilter::kDefaultThreshold;
+  std::size_t container_capacity = container::kDefaultCapacity;
+  /// Deduplicate application streams in parallel on a thread pool.
+  bool parallel = true;
+  std::size_t worker_threads = ThreadPool::default_thread_count();
+  /// Sync the application-aware index image to the cloud each session.
+  bool sync_index = true;
+  /// Chunking-policy tunables (defaults = the paper's exact setup).
+  PolicyConfig policy;
+  /// Secure deduplication (the paper's future-work extension): encrypt
+  /// every chunk with convergent encryption before it enters a container.
+  /// Identical plaintext still deduplicates; the cloud never sees
+  /// plaintext; restore requires the passphrase. The (wrapped) key store
+  /// is synced to the cloud alongside the other session metadata.
+  bool convergent_encryption = false;
+  std::string passphrase;
+};
+
+/// Options for the background garbage-collection process (the deletion
+/// support the paper defers to future work in Section III.F).
+struct GcOptions {
+  /// Containers whose live-payload fraction falls below this are
+  /// rewritten (live chunks copied into fresh containers); containers
+  /// with no live chunks are deleted outright.
+  double rewrite_threshold = 0.5;
+};
+
+struct GcReport {
+  std::uint32_t sessions_retained = 0;
+  std::uint32_t sessions_expired = 0;
+  std::uint64_t containers_scanned = 0;
+  std::uint64_t containers_deleted = 0;
+  std::uint64_t containers_rewritten = 0;
+  std::uint64_t chunks_relocated = 0;
+  std::uint64_t live_bytes_copied = 0;
+  std::uint64_t bytes_reclaimed = 0;  // cloud occupancy freed
+};
+
+class AaDedupeScheme final : public backup::BackupScheme {
+ public:
+  explicit AaDedupeScheme(cloud::CloudTarget& target,
+                          AaDedupeOptions options = {});
+
+  std::string_view name() const noexcept override { return "AA-Dedupe"; }
+
+  ByteBuffer restore_file(const std::string& path) override;
+
+  /// Point-in-time restore: reassemble the file as it was at a specific
+  /// retained backup session. Throws FormatError for unknown sessions or
+  /// paths (including sessions expired by collect_garbage).
+  ByteBuffer restore_file_at(const std::string& path, std::uint32_t session);
+
+  /// Sessions currently restorable (ascending).
+  std::vector<std::uint32_t> restorable_sessions() const;
+
+  /// Background deletion/retention process: keep only the most recent
+  /// `keep_sessions` backup sessions, drop expired session metadata from
+  /// the cloud, delete containers no retained file references, rewrite
+  /// under-utilized containers (copying live chunks into fresh ones), and
+  /// rebuild the application-aware index from the retained recipes so
+  /// future sessions never dedup against reclaimed chunks. Restores of
+  /// retained sessions remain byte-exact afterwards.
+  GcReport collect_garbage(std::uint32_t keep_sessions,
+                           const GcOptions& options = {});
+
+  const index::PartitionedIndex& aa_index() const noexcept { return index_; }
+  const AaDedupeOptions& options() const noexcept { return options_; }
+
+  /// Per-application view of the deduplication state — the numbers the
+  /// application-aware design is about: each partition's engine/hash
+  /// policy, index size, lookup/hit counters, and the logical bytes and
+  /// chunk counts of the latest session.
+  struct ApplicationStats {
+    std::string partition;           // file-type tag ("doc", "mp3", ...)
+    std::string chunker;             // "wfc" / "sc" / "cdc" / "-" (tiny)
+    std::string hash;                // "rabin96" / "md5" / "sha1" / "-"
+    std::uint64_t index_entries = 0;
+    std::uint64_t index_lookups = 0;
+    std::uint64_t index_hits = 0;
+    std::uint64_t session_files = 0;   // latest session
+    std::uint64_t session_bytes = 0;   // latest session, logical
+    std::uint64_t session_chunks = 0;  // latest session recipe entries
+  };
+
+  /// Stats for every partition seen so far (sorted), plus a final "tiny"
+  /// row for the filtered stream.
+  std::vector<ApplicationStats> application_stats() const;
+
+  /// Client-side recipes of the latest session (exposed for tests).
+  const container::RecipeStore& recipes() const noexcept { return recipes_; }
+
+  /// Serialize the full client state — application-aware index, session
+  /// recipe history, container-id counter, and (when encryption is on)
+  /// the wrapped key store — so a client can stop and resume across
+  /// process lifetimes against the same cloud. The image contains no
+  /// unwrapped key material.
+  ByteBuffer export_state() const;
+
+  /// Restore client state from export_state(). The scheme must have been
+  /// constructed with compatible options (same passphrase when encryption
+  /// is on). Throws FormatError on malformed input.
+  void import_state(ConstByteSpan image);
+
+  /// Integrity scrub result (see scrub()).
+  struct ScrubReport {
+    std::uint64_t files_checked = 0;
+    std::uint64_t chunks_checked = 0;
+    std::uint64_t bytes_checked = 0;
+    std::uint64_t missing_containers = 0;
+    std::uint64_t corrupt_chunks = 0;  // stored bytes no longer match digest
+    std::uint64_t missing_keys = 0;    // encrypted chunk without content key
+    /// Paths with at least one problem (capped at 100 entries).
+    std::vector<std::string> damaged_paths;
+
+    bool clean() const noexcept {
+      return missing_containers == 0 && corrupt_chunks == 0 &&
+             missing_keys == 0;
+    }
+  };
+
+  /// Verify a retained session end-to-end against the cloud: fetch every
+  /// referenced container and recompute every chunk fingerprint (the
+  /// digest width identifies the hash family: 12 B Rabin-96, 16 B MD5,
+  /// 20 B SHA-1). Detects silent cloud corruption, truncated or missing
+  /// objects, and lost content keys before a restore would need them.
+  ScrubReport scrub(std::uint32_t session);
+
+  /// Scrub the latest session.
+  ScrubReport scrub();
+
+  /// Disaster recovery without any local state: rebuild the client from
+  /// the metadata this scheme syncs to the cloud every session (recipes,
+  /// the application-aware index image, and — with encryption — the
+  /// wrapped key store). After bootstrapping, all synced sessions are
+  /// restorable and the next backup deduplicates against them. Returns
+  /// the number of sessions recovered (0 if the cloud holds no backups).
+  std::uint32_t bootstrap_from_cloud();
+
+ protected:
+  void run_session(const dataset::Snapshot& snapshot) override;
+
+ private:
+  /// All files of one application stream, deduplicated sequentially.
+  struct StreamResult {
+    std::vector<container::FileRecipe> recipes;
+  };
+
+  StreamResult process_stream(
+      const std::string& partition,
+      const std::vector<const dataset::FileEntry*>& files,
+      class UploadPipeline& pipeline);
+
+  ByteBuffer restore_recipe(const container::FileRecipe& recipe);
+
+  AaDedupeOptions options_;
+  DedupPolicy policy_;
+  FileSizeFilter size_filter_;
+  index::PartitionedIndex index_;
+  container::ContainerIdAllocator container_ids_;
+  std::unique_ptr<ThreadPool> pool_;  // created when parallel
+  /// Secure-dedup state (only used when convergent_encryption is on).
+  crypto::ChaChaKey master_key_{};
+  crypto::KeyStore key_store_;
+  mutable std::mutex key_store_mutex_;
+
+  container::RecipeStore recipes_;  // latest session (= history_.rbegin())
+  /// Per-session recipe history; the retention unit of collect_garbage.
+  std::map<std::uint32_t, container::RecipeStore> history_;
+  std::uint32_t latest_session_ = 0;
+  /// Restore-time cache of fetched container readers.
+  std::map<std::uint64_t, std::shared_ptr<container::ContainerReader>>
+      reader_cache_;
+};
+
+}  // namespace aadedupe::core

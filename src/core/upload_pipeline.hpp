@@ -1,0 +1,54 @@
+// Pipelined uploader (paper Section IV.D: "our pipelined design for the
+// deduplication processes and the data transfer operations").
+//
+// Deduplication workers enqueue sealed containers and metadata objects on
+// a bounded queue; a dedicated uploader thread ships them to the cloud
+// target concurrently with further deduplication. The bounded queue gives
+// backpressure: a slow (simulated) WAN throttles the producers instead of
+// buffering the whole backup in memory.
+#pragma once
+
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "cloud/cloud_target.hpp"
+#include "util/bounded_queue.hpp"
+
+namespace aadedupe::core {
+
+class UploadPipeline {
+ public:
+  explicit UploadPipeline(cloud::CloudTarget& target,
+                          std::size_t queue_capacity = 64)
+      : target_(&target), queue_(queue_capacity), uploader_([this] {
+          while (auto item = queue_.pop()) {
+            target_->upload(item->first, std::move(item->second));
+          }
+        }) {}
+
+  ~UploadPipeline() { finish(); }
+
+  UploadPipeline(const UploadPipeline&) = delete;
+  UploadPipeline& operator=(const UploadPipeline&) = delete;
+
+  /// Enqueue an object for upload; blocks when the queue is full.
+  /// Precondition: finish() has not been called.
+  void enqueue(std::string key, ByteBuffer data) {
+    const bool accepted = queue_.push({std::move(key), std::move(data)});
+    AAD_EXPECTS(accepted);
+  }
+
+  /// Drain the queue, upload everything, and join the uploader. Idempotent.
+  void finish() {
+    queue_.close();
+    if (uploader_.joinable()) uploader_.join();
+  }
+
+ private:
+  cloud::CloudTarget* target_;
+  BoundedQueue<std::pair<std::string, ByteBuffer>> queue_;
+  std::thread uploader_;
+};
+
+}  // namespace aadedupe::core

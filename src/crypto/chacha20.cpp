@@ -1,0 +1,94 @@
+#include "crypto/chacha20.hpp"
+
+#include <cstring>
+
+namespace aadedupe::crypto {
+
+namespace {
+
+inline std::uint32_t rotl(std::uint32_t x, int n) noexcept {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b,
+                          std::uint32_t& c, std::uint32_t& d) noexcept {
+  a += b; d ^= a; d = rotl(d, 16);
+  c += d; b ^= c; b = rotl(b, 12);
+  a += b; d ^= a; d = rotl(d, 8);
+  c += d; b ^= c; b = rotl(b, 7);
+}
+
+void init_state(std::uint32_t state[16], const ChaChaKey& key,
+                const ChaChaNonce& nonce, std::uint32_t counter) noexcept {
+  // "expand 32-byte k"
+  state[0] = 0x61707865u;
+  state[1] = 0x3320646eu;
+  state[2] = 0x79622d32u;
+  state[3] = 0x6b206574u;
+  for (int i = 0; i < 8; ++i) {
+    state[4 + i] =
+        load_le32(key.data() + static_cast<std::size_t>(4 * i));
+  }
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) {
+    state[13 + i] =
+        load_le32(nonce.data() + static_cast<std::size_t>(4 * i));
+  }
+}
+
+void block_to_bytes(const std::uint32_t working[16],
+                    const std::uint32_t state[16],
+                    std::byte out[64]) noexcept {
+  for (int i = 0; i < 16; ++i) {
+    store_le32(out + static_cast<std::size_t>(4 * i),
+               working[i] + state[i]);
+  }
+}
+
+void compute_block(const std::uint32_t state[16], std::byte out[64]) {
+  std::uint32_t working[16];
+  std::memcpy(working, state, sizeof(working));
+  for (int round = 0; round < 10; ++round) {  // 20 rounds = 10 double-rounds
+    quarter_round(working[0], working[4], working[8], working[12]);
+    quarter_round(working[1], working[5], working[9], working[13]);
+    quarter_round(working[2], working[6], working[10], working[14]);
+    quarter_round(working[3], working[7], working[11], working[15]);
+    quarter_round(working[0], working[5], working[10], working[15]);
+    quarter_round(working[1], working[6], working[11], working[12]);
+    quarter_round(working[2], working[7], working[8], working[13]);
+    quarter_round(working[3], working[4], working[9], working[14]);
+  }
+  block_to_bytes(working, state, out);
+}
+
+}  // namespace
+
+std::array<std::byte, 64> chacha20_block(const ChaChaKey& key,
+                                         const ChaChaNonce& nonce,
+                                         std::uint32_t counter) {
+  std::uint32_t state[16];
+  init_state(state, key, nonce, counter);
+  std::array<std::byte, 64> out;
+  compute_block(state, out.data());
+  return out;
+}
+
+void chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                  std::uint32_t initial_counter, ByteSpan data) {
+  std::uint32_t state[16];
+  init_state(state, key, nonce, initial_counter);
+
+  std::byte keystream[64];
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    compute_block(state, keystream);
+    ++state[12];  // block counter
+    const std::size_t take = std::min<std::size_t>(64, data.size() - offset);
+    for (std::size_t i = 0; i < take; ++i) {
+      data[offset + i] ^= keystream[i];
+    }
+    offset += take;
+  }
+}
+
+}  // namespace aadedupe::crypto

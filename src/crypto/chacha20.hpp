@@ -1,0 +1,33 @@
+// ChaCha20 stream cipher (RFC 8439), implemented from scratch.
+//
+// Substrate for the secure-deduplication extension (the paper's stated
+// future work, Section VI): chunks are encrypted with *convergent*
+// encryption — the key is derived from the chunk's own content — so
+// identical plaintext chunks produce identical ciphertext and
+// deduplication still works across the encrypted store.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace aadedupe::crypto {
+
+inline constexpr std::size_t kChaChaKeySize = 32;
+inline constexpr std::size_t kChaChaNonceSize = 12;
+
+using ChaChaKey = std::array<std::byte, kChaChaKeySize>;
+using ChaChaNonce = std::array<std::byte, kChaChaNonceSize>;
+
+/// XOR `data` in place with the ChaCha20 keystream for (key, nonce,
+/// initial_counter). Encryption and decryption are the same operation.
+void chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                  std::uint32_t initial_counter, ByteSpan data);
+
+/// One 64-byte keystream block (RFC 8439 section 2.3) — exposed for tests.
+std::array<std::byte, 64> chacha20_block(const ChaChaKey& key,
+                                         const ChaChaNonce& nonce,
+                                         std::uint32_t counter);
+
+}  // namespace aadedupe::crypto

@@ -1,0 +1,120 @@
+#include "crypto/convergent.hpp"
+
+#include <cstring>
+
+#include "hash/sha1.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::crypto {
+
+ChaChaKey derive_content_key(ConstByteSpan plaintext) {
+  const hash::Digest first = hash::Sha1::hash(plaintext);
+  // Second half: H(H(p) || 0x01).
+  hash::Sha1 h;
+  h.update(first.bytes());
+  const std::byte domain[1] = {std::byte{0x01}};
+  h.update(ConstByteSpan{domain, 1});
+  const hash::Digest second = h.finish();
+
+  ChaChaKey key{};
+  std::memcpy(key.data(), first.bytes().data(), 20);
+  std::memcpy(key.data() + 20, second.bytes().data(), 12);
+  return key;
+}
+
+ChaChaKey derive_master_key(std::string_view passphrase,
+                            std::uint32_t iterations) {
+  AAD_EXPECTS(iterations >= 1);
+  // Iterated hash stretching with a fixed domain salt; not PBKDF2, but
+  // the same shape (this library's threat model is the cloud provider,
+  // not an offline GPU attack on weak passphrases).
+  hash::Digest state = hash::Sha1::hash(as_bytes(passphrase));
+  for (std::uint32_t i = 1; i < iterations; ++i) {
+    hash::Sha1 h;
+    h.update(state.bytes());
+    h.update(as_bytes(passphrase));
+    state = h.finish();
+  }
+  // Expand 20 -> 32 bytes with a second domain-separated hash.
+  hash::Sha1 h2;
+  h2.update(state.bytes());
+  const std::byte domain[1] = {std::byte{0x02}};
+  h2.update(ConstByteSpan{domain, 1});
+  const hash::Digest tail = h2.finish();
+
+  ChaChaKey key{};
+  std::memcpy(key.data(), state.bytes().data(), 20);
+  std::memcpy(key.data() + 20, tail.bytes().data(), 12);
+  return key;
+}
+
+void convergent_encrypt(const ChaChaKey& content_key, ByteSpan chunk) {
+  chacha20_xor(content_key, ChaChaNonce{}, /*initial_counter=*/0, chunk);
+}
+
+void convergent_decrypt(const ChaChaKey& content_key, ByteSpan chunk) {
+  // Stream cipher: identical operation.
+  chacha20_xor(content_key, ChaChaNonce{}, /*initial_counter=*/0, chunk);
+}
+
+void KeyStore::put(const hash::Digest& digest, const ChaChaKey& key) {
+  AAD_EXPECTS(!digest.empty());
+  keys_[digest] = key;
+}
+
+std::optional<ChaChaKey> KeyStore::get(const hash::Digest& digest) const {
+  const auto it = keys_.find(digest);
+  if (it == keys_.end()) return std::nullopt;
+  return it->second;
+}
+
+ChaChaNonce KeyStore::nonce_for(const hash::Digest& digest) {
+  // Every real fingerprint is >= 12 bytes (Rabin-96 is the shortest).
+  AAD_EXPECTS(digest.size() >= kChaChaNonceSize);
+  ChaChaNonce nonce{};
+  std::memcpy(nonce.data(), digest.bytes().data(), kChaChaNonceSize);
+  return nonce;
+}
+
+ByteBuffer KeyStore::serialize(const ChaChaKey& master) const {
+  ByteBuffer out;
+  append_le32(out, static_cast<std::uint32_t>(keys_.size()));
+  for (const auto& [digest, key] : keys_) {
+    out.push_back(static_cast<std::byte>(digest.size()));
+    append(out, digest.bytes());
+    ChaChaKey wrapped = key;
+    chacha20_xor(master, nonce_for(digest), 0,
+                 ByteSpan{wrapped.data(), wrapped.size()});
+    append(out, ConstByteSpan{wrapped.data(), wrapped.size()});
+  }
+  return out;
+}
+
+KeyStore KeyStore::deserialize(ConstByteSpan image, const ChaChaKey& master) {
+  if (image.size() < 4) throw FormatError("keystore: missing header");
+  const std::uint32_t count = load_le32(image.data());
+  std::size_t pos = 4;
+  KeyStore store;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (pos >= image.size()) throw FormatError("keystore: truncated entry");
+    const auto digest_size = static_cast<std::size_t>(image[pos]);
+    ++pos;
+    if (digest_size < kChaChaNonceSize ||
+        digest_size > hash::Digest::kMaxSize ||
+        pos + digest_size + kChaChaKeySize > image.size()) {
+      throw FormatError("keystore: bad entry");
+    }
+    const hash::Digest digest(image.subspan(pos, digest_size));
+    pos += digest_size;
+    ChaChaKey key{};
+    std::memcpy(key.data(), image.data() + pos, kChaChaKeySize);
+    pos += kChaChaKeySize;
+    chacha20_xor(master, nonce_for(digest), 0,
+                 ByteSpan{key.data(), key.size()});
+    store.keys_.emplace(digest, key);
+  }
+  if (pos != image.size()) throw FormatError("keystore: trailing bytes");
+  return store;
+}
+
+}  // namespace aadedupe::crypto

@@ -1,0 +1,68 @@
+// Convergent encryption for secure deduplication (paper Section VI's
+// future work: "investigate the secure deduplication issue in cloud
+// backup services").
+//
+// Convergent encryption derives each chunk's key from the chunk's own
+// content, so equal plaintexts encrypt to equal ciphertexts and
+// deduplication keeps working over the encrypted store, while the cloud
+// provider never sees plaintext. The client keeps (and syncs) a KeyStore
+// mapping chunk fingerprints to their content keys, wrapped under a
+// passphrase-derived master key — without the passphrase the backup is
+// unreadable.
+//
+// Inherent caveat (documented, not hidden): convergent encryption reveals
+// *equality* of chunks to the store, and is brute-forceable for
+// low-entropy plaintexts an attacker can guess. That is the classic
+// trade-off of dedup-preserving encryption.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string_view>
+
+#include "crypto/chacha20.hpp"
+#include "hash/digest.hpp"
+#include "util/bytes.hpp"
+
+namespace aadedupe::crypto {
+
+/// Derive a 256-bit content key from chunk plaintext (SHA-1 based
+/// expansion: K = H(p) || H(H(p) || 0x01), truncated to 32 bytes).
+ChaChaKey derive_content_key(ConstByteSpan plaintext);
+
+/// Derive the master key from a passphrase (iterated SHA-1 stretching).
+ChaChaKey derive_master_key(std::string_view passphrase,
+                            std::uint32_t iterations = 10000);
+
+/// Encrypt/decrypt a chunk in place with its content key (deterministic:
+/// fixed zero nonce is safe because each key encrypts exactly one
+/// plaintext — the plaintext it was derived from).
+void convergent_encrypt(const ChaChaKey& content_key, ByteSpan chunk);
+void convergent_decrypt(const ChaChaKey& content_key, ByteSpan chunk);
+
+/// Client-side map: chunk fingerprint -> content key. Serialized with
+/// every key wrapped (XOR with a ChaCha20 keystream keyed by the master
+/// key and nonced by the fingerprint), so the image itself is safe to
+/// sync to the cloud.
+class KeyStore {
+ public:
+  void put(const hash::Digest& digest, const ChaChaKey& key);
+  std::optional<ChaChaKey> get(const hash::Digest& digest) const;
+  std::size_t size() const noexcept { return keys_.size(); }
+  void clear() { keys_.clear(); }
+
+  /// Wrapped serialization under the master key.
+  ByteBuffer serialize(const ChaChaKey& master) const;
+
+  /// Unwrap a serialized image. A wrong master key yields garbage keys —
+  /// decryption of any chunk will then produce bytes whose fingerprint
+  /// no longer matches, which restore verification catches.
+  static KeyStore deserialize(ConstByteSpan image, const ChaChaKey& master);
+
+ private:
+  static ChaChaNonce nonce_for(const hash::Digest& digest);
+
+  std::map<hash::Digest, ChaChaKey> keys_;
+};
+
+}  // namespace aadedupe::crypto

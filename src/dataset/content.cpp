@@ -1,0 +1,72 @@
+#include "dataset/content.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace aadedupe::dataset {
+
+namespace {
+/// Distinct seed spaces for the different deterministic byte sources.
+constexpr std::uint64_t kPoolSeedSpace = 0xA11CE5EEDull;
+constexpr std::uint64_t kUniqueSeedSpace = 0x1D105EEDull;
+
+std::uint64_t pool_seed(FileKind kind, std::uint64_t block_index) {
+  const std::uint64_t kind_seed =
+      derive_seed(kPoolSeedSpace, static_cast<std::uint64_t>(kind));
+  return derive_seed(kind_seed, block_index);
+}
+}  // namespace
+
+void pool_block_bytes(FileKind kind, std::uint64_t block_index,
+                      ByteBuffer& out) {
+  out.resize(kContentBlock);
+  Xoshiro256 rng(pool_seed(kind, block_index));
+  rng.fill(ByteSpan{out.data(), out.size()});
+}
+
+void materialize_into(const ContentRecipe& recipe, ByteBuffer& out) {
+  out.clear();
+  out.reserve(recipe.size());
+  ByteBuffer block;
+  for (const Segment& seg : recipe.segments) {
+    switch (seg.type) {
+      case Segment::Type::kUnique: {
+        const std::size_t base = out.size();
+        out.resize(base + seg.length);
+        Xoshiro256 rng(derive_seed(kUniqueSeedSpace, seg.param));
+        rng.fill(ByteSpan{out.data() + base, seg.length});
+        break;
+      }
+      case Segment::Type::kPool: {
+        // A pool segment may span several consecutive pool blocks.
+        std::uint64_t block_index = seg.param;
+        std::uint32_t remaining = seg.length;
+        while (remaining > 0) {
+          pool_block_bytes(recipe.kind, block_index, block);
+          const std::uint32_t take =
+              remaining < kContentBlock ? remaining : kContentBlock;
+          append(out, ConstByteSpan{block.data(), take});
+          remaining -= take;
+          ++block_index;
+        }
+        break;
+      }
+      case Segment::Type::kZero:
+        out.resize(out.size() + seg.length, std::byte{0});
+        break;
+      case Segment::Type::kLiteral:
+        AAD_EXPECTS(seg.literal.size() == seg.length);
+        append(out, seg.literal);
+        break;
+    }
+  }
+  AAD_ENSURES(out.size() == recipe.size());
+}
+
+ByteBuffer materialize(const ContentRecipe& recipe) {
+  ByteBuffer out;
+  materialize_into(recipe, out);
+  return out;
+}
+
+}  // namespace aadedupe::dataset

@@ -1,0 +1,79 @@
+// Deterministic file-content recipes.
+//
+// The paper's workload is 351 GB of real user data — impossible to ship
+// with a reproduction. Instead, every synthetic file's content is a small
+// *recipe*: an ordered list of segments, each either (a) a run of blocks
+// from the file type's shared pool (the source of intra-type redundancy),
+// (b) unique pseudo-random bytes keyed by a seed, or (c) zeros (VM-image
+// sparse regions). Bytes are materialized on demand from the recipe, so a
+// "multi-GB" snapshot costs only metadata until a scheme actually reads a
+// file — and the same recipe always yields the same bytes, on any platform.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/file_kind.hpp"
+#include "util/bytes.hpp"
+
+namespace aadedupe::dataset {
+
+/// Pool/zero block granularity. Chosen equal to the paper's SC chunk size
+/// so aligned shared runs dedup perfectly under SC (Observation 3).
+inline constexpr std::uint32_t kContentBlock = 8 * 1024;
+
+struct Segment {
+  enum class Type : std::uint8_t {
+    kUnique,   // `length` pseudo-random bytes from `param` as seed
+    kPool,     // `length` bytes of the kind's pool starting at block `param`
+    kZero,     // `length` zero bytes
+    kLiteral,  // `length` explicit bytes carried in `literal` — used when a
+               // snapshot is built from a real filesystem rather than a
+               // synthetic recipe
+  };
+
+  Type type = Type::kUnique;
+  std::uint64_t param = 0;
+  std::uint32_t length = 0;
+  ByteBuffer literal;  // only for kLiteral; empty otherwise
+
+  Segment() = default;
+  Segment(Type segment_type, std::uint64_t segment_param,
+          std::uint32_t segment_length)
+      : type(segment_type), param(segment_param), length(segment_length) {}
+  Segment(Type segment_type, std::uint64_t segment_param,
+          std::uint32_t segment_length, ByteBuffer segment_literal)
+      : type(segment_type),
+        param(segment_param),
+        length(segment_length),
+        literal(std::move(segment_literal)) {}
+
+  friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+/// A file's content recipe: segments are concatenated in order.
+struct ContentRecipe {
+  FileKind kind = FileKind::kTxt;
+  std::vector<Segment> segments;
+
+  std::uint64_t size() const noexcept {
+    std::uint64_t total = 0;
+    for (const Segment& s : segments) total += s.length;
+    return total;
+  }
+
+  friend bool operator==(const ContentRecipe&, const ContentRecipe&) = default;
+};
+
+/// Materialize the full content of a recipe.
+ByteBuffer materialize(const ContentRecipe& recipe);
+
+/// Materialize into a caller-provided buffer (cleared first) — lets hot
+/// loops reuse allocations.
+void materialize_into(const ContentRecipe& recipe, ByteBuffer& out);
+
+/// The bytes of one pool block of a file kind (deterministic).
+void pool_block_bytes(FileKind kind, std::uint64_t block_index,
+                      ByteBuffer& out);
+
+}  // namespace aadedupe::dataset

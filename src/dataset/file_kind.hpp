@@ -1,0 +1,147 @@
+// The 12 application file types of the paper's evaluation (Table I), their
+// AA-Dedupe categories, and the per-type generation profiles that calibrate
+// the synthetic dataset to the paper's measured characteristics.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace aadedupe::dataset {
+
+/// Application/file types, in Table I order.
+enum class FileKind : std::uint8_t {
+  kAvi,
+  kMp3,
+  kIso,
+  kDmg,
+  kRar,
+  kJpg,
+  kPdf,
+  kExe,
+  kVmdk,
+  kDoc,
+  kTxt,
+  kPpt,
+};
+
+inline constexpr std::size_t kFileKindCount = 12;
+
+constexpr std::array<FileKind, kFileKindCount> all_file_kinds() {
+  return {FileKind::kAvi, FileKind::kMp3, FileKind::kIso, FileKind::kDmg,
+          FileKind::kRar, FileKind::kJpg, FileKind::kPdf, FileKind::kExe,
+          FileKind::kVmdk, FileKind::kDoc, FileKind::kTxt, FileKind::kPpt};
+}
+
+/// AA-Dedupe's three application categories (paper Section III.C).
+enum class AppCategory : std::uint8_t {
+  kCompressed,           // WFC + Rabin-96
+  kStaticUncompressed,   // SC + MD5
+  kDynamicUncompressed,  // CDC + SHA-1
+};
+
+constexpr AppCategory category_of(FileKind kind) noexcept {
+  switch (kind) {
+    case FileKind::kAvi:
+    case FileKind::kMp3:
+    case FileKind::kIso:
+    case FileKind::kDmg:
+    case FileKind::kRar:
+    case FileKind::kJpg:
+      return AppCategory::kCompressed;
+    case FileKind::kPdf:
+    case FileKind::kExe:
+    case FileKind::kVmdk:
+      return AppCategory::kStaticUncompressed;
+    case FileKind::kDoc:
+    case FileKind::kTxt:
+    case FileKind::kPpt:
+      return AppCategory::kDynamicUncompressed;
+  }
+  return AppCategory::kCompressed;  // unreachable for valid enum values
+}
+
+constexpr std::string_view extension(FileKind kind) noexcept {
+  switch (kind) {
+    case FileKind::kAvi:
+      return "avi";
+    case FileKind::kMp3:
+      return "mp3";
+    case FileKind::kIso:
+      return "iso";
+    case FileKind::kDmg:
+      return "dmg";
+    case FileKind::kRar:
+      return "rar";
+    case FileKind::kJpg:
+      return "jpg";
+    case FileKind::kPdf:
+      return "pdf";
+    case FileKind::kExe:
+      return "exe";
+    case FileKind::kVmdk:
+      return "vmdk";
+    case FileKind::kDoc:
+      return "doc";
+    case FileKind::kTxt:
+      return "txt";
+    case FileKind::kPpt:
+      return "ppt";
+  }
+  return "?";
+}
+
+constexpr std::string_view to_string(AppCategory category) noexcept {
+  switch (category) {
+    case AppCategory::kCompressed:
+      return "compressed";
+    case AppCategory::kStaticUncompressed:
+      return "static";
+    case AppCategory::kDynamicUncompressed:
+      return "dynamic";
+  }
+  return "?";
+}
+
+/// Per-type generation profile. The redundancy and churn knobs are
+/// calibrated so that the synthetic corpus reproduces Table I's per-type
+/// SC/CDC dedup ratios and the paper's backup-session behaviour; the size
+/// fields reproduce Table I's mean file sizes (paper_mean_bytes) and a
+/// laptop-friendly scaled variant (bench_mean_bytes).
+struct TypeProfile {
+  FileKind kind;
+  /// Share of total dataset capacity (proportional to Table I dataset MB).
+  double capacity_weight;
+  /// Mean file size in the paper's corpus (Table I "Mean File Size").
+  std::uint64_t paper_mean_bytes;
+  /// Mean file size used when content is actually materialized in benches.
+  std::uint64_t bench_mean_bytes;
+  /// Lognormal shape parameter for file sizes.
+  double sigma;
+  /// Probability that a content run is drawn from the type-shared pool
+  /// (controls intra-type sub-file redundancy; ~ 1 - 1/DR).
+  double pool_share;
+  /// Number of distinct 8 KB blocks in the type's shared pool.
+  std::uint32_t pool_blocks;
+  /// Consecutive pool blocks taken per shared run (longer runs let CDC
+  /// dedup run interiors; run edges straddle and stay unique).
+  std::uint32_t run_blocks;
+  /// Probability that a file's content is shifted by a small unaligned
+  /// prefix/insert — defeats SC (boundary shift) but not CDC.
+  double misalign_prob;
+  /// Fraction of content that is zero-filled runs (VM images); zeros
+  /// dedup perfectly under SC and force max-size cuts under CDC.
+  double zero_fraction;
+  /// Weekly churn: P(existing file modified), P(deleted), new files as a
+  /// fraction of current count, and P(a new file duplicates an existing).
+  double p_modify;
+  double p_delete;
+  double new_file_fraction;
+  double p_duplicate_file;
+};
+
+/// Calibrated profile table (see DESIGN.md section 2 and the Table I
+/// calibration test for the paper-vs-measured comparison).
+const TypeProfile& profile_of(FileKind kind) noexcept;
+
+}  // namespace aadedupe::dataset

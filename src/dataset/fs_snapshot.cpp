@@ -1,0 +1,141 @@
+#include "dataset/fs_snapshot.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace aadedupe::dataset {
+
+namespace fs = std::filesystem;
+
+std::optional<FileKind> kind_from_extension(std::string_view extension) {
+  std::string lower(extension);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) {
+                   return static_cast<char>(std::tolower(c));
+                 });
+  for (const FileKind kind : all_file_kinds()) {
+    if (lower == dataset::extension(kind)) return kind;
+  }
+  // Common aliases.
+  if (lower == "jpeg") return FileKind::kJpg;
+  if (lower == "docx") return FileKind::kDoc;
+  if (lower == "pptx") return FileKind::kPpt;
+  if (lower == "log" || lower == "md" || lower == "csv") return FileKind::kTxt;
+  if (lower == "zip" || lower == "gz" || lower == "7z" || lower == "bz2" ||
+      lower == "xz") {
+    return FileKind::kRar;  // same category: compressed archive
+  }
+  if (lower == "png" || lower == "gif") return FileKind::kJpg;
+  if (lower == "mp4" || lower == "mkv" || lower == "mov") {
+    return FileKind::kAvi;
+  }
+  if (lower == "dll" || lower == "so" || lower == "bin") {
+    return FileKind::kExe;
+  }
+  if (lower == "img" || lower == "qcow2" || lower == "vdi") {
+    return FileKind::kVmdk;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+bool read_file(const fs::path& path, ByteBuffer& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return false;
+  in.seekg(0);
+  out.resize(static_cast<std::size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(out.data()), size)) {
+    return false;
+  }
+  return true;
+}
+
+std::uint32_t version_of(const fs::directory_entry& entry,
+                         std::uint64_t size) {
+  // (mtime, size) folded to 32 bits: changes whenever the file changes in
+  // the ways an incremental backup cares about.
+  std::error_code ec;
+  const auto mtime = entry.last_write_time(ec).time_since_epoch().count();
+  const std::uint64_t mixed =
+      static_cast<std::uint64_t>(mtime) * 0x9e3779b97f4a7c15ull ^ size;
+  return static_cast<std::uint32_t>(mixed ^ (mixed >> 32));
+}
+
+}  // namespace
+
+Snapshot snapshot_from_directory(const fs::path& root,
+                                 const FsSnapshotOptions& options) {
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    throw FormatError("fs snapshot: not a readable directory: " +
+                      root.string());
+  }
+
+  Snapshot snapshot;
+  snapshot.session = 0;
+
+  auto dir_options = fs::directory_options::skip_permission_denied;
+  if (options.follow_directory_symlinks) {
+    dir_options |= fs::directory_options::follow_directory_symlink;
+  }
+
+  std::vector<fs::directory_entry> entries;
+  for (fs::recursive_directory_iterator it(root, dir_options, ec), end;
+       it != end; it.increment(ec)) {
+    if (ec) break;
+    if (it->is_regular_file(ec) && !it->is_symlink(ec)) {
+      entries.push_back(*it);
+    }
+  }
+  // Deterministic order regardless of directory-iteration order.
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.path() < b.path(); });
+
+  for (const fs::directory_entry& entry : entries) {
+    const std::uint64_t size = entry.file_size(ec);
+    if (ec) continue;
+    if (options.max_file_bytes != 0 && size > options.max_file_bytes) {
+      continue;
+    }
+
+    ByteBuffer bytes;
+    if (!read_file(entry.path(), bytes)) continue;
+
+    FileEntry file;
+    file.path = fs::relative(entry.path(), root, ec).generic_string();
+    if (ec || file.path.empty()) continue;
+    std::string ext = entry.path().extension().string();
+    if (!ext.empty() && ext.front() == '.') ext.erase(0, 1);
+    file.kind = kind_from_extension(ext).value_or(kUnknownKindFallback);
+    file.version = version_of(entry, bytes.size());
+    file.content.kind = file.kind;
+
+    // Literal segments, split to respect the u32 segment length field.
+    constexpr std::uint64_t kMaxSegment = 0x7fffffffull;
+    std::size_t offset = 0;
+    while (offset < bytes.size()) {
+      const auto take = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(kMaxSegment, bytes.size() - offset));
+      Segment seg;
+      seg.type = Segment::Type::kLiteral;
+      seg.length = take;
+      seg.literal.assign(bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+                         bytes.begin() +
+                             static_cast<std::ptrdiff_t>(offset + take));
+      file.content.segments.push_back(std::move(seg));
+      offset += take;
+    }
+    snapshot.files.push_back(std::move(file));
+  }
+  return snapshot;
+}
+
+}  // namespace aadedupe::dataset

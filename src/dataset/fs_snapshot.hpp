@@ -1,0 +1,42 @@
+// Real-filesystem ingestion: build a backup Snapshot from an actual
+// directory tree, so every scheme (and the AA-Dedupe engine in
+// particular) can back up real user data, not just synthetic workloads.
+//
+// File contents are carried as literal segments (held in memory — this
+// path targets the personal-computing datasets the paper addresses, not
+// server-scale corpora). Application kinds are inferred from file
+// extensions; unrecognized extensions conservatively classify as dynamic
+// uncompressed data (CDC + SHA-1 — the safest default for unknown
+// content). The per-file version is derived from (mtime, size) so the
+// incremental baseline's change detection works against real files too.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+
+#include "dataset/snapshot.hpp"
+
+namespace aadedupe::dataset {
+
+/// Map a file extension (lower-cased, without dot) to its application
+/// kind; nullopt for extensions outside the paper's 12 types.
+std::optional<FileKind> kind_from_extension(std::string_view extension);
+
+/// AA-Dedupe's fallback category for unknown file types.
+inline constexpr FileKind kUnknownKindFallback = FileKind::kTxt;
+
+struct FsSnapshotOptions {
+  /// Skip files larger than this (0 = no limit). Protects the in-memory
+  /// literal representation from pathological inputs.
+  std::uint64_t max_file_bytes = 256ull * 1024 * 1024;
+  /// Follow directory symlinks (file symlinks are always skipped).
+  bool follow_directory_symlinks = false;
+};
+
+/// Recursively snapshot `root`. Paths in the snapshot are relative to
+/// `root` with '/' separators. Throws FormatError when `root` is not a
+/// readable directory; unreadable files are skipped.
+Snapshot snapshot_from_directory(const std::filesystem::path& root,
+                                 const FsSnapshotOptions& options = {});
+
+}  // namespace aadedupe::dataset

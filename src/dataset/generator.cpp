@@ -1,0 +1,441 @@
+#include "dataset/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace aadedupe::dataset {
+
+namespace {
+
+constexpr std::uint64_t kTinyThreshold = 10 * 1024;
+
+/// Kinds used for the tiny-file population (small notes, thumbnails, ...).
+constexpr FileKind kTinyKinds[] = {FileKind::kTxt, FileKind::kDoc,
+                                   FileKind::kJpg};
+constexpr double kTinyKindWeights[] = {0.5, 0.3, 0.2};
+
+/// Weekly churn of the tiny-file population.
+constexpr double kTinyModifyProb = 0.08;
+constexpr double kTinyDeleteProb = 0.01;
+constexpr double kTinyNewFraction = 0.05;
+
+std::uint64_t clamp_u64(double v, std::uint64_t lo, std::uint64_t hi) {
+  if (!(v > 0)) return lo;
+  if (v >= static_cast<double>(hi)) return hi;
+  const auto out = static_cast<std::uint64_t>(v);
+  return out < lo ? lo : out;
+}
+
+}  // namespace
+
+DatasetGenerator::DatasetGenerator(DatasetConfig config)
+    : config_(config),
+      // Unique-content seeds must be disjoint across datasets with
+      // different seeds (two users' fresh data never collides), so the
+      // counter starts at a seed-derived 64-bit base.
+      next_unique_param_(derive_seed(config.seed, 0xA1A1)) {
+  AAD_EXPECTS(config_.session_bytes >= 1024 * 1024);
+  AAD_EXPECTS(config_.tiny_count_fraction >= 0.0 &&
+              config_.tiny_count_fraction < 1.0);
+}
+
+std::string DatasetGenerator::fresh_path(FileKind kind) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s/f%06llu.%s",
+                std::string(extension(kind)).c_str(),
+                static_cast<unsigned long long>(next_file_id_++),
+                std::string(extension(kind)).c_str());
+  return buf;
+}
+
+std::string DatasetGenerator::fresh_tiny_path(FileKind kind) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "tiny/f%06llu.%s",
+                static_cast<unsigned long long>(next_file_id_++),
+                std::string(extension(kind)).c_str());
+  return buf;
+}
+
+std::uint64_t DatasetGenerator::sample_size(const TypeProfile& profile,
+                                            Xoshiro256& rng) {
+  const std::uint64_t mean = config_.stats_only ? profile.paper_mean_bytes
+                                                : profile.bench_mean_bytes;
+  // Lognormal with E[X] = mean: mu = ln(mean) - sigma^2/2.
+  const double mu = std::log(static_cast<double>(mean)) -
+                    profile.sigma * profile.sigma / 2.0;
+  const double sample = rng.lognormal(mu, profile.sigma);
+  const std::uint64_t cap =
+      config_.stats_only ? ~std::uint64_t{0} : config_.max_file_bytes;
+  // Regular (non-tiny) files stay above the tiny-file threshold so the
+  // file-size-filter behaviour is driven by the dedicated tiny population.
+  return clamp_u64(sample, kTinyThreshold + 2048, cap);
+}
+
+ContentRecipe DatasetGenerator::make_content(FileKind kind,
+                                             std::uint64_t size_bytes,
+                                             Xoshiro256& rng) {
+  ContentRecipe recipe;
+  recipe.kind = kind;
+  if (config_.stats_only) {
+    // Content never materialized: one placeholder segment carries the size.
+    recipe.segments.push_back(Segment{Segment::Type::kUnique,
+                                      fresh_unique_param(),
+                                      static_cast<std::uint32_t>(
+                                          std::min<std::uint64_t>(
+                                              size_bytes, 0xffffffffull))});
+    return recipe;
+  }
+
+  const TypeProfile& profile = profile_of(kind);
+  const std::uint64_t run_bytes =
+      static_cast<std::uint64_t>(profile.run_blocks) * kContentBlock;
+
+  // Debt never crosses kinds: a leftover zero/pool debt from another type
+  // must not inject that type's content pattern here (Observation 2).
+  if (kind != debt_kind_) {
+    debt_kind_ = kind;
+    pool_debt_ = 0.0;
+    zero_debt_ = 0.0;
+  }
+
+  // One odd-length insert defeats SC alignment for the rest of the file
+  // (the boundary-shifting problem); placed at a uniform position. (For
+  // files shorter than one run the insert lands at the front, so the
+  // whole file is unaligned — small documents are fully shifted by any
+  // edit anyway.)
+  const bool misaligned = rng.chance(profile.misalign_prob);
+  const std::uint64_t misalign_at =
+      misaligned ? rng.below(std::max<std::uint64_t>(size_bytes, 1)) : 0;
+  bool misalign_pending = misaligned;
+
+  std::uint64_t remaining = size_bytes;
+  std::uint64_t produced = 0;
+  while (remaining > 0) {
+    const std::uint64_t len64 = std::min<std::uint64_t>(run_bytes, remaining);
+    const auto len = static_cast<std::uint32_t>(len64);
+
+    if (misalign_pending && misalign_at < produced + len64) {
+      const auto insert_len =
+          static_cast<std::uint32_t>(std::min<std::uint64_t>(
+              rng.between(64, kContentBlock - 1) | 1u, remaining));
+      recipe.segments.push_back(
+          Segment{Segment::Type::kUnique, fresh_unique_param(), insert_len});
+      produced += insert_len;
+      remaining -= insert_len;
+      misalign_pending = false;
+      continue;
+    }
+
+    // Deterministic dithering of the byte-share targets: each run adds its
+    // length times the target share to the debt; a run is emitted as
+    // zero/pool once at least half a run is owed. This makes the realized
+    // per-type byte shares track zero_fraction/pool_share exactly even for
+    // types with few, small files (iid coin flips would be far too noisy
+    // there), while run placement stays random.
+    const double pool_share = std::min(
+        0.95, profile.pool_share * config_.redundancy_scale);
+    zero_debt_ += static_cast<double>(len64) * profile.zero_fraction;
+    pool_debt_ += static_cast<double>(len64) * pool_share;
+    if (zero_debt_ >= 0.5 * static_cast<double>(len64)) {
+      recipe.segments.push_back(Segment{Segment::Type::kZero, 0, len});
+      zero_debt_ -= static_cast<double>(len64);
+    } else if (pool_debt_ >= 0.5 * static_cast<double>(len64)) {
+      // A shared run of consecutive pool blocks, start clamped so the run
+      // stays inside the pool.
+      const std::uint64_t max_start =
+          profile.pool_blocks > profile.run_blocks
+              ? profile.pool_blocks - profile.run_blocks
+              : 0;
+      const std::uint64_t start = max_start > 0 ? rng.below(max_start + 1) : 0;
+      recipe.segments.push_back(Segment{Segment::Type::kPool, start, len});
+      pool_debt_ -= static_cast<double>(len64);
+    } else {
+      recipe.segments.push_back(
+          Segment{Segment::Type::kUnique, fresh_unique_param(), len});
+    }
+    produced += len64;
+    remaining -= len64;
+  }
+  return recipe;
+}
+
+FileEntry DatasetGenerator::make_file(FileKind kind, std::uint64_t size_bytes,
+                                      Xoshiro256& rng) {
+  FileEntry entry;
+  entry.path = fresh_path(kind);
+  entry.kind = kind;
+  entry.version = 0;
+  entry.content = make_content(kind, size_bytes, rng);
+  return entry;
+}
+
+FileEntry DatasetGenerator::make_tiny_file(Xoshiro256& rng) {
+  // Pick a tiny-file kind by weight.
+  const double roll = rng.uniform();
+  FileKind kind = kTinyKinds[2];
+  if (roll < kTinyKindWeights[0]) {
+    kind = kTinyKinds[0];
+  } else if (roll < kTinyKindWeights[0] + kTinyKindWeights[1]) {
+    kind = kTinyKinds[1];
+  }
+  FileEntry entry;
+  entry.path = fresh_tiny_path(kind);
+  entry.kind = kind;
+  entry.version = 0;
+  entry.content.kind = kind;
+  const auto size = static_cast<std::uint32_t>(
+      rng.between(config_.tiny_min_bytes, config_.tiny_max_bytes));
+  entry.content.segments.push_back(
+      Segment{Segment::Type::kUnique, fresh_unique_param(), size});
+  return entry;
+}
+
+Snapshot DatasetGenerator::initial() {
+  Snapshot snapshot;
+  snapshot.session = 0;
+
+  Xoshiro256 rng(derive_seed(config_.seed, /*stream=*/0));
+
+  double total_weight = 0;
+  for (FileKind kind : all_file_kinds()) {
+    total_weight += profile_of(kind).capacity_weight;
+  }
+
+  std::size_t regular_count = 0;
+  for (FileKind kind : all_file_kinds()) {
+    const TypeProfile& profile = profile_of(kind);
+    const double share = profile.capacity_weight / total_weight;
+    const std::uint64_t mean = config_.stats_only ? profile.paper_mean_bytes
+                                                  : profile.bench_mean_bytes;
+    const auto count = static_cast<std::size_t>(std::max<double>(
+        1.0, std::round(share * static_cast<double>(config_.session_bytes) /
+                        static_cast<double>(mean))));
+    std::size_t first_of_kind = snapshot.files.size();
+    for (std::size_t i = 0; i < count; ++i) {
+      // Some files are outright copies of an earlier file of the same kind
+      // (users duplicate media and documents) — these are what file-level
+      // dedup and WFC catch within a single session.
+      if (i > 0 && rng.chance(profile.p_duplicate_file)) {
+        const std::size_t source =
+            first_of_kind + rng.below(snapshot.files.size() - first_of_kind);
+        FileEntry copy = snapshot.files[source];
+        copy.path = fresh_path(kind);
+        copy.version = 0;
+        snapshot.files.push_back(std::move(copy));
+      } else {
+        snapshot.files.push_back(
+            make_file(kind, sample_size(profile, rng), rng));
+      }
+    }
+    regular_count += count;
+  }
+
+  // Tiny files: tiny_count_fraction of the *total* population.
+  const double tf = config_.tiny_count_fraction;
+  const auto tiny_count = static_cast<std::size_t>(
+      std::round(tf / (1.0 - tf) * static_cast<double>(regular_count)));
+  for (std::size_t i = 0; i < tiny_count; ++i) {
+    snapshot.files.push_back(make_tiny_file(rng));
+  }
+  return snapshot;
+}
+
+void DatasetGenerator::modify_dynamic(FileEntry& entry, Xoshiro256& rng) {
+  const TypeProfile& profile = profile_of(entry.kind);
+  auto& segments = entry.content.segments;
+  const std::uint64_t edits = rng.between(1, 3);
+  for (std::uint64_t e = 0; e < edits; ++e) {
+    const double roll = rng.uniform();
+    if (roll < 0.35 || segments.empty()) {
+      // Append a fresh run at the end.
+      const auto len = static_cast<std::uint32_t>(
+          rng.between(1, profile.run_blocks) * kContentBlock);
+      segments.push_back(
+          Segment{Segment::Type::kUnique, fresh_unique_param(), len});
+    } else if (roll < 0.70) {
+      // Insert a small odd-length unique segment at a random position —
+      // the classic document edit that shifts every SC boundary after it.
+      const auto len = static_cast<std::uint32_t>(
+          rng.between(64, kContentBlock - 1) | 1u);
+      const std::size_t at = rng.below(segments.size() + 1);
+      segments.insert(
+          segments.begin() + static_cast<std::ptrdiff_t>(at),
+          Segment{Segment::Type::kUnique, fresh_unique_param(), len});
+    } else {
+      // Rewrite an existing segment in place (same length, new content).
+      const std::size_t at = rng.below(segments.size());
+      segments[at] = Segment{Segment::Type::kUnique, fresh_unique_param(),
+                             segments[at].length};
+    }
+  }
+}
+
+void DatasetGenerator::modify_vmdk(FileEntry& entry, Xoshiro256& rng) {
+  // VM images churn by in-place block rewrites: a guest OS touches a small
+  // fraction of the disk between weekly backups, alignment preserved.
+  auto& segments = entry.content.segments;
+  if (segments.empty()) return;
+  const std::size_t rewrites = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(segments.size()) *
+                                  (0.02 + 0.04 * rng.uniform())));
+  for (std::size_t i = 0; i < rewrites; ++i) {
+    const std::size_t at = rng.below(segments.size());
+    segments[at] = Segment{Segment::Type::kUnique, fresh_unique_param(),
+                           segments[at].length};
+  }
+}
+
+void DatasetGenerator::modify_file(FileEntry& entry, Xoshiro256& rng) {
+  switch (category_of(entry.kind)) {
+    case AppCategory::kDynamicUncompressed:
+      modify_dynamic(entry, rng);
+      break;
+    case AppCategory::kStaticUncompressed:
+      if (entry.kind == FileKind::kVmdk) {
+        modify_vmdk(entry, rng);
+      } else {
+        // Static app data changes by whole-file replacement (an installer
+        // update, a re-exported PDF).
+        entry.content = make_content(entry.kind, entry.size(), rng);
+      }
+      break;
+    case AppCategory::kCompressed:
+      // Compressed media are effectively immutable; a "modification" is a
+      // re-encode, i.e. whole-file replacement.
+      entry.content = make_content(entry.kind, entry.size(), rng);
+      break;
+  }
+  ++entry.version;
+}
+
+Snapshot DatasetGenerator::next(const Snapshot& prev) {
+  Snapshot out;
+  out.session = prev.session + 1;
+  Xoshiro256 rng(derive_seed(config_.seed, 1000 + out.session));
+
+  // Per-kind bookkeeping for new-file creation.
+  std::array<std::size_t, kFileKindCount> kind_counts{};
+  std::array<std::vector<std::size_t>, kFileKindCount> kind_members{};
+
+  for (const FileEntry& file : prev.files) {
+    const bool tiny = file.size() < kTinyThreshold;
+    const TypeProfile& profile = profile_of(file.kind);
+    const double p_delete = tiny ? kTinyDeleteProb : profile.p_delete;
+    const double p_modify = tiny ? kTinyModifyProb : profile.p_modify;
+    if (rng.chance(p_delete)) continue;
+    FileEntry copy = file;
+    if (rng.chance(p_modify)) {
+      if (tiny) {
+        // Tiny files are rewritten wholesale.
+        copy.content.segments.back() = Segment{
+            Segment::Type::kUnique, fresh_unique_param(),
+            copy.content.segments.back().length};
+        ++copy.version;
+      } else {
+        modify_file(copy, rng);
+      }
+    }
+    if (!tiny) {
+      const auto k = static_cast<std::size_t>(file.kind);
+      ++kind_counts[k];
+      kind_members[k].push_back(out.files.size());
+    }
+    out.files.push_back(std::move(copy));
+  }
+
+  // New regular files per kind.
+  std::size_t new_regular = 0;
+  for (FileKind kind : all_file_kinds()) {
+    const TypeProfile& profile = profile_of(kind);
+    const auto k = static_cast<std::size_t>(kind);
+    const double expected = profile.new_file_fraction *
+                            static_cast<double>(kind_counts[k]);
+    auto count = static_cast<std::size_t>(expected);
+    if (rng.chance(expected - static_cast<double>(count))) ++count;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!kind_members[k].empty() && rng.chance(profile.p_duplicate_file)) {
+        FileEntry copy =
+            out.files[kind_members[k][rng.below(kind_members[k].size())]];
+        copy.path = fresh_path(kind);
+        copy.version = 0;
+        out.files.push_back(std::move(copy));
+      } else {
+        out.files.push_back(make_file(kind, sample_size(profile, rng), rng));
+      }
+      ++new_regular;
+    }
+  }
+
+  // New tiny files.
+  std::size_t tiny_count = 0;
+  for (const FileEntry& f : out.files) {
+    if (f.size() < kTinyThreshold) ++tiny_count;
+  }
+  const double expected_tiny =
+      kTinyNewFraction * static_cast<double>(tiny_count);
+  auto new_tiny = static_cast<std::size_t>(expected_tiny);
+  if (rng.chance(expected_tiny - static_cast<double>(new_tiny))) ++new_tiny;
+  for (std::size_t i = 0; i < new_tiny; ++i) {
+    out.files.push_back(make_tiny_file(rng));
+  }
+  return out;
+}
+
+Snapshot DatasetGenerator::kind_corpus(FileKind kind,
+                                       std::uint64_t total_bytes) {
+  Snapshot snapshot;
+  snapshot.session = 0;
+  Xoshiro256 rng(derive_seed(config_.seed,
+                             5000 + static_cast<std::uint64_t>(kind)));
+  const TypeProfile& profile = profile_of(kind);
+  std::uint64_t produced = 0;
+  while (produced < total_bytes) {
+    if (!snapshot.files.empty() && rng.chance(profile.p_duplicate_file)) {
+      FileEntry copy = snapshot.files[rng.below(snapshot.files.size())];
+      copy.path = fresh_path(kind);
+      produced += copy.size();
+      snapshot.files.push_back(std::move(copy));
+    } else {
+      FileEntry entry = make_file(kind, sample_size(profile, rng), rng);
+      produced += entry.size();
+      snapshot.files.push_back(std::move(entry));
+    }
+  }
+  return snapshot;
+}
+
+std::vector<Snapshot> DatasetGenerator::sessions(std::uint32_t count) {
+  AAD_EXPECTS(count >= 1);
+  std::vector<Snapshot> out;
+  out.reserve(count);
+  out.push_back(initial());
+  for (std::uint32_t s = 1; s < count; ++s) {
+    out.push_back(next(out.back()));
+  }
+  return out;
+}
+
+std::vector<SizeBin> size_histogram(const Snapshot& snapshot) {
+  std::vector<SizeBin> bins = {
+      {1024, 0, 0},          {10 * 1024, 0, 0},
+      {100 * 1024, 0, 0},    {1024 * 1024, 0, 0},
+      {10ull << 20, 0, 0},   {100ull << 20, 0, 0},
+      {~std::uint64_t{0}, 0, 0},
+  };
+  for (const FileEntry& file : snapshot.files) {
+    const std::uint64_t size = file.size();
+    for (SizeBin& bin : bins) {
+      if (size < bin.upper_bound) {
+        ++bin.file_count;
+        bin.total_bytes += size;
+        break;
+      }
+    }
+  }
+  return bins;
+}
+
+}  // namespace aadedupe::dataset

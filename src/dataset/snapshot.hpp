@@ -1,0 +1,40 @@
+// Snapshots: the state of the simulated PC's user directory at one weekly
+// backup point. A backup scheme receives the full snapshot each session
+// (the paper runs 10 consecutive weekly FULL backups) and exploits
+// redundancy against what it already shipped.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataset/content.hpp"
+#include "dataset/file_kind.hpp"
+
+namespace aadedupe::dataset {
+
+struct FileEntry {
+  std::string path;  // e.g. "doc/f000123.doc"
+  FileKind kind = FileKind::kTxt;
+  /// Bumped on every modification; an incremental scheme treats a changed
+  /// version as "mtime changed".
+  std::uint32_t version = 0;
+  ContentRecipe content;
+
+  std::uint64_t size() const noexcept { return content.size(); }
+};
+
+struct Snapshot {
+  std::uint32_t session = 0;  // 0-based backup session number
+  std::vector<FileEntry> files;
+
+  std::uint64_t total_bytes() const noexcept {
+    std::uint64_t total = 0;
+    for (const FileEntry& f : files) total += f.size();
+    return total;
+  }
+
+  std::size_t file_count() const noexcept { return files.size(); }
+};
+
+}  // namespace aadedupe::dataset

@@ -1,0 +1,160 @@
+#include "dataset/trace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "dataset/fs_snapshot.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace aadedupe::dataset {
+
+namespace {
+
+std::uint64_t path_seed(const std::string& path) {
+  // FNV-1a over the path, then mixed — stable across runs and platforms.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : path) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return derive_seed(h, 0x7ace);
+}
+
+/// Per-category probability that a given block is touched by a given
+/// version bump (drives cross-version sub-file redundancy).
+double block_touch_probability(FileKind kind) {
+  switch (category_of(kind)) {
+    case AppCategory::kCompressed:
+      return 1.0;  // a "modified" media file is a re-encode: all blocks
+    case AppCategory::kStaticUncompressed:
+      return kind == FileKind::kVmdk ? 0.05 : 1.0;  // VM images churn blocks
+    case AppCategory::kDynamicUncompressed:
+      return 0.10;  // documents: localized edits
+  }
+  return 1.0;
+}
+
+/// Newest version <= `version` that touched block `block` (version 0
+/// created every block).
+std::uint32_t last_touched(std::uint64_t file_seed, std::uint64_t block,
+                           std::uint32_t version, double touch_probability) {
+  for (std::uint32_t v = version; v > 0; --v) {
+    Xoshiro256 rng(derive_seed(derive_seed(file_seed, block), v));
+    if (rng.uniform() < touch_probability) return v;
+  }
+  return 0;
+}
+
+}  // namespace
+
+ContentRecipe trace_content(FileKind kind, const std::string& path,
+                            std::uint64_t size, std::uint32_t version) {
+  const TypeProfile& profile = profile_of(kind);
+  const std::uint64_t file_seed = path_seed(path);
+  const double touch_probability = block_touch_probability(kind);
+
+  ContentRecipe recipe;
+  recipe.kind = kind;
+  std::uint64_t produced = 0;
+  std::uint64_t block = 0;
+  while (produced < size) {
+    const auto len = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(kContentBlock, size - produced));
+    // Pool membership is a stable per-(file, block) property, at the
+    // kind's calibrated share; pool blocks never change across versions
+    // (shared template content).
+    Xoshiro256 classify(derive_seed(file_seed, 0x9000 + block));
+    if (classify.uniform() < profile.pool_share) {
+      const std::uint64_t pool_block = classify.below(profile.pool_blocks);
+      recipe.segments.push_back(
+          Segment{Segment::Type::kPool, pool_block, len});
+    } else {
+      const std::uint32_t touched =
+          last_touched(file_seed, block, version, touch_probability);
+      // Unique param must be globally unique per (file, block, touched):
+      // derive a seed-space key from the triple.
+      const std::uint64_t param =
+          derive_seed(derive_seed(file_seed, block), 0xC0000000ull + touched);
+      recipe.segments.push_back(Segment{Segment::Type::kUnique, param, len});
+    }
+    produced += len;
+    ++block;
+  }
+  return recipe;
+}
+
+std::vector<TraceEntry> parse_trace_csv(const std::string& text) {
+  std::vector<TraceEntry> entries;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    std::string session_str, path, ext, size_str, version_str;
+    if (!std::getline(row, session_str, ',') ||
+        !std::getline(row, path, ',') || !std::getline(row, ext, ',') ||
+        !std::getline(row, size_str, ',') ||
+        !std::getline(row, version_str)) {
+      throw FormatError("trace: malformed row at line " +
+                        std::to_string(line_number));
+    }
+    if (session_str == "session") continue;  // header row
+    char* end = nullptr;
+    TraceEntry entry;
+    entry.session =
+        static_cast<std::uint32_t>(std::strtoul(session_str.c_str(), &end, 10));
+    if (end == session_str.c_str()) {
+      throw FormatError("trace: bad session at line " +
+                        std::to_string(line_number));
+    }
+    entry.path = std::move(path);
+    if (entry.path.empty()) {
+      throw FormatError("trace: empty path at line " +
+                        std::to_string(line_number));
+    }
+    entry.kind = kind_from_extension(ext).value_or(kUnknownKindFallback);
+    entry.size = std::strtoull(size_str.c_str(), &end, 10);
+    entry.version =
+        static_cast<std::uint32_t>(std::strtoul(version_str.c_str(), &end, 10));
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::vector<Snapshot> sessions_from_trace(
+    const std::vector<TraceEntry>& entries) {
+  std::map<std::uint32_t, std::vector<const TraceEntry*>> by_session;
+  for (const TraceEntry& entry : entries) {
+    by_session[entry.session].push_back(&entry);
+  }
+
+  std::vector<Snapshot> out;
+  out.reserve(by_session.size());
+  for (auto& [session, rows] : by_session) {
+    std::sort(rows.begin(), rows.end(),
+              [](const TraceEntry* a, const TraceEntry* b) {
+                return a->path < b->path;
+              });
+    Snapshot snapshot;
+    snapshot.session = session;
+    snapshot.files.reserve(rows.size());
+    for (const TraceEntry* row : rows) {
+      FileEntry file;
+      file.path = row->path;
+      file.kind = row->kind;
+      file.version = row->version;
+      file.content =
+          trace_content(row->kind, row->path, row->size, row->version);
+      snapshot.files.push_back(std::move(file));
+    }
+    out.push_back(std::move(snapshot));
+  }
+  return out;
+}
+
+}  // namespace aadedupe::dataset

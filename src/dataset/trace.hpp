@@ -1,0 +1,53 @@
+// Trace-driven workloads: build backup sessions from a user-supplied file
+// listing instead of the synthetic population model.
+//
+// Researchers rarely can share file *contents*, but file listings
+// (path, size, type, version per weekly scan) are routinely collectable.
+// This module turns such a trace into runnable Snapshots by synthesizing
+// deterministic content per (path, version):
+//
+//  * each 8 KB block of a file is seeded by (path, block, last_touched)
+//    where last_touched is the newest version <= the file's version in
+//    which a per-category modification hash selected that block — so
+//    consecutive versions of a file share all untouched blocks, giving
+//    natural cross-session sub-file redundancy without replaying history;
+//  * a per-kind fraction of blocks is drawn from the type's shared pool
+//    (same pools as the synthetic generator), giving intra-type cross-file
+//    redundancy per Table I;
+//  * everything is a pure function of the trace row, so two runs (or two
+//    machines) see identical bytes.
+//
+// Trace CSV format, one row per file per session (header optional):
+//   session,path,ext,size_bytes,version
+// e.g.  0,docs/report.doc,doc,183500,0
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataset/snapshot.hpp"
+
+namespace aadedupe::dataset {
+
+struct TraceEntry {
+  std::uint32_t session = 0;
+  std::string path;
+  FileKind kind = FileKind::kTxt;
+  std::uint64_t size = 0;
+  std::uint32_t version = 0;
+};
+
+/// Parse trace CSV text. Throws FormatError on malformed rows; unknown
+/// extensions map to the dynamic-uncompressed fallback.
+std::vector<TraceEntry> parse_trace_csv(const std::string& text);
+
+/// Deterministic content recipe for one trace row.
+ContentRecipe trace_content(FileKind kind, const std::string& path,
+                            std::uint64_t size, std::uint32_t version);
+
+/// Group trace entries into per-session Snapshots (sessions sorted
+/// ascending; files sorted by path within a session).
+std::vector<Snapshot> sessions_from_trace(
+    const std::vector<TraceEntry>& entries);
+
+}  // namespace aadedupe::dataset

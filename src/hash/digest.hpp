@@ -1,0 +1,82 @@
+// Digest — a variable-width chunk fingerprint value.
+//
+// AA-Dedupe deliberately mixes fingerprint widths per application category
+// (Section III.D of the paper): 12-byte extended Rabin for whole-file
+// chunks, 16-byte MD5 for static chunks, 20-byte SHA-1 for CDC chunks.
+// Digest holds up to 20 bytes plus the actual width so the three kinds can
+// share index and container plumbing without ambiguity (digests of
+// different widths never compare equal).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::hash {
+
+class Digest {
+ public:
+  static constexpr std::size_t kMaxSize = 20;
+
+  /// Zero-width digest (distinct from any real fingerprint).
+  constexpr Digest() noexcept : bytes_{}, size_(0) {}
+
+  /// Construct from raw fingerprint bytes (1..20 bytes).
+  explicit Digest(ConstByteSpan bytes) : bytes_{}, size_(0) {
+    AAD_EXPECTS(bytes.size() >= 1 && bytes.size() <= kMaxSize);
+    size_ = static_cast<std::uint8_t>(bytes.size());
+    std::memcpy(bytes_.data(), bytes.data(), bytes.size());
+  }
+
+  ConstByteSpan bytes() const noexcept { return {bytes_.data(), size_}; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Lower-case hex rendering, e.g. "d41d8cd98f00b204e9800998ecf8427e".
+  std::string hex() const { return to_hex(bytes()); }
+
+  /// First 8 bytes folded into a u64 — used for index bucketing. A real
+  /// fingerprint always has >= 12 bytes here, so this never truncates to
+  /// fewer than 8 meaningful bytes for real digests.
+  std::uint64_t prefix64() const noexcept {
+    std::uint64_t v = 0;
+    const std::size_t n = size_ < 8 ? size_ : std::size_t{8};
+    std::memcpy(&v, bytes_.data(), n);
+    return v;
+  }
+
+  friend bool operator==(const Digest& a, const Digest& b) noexcept {
+    return a.size_ == b.size_ &&
+           std::memcmp(a.bytes_.data(), b.bytes_.data(), a.size_) == 0;
+  }
+
+  friend std::strong_ordering operator<=>(const Digest& a,
+                                          const Digest& b) noexcept {
+    const int c = std::memcmp(a.bytes_.data(), b.bytes_.data(),
+                              a.size_ < b.size_ ? a.size_ : b.size_);
+    if (c != 0) return c < 0 ? std::strong_ordering::less
+                             : std::strong_ordering::greater;
+    return a.size_ <=> b.size_;
+  }
+
+  struct Hasher {
+    std::size_t operator()(const Digest& d) const noexcept {
+      // Digest bytes are already uniformly distributed; the prefix is a
+      // perfectly good hash.
+      return static_cast<std::size_t>(d.prefix64());
+    }
+  };
+
+ private:
+  std::array<std::byte, kMaxSize> bytes_;
+  std::uint8_t size_;
+};
+
+}  // namespace aadedupe::hash

@@ -1,0 +1,62 @@
+// Uniform fingerprint-function dispatch.
+//
+// The paper's deduplicator selects the hash per application category
+// (Section III.D): Rabin-96 for whole-file chunks, MD5 for static chunks,
+// SHA-1 for CDC chunks. HashKind names the choice; compute_digest() is the
+// single dispatch point used by schemes and benchmarks.
+#pragma once
+
+#include <string_view>
+
+#include "hash/digest.hpp"
+#include "hash/md5.hpp"
+#include "hash/rabin.hpp"
+#include "hash/sha1.hpp"
+
+namespace aadedupe::hash {
+
+enum class HashKind {
+  kRabin96,  // 12-byte extended Rabin fingerprint (weak, cheap)
+  kMd5,      // 16-byte MD5
+  kSha1,     // 20-byte SHA-1
+};
+
+/// Fingerprint `data` with the selected function.
+inline Digest compute_digest(HashKind kind, ConstByteSpan data) noexcept {
+  switch (kind) {
+    case HashKind::kRabin96:
+      return Rabin96::hash(data);
+    case HashKind::kMd5:
+      return Md5::hash(data);
+    case HashKind::kSha1:
+      return Sha1::hash(data);
+  }
+  return Digest{};  // unreachable for valid enum values
+}
+
+/// Digest width in bytes for the selected function.
+constexpr std::size_t digest_size(HashKind kind) noexcept {
+  switch (kind) {
+    case HashKind::kRabin96:
+      return Rabin96::kDigestSize;
+    case HashKind::kMd5:
+      return Md5::kDigestSize;
+    case HashKind::kSha1:
+      return Sha1::kDigestSize;
+  }
+  return 0;
+}
+
+constexpr std::string_view to_string(HashKind kind) noexcept {
+  switch (kind) {
+    case HashKind::kRabin96:
+      return "rabin96";
+    case HashKind::kMd5:
+      return "md5";
+    case HashKind::kSha1:
+      return "sha1";
+  }
+  return "?";
+}
+
+}  // namespace aadedupe::hash

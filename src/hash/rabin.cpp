@@ -1,0 +1,102 @@
+#include "hash/rabin.hpp"
+
+#include <algorithm>
+
+namespace aadedupe::hash {
+
+namespace {
+/// Multiply a (degree < 64) polynomial by x, reducing mod (x^64 + poly_low).
+inline std::uint64_t mul_x(std::uint64_t v, std::uint64_t poly_low) noexcept {
+  const bool carry = (v >> 63) & 1;
+  v <<= 1;
+  if (carry) v ^= poly_low;
+  return v;
+}
+}  // namespace
+
+RabinPoly::RabinPoly(std::uint64_t poly_low) noexcept : poly_(poly_low) {
+  // x64_mod = x^64 mod P = poly_low by definition of the implicit top term.
+  // shift_[t] = t(x) · x^64 mod P, computed bit-by-bit from x64_mod.
+  std::uint64_t power = poly_low;  // x^64 · x^0 mod P
+  std::array<std::uint64_t, 8> bit_contrib{};
+  for (int bit = 0; bit < 8; ++bit) {
+    bit_contrib[static_cast<std::size_t>(bit)] = power;
+    power = mul_x(power, poly_low);  // x^64 · x^(bit+1) mod P
+  }
+  for (unsigned t = 0; t < 256; ++t) {
+    std::uint64_t v = 0;
+    for (int bit = 0; bit < 8; ++bit) {
+      if ((t >> bit) & 1u) v ^= bit_contrib[static_cast<std::size_t>(bit)];
+    }
+    shift_[t] = v;
+  }
+  // Bulk-path tables: slice_[k][t] = t(x)·x^(64+8k) mod P. slice_[0] is
+  // shift_ itself; each further slice multiplies by x^8.
+  slice_[0] = shift_;
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (unsigned t = 0; t < 256; ++t) {
+      std::uint64_t v = slice_[k - 1][t];
+      for (int i = 0; i < 8; ++i) v = mul_x(v, poly_low);
+      slice_[k][t] = v;
+    }
+  }
+}
+
+std::uint64_t RabinPoly::shift_bytes(std::uint64_t value,
+                                     std::size_t byte_count) const noexcept {
+  for (std::size_t i = 0; i < byte_count * 8; ++i) {
+    value = mul_x(value, poly_);
+  }
+  return value;
+}
+
+std::uint64_t RabinPoly::naive_fingerprint(ConstByteSpan data,
+                                           std::uint64_t poly_low) noexcept {
+  // fp = m(x) mod P, processing one message bit at a time: appending bit v
+  // maps fp -> fp·x + v (mod P). This is the same convention as
+  // push_byte(), which appends eight bits at once via the table.
+  std::uint64_t fp = 0;
+  for (std::byte byte : data) {
+    for (int bit = 7; bit >= 0; --bit) {
+      const std::uint64_t v = (static_cast<std::uint64_t>(byte) >> bit) & 1u;
+      fp = mul_x(fp, poly_low) ^ v;
+    }
+  }
+  return fp;
+}
+
+RabinWindow::RabinWindow(const RabinPoly& poly, std::size_t window_size)
+    : poly_(&poly), ring_(window_size, std::byte{0}) {
+  AAD_EXPECTS(window_size >= 1);
+  // When the window slides, the departing byte's contribution must be
+  // XORed out. A byte that sat at the head of a W-byte window and is then
+  // pushed past contributes b(x)·x^(8W)·x^64 mod P — i.e. exactly the
+  // fingerprint of the message (b followed by W zero bytes). Tabulate that
+  // by direct simulation so the removal convention can never drift from
+  // push_byte's append convention.
+  for (unsigned b = 0; b < 256; ++b) {
+    std::uint64_t fp = poly.push_byte(0, static_cast<std::byte>(b));
+    for (std::size_t i = 0; i < window_size; ++i) {
+      fp = poly.push_byte(fp, std::byte{0});
+    }
+    remove_[b] = fp;
+  }
+}
+
+void RabinWindow::reset() noexcept {
+  std::fill(ring_.begin(), ring_.end(), std::byte{0});
+  fp_ = 0;
+  pos_ = 0;
+}
+
+const RabinPoly& Rabin96::poly_a() noexcept {
+  static const RabinPoly poly(kRabinPolyA);
+  return poly;
+}
+
+const RabinPoly& Rabin96::poly_b() noexcept {
+  static const RabinPoly poly(kRabinPolyB);
+  return poly;
+}
+
+}  // namespace aadedupe::hash

@@ -1,0 +1,190 @@
+// Rabin fingerprinting over GF(2), implemented from scratch.
+//
+// A message m = b0 b1 ... b(n-1) is interpreted as a polynomial over GF(2)
+// (b0's bits are the most significant coefficients) and its fingerprint is
+// m(x) mod P(x) for a fixed irreducible degree-64 polynomial P. Two
+// deployments in AA-Dedupe:
+//
+//  * RabinWindow — the rolling 48-byte window that drives CDC chunk
+//    boundary detection (paper Section IV.A: 48-byte window, 1-byte step).
+//  * Rabin96 — the "extended 12-byte Rabin hash" used as the whole-file
+//    fingerprint for compressed files (paper Section III.D): two
+//    independent 64-bit fingerprints under different irreducible
+//    polynomials, truncated to 96 bits total. Collision probability at
+//    TB-scale is far below the hardware error rate, per the paper.
+//
+// The byte-at-a-time table technique (Broder, "Some applications of Rabin's
+// fingerprinting method") gives one table lookup + shift per byte; the unit
+// tests cross-check it against the naive bit-by-bit polynomial division.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hash/digest.hpp"
+#include "util/bytes.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::hash {
+
+/// Irreducible degree-64 polynomials over GF(2), low 64 coefficients (the
+/// x^64 term is implicit). kPolyA is the standard GF(2^64) reduction
+/// pentanomial x^64 + x^4 + x^3 + x + 1; kPolyB is an independent
+/// irreducible used for the second half of the 96-bit extended fingerprint.
+inline constexpr std::uint64_t kRabinPolyA = 0x000000000000001Bull;
+inline constexpr std::uint64_t kRabinPolyB = 0x000000000000201Bull;
+
+/// Byte-wise Rabin fingerprint engine for one fixed modulus polynomial.
+/// Immutable after construction; safe to share across threads.
+class RabinPoly {
+ public:
+  explicit RabinPoly(std::uint64_t poly_low = kRabinPolyA) noexcept;
+
+  /// Fingerprint of a whole message: m(x) mod P. Uses the slice-by-8 bulk
+  /// path (one table lookup per byte, no loop-carried shift chain).
+  std::uint64_t fingerprint(ConstByteSpan data) const noexcept {
+    std::uint64_t fp = 0;
+    std::size_t i = 0;
+    while (i + 8 <= data.size()) {
+      fp = push_block8(fp, data.data() + i);
+      i += 8;
+    }
+    for (; i < data.size(); ++i) fp = push_byte(fp, data[i]);
+    return fp;
+  }
+
+  /// Extend a running fingerprint by one message byte.
+  std::uint64_t push_byte(std::uint64_t fp, std::byte b) const noexcept {
+    const auto top = static_cast<std::uint8_t>(fp >> 56);
+    return ((fp << 8) | static_cast<std::uint64_t>(b)) ^ shift_[top];
+  }
+
+  /// Extend a running fingerprint by eight message bytes at once:
+  /// fp·x^64 is reduced via eight independent per-byte tables while the
+  /// new bytes enter unreduced (degree < 64) — the GF(2) analogue of
+  /// slice-by-8 CRC.
+  std::uint64_t push_block8(std::uint64_t fp,
+                            const std::byte* p) const noexcept {
+    const std::uint64_t incoming =
+        (static_cast<std::uint64_t>(p[0]) << 56) |
+        (static_cast<std::uint64_t>(p[1]) << 48) |
+        (static_cast<std::uint64_t>(p[2]) << 40) |
+        (static_cast<std::uint64_t>(p[3]) << 32) |
+        (static_cast<std::uint64_t>(p[4]) << 24) |
+        (static_cast<std::uint64_t>(p[5]) << 16) |
+        (static_cast<std::uint64_t>(p[6]) << 8) |
+        static_cast<std::uint64_t>(p[7]);
+    return incoming ^ slice_[0][fp & 0xff] ^ slice_[1][(fp >> 8) & 0xff] ^
+           slice_[2][(fp >> 16) & 0xff] ^ slice_[3][(fp >> 24) & 0xff] ^
+           slice_[4][(fp >> 32) & 0xff] ^ slice_[5][(fp >> 40) & 0xff] ^
+           slice_[6][(fp >> 48) & 0xff] ^ slice_[7][(fp >> 56) & 0xff];
+  }
+
+  /// (value(x) · x^(8·byte_count)) mod P — contribution of a byte string
+  /// after byte_count further bytes have been appended. Used to build
+  /// rolling-window removal tables.
+  std::uint64_t shift_bytes(std::uint64_t value,
+                            std::size_t byte_count) const noexcept;
+
+  std::uint64_t polynomial() const noexcept { return poly_; }
+
+  /// Reference implementation: bit-by-bit polynomial division (slow; used
+  /// by tests to validate the table path).
+  static std::uint64_t naive_fingerprint(ConstByteSpan data,
+                                         std::uint64_t poly_low) noexcept;
+
+ private:
+  std::uint64_t poly_;
+  std::array<std::uint64_t, 256> shift_;  // shift_[t] = t(x)·x^64 mod P
+  // slice_[k][t] = t(x)·x^(64+8k) mod P — bulk-path reduction tables.
+  std::array<std::array<std::uint64_t, 256>, 8> slice_;
+};
+
+/// Fixed-size rolling window over a byte stream, yielding the Rabin
+/// fingerprint of the last `window_size` bytes after each push. This is the
+/// inner loop of CDC: one push per input byte.
+class RabinWindow {
+ public:
+  RabinWindow(const RabinPoly& poly, std::size_t window_size);
+
+  /// Slide the window forward by one byte; returns the fingerprint of the
+  /// latest `window_size` bytes (bytes pushed before the window filled are
+  /// treated as leading zeros, matching the classic LBFS formulation).
+  std::uint64_t push(std::byte b) noexcept {
+    const std::byte oldest = ring_[pos_];
+    ring_[pos_] = b;
+    pos_ = (pos_ + 1) % ring_.size();
+    fp_ = poly_->push_byte(fp_, b) ^ remove_[static_cast<std::uint8_t>(oldest)];
+    return fp_;
+  }
+
+  /// Reset to the all-zero window.
+  void reset() noexcept;
+
+  std::size_t window_size() const noexcept { return ring_.size(); }
+  std::uint64_t value() const noexcept { return fp_; }
+
+ private:
+  const RabinPoly* poly_;
+  std::vector<std::byte> ring_;
+  std::array<std::uint64_t, 256> remove_;  // remove_[b] = b(x)·x^(8W) mod P
+  std::uint64_t fp_ = 0;
+  std::size_t pos_ = 0;
+};
+
+/// 12-byte (96-bit) extended Rabin fingerprint: 8 bytes under kRabinPolyA
+/// concatenated with the low 4 bytes under kRabinPolyB.
+class Rabin96 {
+ public:
+  static constexpr std::size_t kDigestSize = 12;
+
+  Rabin96() noexcept = default;
+
+  void reset() noexcept {
+    fp_a_ = 0;
+    fp_b_ = 0;
+  }
+
+  void update(ConstByteSpan data) noexcept {
+    const RabinPoly& pa = poly_a();
+    const RabinPoly& pb = poly_b();
+    std::size_t i = 0;
+    // Bulk path: both polynomials advance through independent slice-by-8
+    // pipelines (no shared dependency chain).
+    while (i + 8 <= data.size()) {
+      fp_a_ = pa.push_block8(fp_a_, data.data() + i);
+      fp_b_ = pb.push_block8(fp_b_, data.data() + i);
+      i += 8;
+    }
+    for (; i < data.size(); ++i) {
+      fp_a_ = pa.push_byte(fp_a_, data[i]);
+      fp_b_ = pb.push_byte(fp_b_, data[i]);
+    }
+  }
+
+  Digest finish() const noexcept {
+    std::byte out[kDigestSize];
+    store_le64(out, fp_a_);
+    store_le32(out + 8, static_cast<std::uint32_t>(fp_b_ & 0xffffffffu));
+    return Digest(ConstByteSpan{out, kDigestSize});
+  }
+
+  /// One-shot convenience.
+  static Digest hash(ConstByteSpan data) noexcept {
+    Rabin96 h;
+    h.update(data);
+    return h.finish();
+  }
+
+  /// Shared engine instances (immutable, thread-safe).
+  static const RabinPoly& poly_a() noexcept;
+  static const RabinPoly& poly_b() noexcept;
+
+ private:
+  std::uint64_t fp_a_ = 0;
+  std::uint64_t fp_b_ = 0;
+};
+
+}  // namespace aadedupe::hash

@@ -1,0 +1,111 @@
+#include "hash/sha1.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace aadedupe::hash {
+
+namespace {
+inline std::uint32_t rotl(std::uint32_t x, int c) noexcept {
+  return (x << c) | (x >> (32 - c));
+}
+
+inline std::uint32_t load_be32(const std::byte* p) noexcept {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+inline void store_be32(std::byte* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::byte>((v >> 24) & 0xffu);
+  p[1] = static_cast<std::byte>((v >> 16) & 0xffu);
+  p[2] = static_cast<std::byte>((v >> 8) & 0xffu);
+  p[3] = static_cast<std::byte>(v & 0xffu);
+}
+}  // namespace
+
+void Sha1::reset() noexcept {
+  state_ = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u, 0xc3d2e1f0u};
+  total_bytes_ = 0;
+}
+
+void Sha1::process_block(const std::byte* block) noexcept {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5a827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdcu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6u;
+    }
+    const std::uint32_t tmp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(ConstByteSpan data) noexcept {
+  std::size_t fill = total_bytes_ % 64;
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+
+  if (fill != 0) {
+    const std::size_t take = std::min<std::size_t>(64 - fill, data.size());
+    std::memcpy(buffer_.data() + fill, data.data(), take);
+    fill += take;
+    offset += take;
+    if (fill < 64) return;
+    process_block(buffer_.data());
+  }
+  while (offset + 64 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+  }
+}
+
+Digest Sha1::finish() noexcept {
+  const std::uint64_t bit_length = total_bytes_ * 8;
+  static constexpr std::byte kPad[64] = {std::byte{0x80}};
+  const std::size_t fill = total_bytes_ % 64;
+  const std::size_t pad_len = (fill < 56) ? (56 - fill) : (120 - fill);
+  update({kPad, pad_len});
+  // Big-endian 64-bit message length in the final 8 bytes.
+  store_be32(buffer_.data() + 56,
+             static_cast<std::uint32_t>(bit_length >> 32));
+  store_be32(buffer_.data() + 60,
+             static_cast<std::uint32_t>(bit_length & 0xffffffffu));
+  process_block(buffer_.data());
+
+  std::byte out[kDigestSize];
+  for (std::size_t i = 0; i < 5; ++i) store_be32(out + 4 * i, state_[i]);
+  return Digest(ConstByteSpan{out, kDigestSize});
+}
+
+}  // namespace aadedupe::hash

@@ -1,0 +1,47 @@
+// SHA-1 (RFC 3174), implemented from scratch.
+//
+// AA-Dedupe uses SHA-1 for CDC chunk fingerprints: in the CDC category the
+// Rabin boundary scan dominates compute, so the stronger (and costlier)
+// 20-byte hash is nearly free in relative terms (paper Section III.D).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "hash/digest.hpp"
+#include "util/bytes.hpp"
+
+namespace aadedupe::hash {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+
+  Sha1() noexcept { reset(); }
+
+  /// Reinitialize to the RFC 3174 starting state.
+  void reset() noexcept;
+
+  /// Absorb more message bytes (streaming).
+  void update(ConstByteSpan data) noexcept;
+
+  /// Finalize and return the 20-byte digest; reset() before reuse.
+  Digest finish() noexcept;
+
+  /// One-shot convenience.
+  static Digest hash(ConstByteSpan data) noexcept {
+    Sha1 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void process_block(const std::byte* block) noexcept;
+
+  std::array<std::uint32_t, 5> state_{};
+  std::array<std::byte, 64> buffer_{};
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace aadedupe::hash

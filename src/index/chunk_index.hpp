@@ -1,0 +1,93 @@
+// Chunk-index abstraction: fingerprint -> cloud location.
+//
+// The index answers the central deduplication question — "is this chunk
+// already stored?" — and is exactly the structure the paper redesigns:
+// a traditional scheme keeps ONE index over all chunks (which outgrows RAM
+// and hits the disk-lookup bottleneck), while AA-Dedupe keeps one SMALL
+// index per application (Section III.E), safe because cross-application
+// sharing is negligible (Observation 2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "hash/digest.hpp"
+#include "util/bytes.hpp"
+
+namespace aadedupe::index {
+
+/// Where a stored chunk lives in the cloud.
+struct ChunkLocation {
+  std::uint64_t container_id = 0;  // container object holding the chunk
+  std::uint32_t offset = 0;        // byte offset within the container payload
+  std::uint32_t length = 0;        // chunk length in bytes
+
+  friend bool operator==(const ChunkLocation&, const ChunkLocation&) = default;
+};
+
+/// Counters for efficiency analysis and the index ablation bench.
+struct IndexStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t disk_reads = 0;   // bucket/slot reads that went to storage
+  std::uint64_t disk_writes = 0;  // slot writes that went to storage
+
+  IndexStats& operator+=(const IndexStats& o) {
+    lookups += o.lookups;
+    hits += o.hits;
+    inserts += o.inserts;
+    disk_reads += o.disk_reads;
+    disk_writes += o.disk_writes;
+    return *this;
+  }
+};
+
+/// Thread-safe fingerprint index. All implementations synchronize
+/// internally so independent shards can be probed concurrently.
+class ChunkIndex {
+ public:
+  virtual ~ChunkIndex() = default;
+
+  /// Find a previously stored chunk with this fingerprint.
+  virtual std::optional<ChunkLocation> lookup(const hash::Digest& digest) = 0;
+
+  /// Record a new chunk. Returns false (and leaves the existing mapping)
+  /// if the fingerprint was already present.
+  virtual bool insert(const hash::Digest& digest,
+                      const ChunkLocation& location) = 0;
+
+  /// Drop a fingerprint (file deletion / garbage collection). Returns
+  /// false if it was not present.
+  virtual bool remove(const hash::Digest& digest) = 0;
+
+  /// Repoint an existing fingerprint at a new location (container
+  /// rewrite during garbage collection). Returns false if absent.
+  virtual bool update(const hash::Digest& digest,
+                      const ChunkLocation& location) = 0;
+
+  /// Number of distinct fingerprints stored.
+  virtual std::uint64_t size() const = 0;
+
+  virtual IndexStats stats() const = 0;
+
+  /// Serialize the full index for the paper's periodic cloud sync of
+  /// index state (Section III.E).
+  virtual ByteBuffer serialize() const = 0;
+
+  /// Replace contents from a previously serialized image.
+  /// Throws FormatError on malformed input.
+  virtual void deserialize(ConstByteSpan image) = 0;
+};
+
+/// Shared serialization helpers (one entry = digest size, digest bytes,
+/// location triple; all little-endian).
+void serialize_entry(ByteBuffer& out, const hash::Digest& digest,
+                     const ChunkLocation& location);
+
+/// Reads one entry at `pos`, advancing it. Throws FormatError on overrun.
+std::pair<hash::Digest, ChunkLocation> deserialize_entry(ConstByteSpan image,
+                                                         std::size_t& pos);
+
+}  // namespace aadedupe::index

@@ -1,0 +1,107 @@
+#include "index/memory_index.hpp"
+
+#include <algorithm>
+#include "util/check.hpp"
+
+namespace aadedupe::index {
+
+void serialize_entry(ByteBuffer& out, const hash::Digest& digest,
+                     const ChunkLocation& location) {
+  out.push_back(static_cast<std::byte>(digest.size()));
+  append(out, digest.bytes());
+  append_le64(out, location.container_id);
+  append_le32(out, location.offset);
+  append_le32(out, location.length);
+}
+
+std::pair<hash::Digest, ChunkLocation> deserialize_entry(ConstByteSpan image,
+                                                         std::size_t& pos) {
+  if (pos >= image.size()) throw FormatError("index image: truncated entry");
+  const auto digest_size = static_cast<std::size_t>(image[pos]);
+  ++pos;
+  if (digest_size == 0 || digest_size > hash::Digest::kMaxSize ||
+      pos + digest_size + 16 > image.size()) {
+    throw FormatError("index image: bad digest size or truncated entry");
+  }
+  hash::Digest digest(image.subspan(pos, digest_size));
+  pos += digest_size;
+  ChunkLocation loc;
+  loc.container_id = load_le64(image.data() + pos);
+  pos += 8;
+  loc.offset = load_le32(image.data() + pos);
+  pos += 4;
+  loc.length = load_le32(image.data() + pos);
+  pos += 4;
+  return {digest, loc};
+}
+
+std::optional<ChunkLocation> MemoryChunkIndex::lookup(
+    const hash::Digest& digest) {
+  std::lock_guard lock(mutex_);
+  ++stats_.lookups;
+  const auto it = map_.find(digest);
+  if (it == map_.end()) return std::nullopt;
+  ++stats_.hits;
+  return it->second;
+}
+
+bool MemoryChunkIndex::insert(const hash::Digest& digest,
+                              const ChunkLocation& location) {
+  std::lock_guard lock(mutex_);
+  const auto [it, inserted] = map_.emplace(digest, location);
+  if (inserted) ++stats_.inserts;
+  return inserted;
+}
+
+bool MemoryChunkIndex::remove(const hash::Digest& digest) {
+  std::lock_guard lock(mutex_);
+  return map_.erase(digest) > 0;
+}
+
+bool MemoryChunkIndex::update(const hash::Digest& digest,
+                              const ChunkLocation& location) {
+  std::lock_guard lock(mutex_);
+  const auto it = map_.find(digest);
+  if (it == map_.end()) return false;
+  it->second = location;
+  return true;
+}
+
+std::uint64_t MemoryChunkIndex::size() const {
+  std::lock_guard lock(mutex_);
+  return map_.size();
+}
+
+IndexStats MemoryChunkIndex::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+ByteBuffer MemoryChunkIndex::serialize() const {
+  std::lock_guard lock(mutex_);
+  ByteBuffer out;
+  append_le64(out, map_.size());
+  for (const auto& [digest, loc] : map_) {
+    serialize_entry(out, digest, loc);
+  }
+  return out;
+}
+
+void MemoryChunkIndex::deserialize(ConstByteSpan image) {
+  if (image.size() < 8) throw FormatError("index image: missing header");
+  const std::uint64_t count = load_le64(image.data());
+  std::size_t pos = 8;
+  decltype(map_) fresh;
+  // A corrupted count must not drive a huge allocation: each entry takes
+  // at least 17 bytes on the wire.
+  fresh.reserve(std::min<std::uint64_t>(count, (image.size() - pos) / 17));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    auto [digest, loc] = deserialize_entry(image, pos);
+    fresh.emplace(digest, loc);
+  }
+  if (pos != image.size()) throw FormatError("index image: trailing bytes");
+  std::lock_guard lock(mutex_);
+  map_ = std::move(fresh);
+}
+
+}  // namespace aadedupe::index

@@ -1,0 +1,36 @@
+// In-memory chunk index: a mutex-guarded hash map.
+//
+// This is the index AA-Dedupe actually runs with per application shard —
+// small enough to stay resident (Observation 2 ensures each shard stays
+// small), so lookups never touch disk.
+#pragma once
+
+#include <mutex>
+#include <unordered_map>
+
+#include "index/chunk_index.hpp"
+
+namespace aadedupe::index {
+
+class MemoryChunkIndex final : public ChunkIndex {
+ public:
+  MemoryChunkIndex() = default;
+
+  std::optional<ChunkLocation> lookup(const hash::Digest& digest) override;
+  bool insert(const hash::Digest& digest,
+              const ChunkLocation& location) override;
+  bool remove(const hash::Digest& digest) override;
+  bool update(const hash::Digest& digest,
+              const ChunkLocation& location) override;
+  std::uint64_t size() const override;
+  IndexStats stats() const override;
+  ByteBuffer serialize() const override;
+  void deserialize(ConstByteSpan image) override;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<hash::Digest, ChunkLocation, hash::Digest::Hasher> map_;
+  IndexStats stats_;
+};
+
+}  // namespace aadedupe::index

@@ -1,0 +1,100 @@
+#include "index/partitioned_index.hpp"
+
+#include "index/memory_index.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::index {
+
+PartitionedIndex::PartitionedIndex()
+    : PartitionedIndex(
+          [](const std::string&) { return std::make_unique<MemoryChunkIndex>(); }) {}
+
+PartitionedIndex::PartitionedIndex(ShardFactory factory)
+    : factory_(std::move(factory)) {
+  AAD_EXPECTS(factory_ != nullptr);
+}
+
+ChunkIndex& PartitionedIndex::shard(const std::string& partition) {
+  std::lock_guard lock(mutex_);
+  auto it = shards_.find(partition);
+  if (it == shards_.end()) {
+    it = shards_.emplace(partition, factory_(partition)).first;
+  }
+  return *it->second;
+}
+
+void PartitionedIndex::clear() {
+  std::lock_guard lock(mutex_);
+  shards_.clear();
+}
+
+std::vector<std::string> PartitionedIndex::partitions() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> keys;
+  keys.reserve(shards_.size());
+  for (const auto& [key, shard] : shards_) keys.push_back(key);
+  return keys;  // std::map iterates sorted
+}
+
+std::uint64_t PartitionedIndex::total_size() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [key, shard] : shards_) total += shard->size();
+  return total;
+}
+
+IndexStats PartitionedIndex::total_stats() const {
+  std::lock_guard lock(mutex_);
+  IndexStats total;
+  for (const auto& [key, shard] : shards_) total += shard->stats();
+  return total;
+}
+
+ByteBuffer PartitionedIndex::serialize() const {
+  std::lock_guard lock(mutex_);
+  ByteBuffer out;
+  append_le32(out, static_cast<std::uint32_t>(shards_.size()));
+  for (const auto& [key, shard] : shards_) {
+    append_le32(out, static_cast<std::uint32_t>(key.size()));
+    append(out, as_bytes(key));
+    const ByteBuffer image = shard->serialize();
+    append_le64(out, image.size());
+    append(out, image);
+  }
+  return out;
+}
+
+void PartitionedIndex::deserialize(ConstByteSpan image) {
+  if (image.size() < 4) throw FormatError("partitioned index: no header");
+  const std::uint32_t count = load_le32(image.data());
+  std::size_t pos = 4;
+  std::map<std::string, std::unique_ptr<ChunkIndex>> fresh;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (pos + 4 > image.size()) {
+      throw FormatError("partitioned index: truncated key length");
+    }
+    const std::uint32_t key_len = load_le32(image.data() + pos);
+    pos += 4;
+    if (pos + key_len + 8 > image.size()) {
+      throw FormatError("partitioned index: truncated key");
+    }
+    std::string key = to_string(image.subspan(pos, key_len));
+    pos += key_len;
+    const std::uint64_t image_len = load_le64(image.data() + pos);
+    pos += 8;
+    if (pos + image_len > image.size()) {
+      throw FormatError("partitioned index: truncated shard image");
+    }
+    auto shard = factory_(key);
+    shard->deserialize(image.subspan(pos, image_len));
+    pos += image_len;
+    fresh.emplace(std::move(key), std::move(shard));
+  }
+  if (pos != image.size()) {
+    throw FormatError("partitioned index: trailing bytes");
+  }
+  std::lock_guard lock(mutex_);
+  shards_ = std::move(fresh);
+}
+
+}  // namespace aadedupe::index

@@ -1,0 +1,333 @@
+#include "index/persistent_index.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <algorithm>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace aadedupe::index {
+
+namespace {
+constexpr char kMagic[8] = {'A', 'A', 'D', 'I', 'D', 'X', '0', '1'};
+
+void pread_exact(int fd, std::byte* buf, std::size_t len, std::uint64_t off) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pread(fd, buf + done, len - done,
+                              static_cast<off_t>(off + done));
+    if (n < 0) throw FormatError("index file: read error");
+    if (n == 0) throw FormatError("index file: unexpected EOF");
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void pwrite_exact(int fd, const std::byte* buf, std::size_t len,
+                  std::uint64_t off) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pwrite(fd, buf + done, len - done,
+                               static_cast<off_t>(off + done));
+    if (n < 0) throw FormatError("index file: write error");
+    done += static_cast<std::size_t>(n);
+  }
+}
+}  // namespace
+
+PersistentChunkIndex::PersistentChunkIndex(std::string path, Options options)
+    : path_(std::move(path)), options_(options) {
+  AAD_EXPECTS(options_.initial_slots >= 8);
+  fd_ = ::open(path_.c_str(), O_RDWR, 0644);
+  if (fd_ >= 0) {
+    load_header();
+  } else {
+    fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_EXCL, 0644);
+    if (fd_ < 0) throw FormatError("index file: cannot open " + path_);
+    create_file(options_.initial_slots);
+  }
+}
+
+PersistentChunkIndex::~PersistentChunkIndex() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void PersistentChunkIndex::create_file(std::uint64_t slots) {
+  slot_count_ = slots;
+  entry_count_ = 0;
+  tombstone_count_ = 0;
+  std::byte header[kHeaderSize] = {};
+  std::memcpy(header, kMagic, sizeof(kMagic));
+  store_le64(header + 8, slot_count_);
+  store_le64(header + 16, entry_count_);
+  store_le64(header + 24, tombstone_count_);
+  // Truncate to zero first: a grow/rebuild must not leave stale slot data
+  // visible in the (sparse-zero) re-extended region.
+  if (::ftruncate(fd_, 0) != 0 ||
+      ::ftruncate(fd_, static_cast<off_t>(kHeaderSize +
+                                          slot_count_ * kSlotSize)) != 0) {
+    throw FormatError("index file: ftruncate failed");
+  }
+  pwrite_exact(fd_, header, kHeaderSize, 0);
+}
+
+void PersistentChunkIndex::load_header() {
+  std::byte header[kHeaderSize];
+  pread_exact(fd_, header, kHeaderSize, 0);
+  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+    throw FormatError("index file: bad magic in " + path_);
+  }
+  slot_count_ = load_le64(header + 8);
+  entry_count_ = load_le64(header + 16);
+  tombstone_count_ = load_le64(header + 24);
+  if (slot_count_ < 8 || entry_count_ + tombstone_count_ > slot_count_) {
+    throw FormatError("index file: corrupt header in " + path_);
+  }
+}
+
+PersistentChunkIndex::Slot PersistentChunkIndex::read_slot(
+    std::uint64_t slot_index) {
+  std::byte raw[kSlotSize];
+  pread_exact(fd_, raw, kSlotSize, kHeaderSize + slot_index * kSlotSize);
+  ++stats_.disk_reads;
+  if (options_.simulated_read_latency_us > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.simulated_read_latency_us));
+  }
+  Slot slot;
+  const auto digest_size = static_cast<std::size_t>(raw[0]);
+  if (digest_size == kTombstoneMarker) {
+    slot.tombstone = true;
+  } else if (digest_size > 0) {
+    if (digest_size > hash::Digest::kMaxSize) {
+      throw FormatError("index file: corrupt slot digest size");
+    }
+    slot.digest = hash::Digest(ConstByteSpan{raw + 1, digest_size});
+    slot.location.container_id = load_le64(raw + 21);
+    slot.location.offset = load_le32(raw + 29);
+    slot.location.length = load_le32(raw + 33);
+  }
+  return slot;
+}
+
+void PersistentChunkIndex::write_slot(std::uint64_t slot_index,
+                                      const Slot& slot) {
+  std::byte raw[kSlotSize] = {};
+  raw[0] = slot.tombstone ? static_cast<std::byte>(kTombstoneMarker)
+                          : static_cast<std::byte>(slot.digest.size());
+  std::memcpy(raw + 1, slot.digest.bytes().data(), slot.digest.size());
+  store_le64(raw + 21, slot.location.container_id);
+  store_le32(raw + 29, slot.location.offset);
+  store_le32(raw + 33, slot.location.length);
+  pwrite_exact(fd_, raw, kSlotSize, kHeaderSize + slot_index * kSlotSize);
+  ++stats_.disk_writes;
+}
+
+void PersistentChunkIndex::cache_put(const hash::Digest& digest,
+                                     const ChunkLocation& loc) {
+  if (options_.cache_entries == 0) return;
+  if (cache_.size() >= options_.cache_entries &&
+      !cache_order_.empty()) {
+    // FIFO eviction.
+    const hash::Digest& victim = cache_order_[cache_evict_pos_];
+    cache_.erase(victim);
+    cache_order_[cache_evict_pos_] = digest;
+    cache_evict_pos_ = (cache_evict_pos_ + 1) % cache_order_.size();
+  } else {
+    cache_order_.push_back(digest);
+  }
+  cache_[digest] = loc;
+}
+
+std::optional<ChunkLocation> PersistentChunkIndex::lookup_locked(
+    const hash::Digest& digest) {
+  if (const auto it = cache_.find(digest); it != cache_.end()) {
+    return it->second;
+  }
+  const std::uint64_t home = digest.prefix64() % slot_count_;
+  for (std::uint64_t probe = 0; probe < slot_count_; ++probe) {
+    const std::uint64_t slot_index = (home + probe) % slot_count_;
+    Slot slot = read_slot(slot_index);
+    if (slot.tombstone) continue;  // deleted entry: probe chain continues
+    if (slot.digest.empty()) return std::nullopt;
+    if (slot.digest == digest) {
+      cache_put(digest, slot.location);
+      return slot.location;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<ChunkLocation> PersistentChunkIndex::lookup(
+    const hash::Digest& digest) {
+  std::lock_guard lock(mutex_);
+  ++stats_.lookups;
+  auto result = lookup_locked(digest);
+  if (result) ++stats_.hits;
+  return result;
+}
+
+bool PersistentChunkIndex::insert_locked(const hash::Digest& digest,
+                                         const ChunkLocation& loc,
+                                         bool count_stats) {
+  const std::uint64_t home = digest.prefix64() % slot_count_;
+  std::uint64_t first_tombstone = slot_count_;  // sentinel: none seen
+  for (std::uint64_t probe = 0; probe < slot_count_; ++probe) {
+    const std::uint64_t slot_index = (home + probe) % slot_count_;
+    Slot slot = read_slot(slot_index);
+    if (slot.tombstone) {
+      if (first_tombstone == slot_count_) first_tombstone = slot_index;
+      continue;
+    }
+    if (slot.digest == digest) return false;
+    if (slot.digest.empty()) {
+      const bool reuse = first_tombstone != slot_count_;
+      write_slot(reuse ? first_tombstone : slot_index, Slot{digest, loc});
+      ++entry_count_;
+      if (reuse) --tombstone_count_;
+      if (count_stats) ++stats_.inserts;
+      persist_counters();
+      cache_put(digest, loc);
+      return true;
+    }
+  }
+  throw InvariantError("index file: table full before growth triggered");
+}
+
+bool PersistentChunkIndex::remove(const hash::Digest& digest) {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t home = digest.prefix64() % slot_count_;
+  for (std::uint64_t probe = 0; probe < slot_count_; ++probe) {
+    const std::uint64_t slot_index = (home + probe) % slot_count_;
+    Slot slot = read_slot(slot_index);
+    if (slot.tombstone) continue;
+    if (slot.digest.empty()) return false;
+    if (slot.digest == digest) {
+      Slot dead;
+      dead.tombstone = true;
+      write_slot(slot_index, dead);
+      --entry_count_;
+      ++tombstone_count_;
+      persist_counters();
+      cache_.erase(digest);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool PersistentChunkIndex::update(const hash::Digest& digest,
+                                  const ChunkLocation& location) {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t home = digest.prefix64() % slot_count_;
+  for (std::uint64_t probe = 0; probe < slot_count_; ++probe) {
+    const std::uint64_t slot_index = (home + probe) % slot_count_;
+    Slot slot = read_slot(slot_index);
+    if (slot.tombstone) continue;
+    if (slot.digest.empty()) return false;
+    if (slot.digest == digest) {
+      write_slot(slot_index, Slot{digest, location});
+      if (cache_.contains(digest)) cache_[digest] = location;
+      return true;
+    }
+  }
+  return false;
+}
+
+void PersistentChunkIndex::persist_counters() {
+  std::byte counters[16];
+  store_le64(counters, entry_count_);
+  store_le64(counters + 8, tombstone_count_);
+  pwrite_exact(fd_, counters, 16, 16);
+}
+
+bool PersistentChunkIndex::insert(const hash::Digest& digest,
+                                  const ChunkLocation& location) {
+  std::lock_guard lock(mutex_);
+  if ((entry_count_ + tombstone_count_) * 10 >= slot_count_ * 7) {
+    grow_locked();
+  }
+  return insert_locked(digest, location, /*count_stats=*/true);
+}
+
+void PersistentChunkIndex::grow_locked() {
+  // Read every occupied slot, rebuild the file with twice the slots.
+  std::vector<Slot> live;
+  live.reserve(entry_count_);
+  for (std::uint64_t i = 0; i < slot_count_; ++i) {
+    Slot slot = read_slot(i);
+    if (!slot.tombstone && !slot.digest.empty()) {
+      live.push_back(std::move(slot));
+    }
+  }
+  create_file(slot_count_ * 2);
+  for (const Slot& slot : live) {
+    insert_locked(slot.digest, slot.location, /*count_stats=*/false);
+  }
+}
+
+std::uint64_t PersistentChunkIndex::size() const {
+  std::lock_guard lock(mutex_);
+  return entry_count_;
+}
+
+std::uint64_t PersistentChunkIndex::slot_count() const {
+  std::lock_guard lock(mutex_);
+  return slot_count_;
+}
+
+IndexStats PersistentChunkIndex::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+ByteBuffer PersistentChunkIndex::serialize() const {
+  std::lock_guard lock(mutex_);
+  ByteBuffer out;
+  append_le64(out, entry_count_);
+  // const_cast is safe: read_slot only mutates stats counters.
+  auto* self = const_cast<PersistentChunkIndex*>(this);
+  for (std::uint64_t i = 0; i < slot_count_; ++i) {
+    Slot slot = self->read_slot(i);
+    if (!slot.tombstone && !slot.digest.empty()) {
+      serialize_entry(out, slot.digest, slot.location);
+    }
+  }
+  return out;
+}
+
+void PersistentChunkIndex::deserialize(ConstByteSpan image) {
+  if (image.size() < 8) throw FormatError("index image: missing header");
+  const std::uint64_t count = load_le64(image.data());
+  std::size_t pos = 8;
+  std::vector<std::pair<hash::Digest, ChunkLocation>> entries;
+  // Bound by what could fit (>= 17 bytes/entry): a corrupted count must
+  // not drive a huge allocation.
+  entries.reserve(std::min<std::uint64_t>(count, (image.size() - pos) / 17));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    entries.push_back(deserialize_entry(image, pos));
+  }
+  if (pos != image.size()) throw FormatError("index image: trailing bytes");
+
+  std::lock_guard lock(mutex_);
+  cache_.clear();
+  cache_order_.clear();
+  cache_evict_pos_ = 0;
+  std::uint64_t slots = options_.initial_slots;
+  while (count * 10 >= slots * 7) slots *= 2;
+  create_file(slots);
+  for (const auto& [digest, loc] : entries) {
+    insert_locked(digest, loc, /*count_stats=*/false);
+  }
+}
+
+void PersistentChunkIndex::flush() {
+  std::lock_guard lock(mutex_);
+  if (::fsync(fd_) != 0) throw FormatError("index file: fsync failed");
+}
+
+}  // namespace aadedupe::index

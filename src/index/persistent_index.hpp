@@ -1,0 +1,109 @@
+// Persistent on-disk chunk index: an open-addressing hash table in a file.
+//
+// This models (with real file I/O) the monolithic full-fingerprint index of
+// traditional source dedup: once it outgrows its RAM cache, every lookup
+// costs disk reads — the "on-disk index lookup bottleneck" (paper Sections
+// II.C and III.E, citing DDFS and Sparse Indexing). The application-aware
+// design keeps each per-app index small enough to live in MemoryChunkIndex
+// instead; this class exists so the baseline cost is real and measurable,
+// and serves as the durable store for index cloud-sync round trips.
+//
+// On-disk layout (little-endian):
+//   header  : magic "AADIDX01" | slot_count u64 | entry_count u64 |
+//             tombstone_count u64 | pad
+//   slots[] : digest_size u8 (0 = empty, 0xff = tombstone) |
+//             digest bytes [20] | container_id u64 | offset u32 |
+//             length u32 | pad -> 40 bytes
+// Collisions use linear probing; deletions leave tombstones (reused by
+// inserts, dropped on growth); the table grows (2x rebuild) when live
+// entries plus tombstones exceed a 0.7 load factor.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "index/chunk_index.hpp"
+
+namespace aadedupe::index {
+
+class PersistentChunkIndex final : public ChunkIndex {
+ public:
+  struct Options {
+    std::uint64_t initial_slots = 1024;
+    /// Read-through entry cache; 0 disables caching entirely.
+    std::size_t cache_entries = 4096;
+    /// Busy-wait added per slot read that reaches the file, to model
+    /// rotational-media seek cost in benchmarks (0 = off).
+    std::uint64_t simulated_read_latency_us = 0;
+  };
+
+  /// Opens (or creates) the index file at `path`.
+  explicit PersistentChunkIndex(std::string path)
+      : PersistentChunkIndex(std::move(path), Options{}) {}
+  PersistentChunkIndex(std::string path, Options options);
+  ~PersistentChunkIndex() override;
+
+  PersistentChunkIndex(const PersistentChunkIndex&) = delete;
+  PersistentChunkIndex& operator=(const PersistentChunkIndex&) = delete;
+
+  std::optional<ChunkLocation> lookup(const hash::Digest& digest) override;
+  bool insert(const hash::Digest& digest,
+              const ChunkLocation& location) override;
+  bool remove(const hash::Digest& digest) override;
+  bool update(const hash::Digest& digest,
+              const ChunkLocation& location) override;
+  std::uint64_t size() const override;
+  IndexStats stats() const override;
+  ByteBuffer serialize() const override;
+  void deserialize(ConstByteSpan image) override;
+
+  /// Flush file contents to stable storage (fsync).
+  void flush();
+
+  std::uint64_t slot_count() const;
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  static constexpr std::uint64_t kHeaderSize = 64;
+  static constexpr std::uint64_t kSlotSize = 40;
+
+  /// Deleted entries leave a tombstone so linear-probe chains stay
+  /// intact; tombstones are reused by inserts and dropped on growth.
+  static constexpr std::uint8_t kTombstoneMarker = 0xff;
+
+  struct Slot {
+    hash::Digest digest;  // empty() == free slot (unless tombstone)
+    ChunkLocation location;
+    bool tombstone = false;
+  };
+
+  void create_file(std::uint64_t slots);
+  void load_header();
+  void persist_counters();
+  Slot read_slot(std::uint64_t slot_index);        // counts disk_reads
+  void write_slot(std::uint64_t slot_index, const Slot& slot);
+  void grow_locked();
+  bool insert_locked(const hash::Digest& digest, const ChunkLocation& loc,
+                     bool count_stats);
+  std::optional<ChunkLocation> lookup_locked(const hash::Digest& digest);
+  void cache_put(const hash::Digest& digest, const ChunkLocation& loc);
+
+  std::string path_;
+  Options options_;
+  int fd_ = -1;
+  std::uint64_t slot_count_ = 0;
+  std::uint64_t entry_count_ = 0;
+  std::uint64_t tombstone_count_ = 0;
+  mutable std::mutex mutex_;
+  IndexStats stats_;
+  // Read-through cache, evicted FIFO (simple and adequate: dedup lookups
+  // have little short-term reuse beyond the working set).
+  std::unordered_map<hash::Digest, ChunkLocation, hash::Digest::Hasher>
+      cache_;
+  std::vector<hash::Digest> cache_order_;
+  std::size_t cache_evict_pos_ = 0;
+};
+
+}  // namespace aadedupe::index

@@ -1,0 +1,108 @@
+#include "index/sim_disk_index.hpp"
+
+#include "util/check.hpp"
+
+namespace aadedupe::index {
+
+SimulatedDiskIndex::SimulatedDiskIndex(std::unique_ptr<ChunkIndex> inner,
+                                       SimDiskOptions options,
+                                       SimTimeSink sink)
+    : inner_(std::move(inner)), options_(options), sink_(std::move(sink)) {
+  AAD_EXPECTS(inner_ != nullptr);
+  AAD_EXPECTS(sink_ != nullptr);
+  AAD_EXPECTS(options_.cache_entries >= 1);
+}
+
+bool SimulatedDiskIndex::cache_touch_locked(const hash::Digest& digest) {
+  const auto it = cache_.find(digest);
+  if (it == cache_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+  return true;
+}
+
+void SimulatedDiskIndex::cache_add_locked(const hash::Digest& digest) {
+  if (cache_.contains(digest)) return;
+  lru_.push_front(digest);
+  cache_.emplace(digest, lru_.begin());
+  if (cache_.size() > options_.cache_entries) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+std::optional<ChunkLocation> SimulatedDiskIndex::lookup(
+    const hash::Digest& digest) {
+  double charge = 0.0;
+  {
+    std::lock_guard lock(mutex_);
+    if (cache_touch_locked(digest)) {
+      ++cache_hits_;
+    } else {
+      ++cache_misses_;
+      charge = options_.miss_seek_seconds;
+      cache_add_locked(digest);
+    }
+  }
+  if (charge > 0.0) sink_(charge);
+  return inner_->lookup(digest);
+}
+
+bool SimulatedDiskIndex::insert(const hash::Digest& digest,
+                                const ChunkLocation& location) {
+  {
+    std::lock_guard lock(mutex_);
+    cache_add_locked(digest);
+  }
+  sink_(options_.insert_seconds);
+  return inner_->insert(digest, location);
+}
+
+bool SimulatedDiskIndex::remove(const hash::Digest& digest) {
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = cache_.find(digest);
+    if (it != cache_.end()) {
+      lru_.erase(it->second);
+      cache_.erase(it);
+    }
+  }
+  sink_(options_.insert_seconds);  // a delete is an index write too
+  return inner_->remove(digest);
+}
+
+bool SimulatedDiskIndex::update(const hash::Digest& digest,
+                                const ChunkLocation& location) {
+  sink_(options_.insert_seconds);
+  return inner_->update(digest, location);
+}
+
+std::uint64_t SimulatedDiskIndex::size() const { return inner_->size(); }
+
+IndexStats SimulatedDiskIndex::stats() const {
+  IndexStats s = inner_->stats();
+  std::lock_guard lock(mutex_);
+  // Surface the simulated disk traffic through the standard counters.
+  s.disk_reads = cache_misses_;
+  return s;
+}
+
+ByteBuffer SimulatedDiskIndex::serialize() const { return inner_->serialize(); }
+
+void SimulatedDiskIndex::deserialize(ConstByteSpan image) {
+  inner_->deserialize(image);
+  std::lock_guard lock(mutex_);
+  lru_.clear();
+  cache_.clear();
+}
+
+std::uint64_t SimulatedDiskIndex::cache_hits() const {
+  std::lock_guard lock(mutex_);
+  return cache_hits_;
+}
+
+std::uint64_t SimulatedDiskIndex::cache_misses() const {
+  std::lock_guard lock(mutex_);
+  return cache_misses_;
+}
+
+}  // namespace aadedupe::index

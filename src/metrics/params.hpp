@@ -1,0 +1,63 @@
+// Table II of the paper: the parameter glossary for cloud backup services,
+// and the paper's three evaluation formulas.
+//
+//   DE  Dedupe Efficiency        SC  Saved Capacity
+//   DT  Dedupe Throughput        DS  Dataset Size
+//   NT  Network Throughput       DR  Dedupe Ratio
+//   BWS Backup Window Size       SP  Storage Price
+//   OP  Operation Price          TP  Transfer Price
+//   OC  Operation Count          CC  Cloud Cost
+//
+// Formulas (paper Sections IV.B, IV.D, IV.E):
+//   DE  = SC / DT_time = (1 - 1/DR) · DT          [bytes saved per second]
+//   BWS = DS · max(1/DT, 1/(DR·NT))               [pipelined dedup+transfer]
+//   CC  = DS/DR · (SP + TP) + OC · OP
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace aadedupe::metrics {
+
+/// DR: ratio of bytes before deduplication to bytes actually shipped.
+inline double dedupe_ratio(std::uint64_t bytes_before,
+                           std::uint64_t bytes_after) noexcept {
+  if (bytes_after == 0) {
+    // Everything deduplicated away; treat as the before-count itself to
+    // keep downstream formulas finite.
+    return bytes_before == 0 ? 1.0 : static_cast<double>(bytes_before);
+  }
+  return static_cast<double>(bytes_before) / static_cast<double>(bytes_after);
+}
+
+/// DT: deduplication throughput in bytes/second.
+inline double dedupe_throughput(std::uint64_t dataset_bytes,
+                                double dedupe_seconds) {
+  AAD_EXPECTS(dedupe_seconds > 0.0);
+  return static_cast<double>(dataset_bytes) / dedupe_seconds;
+}
+
+/// DE = (1 - 1/DR) · DT — the paper's "bytes saved per second" metric.
+inline double bytes_saved_per_second(double dedupe_ratio_value,
+                                     double dedupe_throughput_value) {
+  AAD_EXPECTS(dedupe_ratio_value >= 1.0);
+  return (1.0 - 1.0 / dedupe_ratio_value) * dedupe_throughput_value;
+}
+
+/// BWS = DS · max(1/DT, 1/(DR·NT)) — with dedup and transfer pipelined,
+/// whichever stage is slower sets the window.
+inline double backup_window_seconds(std::uint64_t dataset_bytes,
+                                    double dedupe_throughput_value,
+                                    double dedupe_ratio_value,
+                                    double network_bytes_per_s) {
+  AAD_EXPECTS(dedupe_throughput_value > 0.0);
+  AAD_EXPECTS(dedupe_ratio_value >= 1.0);
+  AAD_EXPECTS(network_bytes_per_s > 0.0);
+  const double ds = static_cast<double>(dataset_bytes);
+  return ds * std::max(1.0 / dedupe_throughput_value,
+                       1.0 / (dedupe_ratio_value * network_bytes_per_s));
+}
+
+}  // namespace aadedupe::metrics

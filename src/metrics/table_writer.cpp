@@ -1,0 +1,76 @@
+#include "metrics/table_writer.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace aadedupe::metrics {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  AAD_EXPECTS(!headers_.empty());
+}
+
+void TableWriter::add_row(std::vector<std::string> cells) {
+  AAD_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableWriter::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = widths[c] - cells[c].size();
+      if (c == 0) {
+        out += cells[c];
+        out.append(pad, ' ');
+      } else {
+        out.append(pad, ' ');
+        out += cells[c];
+      }
+      out += (c + 1 == cells.size()) ? "\n" : "  ";
+    }
+  };
+
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out.append(widths[c], '-');
+    out += (c + 1 == headers_.size()) ? "\n" : "  ";
+  }
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+void TableWriter::print() const {
+  const std::string rendered = to_string();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+}
+
+std::string TableWriter::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TableWriter::integer(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::string TableWriter::percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace aadedupe::metrics

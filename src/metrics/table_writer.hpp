@@ -1,0 +1,35 @@
+// Aligned plain-text tables for the figure/table reproduction benches.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace aadedupe::metrics {
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers);
+
+  /// Append one row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with aligned columns (first column left-aligned, the rest
+  /// right-aligned, which suits label + numbers rows).
+  std::string to_string() const;
+
+  /// Convenience: render and write to stdout.
+  void print() const;
+
+  // Cell formatting helpers.
+  static std::string num(double value, int precision = 2);
+  static std::string integer(std::uint64_t value);
+  static std::string percent(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aadedupe::metrics

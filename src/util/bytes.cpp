@@ -1,0 +1,42 @@
+#include "util/bytes.hpp"
+
+#include <stdexcept>
+
+namespace aadedupe {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("from_hex: invalid hex digit");
+}
+}  // namespace
+
+std::string to_hex(ConstByteSpan bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::byte b : bytes) {
+    const auto v = static_cast<unsigned>(b);
+    out.push_back(kHexDigits[v >> 4]);
+    out.push_back(kHexDigits[v & 0xf]);
+  }
+  return out;
+}
+
+ByteBuffer from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("from_hex: odd-length input");
+  }
+  ByteBuffer out(hex.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const int hi = hex_value(hex[2 * i]);
+    const int lo = hex_value(hex[2 * i + 1]);
+    out[i] = static_cast<std::byte>((hi << 4) | lo);
+  }
+  return out;
+}
+
+}  // namespace aadedupe

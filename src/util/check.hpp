@@ -1,0 +1,59 @@
+// Lightweight precondition / invariant checks in the spirit of the C++
+// Core Guidelines Expects()/Ensures(). Violations throw, carrying the
+// failing expression and location, so tests can assert on misuse and
+// production code fails loudly instead of corrupting data.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace aadedupe {
+
+/// Thrown when a precondition (caller bug) is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an internal invariant (library bug or corrupted state) fails.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when externally-sourced data (disk/wire format) is malformed.
+class FormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void fail_expects(const char* expr, const char* file,
+                                      int line) {
+  throw PreconditionError(std::string("precondition failed: ") + expr +
+                          " at " + file + ":" + std::to_string(line));
+}
+[[noreturn]] inline void fail_ensures(const char* expr, const char* file,
+                                      int line) {
+  throw InvariantError(std::string("invariant failed: ") + expr + " at " +
+                       file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace aadedupe
+
+/// Check a caller-facing precondition; throws PreconditionError on failure.
+#define AAD_EXPECTS(cond)                                          \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::aadedupe::detail::fail_expects(#cond, __FILE__, __LINE__); \
+    }                                                              \
+  } while (false)
+
+/// Check an internal invariant; throws InvariantError on failure.
+#define AAD_ENSURES(cond)                                          \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::aadedupe::detail::fail_ensures(#cond, __FILE__, __LINE__); \
+    }                                                              \
+  } while (false)

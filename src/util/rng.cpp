@@ -1,0 +1,39 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace aadedupe {
+
+double Xoshiro256::normal() noexcept {
+  // Box–Muller; discard the second value to keep the generator stateless
+  // with respect to distribution calls (simpler reproducibility story).
+  double u1 = uniform();
+  const double u2 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;  // avoid log(0)
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return r * std::cos(kTwoPi * u2);
+}
+
+double Xoshiro256::lognormal(double mu, double sigma) noexcept {
+  return std::exp(mu + sigma * normal());
+}
+
+void Xoshiro256::fill(ByteSpan out) noexcept {
+  std::size_t i = 0;
+  const std::size_t n = out.size();
+  while (i + 8 <= n) {
+    const std::uint64_t v = next();
+    store_le64(out.data() + i, v);
+    i += 8;
+  }
+  if (i < n) {
+    std::uint64_t v = next();
+    while (i < n) {
+      out[i++] = static_cast<std::byte>(v & 0xff);
+      v >>= 8;
+    }
+  }
+}
+
+}  // namespace aadedupe

@@ -1,0 +1,97 @@
+// Deterministic, fast pseudo-random generators for synthetic data.
+//
+// Everything the dataset generator emits must be reproducible from a seed,
+// across platforms and standard-library versions, so we implement the
+// generators ourselves instead of using <random> distributions (whose
+// outputs are not portable).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe {
+
+/// SplitMix64 — tiny, high-quality 64-bit mixer. Used to seed Xoshiro and
+/// to derive independent child seeds from a parent seed + stream id.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Derive a child seed that is statistically independent of the parent for
+/// distinct stream ids (hash of the pair via SplitMix64 mixing).
+inline std::uint64_t derive_seed(std::uint64_t parent,
+                                 std::uint64_t stream) noexcept {
+  SplitMix64 mix(parent ^ (0x9e3779b97f4a7c15ull * (stream + 1)));
+  mix.next();
+  return mix.next();
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — the workhorse generator.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) noexcept {
+    SplitMix64 mix(seed);
+    for (auto& s : state_) s = mix.next();
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0. The modulo bias
+  /// (< bound/2^64) is irrelevant for synthetic-data generation.
+  std::uint64_t below(std::uint64_t bound) noexcept { return next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Box–Muller (one value per call; simple & portable).
+  double normal() noexcept;
+
+  /// Log-normal sample with the given mu/sigma of the underlying normal.
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Fill a byte range with pseudo-random data.
+  void fill(ByteSpan out) noexcept;
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace aadedupe

@@ -1,0 +1,43 @@
+// Wall-clock and CPU-time measurement used by the throughput/energy models.
+#pragma once
+
+#include <chrono>
+#include <ctime>
+
+namespace aadedupe {
+
+/// Monotonic wall-clock stopwatch.
+class StopWatch {
+ public:
+  StopWatch() noexcept { reset(); }
+
+  void reset() noexcept { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const noexcept {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Process CPU time in seconds (user + system). Feeds the energy model:
+/// active energy is charged per CPU-second actually burned.
+inline double process_cpu_seconds() noexcept {
+  std::timespec ts{};
+  if (::clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// Calling thread's CPU time in seconds.
+inline double thread_cpu_seconds() noexcept {
+  std::timespec ts{};
+  if (::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace aadedupe

@@ -1,0 +1,71 @@
+// Fixed-size thread pool with futures and a blocking parallel_for.
+//
+// The pool backs (a) the application-aware index's concurrent shard lookups
+// and (b) the per-application parallel deduplication streams that
+// Observation 2 of the paper makes safe (no cross-application sharing).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace aadedupe {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1). Defaults to hardware concurrency.
+  explicit ThreadPool(std::size_t threads = default_thread_count());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Submit a callable; returns a future for its result. Exceptions thrown
+  /// by the callable propagate through the future.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      AAD_EXPECTS(!stopping_);
+      tasks_.emplace_back([task] { (*task)(); });
+    }
+    wake_.notify_one();
+    return result;
+  }
+
+  /// Run fn(i) for i in [0, count) across the pool; blocks until all done.
+  /// Rethrows the first exception raised by any invocation.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  static std::size_t default_thread_count() noexcept {
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 4 : hc;
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace aadedupe

@@ -1,0 +1,37 @@
+#include "util/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace aadedupe {
+
+namespace {
+std::string format_scaled(double value, const char* const* units,
+                          std::size_t unit_count, double base) {
+  std::size_t u = 0;
+  while (value >= base && u + 1 < unit_count) {
+    value /= base;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), value < 10 ? "%.2f %s" : "%.1f %s", value,
+                units[u]);
+  return buf;
+}
+}  // namespace
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> kUnits = {"B", "KiB", "MiB",
+                                                        "GiB", "TiB"};
+  return format_scaled(static_cast<double>(bytes), kUnits.data(),
+                       kUnits.size(), 1024.0);
+}
+
+std::string format_rate(double bytes_per_second) {
+  static constexpr std::array<const char*, 4> kUnits = {"B/s", "KB/s", "MB/s",
+                                                        "GB/s"};
+  return format_scaled(bytes_per_second, kUnits.data(), kUnits.size(),
+                       1000.0);
+}
+
+}  // namespace aadedupe

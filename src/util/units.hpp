@@ -1,0 +1,25 @@
+// Byte-size literals and human-readable formatting helpers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace aadedupe {
+
+constexpr std::uint64_t operator""_KiB(unsigned long long v) {
+  return v * 1024ull;
+}
+constexpr std::uint64_t operator""_MiB(unsigned long long v) {
+  return v * 1024ull * 1024ull;
+}
+constexpr std::uint64_t operator""_GiB(unsigned long long v) {
+  return v * 1024ull * 1024ull * 1024ull;
+}
+
+/// "12.3 MiB"-style rendering for reports.
+std::string format_bytes(std::uint64_t bytes);
+
+/// "1.23 MB/s"-style rendering for reports.
+std::string format_rate(double bytes_per_second);
+
+}  // namespace aadedupe

@@ -1,0 +1,251 @@
+// AA-Dedupe-specific tests: size filter routing, application-aware index
+// structure, per-category chunk/hash policy, container shipping, index
+// sync, and parallel-vs-serial equivalence.
+#include "core/aa_dedupe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "backup/keys.hpp"
+#include "core/policy.hpp"
+#include "dataset/generator.hpp"
+
+namespace aadedupe::core {
+namespace {
+
+dataset::DatasetConfig test_config(std::uint64_t bytes = 6ull << 20,
+                                   std::uint64_t seed = 13) {
+  dataset::DatasetConfig config;
+  config.seed = seed;
+  config.session_bytes = bytes;
+  config.max_file_bytes = 1 << 20;
+  return config;
+}
+
+TEST(DedupPolicy, CategoryAssignmentsMatchPaper) {
+  const DedupPolicy policy;
+  // Compressed -> WFC + Rabin96.
+  const auto compressed = policy.for_kind(dataset::FileKind::kMp3);
+  EXPECT_EQ(compressed.chunker->name(), "wfc");
+  EXPECT_EQ(compressed.hash_kind, hash::HashKind::kRabin96);
+  // Static uncompressed -> SC + MD5.
+  const auto static_data = policy.for_kind(dataset::FileKind::kVmdk);
+  EXPECT_EQ(static_data.chunker->name(), "sc");
+  EXPECT_EQ(static_data.hash_kind, hash::HashKind::kMd5);
+  // Dynamic uncompressed -> CDC + SHA-1.
+  const auto dynamic_data = policy.for_kind(dataset::FileKind::kDoc);
+  EXPECT_EQ(dynamic_data.chunker->name(), "cdc");
+  EXPECT_EQ(dynamic_data.hash_kind, hash::HashKind::kSha1);
+}
+
+TEST(DedupPolicy, PartitionKeyIsExtension) {
+  EXPECT_EQ(DedupPolicy::partition_key(dataset::FileKind::kVmdk), "vmdk");
+  EXPECT_EQ(DedupPolicy::partition_key(dataset::FileKind::kJpg), "jpg");
+}
+
+TEST(FileSizeFilter, ThresholdAtTenKilobytes) {
+  const FileSizeFilter filter;
+  EXPECT_TRUE(filter.is_tiny(0));
+  EXPECT_TRUE(filter.is_tiny(10 * 1024 - 1));
+  EXPECT_FALSE(filter.is_tiny(10 * 1024));
+}
+
+TEST(AaDedupe, IndexPartitionsAreFileExtensions) {
+  cloud::CloudTarget target;
+  AaDedupeScheme scheme(target);
+  dataset::DatasetGenerator gen(test_config());
+  scheme.backup(gen.initial());
+
+  const auto partitions = scheme.aa_index().partitions();
+  const std::set<std::string> keys(partitions.begin(), partitions.end());
+  // Every partition is one of the 12 application extensions — and never
+  // the tiny stream (tiny files bypass the index entirely).
+  for (const auto& key : keys) {
+    bool known = false;
+    for (const auto kind : dataset::all_file_kinds()) {
+      known |= (key == dataset::extension(kind));
+    }
+    EXPECT_TRUE(known) << "unexpected partition " << key;
+  }
+  EXPECT_FALSE(keys.contains("tiny"));
+  EXPECT_GE(keys.size(), 10u);
+}
+
+TEST(AaDedupe, TinyFilesNeverEnterTheIndex) {
+  cloud::CloudTarget target;
+  AaDedupeScheme scheme(target);
+
+  // A snapshot of only tiny files: the index must stay empty.
+  dataset::Snapshot snapshot;
+  snapshot.session = 0;
+  for (int i = 0; i < 50; ++i) {
+    dataset::FileEntry f;
+    f.path = "tiny/t" + std::to_string(i) + ".txt";
+    f.kind = dataset::FileKind::kTxt;
+    f.content.kind = f.kind;
+    f.content.segments.push_back(dataset::Segment{
+        dataset::Segment::Type::kUnique, static_cast<std::uint64_t>(i),
+        5000});
+    snapshot.files.push_back(std::move(f));
+  }
+  scheme.backup(snapshot);
+  EXPECT_EQ(scheme.aa_index().total_size(), 0u);
+  // But the data is stored (packed into containers) and restorable.
+  const ByteBuffer restored = scheme.restore_file("tiny/t7.txt");
+  EXPECT_EQ(restored, dataset::materialize(snapshot.files[7].content));
+}
+
+TEST(AaDedupe, TinyFilesArePackedIntoFewContainers) {
+  cloud::CloudTarget target;
+  AaDedupeScheme scheme(target);
+  dataset::Snapshot snapshot;
+  snapshot.session = 0;
+  // 200 x 5 KB = ~1 MB of tiny files -> a handful of 1 MB containers, not
+  // 200 objects (Cumulus-style aggregation, paper Section III.B).
+  for (int i = 0; i < 200; ++i) {
+    dataset::FileEntry f;
+    f.path = "tiny/t" + std::to_string(i) + ".txt";
+    f.kind = dataset::FileKind::kTxt;
+    f.content.kind = f.kind;
+    f.content.segments.push_back(dataset::Segment{
+        dataset::Segment::Type::kUnique, static_cast<std::uint64_t>(i),
+        5000});
+    snapshot.files.push_back(std::move(f));
+  }
+  const auto report = scheme.backup(snapshot);
+  EXPECT_LE(report.upload_requests, 10u);
+}
+
+TEST(AaDedupe, IndexImageSyncedToCloud) {
+  cloud::CloudTarget target;
+  AaDedupeScheme scheme(target);
+  dataset::DatasetGenerator gen(test_config(2ull << 20));
+  scheme.backup(gen.initial());
+
+  const std::string key = backup::keys::session_meta("AA-Dedupe", 0, "index");
+  ASSERT_TRUE(target.store().exists(key));
+  // The synced image must reload into an equivalent partitioned index.
+  index::PartitionedIndex reloaded;
+  reloaded.deserialize(*target.store().get(key));
+  EXPECT_EQ(reloaded.total_size(), scheme.aa_index().total_size());
+  EXPECT_EQ(reloaded.partitions(), scheme.aa_index().partitions());
+}
+
+TEST(AaDedupe, IndexSyncCanBeDisabled) {
+  cloud::CloudTarget target;
+  AaDedupeOptions options;
+  options.sync_index = false;
+  AaDedupeScheme scheme(target, options);
+  dataset::DatasetGenerator gen(test_config(2ull << 20));
+  scheme.backup(gen.initial());
+  EXPECT_FALSE(target.store().exists(
+      backup::keys::session_meta("AA-Dedupe", 0, "index")));
+}
+
+TEST(AaDedupe, RecipesSyncedToCloud) {
+  cloud::CloudTarget target;
+  AaDedupeScheme scheme(target);
+  dataset::DatasetGenerator gen(test_config(2ull << 20));
+  const auto snapshot = gen.initial();
+  scheme.backup(snapshot);
+
+  const auto image = target.store().get(
+      backup::keys::session_meta("AA-Dedupe", 0, "recipes"));
+  ASSERT_TRUE(image.has_value());
+  const auto recipes = container::RecipeStore::deserialize(*image);
+  EXPECT_EQ(recipes.size(), snapshot.files.size());
+}
+
+TEST(AaDedupe, ParallelAndSerialProduceSameRestoredBytes) {
+  dataset::DatasetGenerator gen_a(test_config(4ull << 20));
+  dataset::DatasetGenerator gen_b(test_config(4ull << 20));
+  const auto snapshot_a = gen_a.initial();
+  const auto snapshot_b = gen_b.initial();
+
+  cloud::CloudTarget target_p, target_s;
+  AaDedupeOptions parallel_opts;
+  parallel_opts.parallel = true;
+  parallel_opts.worker_threads = 8;
+  AaDedupeOptions serial_opts;
+  serial_opts.parallel = false;
+
+  AaDedupeScheme parallel_scheme(target_p, parallel_opts);
+  AaDedupeScheme serial_scheme(target_s, serial_opts);
+  parallel_scheme.backup(snapshot_a);
+  serial_scheme.backup(snapshot_b);
+
+  for (std::size_t i = 0; i < snapshot_a.files.size();
+       i += (i + 13 < snapshot_a.files.size() ? std::size_t{13} : std::size_t{1})) {
+    const auto& file = snapshot_a.files[i];
+    EXPECT_EQ(parallel_scheme.restore_file(file.path),
+              serial_scheme.restore_file(file.path))
+        << file.path;
+  }
+  // Same logical dedup: identical index contents.
+  EXPECT_EQ(parallel_scheme.aa_index().total_size(),
+            serial_scheme.aa_index().total_size());
+}
+
+TEST(AaDedupe, SecondSessionReusesChunksAcrossSessions) {
+  cloud::CloudTarget target;
+  AaDedupeScheme scheme(target);
+  dataset::DatasetGenerator gen(test_config());
+  const auto sessions = gen.sessions(2);
+  const auto r0 = scheme.backup(sessions[0]);
+  const auto r1 = scheme.backup(sessions[1]);
+  EXPECT_LT(r1.transferred_bytes, r0.transferred_bytes / 3)
+      << "unchanged week-over-week data must dedup away";
+}
+
+TEST(AaDedupe, DigestWidthsFollowCategoryPolicy) {
+  cloud::CloudTarget target;
+  AaDedupeScheme scheme(target);
+  dataset::DatasetGenerator gen(test_config());
+  const auto snapshot = gen.initial();
+  scheme.backup(snapshot);
+
+  for (const auto& file : snapshot.files) {
+    if (file.size() < 10 * 1024) continue;
+    const auto* recipe = scheme.recipes().find(file.path);
+    ASSERT_NE(recipe, nullptr) << file.path;
+    const std::size_t expected_width = [&] {
+      switch (dataset::category_of(file.kind)) {
+        case dataset::AppCategory::kCompressed:
+          return std::size_t{12};  // Rabin-96
+        case dataset::AppCategory::kStaticUncompressed:
+          return std::size_t{16};  // MD5
+        case dataset::AppCategory::kDynamicUncompressed:
+          return std::size_t{20};  // SHA-1
+      }
+      return std::size_t{0};
+    }();
+    for (const auto& entry : recipe->entries) {
+      ASSERT_EQ(entry.digest.size(), expected_width) << file.path;
+    }
+  }
+}
+
+TEST(AaDedupe, ContainersRespectCapacity) {
+  cloud::CloudTarget target;
+  AaDedupeOptions options;
+  options.container_capacity = 256 * 1024;
+  AaDedupeScheme scheme(target, options);
+  dataset::DatasetGenerator gen(test_config(4ull << 20));
+  scheme.backup(gen.initial());
+
+  for (const auto& key : target.store().list("containers/")) {
+    const auto object = target.store().get(key);
+    ASSERT_TRUE(object.has_value());
+    container::ContainerReader reader(std::move(*object));
+    // Payload never exceeds capacity unless it is a single oversized chunk.
+    std::uint64_t payload = 0;
+    for (const auto& d : reader.descriptors()) payload += d.length;
+    if (reader.descriptors().size() > 1) {
+      EXPECT_LE(payload, options.container_capacity) << key;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aadedupe::core

@@ -1,0 +1,90 @@
+// Per-application statistics tests.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/aa_dedupe.hpp"
+#include "dataset/generator.hpp"
+
+namespace aadedupe::core {
+namespace {
+
+dataset::DatasetConfig stats_config() {
+  dataset::DatasetConfig config;
+  config.seed = 101;
+  config.session_bytes = 6ull << 20;
+  config.max_file_bytes = 1 << 20;
+  return config;
+}
+
+TEST(ApplicationStats, PolicyColumnsMatchCategories) {
+  cloud::CloudTarget target;
+  AaDedupeScheme scheme(target);
+  dataset::DatasetGenerator gen(stats_config());
+  scheme.backup(gen.initial());
+
+  std::map<std::string, AaDedupeScheme::ApplicationStats> rows;
+  for (const auto& row : scheme.application_stats()) {
+    rows.emplace(row.partition, row);
+  }
+  EXPECT_EQ(rows.at("mp3").chunker, "wfc");
+  EXPECT_EQ(rows.at("mp3").hash, "rabin96");
+  EXPECT_EQ(rows.at("vmdk").chunker, "sc");
+  EXPECT_EQ(rows.at("vmdk").hash, "md5");
+  EXPECT_EQ(rows.at("doc").chunker, "cdc");
+  EXPECT_EQ(rows.at("doc").hash, "sha1");
+  EXPECT_EQ(rows.at("tiny").chunker, "-");
+}
+
+TEST(ApplicationStats, TinyRowIsLastAndUnindexed) {
+  cloud::CloudTarget target;
+  AaDedupeScheme scheme(target);
+  dataset::DatasetGenerator gen(stats_config());
+  scheme.backup(gen.initial());
+
+  const auto rows = scheme.application_stats();
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows.back().partition, "tiny");
+  EXPECT_EQ(rows.back().index_entries, 0u);
+  EXPECT_GT(rows.back().session_files, 0u);
+}
+
+TEST(ApplicationStats, SessionTotalsMatchSnapshot) {
+  cloud::CloudTarget target;
+  AaDedupeScheme scheme(target);
+  dataset::DatasetGenerator gen(stats_config());
+  const auto snapshot = gen.initial();
+  scheme.backup(snapshot);
+
+  std::uint64_t files = 0, bytes = 0;
+  for (const auto& row : scheme.application_stats()) {
+    files += row.session_files;
+    bytes += row.session_bytes;
+  }
+  EXPECT_EQ(files, snapshot.files.size());
+  EXPECT_EQ(bytes, snapshot.total_bytes());
+}
+
+TEST(ApplicationStats, IndexCountersAccumulateAcrossSessions) {
+  cloud::CloudTarget target;
+  AaDedupeScheme scheme(target);
+  dataset::DatasetGenerator gen(stats_config());
+  const auto sessions = gen.sessions(2);
+  scheme.backup(sessions[0]);
+  std::uint64_t lookups_after_first = 0;
+  for (const auto& row : scheme.application_stats()) {
+    lookups_after_first += row.index_lookups;
+  }
+  scheme.backup(sessions[1]);
+  std::uint64_t lookups_after_second = 0, hits_after_second = 0;
+  for (const auto& row : scheme.application_stats()) {
+    lookups_after_second += row.index_lookups;
+    hits_after_second += row.index_hits;
+  }
+  EXPECT_GT(lookups_after_second, lookups_after_first);
+  // Session 2 re-sees session 1's chunks: plenty of hits.
+  EXPECT_GT(hits_after_second, lookups_after_second / 2);
+}
+
+}  // namespace
+}  // namespace aadedupe::core

@@ -1,0 +1,90 @@
+// Unit tests for the byte-buffer utilities.
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace aadedupe {
+namespace {
+
+TEST(Bytes, AsBytesViewsString) {
+  const std::string s = "abc";
+  const ConstByteSpan view = as_bytes(s);
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(static_cast<char>(view[0]), 'a');
+  EXPECT_EQ(static_cast<char>(view[2]), 'c');
+}
+
+TEST(Bytes, ToBufferCopies) {
+  const ByteBuffer buf = to_buffer("hello");
+  EXPECT_EQ(buf.size(), 5u);
+  EXPECT_EQ(to_string(buf), "hello");
+}
+
+TEST(Bytes, HexRoundTrip) {
+  // Explicit length: the literal contains an embedded NUL.
+  const std::string raw("\x00\x01\xab\xff\x7f", 5);
+  const ByteBuffer original = to_buffer(raw);
+  const std::string hex = to_hex(original);
+  EXPECT_EQ(hex, "0001abff7f");
+  EXPECT_EQ(from_hex(hex), original);
+}
+
+TEST(Bytes, HexOfEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, HexUpperCaseAccepted) {
+  EXPECT_EQ(from_hex("AB"), from_hex("ab"));
+}
+
+TEST(Bytes, FromHexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, FromHexRejectsNonHexDigits) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+  EXPECT_THROW(from_hex("0g"), std::invalid_argument);
+  EXPECT_THROW(from_hex(" 1"), std::invalid_argument);
+}
+
+TEST(Bytes, Le32RoundTrip) {
+  std::byte raw[4];
+  for (std::uint32_t v : {0u, 1u, 0xdeadbeefu, 0xffffffffu}) {
+    store_le32(raw, v);
+    EXPECT_EQ(load_le32(raw), v);
+  }
+}
+
+TEST(Bytes, Le64RoundTrip) {
+  std::byte raw[8];
+  for (std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1},
+        std::uint64_t{0x0123456789abcdefull},
+        std::numeric_limits<std::uint64_t>::max()}) {
+    store_le64(raw, v);
+    EXPECT_EQ(load_le64(raw), v);
+  }
+}
+
+TEST(Bytes, Le32ByteOrderIsLittleEndian) {
+  std::byte raw[4];
+  store_le32(raw, 0x04030201u);
+  EXPECT_EQ(static_cast<unsigned>(raw[0]), 0x01u);
+  EXPECT_EQ(static_cast<unsigned>(raw[3]), 0x04u);
+}
+
+TEST(Bytes, AppendHelpers) {
+  ByteBuffer out;
+  append(out, as_bytes("ab"));
+  append_le32(out, 0x11223344u);
+  append_le64(out, 0x5566778899aabbccull);
+  ASSERT_EQ(out.size(), 2u + 4u + 8u);
+  EXPECT_EQ(load_le32(out.data() + 2), 0x11223344u);
+  EXPECT_EQ(load_le64(out.data() + 6), 0x5566778899aabbccull);
+}
+
+}  // namespace
+}  // namespace aadedupe

@@ -1,0 +1,111 @@
+// ChaCha20 conformance tests against RFC 8439 vectors.
+#include "crypto/chacha20.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace aadedupe::crypto {
+namespace {
+
+ChaChaKey key_0_to_31() {
+  ChaChaKey key{};
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::byte>(i);
+  }
+  return key;
+}
+
+TEST(ChaCha20, Rfc8439BlockFunctionVector) {
+  // RFC 8439 section 2.3.2: key 00..1f, nonce 000000090000004a00000000,
+  // counter 1.
+  const ChaChaKey key = key_0_to_31();
+  ChaChaNonce nonce{};
+  nonce[3] = std::byte{0x09};
+  nonce[7] = std::byte{0x4a};
+
+  const auto block = chacha20_block(key, nonce, 1);
+  EXPECT_EQ(to_hex(ConstByteSpan{block.data(), block.size()}),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha20, Rfc8439EncryptionVector) {
+  // RFC 8439 section 2.4.2: the "sunscreen" plaintext.
+  const ChaChaKey key = key_0_to_31();
+  ChaChaNonce nonce{};
+  nonce[7] = std::byte{0x4a};
+
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you only "
+      "one tip for the future, sunscreen would be it.";
+  ByteBuffer data = to_buffer(plaintext);
+  chacha20_xor(key, nonce, /*initial_counter=*/1, data);
+
+  EXPECT_EQ(to_hex(ConstByteSpan{data.data(), 32}),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b");
+  // Full-length check on the tail too.
+  EXPECT_EQ(to_hex(ConstByteSpan{data.data() + data.size() - 10, 10}),
+            "b40b8eedf2785e42874d");
+}
+
+TEST(ChaCha20, XorIsAnInvolution) {
+  const ChaChaKey key = key_0_to_31();
+  const ChaChaNonce nonce{};
+  ByteBuffer data(1000);
+  Xoshiro256 rng(1);
+  rng.fill(data);
+  const ByteBuffer original = data;
+
+  chacha20_xor(key, nonce, 0, data);
+  EXPECT_NE(data, original);
+  chacha20_xor(key, nonce, 0, data);
+  EXPECT_EQ(data, original);
+}
+
+TEST(ChaCha20, CounterAdvancesAcrossBlocks) {
+  // Encrypting 128 bytes at counter 0 must equal encrypting two 64-byte
+  // halves at counters 0 and 1.
+  const ChaChaKey key = key_0_to_31();
+  const ChaChaNonce nonce{};
+  ByteBuffer whole(128, std::byte{0});
+  chacha20_xor(key, nonce, 0, whole);
+
+  ByteBuffer first(64, std::byte{0}), second(64, std::byte{0});
+  chacha20_xor(key, nonce, 0, first);
+  chacha20_xor(key, nonce, 1, second);
+  EXPECT_TRUE(std::equal(first.begin(), first.end(), whole.begin()));
+  EXPECT_TRUE(std::equal(second.begin(), second.end(), whole.begin() + 64));
+}
+
+TEST(ChaCha20, DifferentKeysAndNoncesDiffer) {
+  ChaChaKey key_a = key_0_to_31(), key_b = key_0_to_31();
+  key_b[0] = std::byte{0xff};
+  ChaChaNonce nonce_a{}, nonce_b{};
+  nonce_b[0] = std::byte{0x01};
+
+  ByteBuffer a(64, std::byte{0}), b(64, std::byte{0}), c(64, std::byte{0});
+  chacha20_xor(key_a, nonce_a, 0, a);
+  chacha20_xor(key_b, nonce_a, 0, b);
+  chacha20_xor(key_a, nonce_b, 0, c);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+}
+
+TEST(ChaCha20, PartialBlockLengths) {
+  const ChaChaKey key = key_0_to_31();
+  const ChaChaNonce nonce{};
+  for (const std::size_t n : {std::size_t{1}, std::size_t{63},
+                              std::size_t{64}, std::size_t{65},
+                              std::size_t{127}, std::size_t{200}}) {
+    ByteBuffer data(n, std::byte{0xab});
+    const ByteBuffer original = data;
+    chacha20_xor(key, nonce, 0, data);
+    chacha20_xor(key, nonce, 0, data);
+    EXPECT_EQ(data, original) << n;
+  }
+}
+
+}  // namespace
+}  // namespace aadedupe::crypto

@@ -1,0 +1,144 @@
+// Cloud simulation tests: object store accounting, WAN-link timing, the
+// paper's S3 cost model, and the CloudTarget composite.
+#include <gtest/gtest.h>
+
+#include "cloud/cloud_target.hpp"
+#include "cloud/cost_model.hpp"
+#include "cloud/object_store.hpp"
+#include "cloud/wan_link.hpp"
+#include "util/bytes.hpp"
+
+namespace aadedupe::cloud {
+namespace {
+
+TEST(ObjectStore, PutGetRoundTrip) {
+  ObjectStore store;
+  store.put("k1", to_buffer("hello"));
+  const auto got = store.get("k1");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(to_string(*got), "hello");
+  EXPECT_FALSE(store.get("k2").has_value());
+}
+
+TEST(ObjectStore, OverwriteAdjustsStoredBytes) {
+  ObjectStore store;
+  store.put("k", ByteBuffer(100));
+  EXPECT_EQ(store.stored_bytes(), 100u);
+  store.put("k", ByteBuffer(40));
+  EXPECT_EQ(store.stored_bytes(), 40u);
+  EXPECT_EQ(store.object_count(), 1u);
+}
+
+TEST(ObjectStore, RemoveFreesBytes) {
+  ObjectStore store;
+  store.put("k", ByteBuffer(100));
+  EXPECT_TRUE(store.remove("k"));
+  EXPECT_FALSE(store.remove("k"));
+  EXPECT_EQ(store.stored_bytes(), 0u);
+  EXPECT_FALSE(store.exists("k"));
+}
+
+TEST(ObjectStore, ListByPrefixSorted) {
+  ObjectStore store;
+  store.put("containers/c2", ByteBuffer(1));
+  store.put("containers/c10", ByteBuffer(1));
+  store.put("meta/s0", ByteBuffer(1));
+  const auto keys = store.list("containers/");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "containers/c10");  // lexicographic
+  EXPECT_EQ(keys[1], "containers/c2");
+}
+
+TEST(ObjectStore, StatsCountRequestsAndBytes) {
+  ObjectStore store;
+  store.put("a", ByteBuffer(10));
+  store.put("b", ByteBuffer(20));
+  store.get("a");
+  store.get("missing");
+  store.remove("b");
+  const StoreStats s = store.stats();
+  EXPECT_EQ(s.put_requests, 2u);
+  EXPECT_EQ(s.get_requests, 2u);
+  EXPECT_EQ(s.delete_requests, 1u);
+  EXPECT_EQ(s.bytes_uploaded, 30u);
+  EXPECT_EQ(s.bytes_downloaded, 10u);
+}
+
+TEST(WanLink, UploadTimeMatchesBandwidthPlusOverhead) {
+  WanLink link;
+  link.upload_bytes_per_s = 500000;
+  link.per_request_s = 0.05;
+  // 1 MB in one request: 2.0 s of wire time + 0.05 s overhead.
+  EXPECT_DOUBLE_EQ(link.upload_seconds(1000000, 1), 2.05);
+  // Same bytes split into 100 requests cost 99 x 0.05 s more.
+  EXPECT_NEAR(link.upload_seconds(1000000, 100) -
+                  link.upload_seconds(1000000, 1),
+              99 * 0.05, 1e-9);
+}
+
+TEST(WanLink, DownloadFasterThanUploadByDefault) {
+  const WanLink link;
+  EXPECT_LT(link.download_seconds(1000000, 1),
+            link.upload_seconds(1000000, 1));
+}
+
+TEST(CostModel, MatchesPaperPricing) {
+  const CostModel model;  // April 2011 S3 prices
+  // 10 GB stored for a month: 10 x $0.14.
+  EXPECT_NEAR(model.storage_cost(10ull * 1000 * 1000 * 1000), 1.4, 1e-9);
+  // 10 GB uploaded: 10 x $0.10.
+  EXPECT_NEAR(model.transfer_cost(10ull * 1000 * 1000 * 1000), 1.0, 1e-9);
+  // 50,000 requests: 50 x $0.01.
+  EXPECT_NEAR(model.request_cost(50000), 0.5, 1e-9);
+  EXPECT_NEAR(model.monthly_cost(10ull * 1000 * 1000 * 1000,
+                                 10ull * 1000 * 1000 * 1000, 50000),
+              2.9, 1e-9);
+}
+
+TEST(CostModel, RequestCostDominatesForTinyObjects) {
+  // The phenomenon behind Fig. 10: shipping 1 GB as 4 KB objects costs far
+  // more in requests than as 1 MB containers.
+  const CostModel model;
+  const std::uint64_t gb = 1000ull * 1000 * 1000;
+  const double tiny_requests = model.request_cost(gb / 4096);
+  const double container_requests = model.request_cost(gb / (1024 * 1024));
+  EXPECT_GT(tiny_requests, 100 * container_requests);
+}
+
+TEST(CloudTarget, AccumulatesTransferTime) {
+  CloudTarget target;
+  EXPECT_DOUBLE_EQ(target.transfer_seconds(), 0.0);
+  target.upload("a", ByteBuffer(500000));  // 1 s at 500 KB/s + overhead
+  EXPECT_NEAR(target.transfer_seconds(), 1.0 + target.link().per_request_s,
+              1e-9);
+  target.reset_transfer_clock();
+  EXPECT_DOUBLE_EQ(target.transfer_seconds(), 0.0);
+}
+
+TEST(CloudTarget, DownloadCountsTowardTransferTime) {
+  CloudTarget target;
+  target.upload("a", ByteBuffer(1000000));
+  target.reset_transfer_clock();
+  const auto got = target.download("a");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_NEAR(target.transfer_seconds(),
+              1.0 + target.link().per_request_s, 1e-9);  // 1 MB at 1 MB/s
+}
+
+TEST(CloudTarget, MissingDownloadAddsNoTime) {
+  CloudTarget target;
+  EXPECT_FALSE(target.download("nope").has_value());
+  EXPECT_DOUBLE_EQ(target.transfer_seconds(), 0.0);
+}
+
+TEST(CloudTarget, MonthlyCostUsesAccumulatedState) {
+  CloudTarget target;
+  target.upload("a", ByteBuffer(1000000));
+  target.upload("b", ByteBuffer(1000000));
+  const CostModel& m = target.cost_model();
+  const double expected = m.monthly_cost(2000000, 2000000, 2);
+  EXPECT_NEAR(target.monthly_cost(), expected, 1e-12);
+}
+
+}  // namespace
+}  // namespace aadedupe::cloud

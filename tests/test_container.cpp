@@ -1,0 +1,149 @@
+// Container format tests: builder/reader round trip, padding, oversized
+// chunks, and malformed-input rejection.
+#include "container/container.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hash/md5.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace aadedupe::container {
+namespace {
+
+ByteBuffer random_bytes(std::size_t n, std::uint64_t seed) {
+  ByteBuffer data(n);
+  Xoshiro256 rng(seed);
+  rng.fill(data);
+  return data;
+}
+
+TEST(ContainerBuilder, RoundTripThroughReader) {
+  ContainerBuilder builder(42, 64 * 1024);
+  std::vector<ByteBuffer> chunks;
+  std::vector<hash::Digest> digests;
+  std::vector<std::uint32_t> offsets;
+  for (int i = 0; i < 10; ++i) {
+    chunks.push_back(random_bytes(1000 + static_cast<std::size_t>(i) * 37,
+                                  static_cast<std::uint64_t>(i)));
+    digests.push_back(hash::Md5::hash(chunks.back()));
+    offsets.push_back(builder.add(digests.back(), chunks.back()));
+  }
+
+  ContainerReader reader(builder.seal(/*pad=*/false));
+  EXPECT_EQ(reader.id(), 42u);
+  ASSERT_EQ(reader.descriptors().size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const ChunkDescriptor& d = reader.descriptors()[i];
+    EXPECT_EQ(d.digest, digests[i]);
+    EXPECT_EQ(d.offset, offsets[i]);
+    const ConstByteSpan payload = reader.chunk_at(d.offset, d.length);
+    EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                           chunks[i].begin(), chunks[i].end()));
+  }
+}
+
+TEST(ContainerBuilder, PaddedSealReachesFixedSize) {
+  constexpr std::size_t kCapacity = 16 * 1024;
+  ContainerBuilder builder(1, kCapacity);
+  builder.add(hash::Md5::hash(as_bytes("x")), random_bytes(100, 1));
+  const ByteBuffer padded = builder.seal(/*pad=*/true);
+  const ByteBuffer unpadded = builder.seal(/*pad=*/false);
+  // Padded payload section occupies exactly the capacity.
+  EXPECT_EQ(padded.size() - (unpadded.size() - 100), kCapacity);
+  EXPECT_GT(padded.size(), unpadded.size());
+  // Both parse, and both serve the chunk identically.
+  ContainerReader r1{ByteBuffer(padded)};
+  ContainerReader r2{ByteBuffer(unpadded)};
+  EXPECT_EQ(r1.descriptors().size(), 1u);
+  EXPECT_EQ(r2.descriptors().size(), 1u);
+}
+
+TEST(ContainerBuilder, FitsHonoursCapacity) {
+  ContainerBuilder builder(1, 1024);
+  EXPECT_TRUE(builder.fits(100000));  // empty builder takes anything
+  builder.add(hash::Md5::hash(as_bytes("a")), random_bytes(1000, 2));
+  EXPECT_TRUE(builder.fits(24));
+  EXPECT_FALSE(builder.fits(25));
+}
+
+TEST(ContainerBuilder, OversizedSingleChunkAccepted) {
+  ContainerBuilder builder(7, 1024);
+  const ByteBuffer big = random_bytes(10000, 3);
+  builder.add(hash::Md5::hash(big), big);
+  // Oversized containers are never padded (nothing to pad to).
+  const ByteBuffer sealed = builder.seal(/*pad=*/true);
+  ContainerReader reader{ByteBuffer(sealed)};
+  EXPECT_EQ(reader.descriptors()[0].length, 10000u);
+}
+
+TEST(ContainerBuilder, RejectsEmptyChunk) {
+  ContainerBuilder builder(1, 1024);
+  EXPECT_THROW(builder.add(hash::Md5::hash({}), {}), PreconditionError);
+}
+
+TEST(ContainerBuilder, RejectsTinyCapacity) {
+  EXPECT_THROW(ContainerBuilder(1, 512), PreconditionError);
+}
+
+TEST(ContainerReader, FindLocatesChunkByDigest) {
+  ContainerBuilder builder(1, 64 * 1024);
+  const ByteBuffer a = random_bytes(500, 4), b = random_bytes(600, 5);
+  builder.add(hash::Md5::hash(a), a);
+  builder.add(hash::Md5::hash(b), b);
+  ContainerReader reader(builder.seal(false));
+
+  const auto found = reader.find(hash::Md5::hash(b));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->length, 600u);
+  EXPECT_FALSE(reader.find(hash::Md5::hash(as_bytes("missing"))).has_value());
+}
+
+TEST(ContainerReader, RejectsBadMagic) {
+  ByteBuffer junk = random_bytes(64, 6);
+  EXPECT_THROW(ContainerReader{std::move(junk)}, FormatError);
+}
+
+TEST(ContainerReader, RejectsTruncatedHeader) {
+  EXPECT_THROW(ContainerReader{ByteBuffer(10)}, FormatError);
+}
+
+TEST(ContainerReader, RejectsTruncatedPayload) {
+  ContainerBuilder builder(1, 64 * 1024);
+  const ByteBuffer a = random_bytes(5000, 7);
+  builder.add(hash::Md5::hash(a), a);
+  ByteBuffer sealed = builder.seal(false);
+  sealed.resize(sealed.size() - 100);
+  EXPECT_THROW(ContainerReader{std::move(sealed)}, FormatError);
+}
+
+TEST(ContainerReader, RejectsDescriptorOutsidePayload) {
+  // Craft a descriptor whose extent overruns the payload.
+  ContainerBuilder builder(1, 64 * 1024);
+  const ByteBuffer a = random_bytes(100, 8);
+  builder.add(hash::Md5::hash(a), a);
+  ByteBuffer sealed = builder.seal(false);
+  // Descriptor layout after 24-byte header: size u8, 16-byte digest,
+  // offset u32 at +17, length u32 at +21. Corrupt the length.
+  store_le32(sealed.data() + 24 + 21, 0xffff);
+  EXPECT_THROW(ContainerReader{std::move(sealed)}, FormatError);
+}
+
+TEST(ContainerReader, ChunkAtRejectsOutOfBounds) {
+  ContainerBuilder builder(1, 64 * 1024);
+  const ByteBuffer a = random_bytes(100, 9);
+  builder.add(hash::Md5::hash(a), a);
+  ContainerReader reader(builder.seal(false));
+  EXPECT_THROW(reader.chunk_at(50, 51), FormatError);
+  EXPECT_NO_THROW(reader.chunk_at(50, 50));
+}
+
+TEST(ContainerReader, EmptyContainerParses) {
+  ContainerBuilder builder(11, 1024);
+  ContainerReader reader(builder.seal(false));
+  EXPECT_EQ(reader.id(), 11u);
+  EXPECT_TRUE(reader.descriptors().empty());
+}
+
+}  // namespace
+}  // namespace aadedupe::container

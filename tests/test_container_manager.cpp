@@ -1,0 +1,155 @@
+// Container-manager tests: sealing at capacity, early-flush padding,
+// location validity and stats.
+#include "container/container_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "container/container.hpp"
+#include "hash/md5.hpp"
+#include "util/rng.hpp"
+
+namespace aadedupe::container {
+namespace {
+
+ByteBuffer random_bytes(std::size_t n, std::uint64_t seed) {
+  ByteBuffer data(n);
+  Xoshiro256 rng(seed);
+  rng.fill(data);
+  return data;
+}
+
+struct Captured {
+  std::map<std::uint64_t, ByteBuffer> shipped;
+
+  ContainerSink sink() {
+    return [this](std::uint64_t id, ByteBuffer bytes) {
+      shipped.emplace(id, std::move(bytes));
+    };
+  }
+};
+
+TEST(ContainerManager, NothingShippedUntilCapacity) {
+  Captured captured;
+  ContainerIdAllocator ids;
+  ContainerManager mgr(ids, captured.sink(), 64 * 1024);
+  mgr.store(hash::Md5::hash(as_bytes("a")), random_bytes(1000, 1));
+  EXPECT_TRUE(captured.shipped.empty());
+  EXPECT_EQ(mgr.containers_shipped(), 0u);
+}
+
+TEST(ContainerManager, SealsWhenFull) {
+  Captured captured;
+  ContainerIdAllocator ids;
+  constexpr std::size_t kCapacity = 16 * 1024;
+  ContainerManager mgr(ids, captured.sink(), kCapacity);
+  for (int i = 0; i < 5; ++i) {
+    mgr.store(hash::Md5::hash(as_bytes(std::to_string(i))),
+              random_bytes(4 * 1024, static_cast<std::uint64_t>(i)));
+  }
+  // 5 x 4K chunks = 20K > one 16K container: at least one shipped.
+  EXPECT_GE(captured.shipped.size(), 1u);
+}
+
+TEST(ContainerManager, FlushShipsPaddedContainerWhenConfigured) {
+  Captured captured;
+  ContainerIdAllocator ids;
+  constexpr std::size_t kCapacity = 16 * 1024;
+  ContainerManager mgr(ids, captured.sink(), kCapacity,
+                       /*pad_on_flush=*/true);
+  mgr.store(hash::Md5::hash(as_bytes("x")), random_bytes(100, 2));
+  mgr.flush();
+  ASSERT_EQ(captured.shipped.size(), 1u);
+  // Padded: object size >= capacity (header + capacity-padded payload).
+  EXPECT_GE(captured.shipped.begin()->second.size(), kCapacity);
+  EXPECT_EQ(mgr.padding_bytes(), kCapacity - 100);
+}
+
+TEST(ContainerManager, FlushShipsUnpaddedByDefault) {
+  Captured captured;
+  ContainerIdAllocator ids;
+  ContainerManager mgr(ids, captured.sink(), 16 * 1024);
+  mgr.store(hash::Md5::hash(as_bytes("x")), random_bytes(100, 2));
+  mgr.flush();
+  ASSERT_EQ(captured.shipped.size(), 1u);
+  EXPECT_LT(captured.shipped.begin()->second.size(), 1024u);
+  EXPECT_EQ(mgr.padding_bytes(), 0u);
+}
+
+TEST(ContainerManager, FlushOnEmptyIsNoop) {
+  Captured captured;
+  ContainerIdAllocator ids;
+  ContainerManager mgr(ids, captured.sink());
+  mgr.flush();
+  EXPECT_TRUE(captured.shipped.empty());
+}
+
+TEST(ContainerManager, LocationsResolveThroughReaders) {
+  Captured captured;
+  ContainerIdAllocator ids;
+  ContainerManager mgr(ids, captured.sink(), 16 * 1024);
+
+  std::vector<std::pair<index::ChunkLocation, ByteBuffer>> stored;
+  for (int i = 0; i < 40; ++i) {
+    ByteBuffer chunk = random_bytes(2000, 100 + static_cast<std::uint64_t>(i));
+    const auto loc = mgr.store(hash::Md5::hash(chunk), chunk);
+    stored.emplace_back(loc, std::move(chunk));
+  }
+  mgr.flush();
+
+  std::map<std::uint64_t, ContainerReader> readers;
+  for (auto& [id, bytes] : captured.shipped) {
+    readers.emplace(id, ContainerReader(std::move(bytes)));
+  }
+  for (const auto& [loc, chunk] : stored) {
+    const auto it = readers.find(loc.container_id);
+    ASSERT_NE(it, readers.end());
+    const ConstByteSpan payload = it->second.chunk_at(loc.offset, loc.length);
+    EXPECT_TRUE(std::equal(payload.begin(), payload.end(), chunk.begin(),
+                           chunk.end()));
+  }
+}
+
+TEST(ContainerManager, OversizedChunkGetsOwnContainer) {
+  Captured captured;
+  ContainerIdAllocator ids;
+  ContainerManager mgr(ids, captured.sink(), 16 * 1024);
+  mgr.store(hash::Md5::hash(as_bytes("small")), random_bytes(1000, 3));
+  const ByteBuffer big = random_bytes(100 * 1024, 4);
+  const auto loc = mgr.store(hash::Md5::hash(big), big);
+  mgr.flush();
+
+  // The big chunk's container holds exactly one descriptor.
+  ASSERT_TRUE(captured.shipped.contains(loc.container_id));
+  ContainerReader reader(std::move(captured.shipped.at(loc.container_id)));
+  ASSERT_EQ(reader.descriptors().size(), 1u);
+  EXPECT_EQ(reader.descriptors()[0].length, 100u * 1024u);
+}
+
+TEST(ContainerManager, IdsAreUniqueAcrossManagers) {
+  Captured captured;
+  ContainerIdAllocator ids;
+  ContainerManager a(ids, captured.sink(), 16 * 1024);
+  ContainerManager b(ids, captured.sink(), 16 * 1024);
+  a.store(hash::Md5::hash(as_bytes("1")), random_bytes(100, 5));
+  b.store(hash::Md5::hash(as_bytes("2")), random_bytes(100, 6));
+  a.flush();
+  b.flush();
+  EXPECT_EQ(captured.shipped.size(), 2u);  // distinct ids -> distinct keys
+}
+
+TEST(ContainerManager, StatsTrackShippedBytes) {
+  Captured captured;
+  ContainerIdAllocator ids;
+  ContainerManager mgr(ids, captured.sink(), 16 * 1024);
+  mgr.store(hash::Md5::hash(as_bytes("x")), random_bytes(5000, 7));
+  mgr.flush();
+  std::uint64_t total = 0;
+  for (const auto& [id, bytes] : captured.shipped) total += bytes.size();
+  EXPECT_EQ(mgr.bytes_stored(), total);
+  EXPECT_EQ(mgr.containers_shipped(), captured.shipped.size());
+}
+
+}  // namespace
+}  // namespace aadedupe::container

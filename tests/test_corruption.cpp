@@ -1,0 +1,185 @@
+// Failure-injection sweeps: every on-wire/on-disk format parser must
+// reject corrupted input with FormatError (or accept a semantically valid
+// mutation) — never crash, hang, or read out of bounds. Each sweep
+// truncates at every length and flips bytes across the image.
+#include <gtest/gtest.h>
+
+#include "container/container.hpp"
+#include "container/recipe.hpp"
+#include "crypto/convergent.hpp"
+#include "hash/md5.hpp"
+#include "index/memory_index.hpp"
+#include "index/partitioned_index.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace aadedupe {
+namespace {
+
+ByteBuffer random_bytes(std::size_t n, std::uint64_t seed) {
+  ByteBuffer data(n);
+  Xoshiro256 rng(seed);
+  rng.fill(data);
+  return data;
+}
+
+/// Parse attempt must either succeed or throw FormatError — anything else
+/// (other exceptions, crashes) fails the test.
+template <typename Parse>
+void expect_parse_or_format_error(Parse&& parse, const std::string& what) {
+  try {
+    parse();
+  } catch (const FormatError&) {
+    // acceptable
+  } catch (const std::exception& e) {
+    FAIL() << what << ": unexpected exception type: " << e.what();
+  }
+}
+
+// ---- Container images ----
+
+ByteBuffer sample_container() {
+  container::ContainerBuilder builder(3, 16 * 1024);
+  for (int i = 0; i < 5; ++i) {
+    const ByteBuffer chunk =
+        random_bytes(700 + static_cast<std::size_t>(i) * 131,
+                     static_cast<std::uint64_t>(i));
+    builder.add(hash::Md5::hash(chunk), chunk);
+  }
+  return builder.seal(false);
+}
+
+TEST(CorruptionSweep, ContainerTruncationNeverCrashes) {
+  const ByteBuffer image = sample_container();
+  for (std::size_t len = 0; len < image.size();
+       len += (len < 128 ? 1 : 37)) {
+    ByteBuffer cut(image.begin(),
+                   image.begin() + static_cast<std::ptrdiff_t>(len));
+    expect_parse_or_format_error(
+        [&] { container::ContainerReader reader{std::move(cut)}; },
+        "container truncated to " + std::to_string(len));
+  }
+}
+
+TEST(CorruptionSweep, ContainerBitFlipsNeverCrash) {
+  const ByteBuffer image = sample_container();
+  for (std::size_t pos = 0; pos < image.size();
+       pos += (pos < 256 ? 1 : 53)) {
+    for (const unsigned flip : {0x01u, 0x80u, 0xffu}) {
+      ByteBuffer mutated = image;
+      mutated[pos] ^= static_cast<std::byte>(flip);
+      expect_parse_or_format_error(
+          [&] {
+            container::ContainerReader reader{std::move(mutated)};
+            // If it parsed, chunk reads must stay in bounds.
+            for (const auto& d : reader.descriptors()) {
+              (void)reader.chunk_at(d.offset, d.length);
+            }
+          },
+          "container flip at " + std::to_string(pos));
+    }
+  }
+}
+
+// ---- Recipe store images ----
+
+ByteBuffer sample_recipes() {
+  container::RecipeStore store;
+  for (int f = 0; f < 4; ++f) {
+    container::FileRecipe recipe;
+    recipe.path = "dir/file" + std::to_string(f) + ".doc";
+    recipe.tag = "doc";
+    for (int c = 0; c < 3; ++c) {
+      container::RecipeEntry entry;
+      entry.digest = hash::Md5::hash(
+          as_bytes(std::to_string(f) + ":" + std::to_string(c)));
+      entry.location = index::ChunkLocation{
+          static_cast<std::uint64_t>(f), static_cast<std::uint32_t>(c * 10),
+          500};
+      recipe.entries.push_back(entry);
+      recipe.file_size += 500;
+    }
+    store.put(std::move(recipe));
+  }
+  return store.serialize();
+}
+
+TEST(CorruptionSweep, RecipeTruncationNeverCrashes) {
+  const ByteBuffer image = sample_recipes();
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    ByteBuffer cut(image.begin(),
+                   image.begin() + static_cast<std::ptrdiff_t>(len));
+    expect_parse_or_format_error(
+        [&] { (void)container::RecipeStore::deserialize(cut); },
+        "recipes truncated to " + std::to_string(len));
+  }
+}
+
+TEST(CorruptionSweep, RecipeBitFlipsNeverCrash) {
+  const ByteBuffer image = sample_recipes();
+  for (std::size_t pos = 0; pos < image.size(); ++pos) {
+    ByteBuffer mutated = image;
+    mutated[pos] ^= std::byte{0xff};
+    expect_parse_or_format_error(
+        [&] { (void)container::RecipeStore::deserialize(mutated); },
+        "recipes flip at " + std::to_string(pos));
+  }
+}
+
+// ---- Index images ----
+
+ByteBuffer sample_index_image() {
+  index::PartitionedIndex idx;
+  for (const std::string part : {"doc", "mp3"}) {
+    for (int i = 0; i < 10; ++i) {
+      idx.shard(part).insert(
+          hash::Md5::hash(as_bytes(part + std::to_string(i))),
+          index::ChunkLocation{static_cast<std::uint64_t>(i), 0, 8192});
+    }
+  }
+  return idx.serialize();
+}
+
+TEST(CorruptionSweep, PartitionedIndexTruncationNeverCrashes) {
+  const ByteBuffer image = sample_index_image();
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    ByteBuffer cut(image.begin(),
+                   image.begin() + static_cast<std::ptrdiff_t>(len));
+    index::PartitionedIndex idx;
+    expect_parse_or_format_error([&] { idx.deserialize(cut); },
+                                 "index truncated to " + std::to_string(len));
+  }
+}
+
+TEST(CorruptionSweep, PartitionedIndexBitFlipsNeverCrash) {
+  const ByteBuffer image = sample_index_image();
+  for (std::size_t pos = 0; pos < image.size(); pos += 3) {
+    ByteBuffer mutated = image;
+    mutated[pos] ^= std::byte{0x55};
+    index::PartitionedIndex idx;
+    expect_parse_or_format_error([&] { idx.deserialize(mutated); },
+                                 "index flip at " + std::to_string(pos));
+  }
+}
+
+// ---- Key store images ----
+
+TEST(CorruptionSweep, KeyStoreTruncationNeverCrashes) {
+  const crypto::ChaChaKey master = crypto::derive_master_key("m", 10);
+  crypto::KeyStore store;
+  for (int i = 0; i < 8; ++i) {
+    const auto label = as_bytes("k" + std::to_string(i));
+    store.put(hash::Md5::hash(label), crypto::derive_content_key(label));
+  }
+  const ByteBuffer image = store.serialize(master);
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    ByteBuffer cut(image.begin(),
+                   image.begin() + static_cast<std::ptrdiff_t>(len));
+    expect_parse_or_format_error(
+        [&] { (void)crypto::KeyStore::deserialize(cut, master); },
+        "keystore truncated to " + std::to_string(len));
+  }
+}
+
+}  // namespace
+}  // namespace aadedupe

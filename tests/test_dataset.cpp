@@ -1,0 +1,268 @@
+// Synthetic-dataset tests: determinism, distributional properties from the
+// paper (Fig. 1/2 size skew, Observation 2 cross-type independence,
+// Table I redundancy ordering) and the weekly churn model.
+#include "dataset/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "chunk/static_chunker.hpp"
+#include "dataset/content.hpp"
+#include "hash/sha1.hpp"
+
+namespace aadedupe::dataset {
+namespace {
+
+DatasetConfig small_config() {
+  DatasetConfig config;
+  config.seed = 7;
+  config.session_bytes = 8ull * 1024 * 1024;
+  config.max_file_bytes = 1024 * 1024;
+  return config;
+}
+
+TEST(Content, MaterializeMatchesRecipeSize) {
+  ContentRecipe recipe;
+  recipe.kind = FileKind::kTxt;
+  recipe.segments = {
+      Segment{Segment::Type::kUnique, 1, 1000},
+      Segment{Segment::Type::kPool, 0, 3 * kContentBlock},
+      Segment{Segment::Type::kZero, 0, 500},
+  };
+  const ByteBuffer bytes = materialize(recipe);
+  EXPECT_EQ(bytes.size(), recipe.size());
+  // Zero segment is actually zero.
+  for (std::size_t i = bytes.size() - 500; i < bytes.size(); ++i) {
+    ASSERT_EQ(bytes[i], std::byte{0});
+  }
+}
+
+TEST(Content, MaterializationIsDeterministic) {
+  ContentRecipe recipe;
+  recipe.kind = FileKind::kDoc;
+  recipe.segments = {Segment{Segment::Type::kUnique, 42, 5000},
+                     Segment{Segment::Type::kPool, 3, 2 * kContentBlock}};
+  EXPECT_EQ(materialize(recipe), materialize(recipe));
+}
+
+TEST(Content, PoolBlocksDifferByIndexAndKind) {
+  ByteBuffer a, b, c;
+  pool_block_bytes(FileKind::kDoc, 0, a);
+  pool_block_bytes(FileKind::kDoc, 1, b);
+  pool_block_bytes(FileKind::kTxt, 0, c);
+  EXPECT_NE(a, b);  // different block index
+  EXPECT_NE(a, c);  // different kind -> different pool (Observation 2)
+}
+
+TEST(Content, PoolSegmentsShareBytesAcrossRecipes) {
+  ContentRecipe r1, r2;
+  r1.kind = r2.kind = FileKind::kPdf;
+  r1.segments = {Segment{Segment::Type::kPool, 5, 2 * kContentBlock}};
+  r2.segments = {Segment{Segment::Type::kUnique, 9, 128},
+                 Segment{Segment::Type::kPool, 5, 2 * kContentBlock}};
+  const ByteBuffer b1 = materialize(r1);
+  const ByteBuffer b2 = materialize(r2);
+  EXPECT_TRUE(std::equal(b1.begin(), b1.end(), b2.begin() + 128, b2.end()));
+}
+
+TEST(Generator, SnapshotsAreDeterministicInSeed) {
+  DatasetGenerator g1(small_config());
+  DatasetGenerator g2(small_config());
+  const auto s1 = g1.sessions(3);
+  const auto s2 = g2.sessions(3);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t s = 0; s < s1.size(); ++s) {
+    ASSERT_EQ(s1[s].files.size(), s2[s].files.size());
+    for (std::size_t f = 0; f < s1[s].files.size(); ++f) {
+      EXPECT_EQ(s1[s].files[f].path, s2[s].files[f].path);
+      EXPECT_EQ(s1[s].files[f].content, s2[s].files[f].content);
+      EXPECT_EQ(s1[s].files[f].version, s2[s].files[f].version);
+    }
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  DatasetConfig a = small_config(), b = small_config();
+  b.seed = 8;
+  const auto sa = DatasetGenerator(a).initial();
+  const auto sb = DatasetGenerator(b).initial();
+  // Same structure-generation logic but different content seeds.
+  ASSERT_FALSE(sa.files.empty());
+  ASSERT_FALSE(sb.files.empty());
+  EXPECT_NE(sa.files[0].content, sb.files[0].content);
+}
+
+TEST(Generator, InitialSnapshotRoughlyHitsTargetBytes) {
+  const auto snapshot = DatasetGenerator(small_config()).initial();
+  const double actual = static_cast<double>(snapshot.total_bytes());
+  const double target = 8.0 * 1024 * 1024;
+  EXPECT_GT(actual, target * 0.5);
+  EXPECT_LT(actual, target * 2.0);
+}
+
+TEST(Generator, TinyFilesDominateCountNotBytes) {
+  // Fig. 1/2: ~61% of files are tiny but hold a tiny fraction of bytes.
+  const auto snapshot = DatasetGenerator(small_config()).initial();
+  std::uint64_t tiny_count = 0, tiny_bytes = 0;
+  for (const FileEntry& f : snapshot.files) {
+    if (f.size() < 10 * 1024) {
+      ++tiny_count;
+      tiny_bytes += f.size();
+    }
+  }
+  const double count_fraction =
+      static_cast<double>(tiny_count) /
+      static_cast<double>(snapshot.files.size());
+  const double byte_fraction = static_cast<double>(tiny_bytes) /
+                               static_cast<double>(snapshot.total_bytes());
+  EXPECT_NEAR(count_fraction, 0.61, 0.08);
+  EXPECT_LT(byte_fraction, 0.05);
+}
+
+TEST(Generator, AllTwelveKindsPresent) {
+  const auto snapshot = DatasetGenerator(small_config()).initial();
+  std::set<FileKind> kinds;
+  for (const FileEntry& f : snapshot.files) kinds.insert(f.kind);
+  EXPECT_EQ(kinds.size(), kFileKindCount);
+}
+
+TEST(Generator, PathsAreUniqueAcrossSessions) {
+  DatasetGenerator gen(small_config());
+  const auto sessions = gen.sessions(3);
+  for (const Snapshot& s : sessions) {
+    std::set<std::string> paths;
+    for (const FileEntry& f : s.files) {
+      EXPECT_TRUE(paths.insert(f.path).second) << "dup path " << f.path;
+    }
+  }
+}
+
+TEST(Generator, ChurnKeepsMostFilesIdentical) {
+  DatasetGenerator gen(small_config());
+  const Snapshot s0 = gen.initial();
+  const Snapshot s1 = gen.next(s0);
+
+  std::map<std::string, const FileEntry*> prev;
+  for (const FileEntry& f : s0.files) prev.emplace(f.path, &f);
+
+  std::size_t unchanged = 0, carried = 0;
+  for (const FileEntry& f : s1.files) {
+    const auto it = prev.find(f.path);
+    if (it == prev.end()) continue;
+    ++carried;
+    if (f.version == it->second->version &&
+        f.content == it->second->content) {
+      ++unchanged;
+    }
+  }
+  // Most files survive a week, and most survivors are untouched — the
+  // redundancy every backup scheme exploits.
+  EXPECT_GT(carried, s0.files.size() * 9 / 10);
+  EXPECT_GT(unchanged, carried * 6 / 10);
+}
+
+TEST(Generator, SessionsAreNumberedSequentially) {
+  DatasetGenerator gen(small_config());
+  const auto sessions = gen.sessions(4);
+  for (std::uint32_t s = 0; s < sessions.size(); ++s) {
+    EXPECT_EQ(sessions[s].session, s);
+  }
+}
+
+TEST(Generator, CrossKindChunkSharingIsNegligible) {
+  // Observation 2: compare 8 KB static-chunk digests across application
+  // types; the overlap must be (near) zero.
+  const auto snapshot = DatasetGenerator(small_config()).initial();
+  chunk::StaticChunker sc;
+  std::map<FileKind, std::set<std::string>> per_kind;
+  ByteBuffer content;
+  for (const FileEntry& f : snapshot.files) {
+    if (f.size() < 10 * 1024) continue;
+    materialize_into(f.content, content);
+    for (const chunk::ChunkRef& ref : sc.split(content)) {
+      per_kind[f.kind].insert(
+          hash::Sha1::hash(
+              ConstByteSpan{content}.subspan(ref.offset, ref.length))
+              .hex());
+    }
+  }
+  std::size_t cross_shared = 0;
+  for (auto it = per_kind.begin(); it != per_kind.end(); ++it) {
+    for (auto jt = std::next(it); jt != per_kind.end(); ++jt) {
+      for (const auto& d : it->second) cross_shared += jt->second.count(d);
+    }
+  }
+  EXPECT_EQ(cross_shared, 0u);
+}
+
+TEST(Generator, StatsOnlyModeUsesPaperSizes) {
+  DatasetConfig config;
+  config.seed = 3;
+  config.stats_only = true;
+  config.session_bytes = 4ull * 1024 * 1024 * 1024;  // sizes are metadata
+  const auto snapshot = DatasetGenerator(config).initial();
+  // With Table I means, some files must exceed the bench cap by far.
+  std::uint64_t largest = 0;
+  for (const FileEntry& f : snapshot.files) {
+    largest = std::max(largest, f.size());
+  }
+  EXPECT_GT(largest, 100ull * 1024 * 1024);
+}
+
+TEST(Generator, HistogramCoversAllFilesOnce) {
+  const auto snapshot = DatasetGenerator(small_config()).initial();
+  const auto bins = size_histogram(snapshot);
+  std::uint64_t files = 0, bytes = 0;
+  for (const SizeBin& b : bins) {
+    files += b.file_count;
+    bytes += b.total_bytes;
+  }
+  EXPECT_EQ(files, snapshot.files.size());
+  EXPECT_EQ(bytes, snapshot.total_bytes());
+}
+
+TEST(Generator, CompressedKindsHaveLowIntraRedundancy) {
+  // Table I ordering smoke test at small scale: a compressed kind (RAR)
+  // must show far less duplicate chunk mass than a dynamic kind (PPT).
+  DatasetGenerator gen(small_config());
+  Snapshot snapshot = gen.kind_corpus(FileKind::kRar, 8ull << 20);
+  const Snapshot ppt = gen.kind_corpus(FileKind::kPpt, 8ull << 20);
+  snapshot.files.insert(snapshot.files.end(), ppt.files.begin(),
+                        ppt.files.end());
+  chunk::StaticChunker sc;
+
+  auto duplicate_fraction = [&](FileKind kind) {
+    // Match the paper's Table I methodology: file-level dedup first, then
+    // measure chunk-level duplicate mass among the surviving files.
+    std::set<std::string> seen_files;
+    std::map<std::string, int> counts;
+    std::uint64_t total = 0, dup = 0;
+    ByteBuffer content;
+    for (const FileEntry& f : snapshot.files) {
+      if (f.kind != kind || f.size() < 10 * 1024) continue;
+      materialize_into(f.content, content);
+      if (!seen_files.insert(hash::Sha1::hash(content).hex()).second) {
+        continue;  // whole-file duplicate, removed by file-level dedup
+      }
+      for (const chunk::ChunkRef& ref : sc.split(content)) {
+        const auto hex =
+            hash::Sha1::hash(
+                ConstByteSpan{content}.subspan(ref.offset, ref.length))
+                .hex();
+        total += ref.length;
+        if (counts[hex]++ > 0) dup += ref.length;
+      }
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(dup) / static_cast<double>(total);
+  };
+
+  EXPECT_LT(duplicate_fraction(FileKind::kRar), 0.08);
+  EXPECT_GT(duplicate_fraction(FileKind::kPpt), 0.10);
+}
+
+}  // namespace
+}  // namespace aadedupe::dataset

@@ -1,0 +1,82 @@
+// Digest value-type tests.
+#include "hash/digest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "hash/md5.hpp"
+#include "hash/rabin.hpp"
+#include "hash/sha1.hpp"
+
+namespace aadedupe::hash {
+namespace {
+
+TEST(Digest, DefaultIsEmpty) {
+  const Digest d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_EQ(d.hex(), "");
+}
+
+TEST(Digest, ConstructFromBytes) {
+  const auto raw = aadedupe::from_hex("0011223344");
+  const Digest d{aadedupe::ConstByteSpan{raw}};
+  EXPECT_EQ(d.size(), 5u);
+  EXPECT_EQ(d.hex(), "0011223344");
+}
+
+TEST(Digest, RejectsOversizedInput) {
+  aadedupe::ByteBuffer raw(21);
+  EXPECT_THROW(Digest{aadedupe::ConstByteSpan{raw}},
+               aadedupe::PreconditionError);
+}
+
+TEST(Digest, RejectsEmptyInput) {
+  EXPECT_THROW(Digest{aadedupe::ConstByteSpan{}},
+               aadedupe::PreconditionError);
+}
+
+TEST(Digest, EqualityRequiresSameWidth) {
+  // A 12-byte Rabin digest never equals a 16-byte MD5 digest, even if the
+  // leading bytes coincide — widths are part of identity.
+  const auto short_raw = aadedupe::from_hex("00112233445566778899aabb");
+  const auto long_raw = aadedupe::from_hex("00112233445566778899aabbccddeeff");
+  const Digest short_d{aadedupe::ConstByteSpan{short_raw}};
+  const Digest long_d{aadedupe::ConstByteSpan{long_raw}};
+  EXPECT_NE(short_d, long_d);
+}
+
+TEST(Digest, OrderingIsLexThenWidth) {
+  const Digest a{aadedupe::ConstByteSpan{aadedupe::from_hex("01")}};
+  const Digest b{aadedupe::ConstByteSpan{aadedupe::from_hex("02")}};
+  const Digest a_long{aadedupe::ConstByteSpan{aadedupe::from_hex("0100")}};
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, a_long);
+  EXPECT_LT(a_long, b);
+}
+
+TEST(Digest, Prefix64UsedForHashing) {
+  const auto raw = aadedupe::from_hex("0102030405060708ffff");
+  const Digest d{aadedupe::ConstByteSpan{raw}};
+  EXPECT_EQ(d.prefix64(), 0x0807060504030201ull);  // little-endian load
+}
+
+TEST(Digest, HasherWorksInUnorderedSet) {
+  std::unordered_set<Digest, Digest::Hasher> set;
+  set.insert(Md5::hash(aadedupe::as_bytes("a")));
+  set.insert(Md5::hash(aadedupe::as_bytes("b")));
+  set.insert(Md5::hash(aadedupe::as_bytes("a")));  // duplicate
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(Md5::hash(aadedupe::as_bytes("a"))));
+}
+
+TEST(Digest, ThreeHashFamiliesHaveExpectedWidths) {
+  const auto data = aadedupe::as_bytes("sample");
+  EXPECT_EQ(Rabin96::hash(data).size(), 12u);
+  EXPECT_EQ(Md5::hash(data).size(), 16u);
+  EXPECT_EQ(Sha1::hash(data).size(), 20u);
+}
+
+}  // namespace
+}  // namespace aadedupe::hash

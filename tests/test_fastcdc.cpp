@@ -1,0 +1,126 @@
+// FastCDC chunker tests: same contract as the other engines plus the
+// boundary-shift resilience that makes it a CDC.
+#include "chunk/fastcdc_chunker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "chunk/cdc_chunker.hpp"
+#include "hash/sha1.hpp"
+#include "util/rng.hpp"
+
+namespace aadedupe::chunk {
+namespace {
+
+ByteBuffer random_bytes(std::size_t n, std::uint64_t seed) {
+  ByteBuffer data(n);
+  Xoshiro256 rng(seed);
+  rng.fill(data);
+  return data;
+}
+
+class FastCdcCover : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FastCdcCover, SplitCoversInputExactly) {
+  const FastCdcChunker chunker;
+  const ByteBuffer data = random_bytes(GetParam(), GetParam() + 3);
+  EXPECT_TRUE(is_exact_cover(chunker.split(data), data.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FastCdcCover,
+                         ::testing::Values(0, 1, 100, 2048, 2049, 8192,
+                                           100000, 1000000));
+
+TEST(FastCdc, RespectsBounds) {
+  const FastCdcChunker chunker;
+  const ByteBuffer data = random_bytes(4 << 20, 1);
+  const auto chunks = chunker.split(data);
+  ASSERT_GT(chunks.size(), 1u);
+  for (std::size_t i = 0; i + 1 < chunks.size(); ++i) {
+    EXPECT_GE(chunks[i].length, chunker.params().min_size);
+    EXPECT_LE(chunks[i].length, chunker.params().max_size);
+  }
+}
+
+TEST(FastCdc, AverageNearExpected) {
+  const FastCdcChunker chunker;
+  const ByteBuffer data = random_bytes(8 << 20, 2);
+  const auto chunks = chunker.split(data);
+  const double average =
+      static_cast<double>(data.size()) / static_cast<double>(chunks.size());
+  EXPECT_GT(average, 4000.0);
+  EXPECT_LT(average, 14000.0);
+}
+
+TEST(FastCdc, NormalizationTightensDistribution) {
+  // With normalization, fewer chunks should hit the max-size forced cut
+  // than with a single mask (level 0).
+  const ByteBuffer data = random_bytes(8 << 20, 3);
+  FastCdcParams normalized;
+  normalized.normalization = 2;
+  FastCdcParams classic;
+  classic.normalization = 0;
+
+  auto forced_cuts = [&](const FastCdcParams& params) {
+    const FastCdcChunker chunker(params);
+    std::size_t forced = 0;
+    for (const ChunkRef& c : chunker.split(data)) {
+      if (c.length == params.max_size) ++forced;
+    }
+    return forced;
+  };
+  EXPECT_LE(forced_cuts(normalized), forced_cuts(classic));
+}
+
+TEST(FastCdc, Deterministic) {
+  const FastCdcChunker chunker;
+  const ByteBuffer data = random_bytes(500000, 4);
+  EXPECT_EQ(chunker.split(data), chunker.split(data));
+}
+
+TEST(FastCdc, ResynchronizesAfterInsert) {
+  const FastCdcChunker chunker;
+  const ByteBuffer original = random_bytes(1 << 20, 5);
+  ByteBuffer edited;
+  append(edited, ConstByteSpan{original.data(), 500});
+  const ByteBuffer insert = random_bytes(131, 6);
+  append(edited, insert);
+  append(edited,
+         ConstByteSpan{original.data() + 500, original.size() - 500});
+
+  auto digests = [&](const ByteBuffer& data) {
+    std::set<std::string> out;
+    for (const ChunkRef& c : chunker.split(data)) {
+      out.insert(hash::Sha1::hash(
+                     ConstByteSpan{data}.subspan(c.offset, c.length))
+                     .hex());
+    }
+    return out;
+  };
+  const auto a = digests(original);
+  const auto b = digests(edited);
+  std::size_t shared = 0;
+  for (const auto& d : b) shared += a.count(d);
+  EXPECT_GT(static_cast<double>(shared) / static_cast<double>(b.size()),
+            0.9);
+}
+
+TEST(FastCdc, RejectsInvalidParams) {
+  FastCdcParams bad;
+  bad.expected_size = 3000;
+  EXPECT_THROW(FastCdcChunker{bad}, PreconditionError);
+  FastCdcParams bad2;
+  bad2.normalization = 9;
+  EXPECT_THROW(FastCdcChunker{bad2}, PreconditionError);
+}
+
+TEST(FastCdc, DifferentGearSeedsProduceDifferentBoundaries) {
+  const ByteBuffer data = random_bytes(1 << 20, 7);
+  const FastCdcChunker a(FastCdcParams{}, 1);
+  const FastCdcChunker b(FastCdcParams{}, 2);
+  EXPECT_NE(a.split(data), b.split(data));
+}
+
+}  // namespace
+}  // namespace aadedupe::chunk

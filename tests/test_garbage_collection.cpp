@@ -1,0 +1,204 @@
+// Garbage-collection / retention tests for AA-Dedupe — the background
+// deletion process the paper defers to future work (Section III.F).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "backup/keys.hpp"
+#include "core/aa_dedupe.hpp"
+#include "dataset/generator.hpp"
+#include "index/partitioned_index.hpp"
+
+namespace aadedupe::core {
+namespace {
+
+dataset::DatasetConfig gc_config(std::uint64_t seed = 17) {
+  dataset::DatasetConfig config;
+  config.seed = seed;
+  config.session_bytes = 5ull << 20;
+  config.max_file_bytes = 1 << 20;
+  return config;
+}
+
+TEST(GarbageCollection, NoopWithoutHistory) {
+  cloud::CloudTarget target;
+  AaDedupeScheme scheme(target);
+  const GcReport report = scheme.collect_garbage(2);
+  EXPECT_EQ(report.sessions_retained, 0u);
+  EXPECT_EQ(report.containers_scanned, 0u);
+}
+
+TEST(GarbageCollection, RejectsZeroRetention) {
+  cloud::CloudTarget target;
+  AaDedupeScheme scheme(target);
+  EXPECT_THROW(scheme.collect_garbage(0), PreconditionError);
+}
+
+TEST(GarbageCollection, RetentionWithinWindowKeepsEverything) {
+  cloud::CloudTarget target;
+  AaDedupeScheme scheme(target);
+  dataset::DatasetGenerator gen(gc_config());
+  const auto sessions = gen.sessions(2);
+  for (const auto& s : sessions) scheme.backup(s);
+
+  const std::uint64_t stored_before = target.store().stored_bytes();
+  const GcReport report = scheme.collect_garbage(5);
+  EXPECT_EQ(report.sessions_retained, 2u);
+  EXPECT_EQ(report.sessions_expired, 0u);
+  EXPECT_EQ(report.containers_deleted, 0u);
+  // Everything referenced by retained sessions survives untouched.
+  EXPECT_EQ(target.store().stored_bytes(), stored_before);
+}
+
+TEST(GarbageCollection, ExpiredSessionMetadataRemoved) {
+  cloud::CloudTarget target;
+  AaDedupeScheme scheme(target);
+  dataset::DatasetGenerator gen(gc_config());
+  const auto sessions = gen.sessions(3);
+  for (const auto& s : sessions) scheme.backup(s);
+
+  const GcReport report = scheme.collect_garbage(1);
+  EXPECT_EQ(report.sessions_expired, 2u);
+  EXPECT_FALSE(target.store().exists(
+      backup::keys::session_meta("AA-Dedupe", 0, "recipes")));
+  EXPECT_FALSE(target.store().exists(
+      backup::keys::session_meta("AA-Dedupe", 1, "recipes")));
+  EXPECT_TRUE(target.store().exists(
+      backup::keys::session_meta("AA-Dedupe", 2, "recipes")));
+}
+
+TEST(GarbageCollection, ReclaimsSpaceAfterChurn) {
+  cloud::CloudTarget target;
+  AaDedupeScheme scheme(target);
+  dataset::DatasetGenerator gen(gc_config(23));
+  const auto sessions = gen.sessions(5);
+  for (const auto& s : sessions) scheme.backup(s);
+
+  const std::uint64_t stored_before = target.store().stored_bytes();
+  const GcReport report = scheme.collect_garbage(1);
+  // Five sessions of churn leave dead versions behind; retaining only the
+  // last one must free something.
+  EXPECT_GT(report.bytes_reclaimed, 0u);
+  EXPECT_LT(target.store().stored_bytes(), stored_before);
+  EXPECT_GT(report.containers_scanned, 0u);
+}
+
+TEST(GarbageCollection, LatestSessionRestoresByteExactAfterGc) {
+  cloud::CloudTarget target;
+  AaDedupeScheme scheme(target);
+  dataset::DatasetGenerator gen(gc_config(29));
+  const auto sessions = gen.sessions(4);
+  for (const auto& s : sessions) scheme.backup(s);
+
+  GcOptions aggressive;
+  aggressive.rewrite_threshold = 0.95;  // force rewrites of most containers
+  scheme.collect_garbage(1, aggressive);
+
+  const dataset::Snapshot& last = sessions.back();
+  for (std::size_t i = 0; i < last.files.size();
+       i += (i + 5 < last.files.size() ? std::size_t{5} : std::size_t{1})) {
+    const auto& file = last.files[i];
+    const ByteBuffer expected = dataset::materialize(file.content);
+    const ByteBuffer restored = scheme.restore_file(file.path);
+    ASSERT_EQ(restored, expected) << file.path;
+  }
+}
+
+TEST(GarbageCollection, AllRetainedSessionsRestoreAfterGc) {
+  cloud::CloudTarget target;
+  AaDedupeScheme scheme(target);
+  dataset::DatasetGenerator gen(gc_config(31));
+  const auto sessions = gen.sessions(3);
+  for (const auto& s : sessions) scheme.backup(s);
+
+  scheme.collect_garbage(2);  // keep sessions 1 and 2
+
+  // The retained-but-not-latest session's recipes were re-uploaded and
+  // must reference only containers that still exist.
+  const auto image = target.store().get(
+      backup::keys::session_meta("AA-Dedupe", 1, "recipes"));
+  ASSERT_TRUE(image.has_value());
+  const auto recipes = container::RecipeStore::deserialize(*image);
+  for (const std::string& path : recipes.paths()) {
+    for (const auto& entry : recipes.find(path)->entries) {
+      EXPECT_TRUE(target.store().exists(
+          backup::keys::container_object(entry.location.container_id)))
+          << path;
+    }
+  }
+}
+
+TEST(GarbageCollection, IndexRebuiltWithoutDeadChunks) {
+  cloud::CloudTarget target;
+  AaDedupeScheme scheme(target);
+  dataset::DatasetGenerator gen(gc_config(37));
+  const auto sessions = gen.sessions(4);
+  for (const auto& s : sessions) scheme.backup(s);
+
+  const std::uint64_t index_before = scheme.aa_index().total_size();
+  scheme.collect_garbage(1);
+  const std::uint64_t index_after = scheme.aa_index().total_size();
+  // Dead fingerprints (chunks only referenced by expired sessions) must
+  // leave the index.
+  EXPECT_LT(index_after, index_before);
+  EXPECT_GT(index_after, 0u);
+}
+
+TEST(GarbageCollection, BackupAfterGcStaysConsistent) {
+  cloud::CloudTarget target;
+  AaDedupeScheme scheme(target);
+  dataset::DatasetGenerator gen(gc_config(41));
+  auto snapshot = gen.initial();
+  scheme.backup(snapshot);
+  for (int round = 0; round < 3; ++round) {
+    snapshot = gen.next(snapshot);
+    scheme.backup(snapshot);
+    GcOptions opts;
+    opts.rewrite_threshold = 0.9;
+    scheme.collect_garbage(1, opts);
+  }
+  // After interleaved backup/GC rounds, the latest snapshot must restore.
+  for (std::size_t i = 0; i < snapshot.files.size();
+       i += (i + 9 < snapshot.files.size() ? std::size_t{9} : std::size_t{1})) {
+    const auto& file = snapshot.files[i];
+    ASSERT_EQ(scheme.restore_file(file.path),
+              dataset::materialize(file.content))
+        << file.path;
+  }
+}
+
+TEST(GarbageCollection, RewritePreservesChunkBytes) {
+  // Targeted check of the rewrite path: force rewrite of everything and
+  // verify relocated chunk payloads via full-file restores of a doc-heavy
+  // workload (CDC chunks, many per container).
+  cloud::CloudTarget target;
+  AaDedupeScheme scheme(target);
+  dataset::DatasetGenerator gen(gc_config(43));
+  const auto corpus = gen.kind_corpus(dataset::FileKind::kDoc, 3ull << 20);
+  dataset::Snapshot snapshot;
+  snapshot.session = 0;
+  snapshot.files = corpus.files;
+  scheme.backup(snapshot);
+
+  // Drop half the files in "session 1" so containers become half-live.
+  dataset::Snapshot pruned;
+  pruned.session = 1;
+  for (std::size_t i = 0; i < snapshot.files.size(); i += 2) {
+    pruned.files.push_back(snapshot.files[i]);
+  }
+  scheme.backup(pruned);
+
+  GcOptions opts;
+  opts.rewrite_threshold = 1.0;  // rewrite anything not fully live
+  const GcReport report = scheme.collect_garbage(1, opts);
+  EXPECT_GT(report.chunks_relocated, 0u);
+
+  for (const auto& file : pruned.files) {
+    ASSERT_EQ(scheme.restore_file(file.path),
+              dataset::materialize(file.content))
+        << file.path;
+  }
+}
+
+}  // namespace
+}  // namespace aadedupe::core

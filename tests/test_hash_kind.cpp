@@ -1,0 +1,45 @@
+// HashKind dispatch tests.
+#include "hash/hash_kind.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aadedupe::hash {
+namespace {
+
+TEST(HashKind, DigestSizesMatchFamilies) {
+  EXPECT_EQ(digest_size(HashKind::kRabin96), 12u);
+  EXPECT_EQ(digest_size(HashKind::kMd5), 16u);
+  EXPECT_EQ(digest_size(HashKind::kSha1), 20u);
+}
+
+TEST(HashKind, ComputeDispatchesToTheRightFamily) {
+  const auto data = as_bytes("dispatch-check");
+  EXPECT_EQ(compute_digest(HashKind::kMd5, data), Md5::hash(data));
+  EXPECT_EQ(compute_digest(HashKind::kSha1, data), Sha1::hash(data));
+  EXPECT_EQ(compute_digest(HashKind::kRabin96, data), Rabin96::hash(data));
+}
+
+TEST(HashKind, DigestWidthMatchesDeclaredSize) {
+  const auto data = as_bytes("width-check");
+  for (const HashKind kind :
+       {HashKind::kRabin96, HashKind::kMd5, HashKind::kSha1}) {
+    EXPECT_EQ(compute_digest(kind, data).size(), digest_size(kind));
+  }
+}
+
+TEST(HashKind, Names) {
+  EXPECT_EQ(to_string(HashKind::kRabin96), "rabin96");
+  EXPECT_EQ(to_string(HashKind::kMd5), "md5");
+  EXPECT_EQ(to_string(HashKind::kSha1), "sha1");
+}
+
+TEST(HashKind, FamiliesDisagreeOnSameInput) {
+  const auto data = as_bytes("same-input");
+  EXPECT_NE(compute_digest(HashKind::kMd5, data),
+            compute_digest(HashKind::kSha1, data));
+  EXPECT_NE(compute_digest(HashKind::kMd5, data),
+            compute_digest(HashKind::kRabin96, data));
+}
+
+}  // namespace
+}  // namespace aadedupe::hash

@@ -1,0 +1,142 @@
+// In-memory chunk index tests.
+#include "index/memory_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "hash/md5.hpp"
+#include "hash/sha1.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::index {
+namespace {
+
+hash::Digest digest_of(int i) {
+  return hash::Sha1::hash(as_bytes("chunk-" + std::to_string(i)));
+}
+
+TEST(MemoryIndex, LookupMissThenHit) {
+  MemoryChunkIndex idx;
+  const auto d = digest_of(1);
+  EXPECT_FALSE(idx.lookup(d).has_value());
+  EXPECT_TRUE(idx.insert(d, ChunkLocation{7, 42, 100}));
+  const auto found = idx.lookup(d);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->container_id, 7u);
+  EXPECT_EQ(found->offset, 42u);
+  EXPECT_EQ(found->length, 100u);
+}
+
+TEST(MemoryIndex, DuplicateInsertKeepsOriginal) {
+  MemoryChunkIndex idx;
+  const auto d = digest_of(2);
+  EXPECT_TRUE(idx.insert(d, ChunkLocation{1, 0, 10}));
+  EXPECT_FALSE(idx.insert(d, ChunkLocation{2, 5, 20}));
+  EXPECT_EQ(idx.lookup(d)->container_id, 1u);
+  EXPECT_EQ(idx.size(), 1u);
+}
+
+TEST(MemoryIndex, StatsCountLookupsHitsInserts) {
+  MemoryChunkIndex idx;
+  idx.insert(digest_of(1), {});
+  idx.lookup(digest_of(1));
+  idx.lookup(digest_of(2));
+  const IndexStats s = idx.stats();
+  EXPECT_EQ(s.inserts, 1u);
+  EXPECT_EQ(s.lookups, 2u);
+  EXPECT_EQ(s.hits, 1u);
+}
+
+TEST(MemoryIndex, DifferentWidthDigestsAreDistinctKeys) {
+  MemoryChunkIndex idx;
+  const auto sha = hash::Sha1::hash(as_bytes("x"));
+  const auto md5 = hash::Md5::hash(as_bytes("x"));
+  idx.insert(sha, ChunkLocation{1, 0, 1});
+  EXPECT_FALSE(idx.lookup(md5).has_value());
+}
+
+TEST(MemoryIndex, SerializeRoundTrip) {
+  MemoryChunkIndex idx;
+  for (int i = 0; i < 100; ++i) {
+    idx.insert(digest_of(i),
+               ChunkLocation{static_cast<std::uint64_t>(i),
+                             static_cast<std::uint32_t>(i * 3),
+                             static_cast<std::uint32_t>(i + 1)});
+  }
+  const ByteBuffer image = idx.serialize();
+
+  MemoryChunkIndex restored;
+  restored.deserialize(image);
+  EXPECT_EQ(restored.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    const auto loc = restored.lookup(digest_of(i));
+    ASSERT_TRUE(loc.has_value()) << i;
+    EXPECT_EQ(loc->container_id, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(loc->offset, static_cast<std::uint32_t>(i * 3));
+    EXPECT_EQ(loc->length, static_cast<std::uint32_t>(i + 1));
+  }
+}
+
+TEST(MemoryIndex, SerializeEmptyIndex) {
+  MemoryChunkIndex idx;
+  MemoryChunkIndex restored;
+  restored.insert(digest_of(5), {});
+  restored.deserialize(idx.serialize());
+  EXPECT_EQ(restored.size(), 0u);  // deserialize replaces contents
+}
+
+TEST(MemoryIndex, DeserializeRejectsTruncatedHeader) {
+  MemoryChunkIndex idx;
+  EXPECT_THROW(idx.deserialize(ByteBuffer(4)), FormatError);
+}
+
+TEST(MemoryIndex, DeserializeRejectsTruncatedEntry) {
+  MemoryChunkIndex idx;
+  idx.insert(digest_of(1), {});
+  ByteBuffer image = idx.serialize();
+  image.resize(image.size() - 3);  // chop the last entry
+  MemoryChunkIndex fresh;
+  EXPECT_THROW(fresh.deserialize(image), FormatError);
+}
+
+TEST(MemoryIndex, DeserializeRejectsTrailingGarbage) {
+  MemoryChunkIndex idx;
+  idx.insert(digest_of(1), {});
+  ByteBuffer image = idx.serialize();
+  image.push_back(std::byte{0xee});
+  MemoryChunkIndex fresh;
+  EXPECT_THROW(fresh.deserialize(image), FormatError);
+}
+
+TEST(MemoryIndex, DeserializeRejectsBadDigestSize) {
+  ByteBuffer image;
+  append_le64(image, 1);
+  image.push_back(std::byte{77});  // digest size 77 > kMaxSize
+  image.resize(image.size() + 93, std::byte{0});
+  MemoryChunkIndex idx;
+  EXPECT_THROW(idx.deserialize(image), FormatError);
+}
+
+TEST(MemoryIndex, ConcurrentInsertLookupIsSafe) {
+  MemoryChunkIndex idx;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int key = t * kPerThread + i;
+        idx.insert(digest_of(key),
+                   ChunkLocation{static_cast<std::uint64_t>(key), 0, 1});
+        idx.lookup(digest_of(key / 2));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(idx.size(), static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace aadedupe::index

@@ -1,0 +1,148 @@
+// Application-aware partitioned index tests: shard isolation, aggregate
+// stats, serialization of all shards, and concurrent shard access — the
+// parallelism Observation 2 enables.
+#include "index/partitioned_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "hash/sha1.hpp"
+#include "index/memory_index.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::index {
+namespace {
+
+hash::Digest digest_of(const std::string& s) {
+  return hash::Sha1::hash(as_bytes(s));
+}
+
+TEST(PartitionedIndex, ShardsAreIndependent) {
+  PartitionedIndex idx;
+  const auto d = digest_of("shared-fingerprint");
+  idx.shard("doc").insert(d, ChunkLocation{1, 0, 8});
+  // The same fingerprint is unknown to every other shard: partitions are
+  // fully independent indices (Fig. 6).
+  EXPECT_TRUE(idx.shard("doc").lookup(d).has_value());
+  EXPECT_FALSE(idx.shard("mp3").lookup(d).has_value());
+  EXPECT_FALSE(idx.shard("vmdk").lookup(d).has_value());
+}
+
+TEST(PartitionedIndex, PartitionsListedSorted) {
+  PartitionedIndex idx;
+  idx.shard("vmdk");
+  idx.shard("avi");
+  idx.shard("doc");
+  const auto keys = idx.partitions();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "avi");
+  EXPECT_EQ(keys[1], "doc");
+  EXPECT_EQ(keys[2], "vmdk");
+}
+
+TEST(PartitionedIndex, SameKeyReturnsSameShard) {
+  PartitionedIndex idx;
+  ChunkIndex& a = idx.shard("txt");
+  ChunkIndex& b = idx.shard("txt");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(PartitionedIndex, TotalsAggregateAcrossShards) {
+  PartitionedIndex idx;
+  idx.shard("a").insert(digest_of("1"), {});
+  idx.shard("a").insert(digest_of("2"), {});
+  idx.shard("b").insert(digest_of("3"), {});
+  idx.shard("a").lookup(digest_of("1"));
+  idx.shard("b").lookup(digest_of("nope"));
+
+  EXPECT_EQ(idx.total_size(), 3u);
+  const IndexStats s = idx.total_stats();
+  EXPECT_EQ(s.inserts, 3u);
+  EXPECT_EQ(s.lookups, 2u);
+  EXPECT_EQ(s.hits, 1u);
+}
+
+TEST(PartitionedIndex, SerializeRoundTripAllShards) {
+  PartitionedIndex idx;
+  for (const std::string part : {"doc", "ppt", "vmdk"}) {
+    for (int i = 0; i < 50; ++i) {
+      idx.shard(part).insert(
+          digest_of(part + std::to_string(i)),
+          ChunkLocation{static_cast<std::uint64_t>(i), 0, 8});
+    }
+  }
+  const ByteBuffer image = idx.serialize();
+
+  PartitionedIndex restored;
+  restored.deserialize(image);
+  EXPECT_EQ(restored.total_size(), 150u);
+  EXPECT_EQ(restored.partitions(), idx.partitions());
+  EXPECT_TRUE(restored.shard("ppt").lookup(digest_of("ppt7")).has_value());
+  EXPECT_FALSE(restored.shard("doc").lookup(digest_of("ppt7")).has_value());
+}
+
+TEST(PartitionedIndex, SerializeEmpty) {
+  PartitionedIndex idx;
+  PartitionedIndex restored;
+  restored.shard("junk").insert(digest_of("x"), {});
+  restored.deserialize(idx.serialize());
+  EXPECT_EQ(restored.total_size(), 0u);
+  EXPECT_TRUE(restored.partitions().empty());
+}
+
+TEST(PartitionedIndex, DeserializeRejectsTruncation) {
+  PartitionedIndex idx;
+  idx.shard("doc").insert(digest_of("1"), {});
+  ByteBuffer image = idx.serialize();
+  image.resize(image.size() - 1);
+  PartitionedIndex fresh;
+  EXPECT_THROW(fresh.deserialize(image), FormatError);
+}
+
+TEST(PartitionedIndex, DeserializeRejectsTrailingBytes) {
+  PartitionedIndex idx;
+  idx.shard("doc").insert(digest_of("1"), {});
+  ByteBuffer image = idx.serialize();
+  image.push_back(std::byte{1});
+  PartitionedIndex fresh;
+  EXPECT_THROW(fresh.deserialize(image), FormatError);
+}
+
+TEST(PartitionedIndex, CustomFactoryIsUsed) {
+  int created = 0;
+  PartitionedIndex idx([&created](const std::string&) {
+    ++created;
+    return std::make_unique<MemoryChunkIndex>();
+  });
+  idx.shard("a");
+  idx.shard("b");
+  idx.shard("a");
+  EXPECT_EQ(created, 2);
+}
+
+TEST(PartitionedIndex, ConcurrentShardLookupsAreSafe) {
+  PartitionedIndex idx;
+  const std::vector<std::string> parts = {"avi", "mp3", "doc", "txt",
+                                          "ppt", "pdf", "exe", "vmdk"};
+  // Pre-create shards, then hammer them from one thread per partition —
+  // the access pattern of parallel per-application dedup.
+  for (const auto& p : parts) idx.shard(p);
+
+  std::vector<std::thread> threads;
+  for (const auto& p : parts) {
+    threads.emplace_back([&idx, p] {
+      ChunkIndex& shard = idx.shard(p);
+      for (int i = 0; i < 5000; ++i) {
+        const auto d = digest_of(p + std::to_string(i));
+        shard.insert(d, ChunkLocation{static_cast<std::uint64_t>(i), 0, 1});
+        ASSERT_TRUE(shard.lookup(d).has_value());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(idx.total_size(), parts.size() * 5000u);
+}
+
+}  // namespace
+}  // namespace aadedupe::index

@@ -1,0 +1,193 @@
+// Persistent on-disk chunk index tests: durability across reopen, growth,
+// cache behaviour, corrupt-file rejection.
+#include "index/persistent_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "hash/sha1.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::index {
+namespace {
+
+namespace fs = std::filesystem;
+
+class PersistentIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("aad_idx_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name = "index.bin") const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+hash::Digest digest_of(int i) {
+  return hash::Sha1::hash(as_bytes("entry-" + std::to_string(i)));
+}
+
+TEST_F(PersistentIndexTest, InsertLookupBasic) {
+  PersistentChunkIndex idx(path());
+  const auto d = digest_of(1);
+  EXPECT_FALSE(idx.lookup(d).has_value());
+  EXPECT_TRUE(idx.insert(d, ChunkLocation{3, 4, 5}));
+  const auto loc = idx.lookup(d);
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(loc->container_id, 3u);
+  EXPECT_EQ(idx.size(), 1u);
+}
+
+TEST_F(PersistentIndexTest, DuplicateInsertReturnsFalse) {
+  PersistentChunkIndex idx(path());
+  EXPECT_TRUE(idx.insert(digest_of(1), {}));
+  EXPECT_FALSE(idx.insert(digest_of(1), ChunkLocation{9, 9, 9}));
+  EXPECT_EQ(idx.size(), 1u);
+}
+
+TEST_F(PersistentIndexTest, SurvivesReopen) {
+  {
+    PersistentChunkIndex idx(path());
+    for (int i = 0; i < 200; ++i) {
+      idx.insert(digest_of(i),
+                 ChunkLocation{static_cast<std::uint64_t>(i),
+                               static_cast<std::uint32_t>(i),
+                               static_cast<std::uint32_t>(i + 1)});
+    }
+    idx.flush();
+  }
+  PersistentChunkIndex reopened(path());
+  EXPECT_EQ(reopened.size(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    const auto loc = reopened.lookup(digest_of(i));
+    ASSERT_TRUE(loc.has_value()) << i;
+    EXPECT_EQ(loc->length, static_cast<std::uint32_t>(i + 1));
+  }
+}
+
+TEST_F(PersistentIndexTest, GrowsBeyondInitialSlots) {
+  PersistentChunkIndex::Options opts;
+  opts.initial_slots = 8;
+  opts.cache_entries = 0;  // force every probe to disk
+  PersistentChunkIndex idx(path(), opts);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(idx.insert(digest_of(i),
+                           ChunkLocation{static_cast<std::uint64_t>(i), 0, 1}));
+  }
+  EXPECT_EQ(idx.size(), 500u);
+  EXPECT_GT(idx.slot_count(), 500u);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(idx.lookup(digest_of(i)).has_value()) << i;
+  }
+}
+
+TEST_F(PersistentIndexTest, CacheCutsDiskReadsOnRepeatedLookups) {
+  PersistentChunkIndex::Options opts;
+  opts.initial_slots = 64;
+  opts.cache_entries = 1024;
+  PersistentChunkIndex idx(path(), opts);
+  idx.insert(digest_of(1), {});
+
+  idx.lookup(digest_of(1));  // may hit cache (filled by insert)
+  const std::uint64_t reads_before = idx.stats().disk_reads;
+  for (int i = 0; i < 100; ++i) idx.lookup(digest_of(1));
+  EXPECT_EQ(idx.stats().disk_reads, reads_before)
+      << "repeated lookups of a cached entry must not touch the file";
+}
+
+TEST_F(PersistentIndexTest, NoCacheMeansEveryLookupReadsDisk) {
+  PersistentChunkIndex::Options opts;
+  opts.initial_slots = 64;
+  opts.cache_entries = 0;
+  PersistentChunkIndex idx(path(), opts);
+  idx.insert(digest_of(1), {});
+  const std::uint64_t reads_before = idx.stats().disk_reads;
+  for (int i = 0; i < 10; ++i) idx.lookup(digest_of(1));
+  EXPECT_GE(idx.stats().disk_reads, reads_before + 10);
+}
+
+TEST_F(PersistentIndexTest, MissOnEmptyTableIsCheap) {
+  PersistentChunkIndex idx(path());
+  EXPECT_FALSE(idx.lookup(digest_of(42)).has_value());
+  const IndexStats s = idx.stats();
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.lookups, 1u);
+}
+
+TEST_F(PersistentIndexTest, SerializeDeserializeRoundTrip) {
+  PersistentChunkIndex idx(path("a.bin"));
+  for (int i = 0; i < 150; ++i) {
+    idx.insert(digest_of(i), ChunkLocation{static_cast<std::uint64_t>(i), 1, 2});
+  }
+  const ByteBuffer image = idx.serialize();
+
+  PersistentChunkIndex other(path("b.bin"));
+  other.insert(digest_of(9999), {});
+  other.deserialize(image);
+  EXPECT_EQ(other.size(), 150u);
+  EXPECT_FALSE(other.lookup(digest_of(9999)).has_value());
+  for (int i = 0; i < 150; ++i) {
+    ASSERT_TRUE(other.lookup(digest_of(i)).has_value()) << i;
+  }
+}
+
+TEST_F(PersistentIndexTest, RejectsCorruptMagic) {
+  {
+    std::ofstream f(path(), std::ios::binary);
+    f << "NOTANIDX-file-with-garbage-content-..............";
+  }
+  EXPECT_THROW(PersistentChunkIndex{path()}, FormatError);
+}
+
+TEST_F(PersistentIndexTest, RejectsCorruptHeaderCounts) {
+  {
+    PersistentChunkIndex idx(path());
+    idx.insert(digest_of(1), {});
+    idx.flush();
+  }
+  // Overwrite entry_count with a value exceeding slot_count.
+  std::fstream f(path(), std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(16);
+  const std::uint64_t bogus = ~std::uint64_t{0};
+  f.write(reinterpret_cast<const char*>(&bogus), 8);
+  f.close();
+  EXPECT_THROW(PersistentChunkIndex{path()}, FormatError);
+}
+
+TEST_F(PersistentIndexTest, RejectsTinyInitialSlots) {
+  PersistentChunkIndex::Options opts;
+  opts.initial_slots = 4;
+  EXPECT_THROW(PersistentChunkIndex(path(), opts), PreconditionError);
+}
+
+TEST_F(PersistentIndexTest, SimulatedLatencySlowsLookups) {
+  PersistentChunkIndex::Options slow;
+  slow.initial_slots = 64;
+  slow.cache_entries = 0;
+  slow.simulated_read_latency_us = 2000;
+  PersistentChunkIndex idx(path(), slow);
+  idx.insert(digest_of(1), {});
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 5; ++i) idx.lookup(digest_of(1));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                .count(),
+            5 * 2000);
+}
+
+}  // namespace
+}  // namespace aadedupe::index

@@ -1,0 +1,103 @@
+// Metric-formula tests (Table II semantics) and table rendering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "metrics/energy.hpp"
+#include "metrics/params.hpp"
+#include "metrics/table_writer.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::metrics {
+namespace {
+
+TEST(Params, DedupeRatioBasic) {
+  EXPECT_DOUBLE_EQ(dedupe_ratio(100, 50), 2.0);
+  EXPECT_DOUBLE_EQ(dedupe_ratio(100, 100), 1.0);
+  EXPECT_DOUBLE_EQ(dedupe_ratio(0, 0), 1.0);
+}
+
+TEST(Params, DedupeRatioFullyDeduped) {
+  // Everything eliminated: finite, large ratio.
+  EXPECT_DOUBLE_EQ(dedupe_ratio(1000, 0), 1000.0);
+}
+
+TEST(Params, ThroughputBytesPerSecond) {
+  EXPECT_DOUBLE_EQ(dedupe_throughput(1000, 2.0), 500.0);
+  EXPECT_THROW(dedupe_throughput(1000, 0.0), PreconditionError);
+}
+
+TEST(Params, BytesSavedPerSecondFormula) {
+  // DE = (1 - 1/DR) * DT. DR=2, DT=100 -> 50 bytes saved/s.
+  EXPECT_DOUBLE_EQ(bytes_saved_per_second(2.0, 100.0), 50.0);
+  // No dedup (DR=1) saves nothing regardless of speed.
+  EXPECT_DOUBLE_EQ(bytes_saved_per_second(1.0, 1e9), 0.0);
+  EXPECT_THROW(bytes_saved_per_second(0.5, 100.0), PreconditionError);
+}
+
+TEST(Params, BytesSavedMonotoneInBothFactors) {
+  EXPECT_GT(bytes_saved_per_second(3.0, 100.0),
+            bytes_saved_per_second(2.0, 100.0));
+  EXPECT_GT(bytes_saved_per_second(2.0, 200.0),
+            bytes_saved_per_second(2.0, 100.0));
+}
+
+TEST(Params, BackupWindowTransferBound) {
+  // DT huge -> window set by transfer: DS/(DR*NT).
+  const double w = backup_window_seconds(1000000, 1e12, 2.0, 500000.0);
+  EXPECT_DOUBLE_EQ(w, 1000000.0 / (2.0 * 500000.0));
+}
+
+TEST(Params, BackupWindowComputeBound) {
+  // NT huge -> window set by dedup throughput: DS/DT.
+  const double w = backup_window_seconds(1000000, 250000.0, 2.0, 1e12);
+  EXPECT_DOUBLE_EQ(w, 4.0);
+}
+
+TEST(Params, BackupWindowCrossover) {
+  // At DT == DR*NT both stages take equal time.
+  const double w = backup_window_seconds(1000, 1000.0, 2.0, 500.0);
+  EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST(Energy, JoulesCombineIdleAndActive) {
+  EnergyModel model{10.0, 20.0};
+  // 100 s window, 30 s CPU: 10*100 + 20*30 = 1600 J.
+  EXPECT_DOUBLE_EQ(model.energy_joules(100.0, 30.0), 1600.0);
+}
+
+TEST(Energy, AverageWatts) {
+  EnergyModel model{10.0, 20.0};
+  EXPECT_DOUBLE_EQ(model.average_watts(100.0, 30.0), 16.0);
+  EXPECT_THROW(model.average_watts(0.0, 0.0), PreconditionError);
+}
+
+TEST(Energy, MoreCpuMeansMoreEnergy) {
+  EnergyModel model;
+  EXPECT_GT(model.energy_joules(10.0, 9.0), model.energy_joules(10.0, 1.0));
+}
+
+TEST(TableWriter, RendersAlignedColumns) {
+  TableWriter table({"scheme", "DR", "DE"});
+  table.add_row({"AA-Dedupe", "3.21", "123"});
+  table.add_row({"Avamar", "3.5", "17"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("scheme"), std::string::npos);
+  EXPECT_NE(out.find("AA-Dedupe"), std::string::npos);
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TableWriter, RejectsMismatchedRow) {
+  TableWriter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(TableWriter, Formatters) {
+  EXPECT_EQ(TableWriter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TableWriter::integer(1234567), "1234567");
+  EXPECT_EQ(TableWriter::percent(0.125, 1), "12.5%");
+}
+
+}  // namespace
+}  // namespace aadedupe::metrics

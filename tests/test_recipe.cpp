@@ -1,0 +1,116 @@
+// File-recipe store tests.
+#include "container/recipe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hash/sha1.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::container {
+namespace {
+
+hash::Digest digest_of(const std::string& s) {
+  return hash::Sha1::hash(as_bytes(s));
+}
+
+FileRecipe sample_recipe(const std::string& path, int chunks) {
+  FileRecipe recipe;
+  recipe.path = path;
+  for (int i = 0; i < chunks; ++i) {
+    RecipeEntry e;
+    e.digest = digest_of(path + std::to_string(i));
+    e.location = index::ChunkLocation{static_cast<std::uint64_t>(i + 1),
+                                      static_cast<std::uint32_t>(i * 100),
+                                      1000};
+    recipe.entries.push_back(e);
+    recipe.file_size += 1000;
+  }
+  return recipe;
+}
+
+TEST(RecipeStore, PutAndFind) {
+  RecipeStore store;
+  store.put(sample_recipe("a/b.doc", 3));
+  const FileRecipe* found = store.find("a/b.doc");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->entries.size(), 3u);
+  EXPECT_EQ(found->file_size, 3000u);
+  EXPECT_EQ(store.find("missing"), nullptr);
+}
+
+TEST(RecipeStore, PutReplacesExisting) {
+  RecipeStore store;
+  store.put(sample_recipe("x", 2));
+  store.put(sample_recipe("x", 5));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.find("x")->entries.size(), 5u);
+}
+
+TEST(RecipeStore, RejectsEmptyPath) {
+  RecipeStore store;
+  FileRecipe r = sample_recipe("x", 1);
+  r.path.clear();
+  EXPECT_THROW(store.put(std::move(r)), PreconditionError);
+}
+
+TEST(RecipeStore, RejectsSizeMismatch) {
+  RecipeStore store;
+  FileRecipe r = sample_recipe("x", 2);
+  r.file_size += 1;  // entries no longer sum to size
+  EXPECT_THROW(store.put(std::move(r)), PreconditionError);
+}
+
+TEST(RecipeStore, EmptyFileRecipeAllowed) {
+  RecipeStore store;
+  FileRecipe r;
+  r.path = "empty.txt";
+  store.put(std::move(r));
+  EXPECT_EQ(store.find("empty.txt")->file_size, 0u);
+}
+
+TEST(RecipeStore, PathsSorted) {
+  RecipeStore store;
+  store.put(sample_recipe("zz", 1));
+  store.put(sample_recipe("aa", 1));
+  const auto paths = store.paths();
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], "aa");
+  EXPECT_EQ(paths[1], "zz");
+}
+
+TEST(RecipeStore, SerializeRoundTrip) {
+  RecipeStore store;
+  store.put(sample_recipe("doc/a.doc", 4));
+  store.put(sample_recipe("mp3/b.mp3", 1));
+  store.put(FileRecipe{"tiny/empty", 0, "", {}});
+
+  const RecipeStore restored = RecipeStore::deserialize(store.serialize());
+  EXPECT_EQ(restored.size(), 3u);
+  const FileRecipe* a = restored.find("doc/a.doc");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(*a, *store.find("doc/a.doc"));
+  EXPECT_EQ(*restored.find("tiny/empty"), *store.find("tiny/empty"));
+}
+
+TEST(RecipeStore, DeserializeRejectsTruncation) {
+  RecipeStore store;
+  store.put(sample_recipe("p", 2));
+  ByteBuffer image = store.serialize();
+  image.resize(image.size() - 5);
+  EXPECT_THROW(RecipeStore::deserialize(image), FormatError);
+}
+
+TEST(RecipeStore, DeserializeRejectsTrailingBytes) {
+  RecipeStore store;
+  store.put(sample_recipe("p", 1));
+  ByteBuffer image = store.serialize();
+  image.push_back(std::byte{0});
+  EXPECT_THROW(RecipeStore::deserialize(image), FormatError);
+}
+
+TEST(RecipeStore, DeserializeRejectsMissingHeader) {
+  EXPECT_THROW(RecipeStore::deserialize(ByteBuffer(2)), FormatError);
+}
+
+}  // namespace
+}  // namespace aadedupe::container

@@ -1,0 +1,121 @@
+// Unit tests for the deterministic random generators.
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace aadedupe {
+namespace {
+
+TEST(SplitMix64, DeterministicAndMixing) {
+  SplitMix64 a(1), b(1), c(2);
+  const std::uint64_t first = a.next();
+  EXPECT_EQ(first, b.next());
+  EXPECT_NE(first, c.next());
+  EXPECT_NE(first, a.next());  // successive values differ
+}
+
+TEST(DeriveSeed, DistinctStreamsGiveDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t stream = 0; stream < 1000; ++stream) {
+    seeds.insert(derive_seed(42, stream));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(DeriveSeed, Deterministic) {
+  EXPECT_EQ(derive_seed(7, 13), derive_seed(7, 13));
+  EXPECT_NE(derive_seed(7, 13), derive_seed(8, 13));
+}
+
+TEST(Xoshiro256, DeterministicSequence) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Xoshiro256, BetweenInclusiveBounds) {
+  Xoshiro256 rng(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.between(3, 7);
+    ASSERT_GE(v, 3u);
+    ASSERT_LE(v, 7u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, NormalMoments) {
+  Xoshiro256 rng(4);
+  double sum = 0, sum_sq = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.03);
+}
+
+TEST(Xoshiro256, LognormalMeanMatchesFormula) {
+  // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2).
+  Xoshiro256 rng(5);
+  const double mu = std::log(1000.0) - 0.5 * 0.5 / 2.0;
+  double sum = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.lognormal(mu, 0.5);
+  EXPECT_NEAR(sum / kSamples, 1000.0, 30.0);
+}
+
+TEST(Xoshiro256, FillDeterministicAndCoversTail) {
+  ByteBuffer a(37), b(37);
+  Xoshiro256 r1(9), r2(9);
+  r1.fill(a);
+  r2.fill(b);
+  EXPECT_EQ(a, b);
+  // Non-multiple-of-8 tails are actually written (not left zero).
+  ByteBuffer c(37, std::byte{0});
+  Xoshiro256 r3(10);
+  r3.fill(c);
+  bool tail_nonzero = false;
+  for (std::size_t i = 32; i < c.size(); ++i) {
+    tail_nonzero |= (c[i] != std::byte{0});
+  }
+  EXPECT_TRUE(tail_nonzero);
+}
+
+TEST(Xoshiro256, ChanceExtremes) {
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace aadedupe

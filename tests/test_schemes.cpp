@@ -1,0 +1,180 @@
+// Integration tests across all five backup schemes: every scheme must
+// restore every file byte-exactly, dedup schemes must exploit
+// cross-session redundancy, and the session reports must be coherent.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "backup/chunk_level.hpp"
+#include "backup/file_level.hpp"
+#include "backup/full_backup.hpp"
+#include "backup/incremental.hpp"
+#include "backup/sam.hpp"
+#include "backup/target_dedupe.hpp"
+#include "core/aa_dedupe.hpp"
+#include "dataset/generator.hpp"
+
+namespace aadedupe {
+namespace {
+
+dataset::DatasetConfig test_config(std::uint64_t bytes = 6ull << 20) {
+  dataset::DatasetConfig config;
+  config.seed = 11;
+  config.session_bytes = bytes;
+  config.max_file_bytes = 1 << 20;
+  return config;
+}
+
+std::unique_ptr<backup::BackupScheme> make_scheme(const std::string& name,
+                                                  cloud::CloudTarget& target) {
+  if (name == "full") return std::make_unique<backup::FullBackupScheme>(target);
+  if (name == "incremental")
+    return std::make_unique<backup::IncrementalScheme>(target);
+  if (name == "file") return std::make_unique<backup::FileLevelScheme>(target);
+  if (name == "chunk")
+    return std::make_unique<backup::ChunkLevelScheme>(target);
+  if (name == "sam") return std::make_unique<backup::SamScheme>(target);
+  if (name == "target")
+    return std::make_unique<backup::TargetDedupeScheme>(target);
+  core::AaDedupeOptions options;
+  options.worker_threads = 4;
+  return std::make_unique<core::AaDedupeScheme>(target, options);
+}
+
+class AllSchemes : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllSchemes, RestoreEqualsSourceAfterOneSession) {
+  cloud::CloudTarget target;
+  auto scheme = make_scheme(GetParam(), target);
+  dataset::DatasetGenerator gen(test_config());
+  const dataset::Snapshot snapshot = gen.initial();
+
+  const auto report = scheme->backup(snapshot);
+  EXPECT_EQ(report.dataset_bytes, snapshot.total_bytes());
+  EXPECT_EQ(report.dataset_files, snapshot.files.size());
+
+  // Verify every 7th file plus the first and last (bounded runtime).
+  for (std::size_t i = 0; i < snapshot.files.size();
+       i += (i + 7 < snapshot.files.size() ? std::size_t{7} : std::size_t{1})) {
+    const dataset::FileEntry& file = snapshot.files[i];
+    const ByteBuffer expected = dataset::materialize(file.content);
+    const ByteBuffer restored = scheme->restore_file(file.path);
+    ASSERT_EQ(restored.size(), expected.size()) << file.path;
+    ASSERT_EQ(restored, expected) << file.path;
+  }
+}
+
+TEST_P(AllSchemes, RestoreEqualsSourceAfterThreeSessions) {
+  cloud::CloudTarget target;
+  auto scheme = make_scheme(GetParam(), target);
+  dataset::DatasetGenerator gen(test_config(3ull << 20));
+  const auto sessions = gen.sessions(3);
+  for (const auto& snapshot : sessions) scheme->backup(snapshot);
+
+  const dataset::Snapshot& last = sessions.back();
+  for (std::size_t i = 0; i < last.files.size();
+       i += (i + 11 < last.files.size() ? std::size_t{11} : std::size_t{1})) {
+    const dataset::FileEntry& file = last.files[i];
+    const ByteBuffer expected = dataset::materialize(file.content);
+    const ByteBuffer restored = scheme->restore_file(file.path);
+    ASSERT_EQ(restored, expected) << file.path << " v" << file.version;
+  }
+}
+
+TEST_P(AllSchemes, RestoreUnknownPathThrows) {
+  cloud::CloudTarget target;
+  auto scheme = make_scheme(GetParam(), target);
+  dataset::DatasetGenerator gen(test_config(2ull << 20));
+  scheme->backup(gen.initial());
+  EXPECT_THROW(scheme->restore_file("no/such/file.bin"), FormatError);
+}
+
+TEST_P(AllSchemes, ReportsAreCoherent) {
+  cloud::CloudTarget target;
+  auto scheme = make_scheme(GetParam(), target);
+  dataset::DatasetGenerator gen(test_config(2ull << 20));
+  const auto report = scheme->backup(gen.initial());
+
+  EXPECT_GT(report.transferred_bytes, 0u);
+  EXPECT_GT(report.upload_requests, 0u);
+  EXPECT_GT(report.dedupe_seconds, 0.0);
+  EXPECT_GE(report.transfer_seconds, 0.0);
+  EXPECT_GE(report.dedupe_ratio(), 1.0);
+  EXPECT_GT(report.dedupe_throughput(), 0.0);
+  EXPECT_GE(report.bytes_saved_per_second(), 0.0);
+  EXPECT_GE(report.backup_window_seconds(), report.transfer_seconds);
+  EXPECT_EQ(report.cumulative_stored_bytes, target.store().stored_bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, AllSchemes,
+                         ::testing::Values("full", "incremental", "file",
+                                           "chunk", "sam", "target", "aa"));
+
+// ---- Cross-scheme behavioural ordering ----
+
+struct TwoSessionRun {
+  backup::SessionReport first;
+  backup::SessionReport second;
+};
+
+TwoSessionRun run_two_sessions(const std::string& scheme_name) {
+  cloud::CloudTarget target;
+  auto scheme = make_scheme(scheme_name, target);
+  dataset::DatasetGenerator gen(test_config());
+  const auto sessions = gen.sessions(2);
+  TwoSessionRun out;
+  out.first = scheme->backup(sessions[0]);
+  out.second = scheme->backup(sessions[1]);
+  return out;
+}
+
+TEST(SchemeBehaviour, FullBackupNeverDedupes) {
+  const auto run = run_two_sessions("full");
+  EXPECT_GE(run.first.transferred_bytes, run.first.dataset_bytes);
+  EXPECT_GE(run.second.transferred_bytes, run.second.dataset_bytes);
+}
+
+TEST(SchemeBehaviour, DedupSchemesShipFarLessOnSecondSession) {
+  for (const std::string name : {"incremental", "file", "chunk", "sam", "aa"}) {
+    const auto run = run_two_sessions(name);
+    EXPECT_LT(run.second.transferred_bytes, run.second.dataset_bytes / 2)
+        << name << " should exploit cross-session redundancy";
+  }
+}
+
+TEST(SchemeBehaviour, ChunkLevelStoresLessThanFileLevelOverall) {
+  // Sub-file dedup must beat whole-file dedup on cumulative storage
+  // (Fig. 7 ordering).
+  const auto file_run = run_two_sessions("file");
+  const auto chunk_run = run_two_sessions("chunk");
+  EXPECT_LT(chunk_run.second.cumulative_stored_bytes,
+            file_run.second.cumulative_stored_bytes);
+}
+
+TEST(SchemeBehaviour, AaRequestsFarBelowChunkLevel) {
+  // Container aggregation: AA-Dedupe ships ~1 MB objects while the
+  // chunk-level baseline ships one object per new chunk (Fig. 10 driver).
+  const auto aa = run_two_sessions("aa");
+  const auto avamar = run_two_sessions("chunk");
+  EXPECT_LT(aa.first.upload_requests * 10, avamar.first.upload_requests);
+}
+
+TEST(SchemeBehaviour, AaStorageCompetitiveWithChunkLevel) {
+  const auto aa = run_two_sessions("aa");
+  const auto avamar = run_two_sessions("chunk");
+  // Application-aware chunking sacrifices almost no effectiveness
+  // (paper: "similar or better space efficiency than Avamar and SAM").
+  // Container padding costs a little; stay within 40%.
+  EXPECT_LT(static_cast<double>(aa.second.cumulative_stored_bytes),
+            static_cast<double>(avamar.second.cumulative_stored_bytes) * 1.4);
+}
+
+TEST(SchemeBehaviour, IncrementalShipsOnlyChangedFiles) {
+  const auto run = run_two_sessions("incremental");
+  // Second-session traffic must be well under first-session traffic.
+  EXPECT_LT(run.second.transferred_bytes, run.first.transferred_bytes / 2);
+}
+
+}  // namespace
+}  // namespace aadedupe

@@ -1,0 +1,126 @@
+// Integrity-scrub tests: silent cloud corruption, missing objects and
+// lost keys must be detected before a restore needs the data.
+#include <gtest/gtest.h>
+
+#include "backup/keys.hpp"
+#include "core/aa_dedupe.hpp"
+#include "dataset/generator.hpp"
+
+namespace aadedupe::core {
+namespace {
+
+dataset::DatasetConfig scrub_config(std::uint64_t seed = 111) {
+  dataset::DatasetConfig config;
+  config.seed = seed;
+  config.session_bytes = 4ull << 20;
+  config.max_file_bytes = 1 << 20;
+  return config;
+}
+
+TEST(Scrub, CleanBackupPassesCompletely) {
+  cloud::CloudTarget target;
+  AaDedupeScheme scheme(target);
+  dataset::DatasetGenerator gen(scrub_config());
+  const auto snapshot = gen.initial();
+  scheme.backup(snapshot);
+
+  const auto report = scheme.scrub();
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.files_checked, snapshot.files.size());
+  EXPECT_GT(report.chunks_checked, 0u);
+  EXPECT_EQ(report.bytes_checked, snapshot.total_bytes());
+  EXPECT_TRUE(report.damaged_paths.empty());
+}
+
+TEST(Scrub, DetectsBitRotInsideContainer) {
+  cloud::CloudTarget target;
+  AaDedupeScheme scheme(target);
+  dataset::DatasetGenerator gen(scrub_config());
+  scheme.backup(gen.initial());
+
+  // Flip one payload byte deep inside one container object.
+  const auto keys = target.store().list("containers/");
+  ASSERT_FALSE(keys.empty());
+  auto object = target.store().get(keys[keys.size() / 2]);
+  ASSERT_TRUE(object.has_value());
+  (*object)[object->size() - 100] ^= std::byte{0x01};
+  target.store().put(keys[keys.size() / 2], std::move(*object));
+
+  const auto report = scheme.scrub();
+  EXPECT_FALSE(report.clean());
+  EXPECT_GE(report.corrupt_chunks, 1u);
+  EXPECT_FALSE(report.damaged_paths.empty());
+}
+
+TEST(Scrub, DetectsMissingContainer) {
+  cloud::CloudTarget target;
+  AaDedupeScheme scheme(target);
+  dataset::DatasetGenerator gen(scrub_config());
+  scheme.backup(gen.initial());
+
+  const auto keys = target.store().list("containers/");
+  ASSERT_FALSE(keys.empty());
+  target.store().remove(keys.front());
+
+  const auto report = scheme.scrub();
+  EXPECT_FALSE(report.clean());
+  EXPECT_GE(report.missing_containers, 1u);
+}
+
+TEST(Scrub, DetectsTruncatedContainer) {
+  cloud::CloudTarget target;
+  AaDedupeScheme scheme(target);
+  dataset::DatasetGenerator gen(scrub_config());
+  scheme.backup(gen.initial());
+
+  const auto keys = target.store().list("containers/");
+  ASSERT_FALSE(keys.empty());
+  auto object = target.store().get(keys.front());
+  object->resize(object->size() / 2);
+  target.store().put(keys.front(), std::move(*object));
+
+  const auto report = scheme.scrub();
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(Scrub, EncryptedBackupScrubsThroughDecryption) {
+  cloud::CloudTarget target;
+  AaDedupeOptions options;
+  options.convergent_encryption = true;
+  options.passphrase = "pw";
+  AaDedupeScheme scheme(target, options);
+  dataset::DatasetGenerator gen(scrub_config());
+  scheme.backup(gen.initial());
+
+  EXPECT_TRUE(scheme.scrub().clean());
+
+  // Corrupt one container: detected through the decryption path too.
+  const auto keys = target.store().list("containers/");
+  auto object = target.store().get(keys.front());
+  (*object)[object->size() - 10] ^= std::byte{0xff};
+  target.store().put(keys.front(), std::move(*object));
+  EXPECT_FALSE(scheme.scrub().clean());
+}
+
+TEST(Scrub, UnknownSessionThrows) {
+  cloud::CloudTarget target;
+  AaDedupeScheme scheme(target);
+  EXPECT_THROW(scheme.scrub(42), FormatError);
+  // scrub() on an empty client is a clean no-op.
+  EXPECT_TRUE(scheme.scrub().clean());
+}
+
+TEST(Scrub, ChecksSpecificRetainedSession) {
+  cloud::CloudTarget target;
+  AaDedupeScheme scheme(target);
+  dataset::DatasetGenerator gen(scrub_config());
+  const auto sessions = gen.sessions(2);
+  for (const auto& s : sessions) scheme.backup(s);
+
+  const auto report = scheme.scrub(0);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.files_checked, sessions[0].files.size());
+}
+
+}  // namespace
+}  // namespace aadedupe::core

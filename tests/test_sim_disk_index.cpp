@@ -1,0 +1,154 @@
+// SimulatedDiskIndex decorator tests: pass-through correctness, LRU cache
+// behaviour, and simulated-time charging.
+#include "index/sim_disk_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hash/sha1.hpp"
+#include "index/memory_index.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::index {
+namespace {
+
+hash::Digest digest_of(int i) {
+  return hash::Sha1::hash(as_bytes("sim-" + std::to_string(i)));
+}
+
+struct Fixture {
+  double charged = 0.0;
+  SimDiskOptions options;
+
+  std::unique_ptr<SimulatedDiskIndex> make() {
+    return std::make_unique<SimulatedDiskIndex>(
+        std::make_unique<MemoryChunkIndex>(), options,
+        [this](double s) { charged += s; });
+  }
+};
+
+TEST(SimDiskIndex, PassThroughLookupInsert) {
+  Fixture fx;
+  auto idx = fx.make();
+  EXPECT_FALSE(idx->lookup(digest_of(1)).has_value());
+  EXPECT_TRUE(idx->insert(digest_of(1), ChunkLocation{5, 6, 7}));
+  EXPECT_FALSE(idx->insert(digest_of(1), {}));
+  const auto loc = idx->lookup(digest_of(1));
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(loc->container_id, 5u);
+  EXPECT_EQ(idx->size(), 1u);
+}
+
+TEST(SimDiskIndex, MissChargesSeekHitIsFree) {
+  Fixture fx;
+  fx.options.miss_seek_seconds = 0.5;
+  fx.options.insert_seconds = 0.0;
+  auto idx = fx.make();
+
+  idx->lookup(digest_of(1));  // cold miss
+  EXPECT_DOUBLE_EQ(fx.charged, 0.5);
+  idx->lookup(digest_of(1));  // now cached
+  EXPECT_DOUBLE_EQ(fx.charged, 0.5);
+  EXPECT_EQ(idx->cache_hits(), 1u);
+  EXPECT_EQ(idx->cache_misses(), 1u);
+}
+
+TEST(SimDiskIndex, InsertChargesWriteCost) {
+  Fixture fx;
+  fx.options.miss_seek_seconds = 0.0;
+  fx.options.insert_seconds = 0.25;
+  auto idx = fx.make();
+  idx->insert(digest_of(1), {});
+  idx->insert(digest_of(2), {});
+  EXPECT_DOUBLE_EQ(fx.charged, 0.5);
+}
+
+TEST(SimDiskIndex, InsertWarmsTheCache) {
+  Fixture fx;
+  fx.options.miss_seek_seconds = 1.0;
+  fx.options.insert_seconds = 0.0;
+  auto idx = fx.make();
+  idx->insert(digest_of(1), {});
+  idx->lookup(digest_of(1));  // cache hit: insert warmed it
+  EXPECT_DOUBLE_EQ(fx.charged, 0.0);
+}
+
+TEST(SimDiskIndex, LruEvictsOldEntries) {
+  Fixture fx;
+  fx.options.cache_entries = 2;
+  fx.options.miss_seek_seconds = 1.0;
+  fx.options.insert_seconds = 0.0;
+  auto idx = fx.make();
+
+  idx->lookup(digest_of(1));  // miss, cached
+  idx->lookup(digest_of(2));  // miss, cached
+  idx->lookup(digest_of(3));  // miss, evicts 1
+  EXPECT_DOUBLE_EQ(fx.charged, 3.0);
+  idx->lookup(digest_of(1));  // miss again (evicted)
+  EXPECT_DOUBLE_EQ(fx.charged, 4.0);
+  idx->lookup(digest_of(3));  // still cached
+  EXPECT_DOUBLE_EQ(fx.charged, 4.0);
+}
+
+TEST(SimDiskIndex, LruTouchKeepsHotEntryAlive) {
+  Fixture fx;
+  fx.options.cache_entries = 2;
+  fx.options.miss_seek_seconds = 1.0;
+  fx.options.insert_seconds = 0.0;
+  auto idx = fx.make();
+
+  idx->lookup(digest_of(1));
+  idx->lookup(digest_of(2));
+  idx->lookup(digest_of(1));  // touch 1 -> 2 becomes LRU
+  idx->lookup(digest_of(3));  // evicts 2
+  fx.charged = 0.0;
+  idx->lookup(digest_of(1));  // still cached
+  EXPECT_DOUBLE_EQ(fx.charged, 0.0);
+  idx->lookup(digest_of(2));  // evicted -> miss
+  EXPECT_DOUBLE_EQ(fx.charged, 1.0);
+}
+
+TEST(SimDiskIndex, SerializeDelegatesToInner) {
+  Fixture fx;
+  auto idx = fx.make();
+  for (int i = 0; i < 20; ++i) idx->insert(digest_of(i), {});
+  const ByteBuffer image = idx->serialize();
+
+  MemoryChunkIndex plain;
+  plain.deserialize(image);
+  EXPECT_EQ(plain.size(), 20u);
+}
+
+TEST(SimDiskIndex, DeserializeResetsCache) {
+  Fixture fx;
+  fx.options.miss_seek_seconds = 1.0;
+  fx.options.insert_seconds = 0.0;
+  auto idx = fx.make();
+  idx->insert(digest_of(1), {});
+
+  MemoryChunkIndex donor;
+  donor.insert(digest_of(1), {});
+  idx->deserialize(donor.serialize());
+
+  fx.charged = 0.0;
+  idx->lookup(digest_of(1));  // cache was cleared -> miss
+  EXPECT_DOUBLE_EQ(fx.charged, 1.0);
+}
+
+TEST(SimDiskIndex, StatsSurfaceSimulatedReads) {
+  Fixture fx;
+  auto idx = fx.make();
+  idx->lookup(digest_of(1));
+  idx->lookup(digest_of(2));
+  EXPECT_EQ(idx->stats().disk_reads, 2u);
+}
+
+TEST(SimDiskIndex, RejectsNullInnerOrSink) {
+  EXPECT_THROW(SimulatedDiskIndex(nullptr, {}, [](double) {}),
+               PreconditionError);
+  EXPECT_THROW(SimulatedDiskIndex(std::make_unique<MemoryChunkIndex>(), {},
+                                  nullptr),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace aadedupe::index

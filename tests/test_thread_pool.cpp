@@ -1,0 +1,86 @@
+// Unit tests for the thread pool that powers parallel app-stream dedup.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace aadedupe {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.submit([]() -> int {
+    throw std::runtime_error("boom");
+  });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroCountIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, ParallelForSingleItem) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("idx 37");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, RequiresAtLeastOneThread) {
+  EXPECT_THROW(ThreadPool(0), PreconditionError);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+  ThreadPool pool(ThreadPool::default_thread_count());
+  constexpr std::size_t kN = 100000;
+  std::atomic<long long> sum{0};
+  pool.parallel_for(kN, [&](std::size_t i) {
+    sum += static_cast<long long>(i);
+  });
+  EXPECT_EQ(sum.load(), static_cast<long long>(kN) * (kN - 1) / 2);
+}
+
+}  // namespace
+}  // namespace aadedupe

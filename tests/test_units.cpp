@@ -1,0 +1,72 @@
+// Formatting/clock utility tests.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/sim_clock.hpp"
+#include "util/stopwatch.hpp"
+#include "util/units.hpp"
+
+namespace aadedupe {
+namespace {
+
+TEST(Units, ByteLiterals) {
+  EXPECT_EQ(4_KiB, 4096u);
+  EXPECT_EQ(1_MiB, 1048576u);
+  EXPECT_EQ(2_GiB, 2147483648u);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(0), "0.00 B");
+  EXPECT_EQ(format_bytes(512), "512.0 B");
+  EXPECT_EQ(format_bytes(1024), "1.00 KiB");
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(format_bytes(10 * 1024 * 1024), "10.0 MiB");
+  EXPECT_EQ(format_bytes(3ull << 30), "3.00 GiB");
+}
+
+TEST(Units, FormatRate) {
+  EXPECT_EQ(format_rate(500.0), "500.0 B/s");
+  EXPECT_EQ(format_rate(1500.0), "1.50 KB/s");
+  EXPECT_EQ(format_rate(2.5e6), "2.50 MB/s");
+  EXPECT_EQ(format_rate(1.2e9), "1.20 GB/s");
+}
+
+TEST(SimClock, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+  clock.advance(1.5);
+  clock.advance(0.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 2.0);
+  clock.advance_to(1.0);  // no-op: already past
+  EXPECT_DOUBLE_EQ(clock.now(), 2.0);
+  clock.advance_to(5.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 5.0);
+  clock.reset();
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+TEST(SimClock, RejectsNegativeAdvance) {
+  SimClock clock;
+  EXPECT_THROW(clock.advance(-1.0), PreconditionError);
+}
+
+TEST(StopWatch, MeasuresElapsedTime) {
+  StopWatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = watch.seconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);
+  watch.reset();
+  EXPECT_LT(watch.seconds(), elapsed);
+}
+
+TEST(CpuTime, ProcessCpuAdvancesUnderLoad) {
+  const double before = process_cpu_seconds();
+  volatile std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < 30'000'000; ++i) sink += i * i;
+  EXPECT_GT(process_cpu_seconds(), before);
+}
+
+}  // namespace
+}  // namespace aadedupe

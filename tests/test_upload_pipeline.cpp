@@ -1,0 +1,83 @@
+// Pipelined-uploader tests.
+#include "core/upload_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace aadedupe::core {
+namespace {
+
+TEST(UploadPipeline, AllEnqueuedObjectsLand) {
+  cloud::CloudTarget target;
+  {
+    UploadPipeline pipeline(target);
+    for (int i = 0; i < 100; ++i) {
+      pipeline.enqueue("obj/" + std::to_string(i),
+                       ByteBuffer(static_cast<std::size_t>(i + 1)));
+    }
+    pipeline.finish();
+  }
+  EXPECT_EQ(target.store().object_count(), 100u);
+  EXPECT_TRUE(target.store().exists("obj/0"));
+  EXPECT_TRUE(target.store().exists("obj/99"));
+}
+
+TEST(UploadPipeline, DestructorFlushes) {
+  cloud::CloudTarget target;
+  {
+    UploadPipeline pipeline(target);
+    pipeline.enqueue("k", ByteBuffer(10));
+    // No explicit finish: destructor must drain.
+  }
+  EXPECT_TRUE(target.store().exists("k"));
+}
+
+TEST(UploadPipeline, FinishIsIdempotent) {
+  cloud::CloudTarget target;
+  UploadPipeline pipeline(target);
+  pipeline.enqueue("k", ByteBuffer(1));
+  pipeline.finish();
+  pipeline.finish();
+  EXPECT_TRUE(target.store().exists("k"));
+}
+
+TEST(UploadPipeline, ConcurrentProducers) {
+  cloud::CloudTarget target;
+  {
+    UploadPipeline pipeline(target, /*queue_capacity=*/4);
+    std::vector<std::thread> producers;
+    for (int t = 0; t < 4; ++t) {
+      producers.emplace_back([&pipeline, t] {
+        for (int i = 0; i < 200; ++i) {
+          pipeline.enqueue(
+              "t" + std::to_string(t) + "/" + std::to_string(i),
+              ByteBuffer(64));
+        }
+      });
+    }
+    for (auto& p : producers) p.join();
+    pipeline.finish();
+  }
+  EXPECT_EQ(target.store().object_count(), 800u);
+}
+
+TEST(UploadPipeline, PayloadBytesAreIntact) {
+  cloud::CloudTarget target;
+  ByteBuffer payload(10000);
+  Xoshiro256 rng(1);
+  rng.fill(payload);
+  {
+    UploadPipeline pipeline(target);
+    pipeline.enqueue("data", ByteBuffer(payload));
+  }
+  const auto got = target.store().get("data");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+}
+
+}  // namespace
+}  // namespace aadedupe::core

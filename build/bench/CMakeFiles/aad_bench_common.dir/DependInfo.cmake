@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_common.cpp" "bench/CMakeFiles/aad_bench_common.dir/bench_common.cpp.o" "gcc" "bench/CMakeFiles/aad_bench_common.dir/bench_common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/backup/CMakeFiles/aad_backup.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/aad_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/aad_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/aad_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/aad_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/aad_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/chunk/CMakeFiles/aad_chunk.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/aad_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aad_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/aad_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

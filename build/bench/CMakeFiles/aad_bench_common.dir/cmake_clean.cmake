@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aad_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/aad_bench_common.dir/bench_common.cpp.o.d"
+  "libaad_bench_common.a"
+  "libaad_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aad_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

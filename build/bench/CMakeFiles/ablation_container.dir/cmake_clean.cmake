@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_container.dir/ablation_container.cpp.o"
+  "CMakeFiles/ablation_container.dir/ablation_container.cpp.o.d"
+  "ablation_container"
+  "ablation_container.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

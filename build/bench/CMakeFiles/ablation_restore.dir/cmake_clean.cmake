@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_restore.dir/ablation_restore.cpp.o"
+  "CMakeFiles/ablation_restore.dir/ablation_restore.cpp.o.d"
+  "ablation_restore"
+  "ablation_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

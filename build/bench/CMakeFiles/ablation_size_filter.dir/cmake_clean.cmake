@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_size_filter.dir/ablation_size_filter.cpp.o"
+  "CMakeFiles/ablation_size_filter.dir/ablation_size_filter.cpp.o.d"
+  "ablation_size_filter"
+  "ablation_size_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_size_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_02_dataset_stats.dir/fig01_02_dataset_stats.cpp.o"
+  "CMakeFiles/fig01_02_dataset_stats.dir/fig01_02_dataset_stats.cpp.o.d"
+  "fig01_02_dataset_stats"
+  "fig01_02_dataset_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_02_dataset_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_hash_overhead.dir/fig03_hash_overhead.cpp.o"
+  "CMakeFiles/fig03_hash_overhead.dir/fig03_hash_overhead.cpp.o.d"
+  "fig03_hash_overhead"
+  "fig03_hash_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_hash_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

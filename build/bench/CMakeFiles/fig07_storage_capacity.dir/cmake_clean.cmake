@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_storage_capacity.dir/fig07_storage_capacity.cpp.o"
+  "CMakeFiles/fig07_storage_capacity.dir/fig07_storage_capacity.cpp.o.d"
+  "fig07_storage_capacity"
+  "fig07_storage_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_storage_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

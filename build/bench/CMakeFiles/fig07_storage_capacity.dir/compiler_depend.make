@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_storage_capacity.
+# This may be replaced when dependencies are built.

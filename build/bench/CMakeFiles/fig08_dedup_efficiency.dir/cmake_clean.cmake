@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_dedup_efficiency.dir/fig08_dedup_efficiency.cpp.o"
+  "CMakeFiles/fig08_dedup_efficiency.dir/fig08_dedup_efficiency.cpp.o.d"
+  "fig08_dedup_efficiency"
+  "fig08_dedup_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_dedup_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

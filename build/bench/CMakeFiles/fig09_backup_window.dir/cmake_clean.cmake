@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_backup_window.dir/fig09_backup_window.cpp.o"
+  "CMakeFiles/fig09_backup_window.dir/fig09_backup_window.cpp.o.d"
+  "fig09_backup_window"
+  "fig09_backup_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_backup_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

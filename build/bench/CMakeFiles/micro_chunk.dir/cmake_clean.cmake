@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_chunk.dir/micro_chunk.cpp.o"
+  "CMakeFiles/micro_chunk.dir/micro_chunk.cpp.o.d"
+  "micro_chunk"
+  "micro_chunk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_chunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_container.dir/micro_container.cpp.o"
+  "CMakeFiles/micro_container.dir/micro_container.cpp.o.d"
+  "micro_container"
+  "micro_container.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

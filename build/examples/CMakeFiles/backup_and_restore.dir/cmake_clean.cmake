@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backup_and_restore.dir/backup_and_restore.cpp.o"
+  "CMakeFiles/backup_and_restore.dir/backup_and_restore.cpp.o.d"
+  "backup_and_restore"
+  "backup_and_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backup_and_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

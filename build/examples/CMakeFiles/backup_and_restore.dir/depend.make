@@ -1,0 +1,2 @@
+# Empty dependencies file for backup_and_restore.
+# This may be replaced when dependencies are built.

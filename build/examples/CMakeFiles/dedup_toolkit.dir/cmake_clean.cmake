@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_toolkit.dir/dedup_toolkit.cpp.o"
+  "CMakeFiles/dedup_toolkit.dir/dedup_toolkit.cpp.o.d"
+  "dedup_toolkit"
+  "dedup_toolkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_toolkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

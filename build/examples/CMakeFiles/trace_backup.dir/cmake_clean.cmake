@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_backup.dir/trace_backup.cpp.o"
+  "CMakeFiles/trace_backup.dir/trace_backup.cpp.o.d"
+  "trace_backup"
+  "trace_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

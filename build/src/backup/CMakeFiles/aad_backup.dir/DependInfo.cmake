@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backup/chunk_level.cpp" "src/backup/CMakeFiles/aad_backup.dir/chunk_level.cpp.o" "gcc" "src/backup/CMakeFiles/aad_backup.dir/chunk_level.cpp.o.d"
+  "/root/repo/src/backup/file_level.cpp" "src/backup/CMakeFiles/aad_backup.dir/file_level.cpp.o" "gcc" "src/backup/CMakeFiles/aad_backup.dir/file_level.cpp.o.d"
+  "/root/repo/src/backup/full_backup.cpp" "src/backup/CMakeFiles/aad_backup.dir/full_backup.cpp.o" "gcc" "src/backup/CMakeFiles/aad_backup.dir/full_backup.cpp.o.d"
+  "/root/repo/src/backup/incremental.cpp" "src/backup/CMakeFiles/aad_backup.dir/incremental.cpp.o" "gcc" "src/backup/CMakeFiles/aad_backup.dir/incremental.cpp.o.d"
+  "/root/repo/src/backup/sam.cpp" "src/backup/CMakeFiles/aad_backup.dir/sam.cpp.o" "gcc" "src/backup/CMakeFiles/aad_backup.dir/sam.cpp.o.d"
+  "/root/repo/src/backup/scheme.cpp" "src/backup/CMakeFiles/aad_backup.dir/scheme.cpp.o" "gcc" "src/backup/CMakeFiles/aad_backup.dir/scheme.cpp.o.d"
+  "/root/repo/src/backup/target_dedupe.cpp" "src/backup/CMakeFiles/aad_backup.dir/target_dedupe.cpp.o" "gcc" "src/backup/CMakeFiles/aad_backup.dir/target_dedupe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aad_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/aad_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/chunk/CMakeFiles/aad_chunk.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/aad_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/aad_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/aad_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/aad_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/aad_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

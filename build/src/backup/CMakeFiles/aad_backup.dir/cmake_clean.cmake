@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aad_backup.dir/chunk_level.cpp.o"
+  "CMakeFiles/aad_backup.dir/chunk_level.cpp.o.d"
+  "CMakeFiles/aad_backup.dir/file_level.cpp.o"
+  "CMakeFiles/aad_backup.dir/file_level.cpp.o.d"
+  "CMakeFiles/aad_backup.dir/full_backup.cpp.o"
+  "CMakeFiles/aad_backup.dir/full_backup.cpp.o.d"
+  "CMakeFiles/aad_backup.dir/incremental.cpp.o"
+  "CMakeFiles/aad_backup.dir/incremental.cpp.o.d"
+  "CMakeFiles/aad_backup.dir/sam.cpp.o"
+  "CMakeFiles/aad_backup.dir/sam.cpp.o.d"
+  "CMakeFiles/aad_backup.dir/scheme.cpp.o"
+  "CMakeFiles/aad_backup.dir/scheme.cpp.o.d"
+  "CMakeFiles/aad_backup.dir/target_dedupe.cpp.o"
+  "CMakeFiles/aad_backup.dir/target_dedupe.cpp.o.d"
+  "libaad_backup.a"
+  "libaad_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aad_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaad_backup.a"
+)

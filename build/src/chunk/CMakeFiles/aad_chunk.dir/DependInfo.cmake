@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chunk/cdc_chunker.cpp" "src/chunk/CMakeFiles/aad_chunk.dir/cdc_chunker.cpp.o" "gcc" "src/chunk/CMakeFiles/aad_chunk.dir/cdc_chunker.cpp.o.d"
+  "/root/repo/src/chunk/chunker.cpp" "src/chunk/CMakeFiles/aad_chunk.dir/chunker.cpp.o" "gcc" "src/chunk/CMakeFiles/aad_chunk.dir/chunker.cpp.o.d"
+  "/root/repo/src/chunk/fastcdc_chunker.cpp" "src/chunk/CMakeFiles/aad_chunk.dir/fastcdc_chunker.cpp.o" "gcc" "src/chunk/CMakeFiles/aad_chunk.dir/fastcdc_chunker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aad_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/aad_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aad_chunk.dir/cdc_chunker.cpp.o"
+  "CMakeFiles/aad_chunk.dir/cdc_chunker.cpp.o.d"
+  "CMakeFiles/aad_chunk.dir/chunker.cpp.o"
+  "CMakeFiles/aad_chunk.dir/chunker.cpp.o.d"
+  "CMakeFiles/aad_chunk.dir/fastcdc_chunker.cpp.o"
+  "CMakeFiles/aad_chunk.dir/fastcdc_chunker.cpp.o.d"
+  "libaad_chunk.a"
+  "libaad_chunk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aad_chunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aad_cloud.dir/object_store.cpp.o"
+  "CMakeFiles/aad_cloud.dir/object_store.cpp.o.d"
+  "libaad_cloud.a"
+  "libaad_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aad_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

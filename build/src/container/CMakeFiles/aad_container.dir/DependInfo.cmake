@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/container/container.cpp" "src/container/CMakeFiles/aad_container.dir/container.cpp.o" "gcc" "src/container/CMakeFiles/aad_container.dir/container.cpp.o.d"
+  "/root/repo/src/container/container_manager.cpp" "src/container/CMakeFiles/aad_container.dir/container_manager.cpp.o" "gcc" "src/container/CMakeFiles/aad_container.dir/container_manager.cpp.o.d"
+  "/root/repo/src/container/recipe.cpp" "src/container/CMakeFiles/aad_container.dir/recipe.cpp.o" "gcc" "src/container/CMakeFiles/aad_container.dir/recipe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aad_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/aad_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/aad_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aad_container.dir/container.cpp.o"
+  "CMakeFiles/aad_container.dir/container.cpp.o.d"
+  "CMakeFiles/aad_container.dir/container_manager.cpp.o"
+  "CMakeFiles/aad_container.dir/container_manager.cpp.o.d"
+  "CMakeFiles/aad_container.dir/recipe.cpp.o"
+  "CMakeFiles/aad_container.dir/recipe.cpp.o.d"
+  "libaad_container.a"
+  "libaad_container.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aad_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aad_core.dir/aa_dedupe.cpp.o"
+  "CMakeFiles/aad_core.dir/aa_dedupe.cpp.o.d"
+  "libaad_core.a"
+  "libaad_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aad_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

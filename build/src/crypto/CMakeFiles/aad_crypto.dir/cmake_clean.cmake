@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aad_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/aad_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/aad_crypto.dir/convergent.cpp.o"
+  "CMakeFiles/aad_crypto.dir/convergent.cpp.o.d"
+  "libaad_crypto.a"
+  "libaad_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aad_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/content.cpp" "src/dataset/CMakeFiles/aad_dataset.dir/content.cpp.o" "gcc" "src/dataset/CMakeFiles/aad_dataset.dir/content.cpp.o.d"
+  "/root/repo/src/dataset/file_kind.cpp" "src/dataset/CMakeFiles/aad_dataset.dir/file_kind.cpp.o" "gcc" "src/dataset/CMakeFiles/aad_dataset.dir/file_kind.cpp.o.d"
+  "/root/repo/src/dataset/fs_snapshot.cpp" "src/dataset/CMakeFiles/aad_dataset.dir/fs_snapshot.cpp.o" "gcc" "src/dataset/CMakeFiles/aad_dataset.dir/fs_snapshot.cpp.o.d"
+  "/root/repo/src/dataset/generator.cpp" "src/dataset/CMakeFiles/aad_dataset.dir/generator.cpp.o" "gcc" "src/dataset/CMakeFiles/aad_dataset.dir/generator.cpp.o.d"
+  "/root/repo/src/dataset/trace.cpp" "src/dataset/CMakeFiles/aad_dataset.dir/trace.cpp.o" "gcc" "src/dataset/CMakeFiles/aad_dataset.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aad_dataset.dir/content.cpp.o"
+  "CMakeFiles/aad_dataset.dir/content.cpp.o.d"
+  "CMakeFiles/aad_dataset.dir/file_kind.cpp.o"
+  "CMakeFiles/aad_dataset.dir/file_kind.cpp.o.d"
+  "CMakeFiles/aad_dataset.dir/fs_snapshot.cpp.o"
+  "CMakeFiles/aad_dataset.dir/fs_snapshot.cpp.o.d"
+  "CMakeFiles/aad_dataset.dir/generator.cpp.o"
+  "CMakeFiles/aad_dataset.dir/generator.cpp.o.d"
+  "CMakeFiles/aad_dataset.dir/trace.cpp.o"
+  "CMakeFiles/aad_dataset.dir/trace.cpp.o.d"
+  "libaad_dataset.a"
+  "libaad_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aad_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

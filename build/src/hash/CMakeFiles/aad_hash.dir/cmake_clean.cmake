@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aad_hash.dir/md5.cpp.o"
+  "CMakeFiles/aad_hash.dir/md5.cpp.o.d"
+  "CMakeFiles/aad_hash.dir/rabin.cpp.o"
+  "CMakeFiles/aad_hash.dir/rabin.cpp.o.d"
+  "CMakeFiles/aad_hash.dir/sha1.cpp.o"
+  "CMakeFiles/aad_hash.dir/sha1.cpp.o.d"
+  "libaad_hash.a"
+  "libaad_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aad_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

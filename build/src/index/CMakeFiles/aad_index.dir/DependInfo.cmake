@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/memory_index.cpp" "src/index/CMakeFiles/aad_index.dir/memory_index.cpp.o" "gcc" "src/index/CMakeFiles/aad_index.dir/memory_index.cpp.o.d"
+  "/root/repo/src/index/partitioned_index.cpp" "src/index/CMakeFiles/aad_index.dir/partitioned_index.cpp.o" "gcc" "src/index/CMakeFiles/aad_index.dir/partitioned_index.cpp.o.d"
+  "/root/repo/src/index/persistent_index.cpp" "src/index/CMakeFiles/aad_index.dir/persistent_index.cpp.o" "gcc" "src/index/CMakeFiles/aad_index.dir/persistent_index.cpp.o.d"
+  "/root/repo/src/index/sim_disk_index.cpp" "src/index/CMakeFiles/aad_index.dir/sim_disk_index.cpp.o" "gcc" "src/index/CMakeFiles/aad_index.dir/sim_disk_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aad_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/aad_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

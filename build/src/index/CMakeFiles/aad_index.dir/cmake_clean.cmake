@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aad_index.dir/memory_index.cpp.o"
+  "CMakeFiles/aad_index.dir/memory_index.cpp.o.d"
+  "CMakeFiles/aad_index.dir/partitioned_index.cpp.o"
+  "CMakeFiles/aad_index.dir/partitioned_index.cpp.o.d"
+  "CMakeFiles/aad_index.dir/persistent_index.cpp.o"
+  "CMakeFiles/aad_index.dir/persistent_index.cpp.o.d"
+  "CMakeFiles/aad_index.dir/sim_disk_index.cpp.o"
+  "CMakeFiles/aad_index.dir/sim_disk_index.cpp.o.d"
+  "libaad_index.a"
+  "libaad_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aad_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

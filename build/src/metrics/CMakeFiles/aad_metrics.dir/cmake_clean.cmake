@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aad_metrics.dir/table_writer.cpp.o"
+  "CMakeFiles/aad_metrics.dir/table_writer.cpp.o.d"
+  "libaad_metrics.a"
+  "libaad_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aad_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aad_util.dir/bytes.cpp.o"
+  "CMakeFiles/aad_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/aad_util.dir/rng.cpp.o"
+  "CMakeFiles/aad_util.dir/rng.cpp.o.d"
+  "CMakeFiles/aad_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/aad_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/aad_util.dir/units.cpp.o"
+  "CMakeFiles/aad_util.dir/units.cpp.o.d"
+  "libaad_util.a"
+  "libaad_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aad_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

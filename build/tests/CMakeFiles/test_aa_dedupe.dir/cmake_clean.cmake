@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aa_dedupe.dir/test_aa_dedupe.cpp.o"
+  "CMakeFiles/test_aa_dedupe.dir/test_aa_dedupe.cpp.o.d"
+  "test_aa_dedupe"
+  "test_aa_dedupe.pdb"
+  "test_aa_dedupe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aa_dedupe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_application_stats.dir/test_application_stats.cpp.o"
+  "CMakeFiles/test_application_stats.dir/test_application_stats.cpp.o.d"
+  "test_application_stats"
+  "test_application_stats.pdb"
+  "test_application_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_application_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

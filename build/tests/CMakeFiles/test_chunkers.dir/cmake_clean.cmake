@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chunkers.dir/test_chunkers.cpp.o"
+  "CMakeFiles/test_chunkers.dir/test_chunkers.cpp.o.d"
+  "test_chunkers"
+  "test_chunkers.pdb"
+  "test_chunkers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chunkers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_container_manager.dir/test_container_manager.cpp.o"
+  "CMakeFiles/test_container_manager.dir/test_container_manager.cpp.o.d"
+  "test_container_manager"
+  "test_container_manager.pdb"
+  "test_container_manager[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_container_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_convergent.dir/test_convergent.cpp.o"
+  "CMakeFiles/test_convergent.dir/test_convergent.cpp.o.d"
+  "test_convergent"
+  "test_convergent.pdb"
+  "test_convergent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_convergent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

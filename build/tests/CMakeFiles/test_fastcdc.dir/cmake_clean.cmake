@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fastcdc.dir/test_fastcdc.cpp.o"
+  "CMakeFiles/test_fastcdc.dir/test_fastcdc.cpp.o.d"
+  "test_fastcdc"
+  "test_fastcdc.pdb"
+  "test_fastcdc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fastcdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_garbage_collection.dir/test_garbage_collection.cpp.o"
+  "CMakeFiles/test_garbage_collection.dir/test_garbage_collection.cpp.o.d"
+  "test_garbage_collection"
+  "test_garbage_collection.pdb"
+  "test_garbage_collection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_garbage_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

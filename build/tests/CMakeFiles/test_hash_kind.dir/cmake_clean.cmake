@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hash_kind.dir/test_hash_kind.cpp.o"
+  "CMakeFiles/test_hash_kind.dir/test_hash_kind.cpp.o.d"
+  "test_hash_kind"
+  "test_hash_kind.pdb"
+  "test_hash_kind[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hash_kind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

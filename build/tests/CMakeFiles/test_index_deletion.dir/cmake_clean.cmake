@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_index_deletion.dir/test_index_deletion.cpp.o"
+  "CMakeFiles/test_index_deletion.dir/test_index_deletion.cpp.o.d"
+  "test_index_deletion"
+  "test_index_deletion.pdb"
+  "test_index_deletion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_index_deletion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

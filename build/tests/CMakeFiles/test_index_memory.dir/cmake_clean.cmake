@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_index_memory.dir/test_index_memory.cpp.o"
+  "CMakeFiles/test_index_memory.dir/test_index_memory.cpp.o.d"
+  "test_index_memory"
+  "test_index_memory.pdb"
+  "test_index_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_index_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

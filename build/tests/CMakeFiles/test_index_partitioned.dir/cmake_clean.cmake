@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_index_partitioned.dir/test_index_partitioned.cpp.o"
+  "CMakeFiles/test_index_partitioned.dir/test_index_partitioned.cpp.o.d"
+  "test_index_partitioned"
+  "test_index_partitioned.pdb"
+  "test_index_partitioned[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_index_partitioned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_index_persistent.dir/test_index_persistent.cpp.o"
+  "CMakeFiles/test_index_persistent.dir/test_index_persistent.cpp.o.d"
+  "test_index_persistent"
+  "test_index_persistent.pdb"
+  "test_index_persistent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_index_persistent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

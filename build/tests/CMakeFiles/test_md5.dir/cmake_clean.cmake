@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_md5.dir/test_md5.cpp.o"
+  "CMakeFiles/test_md5.dir/test_md5.cpp.o.d"
+  "test_md5"
+  "test_md5.pdb"
+  "test_md5[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_md5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_point_in_time.dir/test_point_in_time.cpp.o"
+  "CMakeFiles/test_point_in_time.dir/test_point_in_time.cpp.o.d"
+  "test_point_in_time"
+  "test_point_in_time.pdb"
+  "test_point_in_time[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_point_in_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

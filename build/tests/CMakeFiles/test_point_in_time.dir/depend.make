@@ -1,0 +1,2 @@
+# Empty dependencies file for test_point_in_time.
+# This may be replaced when dependencies are built.

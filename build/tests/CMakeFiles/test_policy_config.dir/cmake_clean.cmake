@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_config.dir/test_policy_config.cpp.o"
+  "CMakeFiles/test_policy_config.dir/test_policy_config.cpp.o.d"
+  "test_policy_config"
+  "test_policy_config.pdb"
+  "test_policy_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

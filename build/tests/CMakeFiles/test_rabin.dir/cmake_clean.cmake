@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rabin.dir/test_rabin.cpp.o"
+  "CMakeFiles/test_rabin.dir/test_rabin.cpp.o.d"
+  "test_rabin"
+  "test_rabin.pdb"
+  "test_rabin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rabin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scrub.dir/test_scrub.cpp.o"
+  "CMakeFiles/test_scrub.dir/test_scrub.cpp.o.d"
+  "test_scrub"
+  "test_scrub.pdb"
+  "test_scrub[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scrub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_disk_index.dir/test_sim_disk_index.cpp.o"
+  "CMakeFiles/test_sim_disk_index.dir/test_sim_disk_index.cpp.o.d"
+  "test_sim_disk_index"
+  "test_sim_disk_index.pdb"
+  "test_sim_disk_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_disk_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_state_persistence.dir/test_state_persistence.cpp.o"
+  "CMakeFiles/test_state_persistence.dir/test_state_persistence.cpp.o.d"
+  "test_state_persistence"
+  "test_state_persistence.pdb"
+  "test_state_persistence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_state_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,77 @@
+// Ablation: fault tolerance — what an unreliable WAN costs.
+//
+// Runs the same AA-Dedupe backup through cloud targets with increasing
+// transient-failure rates and reports how the retry/backoff stack turns
+// link failures into backup-window time instead of data loss: injected
+// faults, retries, simulated backoff seconds, WAN transfer time, and a
+// byte-exact restore check of the final session.
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/aa_dedupe.hpp"
+#include "dataset/generator.hpp"
+#include "metrics/table_writer.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace aadedupe;
+
+  const auto bench_config = bench::BenchConfig::from_env();
+  dataset::DatasetConfig config = bench_config.dataset_config();
+  dataset::DatasetGenerator generator(config);
+  const auto snapshots = generator.sessions(3);
+
+  std::printf("=== Ablation: AA-Dedupe backup over an unreliable WAN "
+              "(3 sessions, ~%llu MiB each) ===\n\n",
+              static_cast<unsigned long long>(bench_config.session_mib));
+
+  metrics::TableWriter table({"fault rate", "injected", "retries",
+                              "backoff (s)", "exhausted", "WAN time (s)",
+                              "restore"});
+
+  for (const double fault_p : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+    cloud::CloudTarget target;
+    if (fault_p > 0.0) {
+      target.inject_faults(cloud::FaultProfile::transient(fault_p),
+                           bench_config.seed);
+    }
+    core::AaDedupeScheme scheme(target);
+
+    double wan_seconds = 0.0;
+    for (const auto& snapshot : snapshots) {
+      wan_seconds += scheme.backup(snapshot).transfer_seconds;
+    }
+
+    // Byte-exact restore of the final session through the same bad link.
+    bool intact = true;
+    for (const auto& file : snapshots.back().files) {
+      if (scheme.restore_file(file.path) !=
+          dataset::materialize(file.content)) {
+        intact = false;
+        break;
+      }
+    }
+    intact = intact && scheme.pending_uploads().empty();
+
+    const auto faults = target.fault_stats();
+    const auto retries = target.retry_stats();
+    char rate[16];
+    std::snprintf(rate, sizeof rate, "%.0f%%", fault_p * 100.0);
+    table.add_row({rate,
+                   metrics::TableWriter::integer(faults.injected_total()),
+                   metrics::TableWriter::integer(retries.retries),
+                   metrics::TableWriter::num(retries.backoff_seconds, 1),
+                   metrics::TableWriter::integer(retries.exhausted),
+                   metrics::TableWriter::num(wan_seconds, 1),
+                   intact ? "byte-exact" : "DAMAGED"});
+  }
+
+  table.print();
+  std::printf("\nshape checks: every row restores byte-exact; injected "
+              "faults and retries grow with the fault rate; backoff and "
+              "failed-attempt time widen the WAN column while the dedup "
+              "work itself is unchanged. Exhausted should stay 0 until "
+              "the fault rate overwhelms the default 4-attempt budget.\n");
+  return 0;
+}

@@ -39,7 +39,7 @@ void ChunkLevelScheme::run_session(const dataset::Snapshot& snapshot) {
       } else {
         // Per-chunk upload: this is what drives Avamar's request count and
         // WAN overhead in Figs. 9 and 10.
-        target().upload(keys::chunk_object(digest),
+        upload_or_throw(keys::chunk_object(digest),
                         ByteBuffer(chunk_bytes.begin(), chunk_bytes.end()));
         chunk_index_->insert(digest, location);
       }
@@ -58,11 +58,8 @@ ByteBuffer ChunkLevelScheme::restore_file(const std::string& path) {
   ByteBuffer out;
   out.reserve(recipe->file_size);
   for (const container::RecipeEntry& entry : recipe->entries) {
-    auto chunk_bytes = target().download(keys::chunk_object(entry.digest));
-    if (!chunk_bytes) {
-      throw FormatError("chunk-level: missing chunk " + entry.digest.hex());
-    }
-    append(out, *chunk_bytes);
+    append(out,
+           download_or_throw(keys::chunk_object(entry.digest), "chunk-level"));
   }
   if (out.size() != recipe->file_size) {
     throw FormatError("chunk-level: reassembled size mismatch for " + path);

@@ -13,7 +13,7 @@ void FileLevelScheme::run_session(const dataset::Snapshot& snapshot) {
     dataset::materialize_into(file.content, content);
     const hash::Digest digest = hash::Sha1::hash(content);
     if (!file_index_.lookup(digest)) {
-      target().upload(keys::file_object(digest), content);
+      upload_or_throw(keys::file_object(digest), content);
       file_index_.insert(
           digest, index::ChunkLocation{
                       0, 0, static_cast<std::uint32_t>(content.size())});
@@ -28,11 +28,7 @@ ByteBuffer FileLevelScheme::restore_file(const std::string& path) {
   if (it == catalog_.end()) {
     throw FormatError("file-level: unknown path " + path);
   }
-  auto data = target().download(keys::file_object(it->second));
-  if (!data) {
-    throw FormatError("file-level: missing object for " + path);
-  }
-  return std::move(*data);
+  return download_or_throw(keys::file_object(it->second), "file-level");
 }
 
 }  // namespace aadedupe::backup

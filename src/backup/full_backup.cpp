@@ -12,7 +12,7 @@ void FullBackupScheme::run_session(const dataset::Snapshot& snapshot) {
     dataset::materialize_into(file.content, content);
     std::string key =
         keys::session_file_object(name(), snapshot.session, file.path);
-    target().upload(key, content);
+    upload_or_throw(key, content);
     session_keys.emplace(file.path, std::move(key));
   }
   latest_key_ = std::move(session_keys);
@@ -23,9 +23,7 @@ ByteBuffer FullBackupScheme::restore_file(const std::string& path) {
   if (it == latest_key_.end()) {
     throw FormatError("full backup: unknown path " + path);
   }
-  auto data = target().download(it->second);
-  if (!data) throw FormatError("full backup: missing object " + it->second);
-  return std::move(*data);
+  return download_or_throw(it->second, "full backup");
 }
 
 }  // namespace aadedupe::backup

@@ -32,7 +32,7 @@ void IncrementalScheme::run_session(const dataset::Snapshot& snapshot) {
     }
     std::string key =
         keys::session_file_object(name(), snapshot.session, file.path);
-    target().upload(key, content);
+    upload_or_throw(key, content);
     next_state.emplace(file.path, FileState{file.version, std::move(key)});
   }
   // Paths absent from the snapshot were deleted on the PC; the client
@@ -45,11 +45,7 @@ ByteBuffer IncrementalScheme::restore_file(const std::string& path) {
   if (it == files_.end()) {
     throw FormatError("incremental: unknown path " + path);
   }
-  auto data = target().download(it->second.object_key);
-  if (!data) {
-    throw FormatError("incremental: missing object " + it->second.object_key);
-  }
-  return std::move(*data);
+  return download_or_throw(it->second.object_key, "incremental");
 }
 
 }  // namespace aadedupe::backup

@@ -58,7 +58,7 @@ void SamScheme::run_session(const dataset::Snapshot& snapshot) {
     if (!chunk_tier_eligible(file.kind) || content.empty()) {
       // Whole-file upload for compressed media (and empty files).
       if (!content.empty()) {
-        target().upload(keys::file_object(file_digest), content);
+        upload_or_throw(keys::file_object(file_digest), content);
       }
       recipe.entries.push_back(container::RecipeEntry{
           file_digest,
@@ -74,7 +74,7 @@ void SamScheme::run_session(const dataset::Snapshot& snapshot) {
         if (const auto existing = chunk_index_->lookup(digest)) {
           location = *existing;
         } else {
-          target().upload(keys::chunk_object(digest),
+          upload_or_throw(keys::chunk_object(digest),
                           ByteBuffer(chunk_bytes.begin(), chunk_bytes.end()));
           chunk_index_->insert(digest, location);
         }
@@ -97,9 +97,7 @@ ByteBuffer SamScheme::restore_file(const std::string& path) {
     const std::string key = entry.location.container_id == kFileObjectTag
                                 ? keys::file_object(entry.digest)
                                 : keys::chunk_object(entry.digest);
-    auto bytes = target().download(key);
-    if (!bytes) throw FormatError("sam: missing object " + key);
-    append(out, *bytes);
+    append(out, download_or_throw(key, "sam"));
   }
   if (out.size() != recipe->file_size) {
     throw FormatError("sam: reassembled size mismatch for " + path);

@@ -1,8 +1,26 @@
 #include "backup/scheme.hpp"
 
+#include "util/check.hpp"
 #include "util/stopwatch.hpp"
 
 namespace aadedupe::backup {
+
+void BackupScheme::upload_or_throw(const std::string& key, ByteBuffer data) {
+  const cloud::CloudStatus status = target_->upload(key, std::move(data));
+  if (!status.ok()) {
+    throw cloud::CloudTransportError("upload", key, status.error());
+  }
+}
+
+ByteBuffer BackupScheme::download_or_throw(const std::string& key,
+                                           std::string_view context) {
+  cloud::CloudResult<ByteBuffer> result = target_->download(key);
+  if (result.ok()) return std::move(result).value();
+  if (result.error() == cloud::CloudError::kNotFound) {
+    throw FormatError(std::string(context) + ": missing object " + key);
+  }
+  throw cloud::CloudTransportError("download", key, result.error());
+}
 
 SessionReport BackupScheme::backup(const dataset::Snapshot& snapshot) {
   SessionReport report;

@@ -97,6 +97,19 @@ class BackupScheme {
   /// backup()).
   virtual void run_session(const dataset::Snapshot& snapshot) = 0;
 
+  /// Upload through the target's transport stack; throws
+  /// cloud::CloudTransportError when the stack gives up past its retry
+  /// budget. For schemes without a pipeline/journal, losing an upload
+  /// silently is never acceptable.
+  void upload_or_throw(const std::string& key, ByteBuffer data);
+
+  /// Download an object that must exist. kNotFound becomes a FormatError
+  /// ("<context>: missing object <key>" — the object is gone, retrying
+  /// will not help); transport failures become CloudTransportError (the
+  /// object may still be there — the caller can retry the restore later).
+  ByteBuffer download_or_throw(const std::string& key,
+                               std::string_view context);
+
   /// Add simulated client-side processing time (e.g. on-disk index seeks
   /// modeled by SimulatedDiskIndex) to the current session's dedup time.
   /// Thread-safe; callable from pipeline workers.

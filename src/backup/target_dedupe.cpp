@@ -15,7 +15,7 @@ void TargetDedupeScheme::run_session(const dataset::Snapshot& snapshot) {
     // --- client side: no processing, ship the whole file over the WAN ---
     const std::string inbox_key = keys::session_file_object(
         "target-inbox", snapshot.session, file.path);
-    target().upload(inbox_key, content);
+    upload_or_throw(inbox_key, content);
 
     // --- server side: dedup on arrival, then drop the raw upload ---
     container::FileRecipe recipe;
@@ -40,7 +40,9 @@ void TargetDedupeScheme::run_session(const dataset::Snapshot& snapshot) {
       recipe.entries.push_back(container::RecipeEntry{digest, location});
     }
     recipes.put(std::move(recipe));
-    target().store().remove(inbox_key);  // raw upload discarded post-dedup
+    // Raw upload discarded post-dedup; a server-side delete, so it goes
+    // straight to the store rather than through the client's WAN stack.
+    target().store().remove(inbox_key);
   }
   server_recipes_ = std::move(recipes);
 }
@@ -53,11 +55,8 @@ ByteBuffer TargetDedupeScheme::restore_file(const std::string& path) {
   ByteBuffer out;
   out.reserve(recipe->file_size);
   for (const container::RecipeEntry& entry : recipe->entries) {
-    auto chunk_bytes = target().download(keys::chunk_object(entry.digest));
-    if (!chunk_bytes) {
-      throw FormatError("target-dedup: missing chunk " + entry.digest.hex());
-    }
-    append(out, *chunk_bytes);
+    append(out, download_or_throw(keys::chunk_object(entry.digest),
+                                  "target-dedup"));
   }
   if (out.size() != recipe->file_size) {
     throw FormatError("target-dedup: reassembled size mismatch for " + path);

@@ -1,0 +1,47 @@
+// CloudBackend — the data-plane interface between the backup client and
+// whatever actually holds the bytes.
+//
+// Decorator-friendly by design: the production stack is
+//
+//   MemoryBackend (ObjectStore + WAN accounting)
+//     ← FaultInjectingBackend (optional, deterministic failures)
+//       ← RetryingBackend (capped exponential backoff + jitter)
+//
+// and every layer speaks the same typed-result vocabulary, so a scheme
+// cannot tell (and must not care) whether a kTransient came from a seeded
+// fault schedule or a real socket. Control-plane operations (list,
+// exists, stats) stay on ObjectStore: they model the provider's metadata
+// API, which our fault model does not target.
+//
+// Thread safety: implementations must tolerate concurrent calls — the
+// upload pipeline ships objects from a dedicated thread while restore
+// paths read on the caller's thread.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "cloud/cloud_result.hpp"
+#include "util/bytes.hpp"
+
+namespace aadedupe::cloud {
+
+class CloudBackend {
+ public:
+  virtual ~CloudBackend() = default;
+
+  /// Store an object. The span stays owned by the caller, so a decorator
+  /// can re-send the identical payload on retry without a copy per layer.
+  virtual CloudStatus put(const std::string& key, ConstByteSpan data) = 0;
+
+  /// Fetch an object; kNotFound when the key does not exist.
+  virtual CloudResult<ByteBuffer> get(const std::string& key) = 0;
+
+  /// Delete an object; the success payload says whether it existed.
+  virtual CloudResult<bool> remove(const std::string& key) = 0;
+
+  /// Layer name for diagnostics ("memory", "fault-injector", "retrier").
+  virtual std::string_view name() const noexcept = 0;
+};
+
+}  // namespace aadedupe::cloud

@@ -1,0 +1,123 @@
+// Typed results for cloud transport operations.
+//
+// The paper's evaluation treats the cloud as an always-available store;
+// production WANs are not. Every data-plane operation against the cloud
+// returns a CloudResult<T> so callers can distinguish "the object does not
+// exist" from "the transport failed" — the two demand different recovery
+// actions (give up vs. retry / journal / degrade).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace aadedupe::cloud {
+
+/// Transport-level error taxonomy. The split matters for recovery:
+/// kTransient / kTimeout / kThrottled are retryable (the object may well
+/// arrive on the next attempt); kNotFound and kCorrupt are terminal for
+/// the request — retrying cannot conjure a missing object, and corruption
+/// that survived the transport checksum needs scrub-level repair.
+enum class CloudError : std::uint8_t {
+  kTransient = 0,  // connection reset, 5xx, flaky link
+  kTimeout = 1,    // request exceeded its deadline
+  kThrottled = 2,  // provider back-pressure (HTTP 429 / SlowDown)
+  kNotFound = 3,   // key does not exist
+  kCorrupt = 4,    // payload failed the transport checksum
+};
+
+constexpr std::string_view to_string(CloudError error) noexcept {
+  switch (error) {
+    case CloudError::kTransient: return "transient";
+    case CloudError::kTimeout: return "timeout";
+    case CloudError::kThrottled: return "throttled";
+    case CloudError::kNotFound: return "not-found";
+    case CloudError::kCorrupt: return "corrupt";
+  }
+  return "unknown";
+}
+
+/// Whether a retry of the same request can plausibly succeed. Corrupt
+/// payloads are retryable on the read path: the bytes were damaged in
+/// flight (caught by the transport checksum), not at rest.
+constexpr bool is_retryable(CloudError error) noexcept {
+  switch (error) {
+    case CloudError::kTransient:
+    case CloudError::kTimeout:
+    case CloudError::kThrottled:
+    case CloudError::kCorrupt:
+      return true;
+    case CloudError::kNotFound:
+      return false;
+  }
+  return false;
+}
+
+/// Success-or-CloudError sum type. Implicitly constructible from either a
+/// value or an error so backends read naturally:
+///   if (missing) return CloudError::kNotFound;
+///   return std::move(bytes);
+template <typename T>
+class [[nodiscard]] CloudResult {
+ public:
+  CloudResult(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  CloudResult(CloudError error) : error_(error) {}    // NOLINT(runtime/explicit)
+
+  bool ok() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// Precondition: ok().
+  T& value() & {
+    AAD_EXPECTS(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    AAD_EXPECTS(ok());
+    return *value_;
+  }
+  T&& value() && {
+    AAD_EXPECTS(ok());
+    return std::move(*value_);
+  }
+
+  /// Precondition: !ok().
+  CloudError error() const {
+    AAD_EXPECTS(!ok());
+    return error_;
+  }
+
+ private:
+  std::optional<T> value_;
+  CloudError error_ = CloudError::kTransient;
+};
+
+/// Tag payload for operations whose success carries no data.
+struct CloudOk {};
+
+using CloudStatus = CloudResult<CloudOk>;
+
+/// A cloud operation failed after all configured recovery (retries) was
+/// exhausted. Carries the typed error and the object key so callers can
+/// journal, surface, or map it to a recovery action.
+class CloudTransportError : public std::runtime_error {
+ public:
+  CloudTransportError(std::string_view op, std::string key, CloudError error)
+      : std::runtime_error("cloud " + std::string(op) + " failed (" +
+                           std::string(to_string(error)) + "): " + key),
+        key_(std::move(key)),
+        error_(error) {}
+
+  const std::string& key() const noexcept { return key_; }
+  CloudError error() const noexcept { return error_; }
+
+ private:
+  std::string key_;
+  CloudError error_;
+};
+
+}  // namespace aadedupe::cloud

@@ -1,0 +1,61 @@
+#include "cloud/cloud_target.hpp"
+
+#include "util/rng.hpp"
+
+namespace aadedupe::cloud {
+
+CloudTarget::CloudTarget() { rebuild_stack(); }
+
+CloudTarget::CloudTarget(WanLink link, CostModel cost)
+    : link_(link), cost_(cost) {
+  rebuild_stack();
+}
+
+void CloudTarget::rebuild_stack() {
+  const ChargeFn charge = [this](double seconds) { this->charge(seconds); };
+  memory_ = std::make_unique<MemoryBackend>(store_, link_, charge);
+  CloudBackend* top = memory_.get();
+  if (fault_profile_) {
+    faults_ = std::make_unique<FaultInjectingBackend>(
+        *top, *fault_profile_, fault_seed_, link_, charge);
+    top = faults_.get();
+  } else {
+    faults_.reset();
+  }
+  // The retrier draws its jitter from a seed stream independent of the
+  // fault schedule so the two cannot correlate.
+  retrier_ = std::make_unique<RetryingBackend>(
+      *top, retry_policy_, derive_seed(fault_seed_, 0x2e72), charge);
+  backend_ = retrier_.get();
+}
+
+CloudStatus CloudTarget::upload(const std::string& key, ByteBuffer data) {
+  return backend_->put(key, data);
+}
+
+CloudResult<ByteBuffer> CloudTarget::download(const std::string& key) {
+  return backend_->get(key);
+}
+
+CloudResult<bool> CloudTarget::remove_object(const std::string& key) {
+  return backend_->remove(key);
+}
+
+void CloudTarget::inject_faults(const FaultProfile& profile,
+                                std::uint64_t seed) {
+  fault_profile_ = profile;
+  fault_seed_ = seed;
+  rebuild_stack();
+}
+
+void CloudTarget::clear_faults() {
+  fault_profile_.reset();
+  rebuild_stack();
+}
+
+void CloudTarget::set_retry_policy(const RetryPolicy& policy) {
+  retry_policy_ = policy;
+  rebuild_stack();
+}
+
+}  // namespace aadedupe::cloud

@@ -1,18 +1,36 @@
 // CloudTarget — the backup destination as seen by a scheme: an object
-// store behind a WAN link, with transfer-time and cost accounting.
+// store behind a WAN link, with transfer-time and cost accounting, fronted
+// by a fault-tolerant transport stack.
 //
-// Every upload advances the simulated transfer clock by the WAN model's
-// duration for those bytes; session reports read the accumulated transfer
-// time to compute the backup window with the paper's pipelined-overlap
-// formula.
+// Data-plane operations (upload / download / remove_object) run through a
+// CloudBackend stack
+//
+//   MemoryBackend → [FaultInjectingBackend] → RetryingBackend
+//
+// and return typed CloudResults; simulated transfer time — including the
+// cost of failed attempts and retry backoff — accumulates on the transfer
+// clock that session reports read to compute the backup window.
+//
+// The raw ObjectStore stays reachable via store() for control-plane reads
+// (stats, list, exists), for server-internal writes that never cross the
+// client's WAN (put_internal), and for tests that tamper with at-rest
+// bytes. Schemes must not mutate it directly for client traffic: that
+// path bypasses accounting, fault injection, and retries.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 
+#include "cloud/cloud_backend.hpp"
+#include "cloud/cloud_result.hpp"
 #include "cloud/cost_model.hpp"
+#include "cloud/fault_injection.hpp"
+#include "cloud/memory_backend.hpp"
 #include "cloud/object_store.hpp"
+#include "cloud/retrying_backend.hpp"
 #include "cloud/wan_link.hpp"
 #include "util/bytes.hpp"
 
@@ -20,28 +38,44 @@ namespace aadedupe::cloud {
 
 class CloudTarget {
  public:
-  CloudTarget() = default;
-  CloudTarget(WanLink link, CostModel cost) : link_(link), cost_(cost) {}
+  CloudTarget();
+  CloudTarget(WanLink link, CostModel cost);
 
-  /// Upload an object; accounts request, bytes, and transfer time.
-  void upload(const std::string& key, ByteBuffer data) {
-    const std::uint64_t size = data.size();
-    store_.put(key, std::move(data));
-    std::lock_guard lock(mutex_);
-    transfer_seconds_ += link_.upload_seconds(size, 1);
+  CloudTarget(const CloudTarget&) = delete;
+  CloudTarget& operator=(const CloudTarget&) = delete;
+
+  /// Upload an object through the transport stack; accounts request,
+  /// bytes, and transfer time (including failed attempts and backoff).
+  CloudStatus upload(const std::string& key, ByteBuffer data);
+
+  /// Download an object; kNotFound when absent, transport errors when the
+  /// (possibly fault-injected) link fails past the retry budget.
+  CloudResult<ByteBuffer> download(const std::string& key);
+
+  /// Delete an object through the transport stack; the success payload
+  /// says whether it existed.
+  CloudResult<bool> remove_object(const std::string& key);
+
+  /// Insert a deterministic fault-injection layer into the stack. Call
+  /// before traffic flows (not thread-safe against in-flight operations).
+  void inject_faults(const FaultProfile& profile, std::uint64_t seed);
+
+  /// Remove the fault-injection layer.
+  void clear_faults();
+
+  /// Replace the retry policy (RetryPolicy::none() disables retries).
+  /// Call before traffic flows.
+  void set_retry_policy(const RetryPolicy& policy);
+
+  const RetryPolicy& retry_policy() const noexcept { return retry_policy_; }
+  RetryStats retry_stats() const { return retrier_->stats(); }
+  /// Zeroed stats when no fault layer is installed.
+  FaultStats fault_stats() const {
+    return faults_ ? faults_->stats() : FaultStats{};
   }
 
-  /// Download an object; accounts request, bytes, and transfer time.
-  std::optional<ByteBuffer> download(const std::string& key) {
-    auto data = store_.get(key);
-    if (data) {
-      std::lock_guard lock(mutex_);
-      transfer_seconds_ += link_.download_seconds(data->size(), 1);
-    }
-    return data;
-  }
-
-  /// Accumulated simulated transfer time (upload + download) in seconds.
+  /// Accumulated simulated transfer time (upload + download + failed
+  /// attempts + retry backoff) in seconds.
   double transfer_seconds() const {
     std::lock_guard lock(mutex_);
     return transfer_seconds_;
@@ -67,11 +101,25 @@ class CloudTarget {
   const CostModel& cost_model() const noexcept { return cost_; }
 
  private:
+  void rebuild_stack();
+  void charge(double seconds) {
+    std::lock_guard lock(mutex_);
+    transfer_seconds_ += seconds;
+  }
+
   ObjectStore store_;
   WanLink link_;
   CostModel cost_;
   mutable std::mutex mutex_;
   double transfer_seconds_ = 0.0;
+
+  RetryPolicy retry_policy_;
+  std::optional<FaultProfile> fault_profile_;
+  std::uint64_t fault_seed_ = 0;
+  std::unique_ptr<MemoryBackend> memory_;
+  std::unique_ptr<FaultInjectingBackend> faults_;
+  std::unique_ptr<RetryingBackend> retrier_;
+  CloudBackend* backend_ = nullptr;  // top of the stack
 };
 
 }  // namespace aadedupe::cloud

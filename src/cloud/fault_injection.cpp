@@ -1,0 +1,150 @@
+#include "cloud/fault_injection.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace aadedupe::cloud {
+
+namespace {
+
+/// FNV-1a over the op-qualified key — a stable, portable string hash so
+/// the fault schedule survives recompilation and reordering.
+std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+FaultInjectingBackend::FaultInjectingBackend(CloudBackend& inner,
+                                             FaultProfile profile,
+                                             std::uint64_t seed, WanLink link,
+                                             ChargeFn charge)
+    : inner_(&inner),
+      profile_(profile),
+      seed_(seed),
+      link_(link),
+      charge_(std::move(charge)) {}
+
+std::uint32_t FaultInjectingBackend::next_attempt(const std::string& op_key) {
+  std::lock_guard lock(mutex_);
+  return ++attempts_[op_key];
+}
+
+CloudStatus FaultInjectingBackend::put(const std::string& key,
+                                       ConstByteSpan data) {
+  const std::uint32_t attempt = next_attempt("put:" + key);
+  Xoshiro256 rng(derive_seed(seed_, fnv1a("put:" + key)) ^ attempt);
+  const double u = rng.uniform();
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.put_attempts;
+  }
+
+  const double full_transfer_s = link_.upload_seconds(data.size(), 1);
+  double band = profile_.put_transient_p;
+  if (u < band) {
+    charge_(full_transfer_s * profile_.failed_attempt_time_fraction);
+    std::lock_guard lock(mutex_);
+    ++stats_.injected_transient;
+    return CloudError::kTransient;
+  }
+  band += profile_.put_timeout_p;
+  if (u < band) {
+    charge_(profile_.timeout_s);
+    std::lock_guard lock(mutex_);
+    ++stats_.injected_timeout;
+    return CloudError::kTimeout;
+  }
+  band += profile_.put_throttle_p;
+  if (u < band) {
+    charge_(link_.per_request_s);
+    std::lock_guard lock(mutex_);
+    ++stats_.injected_throttle;
+    return CloudError::kThrottled;
+  }
+  if (rng.chance(profile_.latency_spike_p)) {
+    charge_(profile_.latency_spike_s);
+    std::lock_guard lock(mutex_);
+    ++stats_.latency_spikes;
+  }
+  return inner_->put(key, data);
+}
+
+CloudResult<ByteBuffer> FaultInjectingBackend::get(const std::string& key) {
+  const std::uint32_t attempt = next_attempt("get:" + key);
+  Xoshiro256 rng(derive_seed(seed_, fnv1a("get:" + key)) ^ attempt);
+  const double u = rng.uniform();
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.get_attempts;
+  }
+
+  double band = profile_.get_transient_p;
+  if (u < band) {
+    charge_(profile_.timeout_s * profile_.failed_attempt_time_fraction);
+    std::lock_guard lock(mutex_);
+    ++stats_.injected_transient;
+    return CloudError::kTransient;
+  }
+  band += profile_.get_timeout_p;
+  if (u < band) {
+    charge_(profile_.timeout_s);
+    std::lock_guard lock(mutex_);
+    ++stats_.injected_timeout;
+    return CloudError::kTimeout;
+  }
+  band += profile_.get_throttle_p;
+  if (u < band) {
+    charge_(link_.per_request_s);
+    std::lock_guard lock(mutex_);
+    ++stats_.injected_throttle;
+    return CloudError::kThrottled;
+  }
+
+  auto result = inner_->get(key);
+  if (!result.ok()) return result;
+
+  if (rng.chance(profile_.latency_spike_p)) {
+    charge_(profile_.latency_spike_s);
+    std::lock_guard lock(mutex_);
+    ++stats_.latency_spikes;
+  }
+  if (rng.chance(profile_.get_corrupt_p) && !result.value().empty()) {
+    ByteBuffer damaged = std::move(result).value();
+    // Half the corruption events flip a bit, half truncate the tail —
+    // both damage classes the paper-era formats must detect.
+    if (rng.chance(0.5)) {
+      const std::size_t at = rng.below(damaged.size());
+      damaged[at] ^= std::byte{0x40};
+    } else {
+      const std::size_t drop =
+          1 + rng.below(std::min<std::size_t>(damaged.size(), 64));
+      damaged.resize(damaged.size() - drop);
+    }
+    {
+      std::lock_guard lock(mutex_);
+      ++stats_.injected_corrupt;
+    }
+    if (profile_.silent_corruption) return damaged;
+    return CloudError::kCorrupt;
+  }
+  return result;
+}
+
+CloudResult<bool> FaultInjectingBackend::remove(const std::string& key) {
+  // Deletes are control-plane-adjacent; the fault model leaves them alone.
+  return inner_->remove(key);
+}
+
+FaultStats FaultInjectingBackend::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace aadedupe::cloud

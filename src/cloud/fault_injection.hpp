@@ -1,0 +1,108 @@
+// FaultInjectingBackend — deterministic WAN misbehaviour as a decorator.
+//
+// Makes the unreliable-cloud regime testable: per-operation failure
+// probabilities (transient drop, timeout, throttle), latency spikes, and
+// payload corruption (bit-flip or truncation), all driven by a seed.
+//
+// Determinism contract: the fault decision for an operation depends only
+// on (seed, op, key, per-key attempt number) — never on wall clock or
+// thread interleaving. Two runs with the same seed and the same set of
+// requests see the same failure schedule per key, even when a parallel
+// deduplication pass reorders the requests. This is what lets an
+// end-to-end test assert byte-exact restores at a fixed failure rate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "cloud/cloud_backend.hpp"
+#include "cloud/memory_backend.hpp"
+#include "cloud/wan_link.hpp"
+
+namespace aadedupe::cloud {
+
+/// Per-operation fault probabilities and their simulated-time costs.
+/// All probabilities are independent per attempt; an attempt draws one
+/// uniform variate and the bands [0,transient), [transient,+timeout), ...
+/// decide its fate, so the schedule is a pure function of the seed.
+struct FaultProfile {
+  // Upload-path failure bands.
+  double put_transient_p = 0.0;
+  double put_timeout_p = 0.0;
+  double put_throttle_p = 0.0;
+  // Download-path failure bands.
+  double get_transient_p = 0.0;
+  double get_timeout_p = 0.0;
+  double get_throttle_p = 0.0;
+  /// Probability that a successful download is corrupted in flight.
+  double get_corrupt_p = 0.0;
+  /// When true, corrupted downloads are returned as success (the damage
+  /// slipped past the transport checksum) — scrub-level defences must
+  /// catch them. When false, corruption is detected and reported as
+  /// CloudError::kCorrupt, which the retrier treats as retryable.
+  bool silent_corruption = false;
+  /// Probability of a latency spike on an otherwise successful operation,
+  /// and its size in simulated seconds.
+  double latency_spike_p = 0.0;
+  double latency_spike_s = 2.0;
+  /// A transient failure still burns this fraction of the transfer time
+  /// the attempt would have cost (the connection died mid-flight).
+  double failed_attempt_time_fraction = 0.5;
+  /// Simulated seconds charged for a timed-out attempt.
+  double timeout_s = 5.0;
+
+  /// Uniform transient failures on both paths — the common test knob.
+  static FaultProfile transient(double p) {
+    FaultProfile profile;
+    profile.put_transient_p = p;
+    profile.get_transient_p = p;
+    return profile;
+  }
+};
+
+/// Counters of injected faults (for tests and bench reporting).
+struct FaultStats {
+  std::uint64_t put_attempts = 0;
+  std::uint64_t get_attempts = 0;
+  std::uint64_t injected_transient = 0;
+  std::uint64_t injected_timeout = 0;
+  std::uint64_t injected_throttle = 0;
+  std::uint64_t injected_corrupt = 0;
+  std::uint64_t latency_spikes = 0;
+
+  std::uint64_t injected_total() const noexcept {
+    return injected_transient + injected_timeout + injected_throttle +
+           injected_corrupt;
+  }
+};
+
+class FaultInjectingBackend final : public CloudBackend {
+ public:
+  FaultInjectingBackend(CloudBackend& inner, FaultProfile profile,
+                        std::uint64_t seed, WanLink link, ChargeFn charge);
+
+  CloudStatus put(const std::string& key, ConstByteSpan data) override;
+  CloudResult<ByteBuffer> get(const std::string& key) override;
+  CloudResult<bool> remove(const std::string& key) override;
+  std::string_view name() const noexcept override { return "fault-injector"; }
+
+  FaultStats stats() const;
+
+ private:
+  /// Monotonic per-(op,key) attempt number; the determinism anchor.
+  std::uint32_t next_attempt(const std::string& op_key);
+
+  CloudBackend* inner_;
+  FaultProfile profile_;
+  std::uint64_t seed_;
+  WanLink link_;
+  ChargeFn charge_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint32_t> attempts_;
+  FaultStats stats_;
+};
+
+}  // namespace aadedupe::cloud

@@ -1,0 +1,54 @@
+// MemoryBackend — the always-available in-memory cloud the paper assumes.
+//
+// Wraps an ObjectStore and charges simulated WAN time for every byte that
+// crosses the link. This is the bottom of the backend stack; fault
+// injection and retries are layered on top of it.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "cloud/cloud_backend.hpp"
+#include "cloud/object_store.hpp"
+#include "cloud/wan_link.hpp"
+
+namespace aadedupe::cloud {
+
+/// Sink for simulated wall-clock seconds (thread-safe on the caller's
+/// side; CloudTarget accumulates them into its transfer clock).
+using ChargeFn = std::function<void(double)>;
+
+class MemoryBackend final : public CloudBackend {
+ public:
+  MemoryBackend(ObjectStore& store, WanLink link, ChargeFn charge)
+      : store_(&store), link_(link), charge_(std::move(charge)) {}
+
+  CloudStatus put(const std::string& key, ConstByteSpan data) override {
+    store_->put(key, ByteBuffer(data.begin(), data.end()));
+    charge_(link_.upload_seconds(data.size(), 1));
+    return CloudOk{};
+  }
+
+  CloudResult<ByteBuffer> get(const std::string& key) override {
+    auto data = store_->get(key);
+    if (!data) return CloudError::kNotFound;
+    charge_(link_.download_seconds(data->size(), 1));
+    return std::move(*data);
+  }
+
+  CloudResult<bool> remove(const std::string& key) override {
+    // Deletes carry no payload; like the pre-existing accounting, they do
+    // not advance the transfer clock (the cost model bills requests from
+    // ObjectStore stats, not from here).
+    return store_->remove(key);
+  }
+
+  std::string_view name() const noexcept override { return "memory"; }
+
+ private:
+  ObjectStore* store_;
+  WanLink link_;
+  ChargeFn charge_;
+};
+
+}  // namespace aadedupe::cloud

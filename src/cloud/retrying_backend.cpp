@@ -1,0 +1,103 @@
+#include "cloud/retrying_backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace aadedupe::cloud {
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+double RetryPolicy::backoff_seconds(std::uint32_t retry) const {
+  AAD_EXPECTS(retry >= 1);
+  const double raw =
+      base_backoff_s * std::pow(backoff_multiplier,
+                                static_cast<double>(retry - 1));
+  return std::min(raw, max_backoff_s);
+}
+
+RetryingBackend::RetryingBackend(CloudBackend& inner, RetryPolicy policy,
+                                 std::uint64_t seed, ChargeFn charge)
+    : inner_(&inner),
+      policy_(policy),
+      seed_(seed),
+      charge_(std::move(charge)) {
+  AAD_EXPECTS(policy_.max_attempts >= 1);
+  AAD_EXPECTS(policy_.jitter_fraction >= 0.0 &&
+              policy_.jitter_fraction <= 1.0);
+}
+
+double RetryingBackend::jittered_backoff(const std::string& key,
+                                         std::uint32_t retry) const {
+  Xoshiro256 rng(derive_seed(seed_, fnv1a(key)) ^ (0xb0ff'0000ull + retry));
+  const double scale =
+      1.0 + policy_.jitter_fraction * (2.0 * rng.uniform() - 1.0);
+  return policy_.backoff_seconds(retry) * scale;
+}
+
+template <typename T, typename Op>
+CloudResult<T> RetryingBackend::run_with_retries(const std::string& key,
+                                                 Op op) {
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.operations;
+  }
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    CloudResult<T> result = op();
+    {
+      std::lock_guard lock(mutex_);
+      ++stats_.attempts;
+    }
+    if (result.ok()) return result;
+    if (!is_retryable(result.error())) {
+      std::lock_guard lock(mutex_);
+      ++stats_.permanent_failures;
+      return result;
+    }
+    if (attempt >= policy_.max_attempts) {
+      std::lock_guard lock(mutex_);
+      ++stats_.exhausted;
+      return result;
+    }
+    const double wait = jittered_backoff(key, attempt);
+    charge_(wait);
+    {
+      std::lock_guard lock(mutex_);
+      ++stats_.retries;
+      stats_.backoff_seconds += wait;
+    }
+  }
+}
+
+CloudStatus RetryingBackend::put(const std::string& key, ConstByteSpan data) {
+  return run_with_retries<CloudOk>(
+      key, [&] { return inner_->put(key, data); });
+}
+
+CloudResult<ByteBuffer> RetryingBackend::get(const std::string& key) {
+  return run_with_retries<ByteBuffer>(key, [&] { return inner_->get(key); });
+}
+
+CloudResult<bool> RetryingBackend::remove(const std::string& key) {
+  return run_with_retries<bool>(key, [&] { return inner_->remove(key); });
+}
+
+RetryStats RetryingBackend::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace aadedupe::cloud

@@ -1,0 +1,83 @@
+// RetryingBackend — capped exponential backoff with jitter, as a
+// decorator over any CloudBackend.
+//
+// Retries only errors where a retry can help (is_retryable); kNotFound
+// passes through on the first attempt. Backoff time is *simulated*: each
+// wait is charged to the target's transfer clock through the ChargeFn, so
+// an unreliable link widens the measured backup window instead of
+// sleeping the test suite. Jitter is deterministic — derived from
+// (seed, key, attempt) like the fault schedule — so retried runs stay
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "cloud/cloud_backend.hpp"
+#include "cloud/memory_backend.hpp"
+
+namespace aadedupe::cloud {
+
+struct RetryPolicy {
+  /// Total attempts per operation (1 = retries disabled).
+  std::uint32_t max_attempts = 4;
+  double base_backoff_s = 0.5;
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 8.0;
+  /// Each wait is scaled by a uniform factor in [1-jitter, 1+jitter] so a
+  /// fleet of clients does not retry in lockstep.
+  double jitter_fraction = 0.25;
+
+  static RetryPolicy none() {
+    RetryPolicy policy;
+    policy.max_attempts = 1;
+    return policy;
+  }
+
+  /// Backoff before retry number `retry` (1-based), without jitter.
+  double backoff_seconds(std::uint32_t retry) const;
+};
+
+struct RetryStats {
+  std::uint64_t operations = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t retries = 0;
+  /// Operations that failed with a retryable error even after the last
+  /// attempt (surfaced to the caller as that error).
+  std::uint64_t exhausted = 0;
+  /// Operations that failed with a non-retryable error (kNotFound).
+  std::uint64_t permanent_failures = 0;
+  double backoff_seconds = 0.0;
+};
+
+class RetryingBackend final : public CloudBackend {
+ public:
+  RetryingBackend(CloudBackend& inner, RetryPolicy policy, std::uint64_t seed,
+                  ChargeFn charge);
+
+  CloudStatus put(const std::string& key, ConstByteSpan data) override;
+  CloudResult<ByteBuffer> get(const std::string& key) override;
+  CloudResult<bool> remove(const std::string& key) override;
+  std::string_view name() const noexcept override { return "retrier"; }
+
+  const RetryPolicy& policy() const noexcept { return policy_; }
+  RetryStats stats() const;
+
+ private:
+  template <typename T, typename Op>
+  CloudResult<T> run_with_retries(const std::string& key, Op op);
+
+  /// Jittered backoff for (key, retry); deterministic in the seed.
+  double jittered_backoff(const std::string& key, std::uint32_t retry) const;
+
+  CloudBackend* inner_;
+  RetryPolicy policy_;
+  std::uint64_t seed_;
+  ChargeFn charge_;
+
+  mutable std::mutex mutex_;
+  RetryStats stats_;
+};
+
+}  // namespace aadedupe::cloud

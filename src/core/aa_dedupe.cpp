@@ -111,6 +111,10 @@ AaDedupeScheme::StreamResult AaDedupeScheme::process_stream(
 void AaDedupeScheme::run_session(const dataset::Snapshot& snapshot) {
   latest_session_ = snapshot.session;
 
+  // Graceful-degradation debt first: replay uploads a previous degraded
+  // session parked in the journal. Whatever fails again stays parked.
+  if (!journal_.empty()) journal_.replay(target());
+
   // Route files to application streams: tiny files to the packing stream,
   // everything else to its file-type stream (= index partition).
   std::map<std::string, std::vector<const dataset::FileEntry*>> streams;
@@ -121,7 +125,9 @@ void AaDedupeScheme::run_session(const dataset::Snapshot& snapshot) {
     streams[key].push_back(&file);
   }
 
-  UploadPipeline pipeline(target());
+  UploadPipelineOptions pipeline_options;
+  pipeline_options.journal = &journal_;
+  UploadPipeline pipeline(target(), pipeline_options);
   std::vector<StreamResult> results(streams.size());
 
   if (pool_) {
@@ -150,20 +156,22 @@ void AaDedupeScheme::run_session(const dataset::Snapshot& snapshot) {
   }
 
   // Periodic metadata synchronization: recipes plus the application-aware
-  // index image, shipped through the same pipeline.
+  // index image, shipped through the same pipeline. Metadata objects get
+  // the pipeline's stricter retry treatment — a lost recipe object makes
+  // the whole session unrestorable from the cloud.
   pipeline.enqueue(
       backup::keys::session_meta(name(), snapshot.session, "recipes"),
-      recipes.serialize());
+      recipes.serialize(), ObjectKind::kMetadata);
   if (options_.sync_index) {
     pipeline.enqueue(
         backup::keys::session_meta(name(), snapshot.session, "index"),
-        index_.serialize());
+        index_.serialize(), ObjectKind::kMetadata);
   }
   if (options_.convergent_encryption) {
     // The wrapped key store is itself ciphertext — safe to sync.
     pipeline.enqueue(
         backup::keys::session_meta(name(), snapshot.session, "keys"),
-        key_store_.serialize(master_key_));
+        key_store_.serialize(master_key_), ObjectKind::kMetadata);
   }
   pipeline.finish();
 
@@ -184,11 +192,13 @@ GcReport AaDedupeScheme::collect_garbage(std::uint32_t keep_sessions,
   // sessions lose their cloud metadata objects.
   while (history_.size() > keep_sessions) {
     const std::uint32_t expired = history_.begin()->first;
-    target().store().remove(
+    // Client-issued deletes go through the transport stack; a failed
+    // delete leaves a harmless orphan object, so the result is advisory.
+    (void)target().remove_object(
         backup::keys::session_meta(name(), expired, "recipes"));
-    target().store().remove(
+    (void)target().remove_object(
         backup::keys::session_meta(name(), expired, "index"));
-    target().store().remove(
+    (void)target().remove_object(
         backup::keys::session_meta(name(), expired, "keys"));
     history_.erase(history_.begin());
     ++report.sessions_expired;
@@ -219,20 +229,23 @@ GcReport AaDedupeScheme::collect_garbage(std::uint32_t keep_sessions,
   container::ContainerManager rewriter(
       container_ids_,
       [this](std::uint64_t id, ByteBuffer bytes) {
-        target().upload(backup::keys::container_object(id), std::move(bytes));
+        upload_or_throw(backup::keys::container_object(id), std::move(bytes));
       },
       options_.container_capacity);
 
   for (const std::string& key : target().store().list("containers/")) {
     ++report.containers_scanned;
-    auto object = target().store().get(key);
-    if (!object) continue;
-    const std::uint64_t object_size = object->size();
-    container::ContainerReader reader(std::move(*object));
+    auto object = target().download(key);
+    // Unreadable this round (kNotFound raced a concurrent delete, or the
+    // link failed past retries): skip — never reclaim what we could not
+    // inspect. The next GC pass will see it again.
+    if (!object.ok()) continue;
+    const std::uint64_t object_size = object.value().size();
+    container::ContainerReader reader(std::move(object).value());
 
     const auto live_it = live.find(reader.id());
     if (live_it == live.end()) {
-      target().store().remove(key);
+      (void)target().remove_object(key);
       ++report.containers_deleted;
       report.bytes_reclaimed += object_size;
       continue;
@@ -261,7 +274,7 @@ GcReport AaDedupeScheme::collect_garbage(std::uint32_t keep_sessions,
       ++report.chunks_relocated;
       report.live_bytes_copied += chunk.size();
     }
-    target().store().remove(key);
+    (void)target().remove_object(key);
     ++report.containers_rewritten;
     report.bytes_reclaimed += object_size;
   }
@@ -295,7 +308,7 @@ GcReport AaDedupeScheme::collect_garbage(std::uint32_t keep_sessions,
       }
       updated.put(std::move(recipe));
     }
-    target().upload(backup::keys::session_meta(name(), session, "recipes"),
+    upload_or_throw(backup::keys::session_meta(name(), session, "recipes"),
                     updated.serialize());
     recipes = std::move(updated);
   }
@@ -303,12 +316,12 @@ GcReport AaDedupeScheme::collect_garbage(std::uint32_t keep_sessions,
     // Content keys of reclaimed chunks are dropped with them.
     std::lock_guard lock(key_store_mutex_);
     key_store_ = std::move(live_keys);
-    target().upload(backup::keys::session_meta(
+    upload_or_throw(backup::keys::session_meta(
                         name(), history_.rbegin()->first, "keys"),
                     key_store_.serialize(master_key_));
   }
   if (options_.sync_index && !history_.empty()) {
-    target().upload(backup::keys::session_meta(
+    upload_or_throw(backup::keys::session_meta(
                         name(), history_.rbegin()->first, "index"),
                     index_.serialize());
   }
@@ -318,7 +331,8 @@ GcReport AaDedupeScheme::collect_garbage(std::uint32_t keep_sessions,
 }
 
 namespace {
-constexpr char kStateMagic[8] = {'A', 'A', 'D', 'S', 'T', 'A', 'T', '1'};
+// v2 appends the pending-uploads journal (fault-tolerant transport).
+constexpr char kStateMagic[8] = {'A', 'A', 'D', 'S', 'T', 'A', 'T', '2'};
 
 void append_sized(ByteBuffer& out, const ByteBuffer& blob) {
   append_le64(out, blob.size());
@@ -353,6 +367,9 @@ ByteBuffer AaDedupeScheme::export_state() const {
     std::lock_guard lock(key_store_mutex_);
     append_sized(out, key_store_.serialize(master_key_));
   }
+  // Degraded-session debt travels with the client state so a process
+  // restart still replays it.
+  append_sized(out, journal_.serialize());
   return out;
 }
 
@@ -391,6 +408,8 @@ void AaDedupeScheme::import_state(ConstByteSpan image) {
     fresh_keys = crypto::KeyStore::deserialize(read_sized(image, pos),
                                                master_key_);
   }
+  UploadJournal fresh_journal =
+      UploadJournal::deserialize(read_sized(image, pos));
   if (pos != image.size()) throw FormatError("state: trailing bytes");
   if (fresh_history.empty() && session_count != 0) {
     throw FormatError("state: inconsistent history");
@@ -408,6 +427,7 @@ void AaDedupeScheme::import_state(ConstByteSpan image) {
     std::lock_guard lock(key_store_mutex_);
     key_store_ = std::move(fresh_keys);
   }
+  journal_ = std::move(fresh_journal);
   reader_cache_.clear();
 }
 
@@ -494,8 +514,16 @@ AaDedupeScheme::ScrubReport AaDedupeScheme::scrub(std::uint32_t session) {
       if (reader_it == readers.end()) {
         auto object = target().download(
             backup::keys::container_object(entry.location.container_id));
-        if (!object) {
-          ++report.missing_containers;
+        if (!object.ok()) {
+          // Map the typed error to a verdict: a missing object is damage;
+          // corruption caught by the transport checksum is damage; a link
+          // failure past retries makes the scrub inconclusive here.
+          if (object.error() == cloud::CloudError::kNotFound ||
+              object.error() == cloud::CloudError::kCorrupt) {
+            ++report.missing_containers;
+          } else {
+            ++report.transport_errors;
+          }
           note_damage(path);
           readers.emplace(entry.location.container_id, nullptr);
           continue;
@@ -503,7 +531,7 @@ AaDedupeScheme::ScrubReport AaDedupeScheme::scrub(std::uint32_t session) {
         std::shared_ptr<container::ContainerReader> reader;
         try {
           reader = std::make_shared<container::ContainerReader>(
-              std::move(*object));
+              std::move(object).value());
         } catch (const FormatError&) {
           // Unparseable container counts as missing.
           ++report.missing_containers;
@@ -581,9 +609,15 @@ std::uint32_t AaDedupeScheme::bootstrap_from_cloud() {
     }
     if (session == ~std::uint32_t{0}) continue;
     auto image = target().download(key);
-    if (!image) continue;
+    if (!image.ok()) {
+      // kNotFound means a concurrent delete won the race — skip. A
+      // transport failure must abort: silently recovering fewer sessions
+      // than the cloud holds would look like data loss to the user.
+      if (image.error() == cloud::CloudError::kNotFound) continue;
+      throw cloud::CloudTransportError("download", key, image.error());
+    }
     recovered.emplace(session,
-                      container::RecipeStore::deserialize(*image));
+                      container::RecipeStore::deserialize(image.value()));
   }
   if (recovered.empty()) return 0;
   const std::uint32_t latest = recovered.rbegin()->first;
@@ -592,10 +626,18 @@ std::uint32_t AaDedupeScheme::bootstrap_from_cloud() {
   // state directly; otherwise rebuild it from the recovered recipes.
   index_.clear();
   bool index_loaded = false;
-  if (auto image = target().download(
-          backup::keys::session_meta(name(), latest, "index"))) {
-    index_.deserialize(*image);
-    index_loaded = true;
+  {
+    const std::string key =
+        backup::keys::session_meta(name(), latest, "index");
+    auto image = target().download(key);
+    if (image.ok()) {
+      index_.deserialize(image.value());
+      index_loaded = true;
+    } else if (image.error() != cloud::CloudError::kNotFound) {
+      // The image exists but could not be fetched; rebuilding from
+      // recipes would silently discard synced dedup state.
+      throw cloud::CloudTransportError("download", key, image.error());
+    }
   }
   if (!index_loaded) {
     for (const auto& [session, recipes] : recovered) {
@@ -611,15 +653,19 @@ std::uint32_t AaDedupeScheme::bootstrap_from_cloud() {
   }
 
   if (options_.convergent_encryption) {
-    auto image = target().download(
-        backup::keys::session_meta(name(), latest, "keys"));
-    if (!image) {
-      throw FormatError(
-          "aa-dedupe: cloud holds no key store; encrypted chunks would be "
-          "unrestorable");
+    const std::string key =
+        backup::keys::session_meta(name(), latest, "keys");
+    auto image = target().download(key);
+    if (!image.ok()) {
+      if (image.error() == cloud::CloudError::kNotFound) {
+        throw FormatError(
+            "aa-dedupe: cloud holds no key store; encrypted chunks would "
+            "be unrestorable");
+      }
+      throw cloud::CloudTransportError("download", key, image.error());
     }
     std::lock_guard lock(key_store_mutex_);
-    key_store_ = crypto::KeyStore::deserialize(*image, master_key_);
+    key_store_ = crypto::KeyStore::deserialize(image.value(), master_key_);
   }
 
   // Container ids resume beyond everything present in the cloud.
@@ -633,6 +679,7 @@ std::uint32_t AaDedupeScheme::bootstrap_from_cloud() {
   history_ = std::move(recovered);
   recipes_ = history_.rbegin()->second;
   latest_session_ = latest;
+  journal_.clear();  // disaster recovery starts with no local debt
   reader_cache_.clear();
   return static_cast<std::uint32_t>(history_.size());
 }
@@ -673,16 +720,22 @@ ByteBuffer AaDedupeScheme::restore_recipe(
   for (const container::RecipeEntry& entry : recipe->entries) {
     auto it = reader_cache_.find(entry.location.container_id);
     if (it == reader_cache_.end()) {
-      auto object = target().download(
-          backup::keys::container_object(entry.location.container_id));
-      if (!object) {
-        throw FormatError("aa-dedupe: missing container " +
-                          std::to_string(entry.location.container_id));
+      const std::string key =
+          backup::keys::container_object(entry.location.container_id);
+      auto object = target().download(key);
+      if (!object.ok()) {
+        // kNotFound is permanent damage; everything else means the link
+        // failed past the retry budget — the restore can be re-run.
+        if (object.error() == cloud::CloudError::kNotFound) {
+          throw FormatError("aa-dedupe: missing container " +
+                            std::to_string(entry.location.container_id));
+        }
+        throw cloud::CloudTransportError("download", key, object.error());
       }
       it = reader_cache_
                .emplace(entry.location.container_id,
                         std::make_shared<container::ContainerReader>(
-                            std::move(*object)))
+                            std::move(object).value()))
                .first;
     }
     const ConstByteSpan stored =

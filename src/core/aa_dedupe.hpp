@@ -29,6 +29,7 @@
 #include "container/container_manager.hpp"
 #include "container/recipe.hpp"
 #include "core/policy.hpp"
+#include "core/upload_journal.hpp"
 #include "crypto/convergent.hpp"
 #include "index/partitioned_index.hpp"
 #include "util/thread_pool.hpp"
@@ -127,6 +128,14 @@ class AaDedupeScheme final : public backup::BackupScheme {
   /// Client-side recipes of the latest session (exposed for tests).
   const container::RecipeStore& recipes() const noexcept { return recipes_; }
 
+  /// Uploads the transport stack gave up on, parked for replay. A session
+  /// that ends with a non-empty journal is *degraded*: its data is safe
+  /// locally and ships at the start of the next session (run_session
+  /// replays the journal before new work). The journal is included in
+  /// export_state() so the debt survives process restarts.
+  const UploadJournal& pending_uploads() const noexcept { return journal_; }
+  UploadJournal& pending_uploads() noexcept { return journal_; }
+
   /// Serialize the full client state — application-aware index, session
   /// recipe history, container-id counter, and (when encryption is on)
   /// the wrapped key store — so a client can stop and resume across
@@ -147,12 +156,16 @@ class AaDedupeScheme final : public backup::BackupScheme {
     std::uint64_t missing_containers = 0;
     std::uint64_t corrupt_chunks = 0;  // stored bytes no longer match digest
     std::uint64_t missing_keys = 0;    // encrypted chunk without content key
+    /// Container fetches that failed with a retryable transport error
+    /// even after retries — the scrub is inconclusive for those paths
+    /// (the data may be fine; the link was not).
+    std::uint64_t transport_errors = 0;
     /// Paths with at least one problem (capped at 100 entries).
     std::vector<std::string> damaged_paths;
 
     bool clean() const noexcept {
       return missing_containers == 0 && corrupt_chunks == 0 &&
-             missing_keys == 0;
+             missing_keys == 0 && transport_errors == 0;
     }
   };
 
@@ -200,6 +213,9 @@ class AaDedupeScheme final : public backup::BackupScheme {
   crypto::ChaChaKey master_key_{};
   crypto::KeyStore key_store_;
   mutable std::mutex key_store_mutex_;
+
+  /// Terminal upload failures awaiting replay (graceful degradation).
+  UploadJournal journal_;
 
   container::RecipeStore recipes_;  // latest session (= history_.rbegin())
   /// Per-session recipe history; the retention unit of collect_garbage.

@@ -1,0 +1,34 @@
+// UploadItem — a typed unit of client→cloud traffic.
+//
+// The object class matters operationally: containers are bulk payload
+// (re-creatable from the client's local data until the session ends),
+// while metadata objects (recipes, index images, key stores) are the
+// session's durability anchor — losing one silently makes the session
+// unrestorable. The upload pipeline and journal key their retry and
+// accounting policy off this distinction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace aadedupe::core {
+
+enum class ObjectKind : std::uint8_t {
+  kContainer = 0,  // sealed chunk containers and other bulk data
+  kMetadata = 1,   // recipes, index images, key stores, catalogs
+};
+
+constexpr std::string_view to_string(ObjectKind kind) noexcept {
+  return kind == ObjectKind::kMetadata ? "metadata" : "container";
+}
+
+struct UploadItem {
+  std::string key;
+  ByteBuffer payload;
+  ObjectKind kind = ObjectKind::kContainer;
+};
+
+}  // namespace aadedupe::core

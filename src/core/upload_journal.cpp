@@ -1,0 +1,148 @@
+#include "core/upload_journal.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "cloud/cloud_target.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::core {
+
+namespace {
+constexpr char kJournalMagic[8] = {'A', 'A', 'D', 'J', 'R', 'N', 'L', '1'};
+}  // namespace
+
+UploadJournal::UploadJournal(UploadJournal&& other) noexcept {
+  std::lock_guard lock(other.mutex_);
+  entries_ = std::move(other.entries_);
+  other.entries_.clear();
+}
+
+UploadJournal& UploadJournal::operator=(UploadJournal&& other) noexcept {
+  if (this != &other) {
+    std::scoped_lock lock(mutex_, other.mutex_);
+    entries_ = std::move(other.entries_);
+    other.entries_.clear();
+  }
+  return *this;
+}
+
+void UploadJournal::add(UploadItem item, cloud::CloudError error) {
+  std::lock_guard lock(mutex_);
+  entries_.push_back(PendingUpload{std::move(item), error});
+}
+
+std::size_t UploadJournal::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+std::vector<PendingUpload> UploadJournal::pending() const {
+  std::lock_guard lock(mutex_);
+  return entries_;
+}
+
+void UploadJournal::clear() {
+  std::lock_guard lock(mutex_);
+  entries_.clear();
+}
+
+std::size_t UploadJournal::replay(cloud::CloudTarget& target) {
+  std::vector<PendingUpload> work;
+  {
+    std::lock_guard lock(mutex_);
+    work = std::move(entries_);
+    entries_.clear();
+  }
+  std::size_t landed = 0;
+  std::vector<PendingUpload> still_pending;
+  for (PendingUpload& entry : work) {
+    const cloud::CloudStatus status =
+        target.upload(entry.item.key, entry.item.payload);
+    if (status.ok()) {
+      ++landed;
+    } else {
+      entry.error = status.error();
+      still_pending.push_back(std::move(entry));
+    }
+  }
+  if (!still_pending.empty()) {
+    std::lock_guard lock(mutex_);
+    // New failures may have been added concurrently; keep both.
+    for (PendingUpload& entry : still_pending) {
+      entries_.push_back(std::move(entry));
+    }
+  }
+  return landed;
+}
+
+ByteBuffer UploadJournal::serialize() const {
+  std::lock_guard lock(mutex_);
+  ByteBuffer out;
+  append(out, ConstByteSpan{
+                  reinterpret_cast<const std::byte*>(kJournalMagic), 8});
+  append_le32(out, static_cast<std::uint32_t>(entries_.size()));
+  for (const PendingUpload& entry : entries_) {
+    out.push_back(static_cast<std::byte>(entry.item.kind));
+    out.push_back(static_cast<std::byte>(entry.error));
+    append_le32(out, static_cast<std::uint32_t>(entry.item.key.size()));
+    append(out, as_bytes(entry.item.key));
+    append_le64(out, entry.item.payload.size());
+    append(out, entry.item.payload);
+  }
+  return out;
+}
+
+UploadJournal UploadJournal::deserialize(ConstByteSpan image) {
+  if (image.size() < 12 ||
+      std::memcmp(image.data(), kJournalMagic, 8) != 0) {
+    throw FormatError("upload journal: bad magic");
+  }
+  std::size_t pos = 8;
+  const std::uint32_t count = load_le32(image.data() + pos);
+  pos += 4;
+  UploadJournal journal;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (pos + 2 > image.size()) {
+      throw FormatError("upload journal: truncated entry header");
+    }
+    const auto kind = static_cast<std::uint8_t>(image[pos]);
+    const auto error = static_cast<std::uint8_t>(image[pos + 1]);
+    if (kind > static_cast<std::uint8_t>(ObjectKind::kMetadata) ||
+        error > static_cast<std::uint8_t>(cloud::CloudError::kCorrupt)) {
+      throw FormatError("upload journal: bad enum value");
+    }
+    pos += 2;
+    if (pos + 4 > image.size()) {
+      throw FormatError("upload journal: truncated key length");
+    }
+    const std::uint32_t key_len = load_le32(image.data() + pos);
+    pos += 4;
+    if (key_len > 4096 || pos + key_len > image.size()) {
+      throw FormatError("upload journal: truncated key");
+    }
+    std::string key(reinterpret_cast<const char*>(image.data() + pos),
+                    key_len);
+    pos += key_len;
+    if (pos + 8 > image.size()) {
+      throw FormatError("upload journal: truncated payload length");
+    }
+    const std::uint64_t payload_len = load_le64(image.data() + pos);
+    pos += 8;
+    if (pos + payload_len > image.size()) {
+      throw FormatError("upload journal: truncated payload");
+    }
+    const ConstByteSpan payload = image.subspan(pos, payload_len);
+    pos += payload_len;
+    journal.entries_.push_back(PendingUpload{
+        UploadItem{std::move(key), ByteBuffer(payload.begin(), payload.end()),
+                   static_cast<ObjectKind>(kind)},
+        static_cast<cloud::CloudError>(error)});
+  }
+  if (pos != image.size()) {
+    throw FormatError("upload journal: trailing bytes");
+  }
+  return journal;
+}
+
+}  // namespace aadedupe::core

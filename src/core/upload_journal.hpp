@@ -1,0 +1,66 @@
+// UploadJournal — the graceful-degradation path for failed uploads.
+//
+// When the transport stack gives up on an object (retry budget exhausted),
+// the upload pipeline parks it here instead of losing it or aborting the
+// session. The journal is part of the client's persistent state
+// (AaDedupeScheme serializes it with export_state), so a session that
+// ended degraded hands its debt to the next session, which replays the
+// journal before doing new work. Thread-safe: the uploader thread adds
+// while the session thread may inspect.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cloud/cloud_result.hpp"
+#include "core/upload_item.hpp"
+#include "util/bytes.hpp"
+
+namespace aadedupe::cloud {
+class CloudTarget;
+}  // namespace aadedupe::cloud
+
+namespace aadedupe::core {
+
+struct PendingUpload {
+  UploadItem item;
+  cloud::CloudError error;  // why the last attempt gave up
+};
+
+class UploadJournal {
+ public:
+  UploadJournal() = default;
+  UploadJournal(UploadJournal&& other) noexcept;
+  UploadJournal& operator=(UploadJournal&& other) noexcept;
+
+  /// Park a failed upload (called from the uploader thread).
+  void add(UploadItem item, cloud::CloudError error);
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// Snapshot of the pending entries (copies).
+  std::vector<PendingUpload> pending() const;
+
+  void clear();
+
+  /// Re-attempt every pending upload through the target's transport
+  /// stack. Entries that land are dropped from the journal; entries that
+  /// fail again stay (with their fresh error). Returns how many landed.
+  std::size_t replay(cloud::CloudTarget& target);
+
+  /// Wire image of the journal (for persistent client state).
+  ByteBuffer serialize() const;
+
+  /// Rebuild from a serialize() image. Throws FormatError on malformed
+  /// input.
+  static UploadJournal deserialize(ConstByteSpan image);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<PendingUpload> entries_;
+};
+
+}  // namespace aadedupe::core

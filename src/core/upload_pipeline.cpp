@@ -1,0 +1,107 @@
+#include "core/upload_pipeline.hpp"
+
+#include "util/check.hpp"
+
+namespace aadedupe::core {
+
+UploadPipeline::UploadPipeline(cloud::CloudTarget& target,
+                               UploadPipelineOptions options)
+    : UploadPipeline(
+          [&target](const UploadItem& item) {
+            return target.upload(item.key, item.payload);
+          },
+          options) {}
+
+UploadPipeline::UploadPipeline(UploadFn upload, UploadPipelineOptions options)
+    : upload_(std::move(upload)),
+      options_(options),
+      queue_(options.queue_capacity),
+      uploader_([this] { worker(); }) {}
+
+UploadPipeline::~UploadPipeline() {
+  // finish() can throw (captured uploader exception, unjournaled terminal
+  // failure); a destructor must not. Callers that care about the outcome
+  // call finish() explicitly — this is only the safety net.
+  try {
+    finish();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  }
+}
+
+void UploadPipeline::enqueue(UploadItem item) {
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.enqueued;
+  }
+  const bool accepted = queue_.push(std::move(item));
+  AAD_EXPECTS(accepted);
+}
+
+void UploadPipeline::worker() {
+  while (auto item = queue_.pop()) {
+    try {
+      ship(std::move(*item));
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!uploader_error_) uploader_error_ = std::current_exception();
+      // Keep draining so blocked producers make progress; remaining items
+      // are dropped on the floor — the captured exception supersedes them.
+    }
+  }
+}
+
+void UploadPipeline::ship(UploadItem item) {
+  const std::uint32_t budget = 1 + (item.kind == ObjectKind::kMetadata
+                                        ? options_.metadata_requeues
+                                        : options_.container_requeues);
+  cloud::CloudError last_error = cloud::CloudError::kTransient;
+  for (std::uint32_t attempt = 1; attempt <= budget; ++attempt) {
+    if (attempt > 1) {
+      std::lock_guard lock(mutex_);
+      ++stats_.requeues;
+    }
+    const cloud::CloudStatus status = upload_(item);
+    if (status.ok()) {
+      std::lock_guard lock(mutex_);
+      ++stats_.uploaded;
+      return;
+    }
+    last_error = status.error();
+    if (!cloud::is_retryable(last_error)) break;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.failed;
+    if (options_.journal == nullptr && !first_failure_) {
+      first_failure_ = {item.key, last_error};
+    }
+  }
+  if (options_.journal != nullptr) {
+    options_.journal->add(std::move(item), last_error);
+    std::lock_guard lock(mutex_);
+    ++stats_.journaled;
+  }
+}
+
+UploadPipeline::Stats UploadPipeline::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+void UploadPipeline::finish() {
+  queue_.close();
+  if (uploader_.joinable()) uploader_.join();
+  std::lock_guard lock(mutex_);
+  if (uploader_error_) {
+    const std::exception_ptr error = uploader_error_;
+    uploader_error_ = nullptr;  // report once; later finish() is a no-op
+    std::rethrow_exception(error);
+  }
+  if (first_failure_ && !failure_reported_) {
+    failure_reported_ = true;
+    throw cloud::CloudTransportError("upload", first_failure_->first,
+                                     first_failure_->second);
+  }
+}
+
+}  // namespace aadedupe::core

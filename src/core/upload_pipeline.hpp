@@ -1,53 +1,105 @@
 // Pipelined uploader (paper Section IV.D: "our pipelined design for the
-// deduplication processes and the data transfer operations").
+// deduplication processes and the data transfer operations") — now fault
+// tolerant.
 //
-// Deduplication workers enqueue sealed containers and metadata objects on
-// a bounded queue; a dedicated uploader thread ships them to the cloud
-// target concurrently with further deduplication. The bounded queue gives
-// backpressure: a slow (simulated) WAN throttles the producers instead of
-// buffering the whole backup in memory.
+// Deduplication workers enqueue typed UploadItems (sealed containers vs.
+// session metadata) on a bounded queue; a dedicated uploader thread ships
+// them through the CloudTarget's transport stack concurrently with further
+// deduplication. The bounded queue gives backpressure: a slow (simulated)
+// WAN throttles the producers instead of buffering the whole backup in
+// memory.
+//
+// Failure handling, in escalation order:
+//   1. The target's RetryingBackend absorbs retryable errors per request.
+//   2. On terminal failure the pipeline re-attempts the item a per-kind
+//      number of extra times (metadata objects — the durability anchor of
+//      a session — get more than bulk containers).
+//   3. Still-failed items are parked in the UploadJournal (graceful
+//      degradation; the next session replays them), or, when no journal is
+//      configured, finish() throws a typed CloudTransportError.
+// An exception escaping the uploader thread is captured and rethrown from
+// finish() instead of std::terminate-ing the process.
 #pragma once
 
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "cloud/cloud_target.hpp"
+#include "core/upload_item.hpp"
+#include "core/upload_journal.hpp"
 #include "util/bounded_queue.hpp"
 
 namespace aadedupe::core {
 
+struct UploadPipelineOptions {
+  std::size_t queue_capacity = 64;
+  /// Extra pipeline-level attempts after the transport stack gives up.
+  std::uint32_t container_requeues = 0;
+  std::uint32_t metadata_requeues = 1;
+  /// Where terminally failed items go. Without a journal, finish() throws
+  /// CloudTransportError on the first terminal failure instead.
+  UploadJournal* journal = nullptr;
+};
+
 class UploadPipeline {
  public:
-  explicit UploadPipeline(cloud::CloudTarget& target,
-                          std::size_t queue_capacity = 64)
-      : target_(&target), queue_(queue_capacity), uploader_([this] {
-          while (auto item = queue_.pop()) {
-            target_->upload(item->first, std::move(item->second));
-          }
-        }) {}
+  /// Ships one item; returns the transport result. Overridable so tests
+  /// and alternative transports can stand in for a CloudTarget.
+  using UploadFn = std::function<cloud::CloudStatus(const UploadItem&)>;
 
-  ~UploadPipeline() { finish(); }
+  explicit UploadPipeline(cloud::CloudTarget& target,
+                          UploadPipelineOptions options = {});
+  UploadPipeline(UploadFn upload, UploadPipelineOptions options);
+  ~UploadPipeline();
 
   UploadPipeline(const UploadPipeline&) = delete;
   UploadPipeline& operator=(const UploadPipeline&) = delete;
 
   /// Enqueue an object for upload; blocks when the queue is full.
   /// Precondition: finish() has not been called.
-  void enqueue(std::string key, ByteBuffer data) {
-    const bool accepted = queue_.push({std::move(key), std::move(data)});
-    AAD_EXPECTS(accepted);
+  void enqueue(UploadItem item);
+  void enqueue(std::string key, ByteBuffer payload,
+               ObjectKind kind = ObjectKind::kContainer) {
+    enqueue(UploadItem{std::move(key), std::move(payload), kind});
   }
 
-  /// Drain the queue, upload everything, and join the uploader. Idempotent.
-  void finish() {
-    queue_.close();
-    if (uploader_.joinable()) uploader_.join();
-  }
+  struct Stats {
+    std::uint64_t enqueued = 0;
+    std::uint64_t uploaded = 0;   // items that landed
+    std::uint64_t requeues = 0;   // pipeline-level re-attempts
+    std::uint64_t journaled = 0;  // items parked for the next session
+    std::uint64_t failed = 0;     // terminal failures (journaled or not)
+  };
+  Stats stats() const;
+
+  /// Drain the queue, upload everything, and join the uploader.
+  /// Idempotent. Rethrows an exception captured from the uploader thread;
+  /// throws CloudTransportError if an item failed terminally and no
+  /// journal is configured (the error is reported once).
+  void finish();
 
  private:
-  cloud::CloudTarget* target_;
-  BoundedQueue<std::pair<std::string, ByteBuffer>> queue_;
+  void worker();
+  void ship(UploadItem item);
+
+  UploadFn upload_;
+  UploadPipelineOptions options_;
+  BoundedQueue<UploadItem> queue_;
+
+  mutable std::mutex mutex_;
+  Stats stats_;
+  std::exception_ptr uploader_error_;
+  /// First terminal failure when no journal is configured.
+  std::optional<std::pair<std::string, cloud::CloudError>> first_failure_;
+  bool failure_reported_ = false;
+
   std::thread uploader_;
 };
 

@@ -16,7 +16,7 @@ TEST(ObjectStore, PutGetRoundTrip) {
   store.put("k1", to_buffer("hello"));
   const auto got = store.get("k1");
   ASSERT_TRUE(got.has_value());
-  EXPECT_EQ(to_string(*got), "hello");
+  EXPECT_EQ(aadedupe::to_string(ConstByteSpan{*got}), "hello");
   EXPECT_FALSE(store.get("k2").has_value());
 }
 
@@ -108,7 +108,8 @@ TEST(CostModel, RequestCostDominatesForTinyObjects) {
 TEST(CloudTarget, AccumulatesTransferTime) {
   CloudTarget target;
   EXPECT_DOUBLE_EQ(target.transfer_seconds(), 0.0);
-  target.upload("a", ByteBuffer(500000));  // 1 s at 500 KB/s + overhead
+  // 1 s at 500 KB/s + overhead
+  EXPECT_TRUE(target.upload("a", ByteBuffer(500000)).ok());
   EXPECT_NEAR(target.transfer_seconds(), 1.0 + target.link().per_request_s,
               1e-9);
   target.reset_transfer_clock();
@@ -117,27 +118,58 @@ TEST(CloudTarget, AccumulatesTransferTime) {
 
 TEST(CloudTarget, DownloadCountsTowardTransferTime) {
   CloudTarget target;
-  target.upload("a", ByteBuffer(1000000));
+  EXPECT_TRUE(target.upload("a", ByteBuffer(1000000)).ok());
   target.reset_transfer_clock();
   const auto got = target.download("a");
-  ASSERT_TRUE(got.has_value());
+  ASSERT_TRUE(got.ok());
   EXPECT_NEAR(target.transfer_seconds(),
               1.0 + target.link().per_request_s, 1e-9);  // 1 MB at 1 MB/s
 }
 
-TEST(CloudTarget, MissingDownloadAddsNoTime) {
+TEST(CloudTarget, MissingDownloadIsTypedNotFound) {
   CloudTarget target;
-  EXPECT_FALSE(target.download("nope").has_value());
+  const auto got = target.download("nope");
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.error(), CloudError::kNotFound);
   EXPECT_DOUBLE_EQ(target.transfer_seconds(), 0.0);
+}
+
+TEST(CloudTarget, RemoveObjectReportsExistence) {
+  CloudTarget target;
+  EXPECT_TRUE(target.upload("a", ByteBuffer(10)).ok());
+  const auto removed = target.remove_object("a");
+  ASSERT_TRUE(removed.ok());
+  EXPECT_TRUE(removed.value());
+  const auto again = target.remove_object("a");
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again.value());
 }
 
 TEST(CloudTarget, MonthlyCostUsesAccumulatedState) {
   CloudTarget target;
-  target.upload("a", ByteBuffer(1000000));
-  target.upload("b", ByteBuffer(1000000));
+  EXPECT_TRUE(target.upload("a", ByteBuffer(1000000)).ok());
+  EXPECT_TRUE(target.upload("b", ByteBuffer(1000000)).ok());
   const CostModel& m = target.cost_model();
   const double expected = m.monthly_cost(2000000, 2000000, 2);
   EXPECT_NEAR(target.monthly_cost(), expected, 1e-12);
+}
+
+TEST(CloudError, TaxonomyStringsAndRetryability) {
+  EXPECT_EQ(to_string(CloudError::kTransient), "transient");
+  EXPECT_EQ(to_string(CloudError::kNotFound), "not-found");
+  EXPECT_TRUE(is_retryable(CloudError::kTransient));
+  EXPECT_TRUE(is_retryable(CloudError::kTimeout));
+  EXPECT_TRUE(is_retryable(CloudError::kThrottled));
+  EXPECT_TRUE(is_retryable(CloudError::kCorrupt));
+  EXPECT_FALSE(is_retryable(CloudError::kNotFound));
+}
+
+TEST(CloudTransportError, CarriesKeyAndError) {
+  const CloudTransportError error("upload", "containers/c1",
+                                  CloudError::kTimeout);
+  EXPECT_EQ(error.key(), "containers/c1");
+  EXPECT_EQ(error.error(), CloudError::kTimeout);
+  EXPECT_NE(std::string(error.what()).find("timeout"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,196 @@
+// FaultInjectingBackend tests — the determinism contract above all: the
+// failure schedule is a pure function of (seed, op, key, attempt), so two
+// identical runs see identical faults regardless of request interleaving.
+#include "cloud/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cloud/cloud_target.hpp"
+
+namespace aadedupe::cloud {
+namespace {
+
+/// Record the per-key outcome of one scripted run against a fresh target
+/// with retries disabled (so every injected fault surfaces).
+std::vector<int> scripted_outcomes(std::uint64_t seed,
+                                   const std::vector<std::string>& keys) {
+  CloudTarget target;
+  target.set_retry_policy(RetryPolicy::none());
+  FaultProfile profile;
+  profile.put_transient_p = 0.3;
+  profile.put_timeout_p = 0.1;
+  profile.get_transient_p = 0.3;
+  target.inject_faults(profile, seed);
+
+  std::vector<int> outcomes;
+  for (const std::string& key : keys) {
+    const auto put = target.upload(key, ByteBuffer(1000));
+    outcomes.push_back(put.ok() ? 0 : 1 + static_cast<int>(put.error()));
+    const auto get = target.download(key);
+    outcomes.push_back(get.ok() ? 0 : 1 + static_cast<int>(get.error()));
+  }
+  return outcomes;
+}
+
+TEST(FaultInjection, SameSeedSameSchedule) {
+  const std::vector<std::string> keys = {"a", "b", "c", "d", "e", "f",
+                                         "g", "h", "i", "j", "k", "l"};
+  const auto first = scripted_outcomes(99, keys);
+  const auto second = scripted_outcomes(99, keys);
+  EXPECT_EQ(first, second);
+  // And the schedule is non-trivial at these probabilities: some faults.
+  int faults = 0;
+  for (int o : first) faults += (o != 0);
+  EXPECT_GT(faults, 0);
+  EXPECT_LT(faults, static_cast<int>(first.size()));
+}
+
+TEST(FaultInjection, DifferentSeedDifferentSchedule) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 32; ++i) keys.push_back("k" + std::to_string(i));
+  EXPECT_NE(scripted_outcomes(1, keys), scripted_outcomes(2, keys));
+}
+
+TEST(FaultInjection, ScheduleIndependentOfRequestOrder) {
+  // The per-(op,key) attempt counter — not a global request counter —
+  // drives the fault decision, so reordering requests across keys must
+  // not change any key's outcome. This is what keeps parallel
+  // deduplication runs reproducible.
+  FaultProfile profile;
+  profile.put_transient_p = 0.4;
+
+  const auto run = [&](bool reversed) {
+    CloudTarget target;
+    target.set_retry_policy(RetryPolicy::none());
+    target.inject_faults(profile, 7);
+    std::vector<std::string> keys = {"p", "q", "r", "s", "t", "u", "v", "w"};
+    if (reversed) std::reverse(keys.begin(), keys.end());
+    std::map<std::string, bool> ok;
+    for (const auto& key : keys) {
+      ok[key] = target.upload(key, ByteBuffer(100)).ok();
+    }
+    return ok;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(FaultInjection, RetriedAttemptsGetFreshDraws) {
+  // A key that fails on attempt 1 is not doomed forever: the attempt
+  // number feeds the RNG, so retries see new draws. With the default
+  // 4-attempt budget a 30% transient rate virtually always lands.
+  CloudTarget target;
+  target.inject_faults(FaultProfile::transient(0.3), 5);
+  int landed = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (target.upload("obj" + std::to_string(i), ByteBuffer(100)).ok()) {
+      ++landed;
+    }
+  }
+  EXPECT_EQ(landed, 20);
+  const FaultStats stats = target.fault_stats();
+  EXPECT_GT(stats.injected_transient, 0u);
+  EXPECT_GT(stats.put_attempts, 20u);  // retries visible as extra attempts
+}
+
+TEST(FaultInjection, DetectedCorruptionIsTypedAndRetriable) {
+  CloudTarget target;
+  target.set_retry_policy(RetryPolicy::none());
+  EXPECT_TRUE(target.upload("k", ByteBuffer(256)).ok());
+
+  FaultProfile profile;
+  profile.get_corrupt_p = 1.0;
+  profile.silent_corruption = false;
+  target.inject_faults(profile, 3);
+  const auto got = target.download("k");
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.error(), CloudError::kCorrupt);
+  EXPECT_TRUE(is_retryable(CloudError::kCorrupt));
+}
+
+TEST(FaultInjection, SilentCorruptionDamagesBytesButReportsSuccess) {
+  CloudTarget target;
+  target.set_retry_policy(RetryPolicy::none());
+  ByteBuffer original(256, std::byte{0xAA});
+  EXPECT_TRUE(target.upload("k", ByteBuffer(original)).ok());
+
+  FaultProfile profile;
+  profile.get_corrupt_p = 1.0;
+  profile.silent_corruption = true;
+  target.inject_faults(profile, 3);
+  const auto got = target.download("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_NE(got.value(), original);  // bit-flipped or truncated
+  EXPECT_GT(target.fault_stats().injected_corrupt, 0u);
+  // The at-rest object is untouched — only the wire copy was damaged.
+  target.clear_faults();
+  const auto clean = target.download("k");
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean.value(), original);
+}
+
+TEST(FaultInjection, FailedAttemptsStillBurnSimulatedTime) {
+  CloudTarget target;
+  target.set_retry_policy(RetryPolicy::none());
+  FaultProfile profile;
+  profile.put_transient_p = 1.0;  // every attempt dies mid-flight
+  target.inject_faults(profile, 1);
+  EXPECT_FALSE(target.upload("k", ByteBuffer(500000)).ok());
+  // Half the wire time the attempt would have cost (default fraction).
+  const double full = target.link().upload_seconds(500000, 1);
+  EXPECT_NEAR(target.transfer_seconds(),
+              full * profile.failed_attempt_time_fraction, 1e-9);
+  // Nothing landed.
+  EXPECT_FALSE(target.store().exists("k"));
+}
+
+TEST(FaultInjection, TimeoutChargesTimeoutSeconds) {
+  CloudTarget target;
+  target.set_retry_policy(RetryPolicy::none());
+  FaultProfile profile;
+  profile.put_timeout_p = 1.0;
+  profile.timeout_s = 7.5;
+  target.inject_faults(profile, 1);
+  const auto result = target.upload("k", ByteBuffer(100));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error(), CloudError::kTimeout);
+  EXPECT_DOUBLE_EQ(target.transfer_seconds(), 7.5);
+}
+
+TEST(FaultInjection, LatencySpikeSlowsSuccessfulOperation) {
+  CloudTarget target;
+  FaultProfile profile;
+  profile.latency_spike_p = 1.0;
+  profile.latency_spike_s = 3.0;
+  target.inject_faults(profile, 1);
+  EXPECT_TRUE(target.upload("k", ByteBuffer(100)).ok());
+  EXPECT_NEAR(target.transfer_seconds(),
+              target.link().upload_seconds(100, 1) + 3.0, 1e-9);
+  EXPECT_GT(target.fault_stats().latency_spikes, 0u);
+}
+
+TEST(FaultInjection, RemovePassesThroughUntouched) {
+  CloudTarget target;
+  EXPECT_TRUE(target.upload("k", ByteBuffer(10)).ok());
+  target.inject_faults(FaultProfile::transient(1.0), 1);
+  const auto removed = target.remove_object("k");
+  ASSERT_TRUE(removed.ok());
+  EXPECT_TRUE(removed.value());
+}
+
+TEST(FaultInjection, ClearFaultsRestoresPerfectLink) {
+  CloudTarget target;
+  target.inject_faults(FaultProfile::transient(1.0), 1);
+  target.set_retry_policy(RetryPolicy::none());
+  EXPECT_FALSE(target.upload("k", ByteBuffer(10)).ok());
+  target.clear_faults();
+  EXPECT_TRUE(target.upload("k", ByteBuffer(10)).ok());
+  EXPECT_EQ(target.fault_stats().injected_total(), 0u);  // zeroed when off
+}
+
+}  // namespace
+}  // namespace aadedupe::cloud

@@ -1,0 +1,177 @@
+// RetryingBackend tests — backoff arithmetic, retry accounting, and the
+// rule that every waited second lands on the *simulated* transfer clock,
+// never on the wall clock.
+#include "cloud/retrying_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "cloud/cloud_target.hpp"
+#include "cloud/memory_backend.hpp"
+#include "cloud/object_store.hpp"
+
+namespace aadedupe::cloud {
+namespace {
+
+/// Fails the first `failures` put/get attempts per call sequence with a
+/// fixed error, then delegates to a real in-memory backend.
+class FlakyBackend final : public CloudBackend {
+ public:
+  FlakyBackend(CloudBackend& inner, int failures, CloudError error)
+      : inner_(&inner), remaining_(failures), error_(error) {}
+
+  CloudStatus put(const std::string& key, ConstByteSpan data) override {
+    if (remaining_-- > 0) return error_;
+    return inner_->put(key, data);
+  }
+  CloudResult<ByteBuffer> get(const std::string& key) override {
+    if (remaining_-- > 0) return error_;
+    return inner_->get(key);
+  }
+  CloudResult<bool> remove(const std::string& key) override {
+    return inner_->remove(key);
+  }
+  std::string_view name() const noexcept override { return "flaky"; }
+
+ private:
+  CloudBackend* inner_;
+  int remaining_;
+  CloudError error_;
+};
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyWithCap) {
+  const RetryPolicy policy;  // base 0.5, x2, cap 8
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(1), 0.5);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(2), 1.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(3), 2.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(5), 8.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(12), 8.0);  // capped
+}
+
+TEST(RetryingBackend, RetriesUntilSuccessAndChargesBackoffToSimClock) {
+  ObjectStore store;
+  double charged = 0.0;
+  const ChargeFn charge = [&charged](double s) { charged += s; };
+  MemoryBackend memory(store, WanLink{}, charge);
+  FlakyBackend flaky(memory, /*failures=*/2, CloudError::kTransient);
+
+  RetryPolicy policy;
+  policy.jitter_fraction = 0.0;  // exact arithmetic below
+  RetryingBackend retrier(flaky, policy, /*seed=*/1, charge);
+
+  EXPECT_TRUE(retrier.put("k", ByteBuffer(1000)).ok());
+  EXPECT_TRUE(store.exists("k"));
+
+  const RetryStats stats = retrier.stats();
+  EXPECT_EQ(stats.operations, 1u);
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.exhausted, 0u);
+  // Backoff before retry 1 (0.5 s) + retry 2 (1.0 s).
+  EXPECT_DOUBLE_EQ(stats.backoff_seconds, 1.5);
+  // All of it is simulated: upload wire time + the two waits.
+  EXPECT_NEAR(charged, WanLink{}.upload_seconds(1000, 1) + 1.5, 1e-9);
+}
+
+TEST(RetryingBackend, JitterStaysWithinFractionAndIsDeterministic) {
+  const auto run = [](std::uint64_t seed) {
+    ObjectStore store;
+    double charged = 0.0;
+    const ChargeFn charge = [&charged](double s) { charged += s; };
+    MemoryBackend memory(store, WanLink{}, charge);
+    FlakyBackend flaky(memory, 2, CloudError::kThrottled);
+    RetryingBackend retrier(flaky, RetryPolicy{}, seed, charge);
+    EXPECT_TRUE(retrier.put("k", ByteBuffer(10)).ok());
+    return retrier.stats().backoff_seconds;
+  };
+  const double backoff = run(42);
+  // Unjittered total is 1.5 s; the default 25% jitter bounds it.
+  EXPECT_GE(backoff, 1.5 * 0.75);
+  EXPECT_LE(backoff, 1.5 * 1.25);
+  EXPECT_DOUBLE_EQ(backoff, run(42));  // same seed, same waits
+}
+
+TEST(RetryingBackend, NotFoundIsNotRetried) {
+  ObjectStore store;
+  const ChargeFn charge = [](double) {};
+  MemoryBackend memory(store, WanLink{}, charge);
+  RetryingBackend retrier(memory, RetryPolicy{}, 1, charge);
+
+  const auto got = retrier.get("missing");
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.error(), CloudError::kNotFound);
+  const RetryStats stats = retrier.stats();
+  EXPECT_EQ(stats.attempts, 1u);  // no point retrying a permanent error
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.permanent_failures, 1u);
+}
+
+TEST(RetryingBackend, ExhaustionSurfacesTheLastError) {
+  ObjectStore store;
+  const ChargeFn charge = [](double) {};
+  MemoryBackend memory(store, WanLink{}, charge);
+  FlakyBackend flaky(memory, /*failures=*/1000, CloudError::kTimeout);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetryingBackend retrier(flaky, policy, 1, charge);
+
+  const auto result = retrier.put("k", ByteBuffer(10));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error(), CloudError::kTimeout);
+  const RetryStats stats = retrier.stats();
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.exhausted, 1u);
+  EXPECT_FALSE(store.exists("k"));
+}
+
+TEST(RetryingBackend, DisabledRetriesMeansOneAttempt) {
+  ObjectStore store;
+  const ChargeFn charge = [](double) {};
+  MemoryBackend memory(store, WanLink{}, charge);
+  FlakyBackend flaky(memory, 1000, CloudError::kTransient);
+  RetryingBackend retrier(flaky, RetryPolicy::none(), 1, charge);
+
+  const auto result = retrier.put("k", ByteBuffer(10));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error(), CloudError::kTransient);
+  const RetryStats stats = retrier.stats();
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_DOUBLE_EQ(stats.backoff_seconds, 0.0);
+}
+
+// ---- Through the full CloudTarget stack ----
+
+TEST(CloudTargetRetries, BackoffWidensTheBackupWindowNotTheWallClock) {
+  // An unreliable link makes the *measured* session slower: failed-attempt
+  // wire time plus backoff lands on the transfer clock session reports use.
+  CloudTarget reliable;
+  CloudTarget unreliable;
+  unreliable.inject_faults(FaultProfile::transient(0.3), /*seed=*/11);
+
+  for (int i = 0; i < 10; ++i) {
+    const std::string key = "obj" + std::to_string(i);
+    EXPECT_TRUE(reliable.upload(key, ByteBuffer(100000)).ok());
+    EXPECT_TRUE(unreliable.upload(key, ByteBuffer(100000)).ok());
+  }
+  EXPECT_GT(unreliable.retry_stats().retries, 0u);
+  EXPECT_GT(unreliable.retry_stats().backoff_seconds, 0.0);
+  EXPECT_GT(unreliable.transfer_seconds(),
+            reliable.transfer_seconds() +
+                unreliable.retry_stats().backoff_seconds - 1e-9);
+}
+
+TEST(CloudTargetRetries, WithRetriesDisabledTypedErrorSurfaces) {
+  // The acceptance gate: no silent data loss, no abort — a typed error.
+  CloudTarget target;
+  target.set_retry_policy(RetryPolicy::none());
+  target.inject_faults(FaultProfile::transient(1.0), 1);
+  const auto result = target.upload("containers/c1", ByteBuffer(1000));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error(), CloudError::kTransient);
+  EXPECT_FALSE(target.store().exists("containers/c1"));
+}
+
+}  // namespace
+}  // namespace aadedupe::cloud

@@ -1,11 +1,16 @@
-// Pipelined-uploader tests.
+// Pipelined-uploader tests: the happy path, plus the fault-tolerance
+// contract — typed terminal failures journal or throw from finish(), and
+// an uploader-thread exception is captured instead of terminating.
 #include "core/upload_pipeline.hpp"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "core/upload_journal.hpp"
 #include "util/rng.hpp"
 
 namespace aadedupe::core {
@@ -20,6 +25,10 @@ TEST(UploadPipeline, AllEnqueuedObjectsLand) {
                        ByteBuffer(static_cast<std::size_t>(i + 1)));
     }
     pipeline.finish();
+    const auto stats = pipeline.stats();
+    EXPECT_EQ(stats.enqueued, 100u);
+    EXPECT_EQ(stats.uploaded, 100u);
+    EXPECT_EQ(stats.failed, 0u);
   }
   EXPECT_EQ(target.store().object_count(), 100u);
   EXPECT_TRUE(target.store().exists("obj/0"));
@@ -48,7 +57,9 @@ TEST(UploadPipeline, FinishIsIdempotent) {
 TEST(UploadPipeline, ConcurrentProducers) {
   cloud::CloudTarget target;
   {
-    UploadPipeline pipeline(target, /*queue_capacity=*/4);
+    UploadPipelineOptions options;
+    options.queue_capacity = 4;
+    UploadPipeline pipeline(target, options);
     std::vector<std::thread> producers;
     for (int t = 0; t < 4; ++t) {
       producers.emplace_back([&pipeline, t] {
@@ -77,6 +88,124 @@ TEST(UploadPipeline, PayloadBytesAreIntact) {
   const auto got = target.store().get("data");
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(*got, payload);
+}
+
+TEST(UploadPipeline, UploaderExceptionRethrownFromFinish) {
+  // The seed behaviour was std::terminate — an exception on the uploader
+  // thread must instead surface from finish().
+  UploadPipeline pipeline(
+      [](const UploadItem& item) -> cloud::CloudStatus {
+        if (item.key == "boom") throw std::logic_error("uploader bug");
+        return cloud::CloudOk{};
+      },
+      UploadPipelineOptions{});
+  pipeline.enqueue("fine", ByteBuffer(8));
+  pipeline.enqueue("boom", ByteBuffer(8));
+  EXPECT_THROW(pipeline.finish(), std::logic_error);
+  // Reported once; a second finish (e.g. from the destructor) is calm.
+  EXPECT_NO_THROW(pipeline.finish());
+}
+
+TEST(UploadPipeline, TerminalFailureThrowsTypedErrorWithoutJournal) {
+  UploadPipeline pipeline(
+      [](const UploadItem&) -> cloud::CloudStatus {
+        return cloud::CloudError::kTimeout;
+      },
+      UploadPipelineOptions{});
+  pipeline.enqueue("containers/c7", ByteBuffer(16));
+  try {
+    pipeline.finish();
+    FAIL() << "finish() must surface the terminal failure";
+  } catch (const cloud::CloudTransportError& error) {
+    EXPECT_EQ(error.key(), "containers/c7");
+    EXPECT_EQ(error.error(), cloud::CloudError::kTimeout);
+  }
+  EXPECT_NO_THROW(pipeline.finish());  // reported once
+}
+
+TEST(UploadPipeline, TerminalFailuresParkInJournal) {
+  UploadJournal journal;
+  UploadPipelineOptions options;
+  options.journal = &journal;
+  UploadPipeline pipeline(
+      [](const UploadItem& item) -> cloud::CloudStatus {
+        if (item.key == "bad") return cloud::CloudError::kTransient;
+        return cloud::CloudOk{};
+      },
+      options);
+  pipeline.enqueue("good", ByteBuffer(4));
+  pipeline.enqueue(UploadItem{"bad", ByteBuffer(4), ObjectKind::kContainer});
+  EXPECT_NO_THROW(pipeline.finish());  // degraded, not fatal
+  const auto stats = pipeline.stats();
+  EXPECT_EQ(stats.uploaded, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.journaled, 1u);
+  ASSERT_EQ(journal.size(), 1u);
+  const auto pending = journal.pending();
+  EXPECT_EQ(pending[0].item.key, "bad");
+  EXPECT_EQ(pending[0].error, cloud::CloudError::kTransient);
+}
+
+TEST(UploadPipeline, MetadataGetsMoreRequeuesThanContainers) {
+  UploadJournal journal;
+  UploadPipelineOptions options;
+  options.journal = &journal;
+  options.container_requeues = 0;
+  options.metadata_requeues = 2;
+  std::atomic<int> meta_attempts{0};
+  std::atomic<int> container_attempts{0};
+  UploadPipeline pipeline(
+      [&](const UploadItem& item) -> cloud::CloudStatus {
+        if (item.kind == ObjectKind::kMetadata) {
+          ++meta_attempts;
+        } else {
+          ++container_attempts;
+        }
+        return cloud::CloudError::kTransient;  // everything fails
+      },
+      options);
+  pipeline.enqueue(UploadItem{"meta/x", ByteBuffer(4), ObjectKind::kMetadata});
+  pipeline.enqueue(
+      UploadItem{"containers/c1", ByteBuffer(4), ObjectKind::kContainer});
+  pipeline.finish();
+  EXPECT_EQ(meta_attempts.load(), 3);       // 1 + 2 requeues
+  EXPECT_EQ(container_attempts.load(), 1);  // 1 + 0 requeues
+  EXPECT_EQ(journal.size(), 2u);
+  EXPECT_EQ(pipeline.stats().requeues, 2u);
+}
+
+TEST(UploadJournal, SerializeRoundTripAndReplay) {
+  UploadJournal journal;
+  journal.add(UploadItem{"containers/c3", to_buffer("payload-bytes"),
+                         ObjectKind::kContainer},
+              cloud::CloudError::kTimeout);
+  journal.add(UploadItem{"meta/AA-Dedupe/s1/recipes", to_buffer("recipes"),
+                         ObjectKind::kMetadata},
+              cloud::CloudError::kTransient);
+
+  const ByteBuffer image = journal.serialize();
+  UploadJournal restored = UploadJournal::deserialize(image);
+  ASSERT_EQ(restored.size(), 2u);
+  const auto pending = restored.pending();
+  EXPECT_EQ(pending[0].item.key, "containers/c3");
+  EXPECT_EQ(pending[0].item.kind, ObjectKind::kContainer);
+  EXPECT_EQ(pending[0].error, cloud::CloudError::kTimeout);
+  EXPECT_EQ(pending[1].item.kind, ObjectKind::kMetadata);
+
+  cloud::CloudTarget target;
+  EXPECT_EQ(restored.replay(target), 2u);
+  EXPECT_TRUE(restored.empty());
+  EXPECT_TRUE(target.store().exists("containers/c3"));
+  EXPECT_TRUE(target.store().exists("meta/AA-Dedupe/s1/recipes"));
+}
+
+TEST(UploadJournal, DeserializeRejectsGarbage) {
+  EXPECT_THROW(UploadJournal::deserialize(to_buffer("not a journal")),
+               FormatError);
+  // Truncated: valid magic, then a lying count.
+  ByteBuffer image = to_buffer("AADJRNL1");
+  append_le32(image, 3);
+  EXPECT_THROW(UploadJournal::deserialize(image), FormatError);
 }
 
 }  // namespace

@@ -48,6 +48,43 @@ void BM_Rabin96(benchmark::State& state) {
 }
 BENCHMARK(BM_Rabin96)->Arg(8 << 10)->Arg(1 << 20);
 
+// Streaming paths: the same data fed through update() in pieces, the way
+// the per-category hash sees chunk bytes arriving from the chunker. The
+// second range argument is the update granularity.
+template <typename Hash>
+void stream_hash(benchmark::State& state) {
+  const auto total = static_cast<std::size_t>(state.range(0));
+  const auto piece = static_cast<std::size_t>(state.range(1));
+  const ByteBuffer data = make_data(total);
+  for (auto _ : state) {
+    Hash h;
+    std::size_t i = 0;
+    while (i < data.size()) {
+      const std::size_t n = std::min(piece, data.size() - i);
+      h.update(ConstByteSpan{data.data() + i, n});
+      i += n;
+    }
+    benchmark::DoNotOptimize(h.finish());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_Md5Streaming(benchmark::State& state) {
+  stream_hash<hash::Md5>(state);
+}
+BENCHMARK(BM_Md5Streaming)->Args({1 << 20, 4 << 10})->Args({1 << 20, 64});
+
+void BM_Sha1Streaming(benchmark::State& state) {
+  stream_hash<hash::Sha1>(state);
+}
+BENCHMARK(BM_Sha1Streaming)->Args({1 << 20, 4 << 10})->Args({1 << 20, 64});
+
+void BM_Rabin96Streaming(benchmark::State& state) {
+  stream_hash<hash::Rabin96>(state);
+}
+BENCHMARK(BM_Rabin96Streaming)->Args({1 << 20, 4 << 10})->Args({1 << 20, 64});
+
 void BM_RabinRollingWindow(benchmark::State& state) {
   const ByteBuffer data = make_data(static_cast<std::size_t>(state.range(0)));
   const hash::RabinPoly poly;
@@ -61,6 +98,21 @@ void BM_RabinRollingWindow(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_RabinRollingWindow)->Arg(1 << 20);
+
+void BM_RabinWindowWarm(benchmark::State& state) {
+  // The bulk-path warm-up the min-skip CDC loop performs once per chunk:
+  // prime a 48-byte window from a 47-byte tail.
+  const ByteBuffer data = make_data(47);
+  const hash::RabinPoly poly;
+  const hash::RabinWindowTable table(poly, 48);
+  hash::RabinWindow window(table);
+  for (auto _ : state) {
+    window.warm(data);
+    benchmark::DoNotOptimize(window.value());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 47);
+}
+BENCHMARK(BM_RabinWindowWarm);
 
 }  // namespace
 

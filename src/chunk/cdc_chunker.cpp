@@ -1,13 +1,70 @@
 #include "chunk/cdc_chunker.hpp"
 
+#include <algorithm>
+
 namespace aadedupe::chunk {
+
+namespace {
+/// Capacity hint for the output vector: the expected chunk count with
+/// headroom for moderately boundary-dense content, capped at the hard
+/// upper bound (every cut at min_size) so short inputs reserve exactly
+/// their bound and adversarial inputs trigger at most one regrowth.
+std::size_t reserve_hint(std::uint64_t size, const CdcParams& params) {
+  const auto hard_bound = static_cast<std::size_t>(size / params.min_size) + 1;
+  const auto expected =
+      static_cast<std::size_t>(size / params.expected_size) + 1;
+  return std::min(hard_bound, expected * 2);
+}
+}  // namespace
 
 std::vector<ChunkRef> CdcChunker::split(ConstByteSpan data) const {
   std::vector<ChunkRef> out;
   if (data.empty()) return out;
-  out.reserve(data.size() / params_.expected_size + 1);
+  const std::uint64_t size = data.size();
+  out.reserve(reserve_hint(size, params_));
 
-  hash::RabinWindow window = prototype_;  // fresh zero-filled window
+  hash::RabinWindow window(table_);  // stack-only; shares the removal table
+  const std::uint64_t w = params_.window_size;
+  std::uint64_t start = 0;
+
+  while (start < size) {
+    const std::uint64_t remaining = size - start;
+    if (remaining <= params_.min_size) {
+      // No boundary may be declared before min_size bytes, so the tail is
+      // one final chunk regardless of content.
+      out.push_back(ChunkRef{start, static_cast<std::uint32_t>(remaining)});
+      break;
+    }
+    // Min-skip: the fingerprint depends only on the last `w` bytes, so jump
+    // straight to the first position where a cut is allowed and warm the
+    // window with the preceding w-1 bytes via the slice-by-8 bulk path.
+    // This skips min_size - w rolls (and their ring-buffer traffic) per
+    // chunk while producing boundaries identical to split_reference().
+    std::uint64_t pos = start + params_.min_size - 1;
+    window.warm(data.subspan(pos - (w - 1), w - 1));
+    const std::uint64_t limit =
+        std::min<std::uint64_t>(start + params_.max_size, size);
+    std::uint64_t cut = limit;  // default: max_size cut or end of input
+    while (pos < limit) {
+      const std::uint64_t fp = window.push(data[pos]);
+      ++pos;
+      if ((fp & mask_) == (kMagic & mask_)) {
+        cut = pos;
+        break;
+      }
+    }
+    out.push_back(ChunkRef{start, static_cast<std::uint32_t>(cut - start)});
+    start = cut;
+  }
+  return out;
+}
+
+std::vector<ChunkRef> CdcChunker::split_reference(ConstByteSpan data) const {
+  std::vector<ChunkRef> out;
+  if (data.empty()) return out;
+  out.reserve(reserve_hint(data.size(), params_));
+
+  hash::RabinWindow window(table_);
   const std::uint64_t size = data.size();
   std::uint64_t start = 0;
   std::uint64_t pos = 0;

@@ -25,6 +25,7 @@ struct CdcParams {
 
   bool valid() const noexcept {
     return expected_size >= 2 && (expected_size & (expected_size - 1)) == 0 &&
+           window_size >= 1 && window_size <= hash::kMaxRabinWindowSize &&
            min_size >= window_size && min_size <= expected_size &&
            expected_size <= max_size && max_size <= 0xffffffffull;
   }
@@ -36,31 +37,39 @@ class CdcChunker final : public Chunker {
                       std::uint64_t poly = hash::kRabinPolyA)
       : params_(params),
         poly_(poly),
-        prototype_(poly_, params.window_size),
+        table_(poly_, params.window_size),
         mask_(params.expected_size - 1) {
     AAD_EXPECTS(params.valid());
   }
 
-  // prototype_ holds a pointer to poly_; forbid copies/moves so it can
-  // never dangle. Chunkers are shared via (smart) pointers.
+  // table_ holds a pointer to poly_; forbid copies/moves so it can never
+  // dangle. Chunkers are shared via (smart) pointers.
   CdcChunker(const CdcChunker&) = delete;
   CdcChunker& operator=(const CdcChunker&) = delete;
 
+  /// Optimized splitter: min-size cut-point skipping plus a bulk-path
+  /// window warm-up. Allocation-free apart from the returned vector.
   std::vector<ChunkRef> split(ConstByteSpan data) const override;
+
+  /// Reference splitter: byte-at-a-time rolling from every cut (the
+  /// pre-optimization algorithm). Kept so differential tests and the
+  /// perf-regression harness can prove split() emits identical boundaries
+  /// and quantify the speedup.
+  std::vector<ChunkRef> split_reference(ConstByteSpan data) const;
 
   std::string_view name() const noexcept override { return "cdc"; }
 
   const CdcParams& params() const noexcept { return params_; }
 
- private:
-  CdcParams params_;
-  hash::RabinPoly poly_;
-  hash::RabinWindow prototype_;  // copied per split() call (cheap, ~2 KB)
-  std::uint64_t mask_;
-
   /// Boundary pattern. Any fixed non-zero value works; non-zero avoids
   /// declaring a boundary at every byte of long zero runs.
   static constexpr std::uint64_t kMagic = ~std::uint64_t{0};
+
+ private:
+  CdcParams params_;
+  hash::RabinPoly poly_;
+  hash::RabinWindowTable table_;  // immutable; shared by every split() call
+  std::uint64_t mask_;
 };
 
 }  // namespace aadedupe::chunk

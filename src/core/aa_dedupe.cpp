@@ -108,6 +108,173 @@ AaDedupeScheme::StreamResult AaDedupeScheme::process_stream(
   return result;
 }
 
+void AaDedupeScheme::run_file_parallel(
+    const std::map<std::string, std::vector<const dataset::FileEntry*>>&
+        streams,
+    UploadPipeline& pipeline, std::vector<StreamResult>& results) {
+  // Per-stream commit state: its index shard, its open container, and a
+  // scratch buffer for convergent encryption. Streams commit concurrently
+  // with each other (they share nothing, per Observation 2) but each
+  // stream's files commit serially in snapshot order.
+  struct StreamCommit {
+    const std::string* key = nullptr;
+    bool tiny = false;
+    index::ChunkIndex* shard = nullptr;
+    std::unique_ptr<container::ContainerManager> manager;
+    StreamResult* result = nullptr;
+    ByteBuffer crypt_scratch;
+  };
+  std::vector<StreamCommit> commits;
+  commits.reserve(streams.size());
+
+  // Flattened session work-list, stream-major so each stream's files stay
+  // contiguous and ordered for the commit phase.
+  struct WorkItem {
+    std::size_t stream;
+    const dataset::FileEntry* file;
+  };
+  std::vector<WorkItem> items;
+  for (const auto& [key, files] : streams) {
+    StreamCommit commit;
+    commit.key = &key;
+    commit.tiny = key == kTinyStream;
+    commit.shard = commit.tiny ? nullptr : &index_.shard(key);
+    commit.manager = std::make_unique<container::ContainerManager>(
+        container_ids_,
+        [&pipeline](std::uint64_t id, ByteBuffer bytes) {
+          pipeline.enqueue(backup::keys::container_object(id),
+                           std::move(bytes));
+        },
+        options_.container_capacity);
+    commit.result = &results[commits.size()];
+    commit.result->recipes.reserve(files.size());
+    const std::size_t stream_index = commits.size();
+    commits.push_back(std::move(commit));
+    for (const dataset::FileEntry* file : files) {
+      items.push_back(WorkItem{stream_index, file});
+    }
+  }
+
+  const auto seal_chunk = [this](StreamCommit& commit,
+                                 const hash::Digest& digest,
+                                 ConstByteSpan plaintext) -> ConstByteSpan {
+    if (!options_.convergent_encryption) return plaintext;
+    const crypto::ChaChaKey key = crypto::derive_content_key(plaintext);
+    commit.crypt_scratch.assign(plaintext.begin(), plaintext.end());
+    crypto::convergent_encrypt(key, commit.crypt_scratch);
+    {
+      std::lock_guard lock(key_store_mutex_);
+      key_store_.put(digest, key);
+    }
+    return commit.crypt_scratch;
+  };
+
+  // Per-file front-end output. Buffers persist across batches so content
+  // materialization reuses allocations.
+  struct FrontEndPlan {
+    ByteBuffer content;
+    FileChunkPlan plan;         // non-tiny files
+    hash::Digest tiny_digest;   // tiny files
+  };
+  std::vector<FrontEndPlan> plans;
+
+  std::size_t batch_begin = 0;
+  while (batch_begin < items.size()) {
+    // Grow the batch until the byte budget is hit (always >= 1 file).
+    std::size_t batch_end = batch_begin;
+    std::uint64_t batch_bytes = 0;
+    while (batch_end < items.size() &&
+           (batch_end == batch_begin ||
+            batch_bytes + items[batch_end].file->size() <=
+                options_.front_end_batch_bytes)) {
+      batch_bytes += items[batch_end].file->size();
+      ++batch_end;
+    }
+    const std::size_t batch_size = batch_end - batch_begin;
+    if (plans.size() < batch_size) plans.resize(batch_size);
+
+    // Phase 1 — pure and stateless: chunk and fingerprint every file of
+    // the batch across the pool, one file per steal so a dominant stream's
+    // large files spread over all workers.
+    pool_->parallel_for(
+        batch_size,
+        [&](std::size_t i) {
+          const WorkItem& item = items[batch_begin + i];
+          FrontEndPlan& plan = plans[i];
+          dataset::materialize_into(item.file->content, plan.content);
+          if (commits[item.stream].tiny) {
+            plan.plan.chunks.clear();
+            plan.plan.digests.clear();
+            if (!plan.content.empty()) {
+              plan.tiny_digest = hash::Rabin96::hash(plan.content);
+            }
+          } else {
+            plan.plan = chunk_and_fingerprint(
+                policy_.for_kind(item.file->kind), plan.content);
+          }
+        },
+        /*grain=*/1);
+
+    // Phase 2 — commit. Items are stream-major, so the batch decomposes
+    // into contiguous per-stream spans; spans run concurrently, files
+    // within a span serially in order.
+    struct Span {
+      std::size_t stream, begin, end;  // [begin, end) into items
+    };
+    std::vector<Span> spans;
+    for (std::size_t i = batch_begin; i < batch_end; ++i) {
+      if (spans.empty() || spans.back().stream != items[i].stream) {
+        spans.push_back(Span{items[i].stream, i, i});
+      }
+      spans.back().end = i + 1;
+    }
+    pool_->parallel_for(spans.size(), [&](std::size_t s) {
+      const Span& span = spans[s];
+      StreamCommit& commit = commits[span.stream];
+      for (std::size_t i = span.begin; i < span.end; ++i) {
+        FrontEndPlan& plan = plans[i - batch_begin];
+        const dataset::FileEntry* file = items[i].file;
+        container::FileRecipe recipe;
+        recipe.path = file->path;
+        recipe.file_size = plan.content.size();
+        recipe.tag = commit.tiny ? std::string() : *commit.key;
+        if (commit.tiny) {
+          if (!plan.content.empty()) {
+            const index::ChunkLocation loc = commit.manager->store(
+                plan.tiny_digest,
+                seal_chunk(commit, plan.tiny_digest, plan.content));
+            recipe.entries.push_back(
+                container::RecipeEntry{plan.tiny_digest, loc});
+          }
+        } else {
+          recipe.entries.reserve(plan.plan.chunks.size());
+          for (std::size_t c = 0; c < plan.plan.chunks.size(); ++c) {
+            const chunk::ChunkRef& ref = plan.plan.chunks[c];
+            const hash::Digest& digest = plan.plan.digests[c];
+            const ConstByteSpan chunk_bytes =
+                ConstByteSpan{plan.content}.subspan(ref.offset, ref.length);
+            index::ChunkLocation location;
+            if (const auto existing = commit.shard->lookup(digest)) {
+              location = *existing;
+            } else {
+              location = commit.manager->store(
+                  digest, seal_chunk(commit, digest, chunk_bytes));
+              commit.shard->insert(digest, location);
+            }
+            recipe.entries.push_back(
+                container::RecipeEntry{digest, location});
+          }
+        }
+        commit.result->recipes.push_back(std::move(recipe));
+      }
+    });
+
+    batch_begin = batch_end;
+  }
+
+  for (StreamCommit& commit : commits) commit.manager->flush();
+}
+
 void AaDedupeScheme::run_session(const dataset::Snapshot& snapshot) {
   latest_session_ = snapshot.session;
 
@@ -130,7 +297,12 @@ void AaDedupeScheme::run_session(const dataset::Snapshot& snapshot) {
   UploadPipeline pipeline(target(), pipeline_options);
   std::vector<StreamResult> results(streams.size());
 
-  if (pool_) {
+  if (pool_ && options_.granularity == ParallelGranularity::kFile) {
+    // Two-phase file-granularity session: chunk+fingerprint files across
+    // the pool, then commit each stream serially in file order. Wall
+    // clock tracks total work instead of the largest stream.
+    run_file_parallel(streams, pipeline, results);
+  } else if (pool_) {
     // Observation 2 makes streams independent: deduplicate them in
     // parallel, each against its own index shard and container.
     std::vector<std::pair<const std::string*,

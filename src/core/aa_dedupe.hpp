@@ -36,11 +36,31 @@
 
 namespace aadedupe::core {
 
+/// How a parallel backup session distributes work across the pool.
+enum class ParallelGranularity {
+  /// One task per application stream (the original design). Simple, but a
+  /// session's wall clock is bounded by its largest stream — one dominant
+  /// stream (e.g. the VM-image or mail stream) serializes the session.
+  kStream,
+  /// Two-phase: a pure, stateless phase chunks and fingerprints individual
+  /// *files* across the pool (work-stealing, one file per steal), then a
+  /// per-stream serial commit phase performs index lookups, container
+  /// packing, and recipe emission in deterministic file order. Produces
+  /// the same recipes per stream; wall clock is bounded by total work.
+  kFile,
+};
+
 struct AaDedupeOptions {
   std::uint64_t tiny_file_threshold = FileSizeFilter::kDefaultThreshold;
   std::size_t container_capacity = container::kDefaultCapacity;
   /// Deduplicate application streams in parallel on a thread pool.
   bool parallel = true;
+  /// Work-distribution unit when `parallel` is on.
+  ParallelGranularity granularity = ParallelGranularity::kFile;
+  /// Upper bound on the bytes the file-granularity front end materializes
+  /// at once (it processes the session in batches of at most this size, so
+  /// memory stays bounded on arbitrarily large snapshots).
+  std::uint64_t front_end_batch_bytes = 128ull << 20;
   std::size_t worker_threads = ThreadPool::default_thread_count();
   /// Sync the application-aware index image to the cloud each session.
   bool sync_index = true;
@@ -200,6 +220,15 @@ class AaDedupeScheme final : public backup::BackupScheme {
       const std::string& partition,
       const std::vector<const dataset::FileEntry*>& files,
       class UploadPipeline& pipeline);
+
+  /// File-granularity parallel session (ParallelGranularity::kFile): phase
+  /// one chunks+fingerprints files across the pool, phase two commits each
+  /// stream serially in file order. Fills `results` in stream map order,
+  /// matching the per-stream output of process_stream exactly.
+  void run_file_parallel(
+      const std::map<std::string,
+                     std::vector<const dataset::FileEntry*>>& streams,
+      class UploadPipeline& pipeline, std::vector<StreamResult>& results);
 
   ByteBuffer restore_recipe(const container::FileRecipe& recipe);
 

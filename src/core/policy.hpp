@@ -90,6 +90,30 @@ class DedupPolicy {
   std::unique_ptr<chunk::Chunker> dynamic_;  // Rabin CDC or FastCDC
 };
 
+/// Output of the pure chunk+fingerprint front end for one file:
+/// digests[i] fingerprints chunks[i].
+struct FileChunkPlan {
+  std::vector<chunk::ChunkRef> chunks;
+  std::vector<hash::Digest> digests;
+};
+
+/// Stateless front end of the deduplication pipeline: split `content` with
+/// the category's engine and fingerprint every chunk with the category's
+/// hash (Rabin-96 / MD5 / SHA-1 per the policy table). Touches no shared
+/// state, so any number of files may be processed concurrently — this is
+/// what the file-granularity parallel session phase fans out.
+inline FileChunkPlan chunk_and_fingerprint(const CategoryPolicy& policy,
+                                           ConstByteSpan content) {
+  FileChunkPlan plan;
+  plan.chunks = policy.chunker->split(content);
+  plan.digests.reserve(plan.chunks.size());
+  for (const chunk::ChunkRef& ref : plan.chunks) {
+    plan.digests.push_back(hash::compute_digest(
+        policy.hash_kind, content.subspan(ref.offset, ref.length)));
+  }
+  return plan;
+}
+
 /// File size filter (paper Section III.B): files below the threshold skip
 /// deduplication entirely and are only packed into containers.
 class FileSizeFilter {

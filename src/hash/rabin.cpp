@@ -65,9 +65,10 @@ std::uint64_t RabinPoly::naive_fingerprint(ConstByteSpan data,
   return fp;
 }
 
-RabinWindow::RabinWindow(const RabinPoly& poly, std::size_t window_size)
-    : poly_(&poly), ring_(window_size, std::byte{0}) {
-  AAD_EXPECTS(window_size >= 1);
+RabinWindowTable::RabinWindowTable(const RabinPoly& poly,
+                                   std::size_t window_size)
+    : poly_(&poly), window_size_(window_size) {
+  AAD_EXPECTS(window_size >= 1 && window_size <= kMaxRabinWindowSize);
   // When the window slides, the departing byte's contribution must be
   // XORed out. A byte that sat at the head of a W-byte window and is then
   // pushed past contributes b(x)·x^(8W)·x^64 mod P — i.e. exactly the
@@ -83,8 +84,17 @@ RabinWindow::RabinWindow(const RabinPoly& poly, std::size_t window_size)
   }
 }
 
+RabinWindow::RabinWindow(const RabinWindowTable& table)
+    : table_(&table), poly_(&table.poly()), size_(table.window_size()) {}
+
+RabinWindow::RabinWindow(const RabinPoly& poly, std::size_t window_size)
+    : owned_(std::make_shared<RabinWindowTable>(poly, window_size)),
+      table_(owned_.get()),
+      poly_(&poly),
+      size_(window_size) {}
+
 void RabinWindow::reset() noexcept {
-  std::fill(ring_.begin(), ring_.end(), std::byte{0});
+  std::fill_n(ring_.begin(), size_, std::byte{0});
   fp_ = 0;
   pos_ = 0;
 }

@@ -18,10 +18,11 @@
 // tests cross-check it against the naive bit-by-bit polynomial division.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstddef>
 #include <cstdint>
-#include <vector>
+#include <memory>
 
 #include "hash/digest.hpp"
 #include "util/bytes.hpp"
@@ -102,11 +103,44 @@ class RabinPoly {
   std::array<std::array<std::uint64_t, 256>, 8> slice_;
 };
 
+/// Largest supported rolling-window width. Windows store their ring inline
+/// (no heap), so instances are cheap to create on the stack per call.
+inline constexpr std::size_t kMaxRabinWindowSize = 256;
+
+/// Immutable per-(polynomial, width) state of a rolling window: the
+/// departing-byte removal table. Built once and shared by any number of
+/// RabinWindow instances (thread-safe after construction), so hot paths
+/// never pay the ~2 KB table construction or copy per use.
+class RabinWindowTable {
+ public:
+  RabinWindowTable(const RabinPoly& poly, std::size_t window_size);
+
+  const RabinPoly& poly() const noexcept { return *poly_; }
+  std::size_t window_size() const noexcept { return window_size_; }
+
+  /// remove(b) = b(x)·x^(8W)·x^64 mod P — the contribution a byte still
+  /// holds after W further bytes were appended.
+  std::uint64_t remove(std::byte b) const noexcept {
+    return remove_[static_cast<std::uint8_t>(b)];
+  }
+
+ private:
+  const RabinPoly* poly_;
+  std::size_t window_size_;
+  std::array<std::uint64_t, 256> remove_;
+};
+
 /// Fixed-size rolling window over a byte stream, yielding the Rabin
 /// fingerprint of the last `window_size` bytes after each push. This is the
-/// inner loop of CDC: one push per input byte.
+/// inner loop of CDC: one push per input byte. Only mutable state lives
+/// here (inline ring + cursor + fingerprint); the removal table is shared.
 class RabinWindow {
  public:
+  /// Roll against a shared table. Allocation-free; suited to constructing
+  /// a fresh window per split() call on the stack.
+  explicit RabinWindow(const RabinWindowTable& table);
+
+  /// Convenience: build and own a private table (one 2 KB allocation).
   RabinWindow(const RabinPoly& poly, std::size_t window_size);
 
   /// Slide the window forward by one byte; returns the fingerprint of the
@@ -115,23 +149,37 @@ class RabinWindow {
   std::uint64_t push(std::byte b) noexcept {
     const std::byte oldest = ring_[pos_];
     ring_[pos_] = b;
-    pos_ = (pos_ + 1) % ring_.size();
-    fp_ = poly_->push_byte(fp_, b) ^ remove_[static_cast<std::uint8_t>(oldest)];
+    if (++pos_ == size_) pos_ = 0;  // wrap-on-compare: no integer divide
+    fp_ = poly_->push_byte(fp_, b) ^ table_->remove(oldest);
     return fp_;
   }
 
   /// Reset to the all-zero window.
   void reset() noexcept;
 
-  std::size_t window_size() const noexcept { return ring_.size(); }
+  /// Prime the window as if reset() were followed by pushing every byte of
+  /// `tail` — but via the slice-by-8 bulk fingerprint path instead of
+  /// per-byte rolling. When `tail` is longer than the window only its last
+  /// `window_size` bytes matter (exactly the rolling semantics).
+  void warm(ConstByteSpan tail) noexcept {
+    if (tail.size() > size_) tail = tail.subspan(tail.size() - size_);
+    fp_ = poly_->fingerprint(tail);
+    std::fill_n(ring_.begin(), size_, std::byte{0});
+    std::copy(tail.begin(), tail.end(), ring_.begin());
+    pos_ = tail.size() == size_ ? 0 : tail.size();
+  }
+
+  std::size_t window_size() const noexcept { return size_; }
   std::uint64_t value() const noexcept { return fp_; }
 
  private:
+  std::shared_ptr<const RabinWindowTable> owned_;  // convenience ctor only
+  const RabinWindowTable* table_;
   const RabinPoly* poly_;
-  std::vector<std::byte> ring_;
-  std::array<std::uint64_t, 256> remove_;  // remove_[b] = b(x)·x^(8W) mod P
+  std::size_t size_;
   std::uint64_t fp_ = 0;
   std::size_t pos_ = 0;
+  std::array<std::byte, kMaxRabinWindowSize> ring_{};
 };
 
 /// 12-byte (96-bit) extended Rabin fingerprint: 8 bytes under kRabinPolyA

@@ -37,11 +37,16 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t count,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
   if (count == 0) return;
-  // Chunk the index space so tiny iterations don't pay per-task overhead.
-  const std::size_t chunks = std::min(count, thread_count() * 4);
-  const std::size_t per = (count + chunks - 1) / chunks;
+  // Chunk the index space so tiny iterations don't pay per-task overhead;
+  // an explicit grain overrides the heuristic (grain 1 = steal one index
+  // at a time). One task per worker then drains the shared counter.
+  const std::size_t chunks =
+      grain == 0 ? std::min(count, thread_count() * 4)
+                 : std::min((count + grain - 1) / grain, thread_count());
+  const std::size_t per = grain == 0 ? (count + chunks - 1) / chunks : grain;
 
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;

@@ -48,8 +48,15 @@ class ThreadPool {
 
   /// Run fn(i) for i in [0, count) across the pool; blocks until all done.
   /// Rethrows the first exception raised by any invocation.
+  ///
+  /// `grain` is the work-stealing granularity: how many consecutive
+  /// indexes a worker claims per steal. 0 (the default) picks a coarse
+  /// heuristic suited to uniform cheap iterations; pass 1 when iteration
+  /// costs vary wildly (e.g. one task per file of very different sizes) so
+  /// a single expensive index cannot strand a batch of work behind it.
   void parallel_for(std::size_t count,
-                    const std::function<void(std::size_t)>& fn);
+                    const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 0);
 
   std::size_t thread_count() const noexcept { return workers_.size(); }
 

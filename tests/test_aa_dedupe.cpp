@@ -187,6 +187,59 @@ TEST(AaDedupe, ParallelAndSerialProduceSameRestoredBytes) {
             serial_scheme.aa_index().total_size());
 }
 
+TEST(AaDedupe, FileAndStreamGranularityProduceSameResults) {
+  // The two-phase file-granularity front end must reproduce the
+  // stream-granularity session exactly: same restored bytes, same index
+  // contents, same per-application stats — across multiple sessions so
+  // cross-session dedup state is exercised too. A tiny batch budget forces
+  // the front end through many batches.
+  dataset::DatasetGenerator gen_file(test_config(4ull << 20));
+  dataset::DatasetGenerator gen_stream(test_config(4ull << 20));
+
+  cloud::CloudTarget target_f, target_s;
+  AaDedupeOptions file_opts;
+  file_opts.granularity = ParallelGranularity::kFile;
+  file_opts.front_end_batch_bytes = 1 << 20;
+  file_opts.worker_threads = 8;
+  AaDedupeOptions stream_opts;
+  stream_opts.granularity = ParallelGranularity::kStream;
+  stream_opts.worker_threads = 8;
+
+  AaDedupeScheme file_scheme(target_f, file_opts);
+  AaDedupeScheme stream_scheme(target_s, stream_opts);
+
+  dataset::Snapshot snapshot_f, snapshot_s;
+  for (int session = 0; session < 3; ++session) {
+    snapshot_f = session == 0 ? gen_file.initial() : gen_file.next(snapshot_f);
+    snapshot_s =
+        session == 0 ? gen_stream.initial() : gen_stream.next(snapshot_s);
+    file_scheme.backup(snapshot_f);
+    stream_scheme.backup(snapshot_s);
+  }
+
+  for (std::size_t i = 0; i < snapshot_f.files.size();
+       i += (i + 7 < snapshot_f.files.size() ? std::size_t{7}
+                                             : std::size_t{1})) {
+    const auto& file = snapshot_f.files[i];
+    EXPECT_EQ(file_scheme.restore_file(file.path),
+              stream_scheme.restore_file(file.path))
+        << file.path;
+  }
+  EXPECT_EQ(file_scheme.aa_index().total_size(),
+            stream_scheme.aa_index().total_size());
+
+  const auto rows_f = file_scheme.application_stats();
+  const auto rows_s = stream_scheme.application_stats();
+  ASSERT_EQ(rows_f.size(), rows_s.size());
+  for (std::size_t i = 0; i < rows_f.size(); ++i) {
+    EXPECT_EQ(rows_f[i].partition, rows_s[i].partition);
+    EXPECT_EQ(rows_f[i].index_entries, rows_s[i].index_entries);
+    EXPECT_EQ(rows_f[i].session_files, rows_s[i].session_files);
+    EXPECT_EQ(rows_f[i].session_bytes, rows_s[i].session_bytes);
+    EXPECT_EQ(rows_f[i].session_chunks, rows_s[i].session_chunks);
+  }
+}
+
 TEST(AaDedupe, SecondSessionReusesChunksAcrossSessions) {
   cloud::CloudTarget target;
   AaDedupeScheme scheme(target);

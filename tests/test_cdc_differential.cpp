@@ -1,0 +1,196 @@
+// Differential property tests for the optimized CDC splitter: the min-skip
+// + bulk-warm-up split() must emit byte-identical chunk boundaries to a
+// naive reference that rolls the Rabin window over every byte from each
+// cut (the pre-optimization algorithm), on random data, zero runs,
+// repeated-window patterns, and sizes straddling every parameter edge.
+#include <gtest/gtest.h>
+
+#include "chunk/cdc_chunker.hpp"
+#include "hash/rabin.hpp"
+#include "util/rng.hpp"
+
+namespace aadedupe::chunk {
+namespace {
+
+ByteBuffer random_bytes(std::size_t n, std::uint64_t seed) {
+  ByteBuffer data(n);
+  Xoshiro256 rng(seed);
+  rng.fill(data);
+  return data;
+}
+
+/// Naive splitter written against the spec, independent of CdcChunker's
+/// internals: roll byte-at-a-time through the whole input, reset at cuts.
+std::vector<ChunkRef> naive_split(ConstByteSpan data, const CdcParams& params,
+                                  std::uint64_t poly_low) {
+  std::vector<ChunkRef> out;
+  if (data.empty()) return out;
+  const hash::RabinPoly poly(poly_low);
+  hash::RabinWindow window(poly, params.window_size);
+  const std::uint64_t mask = params.expected_size - 1;
+  const std::uint64_t size = data.size();
+  std::uint64_t start = 0;
+  std::uint64_t pos = 0;
+  while (pos < size) {
+    const std::uint64_t fp = window.push(data[pos]);
+    ++pos;
+    const std::uint64_t len = pos - start;
+    const bool at_boundary = len >= params.min_size &&
+                             (fp & mask) == (CdcChunker::kMagic & mask);
+    if (at_boundary || len >= params.max_size || pos == size) {
+      out.push_back(ChunkRef{start, static_cast<std::uint32_t>(len)});
+      start = pos;
+      window.reset();
+    }
+  }
+  return out;
+}
+
+void expect_identical_boundaries(const CdcParams& params, ConstByteSpan data,
+                                 const char* label) {
+  const CdcChunker chunker(params);
+  const auto optimized = chunker.split(data);
+  const auto reference = chunker.split_reference(data);
+  const auto naive = naive_split(data, params, hash::kRabinPolyA);
+  EXPECT_EQ(optimized, naive) << label << " size=" << data.size();
+  EXPECT_EQ(reference, naive) << label << " size=" << data.size();
+  EXPECT_TRUE(is_exact_cover(optimized, data.size()))
+      << label << " size=" << data.size();
+}
+
+class CdcDifferential : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CdcDifferential, RandomDataMatchesNaiveReference) {
+  const std::size_t size = GetParam();
+  expect_identical_boundaries(CdcParams{}, random_bytes(size, size + 101),
+                              "random");
+}
+
+TEST_P(CdcDifferential, AllZeroRunsMatchNaiveReference) {
+  const std::size_t size = GetParam();
+  const ByteBuffer zeros(size, std::byte{0});
+  expect_identical_boundaries(CdcParams{}, zeros, "zeros");
+}
+
+TEST_P(CdcDifferential, RepeatedWindowPatternMatchesNaiveReference) {
+  // Content whose period equals the window width makes the rolling
+  // fingerprint periodic — the adversarial case for cut-point logic.
+  const std::size_t size = GetParam();
+  const CdcParams params;
+  const ByteBuffer pattern = random_bytes(params.window_size, 4242);
+  ByteBuffer data(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    data[i] = pattern[i % pattern.size()];
+  }
+  expect_identical_boundaries(params, data, "repeated-window");
+}
+
+// Sizes straddling window_size (48), min_size (2048), max_size (16384),
+// and combinations thereof.
+INSTANTIATE_TEST_SUITE_P(
+    EdgeSizes, CdcDifferential,
+    ::testing::Values(0, 1, 47, 48, 49, 2047, 2048, 2049, 4096, 16383, 16384,
+                      16385, 16384 + 2048, 65536, 100001, 1 << 20));
+
+TEST(CdcDifferential, MixedZeroAndRandomRegions) {
+  // Zero plateaus force max-size cuts; the transitions exercise warm-up
+  // spans that straddle both regions.
+  ByteBuffer data;
+  for (int block = 0; block < 24; ++block) {
+    if (block % 3 == 0) {
+      data.resize(data.size() + 20000, std::byte{0});
+    } else {
+      append(data, random_bytes(7777, static_cast<std::uint64_t>(block)));
+    }
+  }
+  expect_identical_boundaries(CdcParams{}, data, "mixed");
+}
+
+TEST(CdcDifferential, NonDefaultParameters) {
+  CdcParams params;
+  params.expected_size = 4096;
+  params.min_size = 512;
+  params.max_size = 8192;
+  params.window_size = 16;
+  ASSERT_TRUE(params.valid());
+  for (const std::size_t size : {std::size_t{511}, std::size_t{512},
+                                 std::size_t{513}, std::size_t{300000}}) {
+    expect_identical_boundaries(params, random_bytes(size, size + 7),
+                                "nondefault");
+  }
+}
+
+TEST(CdcDifferential, MinSizeEqualsWindowSize) {
+  // The warm-up span degenerates to window_size - 1 bytes starting at the
+  // cut itself — the tightest legal min-skip.
+  CdcParams params;
+  params.expected_size = 64;
+  params.min_size = 64;
+  params.max_size = 256;
+  params.window_size = 64;
+  ASSERT_TRUE(params.valid());
+  expect_identical_boundaries(params, random_bytes(10000, 33), "min==window");
+}
+
+TEST(CdcDifferential, SecondPolynomialAgreesToo) {
+  const CdcChunker chunker(CdcParams{}, hash::kRabinPolyB);
+  const ByteBuffer data = random_bytes(200000, 55);
+  EXPECT_EQ(chunker.split(data), chunker.split_reference(data));
+  EXPECT_EQ(chunker.split(data),
+            naive_split(data, CdcParams{}, hash::kRabinPolyB));
+}
+
+// ---- Edge-case behaviour around the parameter bounds. ----
+
+TEST(CdcChunkerEdges, InputSmallerThanWindowIsOneChunk) {
+  const CdcChunker cdc;
+  const ByteBuffer data = random_bytes(cdc.params().window_size - 1, 9);
+  const auto chunks = cdc.split(data);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].offset, 0u);
+  EXPECT_EQ(chunks[0].length, data.size());
+}
+
+TEST(CdcChunkerEdges, InputExactlyMinSizeIsOneChunk) {
+  // At len == min_size the input ends, so the cut lands at the end whether
+  // or not the fingerprint matches: always exactly one chunk.
+  const CdcChunker cdc;
+  const ByteBuffer data = random_bytes(cdc.params().min_size, 10);
+  const auto chunks = cdc.split(data);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].length, cdc.params().min_size);
+}
+
+TEST(CdcChunkerEdges, InputExactlyMaxSizeNeverExceedsMax) {
+  const CdcChunker cdc;
+  const ByteBuffer data = random_bytes(cdc.params().max_size, 11);
+  const auto chunks = cdc.split(data);
+  EXPECT_TRUE(is_exact_cover(chunks, data.size()));
+  for (const ChunkRef& ref : chunks) {
+    EXPECT_LE(ref.length, cdc.params().max_size);
+  }
+  // Either one max-size chunk or a boundary split it — both bounded below
+  // by min_size except possibly the tail.
+  for (std::size_t i = 0; i + 1 < chunks.size(); ++i) {
+    EXPECT_GE(chunks[i].length, cdc.params().min_size);
+  }
+}
+
+TEST(CdcChunkerEdges, BoundaryDenseContentCoversExactly) {
+  // expected_size=2 makes nearly every eligible position a boundary: the
+  // reserve hint's hard-bound cap and the min-size floor both engage.
+  CdcParams params;
+  params.expected_size = 2;
+  params.min_size = 2;
+  params.max_size = 16;
+  params.window_size = 2;
+  ASSERT_TRUE(params.valid());
+  const CdcChunker cdc(params);
+  const ByteBuffer data = random_bytes(5000, 12);
+  const auto chunks = cdc.split(data);
+  EXPECT_TRUE(is_exact_cover(chunks, data.size()));
+  EXPECT_EQ(chunks, cdc.split_reference(data));
+}
+
+}  // namespace
+}  // namespace aadedupe::chunk

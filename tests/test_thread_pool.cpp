@@ -43,6 +43,36 @@ TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ThreadPool, ParallelForExplicitGrainCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  for (const std::size_t grain : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{1000}, std::size_t{5000}}) {
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(
+        hits.size(), [&](std::size_t i) { ++hits[i]; }, grain);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "grain " << grain;
+  }
+}
+
+TEST(ThreadPool, ParallelForGrainOneBalancesSkewedWork) {
+  // One expensive index among many cheap ones: with grain 1 no worker can
+  // claim (and strand) cheap indexes behind the expensive one, so every
+  // index still runs exactly once and the call completes.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(
+      hits.size(),
+      [&](std::size_t i) {
+        if (i == 0) {
+          for (volatile int spin = 0; spin < 2000000; ++spin) {
+          }
+        }
+        ++hits[i];
+      },
+      1);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(ThreadPool, ParallelForZeroCountIsNoop) {
   ThreadPool pool(2);
   pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });

@@ -75,7 +75,7 @@ int main() {
 
   metrics::TableWriter table({"chunking", "size", "DR", "chunks",
                               "throughput MB/s"});
-  for (const std::size_t size : {2048, 4096, 8192, 16384, 32768}) {
+  for (const std::size_t size : {2048u, 4096u, 8192u, 16384u, 32768u}) {
     chunk::StaticChunker sc(size);
     const SweepResult r = run(sc, files, total);
     table.add_row({"SC", format_bytes(size),
@@ -83,7 +83,7 @@ int main() {
                    metrics::TableWriter::integer(r.chunks),
                    metrics::TableWriter::num(r.mbps, 1)});
   }
-  for (const std::size_t size : {2048, 4096, 8192, 16384, 32768}) {
+  for (const std::size_t size : {2048u, 4096u, 8192u, 16384u, 32768u}) {
     chunk::CdcParams params;
     params.expected_size = size;
     params.min_size = std::max<std::size_t>(size / 4, 64);

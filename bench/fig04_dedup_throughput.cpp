@@ -36,8 +36,10 @@ double dedup_throughput_mbps(const chunk::Chunker& chunker,
       const hash::Digest digest = hash::compute_digest(
           kind, ConstByteSpan{content}.subspan(ref.offset, ref.length));
       if (!index.lookup(digest)) {
-        index.insert(digest, index::ChunkLocation{0, ref.offset & 0xffffffu,
-                                                  ref.length});
+        index.insert(digest,
+                     index::ChunkLocation{
+                         0, static_cast<std::uint32_t>(ref.offset & 0xffffffu),
+                         ref.length});
       }
     }
   }

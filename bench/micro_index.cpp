@@ -18,7 +18,11 @@ std::vector<hash::Digest> make_digests(std::size_t count) {
   std::vector<hash::Digest> out;
   out.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    out.push_back(hash::Sha1::hash(as_bytes("d" + std::to_string(i))));
+    // += instead of operator+: the rvalue-concat path trips GCC 12's
+    // bogus -Wrestrict at -O3 (PR 105329).
+    std::string label = "d";
+    label += std::to_string(i);
+    out.push_back(hash::Sha1::hash(as_bytes(label)));
   }
   return out;
 }

@@ -68,7 +68,7 @@ class [[nodiscard]] CloudResult {
   CloudResult(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   CloudResult(CloudError error) : error_(error) {}    // NOLINT(runtime/explicit)
 
-  bool ok() const noexcept { return value_.has_value(); }
+  [[nodiscard]] bool ok() const noexcept { return value_.has_value(); }
   explicit operator bool() const noexcept { return ok(); }
 
   /// Precondition: ok().
@@ -86,7 +86,7 @@ class [[nodiscard]] CloudResult {
   }
 
   /// Precondition: !ok().
-  CloudError error() const {
+  [[nodiscard]] CloudError error() const {
     AAD_EXPECTS(!ok());
     return error_;
   }
@@ -112,8 +112,8 @@ class CloudTransportError : public std::runtime_error {
         key_(std::move(key)),
         error_(error) {}
 
-  const std::string& key() const noexcept { return key_; }
-  CloudError error() const noexcept { return error_; }
+  [[nodiscard]] const std::string& key() const noexcept { return key_; }
+  [[nodiscard]] CloudError error() const noexcept { return error_; }
 
  private:
   std::string key_;

@@ -18,23 +18,24 @@ struct CostModel {
 
   static constexpr double kBytesPerGb = 1e9;
 
-  double storage_cost(std::uint64_t stored_bytes, double months = 1.0) const {
+  [[nodiscard]] double storage_cost(std::uint64_t stored_bytes,
+                                    double months = 1.0) const {
     return static_cast<double>(stored_bytes) / kBytesPerGb *
            storage_per_gb_month * months;
   }
 
-  double transfer_cost(std::uint64_t uploaded_bytes) const {
+  [[nodiscard]] double transfer_cost(std::uint64_t uploaded_bytes) const {
     return static_cast<double>(uploaded_bytes) / kBytesPerGb *
            transfer_per_gb_upload;
   }
 
-  double request_cost(std::uint64_t upload_requests) const {
+  [[nodiscard]] double request_cost(std::uint64_t upload_requests) const {
     return static_cast<double>(upload_requests) / 1000.0 * per_1000_requests;
   }
 
   /// One month of service for a given backed-up state: storage rent for
   /// what ended up stored, plus what it cost to ship it there.
-  double monthly_cost(std::uint64_t stored_bytes,
+  [[nodiscard]] double monthly_cost(std::uint64_t stored_bytes,
                       std::uint64_t uploaded_bytes,
                       std::uint64_t upload_requests) const {
     return storage_cost(stored_bytes) + transfer_cost(uploaded_bytes) +

@@ -48,17 +48,20 @@ class ContainerBuilder {
                             std::size_t capacity = kDefaultCapacity);
 
   /// Whether `size` more payload bytes still fit.
-  bool fits(std::size_t size) const noexcept;
+  [[nodiscard]] bool fits(std::size_t size) const noexcept;
 
   /// Append a chunk; returns its payload offset.
   /// Precondition: fits(chunk.size()) || (empty() && chunk oversized).
   std::uint32_t add(const hash::Digest& digest, ConstByteSpan chunk);
 
-  bool empty() const noexcept { return descriptors_.empty(); }
-  std::size_t payload_size() const noexcept { return payload_.size(); }
-  std::uint64_t id() const noexcept { return id_; }
-  std::size_t capacity() const noexcept { return capacity_; }
-  const std::vector<ChunkDescriptor>& descriptors() const noexcept {
+  [[nodiscard]] bool empty() const noexcept { return descriptors_.empty(); }
+  [[nodiscard]] std::size_t payload_size() const noexcept {
+    return payload_.size();
+  }
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] const std::vector<ChunkDescriptor>& descriptors()
+      const noexcept {
     return descriptors_;
   }
 
@@ -66,7 +69,7 @@ class ContainerBuilder {
   /// *payload section* occupies exactly `capacity` bytes (the paper pads
   /// early-flushed containers to their full size); oversized containers
   /// are never padded.
-  ByteBuffer seal(bool pad) const;
+  [[nodiscard]] ByteBuffer seal(bool pad) const;
 
  private:
   std::uint64_t id_;
@@ -81,18 +84,21 @@ class ContainerReader {
   /// Throws FormatError on malformed input.
   explicit ContainerReader(ByteBuffer serialized);
 
-  std::uint64_t id() const noexcept { return id_; }
-  const std::vector<ChunkDescriptor>& descriptors() const noexcept {
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] const std::vector<ChunkDescriptor>& descriptors()
+      const noexcept {
     return descriptors_;
   }
 
   /// Payload bytes for a descriptor range. Throws FormatError if out of
   /// bounds.
-  ConstByteSpan chunk_at(std::uint32_t offset, std::uint32_t length) const;
+  [[nodiscard]] ConstByteSpan chunk_at(std::uint32_t offset,
+                                       std::uint32_t length) const;
 
   /// Find a chunk by fingerprint (linear over descriptors — containers
   /// hold at most a few hundred chunks).
-  std::optional<ChunkDescriptor> find(const hash::Digest& digest) const;
+  [[nodiscard]] std::optional<ChunkDescriptor> find(
+      const hash::Digest& digest) const;
 
  private:
   ByteBuffer raw_;

@@ -44,17 +44,17 @@ class RecipeStore {
   /// Insert or replace the recipe for recipe.path.
   void put(FileRecipe recipe);
 
-  const FileRecipe* find(const std::string& path) const;
+  [[nodiscard]] const FileRecipe* find(const std::string& path) const;
 
-  std::size_t size() const noexcept { return recipes_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return recipes_.size(); }
 
   /// Paths in sorted order.
-  std::vector<std::string> paths() const;
+  [[nodiscard]] std::vector<std::string> paths() const;
 
-  ByteBuffer serialize() const;
+  [[nodiscard]] ByteBuffer serialize() const;
 
   /// Throws FormatError on malformed input.
-  static RecipeStore deserialize(ConstByteSpan image);
+  [[nodiscard]] static RecipeStore deserialize(ConstByteSpan image);
 
  private:
   std::map<std::string, FileRecipe> recipes_;

@@ -35,17 +35,19 @@ class Digest {
     std::memcpy(bytes_.data(), bytes.data(), bytes.size());
   }
 
-  ConstByteSpan bytes() const noexcept { return {bytes_.data(), size_}; }
-  std::size_t size() const noexcept { return size_; }
-  bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] ConstByteSpan bytes() const noexcept {
+    return {bytes_.data(), size_};
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
 
   /// Lower-case hex rendering, e.g. "d41d8cd98f00b204e9800998ecf8427e".
-  std::string hex() const { return to_hex(bytes()); }
+  [[nodiscard]] std::string hex() const { return to_hex(bytes()); }
 
   /// First 8 bytes folded into a u64 — used for index bucketing. A real
   /// fingerprint always has >= 12 bytes here, so this never truncates to
   /// fewer than 8 meaningful bytes for real digests.
-  std::uint64_t prefix64() const noexcept {
+  [[nodiscard]] std::uint64_t prefix64() const noexcept {
     std::uint64_t v = 0;
     const std::size_t n = size_ < 8 ? size_ : std::size_t{8};
     std::memcpy(&v, bytes_.data(), n);

@@ -51,7 +51,8 @@ class ChunkIndex {
   virtual ~ChunkIndex() = default;
 
   /// Find a previously stored chunk with this fingerprint.
-  virtual std::optional<ChunkLocation> lookup(const hash::Digest& digest) = 0;
+  [[nodiscard]] virtual std::optional<ChunkLocation> lookup(
+      const hash::Digest& digest) = 0;
 
   /// Record a new chunk. Returns false (and leaves the existing mapping)
   /// if the fingerprint was already present.
@@ -68,13 +69,13 @@ class ChunkIndex {
                       const ChunkLocation& location) = 0;
 
   /// Number of distinct fingerprints stored.
-  virtual std::uint64_t size() const = 0;
+  [[nodiscard]] virtual std::uint64_t size() const = 0;
 
-  virtual IndexStats stats() const = 0;
+  [[nodiscard]] virtual IndexStats stats() const = 0;
 
   /// Serialize the full index for the paper's periodic cloud sync of
   /// index state (Section III.E).
-  virtual ByteBuffer serialize() const = 0;
+  [[nodiscard]] virtual ByteBuffer serialize() const = 0;
 
   /// Replace contents from a previously serialized image.
   /// Throws FormatError on malformed input.

@@ -76,12 +76,12 @@ class BoundedQueue {
     not_full_.notify_all();
   }
 
-  bool closed() const {
+  [[nodiscard]] bool closed() const {
     std::lock_guard lock(mutex_);
     return closed_;
   }
 
-  std::size_t size() const {
+  [[nodiscard]] std::size_t size() const {
     std::lock_guard lock(mutex_);
     return items_.size();
   }

@@ -1,6 +1,6 @@
 #include "util/bytes.hpp"
 
-#include <stdexcept>
+#include "util/check.hpp"
 
 namespace aadedupe {
 
@@ -11,7 +11,7 @@ int hex_value(char c) {
   if (c >= '0' && c <= '9') return c - '0';
   if (c >= 'a' && c <= 'f') return c - 'a' + 10;
   if (c >= 'A' && c <= 'F') return c - 'A' + 10;
-  throw std::invalid_argument("from_hex: invalid hex digit");
+  throw FormatError("from_hex: invalid hex digit");
 }
 }  // namespace
 
@@ -28,7 +28,7 @@ std::string to_hex(ConstByteSpan bytes) {
 
 ByteBuffer from_hex(std::string_view hex) {
   if (hex.size() % 2 != 0) {
-    throw std::invalid_argument("from_hex: odd-length input");
+    throw FormatError("from_hex: odd-length input");
   }
   ByteBuffer out(hex.size() / 2);
   for (std::size_t i = 0; i < out.size(); ++i) {

@@ -21,28 +21,28 @@ using ByteSpan = std::span<std::byte>;
 using ConstByteSpan = std::span<const std::byte>;
 
 /// View a string's characters as bytes (no copy).
-inline ConstByteSpan as_bytes(std::string_view s) noexcept {
+[[nodiscard]] inline ConstByteSpan as_bytes(std::string_view s) noexcept {
   return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
 }
 
 /// Copy a string into an owning byte buffer.
-inline ByteBuffer to_buffer(std::string_view s) {
+[[nodiscard]] inline ByteBuffer to_buffer(std::string_view s) {
   ByteBuffer out(s.size());
   std::memcpy(out.data(), s.data(), s.size());
   return out;
 }
 
 /// Copy a byte span into a std::string (useful for tests and hex dumps).
-inline std::string to_string(ConstByteSpan bytes) {
+[[nodiscard]] inline std::string to_string(ConstByteSpan bytes) {
   return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
 }
 
 /// Lower-case hex encoding of a byte range.
-std::string to_hex(ConstByteSpan bytes);
+[[nodiscard]] std::string to_hex(ConstByteSpan bytes);
 
 /// Parse a hex string (must have even length, [0-9a-fA-F] only).
-/// Throws std::invalid_argument on malformed input.
-ByteBuffer from_hex(std::string_view hex);
+/// Throws FormatError on malformed input.
+[[nodiscard]] ByteBuffer from_hex(std::string_view hex);
 
 // ---- Fixed-width little-endian packing (on-disk/on-wire formats). ----
 
@@ -58,35 +58,40 @@ inline void store_le64(std::byte* p, std::uint64_t v) noexcept {
   store_le32(p + 4, static_cast<std::uint32_t>(v >> 32));
 }
 
-inline std::uint32_t load_le32(const std::byte* p) noexcept {
+[[nodiscard]] inline std::uint32_t load_le32(const std::byte* p) noexcept {
   return static_cast<std::uint32_t>(p[0]) |
          (static_cast<std::uint32_t>(p[1]) << 8) |
          (static_cast<std::uint32_t>(p[2]) << 16) |
          (static_cast<std::uint32_t>(p[3]) << 24);
 }
 
-inline std::uint64_t load_le64(const std::byte* p) noexcept {
+[[nodiscard]] inline std::uint64_t load_le64(const std::byte* p) noexcept {
   return static_cast<std::uint64_t>(load_le32(p)) |
          (static_cast<std::uint64_t>(load_le32(p + 4)) << 32);
 }
 
 /// Append raw bytes to a growing buffer.
+// resize+memcpy rather than vector::insert: the insert path trips GCC 12's
+// -Wstringop-overflow false positive at -O3 when inlined into callers.
 inline void append(ByteBuffer& out, ConstByteSpan bytes) {
-  out.insert(out.end(), bytes.begin(), bytes.end());
+  if (bytes.empty()) return;
+  const std::size_t pos = out.size();
+  out.resize(pos + bytes.size());
+  std::memcpy(out.data() + pos, bytes.data(), bytes.size());
 }
 
 /// Append a little-endian u32 to a growing buffer.
 inline void append_le32(ByteBuffer& out, std::uint32_t v) {
-  std::byte tmp[4];
-  store_le32(tmp, v);
-  out.insert(out.end(), tmp, tmp + 4);
+  const std::size_t pos = out.size();
+  out.resize(pos + 4);
+  store_le32(out.data() + pos, v);
 }
 
 /// Append a little-endian u64 to a growing buffer.
 inline void append_le64(ByteBuffer& out, std::uint64_t v) {
-  std::byte tmp[8];
-  store_le64(tmp, v);
-  out.insert(out.end(), tmp, tmp + 8);
+  const std::size_t pos = out.size();
+  out.resize(pos + 8);
+  store_le64(out.data() + pos, v);
 }
 
 }  // namespace aadedupe

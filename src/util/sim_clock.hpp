@@ -16,7 +16,7 @@ namespace aadedupe {
 class SimClock {
  public:
   /// Current simulated time in seconds since construction.
-  double now() const noexcept { return now_s_; }
+  [[nodiscard]] double now() const noexcept { return now_s_; }
 
   /// Advance the clock by `seconds` (>= 0).
   void advance(double seconds) {

@@ -14,7 +14,7 @@ class StopWatch {
   void reset() noexcept { start_ = std::chrono::steady_clock::now(); }
 
   /// Seconds elapsed since construction or the last reset().
-  double seconds() const noexcept {
+  [[nodiscard]] double seconds() const noexcept {
     const auto now = std::chrono::steady_clock::now();
     return std::chrono::duration<double>(now - start_).count();
   }
@@ -25,7 +25,7 @@ class StopWatch {
 
 /// Process CPU time in seconds (user + system). Feeds the energy model:
 /// active energy is charged per CPU-second actually burned.
-inline double process_cpu_seconds() noexcept {
+[[nodiscard]] inline double process_cpu_seconds() noexcept {
   std::timespec ts{};
   if (::clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) return 0.0;
   return static_cast<double>(ts.tv_sec) +
@@ -33,7 +33,7 @@ inline double process_cpu_seconds() noexcept {
 }
 
 /// Calling thread's CPU time in seconds.
-inline double thread_cpu_seconds() noexcept {
+[[nodiscard]] inline double thread_cpu_seconds() noexcept {
   std::timespec ts{};
   if (::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
   return static_cast<double>(ts.tv_sec) +

@@ -58,7 +58,9 @@ class ThreadPool {
                     const std::function<void(std::size_t)>& fn,
                     std::size_t grain = 0);
 
-  std::size_t thread_count() const noexcept { return workers_.size(); }
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
 
   static std::size_t default_thread_count() noexcept {
     const unsigned hc = std::thread::hardware_concurrency();

@@ -17,9 +17,9 @@ constexpr std::uint64_t operator""_GiB(unsigned long long v) {
 }
 
 /// "12.3 MiB"-style rendering for reports.
-std::string format_bytes(std::uint64_t bytes);
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
 
 /// "1.23 MB/s"-style rendering for reports.
-std::string format_rate(double bytes_per_second);
+[[nodiscard]] std::string format_rate(double bytes_per_second);
 
 }  // namespace aadedupe

@@ -5,6 +5,8 @@
 
 #include <limits>
 
+#include "util/check.hpp"
+
 namespace aadedupe {
 namespace {
 
@@ -41,13 +43,13 @@ TEST(Bytes, HexUpperCaseAccepted) {
 }
 
 TEST(Bytes, FromHexRejectsOddLength) {
-  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+  EXPECT_THROW(from_hex("abc"), FormatError);
 }
 
 TEST(Bytes, FromHexRejectsNonHexDigits) {
-  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
-  EXPECT_THROW(from_hex("0g"), std::invalid_argument);
-  EXPECT_THROW(from_hex(" 1"), std::invalid_argument);
+  EXPECT_THROW(from_hex("zz"), FormatError);
+  EXPECT_THROW(from_hex("0g"), FormatError);
+  EXPECT_THROW(from_hex(" 1"), FormatError);
 }
 
 TEST(Bytes, Le32RoundTrip) {

@@ -1,0 +1,110 @@
+// Tests for the check.hpp Expects/Ensures taxonomy: exception types, the
+// file:line payload, and cross-thread propagation — an InvariantError raised
+// on a pool worker must surface on the thread that commits the session.
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "util/thread_pool.hpp"
+
+namespace aadedupe {
+namespace {
+
+int checked_divide(int num, int den) {
+  AAD_EXPECTS(den != 0);
+  const int q = num / den;
+  AAD_ENSURES(q * den + num % den == num);
+  return q;
+}
+
+TEST(Check, ExpectsPassesSilently) { EXPECT_EQ(checked_divide(42, 6), 7); }
+
+TEST(Check, ExpectsThrowsPreconditionError) {
+  EXPECT_THROW(checked_divide(1, 0), PreconditionError);
+}
+
+TEST(Check, PreconditionIsLogicErrorNotRuntimeError) {
+  // Catch-by-category must work: Precondition/Invariant are logic_error
+  // (bugs), FormatError is runtime_error (bad external data).
+  EXPECT_THROW(checked_divide(1, 0), std::logic_error);
+  try {
+    checked_divide(1, 0);
+    FAIL();
+  } catch (const std::runtime_error&) {
+    FAIL() << "PreconditionError must not be a runtime_error";
+  } catch (const std::logic_error&) {
+  }
+}
+
+TEST(Check, FormatErrorIsRuntimeError) {
+  EXPECT_THROW(throw FormatError("bad magic"), std::runtime_error);
+}
+
+TEST(Check, ExpectsMessageCarriesExpressionAndLocation) {
+  try {
+    AAD_EXPECTS(1 + 1 == 3);
+    FAIL();
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 + 1 == 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos) << what;
+    // A plausible line number follows the file name (file:line).
+    const auto colon = what.rfind(':');
+    ASSERT_NE(colon, std::string::npos);
+    EXPECT_GT(std::stoi(what.substr(colon + 1)), 0);
+  }
+}
+
+TEST(Check, EnsuresMessageCarriesExpressionAndLocation) {
+  try {
+    AAD_ENSURES(2 * 2 == 5);
+    FAIL();
+  } catch (const InvariantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("invariant failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 * 2 == 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, ExpectsEvaluatesConditionExactlyOnce) {
+  int evaluations = 0;
+  AAD_EXPECTS(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+}
+
+// ---- Cross-thread propagation (death-of-a-worker style) --------------------
+
+TEST(Check, WorkerInvariantErrorSurfacesOnCommittingThread) {
+  // The two-phase front end runs Phase 1 on pool workers and commits on the
+  // calling thread; an InvariantError raised inside a worker must arrive on
+  // the committing thread intact — right type, right message — not get
+  // swallowed or demoted to a generic exception.
+  ThreadPool pool(4);
+  bool caught = false;
+  try {
+    pool.parallel_for(
+        64,
+        [](std::size_t i) {
+          AAD_ENSURES(i != 17);  // fires on exactly one worker
+        },
+        /*grain=*/1);
+  } catch (const InvariantError& e) {
+    caught = true;
+    EXPECT_NE(std::string(e.what()).find("i != 17"), std::string::npos);
+  }
+  EXPECT_TRUE(caught) << "InvariantError lost between worker and committer";
+}
+
+TEST(Check, WorkerPreconditionErrorSurfacesThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { AAD_EXPECTS(false); });
+  EXPECT_THROW(future.get(), PreconditionError);
+}
+
+}  // namespace
+}  // namespace aadedupe

@@ -45,7 +45,9 @@ TEST_P(ExactCover, SplitCoversInputExactly) {
   const auto chunks = chunker->split(data);
   EXPECT_TRUE(is_exact_cover(chunks, data.size()))
       << c.engine << " size=" << c.size;
-  if (c.size == 0) EXPECT_TRUE(chunks.empty());
+  if (c.size == 0) {
+    EXPECT_TRUE(chunks.empty());
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

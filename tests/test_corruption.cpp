@@ -16,6 +16,14 @@
 namespace aadedupe {
 namespace {
 
+/// Build "prefix<n>" with +=: the operator+ rvalue-concat path trips
+/// GCC 12's bogus -Wrestrict at -O3 (PR 105329).
+std::string cat(const char* prefix, std::size_t n) {
+  std::string out = prefix;
+  out += std::to_string(n);
+  return out;
+}
+
 ByteBuffer random_bytes(std::size_t n, std::uint64_t seed) {
   ByteBuffer data(n);
   Xoshiro256 rng(seed);
@@ -57,7 +65,7 @@ TEST(CorruptionSweep, ContainerTruncationNeverCrashes) {
                    image.begin() + static_cast<std::ptrdiff_t>(len));
     expect_parse_or_format_error(
         [&] { container::ContainerReader reader{std::move(cut)}; },
-        "container truncated to " + std::to_string(len));
+        cat("container truncated to ", len));
   }
 }
 
@@ -76,7 +84,7 @@ TEST(CorruptionSweep, ContainerBitFlipsNeverCrash) {
               (void)reader.chunk_at(d.offset, d.length);
             }
           },
-          "container flip at " + std::to_string(pos));
+          cat("container flip at ", pos));
     }
   }
 }
@@ -87,12 +95,15 @@ ByteBuffer sample_recipes() {
   container::RecipeStore store;
   for (int f = 0; f < 4; ++f) {
     container::FileRecipe recipe;
-    recipe.path = "dir/file" + std::to_string(f) + ".doc";
+    recipe.path = cat("dir/file", static_cast<std::size_t>(f));
+    recipe.path += ".doc";
     recipe.tag = "doc";
     for (int c = 0; c < 3; ++c) {
       container::RecipeEntry entry;
-      entry.digest = hash::Md5::hash(
-          as_bytes(std::to_string(f) + ":" + std::to_string(c)));
+      std::string chunk_label = std::to_string(f);
+      chunk_label += ':';
+      chunk_label += std::to_string(c);
+      entry.digest = hash::Md5::hash(as_bytes(chunk_label));
       entry.location = index::ChunkLocation{
           static_cast<std::uint64_t>(f), static_cast<std::uint32_t>(c * 10),
           500};
@@ -111,7 +122,7 @@ TEST(CorruptionSweep, RecipeTruncationNeverCrashes) {
                    image.begin() + static_cast<std::ptrdiff_t>(len));
     expect_parse_or_format_error(
         [&] { (void)container::RecipeStore::deserialize(cut); },
-        "recipes truncated to " + std::to_string(len));
+        cat("recipes truncated to ", len));
   }
 }
 
@@ -122,7 +133,7 @@ TEST(CorruptionSweep, RecipeBitFlipsNeverCrash) {
     mutated[pos] ^= std::byte{0xff};
     expect_parse_or_format_error(
         [&] { (void)container::RecipeStore::deserialize(mutated); },
-        "recipes flip at " + std::to_string(pos));
+        cat("recipes flip at ", pos));
   }
 }
 
@@ -133,7 +144,7 @@ ByteBuffer sample_index_image() {
   for (const std::string part : {"doc", "mp3"}) {
     for (int i = 0; i < 10; ++i) {
       idx.shard(part).insert(
-          hash::Md5::hash(as_bytes(part + std::to_string(i))),
+          hash::Md5::hash(as_bytes(cat(part.c_str(), static_cast<std::size_t>(i)))),
           index::ChunkLocation{static_cast<std::uint64_t>(i), 0, 8192});
     }
   }
@@ -147,7 +158,7 @@ TEST(CorruptionSweep, PartitionedIndexTruncationNeverCrashes) {
                    image.begin() + static_cast<std::ptrdiff_t>(len));
     index::PartitionedIndex idx;
     expect_parse_or_format_error([&] { idx.deserialize(cut); },
-                                 "index truncated to " + std::to_string(len));
+                                 cat("index truncated to ", len));
   }
 }
 
@@ -158,7 +169,7 @@ TEST(CorruptionSweep, PartitionedIndexBitFlipsNeverCrash) {
     mutated[pos] ^= std::byte{0x55};
     index::PartitionedIndex idx;
     expect_parse_or_format_error([&] { idx.deserialize(mutated); },
-                                 "index flip at " + std::to_string(pos));
+                                 cat("index flip at ", pos));
   }
 }
 
@@ -168,7 +179,8 @@ TEST(CorruptionSweep, KeyStoreTruncationNeverCrashes) {
   const crypto::ChaChaKey master = crypto::derive_master_key("m", 10);
   crypto::KeyStore store;
   for (int i = 0; i < 8; ++i) {
-    const auto label = as_bytes("k" + std::to_string(i));
+    const std::string key_name = cat("k", static_cast<std::size_t>(i));
+    const auto label = as_bytes(key_name);
     store.put(hash::Md5::hash(label), crypto::derive_content_key(label));
   }
   const ByteBuffer image = store.serialize(master);
@@ -177,7 +189,7 @@ TEST(CorruptionSweep, KeyStoreTruncationNeverCrashes) {
                    image.begin() + static_cast<std::ptrdiff_t>(len));
     expect_parse_or_format_error(
         [&] { (void)crypto::KeyStore::deserialize(cut, master); },
-        "keystore truncated to " + std::to_string(len));
+        cat("keystore truncated to ", len));
   }
 }
 

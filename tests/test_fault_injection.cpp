@@ -52,7 +52,13 @@ TEST(FaultInjection, SameSeedSameSchedule) {
 
 TEST(FaultInjection, DifferentSeedDifferentSchedule) {
   std::vector<std::string> keys;
-  for (int i = 0; i < 32; ++i) keys.push_back("k" + std::to_string(i));
+  for (int i = 0; i < 32; ++i) {
+    // += instead of operator+: the rvalue-concat path trips GCC 12's
+    // bogus -Wrestrict at -O3 (PR 105329).
+    std::string key = "k";
+    key += std::to_string(i);
+    keys.push_back(std::move(key));
+  }
   EXPECT_NE(scripted_outcomes(1, keys), scripted_outcomes(2, keys));
 }
 
@@ -87,7 +93,9 @@ TEST(FaultInjection, RetriedAttemptsGetFreshDraws) {
   target.inject_faults(FaultProfile::transient(0.3), 5);
   int landed = 0;
   for (int i = 0; i < 20; ++i) {
-    if (target.upload("obj" + std::to_string(i), ByteBuffer(100)).ok()) {
+    std::string key = "obj";
+    key += std::to_string(i);
+    if (target.upload(key, ByteBuffer(100)).ok()) {
       ++landed;
     }
   }

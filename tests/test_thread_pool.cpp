@@ -64,7 +64,8 @@ TEST(ThreadPool, ParallelForGrainOneBalancesSkewedWork) {
       hits.size(),
       [&](std::size_t i) {
         if (i == 0) {
-          for (volatile int spin = 0; spin < 2000000; ++spin) {
+          std::atomic<int> spin{0};
+          while (spin.fetch_add(1, std::memory_order_relaxed) < 2000000) {
           }
         }
         ++hits[i];
@@ -96,6 +97,56 @@ TEST(ThreadPool, ParallelForPropagatesFirstException) {
                           if (i == 37) throw std::runtime_error("idx 37");
                         }),
       std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForExceptionDoesNotDeadlockOrLeakWorkers) {
+  // A task throwing mid-parallel_for must unwind the call promptly — the
+  // remaining chunk tasks notice the error slot is taken and bail — and the
+  // pool must stay fully usable for later rounds. Run several rounds to
+  // shake out a worker wedged by a previous round's exception.
+  ThreadPool pool(4);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> ran{0};
+    try {
+      pool.parallel_for(
+          200,
+          [&](std::size_t i) {
+            ++ran;
+            if (i == 100) throw std::runtime_error("mid-flight");
+          },
+          /*grain=*/1);
+      FAIL() << "exception was lost in round " << round;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "mid-flight");
+    }
+    EXPECT_GE(ran.load(), 1);
+    // The pool still does useful work after the failed round.
+    std::atomic<int> ok{0};
+    pool.parallel_for(64, [&](std::size_t) { ++ok; });
+    EXPECT_EQ(ok.load(), 64);
+  }
+}
+
+TEST(ThreadPool, ParallelForEveryTaskThrowingStillReturnsExactlyOne) {
+  // All indexes throw: exactly one exception must surface (the first one
+  // recorded), not a crash, not a deadlock, not std::terminate.
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   128, [](std::size_t) { throw std::logic_error("all"); },
+                   /*grain=*/1),
+               std::logic_error);
+  auto future = pool.submit([] { return 1; });
+  EXPECT_EQ(future.get(), 1);
+}
+
+TEST(ThreadPool, SubmitAfterFailedParallelForStillRuns) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(10, [](std::size_t) { throw PreconditionError("x"); }),
+      PreconditionError);
+  std::atomic<bool> ran{false};
+  pool.submit([&] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
 }
 
 TEST(ThreadPool, RequiresAtLeastOneThread) {

@@ -1,6 +1,8 @@
 // Formatting/clock utility tests.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <thread>
 
 #include "util/sim_clock.hpp"
@@ -63,8 +65,10 @@ TEST(StopWatch, MeasuresElapsedTime) {
 
 TEST(CpuTime, ProcessCpuAdvancesUnderLoad) {
   const double before = process_cpu_seconds();
-  volatile std::uint64_t sink = 0;
-  for (std::uint64_t i = 0; i < 30'000'000; ++i) sink += i * i;
+  std::atomic<std::uint64_t> sink{0};
+  for (std::uint64_t i = 0; i < 30'000'000; ++i) {
+    sink.fetch_add(i * i, std::memory_order_relaxed);
+  }
   EXPECT_GT(process_cpu_seconds(), before);
 }
 

@@ -21,7 +21,11 @@ TEST(UploadPipeline, AllEnqueuedObjectsLand) {
   {
     UploadPipeline pipeline(target);
     for (int i = 0; i < 100; ++i) {
-      pipeline.enqueue("obj/" + std::to_string(i),
+      // += instead of operator+: the rvalue-concat path trips GCC 12's
+      // bogus -Wrestrict at -O3 (PR 105329).
+      std::string key = "obj/";
+      key += std::to_string(i);
+      pipeline.enqueue(std::move(key),
                        ByteBuffer(static_cast<std::size_t>(i + 1)));
     }
     pipeline.finish();
@@ -64,9 +68,11 @@ TEST(UploadPipeline, ConcurrentProducers) {
     for (int t = 0; t < 4; ++t) {
       producers.emplace_back([&pipeline, t] {
         for (int i = 0; i < 200; ++i) {
-          pipeline.enqueue(
-              "t" + std::to_string(t) + "/" + std::to_string(i),
-              ByteBuffer(64));
+          std::string key = "t";
+          key += std::to_string(t);
+          key += '/';
+          key += std::to_string(i);
+          pipeline.enqueue(std::move(key), ByteBuffer(64));
         }
       });
     }

@@ -1,0 +1,232 @@
+#!/usr/bin/env python3
+"""Repo-invariant lint for aadedupe — the rules clang-tidy cannot express.
+
+Registered as the `repo_lint` ctest (label: lint) and run by the CI "lint"
+job, so a violation fails the build everywhere, not just on machines with
+LLVM installed.
+
+Rules (see DESIGN.md §5 for rationale):
+  pragma-once     every header uses `#pragma once` (no include guards).
+  using-namespace no `using namespace` at namespace scope in headers; it
+                  leaks into every includer.
+  no-stdout       no std::cout/std::cerr/printf-family output in src/ —
+                  metrics and tables go through metrics/table_writer,
+                  library code never writes to the terminal.
+  throw-taxonomy  every `throw` in src/ uses the check.hpp taxonomy
+                  (PreconditionError / InvariantError / FormatError) or the
+                  typed cloud error (CloudTransportError); bare rethrow
+                  (`throw;`) is allowed. Callers can then catch by category
+                  instead of pattern-matching what() strings.
+  no-raw-random   no rand()/std::random_device outside src/util/rng —
+                  reproducible sessions need every random byte to flow from
+                  a seedable Rng (cert-msc32/51 stay disabled in .clang-tidy
+                  for exactly this reason: determinism is the point).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Directories holding first-party C++ sources.
+CPP_DIRS = ("src", "tests", "bench", "examples")
+
+HEADER_GLOB = "*.hpp"
+SOURCE_GLOBS = ("*.hpp", "*.cpp")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line breaks.
+
+    Keeps the lint regexes from tripping on documentation ("... std::cout
+    ...") or message strings. Not a full lexer, but handles // and /* */
+    comments plus simple quoted literals, which is all this tree uses.
+    """
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line-comment | block-comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line-comment"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block-comment"
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line-comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+        elif state == "block-comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                i += 2
+                continue
+            if c == "\n":
+                out.append(c)
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            elif c == "\n":  # unterminated (raw string etc.) — bail to code
+                state = "code"
+                out.append(c)
+            i += 1
+            continue
+        i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, rule: str, path: Path, line: int, message: str):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self) -> str:
+        rel = self.path.relative_to(REPO)
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+def iter_files(dirs, globs):
+    for d in dirs:
+        root = REPO / d
+        if not root.is_dir():
+            continue
+        for glob in globs:
+            yield from sorted(root.rglob(glob))
+
+
+def line_of(text: str, match_start: int) -> int:
+    return text.count("\n", 0, match_start) + 1
+
+
+def check_pragma_once(findings):
+    for path in iter_files(CPP_DIRS, (HEADER_GLOB,)):
+        text = path.read_text(encoding="utf-8")
+        if "#pragma once" not in text:
+            findings.append(
+                Finding("pragma-once", path, 1,
+                        "header missing `#pragma once`"))
+
+
+USING_NS = re.compile(r"^\s*using\s+namespace\b", re.MULTILINE)
+
+
+def check_using_namespace(findings):
+    # Headers only: at namespace/global scope a `using namespace` leaks into
+    # every includer. We flag any occurrence in a header — this tree has no
+    # legitimate function-local use in headers either.
+    for path in iter_files(CPP_DIRS, (HEADER_GLOB,)):
+        text = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        for m in USING_NS.finditer(text):
+            findings.append(
+                Finding("using-namespace", path, line_of(text, m.start()),
+                        "`using namespace` in a header"))
+
+
+STDOUT_USE = re.compile(
+    r"std::cout|std::cerr|std::clog|(?<![\w:])(?:printf|fprintf|puts|putchar)\s*\(")
+
+
+def check_no_stdout(findings):
+    # Library code (src/) must not write to the terminal; snprintf-to-buffer
+    # is fine (and used by table_writer/units for formatting).
+    for path in iter_files(("src",), SOURCE_GLOBS):
+        text = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        for m in STDOUT_USE.finditer(text):
+            findings.append(
+                Finding("no-stdout", path, line_of(text, m.start()),
+                        f"terminal output `{m.group(0).rstrip('(').strip()}` in "
+                        "library code (metrics go through table_writer)"))
+
+
+THROW = re.compile(r"(?<![\w])throw\b\s*([^;]*)")
+ALLOWED_THROW = re.compile(
+    r"^(?:::)?(?:aadedupe::)?(?:cloud::)?"
+    r"(?:PreconditionError|InvariantError|FormatError|CloudTransportError)\b"
+    r"|^$")  # empty expression = bare rethrow `throw;`
+
+
+def check_throw_taxonomy(findings):
+    taxonomy_root = REPO / "src" / "util" / "check.hpp"
+    for path in iter_files(("src",), SOURCE_GLOBS):
+        if path == taxonomy_root:
+            continue  # the taxonomy itself constructs the exceptions
+        text = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        for m in THROW.finditer(text):
+            expr = m.group(1).strip()
+            if ALLOWED_THROW.match(expr):
+                continue
+            findings.append(
+                Finding("throw-taxonomy", path, line_of(text, m.start()),
+                        f"naked `throw {expr[:40]}...` — use the check.hpp "
+                        "taxonomy (Precondition/Invariant/FormatError) or "
+                        "cloud::CloudTransportError"))
+
+
+RAW_RANDOM = re.compile(r"(?<![\w:])rand\s*\(|std::random_device")
+
+
+def check_no_raw_random(findings):
+    rng_dir = REPO / "src" / "util"
+    for path in iter_files(CPP_DIRS, SOURCE_GLOBS):
+        if path.parent == rng_dir and path.stem == "rng":
+            continue
+        text = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        for m in RAW_RANDOM.finditer(text):
+            findings.append(
+                Finding("no-raw-random", path, line_of(text, m.start()),
+                        f"`{m.group(0).strip()}` outside src/util/rng — all "
+                        "randomness flows from the seedable Rng"))
+
+
+CHECKS = (
+    check_pragma_once,
+    check_using_namespace,
+    check_no_stdout,
+    check_throw_taxonomy,
+    check_no_raw_random,
+)
+
+
+def main() -> int:
+    findings: list[Finding] = []
+    for check in CHECKS:
+        check(findings)
+    if findings:
+        for f in findings:
+            print(f)
+        print(f"lint: FAIL — {len(findings)} finding(s) across "
+              f"{len({f.path for f in findings})} file(s)")
+        return 1
+    n_files = len(list(iter_files(CPP_DIRS, SOURCE_GLOBS)))
+    print(f"lint: OK — {len(CHECKS)} rules over {n_files} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,9 @@
 #include "backup/incremental.hpp"
 #include "backup/sam.hpp"
 #include "core/aa_dedupe.hpp"
+#include "telemetry/build_info.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/run_report.hpp"
 
 namespace aadedupe::bench {
 
@@ -45,8 +48,9 @@ std::vector<std::string> scheme_names(bool include_full) {
   return names;
 }
 
-std::unique_ptr<backup::BackupScheme> make_scheme(const std::string& name,
-                                                  cloud::CloudTarget& target) {
+std::unique_ptr<backup::BackupScheme> make_scheme(
+    const std::string& name, cloud::CloudTarget& target,
+    telemetry::Telemetry* telemetry) {
   if (name == "FullBackup") {
     return std::make_unique<backup::FullBackupScheme>(target);
   }
@@ -63,7 +67,9 @@ std::unique_ptr<backup::BackupScheme> make_scheme(const std::string& name,
     return std::make_unique<backup::SamScheme>(target);
   }
   if (name == "AA-Dedupe") {
-    return std::make_unique<core::AaDedupeScheme>(target);
+    core::AaDedupeOptions options;
+    options.telemetry = telemetry;
+    return std::make_unique<core::AaDedupeScheme>(target, options);
   }
   std::fprintf(stderr, "unknown scheme '%s'\n", name.c_str());
   std::abort();
@@ -72,6 +78,12 @@ std::unique_ptr<backup::BackupScheme> make_scheme(const std::string& name,
 std::vector<dataset::Snapshot> suite_snapshots(const BenchConfig& config) {
   dataset::DatasetGenerator generator(config.dataset_config());
   return generator.sessions(config.sessions);
+}
+
+std::string build_metadata_json(int indent) {
+  telemetry::JsonValue build;
+  telemetry::BuildInfo::current().fill_json(build);
+  return build.dump(indent);
 }
 
 namespace {
@@ -122,11 +134,18 @@ std::vector<SchemeRun> run_suite(const BenchConfig& config,
               static_cast<unsigned long long>(config.session_mib),
               static_cast<unsigned long long>(config.seed));
 
+  // AAD_BENCH_REPORT=<path>: the AA-Dedupe run gets a telemetry context
+  // and leaves a structured run report behind.
+  const char* report_path = std::getenv("AAD_BENCH_REPORT");
+  telemetry::Telemetry telemetry;
+
   std::vector<SchemeRun> runs;
   runs.reserve(names.size());
   for (const std::string& name : names) {
     cloud::CloudTarget target;
-    auto scheme = make_scheme(name, target);
+    const bool report_this =
+        report_path != nullptr && *report_path != '\0' && name == "AA-Dedupe";
+    auto scheme = make_scheme(name, target, report_this ? &telemetry : nullptr);
     SchemeRun run;
     run.name = name;
     for (const auto& snapshot : snapshots) {
@@ -140,6 +159,24 @@ std::vector<SchemeRun> run_suite(const BenchConfig& config,
     runs.push_back(std::move(run));
     std::printf("# ran %-10s (%zu sessions)\n", name.c_str(),
                 runs.back().reports.size());
+
+    if (report_this) {
+      telemetry::RunReport report;
+      telemetry::JsonValue& workload = report.section("workload");
+      workload["session_mib"] = config.session_mib;
+      workload["sessions"] = config.sessions;
+      workload["seed"] = config.seed;
+      report.add_telemetry(telemetry);
+      if (auto* aa = dynamic_cast<core::AaDedupeScheme*>(scheme.get())) {
+        aa->fill_run_report(report);
+      }
+      target.fill_run_report(report);
+      if (!run.reports.empty()) {
+        backup::fill_run_report(run.reports.back(), report);
+      }
+      report.write_file(report_path);
+      std::printf("# wrote run report to %s\n", report_path);
+    }
   }
   maybe_export_csv(config, runs);
   return runs;

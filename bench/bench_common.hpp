@@ -7,6 +7,10 @@
 //   AAD_BENCH_SESSIONS  number of weekly sessions     (default 10)
 //   AAD_BENCH_SEED      dataset seed                  (default 20110926,
 //                       the CLUSTER'11 conference date)
+//   AAD_BENCH_REPORT    when set, run_suite() attaches a telemetry context
+//                       to the AA-Dedupe run and writes a structured run
+//                       report (metrics, stage spans, per-application
+//                       dedup, transport counters) to this JSON path
 #pragma once
 
 #include <cstdint>
@@ -17,6 +21,7 @@
 #include "backup/scheme.hpp"
 #include "cloud/cloud_target.hpp"
 #include "dataset/generator.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace aadedupe::bench {
 
@@ -44,9 +49,16 @@ struct SchemeRun {
 /// full-backup reference (used by Figs. 7 and 9).
 std::vector<std::string> scheme_names(bool include_full);
 
-/// Instantiate a scheme by lineup name against a target.
-std::unique_ptr<backup::BackupScheme> make_scheme(const std::string& name,
-                                                  cloud::CloudTarget& target);
+/// Instantiate a scheme by lineup name against a target. A non-null
+/// `telemetry` is attached where the scheme supports it (AA-Dedupe).
+std::unique_ptr<backup::BackupScheme> make_scheme(
+    const std::string& name, cloud::CloudTarget& target,
+    telemetry::Telemetry* telemetry = nullptr);
+
+/// Build metadata (compiler, flags, preset, hardware threads) as a JSON
+/// object string — compact when indent == 0. Benches stamp this into
+/// their artifacts so numbers are comparable across machines/configs.
+std::string build_metadata_json(int indent = 0);
 
 /// Run every scheme in `names` over the same snapshot sequence (each gets
 /// its own cloud target). Prints one progress line per scheme.

@@ -17,14 +17,17 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "chunk/cdc_chunker.hpp"
 #include "chunk/fastcdc_chunker.hpp"
 #include "chunk/static_chunker.hpp"
 #include "chunk/whole_file_chunker.hpp"
 #include "core/aa_dedupe.hpp"
+#include "core/policy.hpp"
 #include "hash/md5.hpp"
 #include "hash/rabin.hpp"
 #include "hash/sha1.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
@@ -122,7 +125,8 @@ Result measure_session(const Config& config,
 }
 
 void write_json(const Config& config, const std::vector<Result>& results,
-                double cdc_speedup, double session_speedup) {
+                double cdc_speedup, double session_speedup,
+                double telemetry_overhead_pct) {
   std::FILE* out = std::fopen(config.out_path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n",
@@ -132,6 +136,8 @@ void write_json(const Config& config, const std::vector<Result>& results,
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"benchmark\": \"fingerprinting hot path\",\n");
   std::fprintf(out, "  \"units\": \"MB/s (MB = 1e6 bytes)\",\n");
+  std::fprintf(out, "  \"build\": %s,\n",
+               bench::build_metadata_json(0).c_str());
   std::fprintf(out, "  \"smoke\": %s,\n", config.smoke ? "true" : "false");
   std::fprintf(out, "  \"buffer_bytes\": %zu,\n", config.buffer_bytes());
   std::fprintf(out, "  \"results\": {\n");
@@ -142,8 +148,9 @@ void write_json(const Config& config, const std::vector<Result>& results,
   std::fprintf(out, "  },\n");
   std::fprintf(out,
                "  \"cdc_speedup_vs_reference\": %.3f,\n"
-               "  \"session_file_vs_stream_speedup\": %.3f,\n",
-               cdc_speedup, session_speedup);
+               "  \"session_file_vs_stream_speedup\": %.3f,\n"
+               "  \"telemetry_overhead_pct_cdc_fingerprint\": %.3f,\n",
+               cdc_speedup, session_speedup, telemetry_overhead_pct);
   // The seed implementation measured on the same container before the
   // min-skip/rolling-window rework (Release, 4 MiB random input), kept
   // here so the acceptance ratio survives even if split_reference drifts.
@@ -228,6 +235,58 @@ int main(int argc, char** argv) {
     (void)keep;
   }));
 
+  std::printf("telemetry overhead (CDC + SHA-1 chunk_and_fingerprint):\n");
+  const core::DedupPolicy dedup_policy;
+  const core::CategoryPolicy doc_policy =
+      dedup_policy.for_kind(dataset::FileKind::kDoc);
+  telemetry::Telemetry fp_telemetry;
+  const auto fp_plain_body = [&] {
+    volatile std::size_t chunks =
+        core::chunk_and_fingerprint(doc_policy, random).chunks.size();
+    (void)chunks;
+  };
+  const auto fp_traced_body = [&] {
+    volatile std::size_t chunks =
+        core::chunk_and_fingerprint(doc_policy, random, &fp_telemetry, "doc")
+            .chunks.size();
+    (void)chunks;
+  };
+  // Interleave the two variants rep-for-rep so clock-frequency drift and
+  // cache-warmth asymmetry cancel instead of masquerading as overhead.
+  fp_plain_body();
+  fp_traced_body();
+  Result fp_plain, fp_traced;
+  fp_plain.name = "cdc_fingerprint_plain";
+  fp_traced.name = "cdc_fingerprint_telemetry";
+  fp_plain.bytes = fp_traced.bytes = n;
+  double plain_s = 0.0, traced_s = 0.0;
+  do {
+    StopWatch plain_watch;
+    fp_plain_body();
+    plain_s += plain_watch.seconds();
+    ++fp_plain.reps;
+    StopWatch traced_watch;
+    fp_traced_body();
+    traced_s += traced_watch.seconds();
+    ++fp_traced.reps;
+  } while (plain_s < config.min_seconds() || traced_s < config.min_seconds());
+  fp_plain.mb_per_s = static_cast<double>(n) *
+                      static_cast<double>(fp_plain.reps) / (plain_s * 1e6);
+  fp_traced.mb_per_s = static_cast<double>(n) *
+                       static_cast<double>(fp_traced.reps) / (traced_s * 1e6);
+  std::printf("  %-24s %10.1f MB/s  (%llu reps)\n", fp_plain.name.c_str(),
+              fp_plain.mb_per_s,
+              static_cast<unsigned long long>(fp_plain.reps));
+  std::printf("  %-24s %10.1f MB/s  (%llu reps)\n", fp_traced.name.c_str(),
+              fp_traced.mb_per_s,
+              static_cast<unsigned long long>(fp_traced.reps));
+  results.push_back(fp_plain);
+  results.push_back(fp_traced);
+  const double telemetry_overhead_pct =
+      100.0 * (1.0 - fp_traced.mb_per_s / fp_plain.mb_per_s);
+  std::printf("telemetry overhead on CDC fingerprint path: %.2f%%\n",
+              telemetry_overhead_pct);
+
   std::printf("end-to-end session (skewed application streams):\n");
   const dataset::Snapshot snapshot = make_skewed_snapshot(config);
   const Result by_stream =
@@ -242,6 +301,7 @@ int main(int argc, char** argv) {
   std::printf("cdc speedup vs reference: %.2fx\n", cdc_speedup);
   std::printf("file vs stream granularity: %.2fx\n", session_speedup);
 
-  write_json(config, results, cdc_speedup, session_speedup);
+  write_json(config, results, cdc_speedup, session_speedup,
+             telemetry_overhead_pct);
   return 0;
 }

@@ -6,11 +6,19 @@
 //   3. read the session report and restore a file byte-exactly.
 //
 // Run:  ./quickstart
+//
+// Set AAD_RUN_REPORT=<path> to also write a structured telemetry run
+// report (metrics, per-stage span times, per-application dedup ratios,
+// transport counters) as JSON.
 #include <cstdio>
+#include <cstdlib>
 
+#include "backup/scheme.hpp"
 #include "cloud/cloud_target.hpp"
 #include "core/aa_dedupe.hpp"
 #include "dataset/generator.hpp"
+#include "telemetry/run_report.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/units.hpp"
 
 int main() {
@@ -30,8 +38,11 @@ int main() {
   std::printf("snapshot: %zu files, %s\n", snapshot.files.size(),
               format_bytes(snapshot.total_bytes()).c_str());
 
-  // Back it up with AA-Dedupe.
-  core::AaDedupeScheme scheme(cloud_target);
+  // Back it up with AA-Dedupe, with the telemetry layer attached.
+  telemetry::Telemetry telemetry;
+  core::AaDedupeOptions options;
+  options.telemetry = &telemetry;
+  core::AaDedupeScheme scheme(cloud_target, options);
   const backup::SessionReport report = scheme.backup(snapshot);
 
   std::printf("\n-- session report --------------------------------\n");
@@ -62,6 +73,19 @@ int main() {
                 format_bytes(row.session_bytes).c_str(),
                 static_cast<unsigned long long>(row.session_chunks),
                 static_cast<unsigned long long>(row.index_entries));
+  }
+
+  // Optional structured artifact: everything above (plus live metrics and
+  // per-stage span times) as one JSON run report.
+  if (const char* path = std::getenv("AAD_RUN_REPORT");
+      path != nullptr && *path != '\0') {
+    telemetry::RunReport run_report;
+    run_report.add_telemetry(telemetry);
+    scheme.fill_run_report(run_report);
+    cloud_target.fill_run_report(run_report);
+    backup::fill_run_report(report, run_report);
+    run_report.write_file(path);
+    std::printf("\nwrote run report to %s\n", path);
   }
 
   // Restore one file and verify it round-tripped byte-exactly.

@@ -48,4 +48,22 @@ SessionReport BackupScheme::backup(const dataset::Snapshot& snapshot) {
   return report;
 }
 
+void fill_run_report(const SessionReport& report, telemetry::RunReport& out) {
+  telemetry::JsonValue& section = out.section("session_report");
+  section["scheme"] = report.scheme;
+  section["session"] = report.session;
+  section["dataset_bytes"] = report.dataset_bytes;
+  section["dataset_files"] = report.dataset_files;
+  section["transferred_bytes"] = report.transferred_bytes;
+  section["upload_requests"] = report.upload_requests;
+  section["cumulative_stored_bytes"] = report.cumulative_stored_bytes;
+  section["dedupe_seconds"] = report.dedupe_seconds;
+  section["cpu_seconds"] = report.cpu_seconds;
+  section["transfer_seconds"] = report.transfer_seconds;
+  section["dedupe_ratio"] = report.dedupe_ratio();
+  section["dedupe_throughput_bps"] = report.dedupe_throughput();
+  section["bytes_saved_per_second"] = report.bytes_saved_per_second();
+  section["backup_window_seconds"] = report.backup_window_seconds();
+}
+
 }  // namespace aadedupe::backup

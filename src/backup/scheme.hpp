@@ -18,6 +18,7 @@
 #include "dataset/snapshot.hpp"
 #include "metrics/energy.hpp"
 #include "metrics/params.hpp"
+#include "telemetry/run_report.hpp"
 #include "util/bytes.hpp"
 
 namespace aadedupe::backup {
@@ -68,6 +69,12 @@ struct SessionReport {
     return model.energy_joules(dedupe_seconds, cpu_seconds);
   }
 };
+
+/// Contribute one session's measured numbers and the paper's derived
+/// metrics (DR, DT, DE, BWS) to a run report, as the "session_report"
+/// section.
+void fill_run_report(const SessionReport& report,
+                     telemetry::RunReport& out);
 
 class BackupScheme {
  public:

@@ -17,7 +17,7 @@ void CloudTarget::rebuild_stack() {
   CloudBackend* top = memory_.get();
   if (fault_profile_) {
     faults_ = std::make_unique<FaultInjectingBackend>(
-        *top, *fault_profile_, fault_seed_, link_, charge);
+        *top, *fault_profile_, fault_seed_, link_, charge, telemetry_);
     top = faults_.get();
   } else {
     faults_.reset();
@@ -25,7 +25,8 @@ void CloudTarget::rebuild_stack() {
   // The retrier draws its jitter from a seed stream independent of the
   // fault schedule so the two cannot correlate.
   retrier_ = std::make_unique<RetryingBackend>(
-      *top, retry_policy_, derive_seed(fault_seed_, 0x2e72), charge);
+      *top, retry_policy_, derive_seed(fault_seed_, 0x2e72), charge,
+      telemetry_);
   backend_ = retrier_.get();
 }
 
@@ -56,6 +57,48 @@ void CloudTarget::clear_faults() {
 void CloudTarget::set_retry_policy(const RetryPolicy& policy) {
   retry_policy_ = policy;
   rebuild_stack();
+}
+
+void CloudTarget::attach_telemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  rebuild_stack();
+}
+
+void CloudTarget::fill_run_report(telemetry::RunReport& report) const {
+  telemetry::JsonValue& cloud = report.section("cloud");
+
+  const StoreStats store = store_.stats();
+  telemetry::JsonValue& store_json = cloud["store"].make_object();
+  store_json["put_requests"] = store.put_requests;
+  store_json["get_requests"] = store.get_requests;
+  store_json["delete_requests"] = store.delete_requests;
+  store_json["bytes_uploaded"] = store.bytes_uploaded;
+  store_json["bytes_downloaded"] = store.bytes_downloaded;
+  store_json["stored_bytes"] = store_.stored_bytes();
+
+  const RetryStats retry = retry_stats();
+  telemetry::JsonValue& retry_json = cloud["retry"].make_object();
+  retry_json["operations"] = retry.operations;
+  retry_json["attempts"] = retry.attempts;
+  retry_json["retries"] = retry.retries;
+  retry_json["exhausted"] = retry.exhausted;
+  retry_json["permanent_failures"] = retry.permanent_failures;
+  retry_json["backoff_seconds"] = retry.backoff_seconds;
+
+  const FaultStats faults = fault_stats();
+  telemetry::JsonValue& fault_json = cloud["faults"].make_object();
+  fault_json["enabled"] = fault_profile_.has_value();
+  fault_json["put_attempts"] = faults.put_attempts;
+  fault_json["get_attempts"] = faults.get_attempts;
+  fault_json["injected_transient"] = faults.injected_transient;
+  fault_json["injected_timeout"] = faults.injected_timeout;
+  fault_json["injected_throttle"] = faults.injected_throttle;
+  fault_json["injected_corrupt"] = faults.injected_corrupt;
+  fault_json["injected_total"] = faults.injected_total();
+  fault_json["latency_spikes"] = faults.latency_spikes;
+
+  cloud["transfer_seconds"] = transfer_seconds();
+  cloud["monthly_cost_usd"] = monthly_cost();
 }
 
 }  // namespace aadedupe::cloud

@@ -32,6 +32,8 @@
 #include "cloud/object_store.hpp"
 #include "cloud/retrying_backend.hpp"
 #include "cloud/wan_link.hpp"
+#include "telemetry/run_report.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/bytes.hpp"
 
 namespace aadedupe::cloud {
@@ -66,6 +68,15 @@ class CloudTarget {
   /// Replace the retry policy (RetryPolicy::none() disables retries).
   /// Call before traffic flows.
   void set_retry_policy(const RetryPolicy& policy);
+
+  /// Attach (or detach, with nullptr) a telemetry context; the transport
+  /// decorators report retry/fault counters and backoff waits into it.
+  /// Call before traffic flows — rebuilds the stack.
+  void attach_telemetry(telemetry::Telemetry* telemetry);
+
+  /// Contribute the "cloud" section of a run report: object-store
+  /// traffic, retry and fault counters, transfer clock, monthly cost.
+  void fill_run_report(telemetry::RunReport& report) const;
 
   const RetryPolicy& retry_policy() const noexcept { return retry_policy_; }
   RetryStats retry_stats() const { return retrier_->stats(); }
@@ -114,6 +125,7 @@ class CloudTarget {
   double transfer_seconds_ = 0.0;
 
   RetryPolicy retry_policy_;
+  telemetry::Telemetry* telemetry_ = nullptr;
   std::optional<FaultProfile> fault_profile_;
   std::uint64_t fault_seed_ = 0;
   std::unique_ptr<MemoryBackend> memory_;

@@ -24,12 +24,18 @@ std::uint64_t fnv1a(std::string_view text) noexcept {
 FaultInjectingBackend::FaultInjectingBackend(CloudBackend& inner,
                                              FaultProfile profile,
                                              std::uint64_t seed, WanLink link,
-                                             ChargeFn charge)
+                                             ChargeFn charge,
+                                             telemetry::Telemetry* telemetry)
     : inner_(&inner),
       profile_(profile),
       seed_(seed),
       link_(link),
-      charge_(std::move(charge)) {}
+      charge_(std::move(charge)) {
+  if (telemetry != nullptr) {
+    faults_counter_ = telemetry->metrics.counter("transport.faults_injected");
+    spikes_counter_ = telemetry->metrics.counter("transport.latency_spikes");
+  }
+}
 
 std::uint32_t FaultInjectingBackend::next_attempt(const std::string& op_key) {
   std::lock_guard lock(mutex_);
@@ -50,6 +56,7 @@ CloudStatus FaultInjectingBackend::put(const std::string& key,
   double band = profile_.put_transient_p;
   if (u < band) {
     charge_(full_transfer_s * profile_.failed_attempt_time_fraction);
+    faults_counter_.increment();
     std::lock_guard lock(mutex_);
     ++stats_.injected_transient;
     return CloudError::kTransient;
@@ -57,6 +64,7 @@ CloudStatus FaultInjectingBackend::put(const std::string& key,
   band += profile_.put_timeout_p;
   if (u < band) {
     charge_(profile_.timeout_s);
+    faults_counter_.increment();
     std::lock_guard lock(mutex_);
     ++stats_.injected_timeout;
     return CloudError::kTimeout;
@@ -64,12 +72,14 @@ CloudStatus FaultInjectingBackend::put(const std::string& key,
   band += profile_.put_throttle_p;
   if (u < band) {
     charge_(link_.per_request_s);
+    faults_counter_.increment();
     std::lock_guard lock(mutex_);
     ++stats_.injected_throttle;
     return CloudError::kThrottled;
   }
   if (rng.chance(profile_.latency_spike_p)) {
     charge_(profile_.latency_spike_s);
+    spikes_counter_.increment();
     std::lock_guard lock(mutex_);
     ++stats_.latency_spikes;
   }
@@ -88,6 +98,7 @@ CloudResult<ByteBuffer> FaultInjectingBackend::get(const std::string& key) {
   double band = profile_.get_transient_p;
   if (u < band) {
     charge_(profile_.timeout_s * profile_.failed_attempt_time_fraction);
+    faults_counter_.increment();
     std::lock_guard lock(mutex_);
     ++stats_.injected_transient;
     return CloudError::kTransient;
@@ -95,6 +106,7 @@ CloudResult<ByteBuffer> FaultInjectingBackend::get(const std::string& key) {
   band += profile_.get_timeout_p;
   if (u < band) {
     charge_(profile_.timeout_s);
+    faults_counter_.increment();
     std::lock_guard lock(mutex_);
     ++stats_.injected_timeout;
     return CloudError::kTimeout;
@@ -102,6 +114,7 @@ CloudResult<ByteBuffer> FaultInjectingBackend::get(const std::string& key) {
   band += profile_.get_throttle_p;
   if (u < band) {
     charge_(link_.per_request_s);
+    faults_counter_.increment();
     std::lock_guard lock(mutex_);
     ++stats_.injected_throttle;
     return CloudError::kThrottled;
@@ -112,6 +125,7 @@ CloudResult<ByteBuffer> FaultInjectingBackend::get(const std::string& key) {
 
   if (rng.chance(profile_.latency_spike_p)) {
     charge_(profile_.latency_spike_s);
+    spikes_counter_.increment();
     std::lock_guard lock(mutex_);
     ++stats_.latency_spikes;
   }
@@ -127,6 +141,7 @@ CloudResult<ByteBuffer> FaultInjectingBackend::get(const std::string& key) {
           1 + rng.below(std::min<std::size_t>(damaged.size(), 64));
       damaged.resize(damaged.size() - drop);
     }
+    faults_counter_.increment();
     {
       std::lock_guard lock(mutex_);
       ++stats_.injected_corrupt;

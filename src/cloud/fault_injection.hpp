@@ -20,6 +20,7 @@
 #include "cloud/cloud_backend.hpp"
 #include "cloud/memory_backend.hpp"
 #include "cloud/wan_link.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace aadedupe::cloud {
 
@@ -80,8 +81,10 @@ struct FaultStats {
 
 class FaultInjectingBackend final : public CloudBackend {
  public:
+  /// `telemetry` (nullable) receives live injected-fault counters.
   FaultInjectingBackend(CloudBackend& inner, FaultProfile profile,
-                        std::uint64_t seed, WanLink link, ChargeFn charge);
+                        std::uint64_t seed, WanLink link, ChargeFn charge,
+                        telemetry::Telemetry* telemetry = nullptr);
 
   CloudStatus put(const std::string& key, ConstByteSpan data) override;
   CloudResult<ByteBuffer> get(const std::string& key) override;
@@ -99,6 +102,8 @@ class FaultInjectingBackend final : public CloudBackend {
   std::uint64_t seed_;
   WanLink link_;
   ChargeFn charge_;
+  telemetry::Counter faults_counter_;
+  telemetry::Counter spikes_counter_;
 
   mutable std::mutex mutex_;
   std::map<std::string, std::uint32_t> attempts_;

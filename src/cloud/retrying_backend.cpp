@@ -30,14 +30,20 @@ double RetryPolicy::backoff_seconds(std::uint32_t retry) const {
 }
 
 RetryingBackend::RetryingBackend(CloudBackend& inner, RetryPolicy policy,
-                                 std::uint64_t seed, ChargeFn charge)
+                                 std::uint64_t seed, ChargeFn charge,
+                                 telemetry::Telemetry* telemetry)
     : inner_(&inner),
       policy_(policy),
       seed_(seed),
-      charge_(std::move(charge)) {
+      charge_(std::move(charge)),
+      telemetry_(telemetry) {
   AAD_EXPECTS(policy_.max_attempts >= 1);
   AAD_EXPECTS(policy_.jitter_fraction >= 0.0 &&
               policy_.jitter_fraction <= 1.0);
+  if (telemetry_ != nullptr) {
+    retries_counter_ = telemetry_->metrics.counter("transport.retries");
+    exhausted_counter_ = telemetry_->metrics.counter("transport.exhausted");
+  }
 }
 
 double RetryingBackend::jittered_backoff(const std::string& key,
@@ -68,12 +74,18 @@ CloudResult<T> RetryingBackend::run_with_retries(const std::string& key,
       return result;
     }
     if (attempt >= policy_.max_attempts) {
+      exhausted_counter_.increment();
       std::lock_guard lock(mutex_);
       ++stats_.exhausted;
       return result;
     }
     const double wait = jittered_backoff(key, attempt);
     charge_(wait);
+    retries_counter_.increment();
+    if (telemetry_ != nullptr) {
+      telemetry_->trace.record_sim(telemetry::Stage::kRetryWait, "transport",
+                                   wait);
+    }
     {
       std::lock_guard lock(mutex_);
       ++stats_.retries;

@@ -16,6 +16,7 @@
 
 #include "cloud/cloud_backend.hpp"
 #include "cloud/memory_backend.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace aadedupe::cloud {
 
@@ -53,8 +54,10 @@ struct RetryStats {
 
 class RetryingBackend final : public CloudBackend {
  public:
+  /// `telemetry` (nullable) receives retry counters and the simulated
+  /// backoff wait on the kRetryWait trace row.
   RetryingBackend(CloudBackend& inner, RetryPolicy policy, std::uint64_t seed,
-                  ChargeFn charge);
+                  ChargeFn charge, telemetry::Telemetry* telemetry = nullptr);
 
   CloudStatus put(const std::string& key, ConstByteSpan data) override;
   CloudResult<ByteBuffer> get(const std::string& key) override;
@@ -75,6 +78,9 @@ class RetryingBackend final : public CloudBackend {
   RetryPolicy policy_;
   std::uint64_t seed_;
   ChargeFn charge_;
+  telemetry::Telemetry* telemetry_;
+  telemetry::Counter retries_counter_;
+  telemetry::Counter exhausted_counter_;
 
   mutable std::mutex mutex_;
   RetryStats stats_;

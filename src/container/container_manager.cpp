@@ -6,12 +6,22 @@ namespace aadedupe::container {
 
 ContainerManager::ContainerManager(ContainerIdAllocator& ids,
                                    ContainerSink sink, std::size_t capacity,
-                                   bool pad_on_flush)
+                                   bool pad_on_flush,
+                                   telemetry::Telemetry* telemetry,
+                                   std::string category)
     : ids_(&ids),
       sink_(std::move(sink)),
       capacity_(capacity),
-      pad_on_flush_(pad_on_flush) {
+      pad_on_flush_(pad_on_flush),
+      telemetry_(telemetry),
+      category_(std::move(category)) {
   AAD_EXPECTS(sink_ != nullptr);
+  if (telemetry_ != nullptr) {
+    shipped_counter_ = telemetry_->metrics.counter("container.shipped");
+    bytes_counter_ = telemetry_->metrics.counter("container.bytes");
+    padding_counter_ = telemetry_->metrics.counter("container.padding_bytes");
+    chunk_bytes_hist_ = telemetry_->metrics.histogram("container.chunk_bytes");
+  }
   open_fresh();
 }
 
@@ -26,17 +36,26 @@ void ContainerManager::open_fresh() {
 }
 
 void ContainerManager::ship(bool pad) {
+  telemetry::TraceSpan span(
+      telemetry_ != nullptr ? &telemetry_->trace : nullptr,
+      telemetry::Stage::kContainerPack, category_);
   ByteBuffer serialized = open_->seal(pad);
   const std::size_t payload = open_->payload_size();
   bytes_stored_ += serialized.size();
-  if (pad && payload < capacity_) padding_bytes_ += capacity_ - payload;
+  bytes_counter_.add(serialized.size());
+  if (pad && payload < capacity_) {
+    padding_bytes_ += capacity_ - payload;
+    padding_counter_.add(capacity_ - payload);
+  }
   ++shipped_;
+  shipped_counter_.increment();
   sink_(open_->id(), std::move(serialized));
   open_fresh();
 }
 
 index::ChunkLocation ContainerManager::store(const hash::Digest& digest,
                                              ConstByteSpan chunk) {
+  chunk_bytes_hist_.observe(chunk.size());
   if (!open_->fits(chunk.size())) {
     ship(/*pad=*/false);  // full (or chunk oversized): seal at natural size
   }

@@ -15,6 +15,7 @@
 
 #include "container/container.hpp"
 #include "index/chunk_index.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace aadedupe::container {
 
@@ -56,9 +57,14 @@ class ContainerManager {
   /// would dominate transfer volume — a pure scale artifact (at the
   /// paper's 351 GB it is ~0.04% of traffic). The padded behaviour stays
   /// available for the container ablation bench.
+  /// `telemetry` (nullable) receives container counters, a new-chunk size
+  /// histogram, and kContainerPack trace rows under `category` (the
+  /// owning stream's partition key).
   ContainerManager(ContainerIdAllocator& ids, ContainerSink sink,
                    std::size_t capacity = kDefaultCapacity,
-                   bool pad_on_flush = false);
+                   bool pad_on_flush = false,
+                   telemetry::Telemetry* telemetry = nullptr,
+                   std::string category = {});
   ~ContainerManager();
 
   ContainerManager(const ContainerManager&) = delete;
@@ -84,6 +90,12 @@ class ContainerManager {
   ContainerSink sink_;
   std::size_t capacity_;
   bool pad_on_flush_;
+  telemetry::Telemetry* telemetry_;
+  std::string category_;
+  telemetry::Counter shipped_counter_;
+  telemetry::Counter bytes_counter_;
+  telemetry::Counter padding_counter_;
+  telemetry::Histogram chunk_bytes_hist_;
   std::unique_ptr<ContainerBuilder> open_;
   std::uint64_t shipped_ = 0;
   std::uint64_t bytes_stored_ = 0;

@@ -27,6 +27,17 @@ AaDedupeScheme::AaDedupeScheme(cloud::CloudTarget& target,
   if (options_.convergent_encryption) {
     master_key_ = crypto::derive_master_key(options_.passphrase);
   }
+  if (options_.telemetry != nullptr) {
+    // One context observes the whole path: the transport decorators report
+    // into the same registry/tracer the scheme uses.
+    target.attach_telemetry(options_.telemetry);
+    files_counter_ = options_.telemetry->metrics.counter("session.files");
+    logical_bytes_counter_ =
+        options_.telemetry->metrics.counter("session.bytes_logical");
+    chunks_counter_ = options_.telemetry->metrics.counter("session.chunks");
+    dup_chunks_counter_ =
+        options_.telemetry->metrics.counter("session.chunks_duplicate");
+  }
 }
 
 AaDedupeScheme::StreamResult AaDedupeScheme::process_stream(
@@ -44,7 +55,8 @@ AaDedupeScheme::StreamResult AaDedupeScheme::process_stream(
         pipeline.enqueue(backup::keys::container_object(id),
                          std::move(bytes));
       },
-      options_.container_capacity);
+      options_.container_capacity, /*pad_on_flush=*/false,
+      options_.telemetry, partition);
 
   const bool tiny_stream = partition == kTinyStream;
   index::ChunkIndex* shard =
@@ -83,28 +95,55 @@ AaDedupeScheme::StreamResult AaDedupeScheme::process_stream(
             manager.store(digest, seal_chunk(digest, content));
         recipe.entries.push_back(container::RecipeEntry{digest, loc});
       }
+      files_counter_.increment();
+      logical_bytes_counter_.add(content.size());
+      chunks_counter_.add(recipe.entries.size());
       result.recipes.push_back(std::move(recipe));
       continue;
     }
 
     const CategoryPolicy policy = policy_.for_kind(file->kind);
-    for (const chunk::ChunkRef& ref : policy.chunker->split(content)) {
+    const FileChunkPlan plan = chunk_and_fingerprint(
+        policy, content, options_.telemetry, partition);
+    telemetry::Tracer* tracer =
+        options_.telemetry != nullptr ? &options_.telemetry->trace : nullptr;
+    double lookup_s = 0.0;
+    std::uint64_t duplicates = 0;
+    for (std::size_t c = 0; c < plan.chunks.size(); ++c) {
+      const chunk::ChunkRef& ref = plan.chunks[c];
+      const hash::Digest& digest = plan.digests[c];
       const ConstByteSpan chunk_bytes =
           ConstByteSpan{content}.subspan(ref.offset, ref.length);
-      const hash::Digest digest =
-          hash::compute_digest(policy.hash_kind, chunk_bytes);
+      std::optional<index::ChunkLocation> existing;
+      if (tracer == nullptr) {
+        existing = shard->lookup(digest);
+      } else {
+        const double begin_s = tracer->now();
+        existing = shard->lookup(digest);
+        lookup_s += tracer->now() - begin_s;
+      }
       index::ChunkLocation location;
-      if (const auto existing = shard->lookup(digest)) {
+      if (existing) {
         location = *existing;
+        ++duplicates;
       } else {
         location = manager.store(digest, seal_chunk(digest, chunk_bytes));
         shard->insert(digest, location);
       }
       recipe.entries.push_back(container::RecipeEntry{digest, location});
     }
+    if (tracer != nullptr && !plan.chunks.empty()) {
+      tracer->record(telemetry::Stage::kIndexLookup, partition, lookup_s,
+                     plan.chunks.size());
+    }
+    files_counter_.increment();
+    logical_bytes_counter_.add(content.size());
+    chunks_counter_.add(plan.chunks.size());
+    dup_chunks_counter_.add(duplicates);
     result.recipes.push_back(std::move(recipe));
   }
   manager.flush();
+  result.new_bytes = manager.bytes_stored();
   return result;
 }
 
@@ -145,7 +184,8 @@ void AaDedupeScheme::run_file_parallel(
           pipeline.enqueue(backup::keys::container_object(id),
                            std::move(bytes));
         },
-        options_.container_capacity);
+        options_.container_capacity, /*pad_on_flush=*/false,
+        options_.telemetry, key);
     commit.result = &results[commits.size()];
     commit.result->recipes.reserve(files.size());
     const std::size_t stream_index = commits.size();
@@ -210,7 +250,8 @@ void AaDedupeScheme::run_file_parallel(
             }
           } else {
             plan.plan = chunk_and_fingerprint(
-                policy_.for_kind(item.file->kind), plan.content);
+                policy_.for_kind(item.file->kind), plan.content,
+                options_.telemetry, *commits[item.stream].key);
           }
         },
         /*grain=*/1);
@@ -228,6 +269,8 @@ void AaDedupeScheme::run_file_parallel(
       }
       spans.back().end = i + 1;
     }
+    telemetry::Tracer* tracer =
+        options_.telemetry != nullptr ? &options_.telemetry->trace : nullptr;
     pool_->parallel_for(spans.size(), [&](std::size_t s) {
       const Span& span = spans[s];
       StreamCommit& commit = commits[span.stream];
@@ -246,16 +289,28 @@ void AaDedupeScheme::run_file_parallel(
             recipe.entries.push_back(
                 container::RecipeEntry{plan.tiny_digest, loc});
           }
+          chunks_counter_.add(recipe.entries.size());
         } else {
           recipe.entries.reserve(plan.plan.chunks.size());
+          double lookup_s = 0.0;
+          std::uint64_t duplicates = 0;
           for (std::size_t c = 0; c < plan.plan.chunks.size(); ++c) {
             const chunk::ChunkRef& ref = plan.plan.chunks[c];
             const hash::Digest& digest = plan.plan.digests[c];
             const ConstByteSpan chunk_bytes =
                 ConstByteSpan{plan.content}.subspan(ref.offset, ref.length);
+            std::optional<index::ChunkLocation> existing;
+            if (tracer == nullptr) {
+              existing = commit.shard->lookup(digest);
+            } else {
+              const double begin_s = tracer->now();
+              existing = commit.shard->lookup(digest);
+              lookup_s += tracer->now() - begin_s;
+            }
             index::ChunkLocation location;
-            if (const auto existing = commit.shard->lookup(digest)) {
+            if (existing) {
               location = *existing;
+              ++duplicates;
             } else {
               location = commit.manager->store(
                   digest, seal_chunk(commit, digest, chunk_bytes));
@@ -264,7 +319,15 @@ void AaDedupeScheme::run_file_parallel(
             recipe.entries.push_back(
                 container::RecipeEntry{digest, location});
           }
+          if (tracer != nullptr && !plan.plan.chunks.empty()) {
+            tracer->record(telemetry::Stage::kIndexLookup, *commit.key,
+                           lookup_s, plan.plan.chunks.size());
+          }
+          chunks_counter_.add(recipe.entries.size());
+          dup_chunks_counter_.add(duplicates);
         }
+        files_counter_.increment();
+        logical_bytes_counter_.add(plan.content.size());
         commit.result->recipes.push_back(std::move(recipe));
       }
     });
@@ -272,28 +335,42 @@ void AaDedupeScheme::run_file_parallel(
     batch_begin = batch_end;
   }
 
-  for (StreamCommit& commit : commits) commit.manager->flush();
+  for (StreamCommit& commit : commits) {
+    commit.manager->flush();
+    commit.result->new_bytes = commit.manager->bytes_stored();
+  }
 }
 
 void AaDedupeScheme::run_session(const dataset::Snapshot& snapshot) {
   latest_session_ = snapshot.session;
+  telemetry::Tracer* tracer =
+      options_.telemetry != nullptr ? &options_.telemetry->trace : nullptr;
+  telemetry::TraceSpan session_span(tracer, telemetry::Stage::kSession);
 
   // Graceful-degradation debt first: replay uploads a previous degraded
   // session parked in the journal. Whatever fails again stays parked.
-  if (!journal_.empty()) journal_.replay(target());
+  if (!journal_.empty()) {
+    telemetry::TraceSpan replay_span(tracer,
+                                     telemetry::Stage::kJournalReplay);
+    journal_.replay(target());
+  }
 
   // Route files to application streams: tiny files to the packing stream,
   // everything else to its file-type stream (= index partition).
   std::map<std::string, std::vector<const dataset::FileEntry*>> streams;
-  for (const dataset::FileEntry& file : snapshot.files) {
-    const std::string key = size_filter_.is_tiny(file.size())
-                                ? kTinyStream
-                                : DedupPolicy::partition_key(file.kind);
-    streams[key].push_back(&file);
+  {
+    telemetry::TraceSpan classify_span(tracer, telemetry::Stage::kClassify);
+    for (const dataset::FileEntry& file : snapshot.files) {
+      const std::string key = size_filter_.is_tiny(file.size())
+                                  ? kTinyStream
+                                  : DedupPolicy::partition_key(file.kind);
+      streams[key].push_back(&file);
+    }
   }
 
   UploadPipelineOptions pipeline_options;
   pipeline_options.journal = &journal_;
+  pipeline_options.telemetry = options_.telemetry;
   UploadPipeline pipeline(target(), pipeline_options);
   std::vector<StreamResult> results(streams.size());
 
@@ -320,6 +397,16 @@ void AaDedupeScheme::run_session(const dataset::Snapshot& snapshot) {
     }
   }
 
+  // Per-stream new-bytes rollup for the per-category dedup ratio (streams
+  // and results share map order).
+  session_new_bytes_.clear();
+  {
+    std::size_t i = 0;
+    for (const auto& [key, files] : streams) {
+      session_new_bytes_[key] = results[i++].new_bytes;
+    }
+  }
+
   container::RecipeStore recipes;
   for (StreamResult& result : results) {
     for (container::FileRecipe& recipe : result.recipes) {
@@ -331,21 +418,25 @@ void AaDedupeScheme::run_session(const dataset::Snapshot& snapshot) {
   // index image, shipped through the same pipeline. Metadata objects get
   // the pipeline's stricter retry treatment — a lost recipe object makes
   // the whole session unrestorable from the cloud.
-  pipeline.enqueue(
-      backup::keys::session_meta(name(), snapshot.session, "recipes"),
-      recipes.serialize(), ObjectKind::kMetadata);
-  if (options_.sync_index) {
+  {
+    telemetry::TraceSpan sync_span(tracer, telemetry::Stage::kMetadataSync);
     pipeline.enqueue(
-        backup::keys::session_meta(name(), snapshot.session, "index"),
-        index_.serialize(), ObjectKind::kMetadata);
-  }
-  if (options_.convergent_encryption) {
-    // The wrapped key store is itself ciphertext — safe to sync.
-    pipeline.enqueue(
-        backup::keys::session_meta(name(), snapshot.session, "keys"),
-        key_store_.serialize(master_key_), ObjectKind::kMetadata);
+        backup::keys::session_meta(name(), snapshot.session, "recipes"),
+        recipes.serialize(), ObjectKind::kMetadata);
+    if (options_.sync_index) {
+      pipeline.enqueue(
+          backup::keys::session_meta(name(), snapshot.session, "index"),
+          index_.serialize(), ObjectKind::kMetadata);
+    }
+    if (options_.convergent_encryption) {
+      // The wrapped key store is itself ciphertext — safe to sync.
+      pipeline.enqueue(
+          backup::keys::session_meta(name(), snapshot.session, "keys"),
+          key_store_.serialize(master_key_), ObjectKind::kMetadata);
+    }
   }
   pipeline.finish();
+  last_pipeline_stats_ = pipeline.stats();
 
   history_[snapshot.session] = recipes;
   recipes_ = std::move(recipes);
@@ -616,6 +707,7 @@ AaDedupeScheme::application_stats() const {
     const index::IndexStats stats = shard.stats();
     row.index_lookups = stats.lookups;
     row.index_hits = stats.hits;
+    row.index_probe_steps = stats.probe_steps;
     rows.emplace(partition, std::move(row));
   }
   rows.emplace("tiny", ApplicationStats{"tiny", "-", "-", 0, 0, 0, 0, 0, 0});
@@ -629,6 +721,10 @@ AaDedupeScheme::application_stats() const {
     ++row.session_files;
     row.session_bytes += recipe->file_size;
     row.session_chunks += recipe->entries.size();
+  }
+  for (const auto& [key, new_bytes] : session_new_bytes_) {
+    const auto it = rows.find(key);
+    if (it != rows.end()) it->second.session_new_bytes = new_bytes;
   }
 
   // Fill in the policy columns for real partitions; "tiny" goes last.
@@ -648,6 +744,66 @@ AaDedupeScheme::application_stats() const {
   }
   out.push_back(std::move(rows.at("tiny")));
   return out;
+}
+
+void AaDedupeScheme::fill_run_report(telemetry::RunReport& report) const {
+  telemetry::JsonValue& session = report.section("session");
+  session["scheme"] = name();
+  session["latest_session"] = latest_session_;
+  session["tiny_file_threshold"] = options_.tiny_file_threshold;
+  session["parallel"] = options_.parallel;
+  session["convergent_encryption"] = options_.convergent_encryption;
+
+  std::uint64_t total_bytes = 0, total_files = 0, total_chunks = 0;
+  std::uint64_t total_new_bytes = 0;
+  telemetry::JsonValue& apps = session["applications"];
+  apps.make_array();
+  for (const ApplicationStats& row : application_stats()) {
+    telemetry::JsonValue app;
+    app.make_object();
+    app["partition"] = row.partition;
+    app["chunker"] = row.chunker;
+    app["hash"] = row.hash;
+    app["index_entries"] = row.index_entries;
+    app["index_lookups"] = row.index_lookups;
+    app["index_hits"] = row.index_hits;
+    app["index_probe_steps"] = row.index_probe_steps;
+    app["session_files"] = row.session_files;
+    app["session_bytes"] = row.session_bytes;
+    app["session_chunks"] = row.session_chunks;
+    app["session_new_bytes"] = row.session_new_bytes;
+    // Paper-style dedup ratio: logical bytes over shipped container
+    // bytes. 0 when the stream shipped nothing (all-duplicate or empty).
+    app["dedup_ratio"] =
+        row.session_new_bytes == 0
+            ? 0.0
+            : static_cast<double>(row.session_bytes) /
+                  static_cast<double>(row.session_new_bytes);
+    apps.push_back(std::move(app));
+    total_bytes += row.session_bytes;
+    total_files += row.session_files;
+    total_chunks += row.session_chunks;
+    total_new_bytes += row.session_new_bytes;
+  }
+  session["session_files"] = total_files;
+  session["session_bytes"] = total_bytes;
+  session["session_chunks"] = total_chunks;
+  session["session_new_bytes"] = total_new_bytes;
+
+  telemetry::JsonValue& pipeline = session["pipeline"].make_object();
+  pipeline["enqueued"] = last_pipeline_stats_.enqueued;
+  pipeline["uploaded"] = last_pipeline_stats_.uploaded;
+  pipeline["requeues"] = last_pipeline_stats_.requeues;
+  pipeline["journaled"] = last_pipeline_stats_.journaled;
+  pipeline["failed"] = last_pipeline_stats_.failed;
+
+  telemetry::JsonValue& journal = session["journal"].make_object();
+  std::uint64_t pending_bytes = 0;
+  for (const PendingUpload& pending : journal_.pending()) {
+    pending_bytes += pending.item.payload.size();
+  }
+  journal["pending_items"] = journal_.size();
+  journal["pending_bytes"] = pending_bytes;
 }
 
 AaDedupeScheme::ScrubReport AaDedupeScheme::scrub() {

@@ -30,8 +30,10 @@
 #include "container/recipe.hpp"
 #include "core/policy.hpp"
 #include "core/upload_journal.hpp"
+#include "core/upload_pipeline.hpp"
 #include "crypto/convergent.hpp"
 #include "index/partitioned_index.hpp"
+#include "telemetry/run_report.hpp"
 #include "util/thread_pool.hpp"
 
 namespace aadedupe::core {
@@ -73,6 +75,12 @@ struct AaDedupeOptions {
   /// is synced to the cloud alongside the other session metadata.
   bool convergent_encryption = false;
   std::string passphrase;
+  /// Nullable observability context. When set, the scheme attaches it to
+  /// the target's transport stack and instruments every pipeline stage
+  /// (classify, chunk, fingerprint, index lookup, container pack, upload,
+  /// metadata sync) plus session counters. The nullptr default is the
+  /// null sink: instrumented code pays one pointer test.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// Options for the background garbage-collection process (the deletion
@@ -136,14 +144,28 @@ class AaDedupeScheme final : public backup::BackupScheme {
     std::uint64_t index_entries = 0;
     std::uint64_t index_lookups = 0;
     std::uint64_t index_hits = 0;
+    std::uint64_t index_probe_steps = 0;  // slots examined across lookups
     std::uint64_t session_files = 0;   // latest session
     std::uint64_t session_bytes = 0;   // latest session, logical
     std::uint64_t session_chunks = 0;  // latest session recipe entries
+    /// Container bytes this stream shipped in the latest session (new
+    /// chunks + container framing); with session_bytes this yields the
+    /// per-category dedup ratio.
+    std::uint64_t session_new_bytes = 0;
   };
 
   /// Stats for every partition seen so far (sorted), plus a final "tiny"
   /// row for the filtered stream.
   std::vector<ApplicationStats> application_stats() const;
+
+  /// Upload-pipeline counters of the latest session.
+  const UploadPipeline::Stats& last_pipeline_stats() const noexcept {
+    return last_pipeline_stats_;
+  }
+
+  /// Contribute the "session" section of a run report: the per-application
+  /// breakdown (with dedup ratios), pipeline counters, and journal debt.
+  void fill_run_report(telemetry::RunReport& report) const;
 
   /// Client-side recipes of the latest session (exposed for tests).
   const container::RecipeStore& recipes() const noexcept { return recipes_; }
@@ -214,6 +236,7 @@ class AaDedupeScheme final : public backup::BackupScheme {
   /// All files of one application stream, deduplicated sequentially.
   struct StreamResult {
     std::vector<container::FileRecipe> recipes;
+    std::uint64_t new_bytes = 0;  // container bytes this stream shipped
   };
 
   StreamResult process_stream(
@@ -245,6 +268,14 @@ class AaDedupeScheme final : public backup::BackupScheme {
 
   /// Terminal upload failures awaiting replay (graceful degradation).
   UploadJournal journal_;
+
+  /// Session-scoped telemetry rollups (latest session).
+  std::map<std::string, std::uint64_t> session_new_bytes_;
+  UploadPipeline::Stats last_pipeline_stats_;
+  telemetry::Counter files_counter_;
+  telemetry::Counter logical_bytes_counter_;
+  telemetry::Counter chunks_counter_;
+  telemetry::Counter dup_chunks_counter_;
 
   container::RecipeStore recipes_;  // latest session (= history_.rbegin())
   /// Per-session recipe history; the retention unit of collect_garbage.

@@ -20,6 +20,7 @@
 #include "chunk/whole_file_chunker.hpp"
 #include "dataset/file_kind.hpp"
 #include "hash/hash_kind.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace aadedupe::core {
 
@@ -106,6 +107,31 @@ inline FileChunkPlan chunk_and_fingerprint(const CategoryPolicy& policy,
                                            ConstByteSpan content) {
   FileChunkPlan plan;
   plan.chunks = policy.chunker->split(content);
+  plan.digests.reserve(plan.chunks.size());
+  for (const chunk::ChunkRef& ref : plan.chunks) {
+    plan.digests.push_back(hash::compute_digest(
+        policy.hash_kind, content.subspan(ref.offset, ref.length)));
+  }
+  return plan;
+}
+
+/// Instrumented variant: attributes the split to a kChunk span and the
+/// hashing loop to a kFingerprint span under `category`. With a null
+/// telemetry context this is exactly the plain overload — two spans per
+/// *file* keeps the per-byte cost of observation negligible.
+inline FileChunkPlan chunk_and_fingerprint(const CategoryPolicy& policy,
+                                           ConstByteSpan content,
+                                           telemetry::Telemetry* telemetry,
+                                           std::string_view category) {
+  if (telemetry == nullptr) return chunk_and_fingerprint(policy, content);
+  FileChunkPlan plan;
+  {
+    telemetry::TraceSpan span(&telemetry->trace, telemetry::Stage::kChunk,
+                              category);
+    plan.chunks = policy.chunker->split(content);
+  }
+  telemetry::TraceSpan span(&telemetry->trace, telemetry::Stage::kFingerprint,
+                            category);
   plan.digests.reserve(plan.chunks.size());
   for (const chunk::ChunkRef& ref : plan.chunks) {
     plan.digests.push_back(hash::compute_digest(

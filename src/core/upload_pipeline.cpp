@@ -1,8 +1,16 @@
 #include "core/upload_pipeline.hpp"
 
+#include <chrono>
+
 #include "util/check.hpp"
 
 namespace aadedupe::core {
+
+namespace {
+constexpr std::string_view kUploadCategory(ObjectKind kind) noexcept {
+  return kind == ObjectKind::kMetadata ? "metadata" : "container";
+}
+}  // namespace
 
 UploadPipeline::UploadPipeline(cloud::CloudTarget& target,
                                UploadPipelineOptions options)
@@ -16,7 +24,14 @@ UploadPipeline::UploadPipeline(UploadFn upload, UploadPipelineOptions options)
     : upload_(std::move(upload)),
       options_(options),
       queue_(options.queue_capacity),
-      uploader_([this] { worker(); }) {}
+      uploader_([this] { worker(); }) {
+  if (options_.telemetry != nullptr) {
+    stall_us_hist_ =
+        options_.telemetry->metrics.histogram("pipeline.enqueue_stall_us");
+    item_bytes_hist_ =
+        options_.telemetry->metrics.histogram("pipeline.item_bytes");
+  }
+}
 
 UploadPipeline::~UploadPipeline() {
   // finish() can throw (captured uploader exception, unjournaled terminal
@@ -32,6 +47,18 @@ void UploadPipeline::enqueue(UploadItem item) {
   {
     std::lock_guard lock(mutex_);
     ++stats_.enqueued;
+  }
+  if (options_.telemetry != nullptr) {
+    item_bytes_hist_.observe(item.payload.size());
+    // Time the push: a full queue blocks here, and that backpressure stall
+    // is exactly what the histogram is for.
+    const auto start = std::chrono::steady_clock::now();
+    const bool accepted = queue_.push(std::move(item));
+    const auto stall = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start);
+    stall_us_hist_.observe(static_cast<std::uint64_t>(stall.count()));
+    AAD_EXPECTS(accepted);
+    return;
   }
   const bool accepted = queue_.push(std::move(item));
   AAD_EXPECTS(accepted);
@@ -51,6 +78,9 @@ void UploadPipeline::worker() {
 }
 
 void UploadPipeline::ship(UploadItem item) {
+  telemetry::TraceSpan span(
+      options_.telemetry != nullptr ? &options_.telemetry->trace : nullptr,
+      telemetry::Stage::kUpload, kUploadCategory(item.kind));
   const std::uint32_t budget = 1 + (item.kind == ObjectKind::kMetadata
                                         ? options_.metadata_requeues
                                         : options_.container_requeues);

@@ -34,6 +34,7 @@
 #include "cloud/cloud_target.hpp"
 #include "core/upload_item.hpp"
 #include "core/upload_journal.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/bounded_queue.hpp"
 
 namespace aadedupe::core {
@@ -46,6 +47,9 @@ struct UploadPipelineOptions {
   /// Where terminally failed items go. Without a journal, finish() throws
   /// CloudTransportError on the first terminal failure instead.
   UploadJournal* journal = nullptr;
+  /// Nullable observability context: kUpload trace spans per shipped item,
+  /// an enqueue-backpressure stall histogram, and payload-size histogram.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 class UploadPipeline {
@@ -91,6 +95,8 @@ class UploadPipeline {
 
   UploadFn upload_;
   UploadPipelineOptions options_;
+  telemetry::Histogram stall_us_hist_;
+  telemetry::Histogram item_bytes_hist_;
   BoundedQueue<UploadItem> queue_;
 
   mutable std::mutex mutex_;

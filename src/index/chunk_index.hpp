@@ -33,6 +33,7 @@ struct IndexStats {
   std::uint64_t inserts = 0;
   std::uint64_t disk_reads = 0;   // bucket/slot reads that went to storage
   std::uint64_t disk_writes = 0;  // slot writes that went to storage
+  std::uint64_t probe_steps = 0;  // slots examined across all lookups
 
   IndexStats& operator+=(const IndexStats& o) {
     lookups += o.lookups;
@@ -40,6 +41,7 @@ struct IndexStats {
     inserts += o.inserts;
     disk_reads += o.disk_reads;
     disk_writes += o.disk_writes;
+    probe_steps += o.probe_steps;
     return *this;
   }
 };

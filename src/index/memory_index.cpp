@@ -39,6 +39,7 @@ std::optional<ChunkLocation> MemoryChunkIndex::lookup(
     const hash::Digest& digest) {
   std::lock_guard lock(mutex_);
   ++stats_.lookups;
+  ++stats_.probe_steps;  // hash-map probe: one step per lookup
   const auto it = map_.find(digest);
   if (it == map_.end()) return std::nullopt;
   ++stats_.hits;

@@ -152,6 +152,7 @@ std::optional<ChunkLocation> PersistentChunkIndex::lookup_locked(
   for (std::uint64_t probe = 0; probe < slot_count_; ++probe) {
     const std::uint64_t slot_index = (home + probe) % slot_count_;
     Slot slot = read_slot(slot_index);
+    ++stats_.probe_steps;
     if (slot.tombstone) continue;  // deleted entry: probe chain continues
     if (slot.digest.empty()) return std::nullopt;
     if (slot.digest == digest) {

@@ -1,0 +1,49 @@
+#include "telemetry/build_info.hpp"
+
+#include <thread>
+
+#include "telemetry/json.hpp"
+
+// The AAD_BUILD_* definitions are injected by src/telemetry/CMakeLists.txt
+// for this translation unit only; default to "unknown" so the library
+// still builds standalone (e.g. under an IDE's loose file mode).
+#ifndef AAD_BUILD_COMPILER
+#define AAD_BUILD_COMPILER "unknown"
+#endif
+#ifndef AAD_BUILD_FLAGS
+#define AAD_BUILD_FLAGS "unknown"
+#endif
+#ifndef AAD_BUILD_TYPE
+#define AAD_BUILD_TYPE "unknown"
+#endif
+#ifndef AAD_BUILD_SANITIZE
+#define AAD_BUILD_SANITIZE "OFF"
+#endif
+#ifndef AAD_BUILD_PRESET
+#define AAD_BUILD_PRESET "unknown"
+#endif
+
+namespace aadedupe::telemetry {
+
+BuildInfo BuildInfo::current() {
+  BuildInfo info;
+  info.compiler = AAD_BUILD_COMPILER;
+  info.flags = AAD_BUILD_FLAGS;
+  info.build_type = AAD_BUILD_TYPE;
+  info.sanitizer = AAD_BUILD_SANITIZE;
+  info.preset = AAD_BUILD_PRESET;
+  info.hardware_threads = std::thread::hardware_concurrency();
+  return info;
+}
+
+void BuildInfo::fill_json(JsonValue& out) const {
+  out.make_object();
+  out["compiler"] = compiler;
+  out["flags"] = flags;
+  out["build_type"] = build_type;
+  out["sanitizer"] = sanitizer;
+  out["preset"] = preset;
+  out["hardware_threads"] = hardware_threads;
+}
+
+}  // namespace aadedupe::telemetry

@@ -1,0 +1,26 @@
+// Build metadata stamped into every telemetry artifact (run reports and
+// bench JSON), so a number is never read without knowing which compiler,
+// flags, and preset produced it.
+#pragma once
+
+#include <string>
+
+namespace aadedupe::telemetry {
+
+class JsonValue;
+
+struct BuildInfo {
+  std::string compiler;    // "GNU 12.2.0"
+  std::string flags;       // effective CXX flags for the active config
+  std::string build_type;  // Release / RelWithDebInfo / ...
+  std::string sanitizer;   // OFF / address / thread
+  std::string preset;      // build-dir basename: build / build-tsan / ...
+  unsigned hardware_threads = 0;
+
+  /// The values baked in at compile time (hardware_threads at runtime).
+  [[nodiscard]] static BuildInfo current();
+
+  void fill_json(JsonValue& out) const;
+};
+
+}  // namespace aadedupe::telemetry

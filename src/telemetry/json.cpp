@@ -1,0 +1,213 @@
+#include "telemetry/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace aadedupe::telemetry {
+
+JsonValue& JsonValue::operator[](std::string_view key) {
+  if (type_ == Type::kNull) make_object();
+  AAD_EXPECTS(type_ == Type::kObject);
+  for (auto& [name, value] : object_) {
+    if (name == key) return value;
+  }
+  object_.emplace_back(std::string(key), JsonValue{});
+  return object_.back().second;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+JsonValue& JsonValue::push_back(JsonValue element) {
+  if (type_ == Type::kNull) make_array();
+  AAD_EXPECTS(type_ == Type::kArray);
+  array_.push_back(std::move(element));
+  return array_.back();
+}
+
+bool JsonValue::as_bool() const {
+  AAD_EXPECTS(type_ == Type::kBool);
+  return bool_;
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  if (type_ == Type::kInt && int_ >= 0) {
+    return static_cast<std::uint64_t>(int_);
+  }
+  AAD_EXPECTS(type_ == Type::kUint);
+  return uint_;
+}
+
+double JsonValue::as_double() const {
+  switch (type_) {
+    case Type::kDouble:
+      return double_;
+    case Type::kUint:
+      return static_cast<double>(uint_);
+    case Type::kInt:
+      return static_cast<double>(int_);
+    default:
+      AAD_EXPECTS(false && "JsonValue::as_double on non-numeric value");
+      return 0.0;
+  }
+}
+
+const std::string& JsonValue::as_string() const {
+  AAD_EXPECTS(type_ == Type::kString);
+  return string_;
+}
+
+std::size_t JsonValue::size() const noexcept {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return object_.size();
+  return 0;
+}
+
+JsonValue& JsonValue::make_object() {
+  AAD_EXPECTS(type_ == Type::kNull || type_ == Type::kObject);
+  type_ = Type::kObject;
+  return *this;
+}
+
+JsonValue& JsonValue::make_array() {
+  AAD_EXPECTS(type_ == Type::kNull || type_ == Type::kArray);
+  type_ = Type::kArray;
+  return *this;
+}
+
+void json_escape(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+namespace {
+
+void append_double(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";  // JSON has no Inf/NaN; null keeps the document valid
+    return;
+  }
+  char buf[40];
+  // %.12g keeps seconds at nanosecond resolution without trailing noise.
+  std::snprintf(buf, sizeof buf, "%.12g", value);
+  out += buf;
+  // Bare "1e+06" / "42" are valid JSON numbers; nothing more to do.
+}
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) *
+                 static_cast<std::size_t>(depth),
+             ' ');
+}
+
+}  // namespace
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kUint: {
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "%llu",
+                    static_cast<unsigned long long>(uint_));
+      out += buf;
+      break;
+    }
+    case Type::kInt: {
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "%lld",
+                    static_cast<long long>(int_));
+      out += buf;
+      break;
+    }
+    case Type::kDouble:
+      append_double(out, double_);
+      break;
+    case Type::kString:
+      out += '"';
+      json_escape(out, string_);
+      out += '"';
+      break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i != 0) out += ',';
+        append_newline_indent(out, indent, depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i != 0) out += ',';
+        append_newline_indent(out, indent, depth + 1);
+        out += '"';
+        json_escape(out, object_[i].first);
+        out += "\":";
+        if (indent > 0) out += ' ';
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+}  // namespace aadedupe::telemetry

@@ -1,0 +1,107 @@
+// Minimal ordered JSON document model for the telemetry run report.
+//
+// Deliberately write-only: the library builds and serializes reports, it
+// never parses them (tools/report.py does the reading). Object members
+// keep insertion order so reports diff cleanly between runs, and number
+// formatting is deterministic so byte-identical inputs produce
+// byte-identical artifacts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace aadedupe::telemetry {
+
+class JsonValue {
+ public:
+  enum class Type {
+    kNull,
+    kBool,
+    kUint,    // unsigned 64-bit (counters, byte totals)
+    kInt,     // signed 64-bit
+    kDouble,  // seconds, ratios
+    kString,
+    kArray,
+    kObject,
+  };
+
+  JsonValue() = default;
+
+  // Scalar constructors (implicit, so `obj["k"] = 3.5;` reads naturally).
+  JsonValue(bool value) : type_(Type::kBool), bool_(value) {}          // NOLINT
+  JsonValue(std::uint64_t value) : type_(Type::kUint), uint_(value) {} // NOLINT
+  JsonValue(std::int64_t value) : type_(Type::kInt), int_(value) {}    // NOLINT
+  JsonValue(int value)                                                 // NOLINT
+      : type_(Type::kInt), int_(value) {}
+  JsonValue(unsigned value)                                            // NOLINT
+      : type_(Type::kUint), uint_(value) {}
+  JsonValue(double value) : type_(Type::kDouble), double_(value) {}    // NOLINT
+  JsonValue(std::string value)                                         // NOLINT
+      : type_(Type::kString), string_(std::move(value)) {}
+  JsonValue(std::string_view value)                                    // NOLINT
+      : type_(Type::kString), string_(value) {}
+  JsonValue(const char* value)                                         // NOLINT
+      : type_(Type::kString), string_(value) {}
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::kObject;
+  }
+
+  /// Object member access; creates the member (and coerces a null value to
+  /// an object) on first use. Throws PreconditionError when called on a
+  /// non-object, non-null value.
+  JsonValue& operator[](std::string_view key);
+
+  /// Existing member, or nullptr. Never mutates.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Append to an array (coerces a null value to an array on first use).
+  JsonValue& push_back(JsonValue element);
+
+  /// Scalar readers (for tests asserting on a built report). Throw
+  /// PreconditionError on type mismatch, except as_double which also
+  /// accepts integer values.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::uint64_t as_uint() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] const std::vector<JsonValue>& array_items() const {
+    return array_;
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>&
+  object_items() const {
+    return object_;
+  }
+
+  /// Serialize. indent > 0 pretty-prints with that many spaces per level;
+  /// indent == 0 produces a single compact line (used for JSONL events).
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+  /// Make this value an empty object/array explicitly (so empty sections
+  /// serialize as {} rather than null).
+  JsonValue& make_object();
+  JsonValue& make_array();
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::uint64_t uint_ = 0;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// JSON string escaping (exposed for the JSONL span-event writer).
+void json_escape(std::string& out, std::string_view text);
+
+}  // namespace aadedupe::telemetry

@@ -1,0 +1,173 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "telemetry/json.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::telemetry {
+
+std::size_t histogram_bucket(std::uint64_t value) noexcept {
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+std::uint64_t histogram_bucket_upper(std::size_t bucket) noexcept {
+  if (bucket == 0) return 0;
+  if (bucket >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << bucket) - 1;
+}
+
+std::uint64_t HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(clamped / 100.0 * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= rank) return histogram_bucket_upper(b);
+  }
+  return histogram_bucket_upper(buckets.size() - 1);
+}
+
+const MetricsSnapshot::Entry* MetricsSnapshot::find(
+    std::string_view name) const {
+  for (const Entry& entry : entries) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::value(std::string_view name) const {
+  const Entry* entry = find(name);
+  return entry == nullptr ? 0 : entry->value;
+}
+
+void MetricsSnapshot::fill_json(JsonValue& out) const {
+  out.make_object();
+  for (const Entry& entry : entries) {
+    if (entry.kind == MetricKind::kHistogram) {
+      JsonValue& h = out[entry.name].make_object();
+      h["count"] = entry.histogram.count;
+      h["sum"] = entry.histogram.sum;
+      h["mean"] = entry.histogram.mean();
+      h["p50"] = entry.histogram.percentile(50.0);
+      h["p90"] = entry.histogram.percentile(90.0);
+      h["p99"] = entry.histogram.percentile(99.0);
+    } else {
+      out[entry.name] = entry.value;
+    }
+  }
+}
+
+namespace {
+std::atomic<std::uint64_t> g_next_registry_id{1};
+
+/// Thread-local shard cache: (registry id -> shard). Ids are process-
+/// unique and never reused, so an entry for a destroyed registry can
+/// never be matched (and is never dereferenced).
+struct ShardRef {
+  std::uint64_t registry_id;
+  void* shard;
+};
+thread_local std::vector<ShardRef> t_shard_cache;
+}  // namespace
+
+MetricsRegistry::MetricsRegistry(std::size_t slot_capacity)
+    : slot_capacity_(slot_capacity),
+      id_(g_next_registry_id.fetch_add(1, std::memory_order_relaxed)) {
+  AAD_EXPECTS(slot_capacity >= kHistogramBuckets + 1);
+}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() {
+  for (const ShardRef& ref : t_shard_cache) {
+    if (ref.registry_id == id_) return *static_cast<Shard*>(ref.shard);
+  }
+  std::lock_guard lock(mutex_);
+  shards_.push_back(std::make_unique<Shard>(slot_capacity_));
+  Shard* shard = shards_.back().get();
+  t_shard_cache.push_back(ShardRef{id_, shard});
+  return *shard;
+}
+
+std::uint32_t MetricsRegistry::register_instrument(std::string_view name,
+                                                   MetricKind kind,
+                                                   std::uint32_t width) {
+  AAD_EXPECTS(!name.empty());
+  std::lock_guard lock(mutex_);
+  for (const Instrument& instrument : instruments_) {
+    if (instrument.name == name) {
+      AAD_EXPECTS(instrument.kind == kind);
+      return instrument.base;
+    }
+  }
+  AAD_EXPECTS(slots_used_ + width <= slot_capacity_);
+  const std::uint32_t base = slots_used_;
+  instruments_.push_back(Instrument{std::string(name), kind, base, width});
+  slots_used_ += width;
+  return base;
+}
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  return Counter{this, register_instrument(name, MetricKind::kCounter, 1)};
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  return Gauge{this, register_instrument(name, MetricKind::kGauge, 1)};
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name) {
+  return Histogram{
+      this, register_instrument(
+                name, MetricKind::kHistogram,
+                static_cast<std::uint32_t>(kHistogramBuckets) + 1)};
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot snapshot;
+  snapshot.entries.reserve(instruments_.size());
+  for (const Instrument& instrument : instruments_) {
+    MetricsSnapshot::Entry entry;
+    entry.name = instrument.name;
+    entry.kind = instrument.kind;
+    for (const auto& shard : shards_) {
+      const auto slot = [&](std::uint32_t offset) {
+        return shard->values[instrument.base + offset].load(
+            std::memory_order_relaxed);
+      };
+      switch (instrument.kind) {
+        case MetricKind::kCounter:
+          entry.value += slot(0);
+          break;
+        case MetricKind::kGauge:
+          entry.value = std::max(entry.value, slot(0));
+          break;
+        case MetricKind::kHistogram: {
+          for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+            const std::uint64_t n = slot(static_cast<std::uint32_t>(b));
+            entry.histogram.buckets[b] += n;
+            entry.histogram.count += n;
+          }
+          entry.histogram.sum +=
+              slot(static_cast<std::uint32_t>(kHistogramBuckets));
+          break;
+        }
+      }
+    }
+    snapshot.entries.push_back(std::move(entry));
+  }
+  return snapshot;
+}
+
+std::size_t MetricsRegistry::shard_count() const {
+  std::lock_guard lock(mutex_);
+  return shards_.size();
+}
+
+}  // namespace aadedupe::telemetry

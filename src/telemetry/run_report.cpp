@@ -1,0 +1,51 @@
+#include "telemetry/run_report.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "telemetry/build_info.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::telemetry {
+
+RunReport::RunReport() {
+  root_.make_object();
+  root_["schema"] = kSchema;
+  BuildInfo::current().fill_json(root_["build"]);
+}
+
+JsonValue& RunReport::section(std::string_view name) {
+  return root_[name].make_object();
+}
+
+void RunReport::add_metrics(const MetricsRegistry& registry) {
+  registry.snapshot().fill_json(root_["metrics"]);
+}
+
+void RunReport::add_stages(const Tracer& tracer) {
+  tracer.fill_json(root_["stages"]);
+}
+
+void RunReport::add_telemetry(const Telemetry& telemetry) {
+  add_metrics(telemetry.metrics);
+  add_stages(telemetry.trace);
+}
+
+void RunReport::write_stream(std::ostream& out) const {
+  out << to_json() << '\n';
+}
+
+void RunReport::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw FormatError("run-report: cannot open " + path + " for writing");
+  }
+  write_stream(out);
+  out.flush();
+  if (!out) throw FormatError("run-report: failed writing " + path);
+}
+
+}  // namespace aadedupe::telemetry

@@ -1,0 +1,59 @@
+// RunReport — the single structured artifact a backup session (or a whole
+// bench suite) leaves behind.
+//
+// Layers contribute named sections (cloud transport, the AA-Dedupe
+// application breakdown, per-scheme bench results); the telemetry
+// substrate contributes the merged metrics and per-stage span table; the
+// build metadata is stamped automatically. The report is written as JSON
+// to a caller-supplied path or stream — never to stdout (tools/lint.py's
+// no-stdout rule applies to this library like any other).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "telemetry/json.hpp"
+
+namespace aadedupe::telemetry {
+
+class MetricsRegistry;
+class Tracer;
+struct Telemetry;
+
+class RunReport {
+ public:
+  /// Starts with {"schema": ..., "build": {...}}.
+  RunReport();
+
+  /// Top-level section (created as an object on first access). Layers use
+  /// this to contribute their stats without RunReport knowing their types.
+  JsonValue& section(std::string_view name);
+
+  JsonValue& root() noexcept { return root_; }
+  [[nodiscard]] const JsonValue& root() const noexcept { return root_; }
+  [[nodiscard]] const JsonValue* find(std::string_view name) const {
+    return root_.find(name);
+  }
+
+  /// Fold in a metrics snapshot ("metrics") / span table ("stages").
+  void add_metrics(const MetricsRegistry& registry);
+  void add_stages(const Tracer& tracer);
+  /// Both halves of a Telemetry context.
+  void add_telemetry(const Telemetry& telemetry);
+
+  [[nodiscard]] std::string to_json(int indent = 2) const {
+    return root_.dump(indent);
+  }
+
+  void write_stream(std::ostream& out) const;
+  /// Throws FormatError when the path cannot be opened/written.
+  void write_file(const std::string& path) const;
+
+  static constexpr std::string_view kSchema = "aadedupe-run-report/v1";
+
+ private:
+  JsonValue root_;
+};
+
+}  // namespace aadedupe::telemetry

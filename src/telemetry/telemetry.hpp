@@ -1,0 +1,28 @@
+// Telemetry context — the one handle the pipeline passes around.
+//
+// A Telemetry bundles the metrics registry and the tracer. Every
+// instrumented layer (scheme, pipeline, transport stack, container
+// manager) takes a nullable `telemetry::Telemetry*`; the default nullptr
+// is the null sink — instrumentation compiles down to a pointer test, so
+// the fingerprinting hot path keeps its throughput when nobody is
+// watching.
+#pragma once
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace aadedupe::telemetry {
+
+struct Telemetry {
+  MetricsRegistry metrics;
+  Tracer trace;
+
+  Telemetry() = default;
+  /// Deterministic-clock variant for tests.
+  explicit Telemetry(Tracer::Clock clock) : trace(std::move(clock)) {}
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+};
+
+}  // namespace aadedupe::telemetry

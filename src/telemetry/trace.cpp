@@ -1,0 +1,198 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "telemetry/json.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::telemetry {
+
+std::string_view to_string(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kSession:
+      return "session";
+    case Stage::kClassify:
+      return "classify";
+    case Stage::kChunk:
+      return "chunk";
+    case Stage::kFingerprint:
+      return "fingerprint";
+    case Stage::kIndexLookup:
+      return "index_lookup";
+    case Stage::kContainerPack:
+      return "container_pack";
+    case Stage::kUpload:
+      return "upload";
+    case Stage::kRetryWait:
+      return "retry_wait";
+    case Stage::kJournalReplay:
+      return "journal_replay";
+    case Stage::kMetadataSync:
+      return "metadata_sync";
+  }
+  return "unknown";
+}
+
+namespace {
+std::atomic<std::uint64_t> g_next_tracer_id{1};
+
+/// Innermost live span on this thread (any tracer); the self-time anchor.
+thread_local TraceSpan* t_current_span = nullptr;
+
+/// Thread-local shard cache, same scheme as MetricsRegistry: ids are
+/// process-unique, so entries of destroyed tracers are never matched.
+struct ShardRef {
+  std::uint64_t tracer_id;
+  void* shard;
+};
+thread_local std::vector<ShardRef> t_shard_cache;
+
+Tracer::Clock make_wall_clock() {
+  const auto epoch = std::chrono::steady_clock::now();
+  return [epoch] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch)
+        .count();
+  };
+}
+}  // namespace
+
+Tracer::Tracer() : Tracer(make_wall_clock()) {}
+
+Tracer::Tracer(Clock clock)
+    : clock_(std::move(clock)),
+      id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)) {
+  AAD_EXPECTS(clock_ != nullptr);
+}
+
+Tracer::~Tracer() = default;
+
+void Tracer::set_event_sink(EventSink sink) {
+  std::lock_guard lock(mutex_);
+  event_sink_ = std::move(sink);
+  events_enabled_.store(static_cast<bool>(event_sink_),
+                        std::memory_order_relaxed);
+}
+
+Tracer::Shard& Tracer::local_shard() {
+  for (const ShardRef& ref : t_shard_cache) {
+    if (ref.tracer_id == id_) return *static_cast<Shard*>(ref.shard);
+  }
+  std::lock_guard lock(mutex_);
+  shards_.push_back(std::make_unique<Shard>());
+  Shard* shard = shards_.back().get();
+  t_shard_cache.push_back(ShardRef{id_, shard});
+  return *shard;
+}
+
+void Tracer::record_row(Stage stage, std::string_view category,
+                        std::uint64_t count, double wall_s, double self_s,
+                        double sim_s) {
+  Shard& shard = local_shard();
+  std::lock_guard lock(shard.mutex);
+  StageRow& row = shard.rows[StageKey{stage, std::string(category)}];
+  row.count += count;
+  row.wall_s += wall_s;
+  row.self_s += std::max(0.0, self_s);
+  row.sim_s += sim_s;
+}
+
+void Tracer::record(Stage stage, std::string_view category, double wall_s,
+                    std::uint64_t count) {
+  record_row(stage, category, count, wall_s, wall_s, 0.0);
+  // A direct record is a leaf child of the enclosing span: keep the
+  // parent's self-time honest.
+  if (t_current_span != nullptr && t_current_span->tracer_ == this) {
+    t_current_span->child_wall_s_ += wall_s;
+  }
+}
+
+void Tracer::record_sim(Stage stage, std::string_view category,
+                        double sim_s) {
+  record_row(stage, category, 0, 0.0, 0.0, sim_s);
+}
+
+void Tracer::emit_event(Stage stage, std::string_view category,
+                        double start_s, double wall_s, double self_s,
+                        double sim_s) {
+  std::lock_guard lock(mutex_);
+  if (!event_sink_) return;
+  std::string line;
+  line.reserve(160);
+  line += "{\"stage\":\"";
+  line += to_string(stage);
+  line += "\",\"category\":\"";
+  json_escape(line, category);
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "\",\"t_start_s\":%.9f,\"wall_s\":%.9f,\"self_s\":%.9f,"
+                "\"sim_s\":%.9f,\"thread\":%llu}",
+                start_s, wall_s, self_s, sim_s,
+                static_cast<unsigned long long>(
+                    std::hash<std::thread::id>{}(std::this_thread::get_id()) &
+                    0xffffu));
+  line += buf;
+  event_sink_(line);
+}
+
+std::map<StageKey, StageRow> Tracer::snapshot() const {
+  std::map<StageKey, StageRow> merged;
+  std::lock_guard lock(mutex_);
+  for (const auto& shard : shards_) {
+    std::lock_guard shard_lock(shard->mutex);
+    for (const auto& [key, row] : shard->rows) {
+      StageRow& out = merged[key];
+      out.count += row.count;
+      out.wall_s += row.wall_s;
+      out.self_s += row.self_s;
+      out.sim_s += row.sim_s;
+    }
+  }
+  return merged;
+}
+
+void Tracer::fill_json(JsonValue& out) const {
+  out.make_array();
+  for (const auto& [key, row] : snapshot()) {
+    JsonValue entry;
+    entry["stage"] = to_string(key.first);
+    entry["category"] = key.second;
+    entry["count"] = row.count;
+    entry["wall_s"] = row.wall_s;
+    entry["self_s"] = row.self_s;
+    entry["sim_s"] = row.sim_s;
+    out.push_back(std::move(entry));
+  }
+}
+
+TraceSpan::TraceSpan(Tracer* tracer, Stage stage, std::string_view category)
+    : tracer_(tracer), stage_(stage), category_(category) {
+  if (tracer_ == nullptr) return;
+  start_s_ = tracer_->now();
+  parent_ = t_current_span;
+  t_current_span = this;
+}
+
+void TraceSpan::finish() {
+  if (tracer_ == nullptr) return;
+  const double wall = tracer_->now() - start_s_;
+  const double self = wall - child_wall_s_;
+  tracer_->record_row(stage_, category_, 1, wall, self, sim_s_);
+  if (tracer_->events_enabled_.load(std::memory_order_relaxed)) {
+    tracer_->emit_event(stage_, category_, start_s_, wall,
+                        std::max(0.0, self), sim_s_);
+  }
+  if (parent_ != nullptr && parent_->tracer_ == tracer_) {
+    parent_->child_wall_s_ += wall;
+  }
+  t_current_span = parent_;
+  tracer_ = nullptr;
+}
+
+TraceSpan::~TraceSpan() { finish(); }
+
+}  // namespace aadedupe::telemetry

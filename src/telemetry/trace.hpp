@@ -1,0 +1,150 @@
+// Scoped trace spans over the deduplication pipeline stages.
+//
+// A TraceSpan measures the wall time of one stage execution (RAII) and
+// attributes it to a (stage, application-category) row. Nested spans
+// subtract their time from the parent's *self* time, so a session span's
+// self row shows only un-instrumented glue, not the chunking underneath
+// it. Simulated durations (retry backoff, modeled disk seeks) are
+// recorded on the same rows via record_sim — the SimClock regime and the
+// wall clock stay separately visible.
+//
+// Aggregation is per-thread (each thread owns a shard guarded by a mutex
+// that is only ever contended by snapshot()), so span completion never
+// blocks another worker. With a null Tracer pointer every operation is a
+// no-op — the instrumented pipeline pays one branch.
+//
+// Opt-in JSONL span events: install an event sink and every span end
+// emits one compact JSON line (stage, category, start, durations,
+// thread) for timeline tooling. The sink is caller-supplied — library
+// code never writes to stdout.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace aadedupe::telemetry {
+
+class JsonValue;
+
+/// Pipeline stages instrumented across the backup path.
+enum class Stage : std::uint8_t {
+  kSession,       // whole run_session body
+  kClassify,      // routing files to application streams
+  kChunk,         // splitting file content into chunks
+  kFingerprint,   // hashing chunks (Rabin-96 / MD5 / SHA-1)
+  kIndexLookup,   // probing the application-aware index
+  kContainerPack, // appending new chunks to the open container
+  kUpload,        // shipping one object through the transport stack
+  kRetryWait,     // simulated backoff between transport retries
+  kJournalReplay, // re-shipping a previous degraded session's debt
+  kMetadataSync,  // recipes / index image / key store sync
+};
+
+[[nodiscard]] std::string_view to_string(Stage stage) noexcept;
+
+/// One aggregated (stage, category) row.
+struct StageRow {
+  std::uint64_t count = 0;
+  double wall_s = 0.0;  // total wall time, children included
+  double self_s = 0.0;  // wall time minus instrumented children
+  double sim_s = 0.0;   // simulated time charged to this stage
+};
+
+using StageKey = std::pair<Stage, std::string>;
+
+class Tracer {
+ public:
+  using Clock = std::function<double()>;  // seconds, monotonic
+  using EventSink = std::function<void(const std::string& jsonl_line)>;
+
+  /// Default: wall clock (steady_clock seconds since construction).
+  Tracer();
+  /// Injectable clock for deterministic tests.
+  explicit Tracer(Clock clock);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Install a JSONL span-event sink (opt-in verbosity). The sink is
+  /// invoked under a mutex — it may write to a stream without its own
+  /// locking. Pass nullptr to disable.
+  void set_event_sink(EventSink sink);
+
+  /// Record a completed measurement directly (no RAII). The duration is
+  /// attributed to the enclosing span's children, exactly as a nested
+  /// TraceSpan would be, so self-time accounting stays consistent.
+  void record(Stage stage, std::string_view category, double wall_s,
+              std::uint64_t count = 1);
+
+  /// Charge simulated seconds (SimClock regime) to a stage row.
+  void record_sim(Stage stage, std::string_view category, double sim_s);
+
+  /// Merged rows, keyed by (stage, category), stage-ordered.
+  [[nodiscard]] std::map<StageKey, StageRow> snapshot() const;
+
+  /// Rows as a JSON array: [{stage, category, count, wall_s, self_s,
+  /// sim_s} ...].
+  void fill_json(JsonValue& out) const;
+
+  [[nodiscard]] double now() const { return clock_(); }
+
+ private:
+  friend class TraceSpan;
+
+  struct Shard {
+    std::mutex mutex;
+    std::map<StageKey, StageRow> rows;
+  };
+
+  void record_row(Stage stage, std::string_view category, std::uint64_t count,
+                  double wall_s, double self_s, double sim_s);
+  void emit_event(Stage stage, std::string_view category, double start_s,
+                  double wall_s, double self_s, double sim_s);
+  Shard& local_shard();
+
+  Clock clock_;
+  const std::uint64_t id_;  // process-unique; keys the thread-local cache
+
+  mutable std::mutex mutex_;  // guards shards_ list and the event sink
+  std::vector<std::unique_ptr<Shard>> shards_;
+  EventSink event_sink_;
+  std::atomic<bool> events_enabled_{false};  // lock-free fast-path check
+};
+
+/// RAII stage span. Null tracer => inert.
+class TraceSpan {
+ public:
+  TraceSpan(Tracer* tracer, Stage stage, std::string_view category = {});
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Charge simulated seconds to this span's row (recorded at span end).
+  void add_sim_seconds(double seconds) noexcept { sim_s_ += seconds; }
+
+  /// End the span early (idempotent; the destructor becomes a no-op).
+  void finish();
+
+ private:
+  friend class Tracer;
+
+  Tracer* tracer_;
+  Stage stage_;
+  std::string category_;
+  double start_s_ = 0.0;
+  double child_wall_s_ = 0.0;  // accumulated by nested spans / record()
+  double sim_s_ = 0.0;
+  TraceSpan* parent_ = nullptr;  // enclosing span on this thread
+};
+
+}  // namespace aadedupe::telemetry

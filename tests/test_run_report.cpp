@@ -1,0 +1,188 @@
+// RunReport tests: schema/build stamping, file output, and whole-session
+// invariants over a real AA-Dedupe backup with telemetry attached.
+#include "telemetry/run_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "backup/scheme.hpp"
+#include "core/aa_dedupe.hpp"
+#include "dataset/generator.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(RunReport, StampsSchemaAndBuildMetadata) {
+  telemetry::RunReport report;
+  const telemetry::JsonValue* schema = report.find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->as_string(), telemetry::RunReport::kSchema);
+
+  const telemetry::JsonValue* build = report.find("build");
+  ASSERT_NE(build, nullptr);
+  ASSERT_TRUE(build->is_object());
+  for (const char* key : {"compiler", "flags", "build_type", "sanitizer",
+                          "preset", "hardware_threads"}) {
+    EXPECT_NE(build->find(key), nullptr) << "missing build." << key;
+  }
+}
+
+TEST(RunReport, WriteFileRoundTripsAndBadPathThrows) {
+  telemetry::RunReport report;
+  report.section("demo")["answer"] = 42u;
+
+  const fs::path path = fs::temp_directory_path() / "aad_run_report_test.json";
+  report.write_file(path.string());
+  ASSERT_TRUE(fs::exists(path));
+  EXPECT_GT(fs::file_size(path), 0u);
+  fs::remove(path);
+
+  EXPECT_THROW(report.write_file("/nonexistent-dir/report.json"), FormatError);
+}
+
+/// One real backup session with a Telemetry context attached end to end;
+/// the assembled report must satisfy the cross-section invariants.
+class RunReportSessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::AaDedupeOptions options;
+    options.telemetry = &telemetry_;
+    scheme_ = std::make_unique<core::AaDedupeScheme>(target_, options);
+
+    dataset::DatasetConfig config;
+    config.seed = 17;
+    config.session_bytes = 4ull << 20;
+    config.max_file_bytes = 1 << 20;
+    dataset::DatasetGenerator gen(config);
+    snapshot_ = gen.initial();
+    session_report_ = scheme_->backup(snapshot_);
+
+    report_.add_telemetry(telemetry_);
+    scheme_->fill_run_report(report_);
+    target_.fill_run_report(report_);
+    backup::fill_run_report(session_report_, report_);
+  }
+
+  const telemetry::JsonValue& get(const telemetry::JsonValue& obj,
+                                  std::string_view key) {
+    const telemetry::JsonValue* value = obj.find(key);
+    AAD_EXPECTS(value != nullptr);
+    return *value;
+  }
+
+  telemetry::Telemetry telemetry_;
+  cloud::CloudTarget target_;
+  std::unique_ptr<core::AaDedupeScheme> scheme_;
+  dataset::Snapshot snapshot_;
+  backup::SessionReport session_report_;
+  telemetry::RunReport report_;
+};
+
+TEST_F(RunReportSessionTest, SessionBytesMatchDatasetAndPerCategorySum) {
+  const telemetry::JsonValue& session = get(report_.root(), "session");
+  // Logical bytes in == dataset bytes == sum of per-application bytes.
+  EXPECT_EQ(get(session, "session_bytes").as_uint(), snapshot_.total_bytes());
+  EXPECT_EQ(get(session, "session_files").as_uint(), snapshot_.file_count());
+
+  std::uint64_t app_bytes = 0, app_files = 0, app_new_bytes = 0;
+  for (const telemetry::JsonValue& app :
+       get(session, "applications").array_items()) {
+    app_bytes += get(app, "session_bytes").as_uint();
+    app_files += get(app, "session_files").as_uint();
+    app_new_bytes += get(app, "session_new_bytes").as_uint();
+    EXPECT_GE(get(app, "dedup_ratio").as_double(), 0.0);
+  }
+  EXPECT_EQ(app_bytes, snapshot_.total_bytes());
+  EXPECT_EQ(app_files, snapshot_.file_count());
+  EXPECT_EQ(app_new_bytes, get(session, "session_new_bytes").as_uint());
+  // Dedup never inflates: shipped container bytes <= logical bytes.
+  EXPECT_LE(app_new_bytes, app_bytes);
+  EXPECT_GT(app_new_bytes, 0u);
+}
+
+TEST_F(RunReportSessionTest, MetricsCountersAgreeWithSessionSection) {
+  const telemetry::JsonValue& metrics = get(report_.root(), "metrics");
+  const telemetry::JsonValue& session = get(report_.root(), "session");
+  EXPECT_EQ(get(metrics, "session.files").as_uint(),
+            get(session, "session_files").as_uint());
+  EXPECT_EQ(get(metrics, "session.bytes_logical").as_uint(),
+            get(session, "session_bytes").as_uint());
+  EXPECT_EQ(get(metrics, "session.chunks").as_uint(),
+            get(session, "session_chunks").as_uint());
+  // Containers shipped and their bytes are live counters mirroring the
+  // per-category new-bytes total (containers are the only chunk payload).
+  EXPECT_GT(get(metrics, "container.shipped").as_uint(), 0u);
+  EXPECT_EQ(get(metrics, "container.bytes").as_uint(),
+            get(session, "session_new_bytes").as_uint());
+}
+
+TEST_F(RunReportSessionTest, UploadBytesMatchStoreReceivedBytes) {
+  const telemetry::JsonValue& cloud = get(report_.root(), "cloud");
+  const telemetry::JsonValue& store = get(cloud, "store");
+  const telemetry::JsonValue& session_report =
+      get(report_.root(), "session_report");
+  // Fresh target: everything the store received was uploaded this session.
+  EXPECT_EQ(get(store, "bytes_uploaded").as_uint(),
+            get(session_report, "transferred_bytes").as_uint());
+  EXPECT_EQ(get(store, "put_requests").as_uint(),
+            get(session_report, "upload_requests").as_uint());
+  EXPECT_GT(get(store, "bytes_uploaded").as_uint(), 0u);
+  // Container payloads are a subset of what was shipped (metadata rides
+  // along), so store bytes dominate session_new_bytes.
+  const telemetry::JsonValue& session = get(report_.root(), "session");
+  EXPECT_GE(get(store, "bytes_uploaded").as_uint(),
+            get(session, "session_new_bytes").as_uint());
+}
+
+TEST_F(RunReportSessionTest, StagesCoverThePipeline) {
+  const telemetry::JsonValue& stages = get(report_.root(), "stages");
+  std::set<std::string> seen;
+  for (const telemetry::JsonValue& row : stages.array_items()) {
+    seen.insert(get(row, "stage").as_string());
+    EXPECT_GE(get(row, "wall_s").as_double(), 0.0);
+    EXPECT_GE(get(row, "self_s").as_double(), 0.0);
+    // Self time never exceeds total (per row, post-aggregation).
+    EXPECT_LE(get(row, "self_s").as_double(),
+              get(row, "wall_s").as_double() + 1e-9);
+  }
+  for (const char* stage : {"session", "classify", "chunk", "fingerprint",
+                            "index_lookup", "container_pack", "upload",
+                            "metadata_sync"}) {
+    EXPECT_TRUE(seen.contains(stage)) << "missing stage " << stage;
+  }
+}
+
+TEST_F(RunReportSessionTest, PipelineAndJournalSectionsAreCoherent) {
+  const telemetry::JsonValue& session = get(report_.root(), "session");
+  const telemetry::JsonValue& pipeline = get(session, "pipeline");
+  EXPECT_GT(get(pipeline, "enqueued").as_uint(), 0u);
+  EXPECT_EQ(get(pipeline, "uploaded").as_uint(),
+            get(pipeline, "enqueued").as_uint());
+  EXPECT_EQ(get(pipeline, "failed").as_uint(), 0u);
+  const telemetry::JsonValue& journal = get(session, "journal");
+  EXPECT_EQ(get(journal, "pending_items").as_uint(), 0u);
+  EXPECT_EQ(get(journal, "pending_bytes").as_uint(), 0u);
+}
+
+TEST_F(RunReportSessionTest, ReportSerializesToNonTrivialJson) {
+  const std::string json = report_.to_json();
+  EXPECT_GT(json.size(), 500u);
+  EXPECT_EQ(json.front(), '{');
+  // Every contributed section survives serialization.
+  for (const char* key : {"\"schema\"", "\"build\"", "\"metrics\"",
+                          "\"stages\"", "\"session\"", "\"cloud\"",
+                          "\"session_report\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+}  // namespace
+}  // namespace aadedupe

@@ -1,0 +1,186 @@
+// MetricsRegistry tests: exact merge under concurrency, histogram bucket
+// and percentile edges, registration semantics.
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace aadedupe::telemetry {
+namespace {
+
+#ifdef AAD_TSAN
+constexpr std::size_t kThreads = 4;
+constexpr std::uint64_t kIncrementsPerThread = 2'000;
+#else
+constexpr std::size_t kThreads = 8;
+constexpr std::uint64_t kIncrementsPerThread = 50'000;
+#endif
+
+TEST(MetricsRegistry, ConcurrentCountersMergeExactly) {
+  MetricsRegistry registry;
+  constexpr std::size_t kCounters = 5;
+  std::vector<Counter> counters;
+  for (std::size_t c = 0; c < kCounters; ++c) {
+    counters.push_back(registry.counter("counter." + std::to_string(c)));
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counters] {
+      for (std::uint64_t i = 0; i < kIncrementsPerThread; ++i) {
+        counters[i % kCounters].increment();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // N threads x M counters: every increment lands exactly once.
+  const MetricsSnapshot snapshot = registry.snapshot();
+  std::uint64_t total = 0;
+  for (std::size_t c = 0; c < kCounters; ++c) {
+    total += snapshot.value("counter." + std::to_string(c));
+  }
+  EXPECT_EQ(total, kThreads * kIncrementsPerThread);
+  EXPECT_GE(registry.shard_count(), 1u);
+}
+
+TEST(MetricsRegistry, ConcurrentHistogramCountIsExact) {
+  MetricsRegistry registry;
+  Histogram hist = registry.histogram("h");
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([hist, t] {
+      for (std::uint64_t i = 0; i < kIncrementsPerThread; ++i) {
+        hist.observe(t * kIncrementsPerThread + i);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const MetricsSnapshot snapshot = registry.snapshot();
+  const MetricsSnapshot::Entry* entry = snapshot.find("h");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->histogram.count, kThreads * kIncrementsPerThread);
+}
+
+TEST(MetricsRegistry, RegistrationIsIdempotentByName) {
+  MetricsRegistry registry;
+  Counter a = registry.counter("same");
+  Counter b = registry.counter("same");
+  a.add(3);
+  b.add(4);
+  EXPECT_EQ(registry.snapshot().value("same"), 7u);
+  // Only one instrument exists.
+  EXPECT_EQ(registry.snapshot().entries.size(), 1u);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry registry;
+  (void)registry.counter("x");
+  EXPECT_THROW((void)registry.gauge("x"), PreconditionError);
+  EXPECT_THROW((void)registry.histogram("x"), PreconditionError);
+}
+
+TEST(MetricsRegistry, SlotExhaustionThrows) {
+  // Minimum legal capacity: one histogram fills the whole slot table.
+  MetricsRegistry registry(/*slot_capacity=*/kHistogramBuckets + 1);
+  (void)registry.histogram("big");
+  EXPECT_THROW((void)registry.counter("one_more"), PreconditionError);
+}
+
+TEST(MetricsRegistry, GaugeMergesAsMaxAcrossThreads) {
+  MetricsRegistry registry;
+  Gauge gauge = registry.gauge("peak");
+  gauge.set(10);
+  std::thread other([gauge] { gauge.set(25); });
+  other.join();
+  EXPECT_EQ(registry.snapshot().value("peak"), 25u);
+}
+
+TEST(MetricsRegistry, DefaultHandlesAreInert) {
+  Counter counter;
+  Gauge gauge;
+  Histogram hist;
+  counter.add(1);
+  gauge.set(1);
+  hist.observe(1);  // must not crash
+}
+
+TEST(Histogram, BucketEdges) {
+  EXPECT_EQ(histogram_bucket(0), 0u);
+  EXPECT_EQ(histogram_bucket(1), 1u);
+  EXPECT_EQ(histogram_bucket(2), 2u);
+  EXPECT_EQ(histogram_bucket(3), 2u);
+  EXPECT_EQ(histogram_bucket(4), 3u);
+  EXPECT_EQ(histogram_bucket((1ull << 63) - 1), 63u);
+  EXPECT_EQ(histogram_bucket(1ull << 63), 64u);
+  EXPECT_EQ(histogram_bucket(std::numeric_limits<std::uint64_t>::max()), 64u);
+}
+
+TEST(Histogram, BucketUpperBounds) {
+  EXPECT_EQ(histogram_bucket_upper(0), 0u);
+  EXPECT_EQ(histogram_bucket_upper(1), 1u);
+  EXPECT_EQ(histogram_bucket_upper(2), 3u);
+  EXPECT_EQ(histogram_bucket_upper(3), 7u);
+  EXPECT_EQ(histogram_bucket_upper(64),
+            std::numeric_limits<std::uint64_t>::max());
+  // Every value lands in a bucket whose upper bound covers it.
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 1023ull, 1024ull, 1ull << 40}) {
+    EXPECT_GE(histogram_bucket_upper(histogram_bucket(v)), v);
+  }
+}
+
+TEST(Histogram, PercentilesOnKnownDistribution) {
+  MetricsRegistry registry;
+  Histogram hist = registry.histogram("sizes");
+  // 90 observations of 100 (bucket upper 127), 10 of 100000.
+  for (int i = 0; i < 90; ++i) hist.observe(100);
+  for (int i = 0; i < 10; ++i) hist.observe(100'000);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  const MetricsSnapshot::Entry* entry = snap.find("sizes");
+  ASSERT_NE(entry, nullptr);
+  const HistogramSnapshot& h = entry->histogram;
+  EXPECT_EQ(h.count, 100u);
+  EXPECT_EQ(h.sum, 90ull * 100 + 10ull * 100'000);
+  EXPECT_EQ(h.percentile(50), histogram_bucket_upper(histogram_bucket(100)));
+  EXPECT_EQ(h.percentile(90), histogram_bucket_upper(histogram_bucket(100)));
+  EXPECT_EQ(h.percentile(99),
+            histogram_bucket_upper(histogram_bucket(100'000)));
+  EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(h.sum) / 100.0);
+}
+
+TEST(Histogram, PercentileEdgeCases) {
+  HistogramSnapshot empty;
+  EXPECT_EQ(empty.percentile(50), 0u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+
+  MetricsRegistry registry;
+  Histogram hist = registry.histogram("zeros");
+  hist.observe(0);
+  const HistogramSnapshot h = registry.snapshot().find("zeros")->histogram;
+  EXPECT_EQ(h.buckets[0], 1u);  // exact-zero bucket
+  EXPECT_EQ(h.percentile(0), 0u);
+  EXPECT_EQ(h.percentile(100), 0u);
+}
+
+TEST(MetricsRegistry, TwoRegistriesDoNotCrossTalk) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  Counter ca = a.counter("shared.name");
+  Counter cb = b.counter("shared.name");
+  ca.add(1);
+  cb.add(2);
+  EXPECT_EQ(a.snapshot().value("shared.name"), 1u);
+  EXPECT_EQ(b.snapshot().value("shared.name"), 2u);
+}
+
+}  // namespace
+}  // namespace aadedupe::telemetry

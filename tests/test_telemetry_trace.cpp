@@ -1,0 +1,209 @@
+// Tracer / TraceSpan tests: deterministic self-vs-total accounting with a
+// fake clock, direct record() attribution, simulated time, JSONL events,
+// and cross-thread aggregation.
+#include "telemetry/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace aadedupe::telemetry {
+namespace {
+
+/// Manually-advanced clock shared with the tracer under test.
+struct FakeClock {
+  double now = 0.0;
+  Tracer::Clock fn() {
+    return [this] { return now; };
+  }
+};
+
+StageRow row_of(const Tracer& tracer, Stage stage,
+                const std::string& category = {}) {
+  const auto rows = tracer.snapshot();
+  const auto it = rows.find(StageKey{stage, category});
+  return it == rows.end() ? StageRow{} : it->second;
+}
+
+TEST(Tracer, NestedSpanSelfTimeExcludesChildren) {
+  FakeClock clock;
+  Tracer tracer(clock.fn());
+  {
+    TraceSpan outer(&tracer, Stage::kSession);
+    clock.now = 1.0;
+    {
+      TraceSpan inner(&tracer, Stage::kChunk, "docs");
+      clock.now = 3.0;
+    }  // inner: wall 2.0
+    clock.now = 4.0;
+  }  // outer: wall 4.0, self 4.0 - 2.0
+
+  const StageRow outer = row_of(tracer, Stage::kSession);
+  EXPECT_EQ(outer.count, 1u);
+  EXPECT_DOUBLE_EQ(outer.wall_s, 4.0);
+  EXPECT_DOUBLE_EQ(outer.self_s, 2.0);
+
+  const StageRow inner = row_of(tracer, Stage::kChunk, "docs");
+  EXPECT_EQ(inner.count, 1u);
+  EXPECT_DOUBLE_EQ(inner.wall_s, 2.0);
+  EXPECT_DOUBLE_EQ(inner.self_s, 2.0);
+}
+
+TEST(Tracer, DoublyNestedSpansChainSelfTime) {
+  FakeClock clock;
+  Tracer tracer(clock.fn());
+  {
+    TraceSpan session(&tracer, Stage::kSession);
+    {
+      TraceSpan chunk(&tracer, Stage::kChunk, "media");
+      clock.now = 1.0;
+      {
+        TraceSpan fp(&tracer, Stage::kFingerprint, "media");
+        clock.now = 5.0;
+      }  // fp: wall 4
+      clock.now = 6.0;
+    }  // chunk: wall 6, self 2
+    clock.now = 10.0;
+  }  // session: wall 10, self 4
+
+  EXPECT_DOUBLE_EQ(row_of(tracer, Stage::kFingerprint, "media").self_s, 4.0);
+  EXPECT_DOUBLE_EQ(row_of(tracer, Stage::kChunk, "media").wall_s, 6.0);
+  EXPECT_DOUBLE_EQ(row_of(tracer, Stage::kChunk, "media").self_s, 2.0);
+  EXPECT_DOUBLE_EQ(row_of(tracer, Stage::kSession).wall_s, 10.0);
+  EXPECT_DOUBLE_EQ(row_of(tracer, Stage::kSession).self_s, 4.0);
+}
+
+TEST(Tracer, DirectRecordCountsAgainstEnclosingSpan) {
+  FakeClock clock;
+  Tracer tracer(clock.fn());
+  {
+    TraceSpan session(&tracer, Stage::kSession);
+    clock.now = 10.0;
+    // Accumulated per-chunk lookup time recorded as one leaf measurement.
+    tracer.record(Stage::kIndexLookup, "docs", 3.0, /*count=*/7);
+  }  // session: wall 10, self 10 - 3
+
+  const StageRow lookup = row_of(tracer, Stage::kIndexLookup, "docs");
+  EXPECT_EQ(lookup.count, 7u);
+  EXPECT_DOUBLE_EQ(lookup.wall_s, 3.0);
+  EXPECT_DOUBLE_EQ(lookup.self_s, 3.0);
+  EXPECT_DOUBLE_EQ(row_of(tracer, Stage::kSession).self_s, 7.0);
+}
+
+TEST(Tracer, RecordSimKeepsRegimesSeparate) {
+  FakeClock clock;
+  Tracer tracer(clock.fn());
+  tracer.record_sim(Stage::kRetryWait, "transport", 1.5);
+  tracer.record_sim(Stage::kRetryWait, "transport", 0.5);
+
+  const StageRow row = row_of(tracer, Stage::kRetryWait, "transport");
+  EXPECT_EQ(row.count, 0u);  // sim charges are not span completions
+  EXPECT_DOUBLE_EQ(row.wall_s, 0.0);
+  EXPECT_DOUBLE_EQ(row.sim_s, 2.0);
+}
+
+TEST(Tracer, SpanAddSimSecondsLandsOnItsRow) {
+  FakeClock clock;
+  Tracer tracer(clock.fn());
+  {
+    TraceSpan span(&tracer, Stage::kUpload, "container");
+    span.add_sim_seconds(0.25);
+    span.add_sim_seconds(0.75);
+    clock.now = 2.0;
+  }
+  const StageRow row = row_of(tracer, Stage::kUpload, "container");
+  EXPECT_DOUBLE_EQ(row.wall_s, 2.0);
+  EXPECT_DOUBLE_EQ(row.sim_s, 1.0);
+}
+
+TEST(Tracer, FinishIsIdempotent) {
+  FakeClock clock;
+  Tracer tracer(clock.fn());
+  TraceSpan span(&tracer, Stage::kUpload);
+  clock.now = 1.0;
+  span.finish();
+  clock.now = 5.0;
+  span.finish();  // no second row
+  const StageRow row = row_of(tracer, Stage::kUpload);
+  EXPECT_EQ(row.count, 1u);
+  EXPECT_DOUBLE_EQ(row.wall_s, 1.0);
+}
+
+TEST(Tracer, NullTracerSpansAreInert) {
+  TraceSpan span(nullptr, Stage::kChunk, "docs");
+  span.add_sim_seconds(1.0);
+  span.finish();  // must not crash
+}
+
+TEST(Tracer, EventSinkEmitsOneJsonlLinePerSpan) {
+  FakeClock clock;
+  Tracer tracer(clock.fn());
+  std::vector<std::string> lines;
+  tracer.set_event_sink([&lines](const std::string& line) {
+    lines.push_back(line);
+  });
+  {
+    TraceSpan span(&tracer, Stage::kChunk, "docs");
+    clock.now = 2.0;
+  }
+  tracer.set_event_sink(nullptr);
+  {
+    TraceSpan span(&tracer, Stage::kChunk, "docs");  // sink disabled
+  }
+
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"stage\":\"chunk\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"category\":\"docs\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"wall_s\":2.0"), std::string::npos);
+  EXPECT_EQ(lines[0].front(), '{');
+  EXPECT_EQ(lines[0].back(), '}');
+}
+
+TEST(Tracer, CrossThreadSpansAggregateIntoOneSnapshot) {
+#ifdef AAD_TSAN
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kSpansPerThread = 200;
+#else
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kSpansPerThread = 2'000;
+#endif
+  Tracer tracer;  // wall clock: durations are nonnegative, counts exact
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (std::size_t i = 0; i < kSpansPerThread; ++i) {
+        TraceSpan span(&tracer, Stage::kFingerprint, "stress");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const StageRow row = row_of(tracer, Stage::kFingerprint, "stress");
+  EXPECT_EQ(row.count, kThreads * kSpansPerThread);
+  EXPECT_GE(row.wall_s, 0.0);
+  EXPECT_GE(row.self_s, 0.0);
+}
+
+TEST(Tracer, SiblingTracersDoNotStealChildren) {
+  // A span on tracer B nested inside a span on tracer A must not subtract
+  // from A's self time (different tracer => unrelated instrumentation).
+  FakeClock clock;
+  Tracer a(clock.fn());
+  Tracer b(clock.fn());
+  {
+    TraceSpan outer(&a, Stage::kSession);
+    {
+      TraceSpan inner(&b, Stage::kChunk);
+      clock.now = 3.0;
+    }
+    clock.now = 4.0;
+  }
+  EXPECT_DOUBLE_EQ(row_of(a, Stage::kSession).self_s, 4.0);
+  EXPECT_DOUBLE_EQ(row_of(b, Stage::kChunk).wall_s, 3.0);
+}
+
+}  // namespace
+}  // namespace aadedupe::telemetry

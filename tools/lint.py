@@ -21,6 +21,11 @@ Rules (see DESIGN.md §5 for rationale):
                   reproducible sessions need every random byte to flow from
                   a seedable Rng (cert-msc32/51 stay disabled in .clang-tidy
                   for exactly this reason: determinism is the point).
+  stats-structs   no new `struct *Stats` in src/ outside src/telemetry —
+                  new observability goes through telemetry::MetricsRegistry
+                  counters/histograms and RunReport sections instead of yet
+                  another ad-hoc struct. The existing five are grandfathered
+                  (and are themselves folded into RunReport).
 """
 
 from __future__ import annotations
@@ -204,12 +209,45 @@ def check_no_raw_random(findings):
                         "randomness flows from the seedable Rng"))
 
 
+STATS_STRUCT = re.compile(r"(?<![\w:])struct\s+(\w*Stats)\b")
+
+# Grandfathered stats structs (file-relative path, struct name). These
+# predate the telemetry layer and are routed into RunReport sections; new
+# observability belongs in telemetry::MetricsRegistry / RunReport.
+ALLOWED_STATS = {
+    ("src/cloud/object_store.hpp", "StoreStats"),
+    ("src/cloud/retrying_backend.hpp", "RetryStats"),
+    ("src/cloud/fault_injection.hpp", "FaultStats"),
+    ("src/index/chunk_index.hpp", "IndexStats"),
+    ("src/core/aa_dedupe.hpp", "ApplicationStats"),
+    ("src/core/upload_pipeline.hpp", "Stats"),
+}
+
+
+def check_stats_structs(findings):
+    telemetry_dir = REPO / "src" / "telemetry"
+    for path in iter_files(("src",), SOURCE_GLOBS):
+        if telemetry_dir in path.parents:
+            continue
+        text = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        rel = path.relative_to(REPO).as_posix()
+        for m in STATS_STRUCT.finditer(text):
+            if (rel, m.group(1)) in ALLOWED_STATS:
+                continue
+            findings.append(
+                Finding("stats-structs", path, line_of(text, m.start()),
+                        f"new stats struct `{m.group(1)}` outside "
+                        "src/telemetry — use telemetry::MetricsRegistry "
+                        "counters/histograms or a RunReport section"))
+
+
 CHECKS = (
     check_pragma_once,
     check_using_namespace,
     check_no_stdout,
     check_throw_taxonomy,
     check_no_raw_random,
+    check_stats_structs,
 )
 
 

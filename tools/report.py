@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""Pretty-print and diff aadedupe telemetry run reports.
+
+A run report is the JSON artifact emitted by the telemetry layer
+(telemetry::RunReport, schema "aadedupe-run-report/v1"): build metadata,
+merged metrics, per-stage span times, the per-application dedup
+breakdown, and the cloud transport counters.
+
+Usage:
+  report.py show <report.json>             human-readable summary
+  report.py diff <a.json> <b.json>         field-by-field comparison
+  report.py --selftest                     internal check (ctest smoke)
+
+Exit codes: 0 ok, 1 bad input, 2 usage. `diff` always exits 0 when both
+files parse — differing numbers are the expected output, not an error.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "aadedupe-run-report/v1"
+
+
+def load(path: str) -> dict:
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"report.py: cannot read {path}: {exc}")
+    if not isinstance(data, dict):
+        raise SystemExit(f"report.py: {path}: not a JSON object")
+    schema = data.get("schema")
+    if schema != SCHEMA:
+        print(f"# warning: {path}: schema {schema!r}, expected {SCHEMA!r}")
+    return data
+
+
+def fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024 or unit == "TiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    return f"{n:.1f} TiB"
+
+
+def fmt_value(key: str, value) -> str:
+    if isinstance(value, bool):
+        return str(value).lower()
+    if isinstance(value, (int, float)) and (
+            key.endswith("_bytes") or key == "bytes"):
+        return fmt_bytes(value)
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def flatten(node, prefix="") -> dict:
+    """Flatten nested objects/arrays to dotted-path -> scalar."""
+    out = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            out.update(flatten(value, f"{prefix}.{key}" if prefix else key))
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            # Label application/stage rows by their natural key when present.
+            tag = str(i)
+            if isinstance(value, dict):
+                if "partition" in value:
+                    tag = value["partition"]
+                elif "stage" in value:
+                    tag = f"{value['stage']}/{value.get('category', '')}"
+            out.update(flatten(value, f"{prefix}[{tag}]"))
+    else:
+        out[prefix] = node
+    return out
+
+
+def show(path: str) -> int:
+    data = load(path)
+    build = data.get("build", {})
+    print(f"run report: {path}")
+    print(f"  schema  : {data.get('schema')}")
+    print(f"  build   : {build.get('compiler')} {build.get('build_type')} "
+          f"preset={build.get('preset')} sanitizer={build.get('sanitizer')} "
+          f"threads={build.get('hardware_threads')}")
+
+    session = data.get("session")
+    if session:
+        print(f"  scheme  : {session.get('scheme')} "
+              f"(session {session.get('latest_session')})")
+        print(f"  logical : {fmt_bytes(session.get('session_bytes', 0))} in "
+              f"{session.get('session_files')} files, "
+              f"{session.get('session_chunks')} chunks")
+        print(f"  shipped : {fmt_bytes(session.get('session_new_bytes', 0))} "
+              "of container payload")
+        apps = session.get("applications", [])
+        if apps:
+            print("  applications:")
+            print(f"    {'app':8} {'chnk':5} {'hash':8} {'bytes':>10} "
+                  f"{'new':>10} {'ratio':>7}")
+            for app in apps:
+                ratio = app.get("dedup_ratio", 0.0)
+                print(f"    {app.get('partition', '?'):8} "
+                      f"{app.get('chunker', '-'):5} "
+                      f"{app.get('hash', '-'):8} "
+                      f"{fmt_bytes(app.get('session_bytes', 0)):>10} "
+                      f"{fmt_bytes(app.get('session_new_bytes', 0)):>10} "
+                      f"{ratio:>7.2f}")
+
+    stages = data.get("stages")
+    if stages:
+        print("  stages (wall / self / sim seconds):")
+        for row in stages:
+            print(f"    {row.get('stage', '?'):14} "
+                  f"{row.get('category', ''):10} "
+                  f"x{row.get('count', 0):<8} "
+                  f"{row.get('wall_s', 0.0):9.4f} "
+                  f"{row.get('self_s', 0.0):9.4f} "
+                  f"{row.get('sim_s', 0.0):9.4f}")
+
+    cloud = data.get("cloud")
+    if cloud:
+        store = cloud.get("store", {})
+        retry = cloud.get("retry", {})
+        faults = cloud.get("faults", {})
+        print(f"  cloud   : {fmt_bytes(store.get('bytes_uploaded', 0))} up in "
+              f"{store.get('put_requests')} puts; "
+              f"retries={retry.get('retries')} "
+              f"exhausted={retry.get('exhausted')} "
+              f"faults={faults.get('injected_total')}")
+
+    report = data.get("session_report")
+    if report:
+        print(f"  metrics : DR={report.get('dedupe_ratio', 0.0):.2f} "
+              f"window={report.get('backup_window_seconds', 0.0):.1f}s "
+              f"dedupe={report.get('dedupe_seconds', 0.0):.1f}s "
+              f"transfer={report.get('transfer_seconds', 0.0):.1f}s")
+    return 0
+
+
+def diff(path_a: str, path_b: str) -> int:
+    flat_a = flatten(load(path_a))
+    flat_b = flatten(load(path_b))
+    keys = sorted(set(flat_a) | set(flat_b))
+    width = max((len(k) for k in keys), default=0)
+    changed = 0
+    for key in keys:
+        if key.startswith("build."):
+            continue  # environment, not results
+        a, b = flat_a.get(key), flat_b.get(key)
+        if a == b:
+            continue
+        changed += 1
+        last = key.rsplit(".", 1)[-1]
+        sa = "-" if a is None else fmt_value(last, a)
+        sb = "-" if b is None else fmt_value(last, b)
+        delta = ""
+        if isinstance(a, (int, float)) and isinstance(b, (int, float)) \
+                and not isinstance(a, bool) and not isinstance(b, bool) and a:
+            delta = f"  ({100.0 * (b - a) / a:+.1f}%)"
+        print(f"{key:<{width}}  {sa} -> {sb}{delta}")
+    print(f"# {changed} field(s) differ "
+          f"({len(keys)} compared, build.* ignored)")
+    return 0
+
+
+def selftest() -> int:
+    a = {
+        "schema": SCHEMA,
+        "build": {"compiler": "x", "build_type": "Release",
+                  "preset": "default", "sanitizer": "OFF",
+                  "hardware_threads": 8},
+        "session": {
+            "scheme": "AA-Dedupe", "latest_session": 0,
+            "session_bytes": 1024, "session_files": 2, "session_chunks": 3,
+            "session_new_bytes": 512,
+            "applications": [
+                {"partition": "doc", "chunker": "cdc", "hash": "sha1",
+                 "session_bytes": 1024, "session_new_bytes": 512,
+                 "dedup_ratio": 2.0}],
+        },
+        "stages": [{"stage": "chunk", "category": "doc", "count": 1,
+                    "wall_s": 0.5, "self_s": 0.5, "sim_s": 0.0}],
+        "cloud": {"store": {"bytes_uploaded": 600, "put_requests": 2},
+                  "retry": {"retries": 0, "exhausted": 0},
+                  "faults": {"injected_total": 0}},
+        "session_report": {"dedupe_ratio": 2.0,
+                           "backup_window_seconds": 1.0,
+                           "dedupe_seconds": 1.0, "transfer_seconds": 0.5},
+    }
+    b = json.loads(json.dumps(a))
+    b["session"]["session_new_bytes"] = 256
+    b["build"]["compiler"] = "y"  # must be ignored by diff
+
+    import io
+    import tempfile
+    from contextlib import redirect_stdout
+
+    with tempfile.TemporaryDirectory() as tmp:
+        pa, pb = Path(tmp) / "a.json", Path(tmp) / "b.json"
+        pa.write_text(json.dumps(a))
+        pb.write_text(json.dumps(b))
+
+        out = io.StringIO()
+        with redirect_stdout(out):
+            assert show(str(pa)) == 0
+        shown = out.getvalue()
+        assert "AA-Dedupe" in shown and "chunk" in shown, shown
+
+        out = io.StringIO()
+        with redirect_stdout(out):
+            assert diff(str(pa), str(pb)) == 0
+        diffed = out.getvalue()
+        assert "session.session_new_bytes" in diffed, diffed
+        assert "-50.0%" in diffed, diffed
+        assert "compiler" not in diffed, diffed
+        assert "# 1 field(s) differ" in diffed, diffed
+
+    flat = flatten(a)
+    assert flat["session.applications[doc].dedup_ratio"] == 2.0
+    assert flat["stages[chunk/doc].wall_s"] == 0.5
+    print("report.py selftest: OK")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) >= 1 and argv[0] == "--selftest":
+        return selftest()
+    if len(argv) == 2 and argv[0] == "show":
+        return show(argv[1])
+    if len(argv) == 3 and argv[0] == "diff":
+        return diff(argv[1], argv[2])
+    print(__doc__.strip(), file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -11,17 +11,88 @@
 #include "core/aa_dedupe.hpp"
 #include "telemetry/build_info.hpp"
 #include "telemetry/json.hpp"
+#include "telemetry/log.hpp"
 #include "telemetry/run_report.hpp"
 
 namespace aadedupe::bench {
 
-namespace {
 std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr || *value == '\0') return fallback;
   return static_cast<std::uint64_t>(std::strtoull(value, nullptr, 10));
 }
-}  // namespace
+
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return end == value ? fallback : parsed;
+}
+
+std::string env_str(const char* name) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? std::string() : std::string(value);
+}
+
+Observability::Observability()
+    : report_path_(env_str("AAD_RUN_REPORT")),
+      trace_path_(env_str("AAD_TRACE_OUT")) {
+  if (!trace_path_.empty()) exporter_.attach(telemetry_.trace);
+  if (const std::string flight_path = env_str("AAD_FLIGHT_OUT");
+      !flight_path.empty()) {
+    telemetry_.flight.set_dump_path(flight_path);
+  }
+  telemetry_.timeline.set_interval(
+      env_double("AAD_SNAPSHOT_INTERVAL_S", telemetry::Timeline::kDefaultIntervalS));
+  // Context logger to stderr, floored at warn so demo stdout stays clean;
+  // AAD_LOG_LEVEL=info (or debug/trace) opens up the stream.
+  telemetry_.log.add_sink(telemetry::make_stderr_sink());
+  telemetry_.log.set_level(telemetry::parse_log_level(
+      std::getenv("AAD_LOG_LEVEL"), telemetry::LogLevel::kWarn));
+  telemetry::install_global_flight_recorder(&telemetry_.flight);
+}
+
+Observability::~Observability() {
+  try {
+    finish();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  }
+  if (telemetry::global_flight_recorder() == &telemetry_.flight) {
+    telemetry::install_global_flight_recorder(nullptr);
+  }
+}
+
+std::string Observability::finish(
+    const std::function<void(telemetry::RunReport&)>& fill) {
+  if (finished_) return report_path_;
+  finished_ = true;
+  telemetry_.timeline.force_sample(telemetry_.trace.now());
+  if (!trace_path_.empty()) {
+    // Counter tracks under the span timeline: shipped bytes and the
+    // upload queue's high-water mark, one point per timeline sample.
+    telemetry::JsonValue curves;
+    telemetry_.timeline.fill_json(curves);
+    const telemetry::JsonValue* times = curves.find("t_s");
+    const telemetry::JsonValue* series = curves.find("series");
+    for (const char* name : {"container.bytes", "pipeline.queue_depth"}) {
+      const telemetry::JsonValue* column =
+          series != nullptr ? series->find(name) : nullptr;
+      if (times == nullptr || column == nullptr) continue;
+      for (std::size_t i = 0; i < times->size() && i < column->size(); ++i) {
+        exporter_.add_counter(name, times->array_items()[i].as_double(),
+                              column->array_items()[i].as_double());
+      }
+    }
+    exporter_.write_file(trace_path_);
+  }
+  if (report_path_.empty()) return report_path_;
+  telemetry::RunReport report;
+  report.add_telemetry(telemetry_);
+  if (fill) fill(report);
+  report.write_file(report_path_);
+  return report_path_;
+}
 
 BenchConfig BenchConfig::from_env() {
   BenchConfig config;
@@ -71,7 +142,8 @@ std::unique_ptr<backup::BackupScheme> make_scheme(
     options.telemetry = telemetry;
     return std::make_unique<core::AaDedupeScheme>(target, options);
   }
-  std::fprintf(stderr, "unknown scheme '%s'\n", name.c_str());
+  AAD_LOG(&telemetry::stderr_logger(), kError, "session",
+          "unknown scheme '%s'", name.c_str());
   std::abort();
 }
 
@@ -95,7 +167,8 @@ void maybe_export_csv(const BenchConfig& config,
   if (path == nullptr || *path == '\0') return;
   std::FILE* f = std::fopen(path, "a");
   if (f == nullptr) {
-    std::fprintf(stderr, "# cannot open AAD_BENCH_CSV=%s\n", path);
+    AAD_LOG(&telemetry::stderr_logger(), kWarn, "session",
+            "cannot open AAD_BENCH_CSV=%s", path);
     return;
   }
   if (std::ftell(f) == 0) {
@@ -136,15 +209,14 @@ std::vector<SchemeRun> run_suite(const BenchConfig& config,
 
   // AAD_BENCH_REPORT=<path>: the AA-Dedupe run gets a telemetry context
   // and leaves a structured run report behind.
-  const char* report_path = std::getenv("AAD_BENCH_REPORT");
+  const std::string report_path = env_str("AAD_BENCH_REPORT");
   telemetry::Telemetry telemetry;
 
   std::vector<SchemeRun> runs;
   runs.reserve(names.size());
   for (const std::string& name : names) {
     cloud::CloudTarget target;
-    const bool report_this =
-        report_path != nullptr && *report_path != '\0' && name == "AA-Dedupe";
+    const bool report_this = !report_path.empty() && name == "AA-Dedupe";
     auto scheme = make_scheme(name, target, report_this ? &telemetry : nullptr);
     SchemeRun run;
     run.name = name;
@@ -175,7 +247,7 @@ std::vector<SchemeRun> run_suite(const BenchConfig& config,
         backup::fill_run_report(run.reports.back(), report);
       }
       report.write_file(report_path);
-      std::printf("# wrote run report to %s\n", report_path);
+      std::printf("# wrote run report to %s\n", report_path.c_str());
     }
   }
   maybe_export_csv(config, runs);

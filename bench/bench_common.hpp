@@ -14,16 +14,76 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "backup/scheme.hpp"
 #include "cloud/cloud_target.hpp"
 #include "dataset/generator.hpp"
+#include "telemetry/run_report.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace_export.hpp"
 
 namespace aadedupe::bench {
+
+/// Environment parsing shared by every bench and example entry point (the
+/// one copy of getenv + strtoull in the repo).
+[[nodiscard]] std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+[[nodiscard]] double env_double(const char* name, double fallback);
+/// Empty string when unset or empty.
+[[nodiscard]] std::string env_str(const char* name);
+
+/// Observability wiring for entry points, driven by environment variables:
+///
+///   AAD_RUN_REPORT=<path>          write a structured run report
+///   AAD_TRACE_OUT=<path>           write a Chrome-trace/Perfetto
+///                                  trace.json of every span
+///   AAD_FLIGHT_OUT=<path>          flight-recorder artifact path (written
+///                                  by dump triggers: check failures,
+///                                  uploader exceptions, retry exhaustion)
+///   AAD_SNAPSHOT_INTERVAL_S=<sec>  metrics timeline sample interval
+///   AAD_LOG_LEVEL=<level>          stderr log floor for the context
+///                                  logger (default warn; "off" silences)
+///
+/// Construction wires a Telemetry context and installs its flight
+/// recorder as the process-global crash recorder; finish() (or the
+/// destructor) writes the requested artifacts and uninstalls. Pass
+/// telemetry() to the scheme under observation.
+class Observability {
+ public:
+  Observability();
+  ~Observability();
+
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  [[nodiscard]] telemetry::Telemetry& telemetry() noexcept {
+    return telemetry_;
+  }
+  [[nodiscard]] bool report_requested() const noexcept {
+    return !report_path_.empty();
+  }
+  [[nodiscard]] bool trace_requested() const noexcept {
+    return !trace_path_.empty();
+  }
+
+  /// Write the requested artifacts (idempotent). When AAD_RUN_REPORT is
+  /// set, a RunReport pre-filled with the telemetry context is passed to
+  /// `fill` for layer sections, then written. Returns the report path
+  /// (empty when none was requested).
+  std::string finish(
+      const std::function<void(telemetry::RunReport&)>& fill = {});
+
+ private:
+  telemetry::Telemetry telemetry_;
+  telemetry::TraceExporter exporter_;
+  std::string report_path_;
+  std::string trace_path_;
+  bool finished_ = false;
+};
 
 struct BenchConfig {
   std::uint64_t session_mib = 32;

@@ -27,6 +27,9 @@
 #include "hash/md5.hpp"
 #include "hash/rabin.hpp"
 #include "hash/sha1.hpp"
+#include "telemetry/build_info.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/log.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -127,38 +130,36 @@ Result measure_session(const Config& config,
 void write_json(const Config& config, const std::vector<Result>& results,
                 double cdc_speedup, double session_speedup,
                 double telemetry_overhead_pct) {
-  std::FILE* out = std::fopen(config.out_path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot open %s for writing\n",
-                 config.out_path.c_str());
-    std::exit(1);
+  telemetry::JsonValue doc;
+  doc["benchmark"] = "fingerprinting hot path";
+  doc["units"] = "MB/s (MB = 1e6 bytes)";
+  telemetry::BuildInfo::current().fill_json(doc["build"]);
+  doc["smoke"] = config.smoke;
+  doc["buffer_bytes"] = static_cast<std::uint64_t>(config.buffer_bytes());
+  telemetry::JsonValue& mbps = doc["results"].make_object();
+  for (const Result& result : results) {
+    mbps[result.name] = result.mb_per_s;
   }
-  std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"benchmark\": \"fingerprinting hot path\",\n");
-  std::fprintf(out, "  \"units\": \"MB/s (MB = 1e6 bytes)\",\n");
-  std::fprintf(out, "  \"build\": %s,\n",
-               bench::build_metadata_json(0).c_str());
-  std::fprintf(out, "  \"smoke\": %s,\n", config.smoke ? "true" : "false");
-  std::fprintf(out, "  \"buffer_bytes\": %zu,\n", config.buffer_bytes());
-  std::fprintf(out, "  \"results\": {\n");
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    std::fprintf(out, "    \"%s\": %.3f%s\n", results[i].name.c_str(),
-                 results[i].mb_per_s, i + 1 < results.size() ? "," : "");
-  }
-  std::fprintf(out, "  },\n");
-  std::fprintf(out,
-               "  \"cdc_speedup_vs_reference\": %.3f,\n"
-               "  \"session_file_vs_stream_speedup\": %.3f,\n"
-               "  \"telemetry_overhead_pct_cdc_fingerprint\": %.3f,\n",
-               cdc_speedup, session_speedup, telemetry_overhead_pct);
+  doc["cdc_speedup_vs_reference"] = cdc_speedup;
+  doc["session_file_vs_stream_speedup"] = session_speedup;
+  doc["telemetry_overhead_pct_cdc_fingerprint"] = telemetry_overhead_pct;
   // The seed implementation measured on the same container before the
   // min-skip/rolling-window rework (Release, 4 MiB random input), kept
   // here so the acceptance ratio survives even if split_reference drifts.
-  std::fprintf(out,
-               "  \"recorded_seed_mbps\": { \"cdc_4mib_random\": 140.427, "
-               "\"cdc_4mib_zeros\": 145.810, \"rabin_rolling_window\": "
-               "148.711 }\n");
-  std::fprintf(out, "}\n");
+  telemetry::JsonValue& seed = doc["recorded_seed_mbps"];
+  seed["cdc_4mib_random"] = 140.427;
+  seed["cdc_4mib_zeros"] = 145.810;
+  seed["rabin_rolling_window"] = 148.711;
+
+  std::FILE* out = std::fopen(config.out_path.c_str(), "w");
+  if (out == nullptr) {
+    AAD_LOG(&telemetry::stderr_logger(), kError, "session",
+            "cannot open %s for writing", config.out_path.c_str());
+    std::exit(1);
+  }
+  const std::string text = doc.dump(2);
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fputc('\n', out);
   std::fclose(out);
   std::printf("wrote %s\n", config.out_path.c_str());
 }
@@ -173,7 +174,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       config.out_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--out <path>] [--smoke]\n", argv[0]);
+      AAD_LOG(&telemetry::stderr_logger(), kError, "session",
+              "usage: %s [--out <path>] [--smoke]", argv[0]);
       return 2;
     }
   }

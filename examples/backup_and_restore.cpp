@@ -4,10 +4,14 @@
 // aware index image synced per session.
 //
 // Run:  ./backup_and_restore [sessions]
+//
+// AAD_RUN_REPORT / AAD_TRACE_OUT / AAD_FLIGHT_OUT write the usual
+// observability artifacts via the shared Observability env wiring.
 #include <cstdio>
 #include <cstdlib>
 
 #include "backup/keys.hpp"
+#include "bench_common.hpp"
 #include "core/aa_dedupe.hpp"
 #include "dataset/generator.hpp"
 #include "index/partitioned_index.hpp"
@@ -19,8 +23,11 @@ int main(int argc, char** argv) {
   const std::uint32_t sessions =
       argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 3;
 
+  bench::Observability obs;
   cloud::CloudTarget cloud_target;
-  core::AaDedupeScheme scheme(cloud_target);
+  core::AaDedupeOptions scheme_options;
+  scheme_options.telemetry = &obs.telemetry();
+  core::AaDedupeScheme scheme(cloud_target, scheme_options);
 
   dataset::DatasetConfig config;
   config.seed = 4242;
@@ -73,5 +80,14 @@ int main(int argc, char** argv) {
               "per-application shards\n",
               static_cast<unsigned long long>(recovered.total_size()),
               recovered.partitions().size());
+
+  const std::string report_path =
+      obs.finish([&](telemetry::RunReport& report) {
+        scheme.fill_run_report(report);
+        cloud_target.fill_run_report(report);
+      });
+  if (!report_path.empty()) {
+    std::printf("wrote run report to %s\n", report_path.c_str());
+  }
   return 0;
 }

@@ -22,6 +22,7 @@
 #include <fstream>
 
 #include "backup/keys.hpp"
+#include "telemetry/log.hpp"
 #include "cloud/cloud_target.hpp"
 #include "core/aa_dedupe.hpp"
 #include "dataset/fs_snapshot.hpp"
@@ -104,7 +105,8 @@ int cmd_restore(const fs::path& state_dir, const fs::path& output,
   open_client(client, state_dir);
   const auto sessions = client.scheme->restorable_sessions();
   if (sessions.empty()) {
-    std::fprintf(stderr, "no sessions backed up yet\n");
+    AAD_LOG(&telemetry::stderr_logger(), kError, "session",
+            "no sessions backed up yet");
     return 1;
   }
   const std::uint32_t session =
@@ -117,7 +119,8 @@ int cmd_restore(const fs::path& state_dir, const fs::path& output,
   const auto image = client.cloud.store().get(
       backup::keys::session_meta("AA-Dedupe", session, "recipes"));
   if (!image) {
-    std::fprintf(stderr, "session %u not found in cloud\n", session);
+    AAD_LOG(&telemetry::stderr_logger(), kError, "session",
+            "session %u not found in cloud", session);
     return 1;
   }
   const auto recipes = container::RecipeStore::deserialize(*image);
@@ -209,13 +212,10 @@ int cmd_scrub(const fs::path& state_dir) {
 
 int main(int argc, char** argv) {
   if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage:\n"
-                 "  %s backup  <source-dir> <state-dir>\n"
-                 "  %s restore <state-dir> <output-dir> [session]\n"
-                 "  %s gc      <state-dir> <keep-sessions>\n"
-                 "  %s sessions|stats|scrub <state-dir>\n",
-                 argv[0], argv[0], argv[0], argv[0]);
+    AAD_LOG(&telemetry::stderr_logger(), kError, "session",
+            "usage: %s backup <src> <state> | restore <state> <out> "
+            "[session] | gc <state> <keep> | sessions|stats|scrub <state>",
+            argv[0]);
     return 2;
   }
   const std::string command = argv[1];
@@ -239,9 +239,11 @@ int main(int argc, char** argv) {
       return cmd_scrub(argv[2]);
     }
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    AAD_LOG(&telemetry::stderr_logger(), kError, "session", "error: %s",
+            e.what());
     return 1;
   }
-  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  AAD_LOG(&telemetry::stderr_logger(), kError, "session",
+          "unknown command '%s'", command.c_str());
   return 2;
 }

@@ -5,12 +5,16 @@
 // aggregate view of Figs. 7-10.
 //
 // Run:  ./compare_schemes [sessions] [mib_per_session]
+//
+// AAD_RUN_REPORT / AAD_TRACE_OUT / AAD_FLIGHT_OUT apply to the AA-Dedupe
+// run (the instrumented scheme) via the shared Observability env wiring.
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <vector>
 
 #include "backup/chunk_level.hpp"
+#include "bench_common.hpp"
 #include "backup/file_level.hpp"
 #include "backup/full_backup.hpp"
 #include "backup/incremental.hpp"
@@ -87,22 +91,31 @@ int main(int argc, char** argv) {
     cloud::CloudTarget t;
     run(std::make_unique<backup::SamScheme>(t), t);
   }
+  bench::Observability obs;
   {
     cloud::CloudTarget t;
-    run(std::make_unique<core::AaDedupeScheme>(t), t);
-  }
+    core::AaDedupeOptions options;
+    options.telemetry = &obs.telemetry();
+    run(std::make_unique<core::AaDedupeScheme>(t, options), t);
 
-  metrics::TableWriter table({"scheme", "cloud stored", "shipped", "requests",
-                              "sum BWS (s)", "avg DE", "monthly $"});
-  for (const Row& row : rows) {
-    table.add_row({row.name, format_bytes(row.stored),
-                   format_bytes(row.shipped),
-                   metrics::TableWriter::integer(row.requests),
-                   metrics::TableWriter::num(row.window, 1),
-                   format_rate(row.efficiency),
-                   metrics::TableWriter::num(row.cost, 4)});
+    metrics::TableWriter table({"scheme", "cloud stored", "shipped",
+                                "requests", "sum BWS (s)", "avg DE",
+                                "monthly $"});
+    for (const Row& row : rows) {
+      table.add_row({row.name, format_bytes(row.stored),
+                     format_bytes(row.shipped),
+                     metrics::TableWriter::integer(row.requests),
+                     metrics::TableWriter::num(row.window, 1),
+                     format_rate(row.efficiency),
+                     metrics::TableWriter::num(row.cost, 4)});
+    }
+    std::printf("\n");
+    table.print();
+
+    obs.finish([&](telemetry::RunReport& report) {
+      t.fill_run_report(report);
+      table.fill_json(report.section("comparison")["rows"]);
+    });
   }
-  std::printf("\n");
-  table.print();
   return 0;
 }

@@ -7,26 +7,47 @@
 //
 // Run:  ./quickstart
 //
-// Set AAD_RUN_REPORT=<path> to also write a structured telemetry run
-// report (metrics, per-stage span times, per-application dedup ratios,
-// transport counters) as JSON.
+// Observability (all optional, via bench::Observability):
+//   AAD_RUN_REPORT=<path>  structured telemetry run report (metrics,
+//                          per-stage spans, timeline curves) as JSON
+//   AAD_TRACE_OUT=<path>   Chrome-trace/Perfetto trace.json — open it at
+//                          ui.perfetto.dev
+//   AAD_FLIGHT_OUT=<path>  flight-recorder crash artifact path
+//   AAD_LOG_LEVEL=info     show the structured log stream on stderr
+// Demo knobs:
+//   AAD_FAULT_RATE=0.05    inject transport faults (fraction of requests)
+//   AAD_CRASH_DEMO=1       force an invariant failure after the backup to
+//                          demonstrate the flight-recorder dump
 #include <cstdio>
-#include <cstdlib>
 
 #include "backup/scheme.hpp"
+#include "bench_common.hpp"
 #include "cloud/cloud_target.hpp"
 #include "core/aa_dedupe.hpp"
 #include "dataset/generator.hpp"
 #include "telemetry/run_report.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/check.hpp"
 #include "util/units.hpp"
 
 int main() {
   using namespace aadedupe;
 
+  // Telemetry context + artifact wiring from the environment (null-cost
+  // when no AAD_* variables are set beyond the context itself).
+  bench::Observability obs;
+
   // A simulated cloud behind the paper's WAN (500 KB/s up, 1 MB/s down)
   // priced like April-2011 Amazon S3.
   cloud::CloudTarget cloud_target;
+  const double fault_rate = bench::env_double("AAD_FAULT_RATE", 0.0);
+  if (fault_rate > 0.0) {
+    cloud::FaultProfile faults;
+    faults.put_transient_p = fault_rate;
+    cloud_target.inject_faults(faults, /*seed=*/2026);
+    std::printf("injecting transport faults: %.1f%% of puts\n",
+                fault_rate * 100.0);
+  }
 
   // A week-0 snapshot of a simulated PC user directory: 12 application
   // types, ~64 MiB, with realistic size skew and per-type redundancy.
@@ -39,9 +60,8 @@ int main() {
               format_bytes(snapshot.total_bytes()).c_str());
 
   // Back it up with AA-Dedupe, with the telemetry layer attached.
-  telemetry::Telemetry telemetry;
   core::AaDedupeOptions options;
-  options.telemetry = &telemetry;
+  options.telemetry = &obs.telemetry();
   core::AaDedupeScheme scheme(cloud_target, options);
   const backup::SessionReport report = scheme.backup(snapshot);
 
@@ -75,17 +95,25 @@ int main() {
                 static_cast<unsigned long long>(row.index_entries));
   }
 
-  // Optional structured artifact: everything above (plus live metrics and
-  // per-stage span times) as one JSON run report.
-  if (const char* path = std::getenv("AAD_RUN_REPORT");
-      path != nullptr && *path != '\0') {
-    telemetry::RunReport run_report;
-    run_report.add_telemetry(telemetry);
-    scheme.fill_run_report(run_report);
-    cloud_target.fill_run_report(run_report);
-    backup::fill_run_report(report, run_report);
-    run_report.write_file(path);
-    std::printf("\nwrote run report to %s\n", path);
+  // Optional structured artifacts: the run report (everything above plus
+  // live metrics, stage spans, and timeline curves) and the Perfetto
+  // trace, both via the Observability env wiring.
+  const std::string report_path =
+      obs.finish([&](telemetry::RunReport& run_report) {
+        scheme.fill_run_report(run_report);
+        cloud_target.fill_run_report(run_report);
+        backup::fill_run_report(report, run_report);
+      });
+  if (!report_path.empty()) {
+    std::printf("\nwrote run report to %s\n", report_path.c_str());
+  }
+
+  // Forced post-mortem: trip an invariant so the failure hook dumps the
+  // flight recorder (set AAD_FLIGHT_OUT for the artifact path). Exits
+  // nonzero by design.
+  if (bench::env_u64("AAD_CRASH_DEMO", 0) != 0) {
+    std::printf("\nAAD_CRASH_DEMO: forcing an invariant failure\n");
+    AAD_ENSURES(report.transferred_bytes == 0);  // deliberately false
   }
 
   // Restore one file and verify it round-tripped byte-exactly.

@@ -20,6 +20,7 @@
 #include "core/aa_dedupe.hpp"
 #include "dataset/trace.hpp"
 #include "metrics/table_writer.hpp"
+#include "telemetry/log.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -53,7 +54,8 @@ int main(int argc, char** argv) {
   using namespace aadedupe;
 
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <trace.csv> | --demo\n", argv[0]);
+    AAD_LOG(&telemetry::stderr_logger(), kError, "session",
+            "usage: %s <trace.csv> | --demo", argv[0]);
     return 2;
   }
   std::string csv;
@@ -63,7 +65,8 @@ int main(int argc, char** argv) {
   } else {
     std::ifstream in(argv[1]);
     if (!in) {
-      std::fprintf(stderr, "cannot read %s\n", argv[1]);
+      AAD_LOG(&telemetry::stderr_logger(), kError, "session",
+              "cannot read %s", argv[1]);
       return 1;
     }
     std::ostringstream buf;
@@ -75,7 +78,8 @@ int main(int argc, char** argv) {
   try {
     sessions = dataset::sessions_from_trace(dataset::parse_trace_csv(csv));
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "trace error: %s\n", e.what());
+    AAD_LOG(&telemetry::stderr_logger(), kError, "session", "trace error: %s",
+            e.what());
     return 1;
   }
   if (sessions.empty()) {

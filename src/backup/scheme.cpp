@@ -1,5 +1,7 @@
 #include "backup/scheme.hpp"
 
+#include "telemetry/log.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
 
@@ -45,6 +47,17 @@ SessionReport BackupScheme::backup(const dataset::Snapshot& snapshot) {
   report.transferred_bytes = after.bytes_uploaded - before.bytes_uploaded;
   report.upload_requests = after.put_requests - before.put_requests;
   report.cumulative_stored_bytes = target_->store().stored_bytes();
+  // One summary line per session, for every scheme, in the span-stage
+  // category vocabulary ("session") so logs correlate with traces.
+  if (telemetry::Telemetry* telemetry = target_->telemetry()) {
+    AAD_LOG(&telemetry->log, kInfo, "session",
+            "%s session %u: %.1f MB dataset, %.1f MB transferred, "
+            "DR %.2f, window %.2fs",
+            report.scheme.c_str(), report.session,
+            static_cast<double>(report.dataset_bytes) / 1e6,
+            static_cast<double>(report.transferred_bytes) / 1e6,
+            report.dedupe_ratio(), report.backup_window_seconds());
+  }
   return report;
 }
 

@@ -73,6 +73,9 @@ class CloudTarget {
   /// decorators report retry/fault counters and backoff waits into it.
   /// Call before traffic flows — rebuilds the stack.
   void attach_telemetry(telemetry::Telemetry* telemetry);
+  [[nodiscard]] telemetry::Telemetry* telemetry() const noexcept {
+    return telemetry_;
+  }
 
   /// Contribute the "cloud" section of a run report: object-store
   /// traffic, retry and fault counters, transfer clock, monthly cost.

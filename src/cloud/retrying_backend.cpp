@@ -75,6 +75,11 @@ CloudResult<T> RetryingBackend::run_with_retries(const std::string& key,
     }
     if (attempt >= policy_.max_attempts) {
       exhausted_counter_.increment();
+      if (telemetry_ != nullptr) {
+        AAD_LOG(&telemetry_->log, kWarn, "retry_wait",
+                "retries exhausted after %u attempts (%s): %s", attempt,
+                std::string(to_string(result.error())).c_str(), key.c_str());
+      }
       std::lock_guard lock(mutex_);
       ++stats_.exhausted;
       return result;

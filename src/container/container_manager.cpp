@@ -49,6 +49,12 @@ void ContainerManager::ship(bool pad) {
   }
   ++shipped_;
   shipped_counter_.increment();
+  if (telemetry_ != nullptr) {
+    AAD_LOG(&telemetry_->log, kDebug, "container_pack",
+            "shipped container %llu (%s): %zu payload bytes%s",
+            static_cast<unsigned long long>(open_->id()), category_.c_str(),
+            payload, pad ? ", padded" : "");
+  }
   sink_(open_->id(), std::move(serialized));
   open_fresh();
 }

@@ -332,6 +332,13 @@ void AaDedupeScheme::run_file_parallel(
       }
     });
 
+    // Timeline heartbeat once per batch: cheap (one atomic compare when
+    // the interval has not elapsed) and frequent enough for short runs.
+    if (options_.telemetry != nullptr) {
+      options_.telemetry->timeline.maybe_sample(
+          options_.telemetry->trace.now());
+    }
+
     batch_begin = batch_end;
   }
 
@@ -345,11 +352,18 @@ void AaDedupeScheme::run_session(const dataset::Snapshot& snapshot) {
   latest_session_ = snapshot.session;
   telemetry::Tracer* tracer =
       options_.telemetry != nullptr ? &options_.telemetry->trace : nullptr;
+  telemetry::Logger* log =
+      options_.telemetry != nullptr ? &options_.telemetry->log : nullptr;
   telemetry::TraceSpan session_span(tracer, telemetry::Stage::kSession);
+  AAD_LOG(log, kInfo, "session", "session %u: %zu files", snapshot.session,
+          snapshot.files.size());
 
   // Graceful-degradation debt first: replay uploads a previous degraded
   // session parked in the journal. Whatever fails again stays parked.
   if (!journal_.empty()) {
+    AAD_LOG(log, kInfo, "journal_replay",
+            "replaying %zu parked upload(s) from a degraded session",
+            journal_.size());
     telemetry::TraceSpan replay_span(tracer,
                                      telemetry::Stage::kJournalReplay);
     journal_.replay(target());
@@ -394,6 +408,10 @@ void AaDedupeScheme::run_session(const dataset::Snapshot& snapshot) {
     std::size_t i = 0;
     for (const auto& [key, files] : streams) {
       results[i++] = process_stream(key, files, pipeline);
+      if (options_.telemetry != nullptr) {
+        options_.telemetry->timeline.maybe_sample(
+            options_.telemetry->trace.now());
+      }
     }
   }
 
@@ -437,6 +455,17 @@ void AaDedupeScheme::run_session(const dataset::Snapshot& snapshot) {
   }
   pipeline.finish();
   last_pipeline_stats_ = pipeline.stats();
+  if (options_.telemetry != nullptr) {
+    // Final timeline point: sessions shorter than the sample interval
+    // still get a curve endpoint with the finished totals.
+    options_.telemetry->timeline.force_sample(tracer->now());
+    AAD_LOG(log, kInfo, "session",
+            "session %u done: %llu uploaded, %llu journaled, %llu failed",
+            snapshot.session,
+            static_cast<unsigned long long>(last_pipeline_stats_.uploaded),
+            static_cast<unsigned long long>(last_pipeline_stats_.journaled),
+            static_cast<unsigned long long>(last_pipeline_stats_.failed));
+  }
 
   history_[snapshot.session] = recipes;
   recipes_ = std::move(recipes);

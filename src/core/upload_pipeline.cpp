@@ -30,6 +30,8 @@ UploadPipeline::UploadPipeline(UploadFn upload, UploadPipelineOptions options)
         options_.telemetry->metrics.histogram("pipeline.enqueue_stall_us");
     item_bytes_hist_ =
         options_.telemetry->metrics.histogram("pipeline.item_bytes");
+    queue_depth_gauge_ =
+        options_.telemetry->metrics.gauge("pipeline.queue_depth");
   }
 }
 
@@ -57,6 +59,9 @@ void UploadPipeline::enqueue(UploadItem item) {
     const auto stall = std::chrono::duration_cast<std::chrono::microseconds>(
         std::chrono::steady_clock::now() - start);
     stall_us_hist_.observe(static_cast<std::uint64_t>(stall.count()));
+    // High-water mark of queue occupancy (approximate: the uploader pops
+    // concurrently, so this is a lower bound of the true peak).
+    queue_depth_gauge_.observe_max(queue_.size());
     AAD_EXPECTS(accepted);
     return;
   }
@@ -68,12 +73,31 @@ void UploadPipeline::worker() {
   while (auto item = queue_.pop()) {
     try {
       ship(std::move(*item));
+    } catch (const std::exception& e) {
+      capture_worker_error(e.what());
     } catch (...) {
-      std::lock_guard lock(mutex_);
-      if (!uploader_error_) uploader_error_ = std::current_exception();
-      // Keep draining so blocked producers make progress; remaining items
-      // are dropped on the floor — the captured exception supersedes them.
+      capture_worker_error("unknown exception");
     }
+  }
+}
+
+void UploadPipeline::capture_worker_error(const char* what) {
+  bool first = false;
+  {
+    std::lock_guard lock(mutex_);
+    if (!uploader_error_) {
+      uploader_error_ = std::current_exception();
+      first = true;
+    }
+    // Keep draining so blocked producers make progress; remaining items
+    // are dropped on the floor — the captured exception supersedes them.
+  }
+  if (first && options_.telemetry != nullptr) {
+    AAD_LOG(&options_.telemetry->log, kError, "upload",
+            "uploader thread exception: %s", what);
+    // The pipeline survives (finish() rethrows), but state at the moment
+    // of the throw is exactly what a post-mortem wants — dump it now.
+    options_.telemetry->flight.trigger("uploader_exception", what);
   }
 }
 
@@ -106,10 +130,26 @@ void UploadPipeline::ship(UploadItem item) {
       first_failure_ = {item.key, last_error};
     }
   }
+  if (options_.telemetry != nullptr) {
+    AAD_LOG(&options_.telemetry->log, kWarn, "upload",
+            "%s failed terminally (%s) after %u attempt(s): %s",
+            std::string(kUploadCategory(item.kind)).c_str(),
+            std::string(cloud::to_string(last_error)).c_str(), budget,
+            item.key.c_str());
+  }
   if (options_.journal != nullptr) {
+    // Degradation path: the item is parked for the next session. Snapshot
+    // the flight rings too — what led up to the exhaustion is about to
+    // scroll out of everyone's head.
+    const std::string key = item.key;
     options_.journal->add(std::move(item), last_error);
-    std::lock_guard lock(mutex_);
-    ++stats_.journaled;
+    {
+      std::lock_guard lock(mutex_);
+      ++stats_.journaled;
+    }
+    if (options_.telemetry != nullptr) {
+      options_.telemetry->flight.trigger("retry_exhausted", key);
+    }
   }
 }
 

@@ -92,11 +92,14 @@ class UploadPipeline {
  private:
   void worker();
   void ship(UploadItem item);
+  /// Record the first exception escaping ship(); logs + flight-dumps it.
+  void capture_worker_error(const char* what);
 
   UploadFn upload_;
   UploadPipelineOptions options_;
   telemetry::Histogram stall_us_hist_;
   telemetry::Histogram item_bytes_hist_;
+  telemetry::Gauge queue_depth_gauge_;
   BoundedQueue<UploadItem> queue_;
 
   mutable std::mutex mutex_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/json.hpp"
 #include "util/check.hpp"
 
 namespace aadedupe::metrics {
@@ -52,6 +53,17 @@ std::string TableWriter::to_string() const {
 void TableWriter::print() const {
   const std::string rendered = to_string();
   std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+}
+
+void TableWriter::fill_json(telemetry::JsonValue& out) const {
+  telemetry::JsonValue& rows = out.make_array();
+  for (const auto& row : rows_) {
+    telemetry::JsonValue& entry = rows.push_back(telemetry::JsonValue{});
+    entry.make_object();
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      entry[headers_[c]] = row[c];
+    }
+  }
 }
 
 std::string TableWriter::num(double value, int precision) {

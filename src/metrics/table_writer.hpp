@@ -6,6 +6,10 @@
 #include <string>
 #include <vector>
 
+namespace aadedupe::telemetry {
+class JsonValue;
+}  // namespace aadedupe::telemetry
+
 namespace aadedupe::metrics {
 
 class TableWriter {
@@ -21,6 +25,11 @@ class TableWriter {
 
   /// Convenience: render and write to stdout.
   void print() const;
+
+  /// Structured form of the table: an array of row objects keyed by the
+  /// headers, serialized by the telemetry JSON writer (the repo's only
+  /// one), so any printed table can also land in a run report verbatim.
+  void fill_json(telemetry::JsonValue& out) const;
 
   // Cell formatting helpers.
   static std::string num(double value, int precision = 2);

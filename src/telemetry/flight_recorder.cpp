@@ -1,0 +1,295 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "telemetry/json.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::telemetry {
+
+std::string_view to_string(FlightEventKind kind) noexcept {
+  switch (kind) {
+    case FlightEventKind::kLog:
+      return "log";
+    case FlightEventKind::kSpanOpen:
+      return "span_open";
+    case FlightEventKind::kSpanClose:
+      return "span_close";
+    case FlightEventKind::kTrigger:
+      return "trigger";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::uint64_t next_recorder_id() noexcept {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t this_thread_tag() noexcept {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffffu;
+}
+
+FlightRecorder::Clock make_steady_clock() {
+  const auto epoch = std::chrono::steady_clock::now();
+  return [epoch] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch)
+        .count();
+  };
+}
+
+// Pack a string into a word array, one relaxed atomic store per word.
+template <std::size_t Words>
+void store_words(std::array<std::atomic<std::uint64_t>, Words>& out,
+                 std::string_view text) noexcept {
+  for (std::size_t w = 0; w < Words; ++w) {
+    std::uint64_t word = 0;
+    const std::size_t base = w * 8;
+    if (base < text.size()) {
+      char bytes[8] = {};
+      std::memcpy(bytes, text.data() + base,
+                  std::min<std::size_t>(8, text.size() - base));
+      std::memcpy(&word, bytes, 8);
+    }
+    out[w].store(word, std::memory_order_relaxed);
+  }
+}
+
+template <std::size_t Words>
+std::string load_words(
+    const std::array<std::atomic<std::uint64_t>, Words>& in,
+    std::size_t length) noexcept {
+  char bytes[Words * 8];
+  for (std::size_t w = 0; w < Words; ++w) {
+    const std::uint64_t word = in[w].load(std::memory_order_relaxed);
+    std::memcpy(bytes + w * 8, &word, 8);
+  }
+  return std::string(bytes, std::min(length, sizeof bytes));
+}
+
+std::uint64_t pack_meta(FlightEventKind kind, LogLevel level,
+                        std::size_t cat_len, std::size_t msg_len) noexcept {
+  return static_cast<std::uint64_t>(kind) |
+         (static_cast<std::uint64_t>(level) << 8) |
+         (static_cast<std::uint64_t>(cat_len & 0xff) << 16) |
+         (static_cast<std::uint64_t>(msg_len & 0xff) << 24);
+}
+
+std::uint64_t double_bits(double value) noexcept {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof bits);
+  return bits;
+}
+
+double bits_double(std::uint64_t bits) noexcept {
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof value);
+  return value;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t per_thread_capacity)
+    : capacity_(round_up_pow2(std::max<std::size_t>(per_thread_capacity, 8))),
+      id_(next_recorder_id()),
+      clock_(make_steady_clock()) {}
+
+FlightRecorder::~FlightRecorder() {
+  // Guard against a recorder dying while still installed globally: a later
+  // check failure would call through a dangling pointer.
+  if (global_flight_recorder() == this) {
+    install_global_flight_recorder(nullptr);
+  }
+}
+
+void FlightRecorder::set_clock(Clock clock) {
+  AAD_EXPECTS(clock != nullptr);
+  std::lock_guard lock(mutex_);
+  clock_ = std::move(clock);
+}
+
+void FlightRecorder::set_dump_path(std::string path) {
+  std::lock_guard lock(mutex_);
+  dump_path_ = std::move(path);
+}
+
+std::string FlightRecorder::dump_path() const {
+  std::lock_guard lock(mutex_);
+  return dump_path_;
+}
+
+FlightRecorder::Ring& FlightRecorder::local_ring() {
+  // Same thread-shard pattern as Tracer/MetricsRegistry: a thread_local
+  // cache keyed by the recorder's process-unique id, so each (thread,
+  // recorder) pair pays the registration mutex exactly once.
+  struct CacheEntry {
+    std::uint64_t id = 0;
+    Ring* ring = nullptr;
+  };
+  thread_local CacheEntry cache;
+  if (cache.id == id_ && cache.ring != nullptr) return *cache.ring;
+  std::lock_guard lock(mutex_);
+  rings_.push_back(std::make_unique<Ring>(capacity_));
+  rings_.back()->thread_tag = this_thread_tag();
+  cache = CacheEntry{id_, rings_.back().get()};
+  return *cache.ring;
+}
+
+void FlightRecorder::record(FlightEventKind kind, LogLevel level, double t_s,
+                            std::string_view category,
+                            std::string_view message) noexcept {
+  category = category.substr(0, kCategoryBytes);
+  message = message.substr(0, kMessageBytes);
+  Ring& ring = local_ring();
+  const std::uint64_t index = ring.cursor.load(std::memory_order_relaxed);
+  Slot& slot = ring.slots[index & (capacity_ - 1)];
+  // Seqlock write: odd marks the slot torn, even = 2*index+2 marks it as
+  // holding generation `index` intact. One writer per ring (it is
+  // thread-local), so plain store ordering suffices on the writer side.
+  slot.seq.store(2 * index + 1, std::memory_order_release);
+  slot.time_bits.store(double_bits(t_s), std::memory_order_relaxed);
+  slot.meta.store(pack_meta(kind, level, category.size(), message.size()),
+                  std::memory_order_relaxed);
+  store_words(slot.category, category);
+  store_words(slot.message, message);
+  slot.seq.store(2 * index + 2, std::memory_order_release);
+  ring.cursor.store(index + 1, std::memory_order_release);
+}
+
+void FlightRecorder::trigger(std::string_view reason,
+                             std::string_view detail) noexcept {
+  triggers_.fetch_add(1, std::memory_order_relaxed);
+  std::string path;
+  double t_s = 0.0;
+  {
+    std::lock_guard lock(mutex_);
+    t_s = clock_ ? clock_() : 0.0;
+    trigger_log_.push_back(
+        TriggerRecord{t_s, std::string(reason), std::string(detail)});
+    path = dump_path_;
+  }
+  record(FlightEventKind::kTrigger, LogLevel::kError, t_s, reason, detail);
+  if (!path.empty()) {
+    dump_to_file(path);
+  }
+}
+
+void FlightRecorder::snapshot_ring(const Ring& ring, JsonValue& out) const {
+  out["thread"] = ring.thread_tag;
+  JsonValue& events = out["events"].make_array();
+  const std::uint64_t cursor = ring.cursor.load(std::memory_order_acquire);
+  const std::uint64_t count =
+      std::min<std::uint64_t>(cursor, static_cast<std::uint64_t>(capacity_));
+  for (std::uint64_t i = cursor - count; i < cursor; ++i) {
+    const Slot& slot = ring.slots[i & (capacity_ - 1)];
+    // Seqlock read: accept only slots stably holding generation `i`; a
+    // concurrent writer re-marks seq odd first, so re-checking after the
+    // payload reads rejects torn data. Skipped slots simply drop out of
+    // the artifact — the dump is best-effort by design.
+    const std::uint64_t expected = 2 * i + 2;
+    if (slot.seq.load(std::memory_order_acquire) != expected) continue;
+    const double t_s =
+        bits_double(slot.time_bits.load(std::memory_order_relaxed));
+    const std::uint64_t meta = slot.meta.load(std::memory_order_relaxed);
+    const std::string category =
+        load_words(slot.category, (meta >> 16) & 0xff);
+    const std::string message = load_words(slot.message, (meta >> 24) & 0xff);
+#ifdef AAD_TSAN
+    // GCC's TSan does not instrument atomic_thread_fence and rejects it
+    // outright under -Werror=tsan. Every slot field is individually
+    // atomic, so the TSan build substitutes an acquire re-check: formally
+    // weaker ordering for the generation test, but race-free either way,
+    // and the stress test still validates payload integrity.
+    if (slot.seq.load(std::memory_order_acquire) != expected) continue;
+#else
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != expected) continue;
+#endif
+    JsonValue& event = events.push_back(JsonValue{});
+    event["t_s"] = t_s;
+    event["kind"] =
+        to_string(static_cast<FlightEventKind>(meta & 0xff));
+    event["level"] = to_string(static_cast<LogLevel>((meta >> 8) & 0xff));
+    event["category"] = category;
+    event["message"] = message;
+  }
+}
+
+void FlightRecorder::fill_json(JsonValue& out) const {
+  out["schema"] = "aadedupe-flight/v1";
+  out["capacity_per_thread"] = static_cast<std::uint64_t>(capacity_);
+  JsonValue& triggers = out["triggers"].make_array();
+  JsonValue& threads = out["threads"].make_array();
+  std::lock_guard lock(mutex_);
+  for (const TriggerRecord& trig : trigger_log_) {
+    JsonValue& entry = triggers.push_back(JsonValue{});
+    entry["t_s"] = trig.t_s;
+    entry["reason"] = trig.reason;
+    entry["detail"] = trig.detail;
+  }
+  for (const auto& ring : rings_) {
+    snapshot_ring(*ring, threads.push_back(JsonValue{}));
+  }
+}
+
+bool FlightRecorder::dump_to_file(const std::string& path) const noexcept {
+  try {
+    JsonValue doc;
+    fill_json(doc);
+    const std::string text = doc.dump(2);
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) return false;
+    const std::size_t written = std::fwrite(text.data(), 1, text.size(), file);
+    const bool newline_ok = std::fputc('\n', file) != EOF;
+    const bool close_ok = std::fclose(file) == 0;
+    return written == text.size() && newline_ok && close_ok;
+  } catch (...) {
+    return false;
+  }
+}
+
+std::size_t FlightRecorder::thread_count() const {
+  std::lock_guard lock(mutex_);
+  return rings_.size();
+}
+
+namespace {
+
+std::atomic<FlightRecorder*>& global_recorder_slot() noexcept {
+  static std::atomic<FlightRecorder*> slot{nullptr};
+  return slot;
+}
+
+void global_failure_hook(const char* kind, const char* what) noexcept {
+  if (FlightRecorder* recorder =
+          global_recorder_slot().load(std::memory_order_acquire)) {
+    recorder->trigger(kind != nullptr ? kind : "failure",
+                      what != nullptr ? what : "");
+  }
+}
+
+}  // namespace
+
+void install_global_flight_recorder(FlightRecorder* recorder) noexcept {
+  global_recorder_slot().store(recorder, std::memory_order_release);
+  set_failure_hook(recorder != nullptr ? &global_failure_hook : nullptr);
+}
+
+FlightRecorder* global_flight_recorder() noexcept {
+  return global_recorder_slot().load(std::memory_order_acquire);
+}
+
+}  // namespace aadedupe::telemetry

@@ -1,0 +1,148 @@
+// FlightRecorder — a lock-free per-thread ring buffer of recent events,
+// dumped as `flight.json` when the process is about to die (or be wound
+// down by an exception nobody planned for).
+//
+// Every thread that logs or opens spans gets its own fixed-size ring;
+// writers append with relaxed atomics and never take a lock, so the
+// recorder can sit under the fingerprinting hot path within the telemetry
+// overhead budget. The dump side walks all rings concurrently with the
+// writers using a per-slot sequence number (a seqlock over all-atomic
+// fields): a slot overwritten mid-read is detected and skipped, never
+// torn into the artifact, and the whole structure stays clean under
+// ThreadSanitizer.
+//
+// Dump triggers (each records a kTrigger event and, when a dump path is
+// configured, writes the artifact):
+//   * check.hpp invariant/precondition failures, via the process-global
+//     failure hook (install_global_flight_recorder),
+//   * ThreadPool workers whose task threw (same hook),
+//   * an exception captured on the upload pipeline's uploader thread,
+//   * transport retry exhaustion parking an item in the UploadJournal.
+//
+// Event payloads are fixed-size (category/message truncate) so recording
+// never allocates — safe from destructors and unwinding paths.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/log.hpp"
+
+namespace aadedupe::telemetry {
+
+class JsonValue;
+
+enum class FlightEventKind : std::uint8_t {
+  kLog,        // a Logger event
+  kSpanOpen,   // TraceSpan construction
+  kSpanClose,  // TraceSpan finish
+  kTrigger,    // a dump trigger firing
+};
+
+[[nodiscard]] std::string_view to_string(FlightEventKind kind) noexcept;
+
+class FlightRecorder {
+ public:
+  /// Events retained per thread (rounded up to a power of two).
+  static constexpr std::size_t kDefaultCapacity = 128;
+  /// Payload truncation bounds (bytes kept per event).
+  static constexpr std::size_t kCategoryBytes = 24;
+  static constexpr std::size_t kMessageBytes = 120;
+
+  using Clock = std::function<double()>;
+
+  explicit FlightRecorder(std::size_t per_thread_capacity = kDefaultCapacity);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Clock used to timestamp trigger records (event records carry the
+  /// caller's timestamp). Default: steady clock from construction.
+  void set_clock(Clock clock);
+
+  /// Where trigger() writes the artifact; empty disables the write (the
+  /// rings still record, and dump_to_file can be called manually).
+  void set_dump_path(std::string path);
+  [[nodiscard]] std::string dump_path() const;
+
+  /// Append one event to the calling thread's ring. Lock-free after the
+  /// thread's first event; truncates category/message; never throws.
+  void record(FlightEventKind kind, LogLevel level, double t_s,
+              std::string_view category, std::string_view message) noexcept;
+
+  /// Record a kTrigger event and — when a dump path is configured — write
+  /// the flight artifact. Safe during exception unwinding.
+  void trigger(std::string_view reason, std::string_view detail) noexcept;
+
+  [[nodiscard]] std::uint64_t trigger_count() const noexcept {
+    return triggers_.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot every thread's recent events into a flight document:
+  /// {"schema", "capacity_per_thread", "triggers", "threads": [...]}.
+  void fill_json(JsonValue& out) const;
+
+  /// Write fill_json() (plus build info) to `path`; false on I/O failure.
+  bool dump_to_file(const std::string& path) const noexcept;
+
+  [[nodiscard]] std::size_t capacity_per_thread() const noexcept {
+    return capacity_;
+  }
+  [[nodiscard]] std::size_t thread_count() const;
+
+ private:
+  // One ring slot, seqlock-guarded: seq is 2*index+1 while the writer is
+  // mid-store and 2*index+2 once stable, so a reader knows both whether
+  // the slot is torn and which generation it holds. Strings are packed
+  // into uint64 words so every byte of the slot is an atomic.
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> time_bits{0};  // bit_cast of the double
+    std::atomic<std::uint64_t> meta{0};       // kind | level | lengths
+    std::array<std::atomic<std::uint64_t>, kCategoryBytes / 8> category{};
+    std::array<std::atomic<std::uint64_t>, kMessageBytes / 8> message{};
+  };
+
+  struct Ring {
+    explicit Ring(std::size_t capacity) : slots(capacity) {}
+    std::uint64_t thread_tag = 0;              // hashed thread id
+    std::atomic<std::uint64_t> cursor{0};      // events written (monotonic)
+    std::vector<Slot> slots;                   // fixed; never reallocates
+  };
+
+  Ring& local_ring();
+  void snapshot_ring(const Ring& ring, JsonValue& out) const;
+
+  const std::size_t capacity_;  // power of two
+  const std::uint64_t id_;      // process-unique; keys the thread cache
+
+  Clock clock_;
+  std::atomic<std::uint64_t> triggers_{0};
+
+  mutable std::mutex mutex_;  // guards rings_ list, dump_path_, trigger log
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::string dump_path_;
+  struct TriggerRecord {
+    double t_s;
+    std::string reason;
+    std::string detail;
+  };
+  std::vector<TriggerRecord> trigger_log_;
+};
+
+/// Install `recorder` as the process-global crash recorder: check.hpp
+/// failures and ThreadPool worker exceptions route to recorder->trigger().
+/// Pass nullptr to uninstall. The caller keeps ownership and must
+/// uninstall before destroying the recorder.
+void install_global_flight_recorder(FlightRecorder* recorder) noexcept;
+[[nodiscard]] FlightRecorder* global_flight_recorder() noexcept;
+
+}  // namespace aadedupe::telemetry

@@ -1,0 +1,212 @@
+#include "telemetry/log.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/json.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::telemetry {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "trace";
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+LogLevel parse_log_level(const char* text, LogLevel fallback) noexcept {
+  if (text == nullptr) return fallback;
+  const std::string_view name(text);
+  for (const LogLevel level :
+       {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+        LogLevel::kError, LogLevel::kOff}) {
+    if (name == to_string(level)) return level;
+  }
+  return fallback;
+}
+
+namespace {
+
+std::uint32_t this_thread_tag() noexcept {
+  return static_cast<std::uint32_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffffu);
+}
+
+Logger::Clock make_wall_clock() {
+  const auto epoch = std::chrono::steady_clock::now();
+  return [epoch] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch)
+        .count();
+  };
+}
+
+/// Human-readable stderr lines. stderr is the one terminal stream library
+/// code may reach — and only through here (tools/lint.py bans raw
+/// std::cerr/fprintf(stderr, ...) outside src/telemetry and tools).
+class StderrSink final : public LogSink {
+ public:
+  void write(const LogEvent& event) override {
+    char line[256];
+    const int n = std::snprintf(
+        line, sizeof line, "[%9.3f] %-5s %.*s: %.*s\n", event.t_s,
+        std::string(to_string(event.level)).c_str(),
+        static_cast<int>(event.category.size()), event.category.data(),
+        static_cast<int>(event.message.size()), event.message.data());
+    if (n > 0) {
+      const std::size_t len =
+          std::min(static_cast<std::size_t>(n), sizeof line - 1);
+      std::fwrite(line, 1, len, stderr);
+    }
+  }
+};
+
+class JsonlFileSink final : public LogSink {
+ public:
+  explicit JsonlFileSink(const std::string& path)
+      : file_(std::fopen(path.c_str(), "a")) {
+    if (file_ == nullptr) {
+      throw FormatError("log: cannot open JSONL sink path " + path);
+    }
+  }
+  ~JsonlFileSink() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  JsonlFileSink(const JsonlFileSink&) = delete;
+  JsonlFileSink& operator=(const JsonlFileSink&) = delete;
+
+  void write(const LogEvent& event) override {
+    JsonValue line;
+    line["t_s"] = event.t_s;
+    line["level"] = to_string(event.level);
+    line["category"] = event.category;
+    line["message"] = event.message;
+    line["thread"] = static_cast<std::uint64_t>(event.thread);
+    const std::string text = line.dump(0);
+    std::fwrite(text.data(), 1, text.size(), file_);
+    std::fputc('\n', file_);
+    std::fflush(file_);
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+class NullSink final : public LogSink {
+ public:
+  void write(const LogEvent&) override {}
+};
+
+}  // namespace
+
+std::unique_ptr<LogSink> make_stderr_sink() {
+  return std::make_unique<StderrSink>();
+}
+
+std::unique_ptr<LogSink> make_jsonl_file_sink(const std::string& path) {
+  return std::make_unique<JsonlFileSink>(path);
+}
+
+std::unique_ptr<LogSink> make_null_sink() {
+  return std::make_unique<NullSink>();
+}
+
+Logger::Logger() : Logger(make_wall_clock()) {}
+
+Logger::Logger(Clock clock) : clock_(std::move(clock)) {
+  AAD_EXPECTS(clock_ != nullptr);
+}
+
+Logger::~Logger() = default;
+
+void Logger::set_clock(Clock clock) {
+  AAD_EXPECTS(clock != nullptr);
+  std::lock_guard lock(mutex_);
+  clock_ = std::move(clock);
+}
+
+void Logger::add_sink(std::shared_ptr<LogSink> sink) {
+  AAD_EXPECTS(sink != nullptr);
+  std::lock_guard lock(mutex_);
+  sinks_.push_back(std::move(sink));
+  has_sinks_.store(true, std::memory_order_relaxed);
+}
+
+void Logger::clear_sinks() {
+  std::lock_guard lock(mutex_);
+  sinks_.clear();
+  has_sinks_.store(false, std::memory_order_relaxed);
+}
+
+std::size_t Logger::sink_count() const {
+  std::lock_guard lock(mutex_);
+  return sinks_.size();
+}
+
+void Logger::log(LogLevel level, std::string_view category,
+                 std::string_view message) {
+  AAD_EXPECTS(level < LogLevel::kOff);
+  const double t_s = now();
+  // The flight recorder sees every event that reaches here (post
+  // compile-time floor): crash artifacts want the detail the sinks skip.
+  if (FlightRecorder* recorder =
+          recorder_.load(std::memory_order_acquire)) {
+    recorder->record(FlightEventKind::kLog, level, t_s, category, message);
+  }
+  if (!has_sinks_.load(std::memory_order_relaxed) ||
+      level < level_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  LogEvent event;
+  event.t_s = t_s;
+  event.level = level;
+  event.category = category;
+  event.message = message;
+  event.thread = this_thread_tag();
+  std::lock_guard lock(mutex_);
+  for (const auto& sink : sinks_) sink->write(event);
+}
+
+void Logger::logf(LogLevel level, std::string_view category,
+                  const char* format, ...) {
+  if (!enabled(level)) return;
+  char buffer[256];
+  va_list args;
+  va_start(args, format);
+  const int n = std::vsnprintf(buffer, sizeof buffer, format, args);
+  va_end(args);
+  if (n < 0) return;
+  log(level, category,
+      std::string_view(buffer, std::min(static_cast<std::size_t>(n),
+                                        sizeof buffer - 1)));
+}
+
+Logger& stderr_logger() {
+  static Logger* logger = [] {
+    auto* instance = new Logger();  // intentionally leaked: process-wide
+    instance->add_sink(make_stderr_sink());
+    instance->set_level(
+        parse_log_level(std::getenv("AAD_LOG_LEVEL"), LogLevel::kInfo));
+    return instance;
+  }();
+  return *logger;
+}
+
+}  // namespace aadedupe::telemetry

@@ -1,0 +1,184 @@
+// Structured logging — the one sanctioned route to the terminal.
+//
+// Library code never writes to stdout/stderr directly (tools/lint.py
+// enforces it); it logs through a telemetry::Logger, whose sinks decide
+// where events go: the stderr sink for interactive runs, the JSONL file
+// sink for machine-readable streams, or nothing at all (the null default,
+// which is also the overhead-budget configuration: a disabled level costs
+// one atomic load).
+//
+// Severity runs TRACE < DEBUG < INFO < WARN < ERROR. Category tags reuse
+// the span stage vocabulary ("session", "upload", "journal_replay", ...)
+// so log lines, trace spans, and flight-recorder entries correlate.
+//
+// Two floors gate an event:
+//   * compile time — AAD_LOG_MIN_LEVEL (an integer; events below it
+//     compile to nothing via the AAD_LOG macro's `if constexpr`), and
+//   * run time — Logger::set_level(), checked with a relaxed atomic load.
+// Events that pass the compile-time floor are always offered to the
+// attached FlightRecorder (the crash artifact wants detail even when the
+// sinks are quiet); only sink delivery respects the runtime floor.
+//
+// Thread-safety model: sinks are invoked under the logger's sink mutex,
+// one event at a time, so a sink needs no locking of its own (the same
+// contract as the Tracer event sink). Level reads and the recorder
+// pointer are atomics — loggable from any thread at any time.
+#pragma once
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aadedupe::telemetry {
+
+class FlightRecorder;
+
+enum class LogLevel : std::uint8_t {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,  // runtime floor that silences every sink
+};
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+/// Parse "trace" / "debug" / "info" / "warn" / "error" / "off"
+/// (case-sensitive, the spellings to_string emits). Returns `fallback`
+/// for anything else, including nullptr.
+[[nodiscard]] LogLevel parse_log_level(const char* text,
+                                       LogLevel fallback) noexcept;
+
+/// One structured event as the sinks see it. The string views borrow the
+/// caller's storage and are only valid during the write() call.
+struct LogEvent {
+  double t_s = 0.0;  // logger-clock seconds
+  LogLevel level = LogLevel::kInfo;
+  std::string_view category;  // stage-name vocabulary ("session", ...)
+  std::string_view message;
+  std::uint32_t thread = 0;  // hashed thread id (same scheme as spans)
+};
+
+/// Sink interface. write() is called under the logger's mutex — implement
+/// without internal locking. Must not log back into the same logger.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void write(const LogEvent& event) = 0;
+};
+
+/// Human-readable lines on stderr: "[   0.123] WARN  upload: message".
+[[nodiscard]] std::unique_ptr<LogSink> make_stderr_sink();
+
+/// One compact JSON object per line ({"t_s":...,"level":...,...}),
+/// appended to `path`. Throws FormatError when the file cannot be opened.
+[[nodiscard]] std::unique_ptr<LogSink> make_jsonl_file_sink(
+    const std::string& path);
+
+/// Swallows everything (placeholder where a sink object is required).
+[[nodiscard]] std::unique_ptr<LogSink> make_null_sink();
+
+class Logger {
+ public:
+  using Clock = std::function<double()>;  // seconds, monotonic
+
+  /// Default: no sinks, kInfo runtime floor, steady-clock timestamps.
+  Logger();
+  explicit Logger(Clock clock);
+  ~Logger();
+
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  /// Replace the timestamp clock (e.g. to share the tracer's epoch).
+  void set_clock(Clock clock);
+
+  void add_sink(std::shared_ptr<LogSink> sink);
+  void clear_sinks();
+  [[nodiscard]] std::size_t sink_count() const;
+
+  /// Runtime severity floor for sink delivery (the flight recorder sees
+  /// everything regardless). kOff silences all sinks.
+  void set_level(LogLevel level) noexcept {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const noexcept {
+    return level_.load(std::memory_order_relaxed);
+  }
+
+  /// Events also stream into `recorder`'s ring buffers (nullptr detaches).
+  void set_flight_recorder(FlightRecorder* recorder) noexcept {
+    recorder_.store(recorder, std::memory_order_release);
+  }
+
+  /// Would an event at `level` go anywhere? The AAD_LOG macro's fast
+  /// bail-out — true when a sink wants it or a recorder is attached.
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    if (recorder_.load(std::memory_order_relaxed) != nullptr) return true;
+    return has_sinks_.load(std::memory_order_relaxed) &&
+           level >= level_.load(std::memory_order_relaxed);
+  }
+
+  /// Log a preformatted message.
+  void log(LogLevel level, std::string_view category,
+           std::string_view message);
+
+  /// printf-style convenience (formats into a bounded stack buffer; long
+  /// messages are truncated, never allocated).
+  void logf(LogLevel level, std::string_view category, const char* format,
+            ...) __attribute__((format(printf, 4, 5)));
+
+  [[nodiscard]] double now() const { return clock_(); }
+
+ private:
+  Clock clock_;
+  std::atomic<LogLevel> level_{LogLevel::kInfo};
+  std::atomic<bool> has_sinks_{false};
+  std::atomic<FlightRecorder*> recorder_{nullptr};
+
+  mutable std::mutex mutex_;  // guards sinks_
+  std::vector<std::shared_ptr<LogSink>> sinks_;
+};
+
+/// Process-wide logger for entry-point code (examples, benches, CLI
+/// argument errors): stderr sink, kInfo floor, honoring AAD_LOG_LEVEL at
+/// first use. Library code should prefer the Telemetry context's logger.
+[[nodiscard]] Logger& stderr_logger();
+
+/// Compile-time floor check for the AAD_LOG macro (a function so the
+/// always-true case at floor 0 does not trip -Wtype-limits).
+[[nodiscard]] constexpr bool log_level_passes_floor(LogLevel level,
+                                                    int floor) noexcept {
+  return static_cast<int>(level) >= floor;
+}
+
+}  // namespace aadedupe::telemetry
+
+/// Compile-time severity floor: events below it vanish from the binary.
+/// 0=TRACE 1=DEBUG 2=INFO 3=WARN 4=ERROR.
+#ifndef AAD_LOG_MIN_LEVEL
+#define AAD_LOG_MIN_LEVEL 0
+#endif
+
+/// AAD_LOG(logger*, kWarn, "upload", "lost %s after %u tries", key, n);
+/// Null logger and below-floor levels cost one branch; below the
+/// compile-time floor the whole statement compiles away.
+#define AAD_LOG(logger, lvl, category, ...)                                  \
+  do {                                                                       \
+    if constexpr (::aadedupe::telemetry::log_level_passes_floor(             \
+            ::aadedupe::telemetry::LogLevel::lvl, AAD_LOG_MIN_LEVEL)) {      \
+      ::aadedupe::telemetry::Logger* aad_log_logger_ = (logger);             \
+      if (aad_log_logger_ != nullptr &&                                      \
+          aad_log_logger_->enabled(::aadedupe::telemetry::LogLevel::lvl)) {  \
+        aad_log_logger_->logf(::aadedupe::telemetry::LogLevel::lvl,          \
+                              (category), __VA_ARGS__);                      \
+      }                                                                      \
+    }                                                                        \
+  } while (false)

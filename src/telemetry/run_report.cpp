@@ -6,6 +6,7 @@
 #include "telemetry/build_info.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/timeline.hpp"
 #include "telemetry/trace.hpp"
 #include "util/check.hpp"
 
@@ -29,9 +30,14 @@ void RunReport::add_stages(const Tracer& tracer) {
   tracer.fill_json(root_["stages"]);
 }
 
+void RunReport::add_timeline(const Timeline& timeline) {
+  timeline.fill_json(root_["timeseries"]);
+}
+
 void RunReport::add_telemetry(const Telemetry& telemetry) {
   add_metrics(telemetry.metrics);
   add_stages(telemetry.trace);
+  if (!telemetry.timeline.empty()) add_timeline(telemetry.timeline);
 }
 
 void RunReport::write_stream(std::ostream& out) const {

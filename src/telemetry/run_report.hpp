@@ -18,6 +18,7 @@
 namespace aadedupe::telemetry {
 
 class MetricsRegistry;
+class Timeline;
 class Tracer;
 struct Telemetry;
 
@@ -39,7 +40,10 @@ class RunReport {
   /// Fold in a metrics snapshot ("metrics") / span table ("stages").
   void add_metrics(const MetricsRegistry& registry);
   void add_stages(const Tracer& tracer);
-  /// Both halves of a Telemetry context.
+  /// Timeline samples as a "timeseries" section (columnar).
+  void add_timeline(const Timeline& timeline);
+  /// Fold in a Telemetry context: metrics, stages, and — when any samples
+  /// were taken — the timeline.
   void add_telemetry(const Telemetry& telemetry);
 
   [[nodiscard]] std::string to_json(int indent = 2) const {

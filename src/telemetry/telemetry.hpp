@@ -1,14 +1,31 @@
 // Telemetry context — the one handle the pipeline passes around.
 //
-// A Telemetry bundles the metrics registry and the tracer. Every
+// A Telemetry bundles the metrics registry, the tracer, the structured
+// logger, the crash-time flight recorder, and the metrics timeline. Every
 // instrumented layer (scheme, pipeline, transport stack, container
 // manager) takes a nullable `telemetry::Telemetry*`; the default nullptr
 // is the null sink — instrumentation compiles down to a pointer test, so
 // the fingerprinting hot path keeps its throughput when nobody is
 // watching.
+//
+// Wiring done here so every member tells one story per run:
+//   * the logger and flight recorder share the tracer's clock (one time
+//     axis across spans, log lines, and flight events),
+//   * logger events and span open/close markers stream into the flight
+//     recorder's rings,
+//   * the timeline samples this context's metrics registry.
+// The flight recorder is NOT process-global by default — call
+// install_global_flight_recorder(&t.flight) to route check.hpp failures
+// and worker-thread exceptions into it (see Observability in
+// bench/bench_common.hpp, which does this for entry points).
 #pragma once
 
+#include <utility>
+
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/log.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/timeline.hpp"
 #include "telemetry/trace.hpp"
 
 namespace aadedupe::telemetry {
@@ -16,13 +33,28 @@ namespace aadedupe::telemetry {
 struct Telemetry {
   MetricsRegistry metrics;
   Tracer trace;
+  Logger log;
+  FlightRecorder flight;
+  Timeline timeline;
 
-  Telemetry() = default;
-  /// Deterministic-clock variant for tests.
-  explicit Telemetry(Tracer::Clock clock) : trace(std::move(clock)) {}
+  Telemetry() : timeline(&metrics) { wire(); }
+  /// Deterministic-clock variant for tests: spans, log lines, and flight
+  /// events all timestamp from `clock`.
+  explicit Telemetry(Tracer::Clock clock)
+      : trace(std::move(clock)), timeline(&metrics) {
+    wire();
+  }
 
   Telemetry(const Telemetry&) = delete;
   Telemetry& operator=(const Telemetry&) = delete;
+
+ private:
+  void wire() {
+    log.set_clock([tracer = &trace] { return tracer->now(); });
+    flight.set_clock([tracer = &trace] { return tracer->now(); });
+    log.set_flight_recorder(&flight);
+    trace.set_flight_recorder(&flight);
+  }
 };
 
 }  // namespace aadedupe::telemetry

@@ -1,0 +1,128 @@
+#include "telemetry/timeline.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::telemetry {
+
+namespace {
+
+std::uint64_t double_bits(double value) noexcept {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof bits);
+  return bits;
+}
+
+double bits_double(std::uint64_t bits) noexcept {
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof value);
+  return value;
+}
+
+}  // namespace
+
+Timeline::Timeline(MetricsRegistry* metrics)
+    : metrics_(metrics), last_bits_(double_bits(0.0)) {}
+
+void Timeline::bind(MetricsRegistry* metrics) {
+  std::lock_guard lock(mutex_);
+  metrics_ = metrics;
+}
+
+void Timeline::set_interval(double seconds) {
+  AAD_EXPECTS(seconds > 0.0);
+  std::lock_guard lock(mutex_);
+  interval_s_ = seconds;
+}
+
+double Timeline::interval() const {
+  std::lock_guard lock(mutex_);
+  return interval_s_;
+}
+
+bool Timeline::maybe_sample(double now_s) {
+  // Cheap rejection without the mutex: callers heartbeat this from hot
+  // batch loops. The racy window can at worst take one extra sample.
+  if (has_samples_.load(std::memory_order_relaxed)) {
+    const double last = bits_double(last_bits_.load(std::memory_order_relaxed));
+    // Approximate interval check — a racing sampler costs at most one
+    // extra point; the authoritative check below settles it.
+    if (now_s < last + interval()) return false;
+  }
+  std::lock_guard lock(mutex_);
+  if (!samples_.empty() && now_s < samples_.back().t_s + interval_s_) {
+    return false;
+  }
+  sample_locked(now_s);
+  return true;
+}
+
+void Timeline::force_sample(double now_s) {
+  std::lock_guard lock(mutex_);
+  sample_locked(now_s);
+}
+
+void Timeline::sample_locked(double now_s) {
+  if (metrics_ == nullptr) return;
+  Sample sample;
+  sample.t_s = now_s;
+  const MetricsSnapshot snap = metrics_->snapshot();
+  sample.values.reserve(snap.entries.size());
+  for (const MetricsSnapshot::Entry& entry : snap.entries) {
+    if (entry.kind == MetricKind::kHistogram) continue;
+    sample.values.emplace_back(entry.name, entry.value);
+  }
+  samples_.push_back(std::move(sample));
+  last_bits_.store(double_bits(now_s), std::memory_order_relaxed);
+  has_samples_.store(true, std::memory_order_relaxed);
+  if (samples_.size() > kMaxSamples) {
+    // Thin: keep every other point, double the interval. Coverage stays
+    // even; resolution halves; memory stays bounded.
+    std::vector<Sample> kept;
+    kept.reserve(samples_.size() / 2 + 1);
+    for (std::size_t i = 0; i < samples_.size(); i += 2) {
+      kept.push_back(std::move(samples_[i]));
+    }
+    samples_ = std::move(kept);
+    interval_s_ *= 2.0;
+  }
+}
+
+std::size_t Timeline::sample_count() const {
+  std::lock_guard lock(mutex_);
+  return samples_.size();
+}
+
+void Timeline::fill_json(JsonValue& out) const {
+  std::lock_guard lock(mutex_);
+  out["interval_s"] = interval_s_;
+  JsonValue& times = out["t_s"].make_array();
+  // Union of metric names across samples, in first-appearance order.
+  std::vector<std::string> names;
+  std::map<std::string, std::size_t> index;
+  for (const Sample& sample : samples_) {
+    for (const auto& [name, value] : sample.values) {
+      if (index.emplace(name, names.size()).second) names.push_back(name);
+    }
+  }
+  std::vector<std::vector<std::uint64_t>> columns(
+      names.size(), std::vector<std::uint64_t>(samples_.size(), 0));
+  for (std::size_t s = 0; s < samples_.size(); ++s) {
+    times.push_back(samples_[s].t_s);
+    for (const auto& [name, value] : samples_[s].values) {
+      columns[index[name]][s] = value;
+    }
+  }
+  JsonValue& series = out["series"].make_object();
+  for (std::size_t n = 0; n < names.size(); ++n) {
+    JsonValue& column = series[names[n]].make_array();
+    for (const std::uint64_t value : columns[n]) column.push_back(value);
+  }
+}
+
+}  // namespace aadedupe::telemetry

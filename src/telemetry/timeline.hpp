@@ -1,0 +1,81 @@
+// Periodic time-series snapshots of a MetricsRegistry.
+//
+// Long sessions want *curves* — throughput, dedup ratio, shipped bytes
+// over time — not just end-of-run totals. A Timeline samples the bound
+// registry's counters and gauges (histograms are skipped; their per-point
+// cost and size dwarf a scalar's) at a configurable interval on whatever
+// clock the caller passes in: wall seconds inside a session, simulated
+// seconds in a bench. Call maybe_sample(now) from any convenient
+// heartbeat (per file batch, per stream); it self-rate-limits with one
+// atomic compare, so over-calling is harmless.
+//
+// Memory is bounded: past ~1024 points the timeline thins itself by
+// dropping every other sample and doubling the interval, preserving even
+// coverage of an arbitrarily long run in fixed space.
+//
+// The run report embeds the result columnar ({"t_s":[...],
+// "series":{name:[...]}}) — see tools/report.py `timeseries` for the
+// terminal rendering.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace aadedupe::telemetry {
+
+class JsonValue;
+class MetricsRegistry;
+
+class Timeline {
+ public:
+  static constexpr double kDefaultIntervalS = 1.0;
+  static constexpr std::size_t kMaxSamples = 1024;
+
+  explicit Timeline(MetricsRegistry* metrics = nullptr);
+
+  Timeline(const Timeline&) = delete;
+  Timeline& operator=(const Timeline&) = delete;
+
+  void bind(MetricsRegistry* metrics);
+
+  /// Minimum seconds between samples (> 0). The effective interval can
+  /// only grow from here (thinning doubles it).
+  void set_interval(double seconds);
+  [[nodiscard]] double interval() const;
+
+  /// Take a sample iff none was taken yet or `now_s` is at least one
+  /// interval past the previous sample. Returns true when it sampled.
+  bool maybe_sample(double now_s);
+
+  /// Take a sample unconditionally (session end wants the final point).
+  void force_sample(double now_s);
+
+  [[nodiscard]] std::size_t sample_count() const;
+  [[nodiscard]] bool empty() const { return sample_count() == 0; }
+
+  /// Columnar JSON: {"interval_s": ..., "t_s": [...], "series": {name:
+  /// [...]}}. Series are the union of names seen across samples; points
+  /// predating a metric's first appearance read 0.
+  void fill_json(JsonValue& out) const;
+
+ private:
+  struct Sample {
+    double t_s;
+    std::vector<std::pair<std::string, std::uint64_t>> values;
+  };
+
+  void sample_locked(double now_s);
+
+  MetricsRegistry* metrics_;
+  std::atomic<std::uint64_t> last_bits_;  // bit pattern of last sample time
+  std::atomic<bool> has_samples_{false};
+
+  mutable std::mutex mutex_;
+  double interval_s_ = kDefaultIntervalS;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace aadedupe::telemetry

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/json.hpp"
 #include "util/check.hpp"
 
@@ -51,6 +52,11 @@ struct ShardRef {
 };
 thread_local std::vector<ShardRef> t_shard_cache;
 
+std::uint32_t this_thread_tag() noexcept {
+  return static_cast<std::uint32_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffffu);
+}
+
 Tracer::Clock make_wall_clock() {
   const auto epoch = std::chrono::steady_clock::now();
   return [epoch] {
@@ -76,6 +82,18 @@ void Tracer::set_event_sink(EventSink sink) {
   event_sink_ = std::move(sink);
   events_enabled_.store(static_cast<bool>(event_sink_),
                         std::memory_order_relaxed);
+}
+
+void Tracer::set_span_sink(SpanSink sink) {
+  std::lock_guard lock(mutex_);
+  span_sink_ = std::move(sink);
+  spans_enabled_.store(static_cast<bool>(span_sink_),
+                       std::memory_order_relaxed);
+}
+
+void Tracer::emit_span(const SpanEvent& event) {
+  std::lock_guard lock(mutex_);
+  if (span_sink_) span_sink_(event);
 }
 
 Tracer::Shard& Tracer::local_shard() {
@@ -175,6 +193,11 @@ TraceSpan::TraceSpan(Tracer* tracer, Stage stage, std::string_view category)
   start_s_ = tracer_->now();
   parent_ = t_current_span;
   t_current_span = this;
+  if (FlightRecorder* recorder =
+          tracer_->recorder_.load(std::memory_order_acquire)) {
+    recorder->record(FlightEventKind::kSpanOpen, LogLevel::kTrace, start_s_,
+                     to_string(stage_), category_);
+  }
 }
 
 void TraceSpan::finish() {
@@ -185,6 +208,22 @@ void TraceSpan::finish() {
   if (tracer_->events_enabled_.load(std::memory_order_relaxed)) {
     tracer_->emit_event(stage_, category_, start_s_, wall,
                         std::max(0.0, self), sim_s_);
+  }
+  if (tracer_->spans_enabled_.load(std::memory_order_relaxed)) {
+    SpanEvent event;
+    event.stage = stage_;
+    event.category = category_;
+    event.start_s = start_s_;
+    event.wall_s = wall;
+    event.self_s = std::max(0.0, self);
+    event.sim_s = sim_s_;
+    event.thread = this_thread_tag();
+    tracer_->emit_span(event);
+  }
+  if (FlightRecorder* recorder =
+          tracer_->recorder_.load(std::memory_order_acquire)) {
+    recorder->record(FlightEventKind::kSpanClose, LogLevel::kTrace,
+                     start_s_ + wall, to_string(stage_), category_);
   }
   if (parent_ != nullptr && parent_->tracer_ == tracer_) {
     parent_->child_wall_s_ += wall;

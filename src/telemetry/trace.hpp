@@ -32,6 +32,7 @@
 
 namespace aadedupe::telemetry {
 
+class FlightRecorder;
 class JsonValue;
 
 /// Pipeline stages instrumented across the backup path.
@@ -60,6 +61,20 @@ struct StageRow {
 
 using StageKey = std::pair<Stage, std::string>;
 
+/// One completed span, as structured data (what the JSONL event sink sees
+/// as text). Fed to the span sink for in-process consumers — notably the
+/// Chrome-trace exporter (trace_export.hpp). The category view borrows
+/// the span's storage and is only valid during the sink call.
+struct SpanEvent {
+  Stage stage = Stage::kSession;
+  std::string_view category;
+  double start_s = 0.0;
+  double wall_s = 0.0;
+  double self_s = 0.0;
+  double sim_s = 0.0;
+  std::uint32_t thread = 0;  // hashed thread id
+};
+
 class Tracer {
  public:
   using Clock = std::function<double()>;  // seconds, monotonic
@@ -78,6 +93,17 @@ class Tracer {
   /// invoked under a mutex — it may write to a stream without its own
   /// locking. Pass nullptr to disable.
   void set_event_sink(EventSink sink);
+
+  /// Install a structured span sink (same mutex discipline as the JSONL
+  /// sink; both may be active at once). Pass nullptr to disable.
+  using SpanSink = std::function<void(const SpanEvent&)>;
+  void set_span_sink(SpanSink sink);
+
+  /// Mirror span open/close markers into `recorder`'s per-thread rings so
+  /// a flight dump shows what every thread was doing (nullptr detaches).
+  void set_flight_recorder(FlightRecorder* recorder) noexcept {
+    recorder_.store(recorder, std::memory_order_release);
+  }
 
   /// Record a completed measurement directly (no RAII). The duration is
   /// attributed to the enclosing span's children, exactly as a nested
@@ -109,15 +135,19 @@ class Tracer {
                   double wall_s, double self_s, double sim_s);
   void emit_event(Stage stage, std::string_view category, double start_s,
                   double wall_s, double self_s, double sim_s);
+  void emit_span(const SpanEvent& event);
   Shard& local_shard();
 
   Clock clock_;
   const std::uint64_t id_;  // process-unique; keys the thread-local cache
 
-  mutable std::mutex mutex_;  // guards shards_ list and the event sink
+  mutable std::mutex mutex_;  // guards shards_ list and both sinks
   std::vector<std::unique_ptr<Shard>> shards_;
   EventSink event_sink_;
+  SpanSink span_sink_;
   std::atomic<bool> events_enabled_{false};  // lock-free fast-path check
+  std::atomic<bool> spans_enabled_{false};
+  std::atomic<FlightRecorder*> recorder_{nullptr};
 };
 
 /// RAII stage span. Null tracer => inert.

@@ -1,0 +1,98 @@
+#include "telemetry/trace_export.hpp"
+
+#include <cstdio>
+
+#include "telemetry/json.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::telemetry {
+
+void TraceExporter::attach(Tracer& tracer) {
+  tracer.set_span_sink([this](const SpanEvent& event) { add_span(event); });
+}
+
+void TraceExporter::add_span(const SpanEvent& event) {
+  std::lock_guard lock(mutex_);
+  spans_.push_back(SpanRecord{event.stage, std::string(event.category),
+                              event.start_s, event.wall_s, event.self_s,
+                              event.sim_s, event.thread});
+}
+
+void TraceExporter::add_counter(std::string_view name, double t_s,
+                                double value) {
+  std::lock_guard lock(mutex_);
+  counters_.push_back(CounterRecord{std::string(name), t_s, value});
+}
+
+std::size_t TraceExporter::span_count() const {
+  std::lock_guard lock(mutex_);
+  return spans_.size();
+}
+
+std::size_t TraceExporter::counter_count() const {
+  std::lock_guard lock(mutex_);
+  return counters_.size();
+}
+
+void TraceExporter::fill_json(JsonValue& out) const {
+  std::lock_guard lock(mutex_);
+  JsonValue& events = out["traceEvents"].make_array();
+  // Chrome-trace tids are best kept small and dense; assign an ordinal
+  // per hashed thread id in order of first appearance (deterministic for
+  // a deterministic span stream) and keep the original hash in an "M"
+  // metadata event so traces can be matched with log/flight output.
+  std::map<std::uint32_t, std::uint64_t> tid_by_thread;
+  for (const SpanRecord& span : spans_) {
+    if (tid_by_thread.count(span.thread) != 0) continue;
+    const std::uint64_t tid = tid_by_thread.size() + 1;
+    tid_by_thread[span.thread] = tid;
+    JsonValue& meta = events.push_back(JsonValue{});
+    meta["name"] = "thread_name";
+    meta["ph"] = "M";
+    meta["pid"] = std::uint64_t{1};
+    meta["tid"] = tid;
+    char label[32];
+    std::snprintf(label, sizeof label, "thread %04x", span.thread);
+    meta["args"]["name"] = label;
+  }
+  for (const SpanRecord& span : spans_) {
+    JsonValue& event = events.push_back(JsonValue{});
+    event["name"] = to_string(span.stage);
+    event["cat"] = span.category.empty() ? std::string("span")
+                                         : span.category;
+    event["ph"] = "X";
+    event["ts"] = span.start_s * 1e6;   // microseconds
+    event["dur"] = span.wall_s * 1e6;
+    event["pid"] = std::uint64_t{1};
+    event["tid"] = tid_by_thread[span.thread];
+    event["args"]["self_s"] = span.self_s;
+    event["args"]["sim_s"] = span.sim_s;
+  }
+  for (const CounterRecord& counter : counters_) {
+    JsonValue& event = events.push_back(JsonValue{});
+    event["name"] = counter.name;
+    event["ph"] = "C";
+    event["ts"] = counter.t_s * 1e6;
+    event["pid"] = std::uint64_t{1};
+    event["args"][counter.name] = counter.value;
+  }
+  out["displayTimeUnit"] = "ms";
+}
+
+void TraceExporter::write_file(const std::string& path) const {
+  JsonValue doc;
+  fill_json(doc);
+  const std::string text = doc.dump(0);
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    throw FormatError("trace_export: cannot open " + path);
+  }
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const bool newline_ok = std::fputc('\n', file) != EOF;
+  const bool close_ok = std::fclose(file) == 0;
+  if (written != text.size() || !newline_ok || !close_ok) {
+    throw FormatError("trace_export: short write to " + path);
+  }
+}
+
+}  // namespace aadedupe::telemetry

@@ -1,0 +1,86 @@
+// Chrome-trace / Perfetto export of the span event stream.
+//
+// A TraceExporter subscribes to a Tracer's span sink, buffers every
+// completed span (plus any counter samples the caller feeds it), and
+// serializes the Chrome Trace Event Format JSON that ui.perfetto.dev and
+// chrome://tracing open directly:
+//
+//   { "traceEvents": [
+//       {"name":"chunk","cat":"docs","ph":"X","ts":12.0,"dur":340.5,
+//        "pid":1,"tid":2,"args":{"self_s":...,"sim_s":...}},
+//       {"name":"queue_depth","ph":"C","ts":...,"pid":1,
+//        "args":{"queue_depth":7}},
+//       ... ],
+//     "displayTimeUnit": "ms" }
+//
+// Spans become complete ("X") events: ts/dur are microseconds on the
+// tracer clock, pid is always 1, and tid is a small stable ordinal
+// assigned per hashed thread id in order of first appearance (thread
+// metadata "M" events carry the original hash). Counter ("C") events plot
+// queue depth and shipped bytes as stacked area charts under the tracks.
+//
+// Sessions enable it with AAD_TRACE_OUT=<path> (see bench/bench_common's
+// Observability helper); the file is written on finish()/write_file.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/trace.hpp"
+
+namespace aadedupe::telemetry {
+
+class JsonValue;
+
+class TraceExporter {
+ public:
+  TraceExporter() = default;
+
+  TraceExporter(const TraceExporter&) = delete;
+  TraceExporter& operator=(const TraceExporter&) = delete;
+
+  /// Install this exporter as `tracer`'s span sink. The exporter must
+  /// outlive the tracer's use of the sink (detach by passing the tracer a
+  /// null sink, or destroy the tracer first).
+  void attach(Tracer& tracer);
+
+  /// Record one completed span (called by the sink; also usable directly
+  /// in tests). Thread-safe.
+  void add_span(const SpanEvent& event);
+
+  /// Record a counter sample ("C" event) — e.g. queue depth over time.
+  void add_counter(std::string_view name, double t_s, double value);
+
+  [[nodiscard]] std::size_t span_count() const;
+  [[nodiscard]] std::size_t counter_count() const;
+
+  /// Build {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  void fill_json(JsonValue& out) const;
+
+  /// Serialize to `path`. Throws FormatError when the file cannot be
+  /// written.
+  void write_file(const std::string& path) const;
+
+ private:
+  struct SpanRecord {
+    Stage stage;
+    std::string category;
+    double start_s, wall_s, self_s, sim_s;
+    std::uint32_t thread;
+  };
+  struct CounterRecord {
+    std::string name;
+    double t_s;
+    double value;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+  std::vector<CounterRecord> counters_;
+};
+
+}  // namespace aadedupe::telemetry

@@ -4,6 +4,7 @@
 // production code fails loudly instead of corrupting data.
 #pragma once
 
+#include <atomic>
 #include <stdexcept>
 #include <string>
 
@@ -27,18 +28,48 @@ class FormatError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Observability hook invoked (before the throw) on every check failure,
+/// and by other last-gasp paths (worker-thread exceptions). `kind` is a
+/// short machine tag ("invariant", "worker_exception", ...), `what` the
+/// human message. The hook must not throw; it typically dumps the
+/// telemetry flight recorder (see telemetry/flight_recorder.hpp, which
+/// installs itself here via install_global_flight_recorder). This header
+/// only holds the function pointer so util stays dependency-free.
+using FailureHook = void (*)(const char* kind, const char* what) noexcept;
+
 namespace detail {
+inline std::atomic<FailureHook>& failure_hook_slot() noexcept {
+  static std::atomic<FailureHook> hook{nullptr};
+  return hook;
+}
+
+inline void notify_failure(const char* kind, const char* what) noexcept {
+  if (FailureHook hook =
+          failure_hook_slot().load(std::memory_order_acquire)) {
+    hook(kind, what);
+  }
+}
+
 [[noreturn]] inline void fail_expects(const char* expr, const char* file,
                                       int line) {
-  throw PreconditionError(std::string("precondition failed: ") + expr +
-                          " at " + file + ":" + std::to_string(line));
+  const std::string message = std::string("precondition failed: ") + expr +
+                              " at " + file + ":" + std::to_string(line);
+  notify_failure("precondition", message.c_str());
+  throw PreconditionError(message);
 }
 [[noreturn]] inline void fail_ensures(const char* expr, const char* file,
                                       int line) {
-  throw InvariantError(std::string("invariant failed: ") + expr + " at " +
-                       file + ":" + std::to_string(line));
+  const std::string message = std::string("invariant failed: ") + expr +
+                              " at " + file + ":" + std::to_string(line);
+  notify_failure("invariant", message.c_str());
+  throw InvariantError(message);
 }
 }  // namespace detail
+
+/// Install (or with nullptr, clear) the process-global failure hook.
+inline void set_failure_hook(FailureHook hook) noexcept {
+  detail::failure_hook_slot().store(hook, std::memory_order_release);
+}
 
 }  // namespace aadedupe
 

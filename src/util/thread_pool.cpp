@@ -63,9 +63,22 @@ void ThreadPool::parallel_for(std::size_t count,
         for (std::size_t i = begin; i < end; ++i) {
           try {
             fn(i);
+          } catch (const std::exception& e) {
+            std::lock_guard lock(error_mutex);
+            if (!first_error) {
+              first_error = std::current_exception();
+              // First failure only: give the flight recorder (or any other
+              // installed hook) the worker's last words before the
+              // exception is rethrown on the caller's thread.
+              detail::notify_failure("worker_exception", e.what());
+            }
+            return;
           } catch (...) {
             std::lock_guard lock(error_mutex);
-            if (!first_error) first_error = std::current_exception();
+            if (!first_error) {
+              first_error = std::current_exception();
+              detail::notify_failure("worker_exception", "unknown exception");
+            }
             return;
           }
         }

@@ -1,0 +1,220 @@
+// Logger tests: severity parsing, runtime-floor filtering, multi-sink
+// fan-out, printf formatting/truncation, fake-clock timestamps, the JSONL
+// file sink, and the recorder-sees-everything contract.
+#include "telemetry/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/json.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::telemetry {
+namespace {
+
+/// Sink that copies events into owned storage (LogEvent views are only
+/// valid during write()).
+struct CaptureSink final : LogSink {
+  struct Copy {
+    double t_s;
+    LogLevel level;
+    std::string category;
+    std::string message;
+  };
+  std::vector<Copy> events;
+
+  void write(const LogEvent& event) override {
+    events.push_back(Copy{event.t_s, event.level,
+                          std::string(event.category),
+                          std::string(event.message)});
+  }
+};
+
+TEST(LogLevelNames, RoundTripAndFallback) {
+  for (const LogLevel level :
+       {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+        LogLevel::kError, LogLevel::kOff}) {
+    const std::string name(to_string(level));
+    EXPECT_EQ(parse_log_level(name.c_str(), LogLevel::kOff), level) << name;
+  }
+  EXPECT_EQ(parse_log_level("bogus", LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("", LogLevel::kDebug), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level(nullptr, LogLevel::kError), LogLevel::kError);
+  // Spellings are the exact strings to_string emits — case-sensitive.
+  EXPECT_EQ(parse_log_level("INFO", LogLevel::kOff), LogLevel::kOff);
+}
+
+TEST(Logger, RuntimeFloorFiltersSinkDelivery) {
+  Logger logger([] { return 0.0; });
+  auto sink = std::make_shared<CaptureSink>();
+  logger.add_sink(sink);
+  logger.set_level(LogLevel::kWarn);
+
+  logger.log(LogLevel::kDebug, "upload", "below the floor");
+  logger.log(LogLevel::kInfo, "upload", "still below");
+  logger.log(LogLevel::kWarn, "upload", "at the floor");
+  logger.log(LogLevel::kError, "upload", "above the floor");
+
+  ASSERT_EQ(sink->events.size(), 2u);
+  EXPECT_EQ(sink->events[0].message, "at the floor");
+  EXPECT_EQ(sink->events[1].level, LogLevel::kError);
+
+  logger.set_level(LogLevel::kOff);
+  logger.log(LogLevel::kError, "upload", "silenced");
+  EXPECT_EQ(sink->events.size(), 2u);
+}
+
+TEST(Logger, FansOutToEverySink) {
+  Logger logger([] { return 1.5; });
+  auto a = std::make_shared<CaptureSink>();
+  auto b = std::make_shared<CaptureSink>();
+  logger.add_sink(a);
+  logger.add_sink(b);
+  EXPECT_EQ(logger.sink_count(), 2u);
+
+  logger.log(LogLevel::kInfo, "session", "hello");
+  ASSERT_EQ(a->events.size(), 1u);
+  ASSERT_EQ(b->events.size(), 1u);
+  EXPECT_EQ(a->events[0].category, "session");
+  EXPECT_DOUBLE_EQ(b->events[0].t_s, 1.5);
+
+  logger.clear_sinks();
+  EXPECT_EQ(logger.sink_count(), 0u);
+  logger.log(LogLevel::kInfo, "session", "dropped");
+  EXPECT_EQ(a->events.size(), 1u);
+}
+
+TEST(Logger, EnabledReflectsSinksLevelAndRecorder) {
+  Logger logger;
+  // No sinks, no recorder: nothing is enabled.
+  EXPECT_FALSE(logger.enabled(LogLevel::kError));
+
+  logger.add_sink(std::make_shared<CaptureSink>());
+  logger.set_level(LogLevel::kWarn);
+  EXPECT_FALSE(logger.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(logger.enabled(LogLevel::kWarn));
+
+  // An attached recorder wants every event regardless of the sink floor.
+  FlightRecorder recorder;
+  logger.set_flight_recorder(&recorder);
+  EXPECT_TRUE(logger.enabled(LogLevel::kTrace));
+  logger.set_flight_recorder(nullptr);
+  EXPECT_FALSE(logger.enabled(LogLevel::kTrace));
+}
+
+TEST(Logger, RecorderSeesEventsBelowTheSinkFloor) {
+  FlightRecorder recorder;
+  Logger logger([] { return 2.0; });
+  auto sink = std::make_shared<CaptureSink>();
+  logger.add_sink(sink);
+  logger.set_level(LogLevel::kError);
+  logger.set_flight_recorder(&recorder);
+
+  logger.log(LogLevel::kDebug, "chunk", "sink-silent, recorder-visible");
+  EXPECT_TRUE(sink->events.empty());
+
+  JsonValue flight;
+  recorder.fill_json(flight);
+  const std::string dumped = flight.dump(0);
+  EXPECT_NE(dumped.find("sink-silent, recorder-visible"), std::string::npos)
+      << dumped;
+  EXPECT_NE(dumped.find("\"chunk\""), std::string::npos) << dumped;
+}
+
+TEST(Logger, LogfFormatsAndTruncates) {
+  Logger logger([] { return 0.0; });
+  auto sink = std::make_shared<CaptureSink>();
+  logger.add_sink(sink);
+
+  logger.logf(LogLevel::kInfo, "upload", "shipped %d bytes to %s", 42,
+              "cloud");
+  ASSERT_EQ(sink->events.size(), 1u);
+  EXPECT_EQ(sink->events[0].message, "shipped 42 bytes to cloud");
+
+  const std::string longer(1000, 'x');
+  logger.logf(LogLevel::kInfo, "upload", "%s", longer.c_str());
+  ASSERT_EQ(sink->events.size(), 2u);
+  // Bounded stack buffer: truncated, never allocated, never overflowing.
+  EXPECT_LT(sink->events[1].message.size(), 512u);
+  EXPECT_EQ(sink->events[1].message.substr(0, 8), "xxxxxxxx");
+}
+
+TEST(Logger, SetClockRestampsEvents) {
+  Logger logger;
+  double now = 7.25;
+  logger.set_clock([&now] { return now; });
+  auto sink = std::make_shared<CaptureSink>();
+  logger.add_sink(sink);
+  logger.log(LogLevel::kInfo, "session", "t0");
+  now = 8.0;
+  logger.log(LogLevel::kInfo, "session", "t1");
+  ASSERT_EQ(sink->events.size(), 2u);
+  EXPECT_DOUBLE_EQ(sink->events[0].t_s, 7.25);
+  EXPECT_DOUBLE_EQ(sink->events[1].t_s, 8.0);
+}
+
+TEST(JsonlFileSink, WritesOneObjectPerLine) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "aad_test_log_sink.jsonl";
+  std::filesystem::remove(path);
+  {
+    Logger logger([] { return 0.5; });
+    logger.add_sink(make_jsonl_file_sink(path.string()));
+    logger.log(LogLevel::kWarn, "retry_wait", "backing \"off\"");
+    logger.log(LogLevel::kInfo, "upload", "second line");
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line1, line2;
+  ASSERT_TRUE(std::getline(in, line1));
+  ASSERT_TRUE(std::getline(in, line2));
+  EXPECT_NE(line1.find("\"level\":\"warn\""), std::string::npos) << line1;
+  EXPECT_NE(line1.find("\"category\":\"retry_wait\""), std::string::npos);
+  // Quotes in the message must be escaped, or the line is not JSON.
+  EXPECT_NE(line1.find("backing \\\"off\\\""), std::string::npos) << line1;
+  EXPECT_NE(line2.find("\"message\":\"second line\""), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(JsonlFileSink, ThrowsWhenUnopenable) {
+  EXPECT_THROW((void)make_jsonl_file_sink("/nonexistent-dir/x/y.jsonl"),
+               FormatError);
+}
+
+TEST(LogMacro, NullLoggerAndDisabledLoggerAreNoOps) {
+  Logger* null_logger = nullptr;
+  AAD_LOG(null_logger, kError, "session", "never formatted %d", 1);
+
+  Logger logger;
+  auto sink = std::make_shared<CaptureSink>();
+  logger.add_sink(sink);
+  logger.set_level(LogLevel::kWarn);
+  AAD_LOG(&logger, kDebug, "session", "filtered out");
+  EXPECT_TRUE(sink->events.empty());
+  AAD_LOG(&logger, kError, "session", "count=%d", 3);
+  ASSERT_EQ(sink->events.size(), 1u);
+  EXPECT_EQ(sink->events[0].message, "count=3");
+}
+
+TEST(LogMacro, CompileTimeFloorPredicate) {
+  static_assert(log_level_passes_floor(LogLevel::kTrace, 0));
+  static_assert(!log_level_passes_floor(LogLevel::kTrace, 1));
+  static_assert(log_level_passes_floor(LogLevel::kError, 4));
+  static_assert(!log_level_passes_floor(LogLevel::kWarn, 4));
+}
+
+TEST(StderrLogger, SingletonHonorsRuntimeLevelApi) {
+  Logger& logger = stderr_logger();
+  EXPECT_EQ(&logger, &stderr_logger());
+  EXPECT_GE(logger.sink_count(), 1u);
+}
+
+}  // namespace
+}  // namespace aadedupe::telemetry

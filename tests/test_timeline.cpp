@@ -1,0 +1,130 @@
+// Timeline tests: snapshot interval arithmetic on an injected (sim)
+// clock, forced samples, columnar JSON with union-of-names zero fill,
+// histogram exclusion, and the bounded-memory thinning rule.
+#include "telemetry/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::telemetry {
+namespace {
+
+TEST(Timeline, IntervalArithmeticGatesSampling) {
+  MetricsRegistry metrics;
+  Timeline timeline(&metrics);
+  timeline.set_interval(1.0);
+
+  EXPECT_TRUE(timeline.maybe_sample(0.0));   // first sample always lands
+  EXPECT_FALSE(timeline.maybe_sample(0.25));
+  EXPECT_FALSE(timeline.maybe_sample(0.999));
+  EXPECT_TRUE(timeline.maybe_sample(1.0));   // exactly one interval later
+  EXPECT_FALSE(timeline.maybe_sample(1.5));
+  EXPECT_TRUE(timeline.maybe_sample(7.25));  // gaps are fine, one point
+  EXPECT_EQ(timeline.sample_count(), 3u);
+
+  // Time moving backwards (a rebased clock) never samples.
+  EXPECT_FALSE(timeline.maybe_sample(2.0));
+  EXPECT_EQ(timeline.sample_count(), 3u);
+}
+
+TEST(Timeline, SetIntervalRejectsNonPositive) {
+  Timeline timeline;
+  EXPECT_THROW(timeline.set_interval(0.0), PreconditionError);
+  EXPECT_THROW(timeline.set_interval(-1.0), PreconditionError);
+  timeline.set_interval(0.5);
+  EXPECT_DOUBLE_EQ(timeline.interval(), 0.5);
+}
+
+TEST(Timeline, ForceSampleIgnoresTheInterval) {
+  MetricsRegistry metrics;
+  Timeline timeline(&metrics);
+  timeline.set_interval(100.0);
+  EXPECT_TRUE(timeline.maybe_sample(0.0));
+  EXPECT_FALSE(timeline.maybe_sample(1.0));
+  timeline.force_sample(1.0);  // session end wants the final point
+  EXPECT_EQ(timeline.sample_count(), 2u);
+}
+
+TEST(Timeline, UnboundTimelineRecordsNothing) {
+  Timeline timeline;
+  EXPECT_TRUE(timeline.maybe_sample(0.0));  // gate passes, sample is a no-op
+  EXPECT_EQ(timeline.sample_count(), 0u);
+  EXPECT_TRUE(timeline.empty());
+}
+
+TEST(Timeline, ColumnarJsonZeroFillsLateMetrics) {
+  MetricsRegistry metrics;
+  Timeline timeline(&metrics);
+  timeline.set_interval(1.0);
+
+  const Counter bytes = metrics.counter("container.bytes");
+  metrics.histogram("pipeline.item_bytes").observe(512);  // must be skipped
+
+  bytes.add(10);
+  EXPECT_TRUE(timeline.maybe_sample(0.0));
+
+  // A gauge registered after the first sample: earlier points read 0.
+  const Gauge depth = metrics.gauge("pipeline.queue_depth");
+  depth.set(3);
+  bytes.add(30);
+  EXPECT_TRUE(timeline.maybe_sample(1.0));
+
+  JsonValue doc;
+  timeline.fill_json(doc);
+  EXPECT_DOUBLE_EQ(doc.find("interval_s")->as_double(), 1.0);
+
+  const auto& times = doc.find("t_s")->array_items();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0].as_double(), 0.0);
+  EXPECT_DOUBLE_EQ(times[1].as_double(), 1.0);
+
+  const JsonValue* series = doc.find("series");
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->find("pipeline.item_bytes"), nullptr);  // histogram
+
+  const auto& byte_column = series->find("container.bytes")->array_items();
+  ASSERT_EQ(byte_column.size(), 2u);
+  EXPECT_EQ(byte_column[0].as_uint(), 10u);
+  EXPECT_EQ(byte_column[1].as_uint(), 40u);
+
+  const auto& depth_column =
+      series->find("pipeline.queue_depth")->array_items();
+  ASSERT_EQ(depth_column.size(), 2u);
+  EXPECT_EQ(depth_column[0].as_uint(), 0u);  // predates registration
+  EXPECT_EQ(depth_column[1].as_uint(), 3u);
+}
+
+TEST(Timeline, ThinningBoundsMemoryAndDoublesTheInterval) {
+  MetricsRegistry metrics;
+  Timeline timeline(&metrics);
+  timeline.set_interval(1.0);
+
+  // One past the cap triggers a thin: keep every other point, double the
+  // interval, and keep accepting samples on the wider grid.
+  const auto cap = static_cast<double>(Timeline::kMaxSamples);
+  for (double t = 0.0; t <= cap; t += 1.0) {
+    EXPECT_TRUE(timeline.maybe_sample(t));
+  }
+  EXPECT_EQ(timeline.sample_count(), Timeline::kMaxSamples / 2 + 1);
+  EXPECT_DOUBLE_EQ(timeline.interval(), 2.0);
+
+  // The surviving points are the even-indexed ones — coverage stays even.
+  JsonValue doc;
+  timeline.fill_json(doc);
+  const auto& times = doc.find("t_s")->array_items();
+  EXPECT_DOUBLE_EQ(times[0].as_double(), 0.0);
+  EXPECT_DOUBLE_EQ(times[1].as_double(), 2.0);
+  EXPECT_DOUBLE_EQ(times.back().as_double(), cap);
+
+  // The next sample must respect the doubled interval.
+  EXPECT_FALSE(timeline.maybe_sample(cap + 1.0));
+  EXPECT_TRUE(timeline.maybe_sample(cap + 2.0));
+}
+
+}  // namespace
+}  // namespace aadedupe::telemetry

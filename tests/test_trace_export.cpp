@@ -1,0 +1,130 @@
+// TraceExporter tests: a byte-exact golden Chrome-trace document built
+// from a hand-fed span stream (fixed thread ids make it deterministic),
+// plus live attach() wiring against a fake-clock Tracer.
+#include "telemetry/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/json.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::telemetry {
+namespace {
+
+SpanEvent make_event(Stage stage, std::string_view category, double start_s,
+                     double wall_s, double self_s, double sim_s,
+                     std::uint32_t thread) {
+  SpanEvent event;
+  event.stage = stage;
+  event.category = category;
+  event.start_s = start_s;
+  event.wall_s = wall_s;
+  event.self_s = self_s;
+  event.sim_s = sim_s;
+  event.thread = thread;
+  return event;
+}
+
+TEST(TraceExporter, GoldenChromeTraceDocument) {
+  TraceExporter exporter;
+  exporter.add_span(
+      make_event(Stage::kChunk, "doc", 0.5, 1.25, 1.0, 0.0, 0x12));
+  exporter.add_span(
+      make_event(Stage::kUpload, "", 2.0, 0.5, 0.5, 4.0, 0x34));
+  exporter.add_counter("queue_depth", 1.0, 7.0);
+  EXPECT_EQ(exporter.span_count(), 2u);
+  EXPECT_EQ(exporter.counter_count(), 1u);
+
+  JsonValue doc;
+  exporter.fill_json(doc);
+  const std::string expected =
+      "{\"traceEvents\":["
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+      "\"args\":{\"name\":\"thread 0012\"}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":2,"
+      "\"args\":{\"name\":\"thread 0034\"}},"
+      "{\"name\":\"chunk\",\"cat\":\"doc\",\"ph\":\"X\",\"ts\":500000,"
+      "\"dur\":1250000,\"pid\":1,\"tid\":1,"
+      "\"args\":{\"self_s\":1,\"sim_s\":0}},"
+      "{\"name\":\"upload\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":2000000,"
+      "\"dur\":500000,\"pid\":1,\"tid\":2,"
+      "\"args\":{\"self_s\":0.5,\"sim_s\":4}},"
+      "{\"name\":\"queue_depth\",\"ph\":\"C\",\"ts\":1000000,\"pid\":1,"
+      "\"args\":{\"queue_depth\":7}}"
+      "],\"displayTimeUnit\":\"ms\"}";
+  EXPECT_EQ(doc.dump(0), expected);
+}
+
+TEST(TraceExporter, AttachReceivesSpansFromATracer) {
+  double now = 0.0;
+  Tracer tracer([&now] { return now; });
+  TraceExporter exporter;
+  exporter.attach(tracer);
+
+  {
+    TraceSpan session(&tracer, Stage::kSession);
+    now = 1.0;
+    {
+      TraceSpan chunk(&tracer, Stage::kChunk, "docs");
+      chunk.add_sim_seconds(2.5);
+      now = 3.0;
+    }
+    now = 4.0;
+  }
+  ASSERT_EQ(exporter.span_count(), 2u);
+
+  JsonValue doc;
+  exporter.fill_json(doc);
+  const auto& events = doc["traceEvents"].array_items();
+  // One thread => one metadata event, then the spans in completion order
+  // (inner chunk finishes before the outer session).
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].find("ph")->as_string(), "M");
+
+  const JsonValue& chunk = events[1];
+  EXPECT_EQ(chunk.find("name")->as_string(), "chunk");
+  EXPECT_EQ(chunk.find("cat")->as_string(), "docs");
+  EXPECT_DOUBLE_EQ(chunk.find("ts")->as_double(), 1.0e6);
+  EXPECT_DOUBLE_EQ(chunk.find("dur")->as_double(), 2.0e6);
+  EXPECT_DOUBLE_EQ(chunk.find("args")->find("sim_s")->as_double(), 2.5);
+
+  const JsonValue& session = events[2];
+  EXPECT_EQ(session.find("name")->as_string(), "session");
+  EXPECT_DOUBLE_EQ(session.find("ts")->as_double(), 0.0);
+  EXPECT_DOUBLE_EQ(session.find("dur")->as_double(), 4.0e6);
+  // Self time excludes the nested chunk span.
+  EXPECT_DOUBLE_EQ(session.find("args")->find("self_s")->as_double(), 2.0);
+  // Same thread for both spans => same dense tid.
+  EXPECT_EQ(session.find("tid")->as_uint(), chunk.find("tid")->as_uint());
+}
+
+TEST(TraceExporter, WriteFileEmitsParseableDocument) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "aad_test_trace_export.json";
+  std::filesystem::remove(path);
+
+  TraceExporter exporter;
+  exporter.add_span(
+      make_event(Stage::kFingerprint, "mp3", 0.0, 0.25, 0.25, 0.0, 1));
+  exporter.write_file(path.string());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"fingerprint\""), std::string::npos);
+  std::filesystem::remove(path);
+
+  EXPECT_THROW(exporter.write_file("/nonexistent-dir/x/trace.json"),
+               FormatError);
+}
+
+}  // namespace
+}  // namespace aadedupe::telemetry

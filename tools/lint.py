@@ -21,6 +21,12 @@ Rules (see DESIGN.md §5 for rationale):
                   reproducible sessions need every random byte to flow from
                   a seedable Rng (cert-msc32/51 stay disabled in .clang-tidy
                   for exactly this reason: determinism is the point).
+  no-raw-stderr   no std::cerr / fprintf(stderr, ...) in src/, bench/, or
+                  examples/ — diagnostics route through the structured
+                  logging API (telemetry::Logger / AAD_LOG), which feeds
+                  the flight recorder and honors AAD_LOG_LEVEL. Exempt:
+                  src/telemetry/ (the sinks themselves) and tests/
+                  (allowlisted — test harness output is not diagnostics).
   stats-structs   no new `struct *Stats` in src/ outside src/telemetry —
                   new observability goes through telemetry::MetricsRegistry
                   counters/histograms and RunReport sections instead of yet
@@ -169,6 +175,28 @@ def check_no_stdout(findings):
                         "library code (metrics go through table_writer)"))
 
 
+STDERR_USE = re.compile(r"std::cerr|(?<![\w:])fprintf\s*\(\s*stderr\b")
+
+# tests/ is deliberately absent: assertions and harness chatter there are
+# not product diagnostics. src/telemetry/ is where the sinks live.
+STDERR_DIRS = ("src", "bench", "examples")
+
+
+def check_no_raw_stderr(findings):
+    telemetry_dir = REPO / "src" / "telemetry"
+    for path in iter_files(STDERR_DIRS, SOURCE_GLOBS):
+        if telemetry_dir in path.parents:
+            continue
+        text = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        for m in STDERR_USE.finditer(text):
+            findings.append(
+                Finding("no-raw-stderr", path, line_of(text, m.start()),
+                        f"raw stderr write `{m.group(0).strip()}` — route "
+                        "diagnostics through AAD_LOG / telemetry::Logger so "
+                        "they reach the flight recorder and honor "
+                        "AAD_LOG_LEVEL"))
+
+
 THROW = re.compile(r"(?<![\w])throw\b\s*([^;]*)")
 ALLOWED_THROW = re.compile(
     r"^(?:::)?(?:aadedupe::)?(?:cloud::)?"
@@ -245,6 +273,7 @@ CHECKS = (
     check_pragma_once,
     check_using_namespace,
     check_no_stdout,
+    check_no_raw_stderr,
     check_throw_taxonomy,
     check_no_raw_random,
     check_stats_structs,

@@ -9,10 +9,15 @@ breakdown, and the cloud transport counters.
 Usage:
   report.py show <report.json>             human-readable summary
   report.py diff <a.json> <b.json>         field-by-field comparison
+  report.py timeseries <report.json>       metric snapshot curves as text
+  report.py trace-check <trace.json>       validate a Chrome-trace export
+  report.py perf-gate <fresh.json> <baseline.json> [tolerance_pct]
+                                           BENCH_chunking.json regression gate
   report.py --selftest                     internal check (ctest smoke)
 
-Exit codes: 0 ok, 1 bad input, 2 usage. `diff` always exits 0 when both
-files parse — differing numbers are the expected output, not an error.
+Exit codes: 0 ok, 1 bad input / gate failure, 2 usage. `diff` always
+exits 0 when both files parse — differing numbers are the expected
+output, not an error.
 """
 
 from __future__ import annotations
@@ -166,6 +171,164 @@ def diff(path_a: str, path_b: str) -> int:
     return 0
 
 
+def timeseries(path: str) -> int:
+    """Render the RunReport "timeseries" section as aligned text columns."""
+    data = load(path)
+    ts = data.get("timeseries")
+    if not ts:
+        print(f"{path}: no timeseries section (set AAD_SNAPSHOT_INTERVAL_S "
+              "or run a session long enough for periodic snapshots)")
+        return 0
+    times = ts.get("t_s", [])
+    series = ts.get("series", {})
+    if not isinstance(times, list) or not isinstance(series, dict):
+        raise SystemExit(f"report.py: {path}: malformed timeseries section")
+    names = sorted(series)
+    print(f"timeseries: {len(times)} samples @ {ts.get('interval_s')}s")
+    header = f"{'t_s':>10}" + "".join(f"  {n:>26}" for n in names)
+    print(header)
+    for i, t in enumerate(times):
+        row = f"{t:>10.3f}"
+        for name in names:
+            column = series.get(name, [])
+            value = column[i] if i < len(column) else 0
+            row += f"  {value:>26.3f}" if isinstance(value, float) \
+                else f"  {value:>26}"
+        print(row)
+    # Per-series summary: last value and max, the two numbers a human
+    # actually scans curves for.
+    for name in names:
+        column = [v for v in series.get(name, [])
+                  if isinstance(v, (int, float))]
+        if column:
+            print(f"# {name}: last={column[-1]:.3f} max={max(column):.3f}")
+    return 0
+
+
+def trace_check(path: str) -> int:
+    """Validate that `path` is a well-formed Chrome-trace (Perfetto) file."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"report.py: cannot read {path}: {exc}")
+
+    def bad(msg: str) -> int:
+        print(f"trace-check: {path}: {msg}", file=sys.stderr)
+        return 1
+
+    if not isinstance(data, dict):
+        return bad("top level is not a JSON object")
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return bad("missing traceEvents array")
+
+    spans = counters = metadata = 0
+    tids = set()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            return bad(f"event #{i} is not an object")
+        ph = ev.get("ph")
+        if ph not in ("X", "C", "M"):
+            return bad(f"event #{i}: unsupported phase {ph!r}")
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            return bad(f"event #{i}: missing name")
+        if ph == "M":
+            metadata += 1
+            if not isinstance(ev.get("args"), dict):
+                return bad(f"event #{i}: metadata event without args")
+            continue
+        # tid is required for spans but optional for counters: Chrome
+        # counter events are per-process, and the exporter omits it.
+        fields = ("ts", "pid", "tid") if ph == "X" else ("ts", "pid")
+        for field in fields:
+            if not isinstance(ev.get(field), (int, float)) \
+                    or isinstance(ev.get(field), bool):
+                return bad(f"event #{i}: missing numeric {field}")
+        if ev["ts"] < 0:
+            return bad(f"event #{i}: negative ts")
+        if "tid" in ev:
+            tids.add(ev["tid"])
+        if ph == "X":
+            spans += 1
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool) \
+                    or dur < 0:
+                return bad(f"event #{i}: X event needs dur >= 0")
+        else:
+            counters += 1
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args or not all(
+                    isinstance(v, (int, float)) and not isinstance(v, bool)
+                    for v in args.values()):
+                return bad(f"event #{i}: C event needs numeric args")
+    if spans == 0:
+        return bad("no X (span) events — empty trace")
+    print(f"trace-check: {path}: OK ({spans} spans, {counters} counter "
+          f"samples, {metadata} metadata events, {len(tids)} threads)")
+    return 0
+
+
+# BENCH_chunking.json keys that are meaningful across machines: ratios of
+# two measurements taken on the same host, not absolute MB/s. `higher`
+# marks direction; pct keys are compared in absolute percentage points
+# with a 2-point noise floor (2% telemetry overhead is the acceptance
+# ceiling, so a 2-point swing is the smallest actionable regression).
+GATE_KEYS = {
+    "cdc_speedup_vs_reference": "higher",
+    "session_file_vs_stream_speedup": "higher",
+    "telemetry_overhead_pct_cdc_fingerprint": "lower_pct",
+}
+
+
+def perf_gate(fresh_path: str, base_path: str,
+              tolerance_pct: float = 15.0) -> int:
+    def load_bench(path: str) -> dict:
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"report.py: cannot read {path}: {exc}")
+        if not isinstance(data, dict):
+            raise SystemExit(f"report.py: {path}: not a JSON object")
+        return data
+
+    fresh, base = load_bench(fresh_path), load_bench(base_path)
+    tol = tolerance_pct / 100.0
+    failures = warnings = compared = 0
+    for key, direction in GATE_KEYS.items():
+        if key not in fresh or key not in base:
+            print(f"# perf-gate: {key}: missing "
+                  f"({'fresh' if key not in fresh else 'baseline'}), skipped")
+            continue
+        f, b = float(fresh[key]), float(base[key])
+        compared += 1
+        if direction == "lower_pct":
+            # Percentage-point deltas; lower is better.
+            slack = max(abs(b) * tol, 2.0)
+            regressed = f > b + slack
+            improved = f < b - slack
+            detail = f"{b:.2f} -> {f:.2f} points (slack {slack:.2f})"
+        else:
+            regressed = f < b * (1.0 - tol)
+            improved = f > b * (1.0 + tol)
+            delta = 100.0 * (f - b) / b if b else 0.0
+            detail = f"{b:.3f} -> {f:.3f} ({delta:+.1f}%)"
+        if regressed:
+            failures += 1
+            print(f"FAIL {key}: {detail}")
+        elif improved:
+            warnings += 1
+            print(f"WARN {key}: improved beyond tolerance, baseline is "
+                  f"stale: {detail}")
+        else:
+            print(f"  ok {key}: {detail}")
+    if compared == 0:
+        print("perf-gate: no comparable keys — failing", file=sys.stderr)
+        return 1
+    print(f"# perf-gate: {compared} compared, {failures} regression(s), "
+          f"{warnings} warning(s), tolerance ±{tolerance_pct:.0f}%")
+    return 1 if failures else 0
+
+
 def selftest() -> int:
     a = {
         "schema": SCHEMA,
@@ -221,6 +384,62 @@ def selftest() -> int:
     flat = flatten(a)
     assert flat["session.applications[doc].dedup_ratio"] == 2.0
     assert flat["stages[chunk/doc].wall_s"] == 0.5
+
+    # timeseries rendering
+    ts_report = {
+        "schema": SCHEMA,
+        "timeseries": {"interval_s": 1.0, "t_s": [0.0, 1.0, 2.0],
+                       "series": {"container.bytes": [0, 100, 250],
+                                  "pipeline.queue_depth": [1, 3, 2]}},
+    }
+    # valid + broken Chrome traces
+    good_trace = {"traceEvents": [
+        {"ph": "M", "name": "thread_name", "pid": 1, "tid": 0,
+         "args": {"name": "thread 0001"}},
+        {"ph": "X", "name": "chunk", "cat": "doc", "ts": 0.0, "dur": 125.0,
+         "pid": 1, "tid": 0, "args": {"self_s": 0.0001}},
+        {"ph": "C", "name": "container.bytes", "ts": 10.0, "pid": 1,
+         "tid": 0, "args": {"container.bytes": 4096}},
+    ], "displayTimeUnit": "ms"}
+    bad_trace = {"traceEvents": [{"ph": "X", "name": "chunk", "ts": 0.0,
+                                  "pid": 1, "tid": 0}]}  # no dur
+    # perf-gate fixtures: ok, regression, improvement
+    bench_base = {"cdc_speedup_vs_reference": 4.0,
+                  "session_file_vs_stream_speedup": 2.0,
+                  "telemetry_overhead_pct_cdc_fingerprint": 1.0}
+    bench_ok = dict(bench_base, cdc_speedup_vs_reference=4.2)
+    bench_bad = dict(bench_base, cdc_speedup_vs_reference=2.0)
+    bench_fast = dict(bench_base, session_file_vs_stream_speedup=3.5)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        write = lambda name, obj: (  # noqa: E731
+            (Path(tmp) / name).write_text(json.dumps(obj)),
+            str(Path(tmp) / name))[1]
+        ts_path = write("ts.json", ts_report)
+        out = io.StringIO()
+        with redirect_stdout(out):
+            assert timeseries(ts_path) == 0
+        rendered = out.getvalue()
+        assert "container.bytes" in rendered, rendered
+        assert "3 samples" in rendered, rendered
+        assert "last=250.000" in rendered, rendered
+
+        out = io.StringIO()
+        with redirect_stdout(out):
+            assert trace_check(write("good.json", good_trace)) == 0
+        assert "1 spans" in out.getvalue(), out.getvalue()
+        assert trace_check(write("bad.json", bad_trace)) == 1
+
+        pb = write("base.json", bench_base)
+        out = io.StringIO()
+        with redirect_stdout(out):
+            assert perf_gate(write("ok.json", bench_ok), pb) == 0
+            assert perf_gate(write("bad.json", bench_bad), pb) == 1
+            assert perf_gate(write("fast.json", bench_fast), pb) == 0
+        gated = out.getvalue()
+        assert "FAIL cdc_speedup_vs_reference" in gated, gated
+        assert "WARN session_file_vs_stream_speedup" in gated, gated
+
     print("report.py selftest: OK")
     return 0
 
@@ -232,6 +451,13 @@ def main(argv: list[str]) -> int:
         return show(argv[1])
     if len(argv) == 3 and argv[0] == "diff":
         return diff(argv[1], argv[2])
+    if len(argv) == 2 and argv[0] == "timeseries":
+        return timeseries(argv[1])
+    if len(argv) == 2 and argv[0] == "trace-check":
+        return trace_check(argv[1])
+    if argv and argv[0] == "perf-gate" and len(argv) in (3, 4):
+        tolerance = float(argv[3]) if len(argv) == 4 else 15.0
+        return perf_gate(argv[1], argv[2], tolerance)
     print(__doc__.strip(), file=sys.stderr)
     return 2
 

@@ -12,8 +12,11 @@
 #include <thread>
 #include <vector>
 
+#include <filesystem>
+
 #include "bench_common.hpp"
 #include "hash/sha1.hpp"
+#include "index/log_structured_index.hpp"
 #include "index/memory_index.hpp"
 #include "index/partitioned_index.hpp"
 #include "index/sim_disk_index.hpp"
@@ -169,6 +172,66 @@ int main() {
   std::printf("\nsimulated RAM-cache hit rate (cache sized for one app's "
               "index): global %.1f%%, per-app shards %.1f%%\n",
               100 * global_hit_rate, 100 * shard_hit_rate);
+
+  // 4. RAM-resident shards vs the on-disk log-structured backend: the
+  // same partitioned workload with durable per-app shards. Hits pay the
+  // entry cache, misses are absorbed by the bloom filter — the throughput
+  // gap versus MemoryChunkIndex is the price of durability at scale.
+  const auto lsi_dir = std::filesystem::temp_directory_path() /
+                       "aad_ablation_index_lsi";
+  std::filesystem::remove_all(lsi_dir);
+  {
+    index::LogStructuredIndex::Options lsi_options;
+    lsi_options.memtable_limit = 8192;  // several sealed segments per app
+    index::PartitionedIndex durable(
+        index::log_structured_shard_factory(lsi_dir, lsi_options));
+    StopWatch build_watch;
+    for (std::size_t a = 0; a < kApps; ++a) {
+      index::ChunkIndex& shard = durable.shard("app" + std::to_string(a));
+      for (const auto& d : per_app[a]) {
+        shard.insert(d, index::ChunkLocation{a, 0, 8192});
+      }
+    }
+    const double lsi_insert_rate =
+        static_cast<double>(all.size()) / build_watch.seconds();
+
+    StopWatch hit_watch;
+    for (std::size_t a = 0; a < kApps; ++a) {
+      index::ChunkIndex& shard = durable.shard("app" + std::to_string(a));
+      for (const auto& d : per_app[a]) (void)shard.lookup(d);
+    }
+    const double lsi_hit_rate_ls =
+        static_cast<double>(all.size()) / hit_watch.seconds();
+
+    StopWatch miss_watch;
+    for (std::size_t a = 0; a < kApps; ++a) {
+      index::ChunkIndex& shard = durable.shard("app" + std::to_string(a));
+      for (std::size_t i = 0; i < kChunksPerApp; ++i) {
+        (void)shard.lookup(hash::Sha1::hash(
+            as_bytes("absent" + std::to_string(a * kChunksPerApp + i))));
+      }
+    }
+    const double lsi_miss_rate =
+        static_cast<double>(all.size()) / miss_watch.seconds();
+
+    const index::IndexStats lsi_stats = durable.total_stats();
+    const double filter_negative_rate =
+        lsi_stats.filter_probes > 0
+            ? static_cast<double>(lsi_stats.filter_negatives) /
+                  static_cast<double>(lsi_stats.filter_probes)
+            : 0.0;
+    std::printf("\nlog-structured shards (durable, on-disk): insert %.2f "
+                "Mops/s, hit lookup %.2f Mops/s, miss lookup %.2f Mops/s\n",
+                lsi_insert_rate / 1e6, lsi_hit_rate_ls / 1e6,
+                lsi_miss_rate / 1e6);
+    std::printf("bloom absorption across the run: %.1f%% of probes answered "
+                "without disk (%llu false positives, %llu disk reads)\n",
+                100 * filter_negative_rate,
+                static_cast<unsigned long long>(
+                    lsi_stats.filter_false_positives),
+                static_cast<unsigned long long>(lsi_stats.disk_reads));
+  }
+  std::filesystem::remove_all(lsi_dir);
   const unsigned hw = std::thread::hardware_concurrency();
   std::printf("host hardware threads: %u%s\n", hw,
               hw <= 1 ? "  (single-core host: thread-level speedups cannot "

@@ -1,0 +1,268 @@
+// Log-structured index harness: drives the acceptance workload for the
+// on-disk shard (ROADMAP item 2) and writes BENCH_index.json.
+//
+// Phases, in order, on one LogStructuredIndex with the entry cache
+// capped at 64 MiB:
+//   insert   : N synthetic fingerprints (1M full, 20k smoke) — WAL
+//              appends, memtable seals, compactions.
+//   hot      : repeated lookups over a small working set — must be
+//              served by the entry cache, not segment reads.
+//   cold     : absent-key lookups — the common "this chunk is new" case;
+//              the bloom filter must absorb >= 95% with zero disk reads.
+//   restart  : kill the process image (destroy without flush), tear the
+//              WAL tail the way a power cut mid-write() would, reopen,
+//              and scrub every fingerprint — recovery must replay the
+//              log, drop the torn record, keep all acknowledged entries.
+//
+// The JSON carries machine-portable ratios for the report.py perf-gate
+// (bloom_cold_filter_rate, hot_cache_hit_rate, cold_disk_reads_per_lookup,
+// restart_recovery_ok) plus absolute rates for eyeballing.
+//
+// Usage: bench_index [--out <path>] [--smoke]
+//   --out    output JSON path (default: BENCH_index.json in the CWD)
+//   --smoke  tiny inputs (CI smoke label)
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "hash/sha1.hpp"
+#include "index/log_structured_index.hpp"
+#include "telemetry/build_info.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace aadedupe;
+
+struct Config {
+  std::string out_path = "BENCH_index.json";
+  bool smoke = false;
+
+  std::size_t fingerprints() const { return smoke ? 20'000 : 1'000'000; }
+  std::size_t hot_set() const { return smoke ? 2'000 : 50'000; }
+  std::size_t hot_rounds() const { return smoke ? 5 : 10; }
+  std::size_t cold_probes() const { return smoke ? 20'000 : 500'000; }
+};
+
+hash::Digest digest_of(const char* tag, std::size_t i) {
+  std::string label = tag;
+  label += std::to_string(i);
+  return hash::Sha1::hash(as_bytes(label));
+}
+
+std::uint64_t max_rss_bytes() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  // ru_maxrss is KiB on Linux.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+double rate(std::size_t ops, double seconds) {
+  return seconds > 0 ? static_cast<double>(ops) / seconds : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      config.smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      config.out_path = argv[++i];
+    } else {
+      AAD_LOG(&telemetry::stderr_logger(), kError, "session",
+              "usage: %s [--out <path>] [--smoke]", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("aad_bench_index_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+
+  index::LogStructuredIndex::Options options;
+  options.cache_capacity_bytes = 64ull << 20;  // the acceptance budget
+  const std::size_t n = config.fingerprints();
+  std::printf("log-structured index, %zu fingerprints, 64 MiB entry cache\n",
+              n);
+
+  double insert_s = 0.0, hot_s = 0.0, cold_s = 0.0;
+  double hot_cache_hit_rate = 0.0, bloom_cold_filter_rate = 0.0;
+  double cold_disk_reads_per_lookup = 0.0;
+  std::size_t segment_count = 0;
+  std::uint64_t rss_growth = 0, rss_budget = 0;
+  std::uint64_t size_before_crash = 0;
+  bool rss_bounded = false;
+  const std::size_t hot = std::min(config.hot_set(), n);
+  {
+    index::LogStructuredIndex idx(dir, options);
+
+    // -- insert ------------------------------------------------------------
+    const std::uint64_t rss_before = max_rss_bytes();
+    StopWatch insert_watch;
+    for (std::size_t i = 0; i < n; ++i) {
+      idx.insert(digest_of("fp-", i),
+                 index::ChunkLocation{static_cast<std::uint64_t>(i), 0, 4096});
+    }
+    insert_s = insert_watch.seconds();
+    segment_count = idx.segment_count();
+    std::printf("  insert: %10.0f inserts/s  (%zu segments)\n",
+                rate(n, insert_s), segment_count);
+
+    // -- hot lookups -------------------------------------------------------
+    const index::IndexStats before_hot = idx.stats();
+    StopWatch hot_watch;
+    for (std::size_t round = 0; round < config.hot_rounds(); ++round) {
+      for (std::size_t i = 0; i < hot; ++i) {
+        (void)idx.lookup(digest_of("fp-", i));
+      }
+    }
+    hot_s = hot_watch.seconds();
+    const index::IndexStats after_hot = idx.stats();
+    const std::uint64_t hot_lookups = after_hot.lookups - before_hot.lookups;
+    if (hot_lookups > 0) {
+      hot_cache_hit_rate =
+          static_cast<double>(after_hot.cache_hits - before_hot.cache_hits) /
+          static_cast<double>(hot_lookups);
+    }
+    std::printf("  hot   : %10.0f lookups/s  cache hit rate %.3f\n",
+                rate(hot * config.hot_rounds(), hot_s), hot_cache_hit_rate);
+
+    // -- cold (absent-key) lookups ----------------------------------------
+    const index::IndexStats before_cold = idx.stats();
+    StopWatch cold_watch;
+    for (std::size_t i = 0; i < config.cold_probes(); ++i) {
+      (void)idx.lookup(digest_of("absent-", i));
+    }
+    cold_s = cold_watch.seconds();
+    const index::IndexStats after_cold = idx.stats();
+    const std::uint64_t cold_lookups =
+        after_cold.lookups - before_cold.lookups;
+    if (cold_lookups > 0) {
+      bloom_cold_filter_rate =
+          static_cast<double>(after_cold.filter_negatives -
+                              before_cold.filter_negatives) /
+          static_cast<double>(cold_lookups);
+      cold_disk_reads_per_lookup =
+          static_cast<double>(after_cold.disk_reads -
+                              before_cold.disk_reads) /
+          static_cast<double>(cold_lookups);
+    }
+    std::printf("  cold  : %10.0f lookups/s  bloom filter rate %.4f  "
+                "disk reads/lookup %.4f\n",
+                rate(config.cold_probes(), cold_s), bloom_cold_filter_rate,
+                cold_disk_reads_per_lookup);
+
+    // -- RSS bound ---------------------------------------------------------
+    const std::uint64_t rss_after = max_rss_bytes();
+    rss_growth = rss_after > rss_before ? rss_after - rss_before : 0;
+    // Budget: the 64 MiB cache, the bloom filter + memtable + fences
+    // (~48 B/key worst case), and allocator slack.
+    rss_budget =
+        (64ull << 20) + static_cast<std::uint64_t>(n) * 48 + (64ull << 20);
+    rss_bounded = rss_growth <= rss_budget;
+    std::printf("  rss   : +%.1f MiB (budget %.1f MiB) -> %s\n",
+                static_cast<double>(rss_growth) / (1 << 20),
+                static_cast<double>(rss_budget) / (1 << 20),
+                rss_bounded ? "bounded" : "EXCEEDED");
+
+    // Entries whose WAL records are acknowledged but not yet sealed — the
+    // in-flight tail the "power cut" below lands in.
+    for (std::size_t i = 0; i < 16; ++i) {
+      idx.insert(digest_of("tail-", i),
+                 index::ChunkLocation{n + i, 0, 4096});
+    }
+    size_before_crash = idx.size();
+  }  // the "process" dies: no flush(), destructor only closes fds
+
+  // Tear the final WAL record the way a mid-write() power cut would.
+  const auto wal = dir / "wal.log";
+  std::error_code ec;
+  const auto wal_size = std::filesystem::file_size(wal, ec);
+  if (!ec && wal_size > 5) {
+    std::filesystem::resize_file(wal, wal_size - 5, ec);
+  }
+
+  // -- restart + scrub -----------------------------------------------------
+  bool restart_recovery_ok = true;
+  double restart_s = 0.0;
+  std::uint64_t recovered_size = 0;
+  {
+    StopWatch restart_watch;
+    index::LogStructuredIndex reopened(dir, options);
+    restart_s = restart_watch.seconds();
+    recovered_size = reopened.size();
+    // Every acknowledged fingerprint outside the torn tail record must
+    // resolve to its exact location.
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto loc = reopened.lookup(digest_of("fp-", i));
+      if (!loc || loc->container_id != i) {
+        restart_recovery_ok = false;
+        break;
+      }
+    }
+    // The torn record costs at most one entry of the 16-entry tail.
+    if (recovered_size + 1 < size_before_crash ||
+        recovered_size > size_before_crash) {
+      restart_recovery_ok = false;
+    }
+  }
+  std::printf("  crash : reopened in %.3fs, %llu of %llu entries, scrub %s\n",
+              restart_s, static_cast<unsigned long long>(recovered_size),
+              static_cast<unsigned long long>(size_before_crash),
+              restart_recovery_ok ? "OK" : "FAILED");
+
+  telemetry::JsonValue doc;
+  doc["benchmark"] = "log-structured index";
+  doc["units"] = "ops/s, ratios in [0,1]";
+  telemetry::BuildInfo::current().fill_json(doc["build"]);
+  doc["smoke"] = config.smoke;
+  doc["fingerprints"] = static_cast<std::uint64_t>(n);
+  doc["cache_capacity_bytes"] = static_cast<std::uint64_t>(64ull << 20);
+  telemetry::JsonValue& results = doc["results"].make_object();
+  results["inserts_per_s"] = rate(n, insert_s);
+  results["hot_lookups_per_s"] = rate(hot * config.hot_rounds(), hot_s);
+  results["cold_lookups_per_s"] = rate(config.cold_probes(), cold_s);
+  results["restart_seconds"] = restart_s;
+  results["segment_count"] = static_cast<std::uint64_t>(segment_count);
+  results["rss_growth_bytes"] = rss_growth;
+  // Machine-portable gate keys (see tools/report.py GATE_KEYS).
+  doc["bloom_cold_filter_rate"] = bloom_cold_filter_rate;
+  doc["hot_cache_hit_rate"] = hot_cache_hit_rate;
+  doc["cold_disk_reads_per_lookup"] = cold_disk_reads_per_lookup;
+  doc["restart_recovery_ok"] = restart_recovery_ok;
+  doc["rss_bounded"] = rss_bounded;
+
+  std::FILE* out = std::fopen(config.out_path.c_str(), "w");
+  if (out == nullptr) {
+    AAD_LOG(&telemetry::stderr_logger(), kError, "session",
+            "cannot open %s for writing", config.out_path.c_str());
+    std::filesystem::remove_all(dir);
+    return 1;
+  }
+  const std::string text = doc.dump(2);
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fputc('\n', out);
+  std::fclose(out);
+  std::printf("wrote %s\n", config.out_path.c_str());
+  std::filesystem::remove_all(dir);
+
+  // The acceptance bar from ROADMAP item 2 / ISSUE 6.
+  if (bloom_cold_filter_rate < 0.95 || !restart_recovery_ok || !rss_bounded) {
+    std::printf("acceptance check FAILED (bloom %.4f, recovery %d, rss %d)\n",
+                bloom_cold_filter_rate, restart_recovery_ok ? 1 : 0,
+                rss_bounded ? 1 : 0);
+    return 1;
+  }
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include "bench_common.hpp"
 #include "core/aa_dedupe.hpp"
 #include "dataset/generator.hpp"
+#include "index/checkpoint.hpp"
 #include "index/partitioned_index.hpp"
 #include "util/units.hpp"
 
@@ -67,15 +68,25 @@ int main(int argc, char** argv) {
               format_bytes(restored_bytes).c_str());
 
   // The synced application-aware index can be reloaded from the cloud —
-  // this is what a replacement machine would bootstrap from.
-  const auto image = cloud_target.store().get(backup::keys::session_meta(
-      "AA-Dedupe", latest.session, "index"));
-  if (!image) {
-    std::printf("missing index sync object!\n");
-    return 1;
-  }
+  // this is what a replacement machine would bootstrap from. The first
+  // session ships a full checkpoint base and every later session a small
+  // delta, so recovery replays the whole chain in session order.
   index::PartitionedIndex recovered;
-  recovered.deserialize(*image);
+  for (const auto& snapshot : snapshots) {
+    const auto image = cloud_target.store().get(backup::keys::session_meta(
+        "AA-Dedupe", snapshot.session, "index"));
+    if (!image) {
+      std::printf("missing index sync object for session %u!\n",
+                  snapshot.session);
+      return 1;
+    }
+    if (index::is_checkpoint_stream(*image)) {
+      index::BufferCheckpointSource source(*image);
+      recovered.restore(source);
+    } else {
+      recovered.deserialize(*image);  // pre-checkpoint legacy image
+    }
+  }
   std::printf("recovered application-aware index: %llu chunks in %zu "
               "per-application shards\n",
               static_cast<unsigned long long>(recovered.total_size()),

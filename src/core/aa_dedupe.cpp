@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <unordered_map>
 
 #include "backup/keys.hpp"
 #include "core/upload_pipeline.hpp"
+#include "index/checkpoint.hpp"
 #include "util/check.hpp"
 
 namespace aadedupe::core {
@@ -274,6 +276,11 @@ void AaDedupeScheme::run_file_parallel(
     pool_->parallel_for(spans.size(), [&](std::size_t s) {
       const Span& span = spans[s];
       StreamCommit& commit = commits[span.stream];
+      // Batched-lookup scratch, reused across the span's files.
+      std::vector<std::optional<index::ChunkLocation>> found;
+      std::unordered_map<hash::Digest, index::ChunkLocation,
+                         hash::Digest::Hasher>
+          fresh;
       for (std::size_t i = span.begin; i < span.end; ++i) {
         FrontEndPlan& plan = plans[i - batch_begin];
         const dataset::FileEntry* file = items[i].file;
@@ -294,27 +301,36 @@ void AaDedupeScheme::run_file_parallel(
           recipe.entries.reserve(plan.plan.chunks.size());
           double lookup_s = 0.0;
           std::uint64_t duplicates = 0;
+          // One shard probe pass per file. Chunks the batch saw as absent
+          // may still repeat within the file: the first commit records the
+          // fresh location and later occurrences reuse it, so recipes and
+          // duplicate counts match the chunk-at-a-time serial path.
+          if (tracer == nullptr) {
+            commit.shard->lookup_batch(plan.plan.digests, found);
+          } else {
+            const double begin_s = tracer->now();
+            commit.shard->lookup_batch(plan.plan.digests, found);
+            lookup_s = tracer->now() - begin_s;
+          }
+          fresh.clear();
           for (std::size_t c = 0; c < plan.plan.chunks.size(); ++c) {
             const chunk::ChunkRef& ref = plan.plan.chunks[c];
             const hash::Digest& digest = plan.plan.digests[c];
             const ConstByteSpan chunk_bytes =
                 ConstByteSpan{plan.content}.subspan(ref.offset, ref.length);
-            std::optional<index::ChunkLocation> existing;
-            if (tracer == nullptr) {
-              existing = commit.shard->lookup(digest);
-            } else {
-              const double begin_s = tracer->now();
-              existing = commit.shard->lookup(digest);
-              lookup_s += tracer->now() - begin_s;
-            }
             index::ChunkLocation location;
-            if (existing) {
-              location = *existing;
+            if (found[c]) {
+              location = *found[c];
+              ++duplicates;
+            } else if (const auto it = fresh.find(digest);
+                       it != fresh.end()) {
+              location = it->second;
               ++duplicates;
             } else {
               location = commit.manager->store(
                   digest, seal_chunk(commit, digest, chunk_bytes));
               commit.shard->insert(digest, location);
+              fresh.emplace(digest, location);
             }
             recipe.entries.push_back(
                 container::RecipeEntry{digest, location});
@@ -442,9 +458,15 @@ void AaDedupeScheme::run_session(const dataset::Snapshot& snapshot) {
         backup::keys::session_meta(name(), snapshot.session, "recipes"),
         recipes.serialize(), ObjectKind::kMetadata);
     if (options_.sync_index) {
+      // Incremental sync: the first session ships kReset + full per-shard
+      // bases, later sessions ship only the delta since the previous
+      // checkpoint. Recovery replays every retained session's object in
+      // order (bootstrap_from_cloud).
+      index::BufferCheckpointSink sink;
+      index_.checkpoint(sink);
       pipeline.enqueue(
           backup::keys::session_meta(name(), snapshot.session, "index"),
-          index_.serialize(), ObjectKind::kMetadata);
+          sink.take(), ObjectKind::kMetadata);
     }
     if (options_.convergent_encryption) {
       // The wrapped key store is itself ciphertext — safe to sync.
@@ -574,7 +596,19 @@ GcReport AaDedupeScheme::collect_garbage(std::uint32_t keep_sessions,
 
   // 4. Repoint retained recipes at the relocated chunks and rebuild the
   // application-aware index from them (dead fingerprints drop out, so no
-  // future session can dedup against a reclaimed chunk).
+  // future session can dedup against a reclaimed chunk). Only when this
+  // pass actually reclaimed something: a no-op GC must leave the cloud
+  // objects — and the incremental checkpoint chain — untouched, or a
+  // keep-everything pass would replace the latest session's small index
+  // delta with a full rebase and grow storage for nothing.
+  const bool reclaimed = report.sessions_expired > 0 ||
+                         report.containers_deleted > 0 ||
+                         report.containers_rewritten > 0;
+  if (!reclaimed) {
+    recipes_ = history_.rbegin()->second;
+    reader_cache_.clear();
+    return report;
+  }
   index_.clear();
   crypto::KeyStore live_keys;
   for (auto& [session, recipes] : history_) {
@@ -613,9 +647,13 @@ GcReport AaDedupeScheme::collect_garbage(std::uint32_t keep_sessions,
                     key_store_.serialize(master_key_));
   }
   if (options_.sync_index && !history_.empty()) {
+    // clear() re-armed the checkpoint chain, so this ships kReset + fresh
+    // bases: any replayed chain drops pre-GC fingerprints here.
+    index::BufferCheckpointSink sink;
+    index_.checkpoint(sink);
     upload_or_throw(backup::keys::session_meta(
                         name(), history_.rbegin()->first, "index"),
-                    index_.serialize());
+                    sink.take());
   }
   recipes_ = history_.rbegin()->second;
   reader_cache_.clear();
@@ -649,7 +687,15 @@ ByteBuffer AaDedupeScheme::export_state() const {
   append_le32(out, options_.convergent_encryption ? 1u : 0u);
   append_le32(out, latest_session_);
   append_le64(out, container_ids_.next_id());
-  append_sized(out, index_.serialize());
+  {
+    // Self-contained snapshot (kReset + per-shard bases) in the
+    // checkpoint framing; checkpoint_full leaves the incremental cloud
+    // sync chain undisturbed. import_state tells this apart from
+    // pre-checkpoint serialize() images by the AADCKPT1 magic.
+    index::BufferCheckpointSink sink;
+    index_.checkpoint_full(sink);
+    append_sized(out, sink.take());
+  }
   append_le32(out, static_cast<std::uint32_t>(history_.size()));
   for (const auto& [session, recipes] : history_) {
     append_le32(out, session);
@@ -707,9 +753,16 @@ void AaDedupeScheme::import_state(ConstByteSpan image) {
     throw FormatError("state: inconsistent history");
   }
 
-  // Commit. PartitionedIndex::deserialize is internally all-or-nothing,
-  // and everything else above has already been validated.
-  index_.deserialize(index_blob);
+  // Commit. Both index restore paths are internally all-or-nothing
+  // (records are validated before any shard mutates), and everything
+  // else above has already been validated.
+  if (index::is_checkpoint_stream(index_blob)) {
+    index::BufferCheckpointSource source(index_blob);
+    index_.restore(source);
+  } else {
+    // Pre-checkpoint state image (AADSTAT2 with a serialize() blob).
+    index_.deserialize(index_blob);
+  }
   history_ = std::move(fresh_history);
   recipes_ = history_.empty() ? container::RecipeStore{}
                               : history_.rbegin()->second;
@@ -737,6 +790,11 @@ AaDedupeScheme::application_stats() const {
     row.index_lookups = stats.lookups;
     row.index_hits = stats.hits;
     row.index_probe_steps = stats.probe_steps;
+    row.filter_probes = stats.filter_probes;
+    row.filter_negatives = stats.filter_negatives;
+    row.filter_false_positives = stats.filter_false_positives;
+    row.cache_hits = stats.cache_hits;
+    row.cache_evictions = stats.cache_evictions;
     rows.emplace(partition, std::move(row));
   }
   rows.emplace("tiny", ApplicationStats{"tiny", "-", "-", 0, 0, 0, 0, 0, 0});
@@ -797,6 +855,11 @@ void AaDedupeScheme::fill_run_report(telemetry::RunReport& report) const {
     app["index_lookups"] = row.index_lookups;
     app["index_hits"] = row.index_hits;
     app["index_probe_steps"] = row.index_probe_steps;
+    app["filter_probes"] = row.filter_probes;
+    app["filter_negatives"] = row.filter_negatives;
+    app["filter_false_positives"] = row.filter_false_positives;
+    app["cache_hits"] = row.cache_hits;
+    app["cache_evictions"] = row.cache_evictions;
     app["session_files"] = row.session_files;
     app["session_bytes"] = row.session_bytes;
     app["session_chunks"] = row.session_chunks;
@@ -979,24 +1042,42 @@ std::uint32_t AaDedupeScheme::bootstrap_from_cloud() {
   if (recovered.empty()) return 0;
   const std::uint32_t latest = recovered.rbegin()->first;
 
-  // The index image of the latest session (if synced) restores dedup
-  // state directly; otherwise rebuild it from the recovered recipes.
+  // Rebuild dedup state from the synced index objects. Sessions ship
+  // incremental checkpoints (the first — and any post-GC rebase — carries
+  // kReset + full bases), so the chain is replayed across ALL recovered
+  // sessions in ascending order. Legacy serialize() images are
+  // self-contained and simply replace whatever the chain built so far.
+  // Without the latest session's object the replayed tail would be
+  // missing, so in that case fall back to a full rebuild from recipes.
   index_.clear();
   bool index_loaded = false;
-  {
+  for (const auto& [session, recipes] : recovered) {
     const std::string key =
-        backup::keys::session_meta(name(), latest, "index");
+        backup::keys::session_meta(name(), session, "index");
     auto image = target().download(key);
-    if (image.ok()) {
-      index_.deserialize(image.value());
-      index_loaded = true;
-    } else if (image.error() != cloud::CloudError::kNotFound) {
-      // The image exists but could not be fetched; rebuilding from
-      // recipes would silently discard synced dedup state.
+    if (!image.ok()) {
+      if (image.error() == cloud::CloudError::kNotFound) {
+        // Gap in the chain (sync_index off, or a lost object). Dedup
+        // state is advisory — a sparser index only costs re-uploads —
+        // but a missing final link means the freshest fingerprints are
+        // gone, so the recipe rebuild below takes over.
+        if (session == latest) index_loaded = false;
+        continue;
+      }
+      // The object exists but could not be fetched; proceeding would
+      // silently discard synced dedup state.
       throw cloud::CloudTransportError("download", key, image.error());
     }
+    if (index::is_checkpoint_stream(image.value())) {
+      index::BufferCheckpointSource source(image.value());
+      index_.restore(source);
+    } else {
+      index_.deserialize(image.value());
+    }
+    index_loaded = true;
   }
   if (!index_loaded) {
+    index_.clear();  // drop whatever a partial chain replay built
     for (const auto& [session, recipes] : recovered) {
       for (const std::string& path : recipes.paths()) {
         const container::FileRecipe* recipe = recipes.find(path);

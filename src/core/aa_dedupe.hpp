@@ -12,8 +12,10 @@
 //      sealed (1 MB) containers are shipped through the pipelined uploader
 //      while deduplication continues.
 //   5. At session end, open containers are flushed (padded), file recipes
-//      and a serialized image of the application-aware index are synced to
-//      the cloud (Section III.E's periodical data synchronization).
+//      and an incremental checkpoint of the application-aware index are
+//      synced to the cloud (Section III.E's periodical data
+//      synchronization). Only the first session ships a full index base;
+//      later sessions ship the delta since the previous checkpoint.
 //
 // Because applications share no data (Observation 2), the per-application
 // streams deduplicate independently and — when `parallel` is on — run
@@ -152,6 +154,14 @@ class AaDedupeScheme final : public backup::BackupScheme {
     /// chunks + container framing); with session_bytes this yields the
     /// per-category dedup ratio.
     std::uint64_t session_new_bytes = 0;
+    // Filter/cache counters of disk-backed shards (zero for RAM-resident
+    // ones) — how many lookups the bloom filter absorbed without a disk
+    // read, how often it lied, and how the hot-set entry cache behaves.
+    std::uint64_t filter_probes = 0;
+    std::uint64_t filter_negatives = 0;
+    std::uint64_t filter_false_positives = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_evictions = 0;
   };
 
   /// Stats for every partition seen so far (sorted), plus a final "tiny"
@@ -246,8 +256,9 @@ class AaDedupeScheme final : public backup::BackupScheme {
 
   /// File-granularity parallel session (ParallelGranularity::kFile): phase
   /// one chunks+fingerprints files across the pool, phase two commits each
-  /// stream serially in file order. Fills `results` in stream map order,
-  /// matching the per-stream output of process_stream exactly.
+  /// stream serially in file order, probing the shard once per file via
+  /// lookup_batch. Fills `results` in stream map order; per-stream recipes,
+  /// duplicate counts, and shipped bytes match process_stream exactly.
   void run_file_parallel(
       const std::map<std::string,
                      std::vector<const dataset::FileEntry*>>& streams,

@@ -1,0 +1,95 @@
+// Bloom filter over chunk fingerprints, sized for a target false-positive
+// rate. Sits in front of each log-structured shard so negative lookups —
+// the common case for new data — are answered from RAM without touching
+// any segment file (paper Section II.C's disk-lookup bottleneck).
+//
+// The k probe positions use Kirsch-Mitzenmacher double hashing derived
+// entirely from the digest bytes: a fingerprint is already a uniform hash,
+// so no extra randomness is needed (and none is allowed — fingerprints
+// must probe identically across runs).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "hash/digest.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::index {
+
+class BloomFilter {
+ public:
+  BloomFilter() = default;
+
+  /// Sizes the bit array and probe count for `expected_entries` keys at
+  /// roughly `fp_target` false-positive probability.
+  BloomFilter(std::uint64_t expected_entries, double fp_target) {
+    AAD_EXPECTS(expected_entries >= 1);
+    AAD_EXPECTS(fp_target > 0.0 && fp_target < 1.0);
+    const double n = static_cast<double>(expected_entries);
+    const double ln2 = 0.6931471805599453;
+    const double bits = std::ceil(-n * std::log(fp_target) / (ln2 * ln2));
+    bit_count_ = std::max<std::uint64_t>(64, static_cast<std::uint64_t>(bits));
+    words_.assign((bit_count_ + 63) / 64, 0);
+    const double k = std::round(static_cast<double>(bit_count_) / n * ln2);
+    hash_count_ = static_cast<std::uint32_t>(
+        std::min(16.0, std::max(1.0, k)));
+    capacity_ = expected_entries;
+  }
+
+  void add(const hash::Digest& digest) noexcept {
+    const auto [h1, h2] = seeds(digest);
+    for (std::uint32_t i = 0; i < hash_count_; ++i) {
+      const std::uint64_t bit = (h1 + i * h2) % bit_count_;
+      words_[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+    }
+    ++added_;
+  }
+
+  [[nodiscard]] bool maybe_contains(const hash::Digest& digest) const noexcept {
+    if (bit_count_ == 0) return false;  // empty filter: nothing was added
+    const auto [h1, h2] = seeds(digest);
+    for (std::uint32_t i = 0; i < hash_count_; ++i) {
+      const std::uint64_t bit = (h1 + i * h2) % bit_count_;
+      if ((words_[bit >> 6] & (std::uint64_t{1} << (bit & 63))) == 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Keys the filter was sized for; adding more than this degrades the
+  /// false-positive rate, so the owner rebuilds at saturation.
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t added() const noexcept { return added_; }
+  [[nodiscard]] bool saturated() const noexcept { return added_ > capacity_; }
+  [[nodiscard]] std::uint64_t bit_count() const noexcept { return bit_count_; }
+  [[nodiscard]] std::uint32_t hash_count() const noexcept {
+    return hash_count_;
+  }
+
+ private:
+  /// Two independent 64-bit seeds from the digest bytes. h1 is the
+  /// fingerprint prefix; h2 folds ALL bytes through FNV-1a (covers short
+  /// digests whose prefix is the whole value) and is forced odd so the
+  /// double-hash stride cycles the full bit array.
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> seeds(
+      const hash::Digest& digest) const noexcept {
+    const std::uint64_t h1 = digest.prefix64();
+    std::uint64_t h2 = 14695981039346656037ull;  // FNV offset basis
+    for (const std::byte b : digest.bytes()) {
+      h2 ^= static_cast<std::uint64_t>(b);
+      h2 *= 1099511628211ull;  // FNV prime
+    }
+    return {h1, h2 | 1};
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::uint64_t bit_count_ = 0;
+  std::uint32_t hash_count_ = 1;
+  std::uint64_t capacity_ = 0;
+  std::uint64_t added_ = 0;
+};
+
+}  // namespace aadedupe::index

@@ -1,0 +1,35 @@
+#include "index/checkpoint.hpp"
+
+#include "util/check.hpp"
+
+namespace aadedupe::index {
+
+bool is_checkpoint_stream(ConstByteSpan stream) noexcept {
+  if (stream.size() < kCheckpointMagic.size()) return false;
+  return to_string(stream.first(kCheckpointMagic.size())) == kCheckpointMagic;
+}
+
+BufferCheckpointSource::BufferCheckpointSource(ConstByteSpan stream)
+    : stream_(stream) {
+  if (!is_checkpoint_stream(stream_)) {
+    throw FormatError("checkpoint stream: missing AADCKPT1 magic");
+  }
+  pos_ = kCheckpointMagic.size();
+}
+
+std::optional<ConstByteSpan> BufferCheckpointSource::next() {
+  if (pos_ == stream_.size()) return std::nullopt;
+  if (pos_ + 8 > stream_.size()) {
+    throw FormatError("checkpoint stream: truncated record length");
+  }
+  const std::uint64_t len = load_le64(stream_.data() + pos_);
+  pos_ += 8;
+  if (len > stream_.size() - pos_) {
+    throw FormatError("checkpoint stream: truncated record");
+  }
+  ConstByteSpan record = stream_.subspan(pos_, static_cast<std::size_t>(len));
+  pos_ += static_cast<std::size_t>(len);
+  return record;
+}
+
+}  // namespace aadedupe::index

@@ -1,0 +1,134 @@
+// Incremental checkpoint plumbing for the redesigned ChunkIndex API.
+//
+// A checkpoint is an ordered stream of self-describing RECORDS. Producers
+// push records into a CheckpointSink; consumers pull them back out of a
+// CheckpointSource. The indirection keeps the record codec (chunk_index.cpp)
+// independent of where the stream lives: the Buffer* pair frames records
+// into a single ByteBuffer for the cloud sync / AADSTAT2 paths, while tests
+// can interpose truncating or counting sinks.
+//
+// Buffer stream framing (little-endian):
+//   magic "AADCKPT1" | repeated { record_len u64 | record bytes }
+//
+// Record contents are owned by chunk_index.hpp (opcode + payload); this
+// header only moves opaque byte ranges around.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace aadedupe::index {
+
+/// Magic prefix of a buffered checkpoint stream. Distinguishes the new
+/// incremental format from legacy serialize() images (compat loaders key
+/// off this).
+inline constexpr std::string_view kCheckpointMagic = "AADCKPT1";
+
+/// Consumes checkpoint records in order. Implementations must not throw
+/// from write(): a failed sink can lose the delta the producer just
+/// drained, so fallible destinations buffer first (BufferCheckpointSink)
+/// and fail afterwards.
+class CheckpointSink {
+ public:
+  virtual ~CheckpointSink() = default;
+  virtual void write(ConstByteSpan record) = 0;
+};
+
+/// Produces checkpoint records in order; nullopt at end of stream.
+/// Returned spans stay valid until the next call.
+class CheckpointSource {
+ public:
+  virtual ~CheckpointSource() = default;
+  virtual std::optional<ConstByteSpan> next() = 0;
+};
+
+/// Frames records into one owning buffer (magic + length-prefixed records).
+class BufferCheckpointSink final : public CheckpointSink {
+ public:
+  BufferCheckpointSink() { append(buffer_, as_bytes(kCheckpointMagic)); }
+
+  void write(ConstByteSpan record) override {
+    append_le64(buffer_, record.size());
+    append(buffer_, record);
+    ++records_;
+  }
+
+  [[nodiscard]] const ByteBuffer& buffer() const noexcept { return buffer_; }
+  [[nodiscard]] ByteBuffer take() noexcept { return std::move(buffer_); }
+  [[nodiscard]] std::size_t records() const noexcept { return records_; }
+
+ private:
+  ByteBuffer buffer_;
+  std::size_t records_ = 0;
+};
+
+/// True if `stream` carries the buffered-checkpoint magic (vs a legacy
+/// serialize() image).
+[[nodiscard]] bool is_checkpoint_stream(ConstByteSpan stream) noexcept;
+
+/// Reads records back out of a buffer written by BufferCheckpointSink.
+/// Throws FormatError on a missing magic or truncated record.
+class BufferCheckpointSource final : public CheckpointSource {
+ public:
+  explicit BufferCheckpointSource(ConstByteSpan stream);
+
+  std::optional<ConstByteSpan> next() override;
+
+ private:
+  ConstByteSpan stream_;
+  std::size_t pos_ = 0;
+};
+
+/// Tracks the delta an index has accumulated since its last checkpoint.
+//
+// Lifecycle: the journal starts INACTIVE (no base emitted) and records
+// nothing — a standalone index that never checkpoints pays zero memory.
+// The first checkpoint() emits a full base record and activates the
+// journal; from then on mutations are recorded and the next checkpoint()
+// drains only the delta. deserialize()/restore() count as receiving a
+// base (the consumer chain is known to share it); clear() deactivates the
+// journal so the next checkpoint re-emits a base.
+class CheckpointJournal {
+ public:
+  /// True once a base record has been emitted (or received): mutations
+  /// must be recorded from now on.
+  [[nodiscard]] bool active() const noexcept { return base_emitted_; }
+
+  /// Record one encoded delta record. No-op while inactive.
+  void record(ByteBuffer rec) {
+    if (base_emitted_) records_.push_back(std::move(rec));
+  }
+
+  /// A base record was emitted to (or received from) the checkpoint
+  /// chain; start journaling deltas against it.
+  void mark_base() noexcept {
+    base_emitted_ = true;
+    records_.clear();
+  }
+
+  /// Forget everything (index was cleared); next checkpoint re-bases.
+  void reset() noexcept {
+    base_emitted_ = false;
+    records_.clear();
+  }
+
+  /// Write all pending delta records to `sink` and forget them.
+  void drain(CheckpointSink& sink) {
+    for (const ByteBuffer& rec : records_) sink.write(rec);
+    records_.clear();
+  }
+
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return records_.size();
+  }
+
+ private:
+  std::vector<ByteBuffer> records_;
+  bool base_emitted_ = false;
+};
+
+}  // namespace aadedupe::index

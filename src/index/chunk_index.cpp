@@ -1,0 +1,155 @@
+#include "index/chunk_index.hpp"
+
+#include "util/check.hpp"
+
+namespace aadedupe::index {
+
+void serialize_entry(ByteBuffer& out, const hash::Digest& digest,
+                     const ChunkLocation& location) {
+  out.push_back(static_cast<std::byte>(digest.size()));
+  append(out, digest.bytes());
+  append_le64(out, location.container_id);
+  append_le32(out, location.offset);
+  append_le32(out, location.length);
+}
+
+std::pair<hash::Digest, ChunkLocation> deserialize_entry(ConstByteSpan image,
+                                                         std::size_t& pos) {
+  if (pos >= image.size()) throw FormatError("index image: truncated entry");
+  const auto digest_size = static_cast<std::size_t>(image[pos]);
+  ++pos;
+  if (digest_size == 0 || digest_size > hash::Digest::kMaxSize ||
+      pos + digest_size + 16 > image.size()) {
+    throw FormatError("index image: bad digest size or truncated entry");
+  }
+  hash::Digest digest(image.subspan(pos, digest_size));
+  pos += digest_size;
+  ChunkLocation loc;
+  loc.container_id = load_le64(image.data() + pos);
+  pos += 8;
+  loc.offset = load_le32(image.data() + pos);
+  pos += 4;
+  loc.length = load_le32(image.data() + pos);
+  pos += 4;
+  return {digest, loc};
+}
+
+void ChunkIndex::lookup_batch(std::span<const hash::Digest> digests,
+                              std::vector<std::optional<ChunkLocation>>& out) {
+  out.clear();
+  out.reserve(digests.size());
+  for (const hash::Digest& digest : digests) out.push_back(lookup(digest));
+}
+
+void ChunkIndex::checkpoint(CheckpointSink& sink) {
+  // No delta journal at this level: every checkpoint is a fresh base.
+  checkpoint_full(sink);
+}
+
+void ChunkIndex::checkpoint_full(CheckpointSink& sink) const {
+  sink.write(encode_base_record(serialize()));
+}
+
+void ChunkIndex::restore(CheckpointSource& source) {
+  while (const auto record = source.next()) {
+    apply_checkpoint_record(*record);
+  }
+}
+
+void ChunkIndex::apply_checkpoint_record(ConstByteSpan record) {
+  const DecodedRecord decoded = decode_record(record);
+  switch (decoded.op) {
+    case CheckpointOp::kBase:
+      deserialize(decoded.payload);
+      break;
+    case CheckpointOp::kInsert: {
+      const auto [digest, loc] = decode_entry_payload(decoded.payload);
+      if (!insert(digest, loc)) update(digest, loc);
+      break;
+    }
+    case CheckpointOp::kRemove:
+      remove(decode_remove_payload(decoded.payload));
+      break;
+    case CheckpointOp::kUpdate: {
+      const auto [digest, loc] = decode_entry_payload(decoded.payload);
+      if (!update(digest, loc)) insert(digest, loc);
+      break;
+    }
+    case CheckpointOp::kReset:
+    case CheckpointOp::kShard:
+      throw FormatError(
+          "checkpoint record: partition-level opcode sent to a shard");
+  }
+}
+
+ByteBuffer encode_base_record(ConstByteSpan image) {
+  ByteBuffer out;
+  out.reserve(1 + image.size());
+  out.push_back(static_cast<std::byte>(CheckpointOp::kBase));
+  append(out, image);
+  return out;
+}
+
+ByteBuffer encode_insert_record(const hash::Digest& digest,
+                                const ChunkLocation& location) {
+  ByteBuffer out;
+  out.push_back(static_cast<std::byte>(CheckpointOp::kInsert));
+  serialize_entry(out, digest, location);
+  return out;
+}
+
+ByteBuffer encode_remove_record(const hash::Digest& digest) {
+  ByteBuffer out;
+  out.push_back(static_cast<std::byte>(CheckpointOp::kRemove));
+  out.push_back(static_cast<std::byte>(digest.size()));
+  append(out, digest.bytes());
+  return out;
+}
+
+ByteBuffer encode_update_record(const hash::Digest& digest,
+                                const ChunkLocation& location) {
+  ByteBuffer out;
+  out.push_back(static_cast<std::byte>(CheckpointOp::kUpdate));
+  serialize_entry(out, digest, location);
+  return out;
+}
+
+DecodedRecord decode_record(ConstByteSpan record) {
+  if (record.empty()) throw FormatError("checkpoint record: empty");
+  const auto op = static_cast<std::uint8_t>(record[0]);
+  switch (static_cast<CheckpointOp>(op)) {
+    case CheckpointOp::kBase:
+    case CheckpointOp::kInsert:
+    case CheckpointOp::kRemove:
+    case CheckpointOp::kUpdate:
+    case CheckpointOp::kReset:
+    case CheckpointOp::kShard:
+      return {static_cast<CheckpointOp>(op), record.subspan(1)};
+  }
+  throw FormatError("checkpoint record: unknown opcode " +
+                    std::to_string(op));
+}
+
+hash::Digest decode_remove_payload(ConstByteSpan payload) {
+  if (payload.empty()) {
+    throw FormatError("checkpoint remove: missing digest size");
+  }
+  const auto digest_size = static_cast<std::size_t>(payload[0]);
+  if (digest_size == 0 || digest_size > hash::Digest::kMaxSize ||
+      payload.size() != 1 + digest_size) {
+    throw FormatError("checkpoint remove: bad digest");
+  }
+  return hash::Digest(payload.subspan(1, digest_size));
+}
+
+std::pair<hash::Digest, ChunkLocation> decode_entry_payload(
+    ConstByteSpan payload) {
+  std::size_t pos = 0;
+  auto entry = deserialize_entry(payload, pos);
+  if (pos != payload.size()) {
+    throw FormatError("checkpoint entry: trailing bytes");
+  }
+  return entry;
+}
+
+}  // namespace aadedupe::index

@@ -6,13 +6,28 @@
 // and hits the disk-lookup bottleneck), while AA-Dedupe keeps one SMALL
 // index per application (Section III.E), safe because cross-application
 // sharing is negligible (Observation 2).
+//
+// API surface (redesigned for the on-disk log-structured backend):
+//   * maybe_contains()  — filter probe; false means definitely absent, so
+//     negative lookups (the common case for new data) skip the index.
+//   * lookup_batch()    — amortizes virtual-call + lock overhead across a
+//     file's worth of fingerprints in the parallel front end.
+//   * checkpoint()/restore() — incremental delta streams for state
+//     persistence and the periodic cloud index sync. These SUPERSEDE the
+//     wholesale serialize()/deserialize() image pair, which is deprecated:
+//     it remains only as the base-record payload codec and as the compat
+//     loader for pre-checkpoint images, and will not grow new callers.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "hash/digest.hpp"
+#include "index/checkpoint.hpp"
 #include "util/bytes.hpp"
 
 namespace aadedupe::index {
@@ -34,6 +49,15 @@ struct IndexStats {
   std::uint64_t disk_reads = 0;   // bucket/slot reads that went to storage
   std::uint64_t disk_writes = 0;  // slot writes that went to storage
   std::uint64_t probe_steps = 0;  // slots examined across all lookups
+  // Filter/cache counters (log-structured backend; zero elsewhere). These
+  // make the paper's Section II.C bottleneck directly measurable: how many
+  // lookups the bloom filter absorbed, how often it lied, and how well the
+  // hot-set entry cache holds the working set.
+  std::uint64_t filter_probes = 0;     // maybe_contains() calls answered
+  std::uint64_t filter_negatives = 0;  // probes answered "definitely absent"
+  std::uint64_t filter_false_positives = 0;  // filter said maybe, disk said no
+  std::uint64_t cache_hits = 0;        // lookups served by the entry cache
+  std::uint64_t cache_evictions = 0;   // entries evicted to hold capacity
 
   IndexStats& operator+=(const IndexStats& o) {
     lookups += o.lookups;
@@ -42,8 +66,25 @@ struct IndexStats {
     disk_reads += o.disk_reads;
     disk_writes += o.disk_writes;
     probe_steps += o.probe_steps;
+    filter_probes += o.filter_probes;
+    filter_negatives += o.filter_negatives;
+    filter_false_positives += o.filter_false_positives;
+    cache_hits += o.cache_hits;
+    cache_evictions += o.cache_evictions;
     return *this;
   }
+};
+
+/// Opcode of one checkpoint record. Shard-level records describe one
+/// index's contents; the partition-level pair wraps shard records with the
+/// partition key (see PartitionedIndex).
+enum class CheckpointOp : std::uint8_t {
+  kBase = 1,    // payload: legacy serialize() image (replaces contents)
+  kInsert = 2,  // payload: one entry (serialize_entry format)
+  kRemove = 3,  // payload: digest_size u8 | digest bytes
+  kUpdate = 4,  // payload: one entry (repoint existing fingerprint)
+  kReset = 0x10,  // partition-level: drop every shard (no payload)
+  kShard = 0x11,  // partition-level: key_len u32 | key | nested record
 };
 
 /// Thread-safe fingerprint index. All implementations synchronize
@@ -55,6 +96,21 @@ class ChunkIndex {
   /// Find a previously stored chunk with this fingerprint.
   [[nodiscard]] virtual std::optional<ChunkLocation> lookup(
       const hash::Digest& digest) = 0;
+
+  /// Filter probe: false means the fingerprint is DEFINITELY absent (the
+  /// caller can skip lookup entirely); true means "maybe present". The
+  /// default has no filter and always says maybe.
+  [[nodiscard]] virtual bool maybe_contains(const hash::Digest& digest) {
+    (void)digest;
+    return true;
+  }
+
+  /// Look up a batch of fingerprints in one call, writing one result per
+  /// digest into `out` (resized to match). Implementations override this
+  /// to take their internal lock once per batch instead of once per chunk;
+  /// the default loops over lookup().
+  virtual void lookup_batch(std::span<const hash::Digest> digests,
+                            std::vector<std::optional<ChunkLocation>>& out);
 
   /// Record a new chunk. Returns false (and leaves the existing mapping)
   /// if the fingerprint was already present.
@@ -75,8 +131,28 @@ class ChunkIndex {
 
   [[nodiscard]] virtual IndexStats stats() const = 0;
 
-  /// Serialize the full index for the paper's periodic cloud sync of
-  /// index state (Section III.E).
+  /// Write an INCREMENTAL checkpoint: the first call (or the first after
+  /// clearing) emits a full base record, later calls emit only the
+  /// mutations since the previous checkpoint(). The default (for
+  /// implementations without a delta journal) always emits a base.
+  virtual void checkpoint(CheckpointSink& sink);
+
+  /// Write a full self-contained snapshot (always a base record) without
+  /// disturbing the incremental checkpoint chain. Used by export_state.
+  virtual void checkpoint_full(CheckpointSink& sink) const;
+
+  /// Replay a checkpoint stream into this index. A base record replaces
+  /// the contents; delta records apply on top. Throws FormatError on
+  /// malformed records.
+  virtual void restore(CheckpointSource& source);
+
+  /// Apply one checkpoint record (bypasses any delta journal: replayed
+  /// records must not be re-emitted by the next checkpoint).
+  virtual void apply_checkpoint_record(ConstByteSpan record);
+
+  /// DEPRECATED image pair, superseded by checkpoint()/restore(). Kept as
+  /// the kBase payload codec and the compat path for images written before
+  /// the checkpoint format existed. Do not add new callers.
   [[nodiscard]] virtual ByteBuffer serialize() const = 0;
 
   /// Replace contents from a previously serialized image.
@@ -92,5 +168,32 @@ void serialize_entry(ByteBuffer& out, const hash::Digest& digest,
 /// Reads one entry at `pos`, advancing it. Throws FormatError on overrun.
 std::pair<hash::Digest, ChunkLocation> deserialize_entry(ConstByteSpan image,
                                                          std::size_t& pos);
+
+// ---- Checkpoint record codec (shared by every implementation). ----
+
+[[nodiscard]] ByteBuffer encode_base_record(ConstByteSpan image);
+[[nodiscard]] ByteBuffer encode_insert_record(const hash::Digest& digest,
+                                              const ChunkLocation& location);
+[[nodiscard]] ByteBuffer encode_remove_record(const hash::Digest& digest);
+[[nodiscard]] ByteBuffer encode_update_record(const hash::Digest& digest,
+                                              const ChunkLocation& location);
+
+/// A decoded record header: opcode plus its payload bytes (view into the
+/// input record).
+struct DecodedRecord {
+  CheckpointOp op;
+  ConstByteSpan payload;
+};
+
+/// Splits a record into opcode + payload. Throws FormatError on an empty
+/// record or unknown opcode.
+[[nodiscard]] DecodedRecord decode_record(ConstByteSpan record);
+
+/// Decodes the digest of a kRemove payload. Throws FormatError.
+[[nodiscard]] hash::Digest decode_remove_payload(ConstByteSpan payload);
+
+/// Decodes the entry of a kInsert/kUpdate payload. Throws FormatError.
+[[nodiscard]] std::pair<hash::Digest, ChunkLocation> decode_entry_payload(
+    ConstByteSpan payload);
 
 }  // namespace aadedupe::index

@@ -1,0 +1,985 @@
+#include "index/log_structured_index.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace aadedupe::index {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kManifestMagic[8] = {'A', 'A', 'D', 'L', 'S', 'M', 'F', '1'};
+constexpr char kSegmentMagic[8] = {'A', 'A', 'D', 'L', 'S', 'S', 'G', '1'};
+constexpr std::size_t kSegmentHeaderSize = 16;
+constexpr std::size_t kRecordSize = 40;
+// WAL ops (payload byte 0).
+constexpr std::uint8_t kWalInsert = 1;
+constexpr std::uint8_t kWalRemove = 2;
+constexpr std::uint8_t kWalUpdate = 3;
+// A WAL payload is one op over one entry; anything bigger is corruption.
+constexpr std::uint32_t kMaxWalPayload = 1u << 20;
+// Estimated RAM per cached entry (slot + hash-map node overhead); the
+// byte budget divides by this to get the slot count.
+constexpr std::size_t kCacheEntryCost = 96;
+
+std::uint32_t fnv1a32(ConstByteSpan data) noexcept {
+  std::uint32_t h = 2166136261u;
+  for (const std::byte b : data) {
+    h ^= static_cast<std::uint32_t>(b);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+void pread_exact(int fd, std::byte* buf, std::size_t len, std::uint64_t off) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pread(fd, buf + done, len - done,
+                              static_cast<off_t>(off + done));
+    if (n < 0) throw FormatError("log index: read error");
+    if (n == 0) throw FormatError("log index: unexpected EOF");
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void write_exact(int fd, const std::byte* buf, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::write(fd, buf + done, len - done);
+    if (n < 0) throw FormatError("log index: write error");
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+struct RawRecord {
+  hash::Digest digest;
+  ChunkLocation location;
+  bool tombstone = false;
+};
+
+void encode_segment_record(std::byte* p, const RawRecord& rec) {
+  std::memset(p, 0, kRecordSize);
+  p[0] = static_cast<std::byte>(rec.tombstone ? 1 : 0);
+  p[1] = static_cast<std::byte>(rec.digest.size());
+  std::memcpy(p + 2, rec.digest.bytes().data(), rec.digest.size());
+  store_le64(p + 22, rec.location.container_id);
+  store_le32(p + 30, rec.location.offset);
+  store_le32(p + 34, rec.location.length);
+}
+
+RawRecord decode_segment_record(const std::byte* p) {
+  const auto flags = static_cast<std::uint8_t>(p[0]);
+  const auto digest_size = static_cast<std::size_t>(p[1]);
+  if (flags > 1 || digest_size == 0 || digest_size > hash::Digest::kMaxSize) {
+    throw FormatError("log index segment: corrupt record");
+  }
+  RawRecord rec;
+  rec.tombstone = (flags & 1) != 0;
+  rec.digest = hash::Digest(ConstByteSpan{p + 2, digest_size});
+  rec.location.container_id = load_le64(p + 22);
+  rec.location.offset = load_le32(p + 30);
+  rec.location.length = load_le32(p + 34);
+  return rec;
+}
+
+std::string segment_file_name(std::uint64_t id) {
+  return "seg-" + std::to_string(id) + ".idx";
+}
+
+}  // namespace
+
+// Streams sorted records into a new segment file: chunked writes, fence
+// pointers built on the fly, record count patched into the header at the
+// end (so producers need not know it up front).
+class SegmentFileWriter {
+ public:
+  SegmentFileWriter(const fs::path& path, std::size_t fence_interval)
+      : fence_interval_(fence_interval) {
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    if (fd_ < 0) {
+      throw FormatError("log index: cannot create segment " + path.string());
+    }
+    std::byte header[kSegmentHeaderSize] = {};
+    std::memcpy(header, kSegmentMagic, sizeof(kSegmentMagic));
+    write_exact(fd_, header, kSegmentHeaderSize);
+  }
+
+  ~SegmentFileWriter() {
+    if (fd_ >= 0) ::close(fd_);  // abandoned: caller unlinks
+  }
+
+  void add(const RawRecord& rec) {
+    if (count_ % fence_interval_ == 0) {
+      fences_.push_back({rec.digest, count_});
+    }
+    buffer_.resize(buffer_.size() + kRecordSize);
+    encode_segment_record(buffer_.data() + buffer_.size() - kRecordSize, rec);
+    ++count_;
+    if (buffer_.size() >= (std::size_t{4096} * kRecordSize)) flush_buffer();
+  }
+
+  /// Patches the header, fsyncs, and releases the (kept-open) fd.
+  std::pair<int, std::uint64_t> finish() {
+    flush_buffer();
+    std::byte count_le[8];
+    store_le64(count_le, count_);
+    std::size_t done = 0;
+    while (done < 8) {
+      const ssize_t n = ::pwrite(fd_, count_le + done, 8 - done,
+                                 static_cast<off_t>(8 + done));
+      if (n < 0) throw FormatError("log index: segment header write error");
+      done += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd_) != 0) {
+      throw FormatError("log index: segment fsync failed");
+    }
+    return {std::exchange(fd_, -1), count_};
+  }
+
+  std::vector<LogStructuredIndex::Fence>&& take_fences() {
+    return std::move(fences_);
+  }
+
+ private:
+  void flush_buffer() {
+    if (buffer_.empty()) return;
+    write_exact(fd_, buffer_.data(), buffer_.size());
+    buffer_.clear();
+  }
+
+  int fd_ = -1;
+  std::size_t fence_interval_;
+  std::uint64_t count_ = 0;
+  ByteBuffer buffer_;
+  std::vector<LogStructuredIndex::Fence> fences_;
+};
+
+namespace {
+
+/// Sequential block reader over one sealed segment (for merges/scans).
+class SegmentCursor {
+ public:
+  SegmentCursor(int fd, std::uint64_t record_count)
+      : fd_(fd), record_count_(record_count) {}
+
+  bool next(RawRecord& out) {
+    if (idx_ >= record_count_) return false;
+    if (block_pos_ >= block_records_) {
+      block_records_ = static_cast<std::size_t>(
+          std::min<std::uint64_t>(4096, record_count_ - idx_));
+      block_.resize(block_records_ * kRecordSize);
+      pread_exact(fd_, block_.data(), block_.size(),
+                  kSegmentHeaderSize + idx_ * kRecordSize);
+      block_pos_ = 0;
+    }
+    out = decode_segment_record(block_.data() + block_pos_ * kRecordSize);
+    ++block_pos_;
+    ++idx_;
+    return true;
+  }
+
+ private:
+  int fd_;
+  std::uint64_t record_count_;
+  std::uint64_t idx_ = 0;
+  ByteBuffer block_;
+  std::size_t block_pos_ = 0;
+  std::size_t block_records_ = 0;
+};
+
+/// K-way merge over sorted sources; ties resolve to the highest-priority
+/// (newest) source, and every tied cursor advances past the key.
+class MergeCursorSet {
+ public:
+  void add_segment(int fd, std::uint64_t record_count) {
+    cursors_.emplace_back(fd, record_count);
+    heads_.emplace_back();
+    alive_.push_back(cursors_.back().next(heads_.back()));
+  }
+
+  /// Overlay entries (sorted, unique) that outrank every segment.
+  void set_overlay(std::vector<RawRecord> overlay) {
+    overlay_ = std::move(overlay);
+  }
+
+  /// Next key in digest order, newest version. False at end.
+  bool next(RawRecord& out) {
+    while (true) {
+      const hash::Digest* min_digest = nullptr;
+      if (overlay_pos_ < overlay_.size()) {
+        min_digest = &overlay_[overlay_pos_].digest;
+      }
+      for (std::size_t i = 0; i < cursors_.size(); ++i) {
+        if (!alive_[i]) continue;
+        if (min_digest == nullptr || heads_[i].digest < *min_digest) {
+          min_digest = &heads_[i].digest;
+        }
+      }
+      if (min_digest == nullptr) return false;
+      const hash::Digest key = *min_digest;
+
+      bool have = false;
+      // Overlay (memtable) outranks all segments; later segments outrank
+      // earlier ones, so scan newest-to-oldest and keep the first match.
+      if (overlay_pos_ < overlay_.size() &&
+          overlay_[overlay_pos_].digest == key) {
+        out = overlay_[overlay_pos_];
+        ++overlay_pos_;
+        have = true;
+      }
+      for (std::size_t i = cursors_.size(); i-- > 0;) {
+        if (!alive_[i] || !(heads_[i].digest == key)) continue;
+        if (!have) {
+          out = heads_[i];
+          have = true;
+        }
+        alive_[i] = cursors_[i].next(heads_[i]);
+      }
+      return true;
+    }
+  }
+
+ private:
+  std::vector<SegmentCursor> cursors_;
+  std::vector<RawRecord> heads_;
+  std::vector<bool> alive_;
+  std::vector<RawRecord> overlay_;
+  std::size_t overlay_pos_ = 0;
+};
+
+}  // namespace
+
+LogStructuredIndex::LogStructuredIndex(fs::path directory, Options options)
+    : directory_(std::move(directory)), options_(options) {
+  AAD_EXPECTS(options_.memtable_limit >= 1);
+  AAD_EXPECTS(options_.fence_interval >= 1);
+  AAD_EXPECTS(options_.max_segments >= 2);
+  AAD_EXPECTS(options_.bloom_fp_target > 0.0 &&
+              options_.bloom_fp_target < 1.0);
+  AAD_EXPECTS(options_.bloom_initial_capacity >= 1);
+  cache_capacity_ = options_.cache_capacity_bytes / kCacheEntryCost;
+
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  if (ec) {
+    throw FormatError("log index: cannot create directory " +
+                      directory_.string());
+  }
+  // A stale MANIFEST.tmp is a torn checkpoint from a crashed writer;
+  // the real MANIFEST (if any) is authoritative.
+  fs::remove(directory_ / "MANIFEST.tmp", ec);
+
+  load_manifest();
+  std::uint64_t total_records = 0;
+  for (const Segment& seg : segments_) total_records += seg.record_count;
+  bloom_ = BloomFilter(
+      std::max(options_.bloom_initial_capacity,
+               std::max<std::uint64_t>(1, 2 * total_records)),
+      options_.bloom_fp_target);
+  for (Segment& seg : segments_) load_segment(seg);
+
+  const fs::path wal_path = directory_ / "wal.log";
+  wal_fd_ = ::open(wal_path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (wal_fd_ < 0) {
+    throw FormatError("log index: cannot open WAL " + wal_path.string());
+  }
+  replay_wal();
+}
+
+LogStructuredIndex::~LogStructuredIndex() {
+  if (wal_fd_ >= 0) {
+    ::fsync(wal_fd_);  // best effort: make the tail durable on clean exit
+    ::close(wal_fd_);
+  }
+  for (Segment& seg : segments_) {
+    if (seg.fd >= 0) ::close(seg.fd);
+  }
+}
+
+void LogStructuredIndex::load_manifest() {
+  const fs::path path = directory_ / "MANIFEST";
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return;  // fresh shard: nothing sealed yet
+  const off_t file_size = ::lseek(fd, 0, SEEK_END);
+  if (file_size < 0) {
+    ::close(fd);
+    throw FormatError("log index: cannot stat MANIFEST");
+  }
+  ByteBuffer raw(static_cast<std::size_t>(file_size));
+  try {
+    pread_exact(fd, raw.data(), raw.size(), 0);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+
+  if (raw.size() < 8 + 8 + 8 + 4 + 4 ||
+      std::memcmp(raw.data(), kManifestMagic, sizeof(kManifestMagic)) != 0) {
+    throw FormatError("log index: bad MANIFEST magic");
+  }
+  const ConstByteSpan body{raw.data(), raw.size() - 4};
+  if (fnv1a32(body) != load_le32(raw.data() + raw.size() - 4)) {
+    throw FormatError("log index: MANIFEST checksum mismatch");
+  }
+  live_count_ = load_le64(raw.data() + 8);
+  next_segment_id_ = load_le64(raw.data() + 16);
+  const std::uint32_t count = load_le32(raw.data() + 24);
+  std::size_t pos = 28;
+  if (raw.size() != pos + static_cast<std::size_t>(count) * 16 + 4) {
+    throw FormatError("log index: MANIFEST size mismatch");
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Segment seg;
+    seg.id = load_le64(raw.data() + pos);
+    seg.record_count = load_le64(raw.data() + pos + 8);
+    pos += 16;
+    if (seg.id >= next_segment_id_) {
+      throw FormatError("log index: MANIFEST segment id out of range");
+    }
+    segments_.push_back(std::move(seg));
+  }
+}
+
+void LogStructuredIndex::write_manifest_locked() {
+  ByteBuffer out;
+  append(out, ConstByteSpan{reinterpret_cast<const std::byte*>(kManifestMagic),
+                            sizeof(kManifestMagic)});
+  append_le64(out, live_count_);
+  append_le64(out, next_segment_id_);
+  append_le32(out, static_cast<std::uint32_t>(segments_.size()));
+  for (const Segment& seg : segments_) {
+    append_le64(out, seg.id);
+    append_le64(out, seg.record_count);
+  }
+  append_le32(out, fnv1a32(out));
+
+  const fs::path tmp = directory_ / "MANIFEST.tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw FormatError("log index: cannot write MANIFEST.tmp");
+  try {
+    write_exact(fd, out.data(), out.size());
+    if (::fsync(fd) != 0) throw FormatError("log index: MANIFEST fsync");
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  std::error_code ec;
+  fs::rename(tmp, directory_ / "MANIFEST", ec);
+  if (ec) throw FormatError("log index: MANIFEST rename failed");
+  // Persist the rename itself before anything depends on it (the WAL is
+  // truncated right after a seal).
+  const int dir_fd = ::open(directory_.c_str(), O_RDONLY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+}
+
+void LogStructuredIndex::load_segment(Segment& segment) {
+  const fs::path path = directory_ / segment_file_name(segment.id);
+  segment.fd = ::open(path.c_str(), O_RDWR);
+  if (segment.fd < 0) {
+    throw FormatError("log index: missing segment " + path.string());
+  }
+  std::byte header[kSegmentHeaderSize];
+  pread_exact(segment.fd, header, kSegmentHeaderSize, 0);
+  if (std::memcmp(header, kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
+    throw FormatError("log index: bad segment magic in " + path.string());
+  }
+  if (load_le64(header + 8) != segment.record_count) {
+    throw FormatError("log index: segment record count mismatch in " +
+                      path.string());
+  }
+  // One sequential scan builds the fence pointers and feeds the bloom
+  // filter; after this, lookups touch at most one block per segment.
+  SegmentCursor cursor(segment.fd, segment.record_count);
+  RawRecord rec;
+  std::uint64_t idx = 0;
+  while (cursor.next(rec)) {
+    if (idx % options_.fence_interval == 0) {
+      segment.fences.push_back({rec.digest, idx});
+    }
+    bloom_.add(rec.digest);
+    ++idx;
+  }
+}
+
+void LogStructuredIndex::replay_wal() {
+  const off_t end = ::lseek(wal_fd_, 0, SEEK_END);
+  if (end < 0) throw FormatError("log index: cannot stat WAL");
+  const auto size = static_cast<std::uint64_t>(end);
+  std::uint64_t pos = 0;
+  bool torn = false;
+  while (pos < size) {
+    if (pos + 8 > size) {
+      torn = true;
+      break;
+    }
+    std::byte hdr[8];
+    pread_exact(wal_fd_, hdr, 8, pos);
+    const std::uint32_t len = load_le32(hdr);
+    const std::uint32_t checksum = load_le32(hdr + 4);
+    if (len == 0 || len > kMaxWalPayload || pos + 8 + len > size) {
+      torn = true;
+      break;
+    }
+    ByteBuffer payload(len);
+    pread_exact(wal_fd_, payload.data(), len, pos + 8);
+    if (fnv1a32(payload) != checksum) {
+      torn = true;
+      break;
+    }
+    try {
+      const auto op = static_cast<std::uint8_t>(payload[0]);
+      const ConstByteSpan body = ConstByteSpan(payload).subspan(1);
+      if (op == kWalInsert || op == kWalUpdate) {
+        std::size_t entry_pos = 0;
+        const auto [digest, loc] = deserialize_entry(body, entry_pos);
+        if (entry_pos != body.size()) {
+          throw FormatError("log index WAL: trailing bytes in entry");
+        }
+        // Replay is idempotent across the seal crash window (ops already
+        // sealed into a segment must not re-count).
+        const auto existing = find_locked(digest);
+        if (op == kWalInsert) {
+          if (!existing || existing->tombstone) {
+            memtable_[digest] = Entry{loc, false};
+            bloom_add_locked(digest);
+            ++live_count_;
+          }
+        } else {
+          if (existing && !existing->tombstone) {
+            memtable_[digest] = Entry{loc, false};
+          }
+        }
+      } else if (op == kWalRemove) {
+        if (body.empty() ||
+            static_cast<std::size_t>(body[0]) == 0 ||
+            static_cast<std::size_t>(body[0]) > hash::Digest::kMaxSize ||
+            body.size() != 1 + static_cast<std::size_t>(body[0])) {
+          throw FormatError("log index WAL: bad remove record");
+        }
+        const hash::Digest digest(
+            body.subspan(1, static_cast<std::size_t>(body[0])));
+        const auto existing = find_locked(digest);
+        if (existing && !existing->tombstone) {
+          memtable_[digest] = Entry{{}, true};
+          --live_count_;
+        }
+      } else {
+        throw FormatError("log index WAL: unknown op");
+      }
+    } catch (const FormatError&) {
+      // Checksummed-but-unparseable: treat like a torn tail and recover
+      // everything before it.
+      torn = true;
+      break;
+    }
+    pos += 8 + len;
+  }
+  wal_bytes_ = pos;
+  if (torn && ::ftruncate(wal_fd_, static_cast<off_t>(pos)) != 0) {
+    throw FormatError("log index: WAL truncate failed");
+  }
+}
+
+std::optional<LogStructuredIndex::Entry> LogStructuredIndex::search_segment(
+    Segment& segment, const hash::Digest& digest) {
+  if (segment.fences.empty() || digest < segment.fences.front().first) {
+    return std::nullopt;
+  }
+  auto it = std::upper_bound(
+      segment.fences.begin(), segment.fences.end(), digest,
+      [](const hash::Digest& d, const Fence& f) { return d < f.first; });
+  --it;
+  const std::uint64_t start = it->record_idx;
+  const std::uint64_t stop = (it + 1 == segment.fences.end())
+                                 ? segment.record_count
+                                 : (it + 1)->record_idx;
+  const auto count = static_cast<std::size_t>(stop - start);
+  ByteBuffer block(count * kRecordSize);
+  pread_exact(segment.fd, block.data(), block.size(),
+              kSegmentHeaderSize + start * kRecordSize);
+  ++stats_.disk_reads;  // one fence-bounded block read per probed segment
+  ++stats_.probe_steps;
+  // Binary search within the (sorted) block.
+  std::size_t lo = 0;
+  std::size_t hi = count;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    const RawRecord rec =
+        decode_segment_record(block.data() + mid * kRecordSize);
+    if (rec.digest == digest) {
+      return Entry{rec.location, rec.tombstone};
+    }
+    if (rec.digest < digest) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<LogStructuredIndex::Entry> LogStructuredIndex::find_locked(
+    const hash::Digest& digest) {
+  if (const auto it = memtable_.find(digest); it != memtable_.end()) {
+    return it->second;
+  }
+  ++stats_.filter_probes;
+  if (!bloom_.maybe_contains(digest)) {
+    ++stats_.filter_negatives;  // definitely absent: zero disk reads
+    return std::nullopt;
+  }
+  for (std::size_t i = segments_.size(); i-- > 0;) {
+    if (auto found = search_segment(segments_[i], digest)) return found;
+  }
+  ++stats_.filter_false_positives;
+  return std::nullopt;
+}
+
+std::optional<ChunkLocation> LogStructuredIndex::lookup_locked(
+    const hash::Digest& digest) {
+  ++stats_.lookups;
+  if (auto cached = cache_get_locked(digest)) {
+    ++stats_.cache_hits;
+    ++stats_.hits;
+    return cached;
+  }
+  const auto entry = find_locked(digest);
+  if (!entry || entry->tombstone) return std::nullopt;
+  ++stats_.hits;
+  cache_put_locked(digest, entry->location);
+  return entry->location;
+}
+
+std::optional<ChunkLocation> LogStructuredIndex::lookup(
+    const hash::Digest& digest) {
+  std::lock_guard lock(mutex_);
+  return lookup_locked(digest);
+}
+
+bool LogStructuredIndex::maybe_contains(const hash::Digest& digest) {
+  std::lock_guard lock(mutex_);
+  ++stats_.filter_probes;
+  if (!bloom_.maybe_contains(digest)) {
+    ++stats_.filter_negatives;
+    return false;
+  }
+  return true;
+}
+
+void LogStructuredIndex::lookup_batch(
+    std::span<const hash::Digest> digests,
+    std::vector<std::optional<ChunkLocation>>& out) {
+  out.clear();
+  out.reserve(digests.size());
+  std::lock_guard lock(mutex_);  // one lock per batch, not per chunk
+  for (const hash::Digest& digest : digests) {
+    out.push_back(lookup_locked(digest));
+  }
+}
+
+void LogStructuredIndex::wal_append_locked(ConstByteSpan payload) {
+  ByteBuffer rec;
+  rec.reserve(8 + payload.size());
+  append_le32(rec, static_cast<std::uint32_t>(payload.size()));
+  append_le32(rec, fnv1a32(payload));
+  append(rec, payload);
+  write_exact(wal_fd_, rec.data(), rec.size());  // O_APPEND
+  wal_bytes_ += rec.size();
+  ++stats_.disk_writes;
+}
+
+void LogStructuredIndex::bloom_add_locked(const hash::Digest& digest) {
+  bloom_.add(digest);
+  if (bloom_.saturated()) {
+    rebuild_bloom_locked(std::max<std::uint64_t>(64, bloom_.capacity() * 2));
+  }
+}
+
+void LogStructuredIndex::rebuild_bloom_locked(std::uint64_t capacity) {
+  bloom_ = BloomFilter(capacity, options_.bloom_fp_target);
+  for (Segment& seg : segments_) {
+    SegmentCursor cursor(seg.fd, seg.record_count);
+    RawRecord rec;
+    while (cursor.next(rec)) bloom_.add(rec.digest);
+  }
+  for (const auto& [digest, entry] : memtable_) bloom_.add(digest);
+}
+
+bool LogStructuredIndex::insert_locked(const hash::Digest& digest,
+                                       const ChunkLocation& loc, bool journal,
+                                       bool count_stats) {
+  const auto existing = find_locked(digest);
+  if (existing && !existing->tombstone) return false;
+  ByteBuffer payload;
+  payload.push_back(static_cast<std::byte>(kWalInsert));
+  serialize_entry(payload, digest, loc);
+  wal_append_locked(payload);
+  memtable_[digest] = Entry{loc, false};
+  bloom_add_locked(digest);
+  ++live_count_;
+  if (count_stats) ++stats_.inserts;
+  if (journal) journal_.record(encode_insert_record(digest, loc));
+  cache_put_locked(digest, loc);
+  if (memtable_.size() >= options_.memtable_limit) seal_memtable_locked();
+  return true;
+}
+
+bool LogStructuredIndex::remove_locked(const hash::Digest& digest,
+                                       bool journal) {
+  const auto existing = find_locked(digest);
+  if (!existing || existing->tombstone) return false;
+  ByteBuffer payload;
+  payload.push_back(static_cast<std::byte>(kWalRemove));
+  payload.push_back(static_cast<std::byte>(digest.size()));
+  append(payload, digest.bytes());
+  wal_append_locked(payload);
+  memtable_[digest] = Entry{{}, true};
+  --live_count_;
+  if (journal) journal_.record(encode_remove_record(digest));
+  cache_erase_locked(digest);
+  if (memtable_.size() >= options_.memtable_limit) seal_memtable_locked();
+  return true;
+}
+
+bool LogStructuredIndex::update_locked(const hash::Digest& digest,
+                                       const ChunkLocation& loc,
+                                       bool journal) {
+  const auto existing = find_locked(digest);
+  if (!existing || existing->tombstone) return false;
+  ByteBuffer payload;
+  payload.push_back(static_cast<std::byte>(kWalUpdate));
+  serialize_entry(payload, digest, loc);
+  wal_append_locked(payload);
+  memtable_[digest] = Entry{loc, false};
+  if (journal) journal_.record(encode_update_record(digest, loc));
+  cache_put_locked(digest, loc);
+  if (memtable_.size() >= options_.memtable_limit) seal_memtable_locked();
+  return true;
+}
+
+bool LogStructuredIndex::insert(const hash::Digest& digest,
+                                const ChunkLocation& location) {
+  std::lock_guard lock(mutex_);
+  return insert_locked(digest, location, /*journal=*/true,
+                       /*count_stats=*/true);
+}
+
+bool LogStructuredIndex::remove(const hash::Digest& digest) {
+  std::lock_guard lock(mutex_);
+  return remove_locked(digest, /*journal=*/true);
+}
+
+bool LogStructuredIndex::update(const hash::Digest& digest,
+                                const ChunkLocation& location) {
+  std::lock_guard lock(mutex_);
+  return update_locked(digest, location, /*journal=*/true);
+}
+
+void LogStructuredIndex::seal_memtable_locked() {
+  if (memtable_.empty()) return;
+  std::vector<std::pair<hash::Digest, Entry>> sorted(memtable_.begin(),
+                                                     memtable_.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  Segment seg;
+  seg.id = next_segment_id_++;
+  SegmentFileWriter writer(directory_ / segment_file_name(seg.id),
+                           options_.fence_interval);
+  for (const auto& [digest, entry] : sorted) {
+    writer.add(RawRecord{digest, entry.location, entry.tombstone});
+  }
+  seg.fences = writer.take_fences();
+  std::tie(seg.fd, seg.record_count) = writer.finish();
+  segments_.push_back(std::move(seg));
+  ++stats_.disk_writes;
+
+  // Ordering is the crash-consistency protocol: segment is durable, then
+  // the manifest references it, then (and only then) the WAL entries it
+  // covers are dropped. A crash between any two steps replays cleanly.
+  write_manifest_locked();
+  if (::ftruncate(wal_fd_, 0) != 0) {
+    throw FormatError("log index: WAL truncate after seal failed");
+  }
+  wal_bytes_ = 0;
+  memtable_.clear();
+
+  if (segments_.size() > options_.max_segments) compact_locked();
+}
+
+void LogStructuredIndex::compact_locked() {
+  MergeCursorSet merge;
+  for (Segment& seg : segments_) merge.add_segment(seg.fd, seg.record_count);
+
+  Segment merged;
+  merged.id = next_segment_id_++;
+  SegmentFileWriter writer(directory_ / segment_file_name(merged.id),
+                           options_.fence_interval);
+  RawRecord rec;
+  while (merge.next(rec)) {
+    // Full merge: no older data can resurrect a deleted key, so
+    // tombstones drop entirely.
+    if (!rec.tombstone) writer.add(rec);
+  }
+  merged.fences = writer.take_fences();
+  std::tie(merged.fd, merged.record_count) = writer.finish();
+  ++stats_.disk_writes;
+
+  const std::uint64_t merged_count = merged.record_count;
+  std::vector<Segment> old = std::exchange(segments_, {});
+  segments_.push_back(std::move(merged));
+  write_manifest_locked();
+  for (Segment& seg : old) {
+    if (seg.fd >= 0) ::close(seg.fd);
+    std::error_code ec;
+    fs::remove(directory_ / segment_file_name(seg.id), ec);
+  }
+  // Dropping tombstone records shrinks the key universe: rebuild the
+  // filter at the live size so its false-positive rate recovers.
+  rebuild_bloom_locked(std::max(
+      options_.bloom_initial_capacity,
+      std::max<std::uint64_t>(1, 2 * merged_count)));
+}
+
+std::uint64_t LogStructuredIndex::size() const {
+  std::lock_guard lock(mutex_);
+  return live_count_;
+}
+
+std::size_t LogStructuredIndex::segment_count() const {
+  std::lock_guard lock(mutex_);
+  return segments_.size();
+}
+
+IndexStats LogStructuredIndex::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+void LogStructuredIndex::checkpoint(CheckpointSink& sink) {
+  std::lock_guard lock(mutex_);
+  // Re-base when no base exists yet or the delta outgrew a snapshot.
+  if (!journal_.active() || journal_.pending() > live_count_) {
+    sink.write(encode_base_record(serialize_locked()));
+    journal_.mark_base();
+  } else {
+    journal_.drain(sink);
+  }
+  // A checkpoint is a durability point: everything it claims is on disk.
+  if (::fsync(wal_fd_) != 0) {
+    throw FormatError("log index: WAL fsync failed");
+  }
+}
+
+void LogStructuredIndex::checkpoint_full(CheckpointSink& sink) const {
+  std::lock_guard lock(mutex_);
+  sink.write(encode_base_record(serialize_locked()));
+}
+
+void LogStructuredIndex::apply_checkpoint_record(ConstByteSpan record) {
+  const DecodedRecord decoded = decode_record(record);
+  std::lock_guard lock(mutex_);
+  // Replayed records bypass the journal: re-emitting them at the next
+  // checkpoint would duplicate history the consumer chain already holds.
+  switch (decoded.op) {
+    case CheckpointOp::kBase:
+      deserialize_locked(decoded.payload);
+      break;
+    case CheckpointOp::kInsert: {
+      const auto [digest, loc] = decode_entry_payload(decoded.payload);
+      if (!insert_locked(digest, loc, false, false)) {
+        update_locked(digest, loc, false);
+      }
+      break;
+    }
+    case CheckpointOp::kRemove:
+      remove_locked(decode_remove_payload(decoded.payload), false);
+      break;
+    case CheckpointOp::kUpdate: {
+      const auto [digest, loc] = decode_entry_payload(decoded.payload);
+      if (!update_locked(digest, loc, false)) {
+        insert_locked(digest, loc, false, false);
+      }
+      break;
+    }
+    default:
+      throw FormatError(
+          "checkpoint record: partition-level opcode sent to a shard");
+  }
+}
+
+ByteBuffer LogStructuredIndex::serialize_locked() const {
+  std::vector<RawRecord> overlay;
+  overlay.reserve(memtable_.size());
+  for (const auto& [digest, entry] : memtable_) {
+    overlay.push_back(RawRecord{digest, entry.location, entry.tombstone});
+  }
+  std::sort(overlay.begin(), overlay.end(),
+            [](const RawRecord& a, const RawRecord& b) {
+              return a.digest < b.digest;
+            });
+
+  MergeCursorSet merge;
+  for (const Segment& seg : segments_) {
+    merge.add_segment(seg.fd, seg.record_count);
+  }
+  merge.set_overlay(std::move(overlay));
+
+  ByteBuffer entries;
+  std::uint64_t count = 0;
+  RawRecord rec;
+  while (merge.next(rec)) {
+    if (rec.tombstone) continue;
+    serialize_entry(entries, rec.digest, rec.location);
+    ++count;
+  }
+  ByteBuffer out;
+  out.reserve(8 + entries.size());
+  append_le64(out, count);
+  append(out, entries);
+  return out;
+}
+
+ByteBuffer LogStructuredIndex::serialize() const {
+  std::lock_guard lock(mutex_);
+  return serialize_locked();
+}
+
+void LogStructuredIndex::reset_storage_locked() {
+  for (Segment& seg : segments_) {
+    if (seg.fd >= 0) ::close(seg.fd);
+    std::error_code ec;
+    fs::remove(directory_ / segment_file_name(seg.id), ec);
+  }
+  segments_.clear();
+  if (::ftruncate(wal_fd_, 0) != 0) {
+    throw FormatError("log index: WAL truncate failed");
+  }
+  wal_bytes_ = 0;
+  memtable_.clear();
+  live_count_ = 0;
+  next_segment_id_ = 1;
+  bloom_ = BloomFilter(options_.bloom_initial_capacity,
+                       options_.bloom_fp_target);
+  cache_slots_.clear();
+  cache_pos_.clear();
+  clock_hand_ = 0;
+  write_manifest_locked();
+}
+
+void LogStructuredIndex::deserialize_locked(ConstByteSpan image) {
+  if (image.size() < 8) throw FormatError("index image: missing header");
+  const std::uint64_t count = load_le64(image.data());
+  std::size_t pos = 8;
+  std::vector<std::pair<hash::Digest, ChunkLocation>> entries;
+  entries.reserve(std::min<std::uint64_t>(count, (image.size() - pos) / 17));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    entries.push_back(deserialize_entry(image, pos));
+  }
+  if (pos != image.size()) throw FormatError("index image: trailing bytes");
+
+  reset_storage_locked();
+  for (const auto& [digest, loc] : entries) {
+    if (memtable_.insert_or_assign(digest, Entry{loc, false}).second) {
+      ++live_count_;
+      bloom_add_locked(digest);
+    }
+    ByteBuffer payload;
+    payload.push_back(static_cast<std::byte>(kWalInsert));
+    serialize_entry(payload, digest, loc);
+    wal_append_locked(payload);
+    if (memtable_.size() >= options_.memtable_limit) seal_memtable_locked();
+  }
+  journal_.mark_base();
+}
+
+void LogStructuredIndex::deserialize(ConstByteSpan image) {
+  std::lock_guard lock(mutex_);
+  deserialize_locked(image);
+}
+
+void LogStructuredIndex::flush() {
+  std::lock_guard lock(mutex_);
+  seal_memtable_locked();
+  if (::fsync(wal_fd_) != 0) {
+    throw FormatError("log index: WAL fsync failed");
+  }
+}
+
+// ---- Hot-set entry cache: CLOCK with frequency decay. ----
+//
+// HPDedup's insight (PAPERS.md): fingerprint-cache residency should follow
+// estimated stream locality, not raw recency. The frequency byte is the
+// locality estimate — fingerprints the backup stream re-references climb,
+// one-shot probes stay at zero — and the clock hand halves it on each
+// pass, so bursts age out and a plain LRU's scan-flush weakness is gone.
+
+std::optional<ChunkLocation> LogStructuredIndex::cache_get_locked(
+    const hash::Digest& digest) {
+  if (cache_capacity_ == 0) return std::nullopt;
+  const auto it = cache_pos_.find(digest);
+  if (it == cache_pos_.end()) return std::nullopt;
+  CacheSlot& slot = cache_slots_[it->second];
+  if (slot.freq < 255) ++slot.freq;
+  return slot.location;
+}
+
+void LogStructuredIndex::cache_put_locked(const hash::Digest& digest,
+                                          const ChunkLocation& loc) {
+  if (cache_capacity_ == 0) return;
+  if (const auto it = cache_pos_.find(digest); it != cache_pos_.end()) {
+    CacheSlot& slot = cache_slots_[it->second];
+    slot.location = loc;
+    if (slot.freq < 255) ++slot.freq;
+    return;
+  }
+  if (cache_slots_.size() < cache_capacity_) {
+    cache_slots_.push_back(CacheSlot{digest, loc, std::uint8_t{1}});
+    cache_pos_.emplace(digest, cache_slots_.size() - 1);
+    return;
+  }
+  // Advance the clock hand, decaying locality scores, until a cold slot
+  // turns up (bounded: two full sweeps zero every score).
+  for (std::size_t step = 0; step < 2 * cache_capacity_; ++step) {
+    if (cache_slots_[clock_hand_].freq == 0) break;
+    cache_slots_[clock_hand_].freq >>= 1;
+    clock_hand_ = (clock_hand_ + 1) % cache_capacity_;
+  }
+  CacheSlot& victim = cache_slots_[clock_hand_];
+  cache_pos_.erase(victim.digest);
+  ++stats_.cache_evictions;
+  victim = CacheSlot{digest, loc, std::uint8_t{1}};
+  cache_pos_.emplace(digest, clock_hand_);
+  clock_hand_ = (clock_hand_ + 1) % cache_capacity_;
+}
+
+void LogStructuredIndex::cache_erase_locked(const hash::Digest& digest) {
+  const auto it = cache_pos_.find(digest);
+  if (it == cache_pos_.end()) return;
+  cache_slots_[it->second] = CacheSlot{};  // empty digest: recycled next
+  cache_pos_.erase(it);
+}
+
+std::function<std::unique_ptr<ChunkIndex>(const std::string&)>
+log_structured_shard_factory(fs::path base_dir,
+                             LogStructuredIndex::Options options) {
+  return [base_dir = std::move(base_dir),
+          options](const std::string& name) -> std::unique_ptr<ChunkIndex> {
+    return std::make_unique<LogStructuredIndex>(
+        base_dir / ("shard-" + to_hex(as_bytes(name))), options);
+  };
+}
+
+}  // namespace aadedupe::index

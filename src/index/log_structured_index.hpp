@@ -1,0 +1,203 @@
+// Log-structured on-disk chunk index — the durable per-(tenant,
+// application) shard behind ROADMAP item 2.
+//
+// The RAM-resident MemoryChunkIndex realizes the paper's design point for
+// one personal computer; at cloud-provider scale (millions of users, one
+// shard per (tenant, application)) shards must live on disk and page in
+// only their hot set. This index keeps the paper's lookup economics anyway:
+//   * a bloom filter in front of the shard answers the common case — "this
+//     chunk is new" — from RAM with ZERO disk reads (Section II.C's
+//     disk-lookup bottleneck only ever applies to likely-positive probes);
+//   * a capacity-bounded entry cache holds the hot set with HPDedup-style
+//     locality-weighted eviction (frequency-decaying CLOCK: fingerprints
+//     re-referenced by the backup stream survive, one-shot probes are
+//     recycled first);
+//   * everything else is append-only, so checkpoints are incremental and
+//     crash recovery is log replay.
+//
+// On-disk layout (all little-endian), one directory per shard:
+//   MANIFEST     : magic "AADLSMF1" | live_count u64 | next_segment_id u64 |
+//                  segment_count u32 | { id u64 | record_count u64 }* |
+//                  fnv1a-32 checksum of all preceding bytes.
+//                  Written to MANIFEST.tmp then atomically renamed.
+//   seg-<id>.idx : magic "AADLSSG1" | record_count u64 | records sorted by
+//                  digest. Record (40 B): flags u8 (bit0 = tombstone) |
+//                  digest_size u8 | digest [20] | container_id u64 |
+//                  offset u32 | length u32 | pad [2].
+//   wal.log      : { payload_len u32 | fnv1a-32(payload) u32 | payload }*.
+//                  Payload: op u8 (1 = insert, 2 = remove, 3 = update) |
+//                  entry (serialize_entry format) or digest_size+digest.
+//
+// Mutations append to the WAL and land in a RAM memtable; at
+// `memtable_limit` entries the memtable is sealed into a sorted segment
+// (fence pointers every `fence_interval` records keep lookups at one
+// block read), the MANIFEST is atomically replaced, and the WAL is
+// truncated. Crash anywhere in that window is safe: an unreferenced
+// segment file is ignored, and WAL replay re-applies (idempotently) any
+// ops the manifest already covers. A torn WAL tail is detected by the
+// per-record checksum and truncated. When the segment count exceeds
+// `max_segments`, all segments merge (newest record wins, tombstones
+// drop) into one.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/bloom_filter.hpp"
+#include "index/chunk_index.hpp"
+
+namespace aadedupe::index {
+
+class LogStructuredIndex final : public ChunkIndex {
+ public:
+  struct Options {
+    /// Memtable entries before sealing into a sorted segment.
+    std::size_t memtable_limit = 16384;
+    /// Bloom filter false-positive target; the filter is rebuilt at twice
+    /// the capacity whenever the live set outgrows it.
+    double bloom_fp_target = 0.01;
+    /// Keys the initial bloom filter is sized for.
+    std::uint64_t bloom_initial_capacity = 16384;
+    /// Hot-set entry cache budget in bytes (0 disables the cache).
+    std::size_t cache_capacity_bytes = 64ull << 20;
+    /// Records per fence-pointer block (one disk read per probed block).
+    std::size_t fence_interval = 64;
+    /// Segment-count threshold that triggers a full merge.
+    std::size_t max_segments = 10;
+  };
+
+  /// Opens (creating if needed) the shard directory, loads the manifest
+  /// and segment fences, rebuilds the bloom filter, and replays the WAL.
+  /// Throws FormatError on corrupt files.
+  explicit LogStructuredIndex(std::filesystem::path directory)
+      : LogStructuredIndex(std::move(directory), Options{}) {}
+  LogStructuredIndex(std::filesystem::path directory, Options options);
+  ~LogStructuredIndex() override;
+
+  LogStructuredIndex(const LogStructuredIndex&) = delete;
+  LogStructuredIndex& operator=(const LogStructuredIndex&) = delete;
+
+  std::optional<ChunkLocation> lookup(const hash::Digest& digest) override;
+  bool maybe_contains(const hash::Digest& digest) override;
+  void lookup_batch(std::span<const hash::Digest> digests,
+                    std::vector<std::optional<ChunkLocation>>& out) override;
+  bool insert(const hash::Digest& digest,
+              const ChunkLocation& location) override;
+  bool remove(const hash::Digest& digest) override;
+  bool update(const hash::Digest& digest,
+              const ChunkLocation& location) override;
+  std::uint64_t size() const override;
+  IndexStats stats() const override;
+  void checkpoint(CheckpointSink& sink) override;
+  void checkpoint_full(CheckpointSink& sink) const override;
+  void apply_checkpoint_record(ConstByteSpan record) override;
+  ByteBuffer serialize() const override;
+  void deserialize(ConstByteSpan image) override;
+
+  /// Seal the memtable (if non-empty) and fsync everything: after flush()
+  /// returns, the index survives an unclean shutdown without WAL replay.
+  void flush();
+
+  const std::filesystem::path& directory() const noexcept {
+    return directory_;
+  }
+  /// Sealed segments currently referenced by the manifest.
+  std::size_t segment_count() const;
+
+ private:
+  friend class SegmentFileWriter;  // builds Fence vectors while writing
+
+  struct Entry {
+    ChunkLocation location;
+    bool tombstone = false;
+  };
+
+  struct Fence {
+    hash::Digest first;        // first digest of the block
+    std::uint64_t record_idx;  // index of that record in the segment
+  };
+
+  struct Segment {
+    std::uint64_t id = 0;
+    std::uint64_t record_count = 0;
+    int fd = -1;
+    std::vector<Fence> fences;
+  };
+
+  struct CacheSlot {
+    hash::Digest digest;
+    ChunkLocation location;
+    std::uint8_t freq = 0;
+  };
+
+  // -- open/recovery --
+  void load_manifest();
+  void load_segment(Segment& segment);
+  void replay_wal();
+  void write_manifest_locked();
+
+  // -- lookup path --
+  std::optional<ChunkLocation> lookup_locked(const hash::Digest& digest);
+  /// Entry as stored (tombstones included); nullopt if truly absent.
+  std::optional<Entry> find_locked(const hash::Digest& digest);
+  std::optional<Entry> search_segment(Segment& segment,
+                                      const hash::Digest& digest);
+
+  // -- mutation path --
+  void wal_append_locked(ConstByteSpan payload);
+  bool insert_locked(const hash::Digest& digest, const ChunkLocation& loc,
+                     bool journal, bool count_stats);
+  bool remove_locked(const hash::Digest& digest, bool journal);
+  bool update_locked(const hash::Digest& digest, const ChunkLocation& loc,
+                     bool journal);
+  void bloom_add_locked(const hash::Digest& digest);
+  void rebuild_bloom_locked(std::uint64_t capacity);
+  void seal_memtable_locked();
+  void compact_locked();
+  void reset_storage_locked();
+  void deserialize_locked(ConstByteSpan image);
+  ByteBuffer serialize_locked() const;
+
+  // -- hot-set entry cache (frequency-decaying CLOCK) --
+  void cache_put_locked(const hash::Digest& digest, const ChunkLocation& loc);
+  std::optional<ChunkLocation> cache_get_locked(const hash::Digest& digest);
+  void cache_erase_locked(const hash::Digest& digest);
+
+  std::filesystem::path directory_;
+  Options options_;
+  mutable std::mutex mutex_;
+
+  std::vector<Segment> segments_;  // oldest first
+  std::uint64_t next_segment_id_ = 1;
+  std::uint64_t live_count_ = 0;
+
+  int wal_fd_ = -1;
+  std::uint64_t wal_bytes_ = 0;
+
+  std::unordered_map<hash::Digest, Entry, hash::Digest::Hasher> memtable_;
+  BloomFilter bloom_;
+
+  std::size_t cache_capacity_ = 0;
+  std::vector<CacheSlot> cache_slots_;
+  std::unordered_map<hash::Digest, std::size_t, hash::Digest::Hasher>
+      cache_pos_;
+  std::size_t clock_hand_ = 0;
+
+  IndexStats stats_;
+  CheckpointJournal journal_;
+};
+
+/// Factory for PartitionedIndex: one LogStructuredIndex directory per
+/// partition under `base_dir` (keys are hex-encoded into directory names
+/// so arbitrary application tags stay filesystem-safe).
+[[nodiscard]] std::function<std::unique_ptr<ChunkIndex>(const std::string&)>
+log_structured_shard_factory(std::filesystem::path base_dir,
+                             LogStructuredIndex::Options options = {});
+
+}  // namespace aadedupe::index

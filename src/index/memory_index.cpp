@@ -5,36 +5,6 @@
 
 namespace aadedupe::index {
 
-void serialize_entry(ByteBuffer& out, const hash::Digest& digest,
-                     const ChunkLocation& location) {
-  out.push_back(static_cast<std::byte>(digest.size()));
-  append(out, digest.bytes());
-  append_le64(out, location.container_id);
-  append_le32(out, location.offset);
-  append_le32(out, location.length);
-}
-
-std::pair<hash::Digest, ChunkLocation> deserialize_entry(ConstByteSpan image,
-                                                         std::size_t& pos) {
-  if (pos >= image.size()) throw FormatError("index image: truncated entry");
-  const auto digest_size = static_cast<std::size_t>(image[pos]);
-  ++pos;
-  if (digest_size == 0 || digest_size > hash::Digest::kMaxSize ||
-      pos + digest_size + 16 > image.size()) {
-    throw FormatError("index image: bad digest size or truncated entry");
-  }
-  hash::Digest digest(image.subspan(pos, digest_size));
-  pos += digest_size;
-  ChunkLocation loc;
-  loc.container_id = load_le64(image.data() + pos);
-  pos += 8;
-  loc.offset = load_le32(image.data() + pos);
-  pos += 4;
-  loc.length = load_le32(image.data() + pos);
-  pos += 4;
-  return {digest, loc};
-}
-
 std::optional<ChunkLocation> MemoryChunkIndex::lookup(
     const hash::Digest& digest) {
   std::lock_guard lock(mutex_);
@@ -46,17 +16,41 @@ std::optional<ChunkLocation> MemoryChunkIndex::lookup(
   return it->second;
 }
 
+void MemoryChunkIndex::lookup_batch(
+    std::span<const hash::Digest> digests,
+    std::vector<std::optional<ChunkLocation>>& out) {
+  out.clear();
+  out.reserve(digests.size());
+  std::lock_guard lock(mutex_);  // one lock per batch, not per chunk
+  for (const hash::Digest& digest : digests) {
+    ++stats_.lookups;
+    ++stats_.probe_steps;
+    const auto it = map_.find(digest);
+    if (it == map_.end()) {
+      out.emplace_back(std::nullopt);
+    } else {
+      ++stats_.hits;
+      out.emplace_back(it->second);
+    }
+  }
+}
+
 bool MemoryChunkIndex::insert(const hash::Digest& digest,
                               const ChunkLocation& location) {
   std::lock_guard lock(mutex_);
   const auto [it, inserted] = map_.emplace(digest, location);
-  if (inserted) ++stats_.inserts;
+  if (inserted) {
+    ++stats_.inserts;
+    journal_.record(encode_insert_record(digest, location));
+  }
   return inserted;
 }
 
 bool MemoryChunkIndex::remove(const hash::Digest& digest) {
   std::lock_guard lock(mutex_);
-  return map_.erase(digest) > 0;
+  if (map_.erase(digest) == 0) return false;
+  journal_.record(encode_remove_record(digest));
+  return true;
 }
 
 bool MemoryChunkIndex::update(const hash::Digest& digest,
@@ -65,6 +59,7 @@ bool MemoryChunkIndex::update(const hash::Digest& digest,
   const auto it = map_.find(digest);
   if (it == map_.end()) return false;
   it->second = location;
+  journal_.record(encode_update_record(digest, location));
   return true;
 }
 
@@ -78,8 +73,53 @@ IndexStats MemoryChunkIndex::stats() const {
   return stats_;
 }
 
-ByteBuffer MemoryChunkIndex::serialize() const {
+void MemoryChunkIndex::checkpoint(CheckpointSink& sink) {
   std::lock_guard lock(mutex_);
+  // Re-base when no base exists yet, or when the accumulated delta has
+  // outgrown a fresh snapshot (heavy churn): a base is then both smaller
+  // and cheaper to replay.
+  if (!journal_.active() || journal_.pending() > map_.size()) {
+    sink.write(encode_base_record(serialize_locked()));
+    journal_.mark_base();
+    return;
+  }
+  journal_.drain(sink);
+}
+
+void MemoryChunkIndex::checkpoint_full(CheckpointSink& sink) const {
+  std::lock_guard lock(mutex_);
+  sink.write(encode_base_record(serialize_locked()));
+}
+
+void MemoryChunkIndex::apply_checkpoint_record(ConstByteSpan record) {
+  const DecodedRecord decoded = decode_record(record);
+  std::lock_guard lock(mutex_);
+  // Replayed records bypass the journal: re-emitting them at the next
+  // checkpoint would duplicate history the consumer chain already holds.
+  switch (decoded.op) {
+    case CheckpointOp::kBase:
+      deserialize_locked(decoded.payload);
+      break;
+    case CheckpointOp::kInsert: {
+      const auto [digest, loc] = decode_entry_payload(decoded.payload);
+      map_[digest] = loc;
+      break;
+    }
+    case CheckpointOp::kRemove:
+      map_.erase(decode_remove_payload(decoded.payload));
+      break;
+    case CheckpointOp::kUpdate: {
+      const auto [digest, loc] = decode_entry_payload(decoded.payload);
+      map_[digest] = loc;
+      break;
+    }
+    default:
+      throw FormatError(
+          "checkpoint record: partition-level opcode sent to a shard");
+  }
+}
+
+ByteBuffer MemoryChunkIndex::serialize_locked() const {
   ByteBuffer out;
   append_le64(out, map_.size());
   for (const auto& [digest, loc] : map_) {
@@ -88,7 +128,12 @@ ByteBuffer MemoryChunkIndex::serialize() const {
   return out;
 }
 
-void MemoryChunkIndex::deserialize(ConstByteSpan image) {
+ByteBuffer MemoryChunkIndex::serialize() const {
+  std::lock_guard lock(mutex_);
+  return serialize_locked();
+}
+
+void MemoryChunkIndex::deserialize_locked(ConstByteSpan image) {
   if (image.size() < 8) throw FormatError("index image: missing header");
   const std::uint64_t count = load_le64(image.data());
   std::size_t pos = 8;
@@ -101,8 +146,15 @@ void MemoryChunkIndex::deserialize(ConstByteSpan image) {
     fresh.emplace(digest, loc);
   }
   if (pos != image.size()) throw FormatError("index image: trailing bytes");
-  std::lock_guard lock(mutex_);
   map_ = std::move(fresh);
+  // The image is a known base shared with whoever wrote it: journal deltas
+  // against it from here on.
+  journal_.mark_base();
+}
+
+void MemoryChunkIndex::deserialize(ConstByteSpan image) {
+  std::lock_guard lock(mutex_);
+  deserialize_locked(image);
 }
 
 }  // namespace aadedupe::index

@@ -2,7 +2,9 @@
 //
 // This is the index AA-Dedupe actually runs with per application shard —
 // small enough to stay resident (Observation 2 ensures each shard stays
-// small), so lookups never touch disk.
+// small), so lookups never touch disk. Mutations are journaled (once the
+// first checkpoint establishes a base) so checkpoint() ships only the
+// delta since the previous one.
 #pragma once
 
 #include <mutex>
@@ -17,6 +19,8 @@ class MemoryChunkIndex final : public ChunkIndex {
   MemoryChunkIndex() = default;
 
   std::optional<ChunkLocation> lookup(const hash::Digest& digest) override;
+  void lookup_batch(std::span<const hash::Digest> digests,
+                    std::vector<std::optional<ChunkLocation>>& out) override;
   bool insert(const hash::Digest& digest,
               const ChunkLocation& location) override;
   bool remove(const hash::Digest& digest) override;
@@ -24,13 +28,20 @@ class MemoryChunkIndex final : public ChunkIndex {
               const ChunkLocation& location) override;
   std::uint64_t size() const override;
   IndexStats stats() const override;
+  void checkpoint(CheckpointSink& sink) override;
+  void checkpoint_full(CheckpointSink& sink) const override;
+  void apply_checkpoint_record(ConstByteSpan record) override;
   ByteBuffer serialize() const override;
   void deserialize(ConstByteSpan image) override;
 
  private:
+  ByteBuffer serialize_locked() const;
+  void deserialize_locked(ConstByteSpan image);
+
   mutable std::mutex mutex_;
   std::unordered_map<hash::Digest, ChunkLocation, hash::Digest::Hasher> map_;
   IndexStats stats_;
+  CheckpointJournal journal_;
 };
 
 }  // namespace aadedupe::index

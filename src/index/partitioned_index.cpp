@@ -5,6 +5,46 @@
 
 namespace aadedupe::index {
 
+namespace {
+
+/// Wraps every record a shard writes into a partition-level kShard record
+/// carrying the partition key, and forwards it to the outer sink.
+class KeyFramingSink final : public CheckpointSink {
+ public:
+  KeyFramingSink(CheckpointSink& out, const std::string& key)
+      : out_(out), key_(key) {}
+
+  void write(ConstByteSpan record) override {
+    ByteBuffer framed;
+    framed.reserve(5 + key_.size() + record.size());
+    framed.push_back(static_cast<std::byte>(CheckpointOp::kShard));
+    append_le32(framed, static_cast<std::uint32_t>(key_.size()));
+    append(framed, as_bytes(key_));
+    append(framed, record);
+    out_.write(framed);
+  }
+
+ private:
+  CheckpointSink& out_;
+  const std::string& key_;
+};
+
+/// Splits a kShard payload into (partition key, nested shard record).
+std::pair<std::string, ConstByteSpan> decode_shard_payload(
+    ConstByteSpan payload) {
+  if (payload.size() < 4) {
+    throw FormatError("checkpoint shard record: truncated key length");
+  }
+  const std::uint32_t key_len = load_le32(payload.data());
+  if (payload.size() < 4 + static_cast<std::size_t>(key_len)) {
+    throw FormatError("checkpoint shard record: truncated key");
+  }
+  return {to_string(payload.subspan(4, key_len)),
+          payload.subspan(4 + key_len)};
+}
+
+}  // namespace
+
 PartitionedIndex::PartitionedIndex()
     : PartitionedIndex(
           [](const std::string&) { return std::make_unique<MemoryChunkIndex>(); }) {}
@@ -14,8 +54,7 @@ PartitionedIndex::PartitionedIndex(ShardFactory factory)
   AAD_EXPECTS(factory_ != nullptr);
 }
 
-ChunkIndex& PartitionedIndex::shard(const std::string& partition) {
-  std::lock_guard lock(mutex_);
+ChunkIndex& PartitionedIndex::shard_locked(const std::string& partition) {
   auto it = shards_.find(partition);
   if (it == shards_.end()) {
     it = shards_.emplace(partition, factory_(partition)).first;
@@ -23,9 +62,15 @@ ChunkIndex& PartitionedIndex::shard(const std::string& partition) {
   return *it->second;
 }
 
+ChunkIndex& PartitionedIndex::shard(const std::string& partition) {
+  std::lock_guard lock(mutex_);
+  return shard_locked(partition);
+}
+
 void PartitionedIndex::clear() {
   std::lock_guard lock(mutex_);
   shards_.clear();
+  reset_pending_ = true;
 }
 
 std::vector<std::string> PartitionedIndex::partitions() const {
@@ -48,6 +93,71 @@ IndexStats PartitionedIndex::total_stats() const {
   IndexStats total;
   for (const auto& [key, shard] : shards_) total += shard->stats();
   return total;
+}
+
+void PartitionedIndex::checkpoint(CheckpointSink& sink) {
+  std::lock_guard lock(mutex_);
+  if (reset_pending_) {
+    const std::byte reset = static_cast<std::byte>(CheckpointOp::kReset);
+    sink.write({&reset, 1});
+    reset_pending_ = false;
+  }
+  for (const auto& [key, shard] : shards_) {
+    KeyFramingSink framed(sink, key);
+    shard->checkpoint(framed);
+  }
+}
+
+void PartitionedIndex::checkpoint_full(CheckpointSink& sink) const {
+  std::lock_guard lock(mutex_);
+  const std::byte reset = static_cast<std::byte>(CheckpointOp::kReset);
+  sink.write({&reset, 1});
+  for (const auto& [key, shard] : shards_) {
+    KeyFramingSink framed(sink, key);
+    shard->checkpoint_full(framed);
+  }
+}
+
+void PartitionedIndex::restore(CheckpointSource& source) {
+  // Decode every record before touching any shard, so framing errors in a
+  // malformed stream cannot leave the index half-replayed.
+  struct Step {
+    bool reset = false;
+    std::string key;
+    ByteBuffer record;
+  };
+  std::vector<Step> steps;
+  while (const auto record = source.next()) {
+    const DecodedRecord decoded = decode_record(*record);
+    Step step;
+    if (decoded.op == CheckpointOp::kReset) {
+      if (!decoded.payload.empty()) {
+        throw FormatError("checkpoint reset record: unexpected payload");
+      }
+      step.reset = true;
+    } else if (decoded.op == CheckpointOp::kShard) {
+      auto [key, nested] = decode_shard_payload(decoded.payload);
+      // Validate the nested record header now; the shard re-decodes the
+      // payload when the step is applied.
+      (void)decode_record(nested);
+      step.key = std::move(key);
+      step.record.assign(nested.begin(), nested.end());
+    } else {
+      throw FormatError(
+          "checkpoint stream: shard-level record at partition level");
+    }
+    steps.push_back(std::move(step));
+  }
+
+  std::lock_guard lock(mutex_);
+  for (const Step& step : steps) {
+    if (step.reset) {
+      shards_.clear();
+      continue;
+    }
+    shard_locked(step.key).apply_checkpoint_record(step.record);
+  }
+  reset_pending_ = false;
 }
 
 ByteBuffer PartitionedIndex::serialize() const {
@@ -95,6 +205,8 @@ void PartitionedIndex::deserialize(ConstByteSpan image) {
   }
   std::lock_guard lock(mutex_);
   shards_ = std::move(fresh);
+  // Whoever wrote this image holds the same state: deltas from here on.
+  reset_pending_ = false;
 }
 
 }  // namespace aadedupe::index

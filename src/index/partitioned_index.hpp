@@ -10,6 +10,10 @@
 //   * shards synchronize independently, so lookups for different
 //     applications proceed concurrently (exploited by the parallel
 //     per-application dedup pipeline and the ablation benches).
+//
+// Checkpoint streams wrap each shard's records with the partition key
+// (CheckpointOp::kShard) and mark wholesale drops with kReset, so the
+// periodic cloud sync ships only per-shard deltas instead of a full image.
 #pragma once
 
 #include <functional>
@@ -26,7 +30,7 @@ namespace aadedupe::index {
 class PartitionedIndex {
  public:
   /// Builds the per-partition index (e.g. a MemoryChunkIndex, or a
-  /// PersistentChunkIndex under tests that exercise durability).
+  /// LogStructuredIndex for on-disk shards).
   using ShardFactory =
       std::function<std::unique_ptr<ChunkIndex>(const std::string& name)>;
 
@@ -42,13 +46,29 @@ class PartitionedIndex {
   std::vector<std::string> partitions() const;
 
   /// Drop every shard (used when rebuilding the index, e.g. after
-  /// garbage collection).
+  /// garbage collection). The next checkpoint() re-bases with a kReset.
   void clear();
 
   std::uint64_t total_size() const;
   IndexStats total_stats() const;
 
-  /// Serialize every shard for the periodic cloud backup of index state.
+  /// Incremental checkpoint: the first call (or the first after clear())
+  /// emits kReset plus a full base per shard; later calls emit only each
+  /// shard's delta since the previous checkpoint.
+  void checkpoint(CheckpointSink& sink);
+
+  /// Full self-contained snapshot (kReset + every shard's base record)
+  /// that leaves the incremental chain undisturbed. Used by export_state.
+  void checkpoint_full(CheckpointSink& sink) const;
+
+  /// Replay a checkpoint stream: kReset drops every shard, kShard records
+  /// route to the named shard (created on demand). Records are validated
+  /// up front so malformed streams throw FormatError before any state
+  /// changes.
+  void restore(CheckpointSource& source);
+
+  /// DEPRECATED image pair, superseded by checkpoint()/restore(); kept as
+  /// the compat loader for pre-checkpoint cloud objects and state files.
   ByteBuffer serialize() const;
 
   /// Restore all shards from a serialized image (replaces current state).
@@ -56,9 +76,16 @@ class PartitionedIndex {
   void deserialize(ConstByteSpan image);
 
  private:
+  ChunkIndex& shard_locked(const std::string& partition);
+
   ShardFactory factory_;
   mutable std::mutex mutex_;  // guards the map, not the shards themselves
   std::map<std::string, std::unique_ptr<ChunkIndex>> shards_;
+  // True when the consumer of the incremental chain must drop its state
+  // before applying what the next checkpoint() writes (initially, and
+  // after clear()). deserialize()/restore() leave producer and consumer
+  // in sync, so they clear it.
+  bool reset_pending_ = true;
 };
 
 }  // namespace aadedupe::index

@@ -3,10 +3,8 @@
 #include <fcntl.h>
 #include <unistd.h>
 
-#include <chrono>
 #include <algorithm>
 #include <cstring>
-#include <thread>
 #include <vector>
 
 #include "util/check.hpp"
@@ -95,8 +93,15 @@ PersistentChunkIndex::Slot PersistentChunkIndex::read_slot(
   pread_exact(fd_, raw, kSlotSize, kHeaderSize + slot_index * kSlotSize);
   ++stats_.disk_reads;
   if (options_.simulated_read_latency_us > 0) {
-    std::this_thread::sleep_for(
-        std::chrono::microseconds(options_.simulated_read_latency_us));
+    // Charge the simulated transfer clock instead of sleeping: modeled
+    // seek time must not cost real CPU or wall time in benches.
+    const double seconds =
+        static_cast<double>(options_.simulated_read_latency_us) / 1e6;
+    if (options_.latency_sink) {
+      options_.latency_sink(seconds);
+    } else {
+      simulated_read_seconds_ += seconds;
+    }
   }
   Slot slot;
   const auto digest_size = static_cast<std::size_t>(raw[0]);
@@ -170,6 +175,20 @@ std::optional<ChunkLocation> PersistentChunkIndex::lookup(
   auto result = lookup_locked(digest);
   if (result) ++stats_.hits;
   return result;
+}
+
+void PersistentChunkIndex::lookup_batch(
+    std::span<const hash::Digest> digests,
+    std::vector<std::optional<ChunkLocation>>& out) {
+  out.clear();
+  out.reserve(digests.size());
+  std::lock_guard lock(mutex_);  // one lock per batch, not per chunk
+  for (const hash::Digest& digest : digests) {
+    ++stats_.lookups;
+    auto result = lookup_locked(digest);
+    if (result) ++stats_.hits;
+    out.push_back(std::move(result));
+  }
 }
 
 bool PersistentChunkIndex::insert_locked(const hash::Digest& digest,
@@ -284,6 +303,11 @@ std::uint64_t PersistentChunkIndex::slot_count() const {
 IndexStats PersistentChunkIndex::stats() const {
   std::lock_guard lock(mutex_);
   return stats_;
+}
+
+double PersistentChunkIndex::simulated_read_seconds() const {
+  std::lock_guard lock(mutex_);
+  return simulated_read_seconds_;
 }
 
 ByteBuffer PersistentChunkIndex::serialize() const {

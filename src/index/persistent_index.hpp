@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -34,9 +35,16 @@ class PersistentChunkIndex final : public ChunkIndex {
     std::uint64_t initial_slots = 1024;
     /// Read-through entry cache; 0 disables caching entirely.
     std::size_t cache_entries = 4096;
-    /// Busy-wait added per slot read that reaches the file, to model
-    /// rotational-media seek cost in benchmarks (0 = off).
+    /// Simulated seek cost charged per slot read that reaches the file,
+    /// to model rotational media in benchmarks (0 = off). Charged to the
+    /// SIMULATED transfer clock — either `latency_sink` or the internal
+    /// simulated_read_seconds() accumulator — never slept for real, so
+    /// benches don't burn CPU to model seeks (consistent with
+    /// retrying_backend's ChargeFn and sim_disk_index's SimTimeSink).
     std::uint64_t simulated_read_latency_us = 0;
+    /// Receives each simulated latency charge in seconds. When null,
+    /// charges accumulate in simulated_read_seconds() instead.
+    std::function<void(double seconds)> latency_sink;
   };
 
   /// Opens (or creates) the index file at `path`.
@@ -49,6 +57,8 @@ class PersistentChunkIndex final : public ChunkIndex {
   PersistentChunkIndex& operator=(const PersistentChunkIndex&) = delete;
 
   std::optional<ChunkLocation> lookup(const hash::Digest& digest) override;
+  void lookup_batch(std::span<const hash::Digest> digests,
+                    std::vector<std::optional<ChunkLocation>>& out) override;
   bool insert(const hash::Digest& digest,
               const ChunkLocation& location) override;
   bool remove(const hash::Digest& digest) override;
@@ -64,6 +74,10 @@ class PersistentChunkIndex final : public ChunkIndex {
 
   std::uint64_t slot_count() const;
   const std::string& path() const noexcept { return path_; }
+
+  /// Total simulated seek time charged so far (only accumulates when
+  /// Options::latency_sink is null).
+  double simulated_read_seconds() const;
 
  private:
   static constexpr std::uint64_t kHeaderSize = 64;
@@ -98,6 +112,7 @@ class PersistentChunkIndex final : public ChunkIndex {
   std::uint64_t tombstone_count_ = 0;
   mutable std::mutex mutex_;
   IndexStats stats_;
+  double simulated_read_seconds_ = 0.0;
   // Read-through cache, evicted FIFO (simple and adequate: dedup lookups
   // have little short-term reuse beyond the working set).
   std::unordered_map<hash::Digest, ChunkLocation, hash::Digest::Hasher>

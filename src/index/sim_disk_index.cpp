@@ -27,6 +27,7 @@ void SimulatedDiskIndex::cache_add_locked(const hash::Digest& digest) {
   if (cache_.size() > options_.cache_entries) {
     cache_.erase(lru_.back());
     lru_.pop_back();
+    ++cache_evictions_;
   }
 }
 
@@ -78,12 +79,36 @@ bool SimulatedDiskIndex::update(const hash::Digest& digest,
 
 std::uint64_t SimulatedDiskIndex::size() const { return inner_->size(); }
 
+bool SimulatedDiskIndex::maybe_contains(const hash::Digest& digest) {
+  // Filter probes are RAM-resident in the simulated model: no seek charge.
+  return inner_->maybe_contains(digest);
+}
+
 IndexStats SimulatedDiskIndex::stats() const {
   IndexStats s = inner_->stats();
   std::lock_guard lock(mutex_);
   // Surface the simulated disk traffic through the standard counters.
   s.disk_reads = cache_misses_;
+  s.cache_hits = cache_hits_;
+  s.cache_evictions = cache_evictions_;
   return s;
+}
+
+void SimulatedDiskIndex::checkpoint(CheckpointSink& sink) {
+  inner_->checkpoint(sink);
+}
+
+void SimulatedDiskIndex::checkpoint_full(CheckpointSink& sink) const {
+  inner_->checkpoint_full(sink);
+}
+
+void SimulatedDiskIndex::apply_checkpoint_record(ConstByteSpan record) {
+  inner_->apply_checkpoint_record(record);
+  if (decode_record(record).op == CheckpointOp::kBase) {
+    std::lock_guard lock(mutex_);
+    lru_.clear();
+    cache_.clear();
+  }
 }
 
 ByteBuffer SimulatedDiskIndex::serialize() const { return inner_->serialize(); }

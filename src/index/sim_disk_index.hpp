@@ -45,6 +45,7 @@ class SimulatedDiskIndex final : public ChunkIndex {
                      SimTimeSink sink);
 
   std::optional<ChunkLocation> lookup(const hash::Digest& digest) override;
+  bool maybe_contains(const hash::Digest& digest) override;
   bool insert(const hash::Digest& digest,
               const ChunkLocation& location) override;
   bool remove(const hash::Digest& digest) override;
@@ -52,6 +53,9 @@ class SimulatedDiskIndex final : public ChunkIndex {
               const ChunkLocation& location) override;
   std::uint64_t size() const override;
   IndexStats stats() const override;
+  void checkpoint(CheckpointSink& sink) override;
+  void checkpoint_full(CheckpointSink& sink) const override;
+  void apply_checkpoint_record(ConstByteSpan record) override;
   ByteBuffer serialize() const override;
   void deserialize(ConstByteSpan image) override;
 
@@ -75,6 +79,7 @@ class SimulatedDiskIndex final : public ChunkIndex {
       cache_;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
+  std::uint64_t cache_evictions_ = 0;
 };
 
 }  // namespace aadedupe::index

@@ -10,6 +10,7 @@
 #include "backup/keys.hpp"
 #include "core/policy.hpp"
 #include "dataset/generator.hpp"
+#include "index/checkpoint.hpp"
 
 namespace aadedupe::core {
 namespace {
@@ -125,11 +126,78 @@ TEST(AaDedupe, IndexImageSyncedToCloud) {
 
   const std::string key = backup::keys::session_meta("AA-Dedupe", 0, "index");
   ASSERT_TRUE(target.store().exists(key));
-  // The synced image must reload into an equivalent partitioned index.
+  // The synced object is a checkpoint stream (the first session carries
+  // the full base) and must reload into an equivalent partitioned index.
+  const ByteBuffer image = *target.store().get(key);
+  ASSERT_TRUE(index::is_checkpoint_stream(image));
   index::PartitionedIndex reloaded;
-  reloaded.deserialize(*target.store().get(key));
+  index::BufferCheckpointSource source(image);
+  reloaded.restore(source);
   EXPECT_EQ(reloaded.total_size(), scheme.aa_index().total_size());
   EXPECT_EQ(reloaded.partitions(), scheme.aa_index().partitions());
+}
+
+TEST(AaDedupe, SecondSessionSyncsIndexDelta) {
+  // Periodic metadata sync ships deltas: session 1's index object only
+  // carries what changed since session 0, so replaying 0 then 1 equals
+  // the client's live index — and the delta is much smaller than a base.
+  cloud::CloudTarget target;
+  AaDedupeScheme scheme(target);
+  dataset::DatasetGenerator gen(test_config(2ull << 20));
+  auto snapshot = gen.initial();
+  scheme.backup(snapshot);
+  scheme.backup(gen.next(snapshot));
+
+  const ByteBuffer base =
+      *target.store().get(backup::keys::session_meta("AA-Dedupe", 0, "index"));
+  const ByteBuffer delta =
+      *target.store().get(backup::keys::session_meta("AA-Dedupe", 1, "index"));
+  EXPECT_LT(delta.size(), base.size() / 2);
+
+  index::PartitionedIndex replayed;
+  index::BufferCheckpointSource base_source(base);
+  replayed.restore(base_source);
+  index::BufferCheckpointSource delta_source(delta);
+  replayed.restore(delta_source);
+  EXPECT_EQ(replayed.total_size(), scheme.aa_index().total_size());
+  EXPECT_EQ(replayed.partitions(), scheme.aa_index().partitions());
+}
+
+TEST(AaDedupe, WithinFileDuplicatesCommitOnceInBatchedFrontEnd) {
+  // A file that repeats the same content: the batched commit's shard
+  // probe sees every repeat as absent, and must still store the payload
+  // once (the serial path dedups repeats on the fly after inserting).
+  dataset::Snapshot snapshot;
+  snapshot.session = 0;
+  dataset::FileEntry f;
+  f.path = "data/repeats.doc";
+  f.kind = dataset::FileKind::kDoc;
+  f.content.kind = f.kind;
+  for (int i = 0; i < 8; ++i) {
+    f.content.segments.push_back(dataset::Segment{
+        dataset::Segment::Type::kUnique, 42, 96 * 1024});  // same seed
+  }
+  snapshot.files.push_back(f);
+
+  cloud::CloudTarget target_f, target_s;
+  AaDedupeOptions file_opts;
+  file_opts.granularity = ParallelGranularity::kFile;
+  file_opts.worker_threads = 4;
+  AaDedupeOptions serial_opts;
+  serial_opts.parallel = false;
+  AaDedupeScheme file_scheme(target_f, file_opts);
+  AaDedupeScheme serial_scheme(target_s, serial_opts);
+  const auto rf = file_scheme.backup(snapshot);
+  const auto rs = serial_scheme.backup(snapshot);
+
+  EXPECT_EQ(file_scheme.restore_file(f.path),
+            serial_scheme.restore_file(f.path));
+  EXPECT_EQ(file_scheme.aa_index().total_size(),
+            serial_scheme.aa_index().total_size());
+  EXPECT_EQ(rf.transferred_bytes, rs.transferred_bytes);
+  // Dedup of the repeats actually happened: shipped far less than the
+  // logical 768 KB.
+  EXPECT_LT(rf.transferred_bytes, 8u * 96u * 1024u);
 }
 
 TEST(AaDedupe, IndexSyncCanBeDisabled) {
@@ -237,6 +305,9 @@ TEST(AaDedupe, FileAndStreamGranularityProduceSameResults) {
     EXPECT_EQ(rows_f[i].session_files, rows_s[i].session_files);
     EXPECT_EQ(rows_f[i].session_bytes, rows_s[i].session_bytes);
     EXPECT_EQ(rows_f[i].session_chunks, rows_s[i].session_chunks);
+    // The dedup outcome per stream is identical too: the batched commit
+    // ships exactly the container bytes the serial commit ships.
+    EXPECT_EQ(rows_f[i].session_new_bytes, rows_s[i].session_new_bytes);
   }
 }
 

@@ -82,8 +82,11 @@ TEST(ApplicationStats, IndexCountersAccumulateAcrossSessions) {
     hits_after_second += row.index_hits;
   }
   EXPECT_GT(lookups_after_second, lookups_after_first);
-  // Session 2 re-sees session 1's chunks: plenty of hits.
-  EXPECT_GT(hits_after_second, lookups_after_second / 2);
+  // Session 2 re-sees session 1's chunks: plenty of hits. The batched
+  // front end resolves within-file repeats of new chunks from its
+  // commit-local map without re-probing the shard, so the hit counter
+  // sits slightly below the serial path's — hence 2/5, not 1/2.
+  EXPECT_GT(hits_after_second, lookups_after_second * 2 / 5);
 }
 
 }  // namespace

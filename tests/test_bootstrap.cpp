@@ -3,6 +3,7 @@
 // to the cloud.
 #include <gtest/gtest.h>
 
+#include "backup/keys.hpp"
 #include "core/aa_dedupe.hpp"
 #include "dataset/generator.hpp"
 
@@ -119,6 +120,79 @@ TEST(Bootstrap, EncryptedRecoveryNeedsPassphrase) {
   ASSERT_EQ(bad.bootstrap_from_cloud(), 1u);
   EXPECT_NE(bad.restore_file(file.path),
             dataset::materialize(file.content));
+}
+
+TEST(Bootstrap, MixedFormatIndexChainReplays) {
+  // A client upgraded mid-history: session 0's index object is a legacy
+  // serialize() image, sessions 1-2 ship incremental checkpoints. The
+  // bootstrap replay must handle both formats in one chain.
+  cloud::CloudTarget target;
+  dataset::DatasetGenerator gen(boot_config());
+  const auto sessions = gen.sessions(3);
+  std::uint64_t full_index_size = 0;
+  {
+    AaDedupeScheme original(target);
+    original.backup(sessions[0]);
+    // Rewrite session 0's index object in the pre-checkpoint format (a
+    // legacy full image carries the same state as the checkpoint base).
+    ASSERT_TRUE(
+        target
+            .upload(backup::keys::session_meta(original.name(), 0, "index"),
+                    original.aa_index().serialize())
+            .ok());
+    original.backup(sessions[1]);
+    original.backup(sessions[2]);
+    full_index_size = original.aa_index().total_size();
+  }
+
+  AaDedupeScheme replacement(target);
+  ASSERT_EQ(replacement.bootstrap_from_cloud(), 3u);
+  EXPECT_EQ(replacement.aa_index().total_size(), full_index_size);
+  const auto& file = sessions.back().files.front();
+  EXPECT_EQ(replacement.restore_file(file.path),
+            dataset::materialize(file.content));
+}
+
+TEST(Bootstrap, MissingLatestIndexObjectFallsBackToRebuild) {
+  cloud::CloudTarget target;
+  dataset::DatasetGenerator gen(boot_config());
+  const auto sessions = gen.sessions(2);
+  {
+    AaDedupeScheme original(target);
+    for (const auto& s : sessions) original.backup(s);
+  }
+  // The freshest link of the checkpoint chain is gone: replaying only the
+  // older objects would under-restore, so the recipes rebuild the index.
+  (void)target.remove_object(
+      backup::keys::session_meta("AA-Dedupe", 1, "index"));
+
+  AaDedupeScheme replacement(target);
+  ASSERT_EQ(replacement.bootstrap_from_cloud(), 2u);
+  EXPECT_GT(replacement.aa_index().total_size(), 0u);
+  const auto& file = sessions.back().files.front();
+  EXPECT_EQ(replacement.restore_file(file.path),
+            dataset::materialize(file.content));
+}
+
+TEST(Bootstrap, RecoveredStateDedupesAfterGc) {
+  // After GC rewrites the cloud index object (kReset + fresh bases), a
+  // bootstrap sees exactly the retained fingerprints and the next backup
+  // still deduplicates against them.
+  cloud::CloudTarget target;
+  dataset::DatasetGenerator gen(boot_config());
+  const auto sessions = gen.sessions(3);
+  std::uint64_t first_bytes = 0;
+  {
+    AaDedupeScheme original(target);
+    first_bytes = original.backup(sessions[0]).transferred_bytes;
+    original.backup(sessions[1]);
+    original.collect_garbage(1);  // keep only session 1
+  }
+  AaDedupeScheme replacement(target);
+  ASSERT_EQ(replacement.bootstrap_from_cloud(), 1u);
+  const auto report = replacement.backup(sessions[2]);
+  EXPECT_LT(report.transferred_bytes, first_bytes / 3)
+      << "post-GC index object must still dedup the next session";
 }
 
 TEST(Bootstrap, RespectsGcRetention) {

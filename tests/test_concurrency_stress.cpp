@@ -8,6 +8,7 @@
 // assert the functional invariants: no lost items, no double-visits, no
 // deadlocks, parallel == serial dedup results.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cstddef>
@@ -17,8 +18,15 @@
 #include <thread>
 #include <vector>
 
+#include <filesystem>
+
 #include "core/aa_dedupe.hpp"
 #include "dataset/generator.hpp"
+#include "hash/sha1.hpp"
+#include "index/checkpoint.hpp"
+#include "index/log_structured_index.hpp"
+#include "index/memory_index.hpp"
+#include "index/partitioned_index.hpp"
 #include "util/bounded_queue.hpp"
 #include "util/thread_pool.hpp"
 
@@ -180,6 +188,130 @@ TEST(StressBoundedQueue, CloseMidStormUnblocksEverybody) {
     EXPECT_LE(popped.load(), pushed.load() + 2);  // <= pushed + capacity slack
     EXPECT_FALSE(queue.push(-1));
   }
+}
+
+// ---- Index: lookups and mutations racing checkpoints -----------------------
+
+TEST(StressIndex, LogStructuredLookupsRaceCheckpointsAndFlushes) {
+  // Readers, writers, and a checkpoint thread share one LogStructuredIndex
+  // with a memtable small enough that seals and compactions fire mid-storm.
+  // The journal (checkpoint chain), the bloom filter, the entry cache, and
+  // the segment list all mutate under the same locks the lookups take.
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("aad_stress_lsi_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  {
+    index::LogStructuredIndex::Options options;
+    options.memtable_limit = 256;
+    options.max_segments = 4;
+    index::LogStructuredIndex idx(dir, options);
+
+    constexpr int kWriters = 4;
+    const int per_writer = static_cast<int>(500 * kScale);
+    std::atomic<bool> done{false};
+    std::vector<std::thread> threads;
+    threads.reserve(kWriters + 2);
+    for (int w = 0; w < kWriters; ++w) {
+      threads.emplace_back([&, w] {
+        for (int i = 0; i < per_writer; ++i) {
+          const int key = w * per_writer + i;
+          const auto d =
+              hash::Sha1::hash(as_bytes("stress-" + std::to_string(key)));
+          idx.insert(d, index::ChunkLocation{
+                            static_cast<std::uint64_t>(key), 0, 1});
+          ASSERT_TRUE(idx.lookup(d).has_value());
+          idx.maybe_contains(
+              hash::Sha1::hash(as_bytes("absent-" + std::to_string(key))));
+        }
+      });
+    }
+    threads.emplace_back([&] {  // batched reader
+      std::vector<hash::Digest> digests;
+      std::vector<std::optional<index::ChunkLocation>> found;
+      while (!done.load(std::memory_order_relaxed)) {
+        digests.clear();
+        for (int i = 0; i < 64; ++i) {
+          digests.push_back(
+              hash::Sha1::hash(as_bytes("stress-" + std::to_string(i * 37))));
+        }
+        idx.lookup_batch(digests, found);
+      }
+    });
+    threads.emplace_back([&] {  // checkpoint thread
+      while (!done.load(std::memory_order_relaxed)) {
+        index::BufferCheckpointSink sink;
+        idx.checkpoint(sink);
+        index::BufferCheckpointSink full;
+        idx.checkpoint_full(full);
+        std::this_thread::yield();
+      }
+    });
+    for (int w = 0; w < kWriters; ++w) threads[static_cast<std::size_t>(w)].join();
+    done.store(true, std::memory_order_relaxed);
+    threads[kWriters].join();
+    threads[kWriters + 1].join();
+
+    EXPECT_EQ(idx.size(),
+              static_cast<std::uint64_t>(kWriters) *
+                  static_cast<std::uint64_t>(per_writer));
+    // A final checkpoint drains whatever the racing deltas missed, and a
+    // fresh consumer replaying it converges on the same contents.
+    index::BufferCheckpointSink final_full;
+    idx.checkpoint_full(final_full);
+    index::MemoryChunkIndex replica;
+    index::BufferCheckpointSource source(final_full.buffer());
+    replica.restore(source);
+    EXPECT_EQ(replica.size(), idx.size());
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(StressIndex, PartitionedShardsCheckpointWhileOtherShardsCommit) {
+  // One thread per shard keeps inserting while the "sync" thread snapshots
+  // the whole partitioned index — the exact overlap run_session creates
+  // when the upload pipeline serializes the index as workers finish.
+  index::PartitionedIndex idx;
+  const std::vector<std::string> parts = {"doc", "mp3", "vmdk", "txt"};
+  for (const auto& p : parts) idx.shard(p);
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  threads.reserve(parts.size() + 1);
+  for (const auto& p : parts) {
+    threads.emplace_back([&idx, p] {
+      index::ChunkIndex& shard = idx.shard(p);
+      for (int i = 0; i < static_cast<int>(2000 * kScale); ++i) {
+        const auto d = hash::Sha1::hash(as_bytes(p + std::to_string(i)));
+        shard.insert(d, index::ChunkLocation{
+                            static_cast<std::uint64_t>(i), 0, 1});
+        shard.lookup(d);
+      }
+    });
+  }
+  std::uint64_t checkpoints = 0;
+  threads.emplace_back([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      index::BufferCheckpointSink sink;
+      idx.checkpoint(sink);
+      ++checkpoints;
+      std::this_thread::yield();
+    }
+  });
+  for (std::size_t i = 0; i < parts.size(); ++i) threads[i].join();
+  done.store(true, std::memory_order_relaxed);
+  threads.back().join();
+
+  EXPECT_GT(checkpoints, 0u);
+  EXPECT_EQ(idx.total_size(), parts.size() * 2000 * kScale);
+  // The chain the sync thread shipped plus one final delta reconstructs
+  // the full index on a consumer.
+  index::BufferCheckpointSink full;
+  idx.checkpoint_full(full);
+  index::PartitionedIndex replica;
+  index::BufferCheckpointSource source(full.buffer());
+  replica.restore(source);
+  EXPECT_EQ(replica.total_size(), idx.total_size());
 }
 
 // ---- Parallel backup session over a synthetic dataset ----------------------

@@ -8,6 +8,7 @@
 
 #include "hash/md5.hpp"
 #include "hash/sha1.hpp"
+#include "index/checkpoint.hpp"
 #include "util/check.hpp"
 
 namespace aadedupe::index {
@@ -117,6 +118,79 @@ TEST(MemoryIndex, DeserializeRejectsBadDigestSize) {
   image.resize(image.size() + 93, std::byte{0});
   MemoryChunkIndex idx;
   EXPECT_THROW(idx.deserialize(image), FormatError);
+}
+
+TEST(MemoryIndex, LookupBatchMatchesSingleLookups) {
+  MemoryChunkIndex idx;
+  for (int i = 0; i < 40; ++i) {
+    idx.insert(digest_of(i), ChunkLocation{static_cast<std::uint64_t>(i),
+                                           static_cast<std::uint32_t>(i), 1});
+  }
+  std::vector<hash::Digest> digests;
+  for (int i = 0; i < 80; ++i) digests.push_back(digest_of(i));
+  std::vector<std::optional<ChunkLocation>> found;
+  idx.lookup_batch(digests, found);
+  ASSERT_EQ(found.size(), digests.size());
+  for (std::size_t i = 0; i < 80; ++i) {
+    EXPECT_EQ(found[i].has_value(), i < 40) << i;
+  }
+  const IndexStats s = idx.stats();
+  EXPECT_EQ(s.lookups, 80u);
+  EXPECT_EQ(s.hits, 40u);
+}
+
+TEST(MemoryIndex, CheckpointBaseThenDeltas) {
+  MemoryChunkIndex producer;
+  MemoryChunkIndex consumer;
+  for (int i = 0; i < 10; ++i) producer.insert(digest_of(i), {});
+
+  BufferCheckpointSink base;
+  producer.checkpoint(base);
+  EXPECT_EQ(base.records(), 1u);  // one full base record
+  BufferCheckpointSource base_source(base.buffer());
+  consumer.restore(base_source);
+  EXPECT_EQ(consumer.size(), 10u);
+
+  producer.insert(digest_of(10), ChunkLocation{4, 2, 9});
+  producer.remove(digest_of(0));
+  producer.update(digest_of(1), ChunkLocation{8, 8, 8});
+  BufferCheckpointSink delta;
+  producer.checkpoint(delta);
+  EXPECT_EQ(delta.records(), 3u);  // only the mutations since the base
+  BufferCheckpointSource delta_source(delta.buffer());
+  consumer.restore(delta_source);
+
+  EXPECT_EQ(consumer.size(), 10u);
+  EXPECT_EQ(consumer.lookup(digest_of(10))->container_id, 4u);
+  EXPECT_FALSE(consumer.lookup(digest_of(0)).has_value());
+  EXPECT_EQ(consumer.lookup(digest_of(1))->offset, 8u);
+}
+
+TEST(MemoryIndex, CheckpointFullLeavesDeltaChainUndisturbed) {
+  MemoryChunkIndex producer;
+  for (int i = 0; i < 5; ++i) producer.insert(digest_of(i), {});
+  BufferCheckpointSink base;
+  producer.checkpoint(base);
+  producer.insert(digest_of(5), {});
+
+  // A full snapshot (export_state path) must not consume the journal...
+  BufferCheckpointSink full;
+  producer.checkpoint_full(full);
+  EXPECT_EQ(full.records(), 1u);
+
+  // ...so the next incremental checkpoint still carries the delta.
+  BufferCheckpointSink delta;
+  producer.checkpoint(delta);
+  EXPECT_EQ(delta.records(), 1u);
+}
+
+TEST(MemoryIndex, RestoreRejectsUnknownOpcode) {
+  BufferCheckpointSink sink;
+  const ByteBuffer record(3, std::byte{0x7f});  // opcode 0x7f is undefined
+  sink.write(record);
+  MemoryChunkIndex idx;
+  BufferCheckpointSource source(sink.buffer());
+  EXPECT_THROW(idx.restore(source), FormatError);
 }
 
 TEST(MemoryIndex, ConcurrentInsertLookupIsSafe) {

@@ -10,6 +10,8 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <optional>
+#include <vector>
 
 #include "hash/sha1.hpp"
 #include "util/check.hpp"
@@ -173,7 +175,9 @@ TEST_F(PersistentIndexTest, RejectsTinyInitialSlots) {
   EXPECT_THROW(PersistentChunkIndex(path(), opts), PreconditionError);
 }
 
-TEST_F(PersistentIndexTest, SimulatedLatencySlowsLookups) {
+TEST_F(PersistentIndexTest, SimulatedLatencyChargesSimulatedClock) {
+  // Modeled seek time is charged to the simulated transfer clock — the
+  // internal accumulator by default — instead of busy-waiting wall time.
   PersistentChunkIndex::Options slow;
   slow.initial_slots = 64;
   slow.cache_entries = 0;
@@ -181,12 +185,45 @@ TEST_F(PersistentIndexTest, SimulatedLatencySlowsLookups) {
   PersistentChunkIndex idx(path(), slow);
   idx.insert(digest_of(1), {});
 
-  const auto start = std::chrono::steady_clock::now();
+  const double before = idx.simulated_read_seconds();
   for (int i = 0; i < 5; ++i) idx.lookup(digest_of(1));
-  const auto elapsed = std::chrono::steady_clock::now() - start;
-  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
-                .count(),
-            5 * 2000);
+  // Each lookup reads at least one slot from the file (cache disabled).
+  EXPECT_GE(idx.simulated_read_seconds() - before, 5 * 0.002);
+}
+
+TEST_F(PersistentIndexTest, SimulatedLatencyRoutesToSink) {
+  PersistentChunkIndex::Options slow;
+  slow.initial_slots = 64;
+  slow.cache_entries = 0;
+  slow.simulated_read_latency_us = 2000;
+  double charged = 0.0;
+  slow.latency_sink = [&charged](double seconds) { charged += seconds; };
+  PersistentChunkIndex idx(path(), slow);
+  idx.insert(digest_of(1), {});
+
+  for (int i = 0; i < 5; ++i) idx.lookup(digest_of(1));
+  EXPECT_GE(charged, 5 * 0.002);
+  // With a sink installed, nothing accumulates internally.
+  EXPECT_EQ(idx.simulated_read_seconds(), 0.0);
+}
+
+TEST_F(PersistentIndexTest, LookupBatchMatchesSingleLookups) {
+  PersistentChunkIndex idx(path());
+  for (int i = 0; i < 50; ++i) {
+    idx.insert(digest_of(i), ChunkLocation{static_cast<std::uint64_t>(i),
+                                           static_cast<std::uint32_t>(i), 1});
+  }
+  std::vector<hash::Digest> digests;
+  for (int i = 0; i < 100; ++i) digests.push_back(digest_of(i));
+  std::vector<std::optional<ChunkLocation>> found;
+  idx.lookup_batch(digests, found);
+  ASSERT_EQ(found.size(), digests.size());
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(found[i].has_value(), i < 50) << i;
+    if (found[i]) {
+      EXPECT_EQ(found[i]->container_id, static_cast<std::uint64_t>(i));
+    }
+  }
 }
 
 }  // namespace

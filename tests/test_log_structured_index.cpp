@@ -1,0 +1,394 @@
+// Log-structured index tests: CRUD and reopen durability, WAL crash
+// recovery (torn tail truncation), manifest atomicity, bloom filter
+// behaviour (zero-disk-read negatives, bounded false-positive rate),
+// compaction, and incremental checkpoint round trips.
+#include "index/log_structured_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "hash/sha1.hpp"
+#include "index/checkpoint.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::index {
+namespace {
+
+namespace fs = std::filesystem;
+
+class LogStructuredIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("aad_lsi_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+hash::Digest digest_of(int i) {
+  return hash::Sha1::hash(as_bytes("chunk-" + std::to_string(i)));
+}
+
+ChunkLocation location_of(int i) {
+  return ChunkLocation{static_cast<std::uint64_t>(i),
+                       static_cast<std::uint32_t>(i * 3),
+                       static_cast<std::uint32_t>(i + 1)};
+}
+
+TEST_F(LogStructuredIndexTest, InsertLookupRemoveUpdate) {
+  LogStructuredIndex idx(dir_);
+  const auto d = digest_of(1);
+  EXPECT_FALSE(idx.lookup(d).has_value());
+  EXPECT_TRUE(idx.insert(d, ChunkLocation{7, 42, 100}));
+  EXPECT_FALSE(idx.insert(d, ChunkLocation{9, 9, 9}));  // keeps original
+  const auto found = idx.lookup(d);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->container_id, 7u);
+  EXPECT_EQ(idx.size(), 1u);
+
+  EXPECT_TRUE(idx.update(d, ChunkLocation{8, 1, 2}));
+  EXPECT_EQ(idx.lookup(d)->container_id, 8u);
+
+  EXPECT_TRUE(idx.remove(d));
+  EXPECT_FALSE(idx.remove(d));
+  EXPECT_FALSE(idx.lookup(d).has_value());
+  EXPECT_EQ(idx.size(), 0u);
+}
+
+TEST_F(LogStructuredIndexTest, ReopenRecoversMemtableFromWal) {
+  {
+    LogStructuredIndex idx(dir_);
+    for (int i = 0; i < 100; ++i) idx.insert(digest_of(i), location_of(i));
+    // No flush(): the entries live only in the WAL and the memtable.
+  }
+  LogStructuredIndex reopened(dir_);
+  EXPECT_EQ(reopened.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    const auto loc = reopened.lookup(digest_of(i));
+    ASSERT_TRUE(loc.has_value()) << i;
+    EXPECT_EQ(loc->container_id, static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST_F(LogStructuredIndexTest, SealedSegmentsSurviveReopen) {
+  LogStructuredIndex::Options options;
+  options.memtable_limit = 64;
+  {
+    LogStructuredIndex idx(dir_, options);
+    for (int i = 0; i < 1000; ++i) idx.insert(digest_of(i), location_of(i));
+    EXPECT_GE(idx.segment_count(), 1u);
+  }
+  LogStructuredIndex reopened(dir_, options);
+  EXPECT_EQ(reopened.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    const auto loc = reopened.lookup(digest_of(i));
+    ASSERT_TRUE(loc.has_value()) << i;
+    EXPECT_EQ(loc->offset, static_cast<std::uint32_t>(i * 3));
+  }
+}
+
+TEST_F(LogStructuredIndexTest, CompactionPreservesContentsAndDropsRemovals) {
+  LogStructuredIndex::Options options;
+  options.memtable_limit = 32;
+  options.max_segments = 3;
+  LogStructuredIndex idx(dir_, options);
+  for (int i = 0; i < 600; ++i) idx.insert(digest_of(i), location_of(i));
+  for (int i = 0; i < 600; i += 2) idx.remove(digest_of(i));
+  idx.flush();
+  EXPECT_LE(idx.segment_count(), options.max_segments);
+  EXPECT_EQ(idx.size(), 300u);
+  for (int i = 0; i < 600; ++i) {
+    EXPECT_EQ(idx.lookup(digest_of(i)).has_value(), i % 2 == 1) << i;
+  }
+}
+
+TEST_F(LogStructuredIndexTest, TruncatedWalTailIsDroppedOnReopen) {
+  {
+    LogStructuredIndex idx(dir_);
+    for (int i = 0; i < 10; ++i) idx.insert(digest_of(i), location_of(i));
+  }
+  // Simulate a crash mid-append: chop bytes off the last WAL record. The
+  // per-record checksum detects the torn tail; everything before it
+  // replays intact.
+  const fs::path wal = dir_ / "wal.log";
+  const auto full_size = fs::file_size(wal);
+  fs::resize_file(wal, full_size - 5);
+
+  LogStructuredIndex reopened(dir_);
+  EXPECT_EQ(reopened.size(), 9u);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_TRUE(reopened.lookup(digest_of(i)).has_value()) << i;
+  }
+  EXPECT_FALSE(reopened.lookup(digest_of(9)).has_value());
+  // The index stays writable after recovery.
+  EXPECT_TRUE(reopened.insert(digest_of(9), location_of(9)));
+  EXPECT_EQ(reopened.size(), 10u);
+}
+
+TEST_F(LogStructuredIndexTest, StaleManifestTmpIsIgnored) {
+  {
+    LogStructuredIndex::Options options;
+    options.memtable_limit = 16;
+    LogStructuredIndex idx(dir_, options);
+    for (int i = 0; i < 40; ++i) idx.insert(digest_of(i), location_of(i));
+  }
+  // A crash between writing MANIFEST.tmp and the rename leaves the tmp
+  // file behind; recovery must use the (intact) MANIFEST and discard it.
+  {
+    std::ofstream tmp(dir_ / "MANIFEST.tmp", std::ios::binary);
+    tmp << "garbage left by a crashed checkpoint";
+  }
+  LogStructuredIndex reopened(dir_);
+  EXPECT_EQ(reopened.size(), 40u);
+  EXPECT_FALSE(fs::exists(dir_ / "MANIFEST.tmp"));
+}
+
+TEST_F(LogStructuredIndexTest, CorruptManifestIsRejected) {
+  {
+    LogStructuredIndex::Options options;
+    options.memtable_limit = 8;
+    LogStructuredIndex idx(dir_, options);
+    for (int i = 0; i < 20; ++i) idx.insert(digest_of(i), location_of(i));
+  }
+  // Flip a byte inside the manifest body: the trailing checksum no longer
+  // matches and the open must fail loudly instead of serving bad state.
+  std::fstream manifest(dir_ / "MANIFEST",
+                        std::ios::binary | std::ios::in | std::ios::out);
+  manifest.seekp(10);
+  manifest.put('\xee');
+  manifest.close();
+  EXPECT_THROW(LogStructuredIndex{dir_}, FormatError);
+}
+
+TEST_F(LogStructuredIndexTest, NegativeLookupsAnsweredByBloomWithoutDisk) {
+  LogStructuredIndex::Options options;
+  options.memtable_limit = 64;
+  LogStructuredIndex idx(dir_, options);
+  for (int i = 0; i < 512; ++i) idx.insert(digest_of(i), location_of(i));
+  idx.flush();  // everything sealed: positives would need disk reads
+
+  const IndexStats before = idx.stats();  // inserts also probe the filter
+  int absent = 0;
+  for (int i = 10000; i < 11000; ++i) {
+    if (!idx.lookup(digest_of(i)).has_value()) ++absent;
+  }
+  EXPECT_EQ(absent, 1000);
+  const IndexStats stats = idx.stats();
+  const std::uint64_t probes = stats.filter_probes - before.filter_probes;
+  const std::uint64_t negatives =
+      stats.filter_negatives - before.filter_negatives;
+  const std::uint64_t false_positives =
+      stats.filter_false_positives - before.filter_false_positives;
+  EXPECT_EQ(probes, 1000u);
+  EXPECT_EQ(negatives + false_positives, 1000u);
+  // ~1% false-positive target: the overwhelming majority of the misses
+  // must be absorbed by the filter, each with zero disk reads. Only a
+  // false positive may touch disk (at most one block per segment).
+  EXPECT_GE(negatives, 950u);
+  EXPECT_LE(stats.disk_reads - before.disk_reads,
+            false_positives * idx.segment_count());
+}
+
+TEST_F(LogStructuredIndexTest, BloomFalsePositiveRateNearTarget) {
+  // Property: at design load (live set == sized capacity) the measured
+  // false-positive rate stays within 2x the configured target.
+  LogStructuredIndex::Options options;
+  options.memtable_limit = 256;
+  options.bloom_fp_target = 0.01;
+  options.bloom_initial_capacity = 4096;
+  LogStructuredIndex idx(dir_, options);
+  for (int i = 0; i < 4096; ++i) idx.insert(digest_of(i), location_of(i));
+  idx.flush();
+
+  const int kProbes = 20000;
+  int positives = 0;
+  for (int i = 100000; i < 100000 + kProbes; ++i) {
+    if (idx.maybe_contains(digest_of(i))) ++positives;
+  }
+  const double rate = static_cast<double>(positives) / kProbes;
+  EXPECT_LE(rate, 2.0 * options.bloom_fp_target)
+      << positives << " false positives in " << kProbes << " probes";
+}
+
+TEST_F(LogStructuredIndexTest, LookupBatchMatchesSingleLookups) {
+  LogStructuredIndex::Options options;
+  options.memtable_limit = 32;
+  LogStructuredIndex idx(dir_, options);
+  for (int i = 0; i < 100; ++i) idx.insert(digest_of(i), location_of(i));
+
+  std::vector<hash::Digest> digests;
+  for (int i = 0; i < 200; ++i) digests.push_back(digest_of(i));
+  std::vector<std::optional<ChunkLocation>> found;
+  idx.lookup_batch(digests, found);
+  ASSERT_EQ(found.size(), digests.size());
+  for (std::size_t i = 0; i < 200; ++i) {
+    ASSERT_EQ(found[i].has_value(), i < 100) << i;
+    if (found[i]) {
+      EXPECT_EQ(found[i]->container_id, static_cast<std::uint64_t>(i));
+    }
+  }
+}
+
+TEST_F(LogStructuredIndexTest, CheckpointFullRoundTrip) {
+  LogStructuredIndex idx(dir_ / "a");
+  for (int i = 0; i < 100; ++i) idx.insert(digest_of(i), location_of(i));
+
+  BufferCheckpointSink sink;
+  idx.checkpoint_full(sink);
+  const ByteBuffer stream = sink.take();
+  ASSERT_TRUE(is_checkpoint_stream(stream));
+
+  LogStructuredIndex restored(dir_ / "b");
+  restored.insert(digest_of(9999), location_of(1));  // replaced by the base
+  BufferCheckpointSource source(stream);
+  restored.restore(source);
+  EXPECT_EQ(restored.size(), 100u);
+  EXPECT_FALSE(restored.lookup(digest_of(9999)).has_value());
+  for (int i = 0; i < 100; ++i) {
+    const auto loc = restored.lookup(digest_of(i));
+    ASSERT_TRUE(loc.has_value()) << i;
+    EXPECT_EQ(loc->length, static_cast<std::uint32_t>(i + 1));
+  }
+}
+
+TEST_F(LogStructuredIndexTest, CheckpointShipsOnlyTheDelta) {
+  LogStructuredIndex producer(dir_ / "producer");
+  LogStructuredIndex consumer(dir_ / "consumer");
+  for (int i = 0; i < 50; ++i) producer.insert(digest_of(i), location_of(i));
+
+  // First checkpoint: one full base record.
+  BufferCheckpointSink base_sink;
+  producer.checkpoint(base_sink);
+  EXPECT_EQ(base_sink.records(), 1u);
+  BufferCheckpointSource base_source(base_sink.buffer());
+  consumer.restore(base_source);
+  EXPECT_EQ(consumer.size(), 50u);
+
+  // Mutations after the base travel as individual delta records.
+  producer.insert(digest_of(50), location_of(50));
+  producer.remove(digest_of(0));
+  producer.update(digest_of(1), ChunkLocation{77, 7, 7});
+  BufferCheckpointSink delta_sink;
+  producer.checkpoint(delta_sink);
+  EXPECT_EQ(delta_sink.records(), 3u);
+
+  BufferCheckpointSource delta_source(delta_sink.buffer());
+  consumer.restore(delta_source);
+  EXPECT_EQ(consumer.size(), 50u);  // +1 insert, -1 remove
+  EXPECT_TRUE(consumer.lookup(digest_of(50)).has_value());
+  EXPECT_FALSE(consumer.lookup(digest_of(0)).has_value());
+  EXPECT_EQ(consumer.lookup(digest_of(1))->container_id, 77u);
+}
+
+TEST_F(LogStructuredIndexTest, RestoredStateSurvivesReopen) {
+  {
+    LogStructuredIndex src(dir_ / "src");
+    for (int i = 0; i < 30; ++i) src.insert(digest_of(i), location_of(i));
+    BufferCheckpointSink sink;
+    src.checkpoint_full(sink);
+    LogStructuredIndex dst(dir_ / "dst");
+    BufferCheckpointSource source(sink.buffer());
+    dst.restore(source);
+  }
+  LogStructuredIndex reopened(dir_ / "dst");
+  EXPECT_EQ(reopened.size(), 30u);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_TRUE(reopened.lookup(digest_of(i)).has_value()) << i;
+  }
+}
+
+TEST_F(LogStructuredIndexTest, SerializeDeserializeCompat) {
+  // The deprecated image pair still round-trips (base-record codec and
+  // compat loader for pre-checkpoint images).
+  LogStructuredIndex::Options options;
+  options.memtable_limit = 16;
+  LogStructuredIndex idx(dir_ / "a", options);
+  for (int i = 0; i < 60; ++i) idx.insert(digest_of(i), location_of(i));
+  const ByteBuffer image = idx.serialize();
+
+  LogStructuredIndex restored(dir_ / "b", options);
+  restored.deserialize(image);
+  EXPECT_EQ(restored.size(), 60u);
+  for (int i = 0; i < 60; ++i) {
+    EXPECT_TRUE(restored.lookup(digest_of(i)).has_value()) << i;
+  }
+}
+
+TEST_F(LogStructuredIndexTest, HotLookupsServedByEntryCache) {
+  LogStructuredIndex::Options options;
+  options.memtable_limit = 64;
+  LogStructuredIndex idx(dir_, options);
+  for (int i = 0; i < 256; ++i) idx.insert(digest_of(i), location_of(i));
+  idx.flush();  // force positives to come from segments, not the memtable
+
+  // First pass faults entries in from disk; repeated passes hit the cache.
+  for (int pass = 0; pass < 4; ++pass) {
+    for (int i = 0; i < 32; ++i) {
+      ASSERT_TRUE(idx.lookup(digest_of(i)).has_value());
+    }
+  }
+  const IndexStats stats = idx.stats();
+  EXPECT_GE(stats.cache_hits, 3u * 32u);
+}
+
+TEST_F(LogStructuredIndexTest, CacheCapacityBoundsAreEnforced) {
+  LogStructuredIndex::Options options;
+  options.memtable_limit = 64;
+  options.cache_capacity_bytes = 96 * 16;  // room for ~16 cached entries
+  LogStructuredIndex idx(dir_, options);
+  for (int i = 0; i < 512; ++i) idx.insert(digest_of(i), location_of(i));
+  idx.flush();
+  for (int i = 0; i < 512; ++i) {
+    ASSERT_TRUE(idx.lookup(digest_of(i)).has_value());
+  }
+  EXPECT_GT(idx.stats().cache_evictions, 0u);
+}
+
+TEST_F(LogStructuredIndexTest, ConcurrentLookupsDuringCheckpoint) {
+  LogStructuredIndex::Options options;
+  options.memtable_limit = 128;
+  LogStructuredIndex idx(dir_, options);
+  for (int i = 0; i < 1000; ++i) idx.insert(digest_of(i), location_of(i));
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&idx, t] {
+      for (int i = 0; i < 500; ++i) {
+        const int key = 1000 + t * 500 + i;
+        idx.insert(digest_of(key), location_of(key));
+        idx.lookup(digest_of(i));
+        idx.maybe_contains(digest_of(key / 2));
+      }
+    });
+  }
+  for (int round = 0; round < 8; ++round) {
+    BufferCheckpointSink sink;
+    idx.checkpoint(sink);
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(idx.size(), 3000u);
+}
+
+TEST_F(LogStructuredIndexTest, ShardFactoryIsolatesPartitions) {
+  const auto factory = log_structured_shard_factory(dir_);
+  const auto doc = factory("doc");
+  const auto mp3 = factory("mp3");
+  doc->insert(digest_of(1), location_of(1));
+  EXPECT_FALSE(mp3->lookup(digest_of(1)).has_value());
+  EXPECT_EQ(doc->size(), 1u);
+  EXPECT_EQ(mp3->size(), 0u);
+}
+
+}  // namespace
+}  // namespace aadedupe::index

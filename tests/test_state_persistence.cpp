@@ -11,6 +11,8 @@
 #include "backup/target_dedupe.hpp"
 #include "core/aa_dedupe.hpp"
 #include "dataset/generator.hpp"
+#include "index/checkpoint.hpp"
+#include "util/bytes.hpp"
 
 namespace aadedupe {
 namespace {
@@ -125,6 +127,51 @@ TEST(StatePersistence, EncryptionModeMismatchRejected) {
   encrypted.passphrase = "pw";
   core::AaDedupeScheme secure(target, encrypted);
   EXPECT_THROW(secure.import_state(plain.export_state()), FormatError);
+}
+
+TEST(StatePersistence, StateImageCarriesCheckpointStream) {
+  cloud::CloudTarget target;
+  dataset::DatasetGenerator gen(state_config());
+  core::AaDedupeScheme scheme(target);
+  scheme.backup(gen.initial());
+  const ByteBuffer state = scheme.export_state();
+  // AADSTAT2 layout: magic 8 | encrypted u32 | latest u32 | next u64,
+  // then the sized index blob — now a self-describing checkpoint stream.
+  ASSERT_GT(state.size(), 32u);
+  const std::uint64_t blob_len = load_le64(state.data() + 24);
+  ASSERT_LE(32 + blob_len, state.size());
+  EXPECT_TRUE(index::is_checkpoint_stream(
+      ConstByteSpan{state}.subspan(32, blob_len)));
+}
+
+TEST(StatePersistence, PreCheckpointStateImageStillImports) {
+  cloud::CloudTarget target;
+  dataset::DatasetGenerator gen(state_config());
+  const auto sessions = gen.sessions(2);
+  core::AaDedupeScheme original(target);
+  for (const auto& s : sessions) original.backup(s);
+
+  // Reconstruct the pre-checkpoint AADSTAT2 layout: same framing, but the
+  // index blob is a legacy serialize() image instead of a checkpoint
+  // stream. Clients upgraded in place must still load such state files.
+  const ByteBuffer state = original.export_state();
+  const ByteBuffer legacy_index = original.aa_index().serialize();
+  const std::uint64_t new_len = load_le64(state.data() + 24);
+  ByteBuffer legacy(state.begin(), state.begin() + 24);
+  append_le64(legacy, legacy_index.size());
+  append(legacy, legacy_index);
+  legacy.insert(legacy.end(),
+                state.begin() + 32 + static_cast<std::ptrdiff_t>(new_len),
+                state.end());
+
+  core::AaDedupeScheme resumed(target);
+  resumed.import_state(legacy);
+  EXPECT_EQ(resumed.restorable_sessions(), original.restorable_sessions());
+  EXPECT_EQ(resumed.aa_index().total_size(),
+            original.aa_index().total_size());
+  const auto& file = sessions.back().files.front();
+  EXPECT_EQ(resumed.restore_file(file.path),
+            dataset::materialize(file.content));
 }
 
 TEST(StatePersistence, MalformedStateRejected) {

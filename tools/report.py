@@ -268,15 +268,25 @@ def trace_check(path: str) -> int:
     return 0
 
 
-# BENCH_chunking.json keys that are meaningful across machines: ratios of
-# two measurements taken on the same host, not absolute MB/s. `higher`
-# marks direction; pct keys are compared in absolute percentage points
+# Bench-JSON keys that are meaningful across machines: ratios of two
+# measurements taken on the same host, not absolute MB/s. `higher`/`lower`
+# mark direction; pct keys are compared in absolute percentage points
 # with a 2-point noise floor (2% telemetry overhead is the acceptance
-# ceiling, so a 2-point swing is the smallest actionable regression).
+# ceiling, so a 2-point swing is the smallest actionable regression);
+# `true` keys are pass/fail booleans. One dict serves every bench file
+# (BENCH_chunking.json, BENCH_index.json) — keys a file does not carry
+# are skipped with a note.
 GATE_KEYS = {
+    # BENCH_chunking.json (fingerprinting hot path)
     "cdc_speedup_vs_reference": "higher",
     "session_file_vs_stream_speedup": "higher",
     "telemetry_overhead_pct_cdc_fingerprint": "lower_pct",
+    # BENCH_index.json (log-structured index)
+    "bloom_cold_filter_rate": "higher",
+    "hot_cache_hit_rate": "higher",
+    "cold_disk_reads_per_lookup": "lower",
+    "restart_recovery_ok": "true",
+    "rss_bounded": "true",
 }
 
 
@@ -299,6 +309,16 @@ def perf_gate(fresh_path: str, base_path: str,
             print(f"# perf-gate: {key}: missing "
                   f"({'fresh' if key not in fresh else 'baseline'}), skipped")
             continue
+        if direction == "true":
+            # Pass/fail invariants (crash recovery, RSS bound): fresh must
+            # hold regardless of the baseline.
+            compared += 1
+            if bool(fresh[key]):
+                print(f"  ok {key}: true")
+            else:
+                failures += 1
+                print(f"FAIL {key}: expected true, got {fresh[key]!r}")
+            continue
         f, b = float(fresh[key]), float(base[key])
         compared += 1
         if direction == "lower_pct":
@@ -307,6 +327,14 @@ def perf_gate(fresh_path: str, base_path: str,
             regressed = f > b + slack
             improved = f < b - slack
             detail = f"{b:.2f} -> {f:.2f} points (slack {slack:.2f})"
+        elif direction == "lower":
+            # Absolute-delta slack floor: a baseline of ~zero (the bloom
+            # filter absorbing everything) must not turn any nonzero fresh
+            # value into a failure.
+            slack = max(abs(b) * tol, 0.02)
+            regressed = f > b + slack
+            improved = f < b - slack
+            detail = f"{b:.4f} -> {f:.4f} (slack {slack:.4f})"
         else:
             regressed = f < b * (1.0 - tol)
             improved = f > b * (1.0 + tol)
@@ -410,6 +438,16 @@ def selftest() -> int:
     bench_ok = dict(bench_base, cdc_speedup_vs_reference=4.2)
     bench_bad = dict(bench_base, cdc_speedup_vs_reference=2.0)
     bench_fast = dict(bench_base, session_file_vs_stream_speedup=3.5)
+    # BENCH_index.json fixtures: the `lower` slack floor must tolerate a
+    # near-zero baseline, and `true` keys gate on the fresh file alone.
+    index_base = {"bloom_cold_filter_rate": 0.99,
+                  "hot_cache_hit_rate": 0.97,
+                  "cold_disk_reads_per_lookup": 0.0,
+                  "restart_recovery_ok": True,
+                  "rss_bounded": True}
+    index_ok = dict(index_base, cold_disk_reads_per_lookup=0.01)
+    index_bad_disk = dict(index_base, cold_disk_reads_per_lookup=0.5)
+    index_bad_crash = dict(index_base, restart_recovery_ok=False)
 
     with tempfile.TemporaryDirectory() as tmp:
         write = lambda name, obj: (  # noqa: E731
@@ -439,6 +477,18 @@ def selftest() -> int:
         gated = out.getvalue()
         assert "FAIL cdc_speedup_vs_reference" in gated, gated
         assert "WARN session_file_vs_stream_speedup" in gated, gated
+
+        ib = write("index_base.json", index_base)
+        out = io.StringIO()
+        with redirect_stdout(out):
+            assert perf_gate(write("index_ok.json", index_ok), ib) == 0
+            assert perf_gate(write("index_bad_disk.json", index_bad_disk),
+                             ib) == 1
+            assert perf_gate(write("index_bad_crash.json", index_bad_crash),
+                             ib) == 1
+        gated = out.getvalue()
+        assert "FAIL cold_disk_reads_per_lookup" in gated, gated
+        assert "FAIL restart_recovery_ok" in gated, gated
 
     print("report.py selftest: OK")
     return 0

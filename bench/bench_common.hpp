@@ -29,6 +29,19 @@
 
 namespace aadedupe::bench {
 
+/// Compiler sink: force `value` to be materialized so a measured body can't
+/// be dead-code-eliminated (the classic empty-asm idiom). Pass the actual
+/// output of the work (digest, chunk vector, accumulator) — a `volatile`
+/// copy of a derived size is NOT enough, as the optimizer may still elide
+/// the work that produced it.
+template <class T>
+inline void do_not_optimize(const T& value) noexcept {
+  __asm__ __volatile__("" : : "g"(&value) : "memory");
+}
+
+/// Compiler barrier: force pending writes to be considered observable.
+inline void clobber_memory() noexcept { __asm__ __volatile__("" ::: "memory"); }
+
 /// Environment parsing shared by every bench and example entry point (the
 /// one copy of getenv + strtoull in the repo).
 [[nodiscard]] std::uint64_t env_u64(const char* name, std::uint64_t fallback);

@@ -8,6 +8,8 @@
 #include "backup/keys.hpp"
 #include "core/upload_pipeline.hpp"
 #include "index/checkpoint.hpp"
+#include "index/log_structured_index.hpp"
+#include "index/memory_index.hpp"
 #include "util/check.hpp"
 
 namespace aadedupe::core {
@@ -15,6 +17,19 @@ namespace aadedupe::core {
 namespace {
 /// Partition key for the tiny-file stream (bypasses dedup entirely).
 const std::string kTinyStream = "tiny";
+
+/// Shard backend selection (AaDedupeOptions::index_directory): RAM-resident
+/// shards by default (the paper's single-PC design point), log-structured
+/// on-disk shards when a directory is configured.
+index::PartitionedIndex::ShardFactory make_shard_factory(
+    const AaDedupeOptions& options) {
+  if (options.index_directory.empty()) {
+    return [](const std::string&) {
+      return std::make_unique<index::MemoryChunkIndex>();
+    };
+  }
+  return index::log_structured_shard_factory(options.index_directory);
+}
 }  // namespace
 
 AaDedupeScheme::AaDedupeScheme(cloud::CloudTarget& target,
@@ -22,7 +37,8 @@ AaDedupeScheme::AaDedupeScheme(cloud::CloudTarget& target,
     : BackupScheme(target),
       options_(options),
       policy_(options.policy),
-      size_filter_(options.tiny_file_threshold) {
+      size_filter_(options.tiny_file_threshold),
+      index_(make_shard_factory(options_)) {
   if (options_.parallel) {
     pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
   }

@@ -68,8 +68,16 @@ struct AaDedupeOptions {
   std::size_t worker_threads = ThreadPool::default_thread_count();
   /// Sync the application-aware index image to the cloud each session.
   bool sync_index = true;
-  /// Chunking-policy tunables (defaults = the paper's exact setup).
+  /// Chunking-policy tunables (paper's setup with FastCDC promoted to the
+  /// dynamic-category default; see PolicyConfig).
   PolicyConfig policy;
+  /// When non-empty, every per-application index shard is a disk-backed
+  /// log-structured index (bloom filter + bounded entry cache + WAL) rooted
+  /// under this directory — one subdirectory per partition key. Empty (the
+  /// default) keeps the paper's RAM-resident shards. The on-disk layout
+  /// survives the scheme, so a later scheme pointed at the same directory
+  /// resumes with the fingerprint index already warm.
+  std::string index_directory;
   /// Secure deduplication (the paper's future-work extension): encrypt
   /// every chunk with convergent encryption before it enters a container.
   /// Identical plaintext still deduplicates; the cloud never sees

@@ -19,6 +19,7 @@
 #include "chunk/static_chunker.hpp"
 #include "chunk/whole_file_chunker.hpp"
 #include "dataset/file_kind.hpp"
+#include "hash/batch_hasher.hpp"
 #include "hash/hash_kind.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -30,13 +31,15 @@ struct CategoryPolicy {
   hash::HashKind hash_kind = hash::HashKind::kSha1;
 };
 
-/// Tunables for the policy table. The defaults are exactly the paper's
-/// setup; the knobs exist for the ablation studies and for deployments
-/// that prefer the (post-paper) FastCDC engine in the dynamic category.
+/// Tunables for the policy table. The defaults match the paper's setup with
+/// one deliberate upgrade: the dynamic category runs the (post-paper)
+/// FastCDC engine, which produces the same expected/min/max chunk-size
+/// distribution as the paper's Rabin CDC at ~4x the scan throughput. The
+/// kRabinCdc knob keeps the paper-exact engine available for ablations.
 struct PolicyConfig {
   /// Engine for dynamic uncompressed files.
   enum class DynamicEngine { kRabinCdc, kFastCdc };
-  DynamicEngine dynamic_engine = DynamicEngine::kRabinCdc;
+  DynamicEngine dynamic_engine = DynamicEngine::kFastCdc;
   /// Fixed chunk size for the static category.
   std::size_t static_chunk_size = chunk::StaticChunker::kDefaultChunkSize;
   /// CDC parameters (expected/min/max) for the dynamic category.
@@ -98,27 +101,41 @@ struct FileChunkPlan {
   std::vector<hash::Digest> digests;
 };
 
+/// Fingerprint every chunk of one file as a single batch through the
+/// runtime-dispatched BatchHasher (SHA-NI / AVX2 / SSE2 multi-buffer with a
+/// scalar fallback — see hash/batch_hasher.hpp). All rungs are bit-exact
+/// with compute_digest(), so dedup metrics are identical to the historical
+/// one-digest-at-a-time loop on every machine.
+inline void fingerprint_chunks(const CategoryPolicy& policy,
+                               ConstByteSpan content, FileChunkPlan& plan) {
+  std::vector<ConstByteSpan> views;
+  views.reserve(plan.chunks.size());
+  for (const chunk::ChunkRef& ref : plan.chunks) {
+    views.push_back(content.subspan(ref.offset, ref.length));
+  }
+  hash::default_batch_hasher().hash_batch(policy.hash_kind, views,
+                                          plan.digests);
+}
+
 /// Stateless front end of the deduplication pipeline: split `content` with
 /// the category's engine and fingerprint every chunk with the category's
 /// hash (Rabin-96 / MD5 / SHA-1 per the policy table). Touches no shared
 /// state, so any number of files may be processed concurrently — this is
-/// what the file-granularity parallel session phase fans out.
+/// what the file-granularity parallel session phase fans out, each worker
+/// handing its file's chunks to the batch hasher in one call.
 inline FileChunkPlan chunk_and_fingerprint(const CategoryPolicy& policy,
                                            ConstByteSpan content) {
   FileChunkPlan plan;
   plan.chunks = policy.chunker->split(content);
-  plan.digests.reserve(plan.chunks.size());
-  for (const chunk::ChunkRef& ref : plan.chunks) {
-    plan.digests.push_back(hash::compute_digest(
-        policy.hash_kind, content.subspan(ref.offset, ref.length)));
-  }
+  fingerprint_chunks(policy, content, plan);
   return plan;
 }
 
 /// Instrumented variant: attributes the split to a kChunk span and the
-/// hashing loop to a kFingerprint span under `category`. With a null
-/// telemetry context this is exactly the plain overload — two spans per
-/// *file* keeps the per-byte cost of observation negligible.
+/// hashing batch to a kFingerprint span labelled "<category>@<engine>"
+/// (e.g. "doc@shani"), so run reports show which dispatch rung actually
+/// executed. With a null telemetry context this is exactly the plain
+/// overload — two spans per *file* keeps observation cost negligible.
 inline FileChunkPlan chunk_and_fingerprint(const CategoryPolicy& policy,
                                            ConstByteSpan content,
                                            telemetry::Telemetry* telemetry,
@@ -130,13 +147,12 @@ inline FileChunkPlan chunk_and_fingerprint(const CategoryPolicy& policy,
                               category);
     plan.chunks = policy.chunker->split(content);
   }
+  std::string label(category);
+  label += '@';
+  label += hash::default_batch_hasher().impl_tag(policy.hash_kind);
   telemetry::TraceSpan span(&telemetry->trace, telemetry::Stage::kFingerprint,
-                            category);
-  plan.digests.reserve(plan.chunks.size());
-  for (const chunk::ChunkRef& ref : plan.chunks) {
-    plan.digests.push_back(hash::compute_digest(
-        policy.hash_kind, content.subspan(ref.offset, ref.length)));
-  }
+                            label);
+  fingerprint_chunks(policy, content, plan);
   return plan;
 }
 

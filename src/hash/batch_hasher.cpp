@@ -1,0 +1,243 @@
+#include "hash/batch_hasher.hpp"
+
+#include "hash/cpu_features.hpp"
+#include "hash/mb_kernels.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::hash {
+
+namespace {
+
+struct BuildSupport {
+  bool mb4 = false;
+  bool mb8 = false;
+  bool shani = false;
+};
+
+// What this *binary* contains. CMake defines AAD_HAVE_* exactly for the
+// kernel TUs it compiled (none under -DAAD_DISABLE_SIMD=ON), so referencing
+// a kernel symbol is always guarded by the same macro that built it.
+constexpr BuildSupport build_support() noexcept {
+  BuildSupport s;
+#if defined(AAD_HAVE_MB4)
+  s.mb4 = true;
+#endif
+#if defined(AAD_HAVE_MB8)
+  s.mb8 = true;
+#endif
+#if defined(AAD_HAVE_SHANI)
+  s.shani = true;
+#endif
+  return s;
+}
+
+struct RuntimeSupport {
+  bool mb4 = false;
+  bool mb8 = false;
+  bool shani = false;
+};
+
+RuntimeSupport runtime_support() {
+  RuntimeSupport r;
+  if (simd_disabled_by_env()) return r;
+  constexpr BuildSupport built = build_support();
+  const CpuFeatures cpu = detect_cpu_features();
+  // The x4 kernel is generic vector code lowered with the baseline target
+  // flags — if the binary runs at all, the kernel runs.
+  r.mb4 = built.mb4;
+  r.mb8 = built.mb8 && cpu.avx2;
+  r.shani = built.shani && cpu.sha_ni && cpu.ssse3 && cpu.sse41;
+  return r;
+}
+
+const RuntimeSupport& cached_runtime_support() {
+  static const RuntimeSupport support = runtime_support();
+  return support;
+}
+
+bool sha1_supported(Sha1Impl impl) {
+  const RuntimeSupport& r = cached_runtime_support();
+  switch (impl) {
+    case Sha1Impl::kScalar:
+      return true;
+    case Sha1Impl::kSse2x4:
+      return r.mb4;
+    case Sha1Impl::kAvx2x8:
+      return r.mb8;
+    case Sha1Impl::kShaNi:
+      return r.shani;
+  }
+  return false;
+}
+
+bool md5_supported(Md5Impl impl) {
+  const RuntimeSupport& r = cached_runtime_support();
+  switch (impl) {
+    case Md5Impl::kScalar:
+      return true;
+    case Md5Impl::kSse2x4:
+      return r.mb4;
+    case Md5Impl::kAvx2x8:
+      return r.mb8;
+  }
+  return false;
+}
+
+Sha1Impl best_sha1() {
+  const RuntimeSupport& r = cached_runtime_support();
+  if (r.shani) return Sha1Impl::kShaNi;
+  if (r.mb8) return Sha1Impl::kAvx2x8;
+  if (r.mb4) return Sha1Impl::kSse2x4;
+  return Sha1Impl::kScalar;
+}
+
+Md5Impl best_md5() {
+  const RuntimeSupport& r = cached_runtime_support();
+  if (r.mb8) return Md5Impl::kAvx2x8;
+  if (r.mb4) return Md5Impl::kSse2x4;
+  return Md5Impl::kScalar;
+}
+
+}  // namespace
+
+std::string_view to_string(Sha1Impl impl) noexcept {
+  switch (impl) {
+    case Sha1Impl::kScalar:
+      return "scalar";
+    case Sha1Impl::kSse2x4:
+      return "sse2x4";
+    case Sha1Impl::kAvx2x8:
+      return "avx2x8";
+    case Sha1Impl::kShaNi:
+      return "shani";
+  }
+  return "?";
+}
+
+std::string_view to_string(Md5Impl impl) noexcept {
+  switch (impl) {
+    case Md5Impl::kScalar:
+      return "scalar";
+    case Md5Impl::kSse2x4:
+      return "sse2x4";
+    case Md5Impl::kAvx2x8:
+      return "avx2x8";
+  }
+  return "?";
+}
+
+BatchHasher::BatchHasher() : sha1_(best_sha1()), md5_(best_md5()) {}
+
+BatchHasher::BatchHasher(Sha1Impl sha1, Md5Impl md5)
+    : sha1_(sha1), md5_(md5) {
+  AAD_EXPECTS(sha1_supported(sha1));
+  AAD_EXPECTS(md5_supported(md5));
+}
+
+void BatchHasher::hash_batch(HashKind kind,
+                             std::span<const ConstByteSpan> chunks,
+                             std::vector<Digest>& out) const {
+  out.resize(chunks.size());
+  if (chunks.empty()) return;
+
+  switch (kind) {
+    case HashKind::kRabin96:
+      // Rabin-96 is a rolling fingerprint already north of 1.5 GB/s; the
+      // scalar loop is not the wall and has no vector form here.
+      for (std::size_t i = 0; i < chunks.size(); ++i) {
+        out[i] = Rabin96::hash(chunks[i]);
+      }
+      return;
+
+    case HashKind::kSha1:
+      switch (sha1_) {
+#if defined(AAD_HAVE_SHANI)
+        case Sha1Impl::kShaNi:
+          for (std::size_t i = 0; i < chunks.size(); ++i) {
+            out[i] = detail::sha1_shani_one(chunks[i]);
+          }
+          return;
+#endif
+#if defined(AAD_HAVE_MB8)
+        case Sha1Impl::kAvx2x8:
+          detail::sha1_mb_x8(chunks, out.data());
+          return;
+#endif
+#if defined(AAD_HAVE_MB4)
+        case Sha1Impl::kSse2x4:
+          detail::sha1_mb_x4(chunks, out.data());
+          return;
+#endif
+        default:
+          break;
+      }
+      for (std::size_t i = 0; i < chunks.size(); ++i) {
+        out[i] = Sha1::hash(chunks[i]);
+      }
+      return;
+
+    case HashKind::kMd5:
+      switch (md5_) {
+#if defined(AAD_HAVE_MB8)
+        case Md5Impl::kAvx2x8:
+          detail::md5_mb_x8(chunks, out.data());
+          return;
+#endif
+#if defined(AAD_HAVE_MB4)
+        case Md5Impl::kSse2x4:
+          detail::md5_mb_x4(chunks, out.data());
+          return;
+#endif
+        default:
+          break;
+      }
+      for (std::size_t i = 0; i < chunks.size(); ++i) {
+        out[i] = Md5::hash(chunks[i]);
+      }
+      return;
+  }
+}
+
+Digest BatchHasher::hash_one(HashKind kind, ConstByteSpan data) const {
+  const ConstByteSpan one[1] = {data};
+  std::vector<Digest> out;
+  hash_batch(kind, one, out);
+  return out[0];
+}
+
+std::string_view BatchHasher::impl_tag(HashKind kind) const noexcept {
+  switch (kind) {
+    case HashKind::kRabin96:
+      return "scalar";
+    case HashKind::kMd5:
+      return to_string(md5_);
+    case HashKind::kSha1:
+      return to_string(sha1_);
+  }
+  return "?";
+}
+
+std::vector<Sha1Impl> BatchHasher::supported_sha1_impls() {
+  std::vector<Sha1Impl> impls;
+  for (Sha1Impl impl : {Sha1Impl::kScalar, Sha1Impl::kSse2x4,
+                        Sha1Impl::kAvx2x8, Sha1Impl::kShaNi}) {
+    if (sha1_supported(impl)) impls.push_back(impl);
+  }
+  return impls;
+}
+
+std::vector<Md5Impl> BatchHasher::supported_md5_impls() {
+  std::vector<Md5Impl> impls;
+  for (Md5Impl impl :
+       {Md5Impl::kScalar, Md5Impl::kSse2x4, Md5Impl::kAvx2x8}) {
+    if (md5_supported(impl)) impls.push_back(impl);
+  }
+  return impls;
+}
+
+const BatchHasher& default_batch_hasher() {
+  static const BatchHasher hasher;
+  return hasher;
+}
+
+}  // namespace aadedupe::hash

@@ -1,0 +1,79 @@
+// BatchHasher — batched, runtime-dispatched chunk fingerprinting.
+//
+// The session pipeline used to fingerprint chunks one at a time through
+// compute_digest(), which left scalar SHA-1 (~160 MB/s) as the wall of the
+// whole backup path. BatchHasher accepts N independent chunk buffers at once
+// and routes them to the fastest implementation the executing CPU supports:
+//
+//   SHA-1:  SHA-NI single-lane  >  AVX2 x8  >  SSE2 x4  >  scalar
+//   MD5:                           AVX2 x8  >  SSE2 x4  >  scalar
+//   Rabin96:                       scalar (already >1.5 GB/s, not a wall)
+//
+// The ladder is resolved ONCE per hasher from CPUID (see cpu_features.hpp);
+// the AAD_DISABLE_SIMD environment variable (or configuring the build with
+// -DAAD_DISABLE_SIMD=ON) forces the always-correct scalar rung. Every rung
+// produces bit-identical digests — guaranteed by the RFC known-answer and
+// batch-vs-scalar differential suites in tests/test_batch_hasher.cpp — so
+// dedup metrics cannot depend on which machine ran the backup.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "hash/digest.hpp"
+#include "hash/hash_kind.hpp"
+#include "util/bytes.hpp"
+
+namespace aadedupe::hash {
+
+/// SHA-1 implementation rungs, weakest to strongest.
+enum class Sha1Impl : std::uint8_t { kScalar, kSse2x4, kAvx2x8, kShaNi };
+
+/// MD5 implementation rungs (MD5 has no dedicated CPU instructions).
+enum class Md5Impl : std::uint8_t { kScalar, kSse2x4, kAvx2x8 };
+
+[[nodiscard]] std::string_view to_string(Sha1Impl impl) noexcept;
+[[nodiscard]] std::string_view to_string(Md5Impl impl) noexcept;
+
+class BatchHasher {
+ public:
+  /// Auto-detect: pick the strongest rung per hash that both the build and
+  /// the executing CPU support, honouring AAD_DISABLE_SIMD.
+  BatchHasher();
+
+  /// Pin specific rungs (tests and benchmarks). Throws PreconditionError if
+  /// a requested rung is unsupported on this build/CPU.
+  BatchHasher(Sha1Impl sha1, Md5Impl md5);
+
+  /// Fingerprint every buffer in `chunks`; out[i] is the digest of
+  /// chunks[i]. `out` is resized to chunks.size().
+  void hash_batch(HashKind kind, std::span<const ConstByteSpan> chunks,
+                  std::vector<Digest>& out) const;
+
+  /// Single-buffer convenience routed through the same rung selection.
+  [[nodiscard]] Digest hash_one(HashKind kind, ConstByteSpan data) const;
+
+  [[nodiscard]] Sha1Impl sha1_impl() const noexcept { return sha1_; }
+  [[nodiscard]] Md5Impl md5_impl() const noexcept { return md5_; }
+
+  /// Short engine tag for the hash that `kind` maps to ("shani", "avx2x8",
+  /// "sse2x4", "scalar") — used to label telemetry fingerprint spans.
+  [[nodiscard]] std::string_view impl_tag(HashKind kind) const noexcept;
+
+  /// Every rung usable on this build + CPU, weakest first (always includes
+  /// kScalar). The KAT/differential tests iterate these.
+  [[nodiscard]] static std::vector<Sha1Impl> supported_sha1_impls();
+  [[nodiscard]] static std::vector<Md5Impl> supported_md5_impls();
+
+ private:
+  Sha1Impl sha1_;
+  Md5Impl md5_;
+};
+
+/// Process-wide auto-detected instance (detection runs once, thread-safe).
+/// hash_batch() is const and stateless, so sharing across workers is free.
+[[nodiscard]] const BatchHasher& default_batch_hasher();
+
+}  // namespace aadedupe::hash

@@ -1,0 +1,71 @@
+#include "hash/cpu_features.hpp"
+
+#include <cctype>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace aadedupe::hash {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+// XGETBV with ECX=0: returns the XCR0 register describing which register
+// states the OS saves on context switch. AVX2 is only safe when the OS
+// preserves YMM (bits 1|2 == 0b110).
+std::uint64_t xcr0() noexcept {
+  std::uint32_t eax = 0;
+  std::uint32_t edx = 0;
+  __asm__ volatile("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<std::uint64_t>(edx) << 32) | eax;
+}
+#endif
+
+}  // namespace
+
+CpuFeatures detect_cpu_features() noexcept {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  unsigned eax = 0;
+  unsigned ebx = 0;
+  unsigned ecx = 0;
+  unsigned edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return f;
+  f.sse2 = (edx & (1u << 26)) != 0;
+  f.ssse3 = (ecx & (1u << 9)) != 0;
+  f.sse41 = (ecx & (1u << 19)) != 0;
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  const bool avx = (ecx & (1u << 28)) != 0;
+  const bool ymm_saved = osxsave && avx && (xcr0() & 0x6u) == 0x6u;
+
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) != 0) {
+    f.avx2 = ymm_saved && (ebx & (1u << 5)) != 0;
+    f.sha_ni = (ebx & (1u << 29)) != 0;
+  }
+#endif
+  return f;
+}
+
+bool parse_simd_disable_flag(const char* value) noexcept {
+  if (value == nullptr) return false;
+  char lowered[8] = {};
+  const std::size_t len = std::strlen(value);
+  if (len == 0 || len >= sizeof(lowered)) return false;
+  for (std::size_t i = 0; i < len; ++i) {
+    lowered[i] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(value[i])));
+  }
+  return std::strcmp(lowered, "1") == 0 || std::strcmp(lowered, "true") == 0 ||
+         std::strcmp(lowered, "yes") == 0 || std::strcmp(lowered, "on") == 0;
+}
+
+bool simd_disabled_by_env() noexcept {
+  return parse_simd_disable_flag(std::getenv("AAD_DISABLE_SIMD"));
+}
+
+}  // namespace aadedupe::hash

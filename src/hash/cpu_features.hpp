@@ -1,0 +1,34 @@
+// Runtime CPU capability probe for the fingerprint engine.
+//
+// The batched hasher (batch_hasher.hpp) picks its fastest compiled
+// implementation once at startup. That decision needs two inputs: what the
+// CPU reports via CPUID (and the OS via XGETBV for YMM state), and whether
+// the operator vetoed SIMD entirely with the AAD_DISABLE_SIMD escape hatch.
+// Both live here so they can be unit-tested away from the dispatch ladder.
+#pragma once
+
+namespace aadedupe::hash {
+
+/// CPUID-derived feature bits relevant to the hash dispatch ladder. All
+/// fields are false on non-x86 builds.
+struct CpuFeatures {
+  bool sse2 = false;
+  bool ssse3 = false;
+  bool sse41 = false;
+  bool avx2 = false;    // requires OS YMM state support (XGETBV)
+  bool sha_ni = false;  // SHA extensions (leaf 7, EBX bit 29)
+};
+
+/// Probe the executing CPU. Cheap enough to call freely, but callers
+/// normally go through the cached result inside default_batch_hasher().
+[[nodiscard]] CpuFeatures detect_cpu_features() noexcept;
+
+/// True when the AAD_DISABLE_SIMD environment variable requests the scalar
+/// fallback ("1", "true", "yes", "on"; case-insensitive).
+[[nodiscard]] bool simd_disabled_by_env() noexcept;
+
+/// Pure parser behind simd_disabled_by_env(), exposed for unit tests.
+/// nullptr (unset) and explicit "0"/"false"/"no"/"off" both mean enabled.
+[[nodiscard]] bool parse_simd_disable_flag(const char* value) noexcept;
+
+}  // namespace aadedupe::hash

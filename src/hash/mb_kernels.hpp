@@ -1,0 +1,31 @@
+// Entry points of the ISA-specific hash kernels.
+//
+// Declarations only — each function is defined in a translation unit that
+// CMake compiles with the matching target flags (mb_x4.cpp with the default
+// flags, mb_x8.cpp with -mavx2, sha1_shani.cpp with -msha). batch_hasher.cpp
+// references a kernel only when the corresponding AAD_HAVE_* definition says
+// it was actually built, and only calls it after the CPUID probe confirms
+// the executing machine supports the instructions.
+#pragma once
+
+#include <span>
+
+#include "hash/digest.hpp"
+#include "util/bytes.hpp"
+
+namespace aadedupe::hash::detail {
+
+// 4-lane interleaved kernels (one 128-bit vector per state word). Written
+// with GCC generic vector extensions, so the baseline target flags lower
+// them to SSE2 on x86-64 (and to NEON or scalar code elsewhere).
+void sha1_mb_x4(std::span<const ConstByteSpan> chunks, Digest* out);
+void md5_mb_x4(std::span<const ConstByteSpan> chunks, Digest* out);
+
+// 8-lane interleaved kernels (256-bit vectors, compiled with -mavx2).
+void sha1_mb_x8(std::span<const ConstByteSpan> chunks, Digest* out);
+void md5_mb_x8(std::span<const ConstByteSpan> chunks, Digest* out);
+
+// Single-buffer SHA-1 over the SHA-NI extension (compiled with -msha).
+Digest sha1_shani_one(ConstByteSpan data);
+
+}  // namespace aadedupe::hash::detail

@@ -1,0 +1,314 @@
+// Multi-buffer (interleaved) SHA-1 / MD5 lane kernel.
+//
+// Internal header for the batched fingerprint engine: included only by the
+// per-ISA translation units (mb_x4.cpp baseline, mb_x8.cpp compiled with
+// -mavx2) and never installed behind a public API. The same templates
+// instantiate at W=4 (one 128-bit vector register per state word, SSE2 on
+// x86-64) and W=8 (one 256-bit register, AVX2).
+//
+// The trick is *transposition*: instead of vectorizing inside one message
+// schedule (SHA-1/MD5 rounds form a serial dependency chain, so that gains
+// nothing), we hash W independent chunk buffers at once with lane l of every
+// vector holding buffer l's state. Each compression round then executes W
+// hashes' worth of work per instruction, and the serial chain cost is paid
+// once for all lanes.
+//
+// Unequal chunk lengths are the hard part. Each lane tracks its own block
+// cursor; a lane that reaches its final (padding-bearing) blocks switches to
+// a 128-byte scratch tail prepared at assignment time. When a lane finishes
+// it emits its digest and immediately refills from the batch queue, so long
+// batches keep all lanes busy; lanes with nothing left to do are masked out
+// of the state update (state = (new & mask) | (old & ~mask)) and fed an
+// arbitrary resident block so the vector loads stay in bounds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "hash/digest.hpp"
+#include "util/bytes.hpp"
+
+namespace aadedupe::hash::detail {
+
+template <std::size_t W>
+struct VecOf;
+
+template <>
+struct VecOf<4> {
+  typedef std::uint32_t type __attribute__((vector_size(16)));
+};
+
+template <>
+struct VecOf<8> {
+  typedef std::uint32_t type __attribute__((vector_size(32)));
+};
+
+template <class V>
+inline V vrotl(V x, int c) noexcept {
+  return (x << c) | (x >> (32 - c));
+}
+
+[[nodiscard]] inline std::uint32_t load_be32(const std::byte* p) noexcept {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+inline void store_be32(std::byte* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::byte>((v >> 24) & 0xffu);
+  p[1] = static_cast<std::byte>((v >> 16) & 0xffu);
+  p[2] = static_cast<std::byte>((v >> 8) & 0xffu);
+  p[3] = static_cast<std::byte>(v & 0xffu);
+}
+
+// One hash-in-flight. `tail` holds the final one or two 64-byte blocks with
+// the 0x80 terminator and the (endianness-dependent) 64-bit bit length
+// already in place, so the block loop never branches on "is this the last
+// block" beyond comparing cursors.
+struct Lane {
+  const std::byte* data = nullptr;
+  std::uint64_t full_blocks = 0;   // complete 64-byte blocks inside data
+  std::uint64_t total_blocks = 0;  // full blocks + 1..2 padded tail blocks
+  std::uint64_t next_block = 0;
+  std::size_t out_index = 0;
+  bool active = false;
+  std::byte tail[128] = {};
+};
+
+inline void lane_assign(Lane& lane, ConstByteSpan chunk, std::size_t out_index,
+                        bool big_endian_length) noexcept {
+  const std::uint64_t len = chunk.size();
+  lane.data = chunk.data();
+  lane.full_blocks = len / 64;
+  // Message + 0x80 + 8-byte length, rounded up to a 64-byte block:
+  lane.total_blocks = ((len + 8) / 64) + 1;
+  lane.next_block = 0;
+  lane.out_index = out_index;
+  lane.active = true;
+
+  const std::size_t rem = static_cast<std::size_t>(len % 64);
+  std::memset(lane.tail, 0, sizeof lane.tail);
+  if (rem != 0) std::memcpy(lane.tail, chunk.data() + (len - rem), rem);
+  lane.tail[rem] = std::byte{0x80};
+  const std::uint64_t tail_blocks = lane.total_blocks - lane.full_blocks;
+  std::byte* len_at = lane.tail + tail_blocks * 64 - 8;
+  const std::uint64_t bits = len * 8;
+  if (big_endian_length) {
+    store_be32(len_at, static_cast<std::uint32_t>(bits >> 32));
+    store_be32(len_at + 4, static_cast<std::uint32_t>(bits & 0xffffffffu));
+  } else {
+    store_le64(len_at, bits);
+  }
+}
+
+[[nodiscard]] inline const std::byte* lane_block(const Lane& lane) noexcept {
+  return lane.next_block < lane.full_blocks
+             ? lane.data + lane.next_block * 64
+             : lane.tail + (lane.next_block - lane.full_blocks) * 64;
+}
+
+// Transpose one 64-byte block per lane into 16 message-word vectors:
+// w[i][l] = word i of lane l's block.
+template <std::size_t W, bool BigEndian>
+inline void gather_block(const std::byte* const blocks[W],
+                         typename VecOf<W>::type w[16]) noexcept {
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t l = 0; l < W; ++l) {
+      const std::byte* p = blocks[l] + 4 * i;
+      w[i][l] = BigEndian ? load_be32(p) : load_le32(p);
+    }
+  }
+}
+
+// ---- SHA-1 (RFC 3174), W lanes wide. ----
+
+struct Sha1Spec {
+  static constexpr std::size_t kStateWords = 5;
+  static constexpr bool kBigEndian = true;
+  static constexpr std::size_t kDigestSize = 20;
+  static constexpr std::uint32_t kInit[5] = {0x67452301u, 0xefcdab89u,
+                                             0x98badcfeu, 0x10325476u,
+                                             0xc3d2e1f0u};
+
+  static void store_word(std::byte* p, std::uint32_t v) noexcept {
+    store_be32(p, v);
+  }
+
+  template <std::size_t W>
+  static void rounds(typename VecOf<W>::type state[5],
+                     const typename VecOf<W>::type w16[16]) noexcept {
+    using V = typename VecOf<W>::type;
+    V w[16];
+    for (int i = 0; i < 16; ++i) w[i] = w16[i];
+
+    V a = state[0], b = state[1], c = state[2], d = state[3], e = state[4];
+    for (int t = 0; t < 80; ++t) {
+      V wt;
+      if (t < 16) {
+        wt = w[t];
+      } else {
+        wt = vrotl(w[(t - 3) & 15] ^ w[(t - 8) & 15] ^ w[(t - 14) & 15] ^
+                       w[(t - 16) & 15],
+                   1);
+        w[t & 15] = wt;
+      }
+      V f;
+      std::uint32_t k;
+      if (t < 20) {
+        f = (b & c) | (~b & d);
+        k = 0x5a827999u;
+      } else if (t < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ed9eba1u;
+      } else if (t < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8f1bbcdcu;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xca62c1d6u;
+      }
+      const V tmp = vrotl(a, 5) + f + e + k + wt;
+      e = d;
+      d = c;
+      c = vrotl(b, 30);
+      b = a;
+      a = tmp;
+    }
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+  }
+};
+
+// ---- MD5 (RFC 1321), W lanes wide. Tables match src/hash/md5.cpp. ----
+
+struct Md5Spec {
+  static constexpr std::size_t kStateWords = 4;
+  static constexpr bool kBigEndian = false;
+  static constexpr std::size_t kDigestSize = 16;
+  static constexpr std::uint32_t kInit[4] = {0x67452301u, 0xefcdab89u,
+                                             0x98badcfeu, 0x10325476u};
+
+  static void store_word(std::byte* p, std::uint32_t v) noexcept {
+    store_le32(p, v);
+  }
+
+  template <std::size_t W>
+  static void rounds(typename VecOf<W>::type state[4],
+                     const typename VecOf<W>::type m[16]) noexcept {
+    using V = typename VecOf<W>::type;
+    static constexpr int kShift[64] = {
+        7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+        5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+        4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+        6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+    static constexpr std::uint32_t kSine[64] = {
+        0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf,
+        0x4787c62a, 0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af,
+        0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e,
+        0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa,
+        0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6,
+        0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+        0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
+        0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+        0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05, 0xd9d4d039,
+        0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244, 0x432aff97,
+        0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d,
+        0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+        0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+    V a = state[0], b = state[1], c = state[2], d = state[3];
+    for (int i = 0; i < 64; ++i) {
+      V f;
+      int g;
+      if (i < 16) {
+        f = (b & c) | (~b & d);
+        g = i;
+      } else if (i < 32) {
+        f = (d & b) | (~d & c);
+        g = (5 * i + 1) & 15;
+      } else if (i < 48) {
+        f = b ^ c ^ d;
+        g = (3 * i + 5) & 15;
+      } else {
+        f = c ^ (b | ~d);
+        g = (7 * i) & 15;
+      }
+      const V tmp = d;
+      d = c;
+      c = b;
+      b = b + vrotl(a + f + kSine[i] + m[g], kShift[i]);
+      a = tmp;
+    }
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+  }
+};
+
+// ---- Batch driver: W lanes over N chunks with refill. ----
+
+template <std::size_t W, class Spec>
+void mb_hash(std::span<const ConstByteSpan> chunks, Digest* out) {
+  using V = typename VecOf<W>::type;
+  constexpr std::size_t S = Spec::kStateWords;
+  // Inactive lanes still need a readable 64-byte block for the transposed
+  // load; they are masked out of the state update afterwards.
+  static constexpr std::byte kZeroBlock[64] = {};
+
+  Lane lanes[W];
+  V state[S] = {};
+  std::size_t next = 0;
+  std::size_t active = 0;
+
+  const auto feed = [&](std::size_t l) {
+    if (next >= chunks.size()) {
+      lanes[l].active = false;
+      return false;
+    }
+    lane_assign(lanes[l], chunks[next], next, Spec::kBigEndian);
+    for (std::size_t k = 0; k < S; ++k) state[k][l] = Spec::kInit[k];
+    ++next;
+    return true;
+  };
+  for (std::size_t l = 0; l < W; ++l) {
+    if (feed(l)) ++active;
+  }
+
+  while (active > 0) {
+    const std::byte* blocks[W];
+    V mask{};
+    for (std::size_t l = 0; l < W; ++l) {
+      blocks[l] = lanes[l].active ? lane_block(lanes[l]) : kZeroBlock;
+      mask[l] = lanes[l].active ? ~std::uint32_t{0} : std::uint32_t{0};
+    }
+
+    V w16[16];
+    gather_block<W, Spec::kBigEndian>(blocks, w16);
+    V saved[S];
+    for (std::size_t k = 0; k < S; ++k) saved[k] = state[k];
+    Spec::template rounds<W>(state, w16);
+    for (std::size_t k = 0; k < S; ++k) {
+      state[k] = (state[k] & mask) | (saved[k] & ~mask);
+    }
+
+    for (std::size_t l = 0; l < W; ++l) {
+      if (!lanes[l].active) continue;
+      if (++lanes[l].next_block < lanes[l].total_blocks) continue;
+      std::byte digest[Spec::kDigestSize];
+      for (std::size_t k = 0; k < S; ++k) {
+        Spec::store_word(digest + 4 * k, state[k][l]);
+      }
+      out[lanes[l].out_index] = Digest(ConstByteSpan{digest, Spec::kDigestSize});
+      if (!feed(l)) --active;
+    }
+  }
+}
+
+}  // namespace aadedupe::hash::detail

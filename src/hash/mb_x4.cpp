@@ -1,0 +1,20 @@
+// 4-lane instantiation of the multi-buffer hash kernel.
+//
+// Compiled with the project's default flags: the generic vector code in
+// mb_lanes.hpp lowers to SSE2 on x86-64 (part of the baseline ABI), so this
+// kernel is always safe to call — no CPUID gate needed beyond the build
+// itself.
+#include "hash/mb_kernels.hpp"
+#include "hash/mb_lanes.hpp"
+
+namespace aadedupe::hash::detail {
+
+void sha1_mb_x4(std::span<const ConstByteSpan> chunks, Digest* out) {
+  mb_hash<4, Sha1Spec>(chunks, out);
+}
+
+void md5_mb_x4(std::span<const ConstByteSpan> chunks, Digest* out) {
+  mb_hash<4, Md5Spec>(chunks, out);
+}
+
+}  // namespace aadedupe::hash::detail

@@ -1,0 +1,21 @@
+// 8-lane instantiation of the multi-buffer hash kernel.
+//
+// This TU is the only one compiled with -mavx2 (set in src/hash/CMakeLists
+// via per-source COMPILE_OPTIONS), so the 256-bit vectors in mb_lanes.hpp
+// lower to real YMM instructions. It must only be reached through the
+// batch_hasher dispatch ladder after the CPUID probe confirms AVX2 and OS
+// YMM-state support.
+#include "hash/mb_kernels.hpp"
+#include "hash/mb_lanes.hpp"
+
+namespace aadedupe::hash::detail {
+
+void sha1_mb_x8(std::span<const ConstByteSpan> chunks, Digest* out) {
+  mb_hash<8, Sha1Spec>(chunks, out);
+}
+
+void md5_mb_x8(std::span<const ConstByteSpan> chunks, Digest* out) {
+  mb_hash<8, Md5Spec>(chunks, out);
+}
+
+}  // namespace aadedupe::hash::detail

@@ -1,0 +1,244 @@
+// SHA-1 over the x86 SHA New Instructions (compiled with -msha).
+//
+// A single sha1rnds4 instruction retires four SHA-1 rounds, so one lane of
+// SHA-NI outperforms even the 8-wide interleaved AVX2 kernel — this is the
+// top rung of the SHA-1 dispatch ladder. The round sequence follows the
+// canonical Intel scheduling: message quads feed forward through
+// sha1msg1/sha1msg2 while sha1nexte folds the rotated E term, four rounds
+// per step, twenty steps per block.
+//
+// Only batch_hasher.cpp may call this, and only after the CPUID probe
+// reports SHA-NI (plus SSSE3/SSE4.1 for pshufb/extract).
+#include "hash/mb_kernels.hpp"
+
+#if defined(__SHA__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+#include <cstring>
+
+namespace aadedupe::hash::detail {
+
+namespace {
+
+// Process `blocks` consecutive 64-byte blocks into `state`.
+void shani_process(std::uint32_t state[5], const std::byte* data,
+                   std::size_t blocks) noexcept {
+  // pshufb mask flipping each 32-bit word's bytes to big-endian.
+  const __m128i kMask =
+      _mm_set_epi64x(0x0001020304050607LL, 0x08090a0b0c0d0e0fLL);
+
+  __m128i abcd = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state));
+  __m128i e0 = _mm_set_epi32(static_cast<int>(state[4]), 0, 0, 0);
+  abcd = _mm_shuffle_epi32(abcd, 0x1B);
+
+  while (blocks-- > 0) {
+    const __m128i abcd_save = abcd;
+    const __m128i e0_save = e0;
+    __m128i e1;
+    __m128i msg0, msg1, msg2, msg3;
+
+    // Rounds 0-3
+    msg0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 0));
+    msg0 = _mm_shuffle_epi8(msg0, kMask);
+    e0 = _mm_add_epi32(e0, msg0);
+    e1 = abcd;
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 0);
+
+    // Rounds 4-7
+    msg1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16));
+    msg1 = _mm_shuffle_epi8(msg1, kMask);
+    e1 = _mm_sha1nexte_epu32(e1, msg1);
+    e0 = abcd;
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 0);
+    msg0 = _mm_sha1msg1_epu32(msg0, msg1);
+
+    // Rounds 8-11
+    msg2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32));
+    msg2 = _mm_shuffle_epi8(msg2, kMask);
+    e0 = _mm_sha1nexte_epu32(e0, msg2);
+    e1 = abcd;
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 0);
+    msg1 = _mm_sha1msg1_epu32(msg1, msg2);
+    msg0 = _mm_xor_si128(msg0, msg2);
+
+    // Rounds 12-15
+    msg3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48));
+    msg3 = _mm_shuffle_epi8(msg3, kMask);
+    e1 = _mm_sha1nexte_epu32(e1, msg3);
+    e0 = abcd;
+    msg0 = _mm_sha1msg2_epu32(msg0, msg3);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 0);
+    msg2 = _mm_sha1msg1_epu32(msg2, msg3);
+    msg1 = _mm_xor_si128(msg1, msg3);
+
+    // Rounds 16-19
+    e0 = _mm_sha1nexte_epu32(e0, msg0);
+    e1 = abcd;
+    msg1 = _mm_sha1msg2_epu32(msg1, msg0);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 0);
+    msg3 = _mm_sha1msg1_epu32(msg3, msg0);
+    msg2 = _mm_xor_si128(msg2, msg0);
+
+    // Rounds 20-23
+    e1 = _mm_sha1nexte_epu32(e1, msg1);
+    e0 = abcd;
+    msg2 = _mm_sha1msg2_epu32(msg2, msg1);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 1);
+    msg0 = _mm_sha1msg1_epu32(msg0, msg1);
+    msg3 = _mm_xor_si128(msg3, msg1);
+
+    // Rounds 24-27
+    e0 = _mm_sha1nexte_epu32(e0, msg2);
+    e1 = abcd;
+    msg3 = _mm_sha1msg2_epu32(msg3, msg2);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 1);
+    msg1 = _mm_sha1msg1_epu32(msg1, msg2);
+    msg0 = _mm_xor_si128(msg0, msg2);
+
+    // Rounds 28-31
+    e1 = _mm_sha1nexte_epu32(e1, msg3);
+    e0 = abcd;
+    msg0 = _mm_sha1msg2_epu32(msg0, msg3);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 1);
+    msg2 = _mm_sha1msg1_epu32(msg2, msg3);
+    msg1 = _mm_xor_si128(msg1, msg3);
+
+    // Rounds 32-35
+    e0 = _mm_sha1nexte_epu32(e0, msg0);
+    e1 = abcd;
+    msg1 = _mm_sha1msg2_epu32(msg1, msg0);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 1);
+    msg3 = _mm_sha1msg1_epu32(msg3, msg0);
+    msg2 = _mm_xor_si128(msg2, msg0);
+
+    // Rounds 36-39
+    e1 = _mm_sha1nexte_epu32(e1, msg1);
+    e0 = abcd;
+    msg2 = _mm_sha1msg2_epu32(msg2, msg1);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 1);
+    msg0 = _mm_sha1msg1_epu32(msg0, msg1);
+    msg3 = _mm_xor_si128(msg3, msg1);
+
+    // Rounds 40-43
+    e0 = _mm_sha1nexte_epu32(e0, msg2);
+    e1 = abcd;
+    msg3 = _mm_sha1msg2_epu32(msg3, msg2);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 2);
+    msg1 = _mm_sha1msg1_epu32(msg1, msg2);
+    msg0 = _mm_xor_si128(msg0, msg2);
+
+    // Rounds 44-47
+    e1 = _mm_sha1nexte_epu32(e1, msg3);
+    e0 = abcd;
+    msg0 = _mm_sha1msg2_epu32(msg0, msg3);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 2);
+    msg2 = _mm_sha1msg1_epu32(msg2, msg3);
+    msg1 = _mm_xor_si128(msg1, msg3);
+
+    // Rounds 48-51
+    e0 = _mm_sha1nexte_epu32(e0, msg0);
+    e1 = abcd;
+    msg1 = _mm_sha1msg2_epu32(msg1, msg0);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 2);
+    msg3 = _mm_sha1msg1_epu32(msg3, msg0);
+    msg2 = _mm_xor_si128(msg2, msg0);
+
+    // Rounds 52-55
+    e1 = _mm_sha1nexte_epu32(e1, msg1);
+    e0 = abcd;
+    msg2 = _mm_sha1msg2_epu32(msg2, msg1);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 2);
+    msg0 = _mm_sha1msg1_epu32(msg0, msg1);
+    msg3 = _mm_xor_si128(msg3, msg1);
+
+    // Rounds 56-59
+    e0 = _mm_sha1nexte_epu32(e0, msg2);
+    e1 = abcd;
+    msg3 = _mm_sha1msg2_epu32(msg3, msg2);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 2);
+    msg1 = _mm_sha1msg1_epu32(msg1, msg2);
+    msg0 = _mm_xor_si128(msg0, msg2);
+
+    // Rounds 60-63
+    e1 = _mm_sha1nexte_epu32(e1, msg3);
+    e0 = abcd;
+    msg0 = _mm_sha1msg2_epu32(msg0, msg3);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 3);
+    msg2 = _mm_sha1msg1_epu32(msg2, msg3);
+    msg1 = _mm_xor_si128(msg1, msg3);
+
+    // Rounds 64-67
+    e0 = _mm_sha1nexte_epu32(e0, msg0);
+    e1 = abcd;
+    msg1 = _mm_sha1msg2_epu32(msg1, msg0);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 3);
+    msg3 = _mm_sha1msg1_epu32(msg3, msg0);
+    msg2 = _mm_xor_si128(msg2, msg0);
+
+    // Rounds 68-71
+    e1 = _mm_sha1nexte_epu32(e1, msg1);
+    e0 = abcd;
+    msg2 = _mm_sha1msg2_epu32(msg2, msg1);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 3);
+    msg3 = _mm_xor_si128(msg3, msg1);
+
+    // Rounds 72-75
+    e0 = _mm_sha1nexte_epu32(e0, msg2);
+    e1 = abcd;
+    msg3 = _mm_sha1msg2_epu32(msg3, msg2);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 3);
+
+    // Rounds 76-79
+    e1 = _mm_sha1nexte_epu32(e1, msg3);
+    e0 = abcd;
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 3);
+
+    // Fold into the running state.
+    e0 = _mm_sha1nexte_epu32(e0, e0_save);
+    abcd = _mm_add_epi32(abcd, abcd_save);
+
+    data += 64;
+  }
+
+  abcd = _mm_shuffle_epi32(abcd, 0x1B);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), abcd);
+  state[4] = static_cast<std::uint32_t>(_mm_extract_epi32(e0, 3));
+}
+
+}  // namespace
+
+Digest sha1_shani_one(ConstByteSpan data) {
+  std::uint32_t state[5] = {0x67452301u, 0xefcdab89u, 0x98badcfeu,
+                            0x10325476u, 0xc3d2e1f0u};
+  const std::uint64_t len = data.size();
+  const std::size_t full_blocks = data.size() / 64;
+  shani_process(state, data.data(), full_blocks);
+
+  // Pad the remainder (RFC 3174): 0x80, zeros, 64-bit big-endian bit count.
+  const std::size_t rem = data.size() % 64;
+  std::byte tail[128] = {};
+  if (rem != 0) std::memcpy(tail, data.data() + (len - rem), rem);
+  tail[rem] = std::byte{0x80};
+  const std::size_t tail_blocks = rem < 56 ? 1 : 2;
+  const std::uint64_t bits = len * 8;
+  std::byte* len_at = tail + tail_blocks * 64 - 8;
+  for (int i = 0; i < 8; ++i) {
+    len_at[i] = static_cast<std::byte>((bits >> (56 - 8 * i)) & 0xffu);
+  }
+  shani_process(state, tail, tail_blocks);
+
+  std::byte out[20];
+  for (std::size_t i = 0; i < 5; ++i) {
+    out[4 * i + 0] = static_cast<std::byte>((state[i] >> 24) & 0xffu);
+    out[4 * i + 1] = static_cast<std::byte>((state[i] >> 16) & 0xffu);
+    out[4 * i + 2] = static_cast<std::byte>((state[i] >> 8) & 0xffu);
+    out[4 * i + 3] = static_cast<std::byte>(state[i] & 0xffu);
+  }
+  return Digest(ConstByteSpan{out, 20});
+}
+
+}  // namespace aadedupe::hash::detail
+
+#endif  // defined(__SHA__)

@@ -36,7 +36,7 @@ TEST(DedupPolicy, CategoryAssignmentsMatchPaper) {
   EXPECT_EQ(static_data.hash_kind, hash::HashKind::kMd5);
   // Dynamic uncompressed -> CDC + SHA-1.
   const auto dynamic_data = policy.for_kind(dataset::FileKind::kDoc);
-  EXPECT_EQ(dynamic_data.chunker->name(), "cdc");
+  EXPECT_EQ(dynamic_data.chunker->name(), "fastcdc");
   EXPECT_EQ(dynamic_data.hash_kind, hash::HashKind::kSha1);
 }
 

@@ -31,7 +31,7 @@ TEST(ApplicationStats, PolicyColumnsMatchCategories) {
   EXPECT_EQ(rows.at("mp3").hash, "rabin96");
   EXPECT_EQ(rows.at("vmdk").chunker, "sc");
   EXPECT_EQ(rows.at("vmdk").hash, "md5");
-  EXPECT_EQ(rows.at("doc").chunker, "cdc");
+  EXPECT_EQ(rows.at("doc").chunker, "fastcdc");
   EXPECT_EQ(rows.at("doc").hash, "sha1");
   EXPECT_EQ(rows.at("tiny").chunker, "-");
 }

@@ -1,0 +1,313 @@
+// Batched fingerprint engine: RFC known-answer vectors against every
+// compiled lane width, plus randomized batch-vs-scalar differentials over
+// uneven chunk lengths. These suites are what lets the dispatch ladder swap
+// rungs per machine without dedup metrics ever depending on the hardware.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hash/batch_hasher.hpp"
+#include "hash/cpu_features.hpp"
+#include "hash/hash_kind.hpp"
+#include "hash/md5.hpp"
+#include "hash/sha1.hpp"
+#include "util/bytes.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace aadedupe::hash {
+namespace {
+
+struct Kat {
+  std::string message;
+  std::string_view hex;
+};
+
+// RFC 3174 test vectors (1 & 2, plus the long repetition cases) and the
+// classic million-'a' vector from FIPS 180 validation suites.
+std::vector<Kat> sha1_vectors() {
+  std::vector<Kat> v = {
+      {"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"},
+      {"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"},
+      {"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+       "84983e441c3bd26ebaae4aa1f95129e5e54670f1"},
+      {std::string(1000000, 'a'), "34aa973cd4c4daa4f61eeb2bdbad27316534016f"},
+  };
+  // RFC 3174 TEST3: the 64-char "01234567..." block repeated 10 times.
+  std::string rep;
+  for (int i = 0; i < 10; ++i) {
+    rep +=
+        "0123456701234567012345670123456701234567012345670123456701234567";
+  }
+  v.push_back({rep, "dea356a2cddd90c7a7ecedc5ebb563934f460452"});
+  return v;
+}
+
+// RFC 1321 appendix A.5 test suite, complete.
+std::vector<Kat> md5_vectors() {
+  return {
+      {"", "d41d8cd98f00b204e9800998ecf8427e"},
+      {"a", "0cc175b9c0f1b6a831c399e269772661"},
+      {"abc", "900150983cd24fb0d6963f7d28e17f72"},
+      {"message digest", "f96b697d7cb7938d525a2f31aaf161d0"},
+      {"abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"},
+      {"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+       "d174ab98d277d9f5a5611c2c9f419d9f"},
+      {"123456789012345678901234567890123456789012345678901234567890123456"
+       "78901234567890",
+       "57edf4a22be3c955ac49da2e2107b67a"},
+  };
+}
+
+// Lengths that straddle every padding boundary: the 55/56 one-vs-two tail
+// block split, exact block multiples, and a 1 MiB chunk to stress the full-
+// block fast path. (The ±1 around 64 and 128 catch cursor off-by-ones.)
+std::vector<std::size_t> boundary_lengths() {
+  return {0,   1,   3,   55,  56,  57,   63,   64,   65,   119,  120,
+          121, 127, 128, 129, 447, 1000, 4096, 8191, 8192, 65536, 1u << 20};
+}
+
+ByteBuffer random_buffer(std::size_t size, std::uint64_t seed) {
+  ByteBuffer buf(size);
+  Xoshiro256 rng(seed);
+  rng.fill(buf);
+  return buf;
+}
+
+std::vector<ConstByteSpan> views_of(const std::vector<ByteBuffer>& buffers) {
+  std::vector<ConstByteSpan> views;
+  views.reserve(buffers.size());
+  for (const ByteBuffer& b : buffers) views.emplace_back(b);
+  return views;
+}
+
+TEST(CpuFeaturesTest, DisableFlagParser) {
+  EXPECT_FALSE(parse_simd_disable_flag(nullptr));
+  EXPECT_FALSE(parse_simd_disable_flag(""));
+  EXPECT_FALSE(parse_simd_disable_flag("0"));
+  EXPECT_FALSE(parse_simd_disable_flag("false"));
+  EXPECT_FALSE(parse_simd_disable_flag("no"));
+  EXPECT_FALSE(parse_simd_disable_flag("off"));
+  EXPECT_FALSE(parse_simd_disable_flag("2"));
+  EXPECT_FALSE(parse_simd_disable_flag("disable"));
+  EXPECT_TRUE(parse_simd_disable_flag("1"));
+  EXPECT_TRUE(parse_simd_disable_flag("true"));
+  EXPECT_TRUE(parse_simd_disable_flag("TRUE"));
+  EXPECT_TRUE(parse_simd_disable_flag("yes"));
+  EXPECT_TRUE(parse_simd_disable_flag("on"));
+  EXPECT_TRUE(parse_simd_disable_flag("On"));
+}
+
+TEST(BatchHasherTest, ScalarRungsAlwaysSupported) {
+  const auto sha1 = BatchHasher::supported_sha1_impls();
+  const auto md5 = BatchHasher::supported_md5_impls();
+  ASSERT_FALSE(sha1.empty());
+  ASSERT_FALSE(md5.empty());
+  EXPECT_EQ(sha1.front(), Sha1Impl::kScalar);
+  EXPECT_EQ(md5.front(), Md5Impl::kScalar);
+}
+
+TEST(BatchHasherTest, DefaultPicksStrongestSupportedRung) {
+  const BatchHasher hasher;
+  EXPECT_EQ(hasher.sha1_impl(), BatchHasher::supported_sha1_impls().back());
+  EXPECT_EQ(hasher.md5_impl(), BatchHasher::supported_md5_impls().back());
+  EXPECT_FALSE(hasher.impl_tag(HashKind::kSha1).empty());
+  EXPECT_EQ(hasher.impl_tag(HashKind::kRabin96), "scalar");
+}
+
+// Every compiled SHA-1 rung must reproduce the RFC 3174 vectors — each
+// vector alone (exercising partially-filled lanes) and all of them as one
+// batch (exercising lane refill across very unequal lengths).
+TEST(BatchHasherTest, Sha1KnownAnswersOnEveryRung) {
+  const auto vectors = sha1_vectors();
+  std::vector<ByteBuffer> buffers;
+  for (const Kat& kat : vectors) buffers.push_back(to_buffer(kat.message));
+  const auto views = views_of(buffers);
+
+  for (Sha1Impl impl : BatchHasher::supported_sha1_impls()) {
+    SCOPED_TRACE(std::string("impl=") += to_string(impl));
+    const BatchHasher hasher(impl, Md5Impl::kScalar);
+    std::vector<Digest> out;
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      hasher.hash_batch(HashKind::kSha1, {&views[i], 1}, out);
+      EXPECT_EQ(out[0].hex(), vectors[i].hex) << "vector " << i;
+    }
+    hasher.hash_batch(HashKind::kSha1, views, out);
+    ASSERT_EQ(out.size(), vectors.size());
+    for (std::size_t i = 0; i < vectors.size(); ++i) {
+      EXPECT_EQ(out[i].hex(), vectors[i].hex) << "batched vector " << i;
+    }
+  }
+}
+
+TEST(BatchHasherTest, Md5KnownAnswersOnEveryRung) {
+  const auto vectors = md5_vectors();
+  std::vector<ByteBuffer> buffers;
+  for (const Kat& kat : vectors) buffers.push_back(to_buffer(kat.message));
+  const auto views = views_of(buffers);
+
+  for (Md5Impl impl : BatchHasher::supported_md5_impls()) {
+    SCOPED_TRACE(std::string("impl=") += to_string(impl));
+    const BatchHasher hasher(Sha1Impl::kScalar, impl);
+    std::vector<Digest> out;
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      hasher.hash_batch(HashKind::kMd5, {&views[i], 1}, out);
+      EXPECT_EQ(out[0].hex(), vectors[i].hex) << "vector " << i;
+    }
+    hasher.hash_batch(HashKind::kMd5, views, out);
+    ASSERT_EQ(out.size(), vectors.size());
+    for (std::size_t i = 0; i < vectors.size(); ++i) {
+      EXPECT_EQ(out[i].hex(), vectors[i].hex) << "batched vector " << i;
+    }
+  }
+}
+
+// One batch holding every padding-boundary length at once: 0, 1, 55, 56,
+// 64, 65, ... 1 MiB. Batch results must match the scalar reference bit for
+// bit on every rung.
+TEST(BatchHasherTest, PaddingBoundaryBatchMatchesScalar) {
+  std::vector<ByteBuffer> buffers;
+  std::uint64_t seed = 0x5eed;
+  for (std::size_t len : boundary_lengths()) {
+    buffers.push_back(random_buffer(len, seed++));
+  }
+  const auto views = views_of(buffers);
+
+  std::vector<Digest> expect_sha1;
+  std::vector<Digest> expect_md5;
+  for (const auto& v : views) {
+    expect_sha1.push_back(Sha1::hash(v));
+    expect_md5.push_back(Md5::hash(v));
+  }
+
+  std::vector<Digest> out;
+  for (Sha1Impl impl : BatchHasher::supported_sha1_impls()) {
+    SCOPED_TRACE(std::string("sha1 impl=") += to_string(impl));
+    BatchHasher(impl, Md5Impl::kScalar)
+        .hash_batch(HashKind::kSha1, views, out);
+    ASSERT_EQ(out.size(), views.size());
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      EXPECT_EQ(out[i], expect_sha1[i]) << "len=" << views[i].size();
+    }
+  }
+  for (Md5Impl impl : BatchHasher::supported_md5_impls()) {
+    SCOPED_TRACE(std::string("md5 impl=") += to_string(impl));
+    BatchHasher(Sha1Impl::kScalar, impl)
+        .hash_batch(HashKind::kMd5, views, out);
+    ASSERT_EQ(out.size(), views.size());
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      EXPECT_EQ(out[i], expect_md5[i]) << "len=" << views[i].size();
+    }
+  }
+}
+
+// Randomized differential: many batches of random count x random uneven
+// lengths, every rung vs the scalar reference. Catches lane-refill and
+// masked-update bugs that fixed vectors cannot.
+TEST(BatchHasherTest, RandomizedDifferentialBatchVsScalar) {
+  Xoshiro256 rng(20260809);
+  const auto sha1_impls = BatchHasher::supported_sha1_impls();
+  const auto md5_impls = BatchHasher::supported_md5_impls();
+
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t count = rng.next() % 23;  // includes empty batches
+    std::vector<ByteBuffer> buffers;
+    for (std::size_t i = 0; i < count; ++i) {
+      // Mix tiny, block-boundary-ish, and multi-block sizes.
+      const std::uint64_t pick = rng.next();
+      std::size_t len;
+      if (pick % 3 == 0) {
+        len = pick % 70;
+      } else if (pick % 3 == 1) {
+        len = 64 * (pick % 32) + (rng.next() % 3);
+      } else {
+        len = pick % 20000;
+      }
+      buffers.push_back(random_buffer(len, rng.next()));
+    }
+    const auto views = views_of(buffers);
+
+    std::vector<Digest> expect_sha1;
+    std::vector<Digest> expect_md5;
+    for (const auto& v : views) {
+      expect_sha1.push_back(Sha1::hash(v));
+      expect_md5.push_back(Md5::hash(v));
+    }
+
+    std::vector<Digest> out;
+    for (Sha1Impl impl : sha1_impls) {
+      BatchHasher(impl, Md5Impl::kScalar)
+          .hash_batch(HashKind::kSha1, views, out);
+      ASSERT_EQ(out.size(), views.size());
+      for (std::size_t i = 0; i < views.size(); ++i) {
+        ASSERT_EQ(out[i], expect_sha1[i])
+            << "round " << round << " sha1 " << to_string(impl) << " chunk "
+            << i << " len " << views[i].size();
+      }
+    }
+    for (Md5Impl impl : md5_impls) {
+      BatchHasher(Sha1Impl::kScalar, impl)
+          .hash_batch(HashKind::kMd5, views, out);
+      ASSERT_EQ(out.size(), views.size());
+      for (std::size_t i = 0; i < views.size(); ++i) {
+        ASSERT_EQ(out[i], expect_md5[i])
+            << "round " << round << " md5 " << to_string(impl) << " chunk "
+            << i << " len " << views[i].size();
+      }
+    }
+  }
+}
+
+TEST(BatchHasherTest, Rabin96BatchMatchesScalarReference) {
+  std::vector<ByteBuffer> buffers;
+  for (std::size_t len : {std::size_t{0}, std::size_t{12}, std::size_t{100},
+                          std::size_t{4096}}) {
+    buffers.push_back(random_buffer(len, 99 + len));
+  }
+  const auto views = views_of(buffers);
+  std::vector<Digest> out;
+  default_batch_hasher().hash_batch(HashKind::kRabin96, views, out);
+  ASSERT_EQ(out.size(), views.size());
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    EXPECT_EQ(out[i], compute_digest(HashKind::kRabin96, views[i]));
+  }
+}
+
+TEST(BatchHasherTest, HashOneMatchesComputeDigest) {
+  const ByteBuffer data = random_buffer(12345, 7);
+  const BatchHasher& hasher = default_batch_hasher();
+  EXPECT_EQ(hasher.hash_one(HashKind::kSha1, data),
+            compute_digest(HashKind::kSha1, data));
+  EXPECT_EQ(hasher.hash_one(HashKind::kMd5, data),
+            compute_digest(HashKind::kMd5, data));
+  EXPECT_EQ(hasher.hash_one(HashKind::kRabin96, data),
+            compute_digest(HashKind::kRabin96, data));
+}
+
+TEST(BatchHasherTest, EmptyBatchIsANoOp) {
+  std::vector<Digest> out(3);
+  default_batch_hasher().hash_batch(HashKind::kSha1, {}, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BatchHasherTest, UnsupportedPinnedRungThrows) {
+  // Find a rung the current build/CPU does NOT support, if any.
+  const auto supported = BatchHasher::supported_sha1_impls();
+  for (Sha1Impl impl : {Sha1Impl::kSse2x4, Sha1Impl::kAvx2x8,
+                        Sha1Impl::kShaNi}) {
+    bool is_supported = false;
+    for (Sha1Impl s : supported) is_supported |= (s == impl);
+    if (!is_supported) {
+      EXPECT_THROW(BatchHasher(impl, Md5Impl::kScalar), PreconditionError);
+      return;
+    }
+  }
+  GTEST_SKIP() << "every rung supported on this build/CPU";
+}
+
+}  // namespace
+}  // namespace aadedupe::hash

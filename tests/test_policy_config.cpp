@@ -1,5 +1,6 @@
-// Policy-configuration tests: the paper's exact policy is the default,
-// and the FastCDC variant plugs into the dynamic category transparently.
+// Policy-configuration tests: FastCDC is the default dynamic-category
+// engine (the paper's Rabin CDC stays selectable for ablations), and the
+// per-category hash/chunker routing matches the paper.
 #include <gtest/gtest.h>
 
 #include "core/aa_dedupe.hpp"
@@ -16,23 +17,23 @@ dataset::DatasetConfig policy_config_ds() {
   return config;
 }
 
-TEST(PolicyConfig, DefaultMatchesPaper) {
+TEST(PolicyConfig, DefaultUsesFastCdcForDynamicCategory) {
   const DedupPolicy policy;
   EXPECT_EQ(policy.for_category(dataset::AppCategory::kDynamicUncompressed)
                 .chunker->name(),
-            "cdc");
+            "fastcdc");
   EXPECT_EQ(policy.for_category(dataset::AppCategory::kStaticUncompressed)
                 .chunker->name(),
             "sc");
 }
 
-TEST(PolicyConfig, FastCdcSelectableForDynamicCategory) {
+TEST(PolicyConfig, PaperExactRabinCdcStaysSelectable) {
   PolicyConfig config;
-  config.dynamic_engine = PolicyConfig::DynamicEngine::kFastCdc;
+  config.dynamic_engine = PolicyConfig::DynamicEngine::kRabinCdc;
   const DedupPolicy policy(config);
   EXPECT_EQ(policy.for_category(dataset::AppCategory::kDynamicUncompressed)
                 .chunker->name(),
-            "fastcdc");
+            "cdc");
   // Hash assignment is category-driven, not engine-driven.
   EXPECT_EQ(policy.for_category(dataset::AppCategory::kDynamicUncompressed)
                 .hash_kind,
@@ -76,7 +77,9 @@ TEST(PolicyConfig, FastCdcDedupComparableToRabinCdc) {
   const auto sessions_b = gen_b.sessions(2);
 
   cloud::CloudTarget ta, tb;
-  AaDedupeScheme rabin(ta);
+  AaDedupeOptions rabin_options;
+  rabin_options.policy.dynamic_engine = PolicyConfig::DynamicEngine::kRabinCdc;
+  AaDedupeScheme rabin(ta, rabin_options);
   AaDedupeOptions fast_options;
   fast_options.policy.dynamic_engine = PolicyConfig::DynamicEngine::kFastCdc;
   AaDedupeScheme fast(tb, fast_options);

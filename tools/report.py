@@ -281,6 +281,12 @@ GATE_KEYS = {
     "cdc_speedup_vs_reference": "higher",
     "session_file_vs_stream_speedup": "higher",
     "telemetry_overhead_pct_cdc_fingerprint": "lower_pct",
+    # Batched hash engine (PR 7): best compiled SIMD rung vs the scalar
+    # rung measured in the same process, and the end-to-end dynamic-path
+    # chunk+fingerprint throughput vs the recorded pre-engine seed.
+    "sha1_batch_speedup_vs_scalar": "higher",
+    "md5_batch_speedup_vs_scalar": "higher",
+    "cdc_fingerprint_speedup_vs_seed": "higher",
     # BENCH_index.json (log-structured index)
     "bloom_cold_filter_rate": "higher",
     "hot_cache_hit_rate": "higher",
@@ -434,10 +440,17 @@ def selftest() -> int:
     # perf-gate fixtures: ok, regression, improvement
     bench_base = {"cdc_speedup_vs_reference": 4.0,
                   "session_file_vs_stream_speedup": 2.0,
-                  "telemetry_overhead_pct_cdc_fingerprint": 1.0}
+                  "telemetry_overhead_pct_cdc_fingerprint": 1.0,
+                  "sha1_batch_speedup_vs_scalar": 8.0,
+                  "md5_batch_speedup_vs_scalar": 4.5,
+                  "cdc_fingerprint_speedup_vs_seed": 7.0}
     bench_ok = dict(bench_base, cdc_speedup_vs_reference=4.2)
     bench_bad = dict(bench_base, cdc_speedup_vs_reference=2.0)
     bench_fast = dict(bench_base, session_file_vs_stream_speedup=3.5)
+    # A SIMD rung falling off the dispatch ladder (e.g. a build that lost
+    # -mavx2) must trip the batch-speedup gate.
+    bench_lost_simd = dict(bench_base, sha1_batch_speedup_vs_scalar=1.0,
+                           cdc_fingerprint_speedup_vs_seed=2.0)
     # BENCH_index.json fixtures: the `lower` slack floor must tolerate a
     # near-zero baseline, and `true` keys gate on the fresh file alone.
     index_base = {"bloom_cold_filter_rate": 0.99,
@@ -474,9 +487,13 @@ def selftest() -> int:
             assert perf_gate(write("ok.json", bench_ok), pb) == 0
             assert perf_gate(write("bad.json", bench_bad), pb) == 1
             assert perf_gate(write("fast.json", bench_fast), pb) == 0
+            assert perf_gate(write("lost_simd.json", bench_lost_simd),
+                             pb) == 1
         gated = out.getvalue()
         assert "FAIL cdc_speedup_vs_reference" in gated, gated
         assert "WARN session_file_vs_stream_speedup" in gated, gated
+        assert "FAIL sha1_batch_speedup_vs_scalar" in gated, gated
+        assert "FAIL cdc_fingerprint_speedup_vs_seed" in gated, gated
 
         ib = write("index_base.json", index_base)
         out = io.StringIO()

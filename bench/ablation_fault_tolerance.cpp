@@ -54,15 +54,14 @@ int main() {
     }
     intact = intact && scheme.pending_uploads().empty();
 
-    const auto faults = target.fault_stats();
-    const auto retries = target.retry_stats();
+    const auto& retrier = target.retrier();
     char rate[16];
     std::snprintf(rate, sizeof rate, "%.0f%%", fault_p * 100.0);
     table.add_row({rate,
-                   metrics::TableWriter::integer(faults.injected_total()),
-                   metrics::TableWriter::integer(retries.retries),
-                   metrics::TableWriter::num(retries.backoff_seconds, 1),
-                   metrics::TableWriter::integer(retries.exhausted),
+                   metrics::TableWriter::integer(target.injected_fault_total()),
+                   metrics::TableWriter::integer(retrier.retries()),
+                   metrics::TableWriter::num(retrier.backoff_seconds(), 1),
+                   metrics::TableWriter::integer(retrier.exhausted()),
                    metrics::TableWriter::num(wan_seconds, 1),
                    intact ? "byte-exact" : "DAMAGED"});
   }

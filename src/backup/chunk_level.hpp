@@ -13,7 +13,10 @@
 
 #include "backup/scheme.hpp"
 #include "chunk/cdc_chunker.hpp"
+#include "cloud/cloud_target.hpp"
 #include "container/recipe.hpp"
+#include "dataset/snapshot.hpp"
+#include "index/chunk_index.hpp"
 #include "index/memory_index.hpp"
 #include "index/sim_disk_index.hpp"
 

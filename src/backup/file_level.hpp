@@ -9,6 +9,9 @@
 #include <map>
 
 #include "backup/scheme.hpp"
+#include "cloud/cloud_target.hpp"
+#include "dataset/snapshot.hpp"
+#include "hash/digest.hpp"
 #include "index/memory_index.hpp"
 
 namespace aadedupe::backup {

@@ -9,6 +9,8 @@
 #include <map>
 
 #include "backup/scheme.hpp"
+#include "cloud/cloud_target.hpp"
+#include "dataset/snapshot.hpp"
 
 namespace aadedupe::backup {
 

@@ -17,6 +17,8 @@
 #include <map>
 
 #include "backup/scheme.hpp"
+#include "cloud/cloud_target.hpp"
+#include "dataset/snapshot.hpp"
 #include "hash/rabin.hpp"
 
 namespace aadedupe::backup {

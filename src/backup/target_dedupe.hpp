@@ -16,7 +16,9 @@
 
 #include "backup/scheme.hpp"
 #include "chunk/cdc_chunker.hpp"
+#include "cloud/cloud_target.hpp"
 #include "container/recipe.hpp"
+#include "dataset/snapshot.hpp"
 #include "index/memory_index.hpp"
 
 namespace aadedupe::backup {

@@ -76,26 +76,25 @@ void CloudTarget::fill_run_report(telemetry::RunReport& report) const {
   store_json["bytes_downloaded"] = store.bytes_downloaded;
   store_json["stored_bytes"] = store_.stored_bytes();
 
-  const RetryStats retry = retry_stats();
   telemetry::JsonValue& retry_json = cloud["retry"].make_object();
-  retry_json["operations"] = retry.operations;
-  retry_json["attempts"] = retry.attempts;
-  retry_json["retries"] = retry.retries;
-  retry_json["exhausted"] = retry.exhausted;
-  retry_json["permanent_failures"] = retry.permanent_failures;
-  retry_json["backoff_seconds"] = retry.backoff_seconds;
+  retry_json["operations"] = retrier_->operations();
+  retry_json["attempts"] = retrier_->attempts();
+  retry_json["retries"] = retrier_->retries();
+  retry_json["exhausted"] = retrier_->exhausted();
+  retry_json["permanent_failures"] = retrier_->permanent_failures();
+  retry_json["backoff_seconds"] = retrier_->backoff_seconds();
 
-  const FaultStats faults = fault_stats();
   telemetry::JsonValue& fault_json = cloud["faults"].make_object();
   fault_json["enabled"] = fault_profile_.has_value();
-  fault_json["put_attempts"] = faults.put_attempts;
-  fault_json["get_attempts"] = faults.get_attempts;
-  fault_json["injected_transient"] = faults.injected_transient;
-  fault_json["injected_timeout"] = faults.injected_timeout;
-  fault_json["injected_throttle"] = faults.injected_throttle;
-  fault_json["injected_corrupt"] = faults.injected_corrupt;
-  fault_json["injected_total"] = faults.injected_total();
-  fault_json["latency_spikes"] = faults.latency_spikes;
+  fault_json["put_attempts"] = faults_ ? faults_->put_attempts() : 0;
+  fault_json["get_attempts"] = faults_ ? faults_->get_attempts() : 0;
+  fault_json["injected_transient"] =
+      faults_ ? faults_->injected_transient() : 0;
+  fault_json["injected_timeout"] = faults_ ? faults_->injected_timeout() : 0;
+  fault_json["injected_throttle"] = faults_ ? faults_->injected_throttle() : 0;
+  fault_json["injected_corrupt"] = faults_ ? faults_->injected_corrupt() : 0;
+  fault_json["injected_total"] = injected_fault_total();
+  fault_json["latency_spikes"] = faults_ ? faults_->latency_spikes() : 0;
 
   cloud["transfer_seconds"] = transfer_seconds();
   cloud["monthly_cost_usd"] = monthly_cost();

@@ -82,10 +82,15 @@ class CloudTarget {
   void fill_run_report(telemetry::RunReport& report) const;
 
   const RetryPolicy& retry_policy() const noexcept { return retry_policy_; }
-  RetryStats retry_stats() const { return retrier_->stats(); }
-  /// Zeroed stats when no fault layer is installed.
-  FaultStats fault_stats() const {
-    return faults_ ? faults_->stats() : FaultStats{};
+  /// The retry decorator — always installed; read its counters directly.
+  const RetryingBackend& retrier() const noexcept { return *retrier_; }
+  /// The fault-injection decorator, or nullptr when none is installed.
+  const FaultInjectingBackend* fault_injector() const noexcept {
+    return faults_.get();
+  }
+  /// All injected failures so far; 0 when no fault layer is installed.
+  std::uint64_t injected_fault_total() const {
+    return faults_ ? faults_->injected_total() : 0;
   }
 
   /// Accumulated simulated transfer time (upload + download + failed

@@ -49,7 +49,7 @@ CloudStatus FaultInjectingBackend::put(const std::string& key,
   const double u = rng.uniform();
   {
     std::lock_guard lock(mutex_);
-    ++stats_.put_attempts;
+    ++put_attempts_;
   }
 
   const double full_transfer_s = link_.upload_seconds(data.size(), 1);
@@ -58,7 +58,7 @@ CloudStatus FaultInjectingBackend::put(const std::string& key,
     charge_(full_transfer_s * profile_.failed_attempt_time_fraction);
     faults_counter_.increment();
     std::lock_guard lock(mutex_);
-    ++stats_.injected_transient;
+    ++injected_transient_;
     return CloudError::kTransient;
   }
   band += profile_.put_timeout_p;
@@ -66,7 +66,7 @@ CloudStatus FaultInjectingBackend::put(const std::string& key,
     charge_(profile_.timeout_s);
     faults_counter_.increment();
     std::lock_guard lock(mutex_);
-    ++stats_.injected_timeout;
+    ++injected_timeout_;
     return CloudError::kTimeout;
   }
   band += profile_.put_throttle_p;
@@ -74,14 +74,14 @@ CloudStatus FaultInjectingBackend::put(const std::string& key,
     charge_(link_.per_request_s);
     faults_counter_.increment();
     std::lock_guard lock(mutex_);
-    ++stats_.injected_throttle;
+    ++injected_throttle_;
     return CloudError::kThrottled;
   }
   if (rng.chance(profile_.latency_spike_p)) {
     charge_(profile_.latency_spike_s);
     spikes_counter_.increment();
     std::lock_guard lock(mutex_);
-    ++stats_.latency_spikes;
+    ++latency_spikes_;
   }
   return inner_->put(key, data);
 }
@@ -92,7 +92,7 @@ CloudResult<ByteBuffer> FaultInjectingBackend::get(const std::string& key) {
   const double u = rng.uniform();
   {
     std::lock_guard lock(mutex_);
-    ++stats_.get_attempts;
+    ++get_attempts_;
   }
 
   double band = profile_.get_transient_p;
@@ -100,7 +100,7 @@ CloudResult<ByteBuffer> FaultInjectingBackend::get(const std::string& key) {
     charge_(profile_.timeout_s * profile_.failed_attempt_time_fraction);
     faults_counter_.increment();
     std::lock_guard lock(mutex_);
-    ++stats_.injected_transient;
+    ++injected_transient_;
     return CloudError::kTransient;
   }
   band += profile_.get_timeout_p;
@@ -108,7 +108,7 @@ CloudResult<ByteBuffer> FaultInjectingBackend::get(const std::string& key) {
     charge_(profile_.timeout_s);
     faults_counter_.increment();
     std::lock_guard lock(mutex_);
-    ++stats_.injected_timeout;
+    ++injected_timeout_;
     return CloudError::kTimeout;
   }
   band += profile_.get_throttle_p;
@@ -116,7 +116,7 @@ CloudResult<ByteBuffer> FaultInjectingBackend::get(const std::string& key) {
     charge_(link_.per_request_s);
     faults_counter_.increment();
     std::lock_guard lock(mutex_);
-    ++stats_.injected_throttle;
+    ++injected_throttle_;
     return CloudError::kThrottled;
   }
 
@@ -127,7 +127,7 @@ CloudResult<ByteBuffer> FaultInjectingBackend::get(const std::string& key) {
     charge_(profile_.latency_spike_s);
     spikes_counter_.increment();
     std::lock_guard lock(mutex_);
-    ++stats_.latency_spikes;
+    ++latency_spikes_;
   }
   if (rng.chance(profile_.get_corrupt_p) && !result.value().empty()) {
     ByteBuffer damaged = std::move(result).value();
@@ -144,7 +144,7 @@ CloudResult<ByteBuffer> FaultInjectingBackend::get(const std::string& key) {
     faults_counter_.increment();
     {
       std::lock_guard lock(mutex_);
-      ++stats_.injected_corrupt;
+      ++injected_corrupt_;
     }
     if (profile_.silent_corruption) return damaged;
     return CloudError::kCorrupt;
@@ -155,11 +155,6 @@ CloudResult<ByteBuffer> FaultInjectingBackend::get(const std::string& key) {
 CloudResult<bool> FaultInjectingBackend::remove(const std::string& key) {
   // Deletes are control-plane-adjacent; the fault model leaves them alone.
   return inner_->remove(key);
-}
-
-FaultStats FaultInjectingBackend::stats() const {
-  std::lock_guard lock(mutex_);
-  return stats_;
 }
 
 }  // namespace aadedupe::cloud

@@ -18,8 +18,10 @@
 #include <string>
 
 #include "cloud/cloud_backend.hpp"
+#include "cloud/cloud_result.hpp"
 #include "cloud/memory_backend.hpp"
 #include "cloud/wan_link.hpp"
+#include "telemetry/metrics.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace aadedupe::cloud {
@@ -63,22 +65,6 @@ struct FaultProfile {
   }
 };
 
-/// Counters of injected faults (for tests and bench reporting).
-struct FaultStats {
-  std::uint64_t put_attempts = 0;
-  std::uint64_t get_attempts = 0;
-  std::uint64_t injected_transient = 0;
-  std::uint64_t injected_timeout = 0;
-  std::uint64_t injected_throttle = 0;
-  std::uint64_t injected_corrupt = 0;
-  std::uint64_t latency_spikes = 0;
-
-  std::uint64_t injected_total() const noexcept {
-    return injected_transient + injected_timeout + injected_throttle +
-           injected_corrupt;
-  }
-};
-
 class FaultInjectingBackend final : public CloudBackend {
  public:
   /// `telemetry` (nullable) receives live injected-fault counters.
@@ -91,11 +77,32 @@ class FaultInjectingBackend final : public CloudBackend {
   CloudResult<bool> remove(const std::string& key) override;
   std::string_view name() const noexcept override { return "fault-injector"; }
 
-  FaultStats stats() const;
+  // Injected-fault counters (for tests and bench reporting). Folded from
+  // the old FaultStats snapshot struct into individual accessors: the
+  // authoritative rollup lives in the run report's cloud.faults section
+  // (CloudTarget::fill_run_report).
+  std::uint64_t put_attempts() const { return locked(put_attempts_); }
+  std::uint64_t get_attempts() const { return locked(get_attempts_); }
+  std::uint64_t injected_transient() const { return locked(injected_transient_); }
+  std::uint64_t injected_timeout() const { return locked(injected_timeout_); }
+  std::uint64_t injected_throttle() const { return locked(injected_throttle_); }
+  std::uint64_t injected_corrupt() const { return locked(injected_corrupt_); }
+  std::uint64_t latency_spikes() const { return locked(latency_spikes_); }
+  /// All injected failures (spikes are delays, not failures — excluded).
+  std::uint64_t injected_total() const {
+    std::lock_guard lock(mutex_);
+    return injected_transient_ + injected_timeout_ + injected_throttle_ +
+           injected_corrupt_;
+  }
 
  private:
   /// Monotonic per-(op,key) attempt number; the determinism anchor.
   std::uint32_t next_attempt(const std::string& op_key);
+
+  std::uint64_t locked(const std::uint64_t& counter) const {
+    std::lock_guard lock(mutex_);
+    return counter;
+  }
 
   CloudBackend* inner_;
   FaultProfile profile_;
@@ -107,7 +114,13 @@ class FaultInjectingBackend final : public CloudBackend {
 
   mutable std::mutex mutex_;
   std::map<std::string, std::uint32_t> attempts_;
-  FaultStats stats_;
+  std::uint64_t put_attempts_ = 0;
+  std::uint64_t get_attempts_ = 0;
+  std::uint64_t injected_transient_ = 0;
+  std::uint64_t injected_timeout_ = 0;
+  std::uint64_t injected_throttle_ = 0;
+  std::uint64_t injected_corrupt_ = 0;
+  std::uint64_t latency_spikes_ = 0;
 };
 
 }  // namespace aadedupe::cloud

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "cloud/cloud_backend.hpp"
+#include "cloud/cloud_result.hpp"
 #include "cloud/object_store.hpp"
 #include "cloud/wan_link.hpp"
 

@@ -59,18 +59,18 @@ CloudResult<T> RetryingBackend::run_with_retries(const std::string& key,
                                                  Op op) {
   {
     std::lock_guard lock(mutex_);
-    ++stats_.operations;
+    ++operations_;
   }
   for (std::uint32_t attempt = 1;; ++attempt) {
     CloudResult<T> result = op();
     {
       std::lock_guard lock(mutex_);
-      ++stats_.attempts;
+      ++attempts_;
     }
     if (result.ok()) return result;
     if (!is_retryable(result.error())) {
       std::lock_guard lock(mutex_);
-      ++stats_.permanent_failures;
+      ++permanent_failures_;
       return result;
     }
     if (attempt >= policy_.max_attempts) {
@@ -81,7 +81,7 @@ CloudResult<T> RetryingBackend::run_with_retries(const std::string& key,
                 std::string(to_string(result.error())).c_str(), key.c_str());
       }
       std::lock_guard lock(mutex_);
-      ++stats_.exhausted;
+      ++exhausted_;
       return result;
     }
     const double wait = jittered_backoff(key, attempt);
@@ -93,8 +93,8 @@ CloudResult<T> RetryingBackend::run_with_retries(const std::string& key,
     }
     {
       std::lock_guard lock(mutex_);
-      ++stats_.retries;
-      stats_.backoff_seconds += wait;
+      ++retries_;
+      backoff_seconds_ += wait;
     }
   }
 }
@@ -110,11 +110,6 @@ CloudResult<ByteBuffer> RetryingBackend::get(const std::string& key) {
 
 CloudResult<bool> RetryingBackend::remove(const std::string& key) {
   return run_with_retries<bool>(key, [&] { return inner_->remove(key); });
-}
-
-RetryStats RetryingBackend::stats() const {
-  std::lock_guard lock(mutex_);
-  return stats_;
 }
 
 }  // namespace aadedupe::cloud

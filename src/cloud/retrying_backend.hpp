@@ -15,7 +15,9 @@
 #include <string>
 
 #include "cloud/cloud_backend.hpp"
+#include "cloud/cloud_result.hpp"
 #include "cloud/memory_backend.hpp"
+#include "telemetry/metrics.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace aadedupe::cloud {
@@ -40,18 +42,6 @@ struct RetryPolicy {
   double backoff_seconds(std::uint32_t retry) const;
 };
 
-struct RetryStats {
-  std::uint64_t operations = 0;
-  std::uint64_t attempts = 0;
-  std::uint64_t retries = 0;
-  /// Operations that failed with a retryable error even after the last
-  /// attempt (surfaced to the caller as that error).
-  std::uint64_t exhausted = 0;
-  /// Operations that failed with a non-retryable error (kNotFound).
-  std::uint64_t permanent_failures = 0;
-  double backoff_seconds = 0.0;
-};
-
 class RetryingBackend final : public CloudBackend {
  public:
   /// `telemetry` (nullable) receives retry counters and the simulated
@@ -65,7 +55,20 @@ class RetryingBackend final : public CloudBackend {
   std::string_view name() const noexcept override { return "retrier"; }
 
   const RetryPolicy& policy() const noexcept { return policy_; }
-  RetryStats stats() const;
+
+  // Retry counters. Folded from the old RetryStats snapshot struct into
+  // individual accessors: the authoritative rollup lives in the run
+  // report's cloud.retry section (CloudTarget::fill_run_report).
+  std::uint64_t operations() const { return locked(operations_); }
+  std::uint64_t attempts() const { return locked(attempts_); }
+  std::uint64_t retries() const { return locked(retries_); }
+  /// Operations that failed with a retryable error even after the last
+  /// attempt (surfaced to the caller as that error).
+  std::uint64_t exhausted() const { return locked(exhausted_); }
+  /// Operations that failed with a non-retryable error (kNotFound).
+  std::uint64_t permanent_failures() const { return locked(permanent_failures_); }
+  /// Total simulated seconds spent waiting between attempts.
+  double backoff_seconds() const { return locked(backoff_seconds_); }
 
  private:
   template <typename T, typename Op>
@@ -73,6 +76,12 @@ class RetryingBackend final : public CloudBackend {
 
   /// Jittered backoff for (key, retry); deterministic in the seed.
   double jittered_backoff(const std::string& key, std::uint32_t retry) const;
+
+  template <typename T>
+  T locked(const T& counter) const {
+    std::lock_guard lock(mutex_);
+    return counter;
+  }
 
   CloudBackend* inner_;
   RetryPolicy policy_;
@@ -83,7 +92,12 @@ class RetryingBackend final : public CloudBackend {
   telemetry::Counter exhausted_counter_;
 
   mutable std::mutex mutex_;
-  RetryStats stats_;
+  std::uint64_t operations_ = 0;
+  std::uint64_t attempts_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t exhausted_ = 0;
+  std::uint64_t permanent_failures_ = 0;
+  double backoff_seconds_ = 0.0;
 };
 
 }  // namespace aadedupe::cloud

@@ -14,7 +14,9 @@
 #include <memory>
 
 #include "container/container.hpp"
+#include "hash/digest.hpp"
 #include "index/chunk_index.hpp"
+#include "telemetry/metrics.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace aadedupe::container {

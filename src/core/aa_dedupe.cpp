@@ -16,7 +16,7 @@ namespace aadedupe::core {
 
 namespace {
 /// Partition key for the tiny-file stream (bypasses dedup entirely).
-const std::string kTinyStream = "tiny";
+constexpr char kTinyStream[] = "tiny";
 
 /// Shard backend selection (AaDedupeOptions::index_directory): RAM-resident
 /// shards by default (the paper's single-PC design point), log-structured
@@ -492,7 +492,11 @@ void AaDedupeScheme::run_session(const dataset::Snapshot& snapshot) {
     }
   }
   pipeline.finish();
-  last_pipeline_stats_ = pipeline.stats();
+  pipeline_enqueued_ = pipeline.enqueued();
+  pipeline_uploaded_ = pipeline.uploaded();
+  pipeline_requeues_ = pipeline.requeues();
+  pipeline_journaled_ = pipeline.journaled();
+  pipeline_failed_ = pipeline.failed();
   if (options_.telemetry != nullptr) {
     // Final timeline point: sessions shorter than the sample interval
     // still get a curve endpoint with the finished totals.
@@ -500,9 +504,9 @@ void AaDedupeScheme::run_session(const dataset::Snapshot& snapshot) {
     AAD_LOG(log, kInfo, "session",
             "session %u done: %llu uploaded, %llu journaled, %llu failed",
             snapshot.session,
-            static_cast<unsigned long long>(last_pipeline_stats_.uploaded),
-            static_cast<unsigned long long>(last_pipeline_stats_.journaled),
-            static_cast<unsigned long long>(last_pipeline_stats_.failed));
+            static_cast<unsigned long long>(pipeline_uploaded_),
+            static_cast<unsigned long long>(pipeline_journaled_),
+            static_cast<unsigned long long>(pipeline_failed_));
   }
 
   history_[snapshot.session] = recipes;
@@ -899,11 +903,11 @@ void AaDedupeScheme::fill_run_report(telemetry::RunReport& report) const {
   session["session_new_bytes"] = total_new_bytes;
 
   telemetry::JsonValue& pipeline = session["pipeline"].make_object();
-  pipeline["enqueued"] = last_pipeline_stats_.enqueued;
-  pipeline["uploaded"] = last_pipeline_stats_.uploaded;
-  pipeline["requeues"] = last_pipeline_stats_.requeues;
-  pipeline["journaled"] = last_pipeline_stats_.journaled;
-  pipeline["failed"] = last_pipeline_stats_.failed;
+  pipeline["enqueued"] = pipeline_enqueued_;
+  pipeline["uploaded"] = pipeline_uploaded_;
+  pipeline["requeues"] = pipeline_requeues_;
+  pipeline["journaled"] = pipeline_journaled_;
+  pipeline["failed"] = pipeline_failed_;
 
   telemetry::JsonValue& journal = session["journal"].make_object();
   std::uint64_t pending_bytes = 0;

@@ -22,26 +22,32 @@
 // concurrently on a thread pool, each against its own index shard.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "backup/scheme.hpp"
+#include "cloud/cloud_target.hpp"
+#include "container/container.hpp"
 #include "container/container_manager.hpp"
 #include "container/recipe.hpp"
 #include "core/policy.hpp"
 #include "core/upload_journal.hpp"
 #include "core/upload_pipeline.hpp"
 #include "crypto/convergent.hpp"
+#include "dataset/snapshot.hpp"
 #include "index/partitioned_index.hpp"
+#include "telemetry/metrics.hpp"
 #include "telemetry/run_report.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace aadedupe::core {
 
 /// How a parallel backup session distributes work across the pool.
-enum class ParallelGranularity {
+enum class ParallelGranularity : std::uint8_t {
   /// One task per application stream (the original design). Simple, but a
   /// session's wall clock is bounded by its largest stream — one dominant
   /// stream (e.g. the VM-image or mail stream) serializes the session.
@@ -176,11 +182,6 @@ class AaDedupeScheme final : public backup::BackupScheme {
   /// row for the filtered stream.
   std::vector<ApplicationStats> application_stats() const;
 
-  /// Upload-pipeline counters of the latest session.
-  const UploadPipeline::Stats& last_pipeline_stats() const noexcept {
-    return last_pipeline_stats_;
-  }
-
   /// Contribute the "session" section of a run report: the per-application
   /// breakdown (with dedup ratios), pipeline counters, and journal debt.
   void fill_run_report(telemetry::RunReport& report) const;
@@ -288,9 +289,16 @@ class AaDedupeScheme final : public backup::BackupScheme {
   /// Terminal upload failures awaiting replay (graceful degradation).
   UploadJournal journal_;
 
-  /// Session-scoped telemetry rollups (latest session).
+  /// Session-scoped telemetry rollups (latest session). The pipeline
+  /// counters are captured from the UploadPipeline accessors before the
+  /// pipeline is destroyed; the run report's session.pipeline section is
+  /// the external view.
   std::map<std::string, std::uint64_t> session_new_bytes_;
-  UploadPipeline::Stats last_pipeline_stats_;
+  std::uint64_t pipeline_enqueued_ = 0;
+  std::uint64_t pipeline_uploaded_ = 0;
+  std::uint64_t pipeline_requeues_ = 0;
+  std::uint64_t pipeline_journaled_ = 0;
+  std::uint64_t pipeline_failed_ = 0;
   telemetry::Counter files_counter_;
   telemetry::Counter logical_bytes_counter_;
   telemetry::Counter chunks_counter_;

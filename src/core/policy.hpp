@@ -10,6 +10,7 @@
 // matching Fig. 6's ".doc index / .mp3 index / ..." structure.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -20,8 +21,10 @@
 #include "chunk/whole_file_chunker.hpp"
 #include "dataset/file_kind.hpp"
 #include "hash/batch_hasher.hpp"
+#include "hash/digest.hpp"
 #include "hash/hash_kind.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace aadedupe::core {
 
@@ -38,7 +41,7 @@ struct CategoryPolicy {
 /// kRabinCdc knob keeps the paper-exact engine available for ablations.
 struct PolicyConfig {
   /// Engine for dynamic uncompressed files.
-  enum class DynamicEngine { kRabinCdc, kFastCdc };
+  enum class DynamicEngine : std::uint8_t { kRabinCdc, kFastCdc };
   DynamicEngine dynamic_engine = DynamicEngine::kFastCdc;
   /// Fixed chunk size for the static category.
   std::size_t static_chunk_size = chunk::StaticChunker::kDefaultChunkSize;

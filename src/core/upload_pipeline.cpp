@@ -1,8 +1,7 @@
 #include "core/upload_pipeline.hpp"
 
-#include <chrono>
-
 #include "util/check.hpp"
+#include "util/stopwatch.hpp"
 
 namespace aadedupe::core {
 
@@ -38,27 +37,28 @@ UploadPipeline::UploadPipeline(UploadFn upload, UploadPipelineOptions options)
 UploadPipeline::~UploadPipeline() {
   // finish() can throw (captured uploader exception, unjournaled terminal
   // failure); a destructor must not. Callers that care about the outcome
-  // call finish() explicitly — this is only the safety net.
+  // call finish() explicitly — this is only the safety net, but the
+  // failure still has to leave a trace: route it through the global
+  // failure hook so the flight recorder dumps before the error vanishes.
   try {
     finish();
-  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  } catch (const std::exception& e) {
+    detail::notify_failure("pipeline_dtor", e.what());
+  } catch (...) {
+    detail::notify_failure("pipeline_dtor", "unknown exception");
   }
 }
 
 void UploadPipeline::enqueue(UploadItem item) {
-  {
-    std::lock_guard lock(mutex_);
-    ++stats_.enqueued;
-  }
+  enqueued_.fetch_add(1);
   if (options_.telemetry != nullptr) {
     item_bytes_hist_.observe(item.payload.size());
     // Time the push: a full queue blocks here, and that backpressure stall
-    // is exactly what the histogram is for.
-    const auto start = std::chrono::steady_clock::now();
+    // is exactly what the histogram is for. StopWatch (not a raw clock
+    // read) so measured time stays behind the one sanctioned abstraction.
+    const StopWatch stall;
     const bool accepted = queue_.push(std::move(item));
-    const auto stall = std::chrono::duration_cast<std::chrono::microseconds>(
-        std::chrono::steady_clock::now() - start);
-    stall_us_hist_.observe(static_cast<std::uint64_t>(stall.count()));
+    stall_us_hist_.observe(static_cast<std::uint64_t>(stall.seconds() * 1e6));
     // High-water mark of queue occupancy (approximate: the uploader pops
     // concurrently, so this is a lower bound of the true peak).
     queue_depth_gauge_.observe_max(queue_.size());
@@ -110,22 +110,18 @@ void UploadPipeline::ship(UploadItem item) {
                                         : options_.container_requeues);
   cloud::CloudError last_error = cloud::CloudError::kTransient;
   for (std::uint32_t attempt = 1; attempt <= budget; ++attempt) {
-    if (attempt > 1) {
-      std::lock_guard lock(mutex_);
-      ++stats_.requeues;
-    }
+    if (attempt > 1) requeues_.fetch_add(1);
     const cloud::CloudStatus status = upload_(item);
     if (status.ok()) {
-      std::lock_guard lock(mutex_);
-      ++stats_.uploaded;
+      uploaded_.fetch_add(1);
       return;
     }
     last_error = status.error();
     if (!cloud::is_retryable(last_error)) break;
   }
+  failed_.fetch_add(1);
   {
     std::lock_guard lock(mutex_);
-    ++stats_.failed;
     if (options_.journal == nullptr && !first_failure_) {
       first_failure_ = {item.key, last_error};
     }
@@ -143,19 +139,11 @@ void UploadPipeline::ship(UploadItem item) {
     // scroll out of everyone's head.
     const std::string key = item.key;
     options_.journal->add(std::move(item), last_error);
-    {
-      std::lock_guard lock(mutex_);
-      ++stats_.journaled;
-    }
+    journaled_.fetch_add(1);
     if (options_.telemetry != nullptr) {
       options_.telemetry->flight.trigger("retry_exhausted", key);
     }
   }
-}
-
-UploadPipeline::Stats UploadPipeline::stats() const {
-  std::lock_guard lock(mutex_);
-  return stats_;
 }
 
 void UploadPipeline::finish() {

@@ -21,6 +21,7 @@
 // finish() instead of std::terminate-ing the process.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -31,9 +32,11 @@
 #include <utility>
 #include <vector>
 
+#include "cloud/cloud_result.hpp"
 #include "cloud/cloud_target.hpp"
 #include "core/upload_item.hpp"
 #include "core/upload_journal.hpp"
+#include "telemetry/metrics.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/bounded_queue.hpp"
 
@@ -74,14 +77,18 @@ class UploadPipeline {
     enqueue(UploadItem{std::move(key), std::move(payload), kind});
   }
 
-  struct Stats {
-    std::uint64_t enqueued = 0;
-    std::uint64_t uploaded = 0;   // items that landed
-    std::uint64_t requeues = 0;   // pipeline-level re-attempts
-    std::uint64_t journaled = 0;  // items parked for the next session
-    std::uint64_t failed = 0;     // terminal failures (journaled or not)
-  };
-  Stats stats() const;
+  // Pipeline counters. Folded from the old Stats snapshot struct into
+  // individual accessors: the authoritative rollup lives in the run
+  // report's session.pipeline section (AaDedupeScheme::fill_run_report).
+  std::uint64_t enqueued() const noexcept { return enqueued_.load(); }
+  /// Items that landed.
+  std::uint64_t uploaded() const noexcept { return uploaded_.load(); }
+  /// Pipeline-level re-attempts.
+  std::uint64_t requeues() const noexcept { return requeues_.load(); }
+  /// Items parked for the next session.
+  std::uint64_t journaled() const noexcept { return journaled_.load(); }
+  /// Terminal failures (journaled or not).
+  std::uint64_t failed() const noexcept { return failed_.load(); }
 
   /// Drain the queue, upload everything, and join the uploader.
   /// Idempotent. Rethrows an exception captured from the uploader thread;
@@ -102,8 +109,13 @@ class UploadPipeline {
   telemetry::Gauge queue_depth_gauge_;
   BoundedQueue<UploadItem> queue_;
 
+  std::atomic<std::uint64_t> enqueued_{0};
+  std::atomic<std::uint64_t> uploaded_{0};
+  std::atomic<std::uint64_t> requeues_{0};
+  std::atomic<std::uint64_t> journaled_{0};
+  std::atomic<std::uint64_t> failed_{0};
+
   mutable std::mutex mutex_;
-  Stats stats_;
   std::exception_ptr uploader_error_;
   /// First terminal failure when no journal is configured.
   std::optional<std::pair<std::string, cloud::CloudError>> first_failure_;

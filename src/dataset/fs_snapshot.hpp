@@ -14,6 +14,7 @@
 #include <filesystem>
 #include <optional>
 
+#include "dataset/file_kind.hpp"
 #include "dataset/snapshot.hpp"
 
 namespace aadedupe::dataset {

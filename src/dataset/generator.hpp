@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "dataset/content.hpp"
+#include "dataset/file_kind.hpp"
 #include "dataset/snapshot.hpp"
 #include "util/rng.hpp"
 

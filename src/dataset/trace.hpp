@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "dataset/content.hpp"
+#include "dataset/file_kind.hpp"
 #include "dataset/snapshot.hpp"
 
 namespace aadedupe::dataset {

@@ -6,6 +6,7 @@
 // single dispatch point used by schemes and benchmarks.
 #pragma once
 
+#include <cstdint>
 #include <string_view>
 
 #include "hash/digest.hpp"
@@ -15,7 +16,7 @@
 
 namespace aadedupe::hash {
 
-enum class HashKind {
+enum class HashKind : std::uint8_t {
   kRabin96,  // 12-byte extended Rabin fingerprint (weak, cheap)
   kMd5,      // 16-byte MD5
   kSha1,     // 20-byte SHA-1

@@ -73,6 +73,8 @@ void Md5::process_block(const std::byte* block) noexcept {
 }
 
 void Md5::update(ConstByteSpan data) noexcept {
+  // An empty span's data() may be null; bail before the memcpy below.
+  if (data.empty()) return;
   std::size_t fill = total_bytes_ % 64;
   total_bytes_ += data.size();
   std::size_t offset = 0;

@@ -49,7 +49,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "hash/digest.hpp"
 #include "index/bloom_filter.hpp"
+#include "index/checkpoint.hpp"
 #include "index/chunk_index.hpp"
 
 namespace aadedupe::index {

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "index/checkpoint.hpp"
 #include "index/chunk_index.hpp"
 
 namespace aadedupe::index {

@@ -25,6 +25,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "hash/digest.hpp"
 #include "index/chunk_index.hpp"
 
 namespace aadedupe::index {

@@ -22,6 +22,8 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "hash/digest.hpp"
+#include "index/checkpoint.hpp"
 #include "index/chunk_index.hpp"
 
 namespace aadedupe::index {

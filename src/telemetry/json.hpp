@@ -17,7 +17,7 @@ namespace aadedupe::telemetry {
 
 class JsonValue {
  public:
-  enum class Type {
+  enum class Type : std::uint8_t {
     kNull,
     kBool,
     kUint,    // unsigned 64-bit (counters, byte totals)

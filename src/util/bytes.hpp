@@ -26,14 +26,17 @@ using ConstByteSpan = std::span<const std::byte>;
 }
 
 /// Copy a string into an owning byte buffer.
+// memcpy requires non-null pointers even for n == 0, and both an empty
+// string_view's data() and an empty vector's data() may be null.
 [[nodiscard]] inline ByteBuffer to_buffer(std::string_view s) {
   ByteBuffer out(s.size());
-  std::memcpy(out.data(), s.data(), s.size());
+  if (!s.empty()) std::memcpy(out.data(), s.data(), s.size());
   return out;
 }
 
 /// Copy a byte span into a std::string (useful for tests and hex dumps).
 [[nodiscard]] inline std::string to_string(ConstByteSpan bytes) {
+  if (bytes.empty()) return {};
   return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
 }
 

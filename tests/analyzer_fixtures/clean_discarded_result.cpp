@@ -1,0 +1,35 @@
+// discarded-result clean: every CloudResult is inspected or bound.
+namespace aadedupe::cloud {
+
+enum class CloudError { kTransient, kNotFound };
+
+template <typename T>
+class CloudResult {
+ public:
+  CloudResult(T value) : value_(value), ok_(true) {}
+  CloudResult(CloudError error) : error_(error) {}
+  ~CloudResult() {}
+  bool ok() const { return ok_; }
+
+ private:
+  T value_{};
+  CloudError error_ = CloudError::kTransient;
+  bool ok_ = false;
+};
+
+struct CloudOk {};
+using CloudStatus = CloudResult<CloudOk>;
+
+CloudStatus upload_segment() { return CloudOk{}; }
+void log_failure() {}
+
+}  // namespace aadedupe::cloud
+
+bool flush_pending() {
+  auto status = aadedupe::cloud::upload_segment();
+  if (!status.ok()) {
+    aadedupe::cloud::log_failure();  // void-returning call: fine
+    return false;
+  }
+  return aadedupe::cloud::upload_segment().ok();  // inspected inline: fine
+}

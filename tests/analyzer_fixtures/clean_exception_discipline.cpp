@@ -1,0 +1,46 @@
+// exception-discipline clean: taxonomy caught by const reference; the
+// bare catch leaves flight-recorder evidence before handling, and a
+// rethrowing catch-all is fine too.
+#include <stdexcept>
+
+namespace aadedupe {
+
+class FormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+inline void notify_failure(const char*, const char*) noexcept {}
+}  // namespace detail
+
+void parse();
+
+bool load_manifest() {
+  try {
+    parse();
+  } catch (const FormatError& err) {  // by const reference: fine
+    return false;
+  }
+  return true;
+}
+
+bool load_state() {
+  try {
+    parse();
+  } catch (...) {
+    detail::notify_failure("state_load", "unknown exception");  // evidence
+    return false;
+  }
+  return true;
+}
+
+void replay() {
+  try {
+    parse();
+  } catch (...) {
+    throw;  // rethrow: fine
+  }
+}
+
+}  // namespace aadedupe

@@ -1,0 +1,13 @@
+#pragma once
+
+#include "chunk.hpp"
+#include "fingerprint.hpp"
+
+namespace aadedupe {
+
+// Every used type's defining header is included directly.
+inline bool same_digest(const ChunkMeta& a, const Fingerprint& b) {
+  return a.digest.hi == b.hi && a.digest.lo == b.lo;
+}
+
+}  // namespace aadedupe

@@ -1,0 +1,49 @@
+// lock-across-dispatch clean: the guard scope closes before dispatch,
+// and work queued inside a lambda runs later, off the lock.
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace aadedupe {
+
+class ThreadPool {
+ public:
+  template <typename F>
+  void submit(F&& fn) {
+    fn();
+  }
+  template <typename F>
+  void parallel_for(std::size_t count, F&& fn) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+  }
+};
+
+namespace cloud {
+class CloudBackend {
+ public:
+  virtual ~CloudBackend() = default;
+  virtual bool put(const std::string& key) = 0;
+};
+}  // namespace cloud
+
+struct Shard {
+  std::mutex mu;
+  ThreadPool pool;
+  cloud::CloudBackend* backend = nullptr;
+  std::vector<std::string> pending;
+
+  void rebalance() {
+    std::vector<std::string> batch;
+    {
+      std::lock_guard<std::mutex> guard(mu);
+      batch.swap(pending);  // copy state out under the lock...
+    }
+    // ...then dispatch with the guard destroyed.
+    pool.parallel_for(batch.size(), [&](std::size_t i) {
+      backend->put(batch[i]);  // inside the lambda body: runs unlocked
+    });
+  }
+};
+
+}  // namespace aadedupe

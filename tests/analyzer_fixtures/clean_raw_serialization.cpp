@@ -1,0 +1,44 @@
+// raw-serialization clean: records round-trip field-by-field through
+// explicit little-endian byte helpers; memcpy only ever touches scalars.
+#include <cstdint>
+#include <cstring>
+
+namespace aadedupe::index {
+
+struct SegmentRecord {
+  std::uint64_t fingerprint_hi;
+  std::uint64_t fingerprint_lo;
+  std::uint32_t segment_id;
+  std::uint32_t offset;
+};
+
+inline void store_le64(unsigned char* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<unsigned char>(v >> (8 * i));
+  }
+}
+
+inline std::uint64_t load_le64(const unsigned char* in) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, in, sizeof(v));  // scalar copy: fine
+  return v;
+}
+
+void encode(const SegmentRecord& record, unsigned char* out) {
+  store_le64(out, record.fingerprint_hi);
+  store_le64(out + 8, record.fingerprint_lo);
+  store_le64(out + 16,
+             (std::uint64_t{record.segment_id} << 32) | record.offset);
+}
+
+SegmentRecord decode(const unsigned char* bytes) {
+  SegmentRecord record{};
+  record.fingerprint_hi = load_le64(bytes);
+  record.fingerprint_lo = load_le64(bytes + 8);
+  const std::uint64_t packed = load_le64(bytes + 16);
+  record.segment_id = static_cast<std::uint32_t>(packed >> 32);
+  record.offset = static_cast<std::uint32_t>(packed);
+  return record;
+}
+
+}  // namespace aadedupe::index

@@ -1,0 +1,27 @@
+// unnamed-raii clean: every RAII object is bound to a named local whose
+// lifetime spans the protected region.
+#include <mutex>
+#include <string_view>
+
+namespace aadedupe::telemetry {
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name) : name_(name) {}
+  ~TraceSpan() {}
+
+ private:
+  std::string_view name_;
+};
+
+}  // namespace aadedupe::telemetry
+
+namespace aadedupe {
+
+int chunk_batch(std::mutex& mu) {
+  telemetry::TraceSpan span("chunk_batch");
+  std::lock_guard<std::mutex> guard(mu);
+  return 42;
+}
+
+}  // namespace aadedupe

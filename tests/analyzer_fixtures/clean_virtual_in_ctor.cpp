@@ -1,0 +1,32 @@
+// virtual-in-ctor clean: construction uses non-virtual helpers; virtual
+// dispatch happens only on fully-constructed objects.
+#include <string>
+
+namespace aadedupe::cloud {
+
+class CloudBackend {
+ public:
+  virtual ~CloudBackend() = default;
+  virtual bool put(const std::string& key) = 0;
+  virtual void warm_cache() {}
+};
+
+class CachingBackend : public CloudBackend {
+ public:
+  CachingBackend() {
+    reserve_slots();  // non-virtual helper: fine
+  }
+  bool put(const std::string& key) override {
+    warm_cache();  // virtual call outside ctor/dtor: fine
+    return !key.empty();
+  }
+
+ private:
+  void reserve_slots() {}
+};
+
+void roundtrip(CloudBackend& backend) {
+  backend.warm_cache();  // free-function caller: fine
+}
+
+}  // namespace aadedupe::cloud

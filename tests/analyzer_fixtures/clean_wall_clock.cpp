@@ -1,0 +1,20 @@
+// wall-clock clean: durations come from an injected stopwatch-style
+// abstraction; nothing touches a clock here.
+#include <cstdint>
+
+namespace aadedupe::core {
+
+class StopWatch {
+ public:
+  std::uint64_t elapsed_nanos() const { return nanos_; }
+  void add(std::uint64_t n) { nanos_ += n; }
+
+ private:
+  std::uint64_t nanos_ = 0;
+};
+
+std::uint64_t stall_nanos(const StopWatch& watch) {
+  return watch.elapsed_nanos();
+}
+
+}  // namespace aadedupe::core

@@ -1,0 +1,32 @@
+// discarded-result trip: a CloudResult-returning call used as a bare
+// expression statement drops the error on the floor.
+namespace aadedupe::cloud {
+
+enum class CloudError { kTransient, kNotFound };
+
+template <typename T>
+class CloudResult {
+ public:
+  CloudResult(T value) : value_(value), ok_(true) {}
+  CloudResult(CloudError error) : error_(error) {}
+  ~CloudResult() {}
+  bool ok() const { return ok_; }
+
+ private:
+  T value_{};
+  CloudError error_ = CloudError::kTransient;
+  bool ok_ = false;
+};
+
+struct CloudOk {};
+using CloudStatus = CloudResult<CloudOk>;
+
+CloudStatus upload_segment() { return CloudOk{}; }
+CloudError classify() { return CloudError::kTransient; }
+
+}  // namespace aadedupe::cloud
+
+void flush_pending() {
+  aadedupe::cloud::upload_segment();  // finding: status discarded
+  aadedupe::cloud::classify();        // finding: CloudError discarded
+}

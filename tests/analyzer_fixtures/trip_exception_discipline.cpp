@@ -1,0 +1,33 @@
+// exception-discipline trip: the taxonomy is caught by value (slicing
+// the dynamic type) and a bare catch (...) eats the exception with no
+// flight-recorder evidence.
+#include <stdexcept>
+
+namespace aadedupe {
+
+class FormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+void parse();
+
+bool load_manifest() {
+  try {
+    parse();
+  } catch (FormatError err) {  // finding: caught by value
+    return false;
+  }
+  return true;
+}
+
+bool load_state() {
+  try {
+    parse();
+  } catch (...) {  // finding: swallowed without trigger()/rethrow
+    return false;
+  }
+  return true;
+}
+
+}  // namespace aadedupe

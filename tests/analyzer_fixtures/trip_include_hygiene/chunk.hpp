@@ -1,0 +1,12 @@
+#pragma once
+
+#include "fingerprint.hpp"
+
+namespace aadedupe {
+
+struct ChunkMeta {
+  Fingerprint digest;
+  unsigned size = 0;
+};
+
+}  // namespace aadedupe

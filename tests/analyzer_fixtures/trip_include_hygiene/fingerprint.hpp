@@ -1,0 +1,10 @@
+#pragma once
+
+namespace aadedupe {
+
+struct Fingerprint {
+  unsigned long long hi = 0;
+  unsigned long long lo = 0;
+};
+
+}  // namespace aadedupe

@@ -1,0 +1,13 @@
+#pragma once
+
+#include "chunk.hpp"
+
+namespace aadedupe {
+
+// Uses Fingerprint but only includes chunk.hpp, which happens to drag
+// fingerprint.hpp in transitively — the finding.
+inline bool same_digest(const ChunkMeta& a, const Fingerprint& b) {
+  return a.digest.hi == b.hi && a.digest.lo == b.lo;
+}
+
+}  // namespace aadedupe

@@ -1,0 +1,41 @@
+// lock-across-dispatch trip: a lock_guard is still alive when the code
+// blocks on ThreadPool::parallel_for and on a cloud-backend put().
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+namespace aadedupe {
+
+class ThreadPool {
+ public:
+  template <typename F>
+  void submit(F&& fn) {
+    fn();
+  }
+  template <typename F>
+  void parallel_for(std::size_t count, F&& fn) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+  }
+};
+
+namespace cloud {
+class CloudBackend {
+ public:
+  virtual ~CloudBackend() = default;
+  virtual bool put(const std::string& key) = 0;
+};
+}  // namespace cloud
+
+struct Shard {
+  std::mutex mu;
+  ThreadPool pool;
+  cloud::CloudBackend* backend = nullptr;
+
+  void rebalance() {
+    std::lock_guard<std::mutex> guard(mu);
+    pool.parallel_for(8, [](std::size_t) {});  // finding
+    backend->put("manifest");                  // finding
+  }
+};
+
+}  // namespace aadedupe

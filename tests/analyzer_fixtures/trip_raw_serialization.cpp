@@ -1,0 +1,24 @@
+// raw-serialization trip: a record struct is overlaid onto raw bytes via
+// memcpy and reinterpret_cast, baking padding and host endianness into
+// the on-disk format.
+#include <cstdint>
+#include <cstring>
+
+namespace aadedupe::index {
+
+struct SegmentRecord {
+  std::uint64_t fingerprint_hi;
+  std::uint64_t fingerprint_lo;
+  std::uint32_t segment_id;
+  std::uint32_t offset;
+};
+
+void encode(const SegmentRecord& record, unsigned char* out) {
+  std::memcpy(out, &record, sizeof(record));  // finding
+}
+
+const SegmentRecord* decode(const unsigned char* bytes) {
+  return reinterpret_cast<const SegmentRecord*>(bytes);  // finding
+}
+
+}  // namespace aadedupe::index

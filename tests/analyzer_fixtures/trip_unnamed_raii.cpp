@@ -1,0 +1,27 @@
+// unnamed-raii trip: the TraceSpan and lock_guard temporaries die at the
+// semicolon, so neither covers the work below them.
+#include <mutex>
+#include <string_view>
+
+namespace aadedupe::telemetry {
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name) : name_(name) {}
+  ~TraceSpan() {}
+
+ private:
+  std::string_view name_;
+};
+
+}  // namespace aadedupe::telemetry
+
+namespace aadedupe {
+
+int chunk_batch(std::mutex& mu) {
+  telemetry::TraceSpan("chunk_batch");  // finding: span already ended
+  std::lock_guard<std::mutex>{mu};      // finding: lock already released
+  return 42;
+}
+
+}  // namespace aadedupe

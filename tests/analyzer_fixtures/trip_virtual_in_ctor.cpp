@@ -1,0 +1,27 @@
+// virtual-in-ctor trip: the constructor and destructor of a CloudBackend
+// subclass call a virtual on *this — dispatch lands on this class, not
+// the override a further subclass installs.
+#include <string>
+
+namespace aadedupe::cloud {
+
+class CloudBackend {
+ public:
+  virtual ~CloudBackend() = default;
+  virtual bool put(const std::string& key) = 0;
+  virtual void warm_cache() {}
+  virtual void drain() {}
+};
+
+class CachingBackend : public CloudBackend {
+ public:
+  CachingBackend() {
+    warm_cache();  // finding: virtual call during construction
+  }
+  ~CachingBackend() override {
+    drain();  // finding: virtual call during destruction
+  }
+  bool put(const std::string&) override { return true; }
+};
+
+}  // namespace aadedupe::cloud

@@ -1,0 +1,19 @@
+// wall-clock trip: pipeline code reads the clock directly instead of
+// going through util/stopwatch (this file is outside the allowlist).
+#include <chrono>
+#include <ctime>
+
+namespace aadedupe::core {
+
+long stall_nanos() {
+  auto begin = std::chrono::steady_clock::now();  // finding
+  auto end = std::chrono::steady_clock::now();    // finding
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+      .count();
+}
+
+long stamp() {
+  return static_cast<long>(std::time(nullptr));  // finding
+}
+
+}  // namespace aadedupe::core

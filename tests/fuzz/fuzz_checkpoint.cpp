@@ -1,0 +1,28 @@
+// Fuzz target: the AADCKPT1 checkpoint record stream.
+//
+// BufferCheckpointSource frames untrusted bytes into records and
+// ChunkIndex::apply_checkpoint_record decodes them (opcode + entry /
+// legacy base image). The contract under attack: arbitrary input either
+// restores cleanly or throws FormatError — any other exception, assert,
+// or sanitizer report is a finding.
+#include <cstddef>
+#include <cstdint>
+
+#include "index/checkpoint.hpp"
+#include "index/memory_index.hpp"
+#include "util/check.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace aadedupe;
+  const ConstByteSpan stream(reinterpret_cast<const std::byte*>(data), size);
+  (void)index::is_checkpoint_stream(stream);
+  try {
+    index::BufferCheckpointSource source(stream);
+    index::MemoryChunkIndex idx;
+    idx.restore(source);
+  } catch (const FormatError&) {
+    // Malformed input: the documented outcome.
+  }
+  return 0;
+}

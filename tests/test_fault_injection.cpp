@@ -100,9 +100,10 @@ TEST(FaultInjection, RetriedAttemptsGetFreshDraws) {
     }
   }
   EXPECT_EQ(landed, 20);
-  const FaultStats stats = target.fault_stats();
-  EXPECT_GT(stats.injected_transient, 0u);
-  EXPECT_GT(stats.put_attempts, 20u);  // retries visible as extra attempts
+  ASSERT_NE(target.fault_injector(), nullptr);
+  EXPECT_GT(target.fault_injector()->injected_transient(), 0u);
+  // Retries visible as extra attempts.
+  EXPECT_GT(target.fault_injector()->put_attempts(), 20u);
 }
 
 TEST(FaultInjection, DetectedCorruptionIsTypedAndRetriable) {
@@ -133,7 +134,7 @@ TEST(FaultInjection, SilentCorruptionDamagesBytesButReportsSuccess) {
   const auto got = target.download("k");
   ASSERT_TRUE(got.ok());
   EXPECT_NE(got.value(), original);  // bit-flipped or truncated
-  EXPECT_GT(target.fault_stats().injected_corrupt, 0u);
+  EXPECT_GT(target.fault_injector()->injected_corrupt(), 0u);
   // The at-rest object is untouched — only the wire copy was damaged.
   target.clear_faults();
   const auto clean = target.download("k");
@@ -178,7 +179,7 @@ TEST(FaultInjection, LatencySpikeSlowsSuccessfulOperation) {
   EXPECT_TRUE(target.upload("k", ByteBuffer(100)).ok());
   EXPECT_NEAR(target.transfer_seconds(),
               target.link().upload_seconds(100, 1) + 3.0, 1e-9);
-  EXPECT_GT(target.fault_stats().latency_spikes, 0u);
+  EXPECT_GT(target.fault_injector()->latency_spikes(), 0u);
 }
 
 TEST(FaultInjection, RemovePassesThroughUntouched) {
@@ -197,7 +198,7 @@ TEST(FaultInjection, ClearFaultsRestoresPerfectLink) {
   EXPECT_FALSE(target.upload("k", ByteBuffer(10)).ok());
   target.clear_faults();
   EXPECT_TRUE(target.upload("k", ByteBuffer(10)).ok());
-  EXPECT_EQ(target.fault_stats().injected_total(), 0u);  // zeroed when off
+  EXPECT_EQ(target.injected_fault_total(), 0u);  // zeroed when off
 }
 
 }  // namespace

@@ -63,9 +63,9 @@ TEST_P(FaultySchemes, ThreeSessionsSurviveFivePercentTransientFaults) {
   for (const auto& snapshot : sessions) scheme->backup(snapshot);
 
   // The link really was hostile (faults fired, retries absorbed them).
-  EXPECT_GT(target.fault_stats().injected_total(), 0u);
-  EXPECT_GT(target.retry_stats().retries, 0u);
-  EXPECT_EQ(target.retry_stats().exhausted, 0u)
+  EXPECT_GT(target.injected_fault_total(), 0u);
+  EXPECT_GT(target.retrier().retries(), 0u);
+  EXPECT_EQ(target.retrier().exhausted(), 0u)
       << "5% transient should never outlast the default retry budget";
 
   // Every sampled file restores byte-exactly through the same faulty link.

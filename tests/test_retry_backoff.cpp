@@ -64,13 +64,12 @@ TEST(RetryingBackend, RetriesUntilSuccessAndChargesBackoffToSimClock) {
   EXPECT_TRUE(retrier.put("k", ByteBuffer(1000)).ok());
   EXPECT_TRUE(store.exists("k"));
 
-  const RetryStats stats = retrier.stats();
-  EXPECT_EQ(stats.operations, 1u);
-  EXPECT_EQ(stats.attempts, 3u);
-  EXPECT_EQ(stats.retries, 2u);
-  EXPECT_EQ(stats.exhausted, 0u);
+  EXPECT_EQ(retrier.operations(), 1u);
+  EXPECT_EQ(retrier.attempts(), 3u);
+  EXPECT_EQ(retrier.retries(), 2u);
+  EXPECT_EQ(retrier.exhausted(), 0u);
   // Backoff before retry 1 (0.5 s) + retry 2 (1.0 s).
-  EXPECT_DOUBLE_EQ(stats.backoff_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(retrier.backoff_seconds(), 1.5);
   // All of it is simulated: upload wire time + the two waits.
   EXPECT_NEAR(charged, WanLink{}.upload_seconds(1000, 1) + 1.5, 1e-9);
 }
@@ -84,7 +83,7 @@ TEST(RetryingBackend, JitterStaysWithinFractionAndIsDeterministic) {
     FlakyBackend flaky(memory, 2, CloudError::kThrottled);
     RetryingBackend retrier(flaky, RetryPolicy{}, seed, charge);
     EXPECT_TRUE(retrier.put("k", ByteBuffer(10)).ok());
-    return retrier.stats().backoff_seconds;
+    return retrier.backoff_seconds();
   };
   const double backoff = run(42);
   // Unjittered total is 1.5 s; the default 25% jitter bounds it.
@@ -102,10 +101,9 @@ TEST(RetryingBackend, NotFoundIsNotRetried) {
   const auto got = retrier.get("missing");
   ASSERT_FALSE(got.ok());
   EXPECT_EQ(got.error(), CloudError::kNotFound);
-  const RetryStats stats = retrier.stats();
-  EXPECT_EQ(stats.attempts, 1u);  // no point retrying a permanent error
-  EXPECT_EQ(stats.retries, 0u);
-  EXPECT_EQ(stats.permanent_failures, 1u);
+  EXPECT_EQ(retrier.attempts(), 1u);  // no point retrying a permanent error
+  EXPECT_EQ(retrier.retries(), 0u);
+  EXPECT_EQ(retrier.permanent_failures(), 1u);
 }
 
 TEST(RetryingBackend, ExhaustionSurfacesTheLastError) {
@@ -120,9 +118,8 @@ TEST(RetryingBackend, ExhaustionSurfacesTheLastError) {
   const auto result = retrier.put("k", ByteBuffer(10));
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.error(), CloudError::kTimeout);
-  const RetryStats stats = retrier.stats();
-  EXPECT_EQ(stats.attempts, 3u);
-  EXPECT_EQ(stats.exhausted, 1u);
+  EXPECT_EQ(retrier.attempts(), 3u);
+  EXPECT_EQ(retrier.exhausted(), 1u);
   EXPECT_FALSE(store.exists("k"));
 }
 
@@ -136,9 +133,8 @@ TEST(RetryingBackend, DisabledRetriesMeansOneAttempt) {
   const auto result = retrier.put("k", ByteBuffer(10));
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.error(), CloudError::kTransient);
-  const RetryStats stats = retrier.stats();
-  EXPECT_EQ(stats.attempts, 1u);
-  EXPECT_DOUBLE_EQ(stats.backoff_seconds, 0.0);
+  EXPECT_EQ(retrier.attempts(), 1u);
+  EXPECT_DOUBLE_EQ(retrier.backoff_seconds(), 0.0);
 }
 
 // ---- Through the full CloudTarget stack ----
@@ -155,11 +151,11 @@ TEST(CloudTargetRetries, BackoffWidensTheBackupWindowNotTheWallClock) {
     EXPECT_TRUE(reliable.upload(key, ByteBuffer(100000)).ok());
     EXPECT_TRUE(unreliable.upload(key, ByteBuffer(100000)).ok());
   }
-  EXPECT_GT(unreliable.retry_stats().retries, 0u);
-  EXPECT_GT(unreliable.retry_stats().backoff_seconds, 0.0);
+  EXPECT_GT(unreliable.retrier().retries(), 0u);
+  EXPECT_GT(unreliable.retrier().backoff_seconds(), 0.0);
   EXPECT_GT(unreliable.transfer_seconds(),
             reliable.transfer_seconds() +
-                unreliable.retry_stats().backoff_seconds - 1e-9);
+                unreliable.retrier().backoff_seconds() - 1e-9);
 }
 
 TEST(CloudTargetRetries, WithRetriesDisabledTypedErrorSurfaces) {

@@ -29,10 +29,9 @@ TEST(UploadPipeline, AllEnqueuedObjectsLand) {
                        ByteBuffer(static_cast<std::size_t>(i + 1)));
     }
     pipeline.finish();
-    const auto stats = pipeline.stats();
-    EXPECT_EQ(stats.enqueued, 100u);
-    EXPECT_EQ(stats.uploaded, 100u);
-    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_EQ(pipeline.enqueued(), 100u);
+    EXPECT_EQ(pipeline.uploaded(), 100u);
+    EXPECT_EQ(pipeline.failed(), 0u);
   }
   EXPECT_EQ(target.store().object_count(), 100u);
   EXPECT_TRUE(target.store().exists("obj/0"));
@@ -142,10 +141,9 @@ TEST(UploadPipeline, TerminalFailuresParkInJournal) {
   pipeline.enqueue("good", ByteBuffer(4));
   pipeline.enqueue(UploadItem{"bad", ByteBuffer(4), ObjectKind::kContainer});
   EXPECT_NO_THROW(pipeline.finish());  // degraded, not fatal
-  const auto stats = pipeline.stats();
-  EXPECT_EQ(stats.uploaded, 1u);
-  EXPECT_EQ(stats.failed, 1u);
-  EXPECT_EQ(stats.journaled, 1u);
+  EXPECT_EQ(pipeline.uploaded(), 1u);
+  EXPECT_EQ(pipeline.failed(), 1u);
+  EXPECT_EQ(pipeline.journaled(), 1u);
   ASSERT_EQ(journal.size(), 1u);
   const auto pending = journal.pending();
   EXPECT_EQ(pending[0].item.key, "bad");
@@ -177,7 +175,7 @@ TEST(UploadPipeline, MetadataGetsMoreRequeuesThanContainers) {
   EXPECT_EQ(meta_attempts.load(), 3);       // 1 + 2 requeues
   EXPECT_EQ(container_attempts.load(), 1);  // 1 + 0 requeues
   EXPECT_EQ(journal.size(), 2u);
-  EXPECT_EQ(pipeline.stats().requeues, 2u);
+  EXPECT_EQ(pipeline.requeues(), 2u);
 }
 
 TEST(UploadJournal, SerializeRoundTripAndReplay) {

@@ -1,0 +1,18 @@
+"""Semantic AST analyzer for the aadedupe repo (DESIGN.md §5d).
+
+A libclang-based companion to tools/lint.py: where the regex lint checks
+surface syntax, this package parses every translation unit in src/ through
+the compile database and enforces repo invariants that need type and scope
+information — discarded CloudResult values, wall-clock calls in
+simulated-time code, locks held across thread-pool dispatch, RAII
+temporaries destroyed at end of full-expression, struct-overlay
+serialization outside util/bytes, exception-handling discipline, virtual
+calls during construction, and include hygiene.
+
+Run `python3 tools/analyzer/analyze.py --help` for the CLI; the `analyze`
+ctest label and the CI `analyzer` job gate on it. Every rule honors an
+escape hatch: `// aad-analyzer-ignore(rule-name)` on the finding line or
+the line above.
+"""
+
+__version__ = "1.0"

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""CLI driver for the semantic analyzer (DESIGN.md §5d).
+
+    python3 tools/analyzer/analyze.py --compile-commands build/compile_commands.json
+
+Walks the AST of every translation unit under src/ through libclang and
+enforces the rule catalog in rules.py; the textual rules (include-hygiene)
+run unconditionally. Exit codes:
+
+    0   clean
+    1   findings (or a selftest failure)
+    2   infrastructure error — unreadable compile database, fatal parse
+        diagnostics, or libclang missing while --require is set
+    77  libclang unavailable and not required: AST rules skipped (ctest
+        SKIP_RETURN_CODE). Textual rules still ran and were clean.
+
+CI sets AAD_ANALYZER_REQUIRE=1 so a missing python3-clang fails the job
+loudly instead of silently skipping coverage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # run as a script: `python3 tools/analyzer/analyze.py`
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from analyzer import engine, rules as rules_mod  # noqa: E402
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+EXIT_SKIP = 77
+
+
+def default_compile_commands() -> Path | None:
+    for name in ("build", "build-tidy", "build-asan", "build-ubsan",
+                 "build-scalar"):
+        candidate = engine.REPO / name / "compile_commands.json"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="analyze.py",
+        description="Semantic AST analyzer for the aadedupe repo.")
+    parser.add_argument("--compile-commands", type=Path, default=None,
+                        help="compile_commands.json (default: first of "
+                             "build*/compile_commands.json)")
+    parser.add_argument("--only", action="append", default=None,
+                        metavar="RULE",
+                        help="run only the named rule (repeatable)")
+    parser.add_argument("--require", action="store_true",
+                        default=bool(os.environ.get("AAD_ANALYZER_REQUIRE")),
+                        help="fail (exit 2) instead of skipping (exit 77) "
+                             "when libclang is unavailable "
+                             "[env: AAD_ANALYZER_REQUIRE]")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the fixture selftest instead of the tree")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="print per-TU progress")
+    args = parser.parse_args(argv)
+
+    all_rules = rules_mod.make_rules(only=args.only)
+    if args.list_rules:
+        for rule in all_rules:
+            tag = " (textual)" if rule.textual else ""
+            print(f"{rule.name}{tag}\n    {rule.description}")
+        return EXIT_CLEAN
+
+    if args.selftest:
+        from analyzer import selftest
+        return selftest.main(require=args.require, only=args.only)
+
+    cindex = engine.load_cindex()
+    ast_rules = [r for r in all_rules if not r.textual]
+    textual_rules = [r for r in all_rules if r.textual]
+    config = engine.AnalyzerConfig()
+
+    status = EXIT_CLEAN
+    findings: list[engine.Finding] = []
+
+    if cindex is None:
+        message = (f"analyzer: libclang unavailable ({engine.cindex_error()});"
+                   f" {len(ast_rules)} AST rule(s) NOT checked")
+        if args.require:
+            print(f"error: {message} and --require is set", file=sys.stderr)
+            return EXIT_ERROR
+        print("=" * 72, file=sys.stderr)
+        print(f"WARNING: {message}.", file=sys.stderr)
+        print("Install python3-clang + libclang (apt: python3-clang "
+              "libclang1) or point AAD_LIBCLANG at the shared library; "
+              "CI runs the full rule set.", file=sys.stderr)
+        print("=" * 72, file=sys.stderr)
+        status = EXIT_SKIP
+        ast_rules = []
+    else:
+        db_path = args.compile_commands or default_compile_commands()
+        if db_path is None or not db_path.is_file():
+            print("error: no compile_commands.json found; configure a build "
+                  "dir first or pass --compile-commands", file=sys.stderr)
+            return EXIT_ERROR
+        try:
+            entries = engine.load_compile_commands(db_path)
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+        jobs = []
+        seen_sources = set()
+        for entry in entries:
+            source, tu_args = engine.parse_args_for(entry)
+            if source in seen_sources or not config.in_roots(source):
+                continue
+            seen_sources.add(source)
+            jobs.append((source, tu_args))
+        if not jobs:
+            print(f"error: {db_path} has no entries under src/",
+                  file=sys.stderr)
+            return EXIT_ERROR
+        progress = (lambda msg: print(msg, file=sys.stderr)) \
+            if args.verbose else None
+        ast_findings, reports = engine.run(ast_rules, jobs, config, cindex,
+                                           progress=progress)
+        fatal = [line for r in reports for line in r.fatal_diagnostics]
+        if fatal:
+            print("error: fatal parse diagnostics (stale compile database?):",
+                  file=sys.stderr)
+            for line in fatal:
+                print(f"  {line}", file=sys.stderr)
+            return EXIT_ERROR
+        findings.extend(ast_findings)
+        if args.verbose:
+            print(f"analyzed {len(jobs)} TU(s) under src/", file=sys.stderr)
+
+    if textual_rules:
+        tex_findings, _ = engine.run(textual_rules, [], config,
+                                     cindex or engine)
+        findings.extend(tex_findings)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    for finding in findings:
+        print(finding.render(config.repo_root))
+    if findings:
+        print(f"\nanalyzer: {len(findings)} finding(s). Suppress a "
+              "deliberate one with // aad-analyzer-ignore(rule-name) on "
+              "the finding line or the line above.", file=sys.stderr)
+        return EXIT_FINDINGS
+    if status == EXIT_CLEAN:
+        checked = len(ast_rules) + len(textual_rules)
+        print(f"analyzer: clean ({checked} rule(s))")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

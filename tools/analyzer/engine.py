@@ -1,0 +1,368 @@
+"""Analyzer engine: libclang loading, TU parsing, finding collection.
+
+The engine is deliberately independent of the rules: it owns everything
+about *how* to parse (compile database, argument mangling, libclang
+discovery) and *how* to report (ignore comments, dedup, ordering), while
+rules own *what* to look for. Rules receive a RuleContext per translation
+unit and call ctx.report(); the engine drops findings whose location
+carries an `// aad-analyzer-ignore(rule)` marker on the same or the
+preceding line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shlex
+from dataclasses import dataclass, field
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+# ---------------------------------------------------------------------------
+# libclang discovery
+# ---------------------------------------------------------------------------
+
+_CINDEX = None
+_CINDEX_ERROR = None
+
+
+def load_cindex():
+    """Import clang.cindex and verify the native library loads.
+
+    Returns the module, or None (with the failure reason retrievable via
+    cindex_error()) when the python bindings or libclang itself are absent.
+    The result is cached: libclang state is process-global.
+    """
+    global _CINDEX, _CINDEX_ERROR
+    if _CINDEX is not None or _CINDEX_ERROR is not None:
+        return _CINDEX
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError as exc:
+        _CINDEX_ERROR = f"python3-clang not importable: {exc}"
+        return None
+    override = os.environ.get("AAD_LIBCLANG")
+    if override:
+        try:
+            cindex.Config.set_library_file(override)
+        except Exception as exc:  # pragma: no cover - defensive
+            _CINDEX_ERROR = f"AAD_LIBCLANG={override} rejected: {exc}"
+            return None
+    try:
+        cindex.Index.create()
+    except Exception as exc:
+        if override:
+            _CINDEX_ERROR = f"libclang ({override}) failed to load: {exc}"
+            return None
+        # Retry with the sonames Debian/Ubuntu actually ship.
+        loaded = False
+        for candidate in (
+            "libclang.so",
+            *(f"libclang-{v}.so.1" for v in range(21, 13, -1)),
+            *(f"libclang-{v}.so" for v in range(21, 13, -1)),
+        ):
+            try:
+                cindex.Config.loaded = False
+                cindex.Config.set_library_file(candidate)
+                cindex.Index.create()
+                loaded = True
+                break
+            except Exception:
+                continue
+        if not loaded:
+            _CINDEX_ERROR = f"libclang shared library failed to load: {exc}"
+            return None
+    _CINDEX = cindex
+    return _CINDEX
+
+
+def cindex_error() -> str:
+    return _CINDEX_ERROR or "unknown"
+
+
+# ---------------------------------------------------------------------------
+# Findings and ignore comments
+# ---------------------------------------------------------------------------
+
+IGNORE_RE = re.compile(r"aad-analyzer-ignore\(([^)]*)\)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    rule: str
+    path: str  # absolute
+    line: int
+    message: str
+
+    def render(self, root: Path) -> str:
+        try:
+            rel = Path(self.path).resolve().relative_to(root)
+        except ValueError:
+            rel = Path(self.path)
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+class SourceCache:
+    """Lines of analyzed files, for ignore-comment lookups."""
+
+    def __init__(self):
+        self._lines: dict[str, list[str]] = {}
+
+    def lines(self, path: str) -> list[str]:
+        if path not in self._lines:
+            try:
+                text = Path(path).read_text(encoding="utf-8",
+                                            errors="replace")
+            except OSError:
+                text = ""
+            self._lines[path] = text.splitlines()
+        return self._lines[path]
+
+    def ignored(self, finding: Finding) -> bool:
+        lines = self.lines(finding.path)
+        for lineno in (finding.line, finding.line - 1):
+            if 1 <= lineno <= len(lines):
+                m = IGNORE_RE.search(lines[lineno - 1])
+                if m:
+                    rules = {r.strip() for r in m.group(1).split(",")}
+                    if "*" in rules or finding.rule in rules:
+                        return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Configuration shared by all rules
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AnalyzerConfig:
+    repo_root: Path = REPO
+    #: Directories whose files count as "ours": findings are only reported
+    #: inside these, and include-hygiene treats their headers as
+    #: first-party. Paths are absolute.
+    roots: tuple = (REPO / "src",)
+    #: Files/directories (absolute) where wall-clock reads are the point:
+    #: the telemetry substrate timestamps real events, and StopWatch *is*
+    #: the measured-compute-time abstraction everyone else must use.
+    wallclock_allow: tuple = (
+        REPO / "src" / "telemetry",
+        REPO / "src" / "util" / "stopwatch.hpp",
+    )
+    #: Files allowed to reinterpret/memcpy record types: the byte-packing
+    #: layer itself.
+    raw_codec_allow: tuple = (REPO / "src" / "util" / "bytes.hpp",)
+
+    def in_roots(self, path: str) -> bool:
+        p = Path(path).resolve()
+        return any(_is_within(p, root) for root in self.roots)
+
+    def allowed(self, path: str, allowlist) -> bool:
+        p = Path(path).resolve()
+        return any(_is_within(p, entry) for entry in allowlist)
+
+
+def _is_within(path: Path, root: Path) -> bool:
+    if path == root:
+        return True
+    try:
+        path.relative_to(root)
+        return True
+    except ValueError:
+        return False
+
+
+class RuleContext:
+    """Per-run state handed to every rule."""
+
+    def __init__(self, config: AnalyzerConfig, cindex):
+        self.config = config
+        self.cindex = cindex
+        self.findings: list[Finding] = []
+        self._seen: set = set()
+        self._qualname_cache: dict = {}
+
+    def report(self, rule: str, cursor, message: str):
+        loc = cursor.location
+        if loc.file is None:
+            return
+        path = str(Path(loc.file.name).resolve())
+        if not self.config.in_roots(path):
+            return
+        key = (rule, path, loc.line, message)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.findings.append(Finding(rule, path, loc.line, message))
+
+    def report_at(self, rule: str, path: str, line: int, message: str):
+        path = str(Path(path).resolve())
+        if not self.config.in_roots(path):
+            return
+        key = (rule, path, line, message)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.findings.append(Finding(rule, path, line, message))
+
+    # -- cursor helpers shared by rules ------------------------------------
+
+    def qualified_name(self, cursor) -> str:
+        """Fully qualified name of a declaration cursor (best effort)."""
+        key = cursor.hash
+        cached = self._qualname_cache.get(key)
+        if cached is not None:
+            return cached
+        parts = []
+        node = cursor
+        kinds = self.cindex.CursorKind
+        while node is not None and node.kind != kinds.TRANSLATION_UNIT:
+            if node.spelling:
+                parts.append(node.spelling)
+            node = node.semantic_parent
+        name = "::".join(reversed(parts))
+        self._qualname_cache[key] = name
+        return name
+
+    def location_of(self, cursor) -> tuple:
+        loc = cursor.location
+        if loc.file is None:
+            return ("", 0)
+        return (str(Path(loc.file.name).resolve()), loc.line)
+
+
+# ---------------------------------------------------------------------------
+# Compile database handling
+# ---------------------------------------------------------------------------
+
+# Flags that libclang must not see (compilation artifacts) — with the
+# number of operands each consumes.
+_DROP_FLAGS = {"-c": 0, "-o": 1, "-MF": 1, "-MT": 1, "-MQ": 1}
+
+
+def load_compile_commands(path: Path) -> list[dict]:
+    try:
+        entries = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise RuntimeError(f"cannot read compile database {path}: {exc}")
+    if not isinstance(entries, list):
+        raise RuntimeError(f"compile database {path} is not a JSON array")
+    return entries
+
+
+def parse_args_for(entry: dict) -> tuple[str, list[str]]:
+    """(source file, clang args) for one compile-database entry.
+
+    Strips the compiler executable, the source file, and output/dep flags;
+    makes include paths absolute against the entry's directory so the
+    parse does not depend on our own cwd; silences warnings (the analyzer
+    reports its own findings, not the compiler's).
+    """
+    directory = Path(entry.get("directory", "."))
+    if "arguments" in entry:
+        argv = list(entry["arguments"])
+    else:
+        argv = shlex.split(entry.get("command", ""))
+    source = str((directory / entry["file"]).resolve())
+
+    args: list[str] = []
+    i = 1  # skip the compiler
+    while i < len(argv):
+        arg = argv[i]
+        if arg in _DROP_FLAGS:
+            i += 1 + _DROP_FLAGS[arg]
+            continue
+        if str((directory / arg).resolve()) == source:
+            i += 1
+            continue
+        if arg == "-I" and i + 1 < len(argv):
+            args += ["-I", str((directory / argv[i + 1]).resolve())]
+            i += 2
+            continue
+        if arg.startswith("-I"):
+            args.append("-I" + str((directory / arg[2:]).resolve()))
+            i += 1
+            continue
+        args.append(arg)
+        i += 1
+    args += ["-Wno-everything", f"-working-directory={directory}"]
+    return source, args
+
+
+# ---------------------------------------------------------------------------
+# The walk
+# ---------------------------------------------------------------------------
+
+
+def walk_repo_cursors(tu_cursor, config: AnalyzerConfig):
+    """Yield every cursor located in one of the configured roots.
+
+    Children of skipped (system/third-party) cursors are not visited, so
+    the walk never descends into libstdc++; namespace blocks re-opened in
+    our files are visited through their own cursors.
+    """
+    stack = list(tu_cursor.get_children())[::-1]
+    while stack:
+        node = stack.pop()
+        loc_file = node.location.file
+        if loc_file is None or not config.in_roots(loc_file.name):
+            continue
+        yield node
+        stack.extend(list(node.get_children())[::-1])
+
+
+@dataclass
+class TUReport:
+    source: str
+    parsed: bool
+    fatal_diagnostics: list = field(default_factory=list)
+
+
+def analyze_tu(index, source: str, args: list[str], rules, ctx: RuleContext,
+               tu_callbacks=None) -> TUReport:
+    cindex = ctx.cindex
+    report = TUReport(source=source, parsed=False)
+    try:
+        tu = index.parse(source, args=args)
+    except cindex.TranslationUnitLoadError as exc:
+        report.fatal_diagnostics.append(f"{source}: parse failed: {exc}")
+        return report
+    for diag in tu.diagnostics:
+        if diag.severity >= cindex.Diagnostic.Fatal:
+            report.fatal_diagnostics.append(
+                f"{source}: {diag.location}: {diag.spelling}")
+    report.parsed = True
+
+    interests = [(rule, rule.interesting_kinds(cindex)) for rule in rules]
+    for cursor in walk_repo_cursors(tu.cursor, ctx.config):
+        for rule, kinds in interests:
+            if kinds is None or cursor.kind in kinds:
+                rule.visit(cursor, ctx)
+    if tu_callbacks:
+        for cb in tu_callbacks:
+            cb(tu, ctx)
+    for rule in rules:
+        rule.end_tu(ctx)
+    return report
+
+
+def run(rules, sources_and_args, config: AnalyzerConfig, cindex,
+        progress=None):
+    """Analyze all (source, args) pairs; returns (findings, tu_reports)."""
+    ctx = RuleContext(config, cindex)
+    # Textual-only runs pass no sources (and possibly no real cindex).
+    index = cindex.Index.create() if sources_and_args else None
+    reports = []
+    for n, (source, args) in enumerate(sources_and_args, 1):
+        if progress:
+            progress(f"[{n}/{len(sources_and_args)}] {source}")
+        reports.append(analyze_tu(index, source, args, rules, ctx))
+    for rule in rules:
+        rule.end_run(ctx)
+
+    cache = SourceCache()
+    kept = [f for f in ctx.findings if not cache.ignored(f)]
+    kept.sort(key=lambda f: (f.path, f.line, f.rule))
+    return kept, reports

@@ -1,0 +1,554 @@
+"""The rule catalog (DESIGN.md §5d).
+
+Every rule is a small class with a stable kebab-case name (the name users
+write in `// aad-analyzer-ignore(...)` comments), a one-line description,
+and a `visit` hook called for cursors whose kind is in
+`interesting_kinds`. Rules that need whole-statement context (lock
+scopes, catch bodies, constructor bodies) do their own bounded subtree
+walks from the cursors they are handed; rules that need no AST at all
+(include hygiene) run from `end_run`.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+
+def subtree(cursor, skip_lambdas=False, lambda_kind=None):
+    """All descendants of `cursor` (excluding it), optionally pruning
+    lambda bodies — code inside a lambda runs when the closure is invoked,
+    not where it is written, so scope-sensitive rules must not attribute
+    it to the enclosing statement."""
+    stack = list(cursor.get_children())[::-1]
+    while stack:
+        node = stack.pop()
+        if skip_lambdas and node.kind == lambda_kind:
+            continue
+        yield node
+        stack.extend(list(node.get_children())[::-1])
+
+
+def type_basename(type_spelling: str) -> str:
+    """`aadedupe::cloud::CloudResult<aadedupe::cloud::CloudOk>` -> `CloudResult`."""
+    return type_spelling.split("<")[0].split("::")[-1].strip()
+
+
+def unwrap_expr(cursor, kinds):
+    """Peel ExprWithCleanups/CXXBindTemporaryExpr wrappers (surfaced by
+    libclang as single-child UNEXPOSED_EXPR) off an expression statement."""
+    while cursor.kind == kinds.UNEXPOSED_EXPR:
+        children = list(cursor.get_children())
+        if len(children) != 1:
+            break
+        cursor = children[0]
+    return cursor
+
+
+def derives_from(class_cursor, base_names, cindex, _depth=0) -> bool:
+    """True when the class IS or inherits (transitively) one of base_names."""
+    if class_cursor is None or _depth > 16:
+        return False
+    if class_cursor.spelling in base_names:
+        return True
+    defn = class_cursor.get_definition() or class_cursor
+    for child in defn.get_children():
+        if child.kind == cindex.CursorKind.CXX_BASE_SPECIFIER:
+            decl = child.type.get_declaration()
+            if derives_from(decl, base_names, cindex, _depth + 1):
+                return True
+    return False
+
+
+class Rule:
+    name = ""
+    description = ""
+    #: True when the rule needs no libclang — it still runs (and can fail
+    #: the build) on machines without python3-clang.
+    textual = False
+
+    def interesting_kinds(self, cindex):
+        """Set of CursorKinds to visit, or None for every cursor."""
+        return ()
+
+    def visit(self, cursor, ctx):
+        pass
+
+    def end_tu(self, ctx):
+        pass
+
+    def end_run(self, ctx):
+        pass
+
+
+# ---------------------------------------------------------------------------
+# 1. discarded-result
+# ---------------------------------------------------------------------------
+
+
+class DiscardedResultRule(Rule):
+    name = "discarded-result"
+    description = ("call result of CloudResult/CloudStatus/*Error-returning "
+                   "function discarded as an expression statement")
+
+    def interesting_kinds(self, cindex):
+        return {cindex.CursorKind.COMPOUND_STMT}
+
+    def visit(self, cursor, ctx):
+        kinds = ctx.cindex.CursorKind
+        for stmt in cursor.get_children():
+            core = unwrap_expr(stmt, kinds)
+            if core.kind != kinds.CALL_EXPR:
+                continue
+            spelling = core.type.get_canonical().spelling
+            if "CloudResult<" in spelling or \
+                    type_basename(spelling).endswith("Error"):
+                ctx.report(self.name, core,
+                           f"result of type '{spelling}' is discarded; "
+                           "handle the error or cast to void explicitly")
+
+
+# ---------------------------------------------------------------------------
+# 2. wall-clock
+# ---------------------------------------------------------------------------
+
+_WALL_CLOCK_FREE_FUNCS = {"time", "gettimeofday", "clock_gettime",
+                          "localtime", "localtime_r", "gmtime", "gmtime_r",
+                          "clock", "ftime"}
+
+
+class WallClockRule(Rule):
+    name = "wall-clock"
+    description = ("direct wall-clock read outside src/telemetry/ and the "
+                   "StopWatch plumbing — measured time must flow through "
+                   "util/stopwatch so simulated-clock runs stay deterministic")
+
+    def interesting_kinds(self, cindex):
+        return {cindex.CursorKind.CALL_EXPR}
+
+    def visit(self, cursor, ctx):
+        ref = cursor.referenced
+        if ref is None:
+            return
+        qn = ctx.qualified_name(ref)
+        hit = None
+        if qn.endswith("_clock::now"):
+            hit = qn
+        else:
+            last = qn.split("::")[-1]
+            if last in _WALL_CLOCK_FREE_FUNCS and \
+                    (qn == last or qn.startswith("std::")):
+                hit = qn
+        if hit is None:
+            return
+        path, _ = ctx.location_of(cursor)
+        if ctx.config.allowed(path, ctx.config.wallclock_allow):
+            return
+        ctx.report(self.name, cursor,
+                   f"wall-clock call '{hit}()' outside the telemetry/"
+                   "StopWatch allowlist")
+
+
+# ---------------------------------------------------------------------------
+# 3. lock-across-dispatch
+# ---------------------------------------------------------------------------
+
+_LOCK_TYPES = {"lock_guard", "unique_lock", "scoped_lock", "shared_lock"}
+_BACKEND_METHODS = {"put", "get", "remove"}
+
+
+class LockAcrossDispatchRule(Rule):
+    name = "lock-across-dispatch"
+    description = ("mutex guard held across ThreadPool::submit/parallel_for "
+                   "or a cloud-backend call — dispatch blocks on worker "
+                   "completion / network IO and deadlocks or serializes the "
+                   "pipeline")
+
+    def interesting_kinds(self, cindex):
+        return {cindex.CursorKind.COMPOUND_STMT}
+
+    def visit(self, cursor, ctx):
+        kinds = ctx.cindex.CursorKind
+        lock_name = None
+        for stmt in cursor.get_children():
+            if stmt.kind == kinds.DECL_STMT:
+                for decl in stmt.get_children():
+                    if decl.kind != kinds.VAR_DECL:
+                        continue
+                    spelling = decl.type.get_canonical().spelling
+                    if type_basename(spelling) in _LOCK_TYPES:
+                        lock_name = decl.spelling or type_basename(spelling)
+                continue
+            if lock_name is None:
+                continue
+            for node in subtree(stmt, skip_lambdas=True,
+                                lambda_kind=kinds.LAMBDA_EXPR):
+                if node.kind != kinds.CALL_EXPR:
+                    continue
+                target = self._dispatch_target(node, ctx)
+                if target:
+                    ctx.report(self.name, node,
+                               f"'{target}' called while guard "
+                               f"'{lock_name}' is held")
+
+    @staticmethod
+    def _dispatch_target(call, ctx):
+        ref = call.referenced
+        if ref is None:
+            return None
+        qn = ctx.qualified_name(ref)
+        if qn.endswith("ThreadPool::submit") or \
+                qn.endswith("ThreadPool::parallel_for"):
+            return "ThreadPool::" + ref.spelling
+        if ref.spelling in _BACKEND_METHODS:
+            parent = ref.semantic_parent
+            if parent is not None and derives_from(
+                    parent, {"CloudBackend"}, ctx.cindex):
+                return qn
+        return None
+
+
+# ---------------------------------------------------------------------------
+# 4. unnamed-raii
+# ---------------------------------------------------------------------------
+
+_RAII_TYPES = {"TraceSpan"} | _LOCK_TYPES
+
+
+class UnnamedRaiiRule(Rule):
+    name = "unnamed-raii"
+    description = ("unnamed temporary TraceSpan/lock guard is destroyed at "
+                   "the end of its own statement — it never covers the code "
+                   "it was meant to protect")
+
+    def interesting_kinds(self, cindex):
+        return {cindex.CursorKind.COMPOUND_STMT}
+
+    def visit(self, cursor, ctx):
+        kinds = ctx.cindex.CursorKind
+        # CXXTemporaryObjectExpr surfaces as CALL_EXPR in libclang.
+        expr_kinds = {kinds.CALL_EXPR, kinds.CXX_FUNCTIONAL_CAST_EXPR}
+        for stmt in cursor.get_children():
+            core = unwrap_expr(stmt, kinds)
+            if core.kind not in expr_kinds:
+                continue
+            spelling = core.type.get_canonical().spelling
+            base = type_basename(spelling)
+            if base in _RAII_TYPES:
+                ctx.report(self.name, core,
+                           f"temporary '{base}' destroyed at end of "
+                           "statement; bind it to a named local")
+
+
+# ---------------------------------------------------------------------------
+# 5. raw-serialization
+# ---------------------------------------------------------------------------
+
+
+class RawSerializationRule(Rule):
+    name = "raw-serialization"
+    description = ("memcpy/reinterpret_cast on a repo record type outside "
+                   "util/bytes — struct overlays bake in padding and "
+                   "endianness; formats go through the byte codec")
+
+    def interesting_kinds(self, cindex):
+        return {cindex.CursorKind.CALL_EXPR,
+                cindex.CursorKind.CXX_REINTERPRET_CAST_EXPR}
+
+    def visit(self, cursor, ctx):
+        path, _ = ctx.location_of(cursor)
+        if ctx.config.allowed(path, ctx.config.raw_codec_allow):
+            return
+        kinds = ctx.cindex.CursorKind
+        if cursor.kind == kinds.CXX_REINTERPRET_CAST_EXPR:
+            offender = self._repo_record_pointee(cursor.type, ctx)
+            if offender:
+                ctx.report(self.name, cursor,
+                           f"reinterpret_cast to '{offender}'; use "
+                           "util/bytes load/store helpers")
+            return
+        ref = cursor.referenced
+        if ref is None or ref.spelling not in ("memcpy", "memmove", "memcmp"):
+            return
+        for arg in cursor.get_arguments():
+            offender = self._repo_record_pointee(arg.type, ctx)
+            if offender:
+                ctx.report(self.name, cursor,
+                           f"{ref.spelling}() over record type "
+                           f"'{offender}'; use util/bytes load/store "
+                           "helpers")
+                return
+
+    @staticmethod
+    def _repo_record_pointee(clang_type, ctx):
+        canonical = clang_type.get_canonical()
+        kinds = ctx.cindex.TypeKind
+        if canonical.kind not in (kinds.POINTER, kinds.LVALUEREFERENCE,
+                                  kinds.RVALUEREFERENCE):
+            return None
+        pointee = canonical.get_pointee().get_canonical()
+        spelling = pointee.spelling
+        if pointee.kind == kinds.RECORD and "aadedupe::" in spelling:
+            return spelling
+        return None
+
+
+# ---------------------------------------------------------------------------
+# 6. exception-discipline
+# ---------------------------------------------------------------------------
+
+_TAXONOMY = {"PreconditionError", "InvariantError", "FormatError",
+             "CloudTransportError", "exception", "runtime_error",
+             "logic_error", "system_error"}
+# A bare catch counts as "handled" when its body rethrows or calls
+# something that visibly records the failure: the flight recorder, the
+# check.hpp hook, std::current_exception() capture, or a local
+# error/failure routing helper.
+_HANDLER_EVIDENCE_RE = re.compile(
+    r"^(trigger|notify_failure|current_exception)$|error|failure")
+
+
+class ExceptionDisciplineRule(Rule):
+    name = "exception-discipline"
+    description = ("catch-by-value of the check.hpp taxonomy (slices the "
+                   "error), or bare catch (...) that swallows without "
+                   "rethrowing or triggering the flight recorder")
+
+    def interesting_kinds(self, cindex):
+        return {cindex.CursorKind.CXX_CATCH_STMT}
+
+    def visit(self, cursor, ctx):
+        kinds = ctx.cindex.CursorKind
+        tkinds = ctx.cindex.TypeKind
+        children = list(cursor.get_children())
+        exc_decl = next((c for c in children if c.kind == kinds.VAR_DECL),
+                        None)
+        if exc_decl is not None:
+            canonical = exc_decl.type.get_canonical()
+            if canonical.kind not in (tkinds.LVALUEREFERENCE,
+                                      tkinds.RVALUEREFERENCE,
+                                      tkinds.POINTER):
+                base = type_basename(canonical.spelling)
+                if base in _TAXONOMY or base.endswith("Error"):
+                    ctx.report(self.name, exc_decl,
+                               f"'{canonical.spelling}' caught by value; "
+                               "catch by const reference")
+            return
+        # Bare catch (...): the body must rethrow or leave flight-recorder
+        # evidence — silently eating an unknown exception erases the only
+        # signal that a worker or format path failed.
+        body = children[-1] if children else None
+        if body is None:
+            return
+        for node in subtree(body):
+            if node.kind == kinds.CXX_THROW_EXPR:
+                return
+            if node.kind == kinds.CALL_EXPR:
+                ref = node.referenced
+                if ref is not None and \
+                        _HANDLER_EVIDENCE_RE.search(ref.spelling):
+                    return
+        ctx.report(self.name, cursor,
+                   "bare catch (...) swallows the exception; rethrow or "
+                   "call FlightRecorder::trigger()/notify_failure()")
+
+
+# ---------------------------------------------------------------------------
+# 7. virtual-in-ctor
+# ---------------------------------------------------------------------------
+
+_POLYMORPHIC_ROOTS = {"CloudBackend", "BackupScheme"}
+
+
+class VirtualInCtorRule(Rule):
+    name = "virtual-in-ctor"
+    description = ("virtual call on *this inside a constructor/destructor "
+                   "of the scheme/backend hierarchies — dispatch resolves "
+                   "to the class under construction, not the override")
+
+    def interesting_kinds(self, cindex):
+        return {cindex.CursorKind.CONSTRUCTOR, cindex.CursorKind.DESTRUCTOR}
+
+    def visit(self, cursor, ctx):
+        kinds = ctx.cindex.CursorKind
+        if not cursor.is_definition():
+            return
+        owner = cursor.semantic_parent
+        if owner is None or not derives_from(owner, _POLYMORPHIC_ROOTS,
+                                             ctx.cindex):
+            return
+        for node in subtree(cursor, skip_lambdas=True,
+                            lambda_kind=kinds.LAMBDA_EXPR):
+            if node.kind != kinds.CALL_EXPR:
+                continue
+            ref = node.referenced
+            if ref is None or not ref.is_virtual_method():
+                continue
+            method_owner = ref.semantic_parent
+            if method_owner is None or not derives_from(
+                    owner, {method_owner.spelling}, ctx.cindex):
+                continue
+            if self._on_this(node, ctx):
+                what = "destructor" if cursor.kind == kinds.DESTRUCTOR \
+                    else "constructor"
+                ctx.report(self.name, node,
+                           f"virtual '{ref.spelling}()' called in "
+                           f"{what} of '{owner.spelling}'")
+
+    @staticmethod
+    def _on_this(call, ctx):
+        kinds = ctx.cindex.CursorKind
+        children = list(call.get_children())
+        if not children:
+            return True  # implicit this, no object expression exposed
+        callee = children[0]
+        if callee.kind != kinds.MEMBER_REF_EXPR:
+            return False
+        objs = list(callee.get_children())
+        if not objs:
+            return True  # implicit this
+        return any(n.kind == kinds.CXX_THIS_EXPR
+                   for n in [objs[0], *subtree(objs[0])])
+
+
+# ---------------------------------------------------------------------------
+# 8. include-hygiene (textual — runs even without libclang)
+# ---------------------------------------------------------------------------
+
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+_DEF_RE = re.compile(
+    r'^(?:class|struct|enum(?:\s+class)?)\s+'
+    r'(?:\[\[\w+\]\]\s+)?([A-Z]\w{3,})\s*(?:final\s*)?(?::|\{|$)')
+_FWD_RE = re.compile(
+    r'^(?:class|struct|enum(?:\s+class)?)\s+([A-Z]\w{3,})\s*;')
+_COMMENT_RE = re.compile(r'//.*?$|/\*.*?\*/|"(?:[^"\\]|\\.)*"',
+                         re.MULTILINE | re.DOTALL)
+
+
+class IncludeHygieneRule(Rule):
+    name = "include-hygiene"
+    description = ("header uses a first-party type whose defining header "
+                   "is reachable only transitively — include what you use, "
+                   "so includes can be reordered without breakage")
+    textual = True
+
+    def end_run(self, ctx):
+        scan_include_hygiene(ctx.config, lambda path, line, msg:
+                             ctx.report_at(self.name, path, line, msg))
+
+
+def _resolve_include(spec: str, header: Path, roots) -> Path | None:
+    for base in (header.parent, *roots):
+        candidate = (base / spec).resolve()
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def scan_include_hygiene(config, emit):
+    """Textual include-what-you-use over every header in config.roots.
+
+    Flags a use of type `X` in header H when X's (unique) defining header
+    is in H's transitive first-party include closure but not among H's
+    direct includes. Forward declarations in H excuse the name; so do
+    names defined in more than one header (ambiguous, usually nested
+    helper structs).
+    """
+    roots = [Path(r) for r in config.roots]
+    headers: dict[Path, str] = {}
+    for root in roots:
+        if not root.is_dir():
+            continue
+        for pattern in ("*.hpp", "*.h"):
+            for p in sorted(root.rglob(pattern)):
+                headers[p.resolve()] = p.read_text(encoding="utf-8",
+                                                   errors="replace")
+
+    defined: dict[str, set] = {}
+    direct: dict[Path, list] = {}
+    fwd: dict[Path, set] = {}
+    for path, text in headers.items():
+        direct[path] = []
+        fwd[path] = set()
+        for line in text.splitlines():
+            m = _INCLUDE_RE.match(line)
+            if m:
+                resolved = _resolve_include(m.group(1), path, roots)
+                if resolved in headers:
+                    direct[path].append(resolved)
+                continue
+            m = _FWD_RE.match(line)
+            if m:
+                fwd[path].add(m.group(1))
+                continue
+            m = _DEF_RE.match(line)
+            if m:
+                defined.setdefault(m.group(1), set()).add(path)
+
+    unique_def = {name: next(iter(paths))
+                  for name, paths in defined.items() if len(paths) == 1}
+
+    closures: dict[Path, set] = {}
+
+    def closure(path: Path, chain=()):
+        if path in closures:
+            return closures[path]
+        if path in chain:  # include cycle; break it
+            return set()
+        result = set(direct.get(path, ()))
+        for dep in direct.get(path, ()):
+            result |= closure(dep, (*chain, path))
+        closures[path] = result
+        return result
+
+    for path, text in headers.items():
+        stripped = _COMMENT_RE.sub(lambda m: " " * len(m.group(0)),
+                                   text)
+        transitive = closure(path) - set(direct[path])
+        if not transitive:
+            continue
+        reported = set()
+        for lineno, line in enumerate(stripped.splitlines(), 1):
+            if _INCLUDE_RE.match(line):
+                continue
+            for m in re.finditer(r'\b([A-Z]\w{3,})\b', line):
+                name = m.group(1)
+                if name in reported or name in fwd[path]:
+                    continue
+                definer = unique_def.get(name)
+                if definer is None or definer == path or \
+                        definer in direct[path] or definer not in transitive:
+                    continue
+                reported.add(name)
+                try:
+                    rel = definer.relative_to(
+                        next(r for r in roots
+                             if str(definer).startswith(str(r))))
+                except (StopIteration, ValueError):
+                    rel = definer
+                emit(str(path), lineno,
+                     f"'{name}' is defined in '{rel}', which is only "
+                     "included transitively; include it directly")
+
+
+ALL_RULES = [
+    DiscardedResultRule,
+    WallClockRule,
+    LockAcrossDispatchRule,
+    UnnamedRaiiRule,
+    RawSerializationRule,
+    ExceptionDisciplineRule,
+    VirtualInCtorRule,
+    IncludeHygieneRule,
+]
+
+
+def make_rules(only=None):
+    rules = [cls() for cls in ALL_RULES]
+    if only:
+        wanted = set(only)
+        unknown = wanted - {r.name for r in rules}
+        if unknown:
+            raise ValueError(f"unknown rule(s): {', '.join(sorted(unknown))}")
+        rules = [r for r in rules if r.name in wanted]
+    return rules

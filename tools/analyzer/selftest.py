@@ -1,0 +1,115 @@
+"""Fixture selftest: every rule must trip on its trip fixture and stay
+quiet on its clean fixture (tests/analyzer_fixtures/). Registered as the
+`repo_analyzer_selftest` ctest so a rule regression fails the build.
+
+AST-rule fixtures are single self-contained .cpp files parsed with
+`-std=c++20`; the include-hygiene fixtures are directory trees scanned
+textually (and therefore verified even on machines without libclang —
+where the AST half skips with exit 77, matching analyze.py).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from analyzer import engine, rules as rules_mod  # noqa: E402
+
+FIXTURES = engine.REPO / "tests" / "analyzer_fixtures"
+PARSE_ARGS = ["-x", "c++", "-std=c++20"]
+
+
+def _slug(rule_name: str) -> str:
+    return rule_name.replace("-", "_")
+
+
+def _run_ast_fixture(cindex, rule, path: Path):
+    config = engine.AnalyzerConfig(roots=(FIXTURES,))
+    findings, reports = engine.run([rule], [(str(path), PARSE_ARGS)],
+                                   config, cindex)
+    fatal = [line for r in reports for line in r.fatal_diagnostics]
+    return [f for f in findings if f.rule == rule.name], fatal
+
+
+def _run_textual_fixture(rule, root: Path):
+    config = engine.AnalyzerConfig(roots=(root,))
+    findings, _ = engine.run([rule], [], config, engine)
+    return [f for f in findings if f.rule == rule.name]
+
+
+def main(require: bool = False, only=None) -> int:
+    failures: list[str] = []
+    checked = 0
+    skipped = 0
+
+    rules = rules_mod.make_rules(only=only)
+    cindex = engine.load_cindex()
+
+    for rule in rules:
+        slug = _slug(rule.name)
+        if rule.textual:
+            trip_dir = FIXTURES / f"trip_{slug}"
+            clean_dir = FIXTURES / f"clean_{slug}"
+            for where, expect_hit in ((trip_dir, True), (clean_dir, False)):
+                if not where.is_dir():
+                    failures.append(f"{rule.name}: missing fixture dir "
+                                    f"{where}")
+                    continue
+                hits = _run_textual_fixture(rule, where)
+                checked += 1
+                if expect_hit and not hits:
+                    failures.append(f"{rule.name}: {where.name} did not "
+                                    "trip the rule")
+                elif not expect_hit and hits:
+                    failures.append(
+                        f"{rule.name}: {where.name} tripped unexpectedly: "
+                        f"{hits[0].render(engine.REPO)}")
+            continue
+
+        if cindex is None:
+            skipped += 1
+            continue
+        for prefix, expect_hit in (("trip", True), ("clean", False)):
+            path = FIXTURES / f"{prefix}_{slug}.cpp"
+            if not path.is_file():
+                failures.append(f"{rule.name}: missing fixture {path}")
+                continue
+            hits, fatal = _run_ast_fixture(cindex, rule, path)
+            checked += 1
+            if fatal:
+                failures.append(f"{rule.name}: {path.name} failed to "
+                                f"parse: {fatal[0]}")
+            elif expect_hit and not hits:
+                failures.append(f"{rule.name}: {path.name} did not trip "
+                                "the rule")
+            elif not expect_hit and hits:
+                failures.append(f"{rule.name}: {path.name} tripped "
+                                f"unexpectedly: "
+                                f"{hits[0].render(engine.REPO)}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        print(f"analyzer selftest: {len(failures)} failure(s) "
+              f"({checked} fixture checks ran)", file=sys.stderr)
+        return 1
+
+    if skipped:
+        message = (f"analyzer selftest: libclang unavailable "
+                   f"({engine.cindex_error()}); {skipped} AST rule(s) "
+                   "unverified")
+        if require:
+            print(f"error: {message} and --require is set", file=sys.stderr)
+            return 2
+        print(f"WARNING: {message}. Textual fixtures passed "
+              f"({checked} checks).", file=sys.stderr)
+        return 77
+    print(f"analyzer selftest: OK ({checked} fixture checks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(require="--require" in sys.argv))

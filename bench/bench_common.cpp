@@ -10,6 +10,7 @@
 #include "backup/sam.hpp"
 #include "core/aa_dedupe.hpp"
 #include "telemetry/build_info.hpp"
+#include "telemetry/exposition.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/log.hpp"
 #include "telemetry/run_report.hpp"
@@ -35,9 +36,27 @@ std::string env_str(const char* name) {
   return value == nullptr ? std::string() : std::string(value);
 }
 
+namespace {
+/// Truncate-write a small text artifact; failures log and move on (an
+/// observability artifact must never take the measured run down).
+void write_text_file(const std::string& path, const std::string& text,
+                     const char* what) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    AAD_LOG(&telemetry::stderr_logger(), kWarn, "session",
+            "cannot open %s=%s", what, path.c_str());
+    return;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+}  // namespace
+
 Observability::Observability()
     : report_path_(env_str("AAD_RUN_REPORT")),
-      trace_path_(env_str("AAD_TRACE_OUT")) {
+      trace_path_(env_str("AAD_TRACE_OUT")),
+      profile_path_(env_str("AAD_PROFILE_OUT")),
+      prom_path_(env_str("AAD_PROM_OUT")) {
   if (!trace_path_.empty()) exporter_.attach(telemetry_.trace);
   if (const std::string flight_path = env_str("AAD_FLIGHT_OUT");
       !flight_path.empty()) {
@@ -51,6 +70,20 @@ Observability::Observability()
   telemetry_.log.set_level(telemetry::parse_log_level(
       std::getenv("AAD_LOG_LEVEL"), telemetry::LogLevel::kWarn));
   telemetry::install_global_flight_recorder(&telemetry_.flight);
+  if (!prom_path_.empty()) {
+    // Scrape-file bridge: refresh the exposition at every timeline sample
+    // (the hook runs outside the timeline mutex, so snapshotting the
+    // registry here is safe).
+    telemetry_.timeline.set_sample_hook([this](double) {
+      write_text_file(prom_path_,
+                      telemetry::to_prometheus_text(telemetry_.metrics.snapshot()),
+                      "AAD_PROM_OUT");
+    });
+  }
+  if (!profile_path_.empty()) {
+    profiler_ = std::make_unique<telemetry::SpanProfiler>();
+    profiler_->start();
+  }
 }
 
 Observability::~Observability() {
@@ -67,7 +100,16 @@ std::string Observability::finish(
     const std::function<void(telemetry::RunReport&)>& fill) {
   if (finished_) return report_path_;
   finished_ = true;
+  if (profiler_ && profiler_->running()) profiler_->stop();
   telemetry_.timeline.force_sample(telemetry_.trace.now());
+  if (!prom_path_.empty()) {
+    write_text_file(prom_path_,
+                    telemetry::to_prometheus_text(telemetry_.metrics.snapshot()),
+                    "AAD_PROM_OUT");
+  }
+  if (profiler_ && !profile_path_.empty()) {
+    write_text_file(profile_path_, profiler_->folded_text(), "AAD_PROFILE_OUT");
+  }
   if (!trace_path_.empty()) {
     // Counter tracks under the span timeline: shipped bytes and the
     // upload queue's high-water mark, one point per timeline sample.
@@ -89,6 +131,7 @@ std::string Observability::finish(
   if (report_path_.empty()) return report_path_;
   telemetry::RunReport report;
   report.add_telemetry(telemetry_);
+  if (profiler_) profiler_->fill_json(report.section("profiler"));
   if (fill) fill(report);
   report.write_file(report_path_);
   return report_path_;

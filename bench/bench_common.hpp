@@ -23,6 +23,7 @@
 #include "backup/scheme.hpp"
 #include "cloud/cloud_target.hpp"
 #include "dataset/generator.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/run_report.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace_export.hpp"
@@ -60,6 +61,14 @@ inline void clobber_memory() noexcept { __asm__ __volatile__("" ::: "memory"); }
 ///   AAD_SNAPSHOT_INTERVAL_S=<sec>  metrics timeline sample interval
 ///   AAD_LOG_LEVEL=<level>          stderr log floor for the context
 ///                                  logger (default warn; "off" silences)
+///   AAD_PROFILE_OUT=<path>         run the SIGPROF span-attributed
+///                                  sampling profiler for the whole
+///                                  process and write folded stacks
+///                                  (flamegraph input; see
+///                                  `report.py flame`) on finish
+///   AAD_PROM_OUT=<path>            Prometheus text exposition of the
+///                                  metrics registry, refreshed at every
+///                                  timeline sample and on finish
 ///
 /// Construction wires a Telemetry context and installs its flight
 /// recorder as the process-global crash recorder; finish() (or the
@@ -95,6 +104,9 @@ class Observability {
   telemetry::TraceExporter exporter_;
   std::string report_path_;
   std::string trace_path_;
+  std::string profile_path_;
+  std::string prom_path_;
+  std::unique_ptr<telemetry::SpanProfiler> profiler_;
   bool finished_ = false;
 };
 

@@ -1,0 +1,237 @@
+// Fleet observability harness (ROADMAP observability item): N simulated
+// tenants, each an independent AA-Dedupe client with its OWN telemetry
+// context, backing up its own weekly snapshot sequence. Every tenant's
+// session metrics (BWS, DR, DE) land in tenant-labeled quantile sketches;
+// the harness then merges all tenants' sketches — the exact, associative
+// integer-bucket merge — into fleet-level distributions.
+//
+// Artifacts:
+//   <report-dir>/tenant_NN.json   one run report per tenant
+//   BENCH_fleet.json              fleet aggregate: per-tenant p50/p95/p99
+//                                 rows for BWS/DR/DE, every merged sketch
+//                                 family in full mergeable encoding, and
+//                                 the machine-portable gate key
+//                                 fleet_dr_p50 (dedup ratio is determined
+//                                 by dataset + chunking, not the host)
+//
+// `report.py aggregate --check BENCH_fleet.json <report-dir>/*.json`
+// re-merges the per-tenant reports in Python and must reproduce the fleet
+// sketches exactly — that equality is the acceptance test for the merge
+// (and runs as a ctest fixture chained behind the smoke run).
+//
+// Usage: bench_fleet_obs [--out <path>] [--report-dir <dir>] [--smoke]
+//   --out         fleet JSON path (default: BENCH_fleet.json in the CWD)
+//   --report-dir  per-tenant run-report directory (default: fleet_reports)
+//   --smoke       8 tenants instead of 32 (CI smoke label)
+// Scale knobs AAD_BENCH_MIB / AAD_BENCH_SESSIONS / AAD_BENCH_SEED apply
+// per tenant (each tenant derives its own dataset seed from the base).
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cloud/cloud_target.hpp"
+#include "core/aa_dedupe.hpp"
+#include "telemetry/build_info.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/log.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/run_report.hpp"
+#include "telemetry/sketch.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+using namespace aadedupe;
+
+struct Config {
+  std::string out_path = "BENCH_fleet.json";
+  std::string report_dir = "fleet_reports";
+  bool smoke = false;
+
+  std::size_t tenants() const { return smoke ? 8 : 32; }
+};
+
+std::string tenant_name(std::size_t i) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "t%02zu", i);
+  return buf;
+}
+
+/// The three session-level families the fleet table reports (the paper's
+/// derived metrics, in sketch form).
+constexpr const char* kSessionFamilies[] = {
+    "session.backup_window_s",
+    "session.dedupe_ratio",
+    "session.bytes_saved_per_s",
+};
+
+void fill_quantile_row(telemetry::JsonValue& out,
+                       const telemetry::QuantileSketch& sketch) {
+  out.make_object();
+  out["count"] = sketch.count();
+  out["p50"] = sketch.quantile(0.50);
+  out["p95"] = sketch.quantile(0.95);
+  out["p99"] = sketch.quantile(0.99);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      config.smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      config.out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--report-dir") == 0 && i + 1 < argc) {
+      config.report_dir = argv[++i];
+    } else {
+      AAD_LOG(&telemetry::stderr_logger(), kError, "session",
+              "usage: %s [--out <path>] [--report-dir <dir>] [--smoke]",
+              argv[0]);
+      return 2;
+    }
+  }
+
+  const bench::BenchConfig base = bench::BenchConfig::from_env();
+  const std::size_t tenants = config.tenants();
+  std::filesystem::create_directories(config.report_dir);
+  std::printf("# fleet: %zu tenants x %u sessions x ~%llu MiB, base seed "
+              "%llu\n",
+              tenants, base.sessions,
+              static_cast<unsigned long long>(base.session_mib),
+              static_cast<unsigned long long>(base.seed));
+
+  // Fleet-level merge target, keyed by sketch base name. Tenants carry
+  // distinct label sets (tenant=..., app=..., stage=...) but identical
+  // base families, so merging by base name folds the whole fleet into one
+  // distribution per family — the same reduction report.py `aggregate`
+  // performs over the per-tenant JSON files.
+  std::map<std::string, telemetry::QuantileSketch> fleet;
+  telemetry::JsonValue per_tenant;
+  per_tenant.make_object();
+
+  for (std::size_t t = 0; t < tenants; ++t) {
+    const std::string name = tenant_name(t);
+    // Each tenant is a distinct client: own telemetry context, own cloud
+    // target, own dataset (seed derived from the base so tenants differ
+    // but the whole fleet is reproducible).
+    bench::BenchConfig tenant_config = base;
+    tenant_config.seed = base.seed + 1000003ull * (t + 1);
+
+    telemetry::Telemetry telemetry;
+    cloud::CloudTarget target;
+    target.attach_telemetry(&telemetry);
+    core::AaDedupeOptions options;
+    options.telemetry = &telemetry;
+    options.tenant = name;
+    core::AaDedupeScheme scheme(target, options);
+
+    std::vector<backup::SessionReport> reports;
+    for (const auto& snapshot : bench::suite_snapshots(tenant_config)) {
+      reports.push_back(scheme.backup(snapshot));
+    }
+
+    // Per-tenant run report: the artifact report.py `aggregate` consumes.
+    telemetry::RunReport report;
+    telemetry::JsonValue& workload = report.section("workload");
+    workload["tenant"] = name;
+    workload["session_mib"] = tenant_config.session_mib;
+    workload["sessions"] = tenant_config.sessions;
+    workload["seed"] = tenant_config.seed;
+    report.add_telemetry(telemetry);
+    scheme.fill_run_report(report);
+    target.fill_run_report(report);
+    if (!reports.empty()) backup::fill_run_report(reports.back(), report);
+    const std::string report_path =
+        (std::filesystem::path(config.report_dir) / ("tenant_" + name.substr(1) + ".json"))
+            .string();
+    report.write_file(report_path);
+
+    // Fold this tenant's sketches into the fleet and record its session
+    // quantile rows.
+    const telemetry::MetricsSnapshot snapshot = telemetry.metrics.snapshot();
+    telemetry::JsonValue& row = per_tenant[name].make_object();
+    for (const auto& entry : snapshot.entries) {
+      if (entry.kind != telemetry::MetricKind::kSketch) continue;
+      const auto it = fleet
+                          .try_emplace(entry.base_name,
+                                       entry.sketch.relative_accuracy())
+                          .first;
+      it->second.merge(entry.sketch);
+      for (const char* family : kSessionFamilies) {
+        if (entry.base_name == family) {
+          fill_quantile_row(row[family], entry.sketch);
+        }
+      }
+    }
+    const double dr = reports.empty() ? 0.0 : reports.back().dedupe_ratio();
+    std::printf("# tenant %s: %zu sessions, last DR %.2f -> %s\n",
+                name.c_str(), reports.size(), dr, report_path.c_str());
+  }
+
+  telemetry::JsonValue doc;
+  doc["benchmark"] = "fleet observability";
+  doc["units"] = "seconds, ratios, bytes/s";
+  telemetry::BuildInfo::current().fill_json(doc["build"]);
+  doc["smoke"] = config.smoke;
+  doc["tenants"] = static_cast<std::uint64_t>(tenants);
+  doc["sessions"] = base.sessions;
+  doc["session_mib"] = base.session_mib;
+  doc["seed"] = base.seed;
+  doc["per_tenant"] = std::move(per_tenant);
+  telemetry::JsonValue& merged = doc["fleet"].make_object();
+  for (const auto& [family, sketch] : fleet) {
+    sketch.fill_json(merged[family]);
+  }
+
+  std::printf("# fleet quantiles (over %zu tenants):\n", tenants);
+  std::printf("#   %-26s %8s %10s %10s %10s\n", "family", "count", "p50",
+              "p95", "p99");
+  for (const auto& [family, sketch] : fleet) {
+    std::printf("#   %-26s %8llu %10.4g %10.4g %10.4g\n", family.c_str(),
+                static_cast<unsigned long long>(sketch.count()),
+                sketch.quantile(0.50), sketch.quantile(0.95),
+                sketch.quantile(0.99));
+  }
+
+  // Machine-portable gate key: the fleet's median dedup ratio is a pure
+  // function of the datasets and the chunking pipeline (no wall clock in
+  // it), so it gates byte-exact behaviour across hosts.
+  const auto dr_it = fleet.find("session.dedupe_ratio");
+  const bool have_dr = dr_it != fleet.end() && dr_it->second.count() > 0;
+  doc["fleet_dr_p50"] = have_dr ? dr_it->second.quantile(0.50) : 0.0;
+  doc["fleet_sessions_observed"] =
+      have_dr ? dr_it->second.count() : std::uint64_t{0};
+
+  std::FILE* out = std::fopen(config.out_path.c_str(), "w");
+  if (out == nullptr) {
+    AAD_LOG(&telemetry::stderr_logger(), kError, "session",
+            "cannot open %s for writing", config.out_path.c_str());
+    return 1;
+  }
+  const std::string text = doc.dump(2);
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fputc('\n', out);
+  std::fclose(out);
+  std::printf("wrote %s\n", config.out_path.c_str());
+
+  // Acceptance floor: every tenant must have contributed one DR
+  // observation per session — a fleet table with silent holes is worse
+  // than a failing bench.
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(tenants) * base.sessions;
+  if (!have_dr || dr_it->second.count() != expected) {
+    std::printf("fleet acceptance FAILED: %llu DR observations, expected "
+                "%llu\n",
+                static_cast<unsigned long long>(
+                    have_dr ? dr_it->second.count() : 0),
+                static_cast<unsigned long long>(expected));
+    return 1;
+  }
+  return 0;
+}

@@ -50,6 +50,21 @@ SessionReport BackupScheme::backup(const dataset::Snapshot& snapshot) {
   // One summary line per session, for every scheme, in the span-stage
   // category vocabulary ("session") so logs correlate with traces.
   if (telemetry::Telemetry* telemetry = target_->telemetry()) {
+    // The paper's derived metrics as mergeable quantile sketches: one
+    // observation per session, labeled by scheme (+ tenant in the fleet
+    // harness), so N sessions yield fleet p50/p95/p99 rows instead of a
+    // blended mean. report.py `aggregate` merges these across run
+    // reports exactly.
+    telemetry::MetricLabels labels{{"scheme", report.scheme}};
+    if (!telemetry_tenant_.empty()) {
+      labels.emplace_back("tenant", telemetry_tenant_);
+    }
+    telemetry->metrics.sketch("session.backup_window_s", labels)
+        .observe(report.backup_window_seconds());
+    telemetry->metrics.sketch("session.dedupe_ratio", labels)
+        .observe(report.dedupe_ratio());
+    telemetry->metrics.sketch("session.bytes_saved_per_s", labels)
+        .observe(report.bytes_saved_per_second());
     AAD_LOG(&telemetry->log, kInfo, "session",
             "%s session %u: %.1f MB dataset, %.1f MB transferred, "
             "DR %.2f, window %.2fs",

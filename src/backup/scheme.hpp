@@ -124,8 +124,16 @@ class BackupScheme {
     sim_seconds_.fetch_add(seconds, std::memory_order_relaxed);
   }
 
+  /// Tenant identity carried on the per-session telemetry sketches
+  /// (BWS/DR/DE) backup() records into the target's attached Telemetry.
+  /// Empty (the default) records unlabeled — the single-client regime.
+  void set_telemetry_tenant(std::string tenant) {
+    telemetry_tenant_ = std::move(tenant);
+  }
+
  private:
   cloud::CloudTarget* target_;
+  std::string telemetry_tenant_;
   // std::atomic<double> via compare-exchange is overkill here; use a
   // relaxed atomic with fetch_add (C++20 supports it for floats).
   std::atomic<double> sim_seconds_{0.0};

@@ -49,13 +49,28 @@ AaDedupeScheme::AaDedupeScheme(cloud::CloudTarget& target,
     // One context observes the whole path: the transport decorators report
     // into the same registry/tracer the scheme uses.
     target.attach_telemetry(options_.telemetry);
-    files_counter_ = options_.telemetry->metrics.counter("session.files");
-    logical_bytes_counter_ =
-        options_.telemetry->metrics.counter("session.bytes_logical");
-    chunks_counter_ = options_.telemetry->metrics.counter("session.chunks");
-    dup_chunks_counter_ =
-        options_.telemetry->metrics.counter("session.chunks_duplicate");
+    if (!options_.tenant.empty()) {
+      tenant_labels_.emplace_back("tenant", options_.tenant);
+    }
+    set_telemetry_tenant(options_.tenant);
+    files_counter_ =
+        options_.telemetry->metrics.counter("session.files", tenant_labels_);
+    logical_bytes_counter_ = options_.telemetry->metrics.counter(
+        "session.bytes_logical", tenant_labels_);
+    chunks_counter_ =
+        options_.telemetry->metrics.counter("session.chunks", tenant_labels_);
+    dup_chunks_counter_ = options_.telemetry->metrics.counter(
+        "session.chunks_duplicate", tenant_labels_);
   }
+}
+
+telemetry::Sketch AaDedupeScheme::chunk_latency_sketch(
+    const std::string& app) const {
+  if (options_.telemetry == nullptr) return {};
+  telemetry::MetricLabels labels = tenant_labels_;
+  labels.emplace_back("app", app);
+  labels.emplace_back("stage", "chunk");
+  return options_.telemetry->metrics.sketch("chunk.latency_s", labels);
 }
 
 AaDedupeScheme::StreamResult AaDedupeScheme::process_stream(
@@ -79,6 +94,10 @@ AaDedupeScheme::StreamResult AaDedupeScheme::process_stream(
   const bool tiny_stream = partition == kTinyStream;
   index::ChunkIndex* shard =
       tiny_stream ? nullptr : &index_.shard(partition);
+  telemetry::Tracer* tracer =
+      options_.telemetry != nullptr ? &options_.telemetry->trace : nullptr;
+  const telemetry::Sketch chunk_sketch =
+      tiny_stream ? telemetry::Sketch{} : chunk_latency_sketch(partition);
 
   // Secure dedup: encrypt a plaintext chunk under its content-derived key
   // and remember the key for restore. Returns the ciphertext view.
@@ -121,10 +140,16 @@ AaDedupeScheme::StreamResult AaDedupeScheme::process_stream(
     }
 
     const CategoryPolicy policy = policy_.for_kind(file->kind);
-    const FileChunkPlan plan = chunk_and_fingerprint(
-        policy, content, options_.telemetry, partition);
-    telemetry::Tracer* tracer =
-        options_.telemetry != nullptr ? &options_.telemetry->trace : nullptr;
+    FileChunkPlan plan;
+    if (tracer == nullptr) {
+      plan = chunk_and_fingerprint(policy, content, options_.telemetry,
+                                   partition);
+    } else {
+      const double begin_s = tracer->now();
+      plan = chunk_and_fingerprint(policy, content, options_.telemetry,
+                                   partition);
+      chunk_sketch.observe(tracer->now() - begin_s);
+    }
     double lookup_s = 0.0;
     std::uint64_t duplicates = 0;
     for (std::size_t c = 0; c < plan.chunks.size(); ++c) {
@@ -180,6 +205,7 @@ void AaDedupeScheme::run_file_parallel(
     std::unique_ptr<container::ContainerManager> manager;
     StreamResult* result = nullptr;
     ByteBuffer crypt_scratch;
+    telemetry::Sketch chunk_sketch;  // per-file chunk+fingerprint latency
   };
   std::vector<StreamCommit> commits;
   commits.reserve(streams.size());
@@ -196,6 +222,7 @@ void AaDedupeScheme::run_file_parallel(
     commit.key = &key;
     commit.tiny = key == kTinyStream;
     commit.shard = commit.tiny ? nullptr : &index_.shard(key);
+    if (!commit.tiny) commit.chunk_sketch = chunk_latency_sketch(key);
     commit.manager = std::make_unique<container::ContainerManager>(
         container_ids_,
         [&pipeline](std::uint64_t id, ByteBuffer bytes) {
@@ -236,6 +263,8 @@ void AaDedupeScheme::run_file_parallel(
   };
   std::vector<FrontEndPlan> plans;
 
+  telemetry::Tracer* tracer =
+      options_.telemetry != nullptr ? &options_.telemetry->trace : nullptr;
   std::size_t batch_begin = 0;
   while (batch_begin < items.size()) {
     // Grow the batch until the byte budget is hit (always >= 1 file).
@@ -266,10 +295,17 @@ void AaDedupeScheme::run_file_parallel(
             if (!plan.content.empty()) {
               plan.tiny_digest = hash::Rabin96::hash(plan.content);
             }
-          } else {
+          } else if (tracer == nullptr) {
             plan.plan = chunk_and_fingerprint(
                 policy_.for_kind(item.file->kind), plan.content,
                 options_.telemetry, *commits[item.stream].key);
+          } else {
+            const double begin_s = tracer->now();
+            plan.plan = chunk_and_fingerprint(
+                policy_.for_kind(item.file->kind), plan.content,
+                options_.telemetry, *commits[item.stream].key);
+            commits[item.stream].chunk_sketch.observe(tracer->now() -
+                                                      begin_s);
           }
         },
         /*grain=*/1);
@@ -287,8 +323,6 @@ void AaDedupeScheme::run_file_parallel(
       }
       spans.back().end = i + 1;
     }
-    telemetry::Tracer* tracer =
-        options_.telemetry != nullptr ? &options_.telemetry->trace : nullptr;
     pool_->parallel_for(spans.size(), [&](std::size_t s) {
       const Span& span = spans[s];
       StreamCommit& commit = commits[span.stream];
@@ -417,6 +451,7 @@ void AaDedupeScheme::run_session(const dataset::Snapshot& snapshot) {
   UploadPipelineOptions pipeline_options;
   pipeline_options.journal = &journal_;
   pipeline_options.telemetry = options_.telemetry;
+  pipeline_options.tenant = options_.tenant;
   UploadPipeline pipeline(target(), pipeline_options);
   std::vector<StreamResult> results(streams.size());
 

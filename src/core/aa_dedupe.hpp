@@ -97,6 +97,12 @@ struct AaDedupeOptions {
   /// metadata sync) plus session counters. The nullptr default is the
   /// null sink: instrumented code pays one pointer test.
   telemetry::Telemetry* telemetry = nullptr;
+  /// Tenant identity for fleet observability. When non-empty, session
+  /// counters, the chunk-latency sketch, the upload-pipeline instruments,
+  /// and the BWS/DR/DE session sketches all carry a `tenant` label, so N
+  /// concurrent sessions reporting into one shared registry aggregate per
+  /// tenant instead of blending (see bench/bench_fleet_obs).
+  std::string tenant;
 };
 
 /// Options for the background garbage-collection process (the deletion
@@ -303,6 +309,12 @@ class AaDedupeScheme final : public backup::BackupScheme {
   telemetry::Counter logical_bytes_counter_;
   telemetry::Counter chunks_counter_;
   telemetry::Counter dup_chunks_counter_;
+  /// Label set shared by every instrument this scheme registers
+  /// ({tenant=...} when options_.tenant is set, empty otherwise).
+  telemetry::MetricLabels tenant_labels_;
+  /// Per-file chunk+fingerprint latency sketch for `app` (registered
+  /// lazily per application stream; labeled {app, stage, tenant?}).
+  telemetry::Sketch chunk_latency_sketch(const std::string& app) const;
 
   container::RecipeStore recipes_;  // latest session (= history_.rbegin())
   /// Per-session recipe history; the retention unit of collect_garbage.

@@ -25,12 +25,17 @@ UploadPipeline::UploadPipeline(UploadFn upload, UploadPipelineOptions options)
       queue_(options.queue_capacity),
       uploader_([this] { worker(); }) {
   if (options_.telemetry != nullptr) {
-    stall_us_hist_ =
-        options_.telemetry->metrics.histogram("pipeline.enqueue_stall_us");
+    telemetry::MetricLabels labels;
+    if (!options_.tenant.empty()) labels.emplace_back("tenant", options_.tenant);
+    stall_us_hist_ = options_.telemetry->metrics.histogram(
+        "pipeline.enqueue_stall_us", labels);
     item_bytes_hist_ =
-        options_.telemetry->metrics.histogram("pipeline.item_bytes");
+        options_.telemetry->metrics.histogram("pipeline.item_bytes", labels);
     queue_depth_gauge_ =
-        options_.telemetry->metrics.gauge("pipeline.queue_depth");
+        options_.telemetry->metrics.gauge("pipeline.queue_depth", labels);
+    labels.emplace_back("stage", "upload");
+    stall_sketch_ = options_.telemetry->metrics.sketch(
+        "pipeline.enqueue_stall_s", labels);
   }
 }
 
@@ -58,7 +63,11 @@ void UploadPipeline::enqueue(UploadItem item) {
     // read) so measured time stays behind the one sanctioned abstraction.
     const StopWatch stall;
     const bool accepted = queue_.push(std::move(item));
-    stall_us_hist_.observe(static_cast<std::uint64_t>(stall.seconds() * 1e6));
+    const double stall_s = stall.seconds();
+    stall_us_hist_.observe(static_cast<std::uint64_t>(stall_s * 1e6));
+    // The sketch keeps the tail honest: the log2 histogram's factor-of-two
+    // buckets blur p99 stalls, the sketch bounds them to 1%.
+    stall_sketch_.observe(stall_s);
     // High-water mark of queue occupancy (approximate: the uploader pops
     // concurrently, so this is a lower bound of the true peak).
     queue_depth_gauge_.observe_max(queue_.size());

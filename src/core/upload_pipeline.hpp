@@ -51,8 +51,13 @@ struct UploadPipelineOptions {
   /// CloudTransportError on the first terminal failure instead.
   UploadJournal* journal = nullptr;
   /// Nullable observability context: kUpload trace spans per shipped item,
-  /// an enqueue-backpressure stall histogram, and payload-size histogram.
+  /// an enqueue-backpressure stall histogram + quantile sketch, and a
+  /// payload-size histogram.
   telemetry::Telemetry* telemetry = nullptr;
+  /// When non-empty, every pipeline instrument carries a `tenant` label so
+  /// N concurrent sessions sharing one registry aggregate per tenant
+  /// instead of blending (the fleet-harness regime).
+  std::string tenant;
 };
 
 class UploadPipeline {
@@ -107,6 +112,7 @@ class UploadPipeline {
   telemetry::Histogram stall_us_hist_;
   telemetry::Histogram item_bytes_hist_;
   telemetry::Gauge queue_depth_gauge_;
+  telemetry::Sketch stall_sketch_;  // seconds; p95/p99 within 1%
   BoundedQueue<UploadItem> queue_;
 
   std::atomic<std::uint64_t> enqueued_{0};

@@ -1,0 +1,191 @@
+#include "telemetry/exposition.hpp"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace aadedupe::telemetry {
+
+namespace {
+
+void append_double(std::string& out, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", value);  // matches the JSON writer
+  out += buf;
+}
+
+/// `{k1="v1",k2="v2"}` with Prometheus label-value escaping; extra is an
+/// optional pre-rendered pair ('le="42"') appended last.
+void append_labels(std::string& out, const MetricLabels& labels,
+                   std::string_view extra = {}) {
+  if (labels.empty() && extra.empty()) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += prometheus_sanitize(key);
+    out += "=\"";
+    for (const char c : value) {
+      if (c == '\\' || c == '"') {
+        out += '\\';
+        out += c;
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out += c;
+      }
+    }
+    out += '"';
+  }
+  if (!extra.empty()) {
+    if (!first) out += ',';
+    out += extra;
+  }
+  out += '}';
+}
+
+const char* type_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+    case MetricKind::kSketch:
+      return "summary";
+  }
+  return "untyped";
+}
+
+void append_entry(std::string& out, const std::string& family,
+                  const MetricsSnapshot::Entry& entry) {
+  switch (entry.kind) {
+    case MetricKind::kCounter:
+    case MetricKind::kGauge:
+      out += family;
+      append_labels(out, entry.labels);
+      out += ' ';
+      out += std::to_string(entry.value);
+      out += '\n';
+      break;
+    case MetricKind::kHistogram: {
+      // Cumulative `le` buckets; empty buckets are elided (the running
+      // total is unchanged), +Inf always closes the family.
+      std::uint64_t cumulative = 0;
+      for (std::size_t b = 0; b + 1 < kHistogramBuckets; ++b) {
+        if (entry.histogram.buckets[b] == 0) continue;
+        cumulative += entry.histogram.buckets[b];
+        out += family;
+        out += "_bucket";
+        std::string le =
+            "le=\"" + std::to_string(histogram_bucket_upper(b)) + '"';
+        append_labels(out, entry.labels, le);
+        out += ' ';
+        out += std::to_string(cumulative);
+        out += '\n';
+      }
+      out += family;
+      out += "_bucket";
+      append_labels(out, entry.labels, "le=\"+Inf\"");
+      out += ' ';
+      out += std::to_string(entry.histogram.count);
+      out += '\n';
+      out += family;
+      out += "_sum";
+      append_labels(out, entry.labels);
+      out += ' ';
+      out += std::to_string(entry.histogram.sum);
+      out += '\n';
+      out += family;
+      out += "_count";
+      append_labels(out, entry.labels);
+      out += ' ';
+      out += std::to_string(entry.histogram.count);
+      out += '\n';
+      break;
+    }
+    case MetricKind::kSketch: {
+      static constexpr struct {
+        const char* label;
+        double q;
+      } kQuantiles[] = {{"quantile=\"0.5\"", 0.50},
+                        {"quantile=\"0.9\"", 0.90},
+                        {"quantile=\"0.95\"", 0.95},
+                        {"quantile=\"0.99\"", 0.99}};
+      for (const auto& [label, q] : kQuantiles) {
+        out += family;
+        append_labels(out, entry.labels, label);
+        out += ' ';
+        append_double(out, entry.sketch.quantile(q));
+        out += '\n';
+      }
+      out += family;
+      out += "_sum";
+      append_labels(out, entry.labels);
+      out += ' ';
+      append_double(out, entry.sketch.sum());
+      out += '\n';
+      out += family;
+      out += "_count";
+      append_labels(out, entry.labels);
+      out += ' ';
+      out += std::to_string(entry.sketch.count());
+      out += '\n';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string prometheus_sanitize(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (name.empty() || (name[0] >= '0' && name[0] <= '9')) out += '_';
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string to_prometheus_text(const MetricsSnapshot& snapshot,
+                               std::string_view prefix) {
+  // Group labeled variants under one family, first-appearance order (the
+  // format requires all samples of a family to be contiguous).
+  std::vector<std::pair<std::string, std::vector<const MetricsSnapshot::Entry*>>>
+      families;
+  for (const MetricsSnapshot::Entry& entry : snapshot.entries) {
+    std::string family =
+        prometheus_sanitize(std::string(prefix) + entry.base_name);
+    bool found = false;
+    for (auto& [name, members] : families) {
+      if (name == family) {
+        members.push_back(&entry);
+        found = true;
+        break;
+      }
+    }
+    if (!found) families.emplace_back(std::move(family),
+                                      std::vector{&entry});
+  }
+  std::string out;
+  for (const auto& [family, members] : families) {
+    out += "# TYPE ";
+    out += family;
+    out += ' ';
+    out += type_name(members.front()->kind);
+    out += '\n';
+    for (const MetricsSnapshot::Entry* entry : members) {
+      append_entry(out, family, *entry);
+    }
+  }
+  return out;
+}
+
+}  // namespace aadedupe::telemetry

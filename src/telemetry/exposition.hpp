@@ -1,0 +1,38 @@
+// Prometheus text-format (0.0.4) exposition of a MetricsSnapshot.
+//
+// The run report is a one-shot end-of-session artifact; a scraping
+// monitoring stack wants the *live* registry in the standard text
+// format. This writer renders a snapshot as metric families:
+//
+//   counters/gauges  -> one sample per label set
+//   log2 histograms  -> cumulative `le` buckets + _sum/_count
+//   quantile sketches-> summary with quantile="0.5|0.9|0.95|0.99"
+//                       labels + _sum/_count
+//
+// Metric names are sanitized to the Prometheus charset (dots become
+// underscores, a configurable prefix namespaces the fleet) and labeled
+// variants of the same base name are grouped under one # TYPE header, so
+// per-tenant instruments expose as one family with a `tenant` label —
+// exactly what fleet dashboards aggregate over.
+//
+// bench::Observability dumps this periodically through the Timeline
+// sample hook (AAD_PROM_OUT), giving a scrape-file bridge without an
+// HTTP listener in the library.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace aadedupe::telemetry {
+
+struct MetricsSnapshot;
+
+/// A metric/label name restricted to [a-zA-Z0-9_:] with a non-digit
+/// first character (every other byte becomes '_').
+[[nodiscard]] std::string prometheus_sanitize(std::string_view name);
+
+/// Render the whole snapshot, `prefix` prepended to every family name.
+[[nodiscard]] std::string to_prometheus_text(const MetricsSnapshot& snapshot,
+                                             std::string_view prefix = "aad_");
+
+}  // namespace aadedupe::telemetry

@@ -19,6 +19,31 @@ std::uint64_t histogram_bucket_upper(std::size_t bucket) noexcept {
   return (std::uint64_t{1} << bucket) - 1;
 }
 
+std::string encode_metric_name(std::string_view base,
+                               const MetricLabels& labels) {
+  AAD_EXPECTS(!base.empty());
+  if (labels.empty()) return std::string(base);
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out(base);
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : sorted) {
+    AAD_EXPECTS(!key.empty());
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    for (const char c : value) {
+      if (c == '\\' || c == '"') out += '\\';
+      out += c;
+    }
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
 std::uint64_t HistogramSnapshot::percentile(double p) const {
   if (count == 0) return 0;
   const double clamped = std::clamp(p, 0.0, 100.0);
@@ -49,16 +74,24 @@ std::uint64_t MetricsSnapshot::value(std::string_view name) const {
 void MetricsSnapshot::fill_json(JsonValue& out) const {
   out.make_object();
   for (const Entry& entry : entries) {
-    if (entry.kind == MetricKind::kHistogram) {
-      JsonValue& h = out[entry.name].make_object();
-      h["count"] = entry.histogram.count;
-      h["sum"] = entry.histogram.sum;
-      h["mean"] = entry.histogram.mean();
-      h["p50"] = entry.histogram.percentile(50.0);
-      h["p90"] = entry.histogram.percentile(90.0);
-      h["p99"] = entry.histogram.percentile(99.0);
-    } else {
-      out[entry.name] = entry.value;
+    switch (entry.kind) {
+      case MetricKind::kHistogram: {
+        JsonValue& h = out[entry.name].make_object();
+        h["count"] = entry.histogram.count;
+        h["sum"] = entry.histogram.sum;
+        h["mean"] = entry.histogram.mean();
+        h["p50"] = entry.histogram.percentile(50.0);
+        h["p90"] = entry.histogram.percentile(90.0);
+        h["p99"] = entry.histogram.percentile(99.0);
+        break;
+      }
+      case MetricKind::kSketch:
+        entry.sketch.fill_json(out[entry.name]);
+        break;
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        out[entry.name] = entry.value;
+        break;
     }
   }
 }
@@ -74,6 +107,14 @@ struct ShardRef {
   void* shard;
 };
 thread_local std::vector<ShardRef> t_shard_cache;
+
+/// Same idea for sketch shards, keyed by (registry id, sketch index).
+struct SketchRef {
+  std::uint64_t registry_id;
+  std::uint32_t index;
+  void* shard;
+};
+thread_local std::vector<SketchRef> t_sketch_cache;
 }  // namespace
 
 MetricsRegistry::MetricsRegistry(std::size_t slot_capacity)
@@ -95,10 +136,34 @@ MetricsRegistry::Shard& MetricsRegistry::local_shard() {
   return *shard;
 }
 
-std::uint32_t MetricsRegistry::register_instrument(std::string_view name,
+MetricsRegistry::SketchShard& MetricsRegistry::local_sketch_shard(
+    std::uint32_t index) {
+  for (const SketchRef& ref : t_sketch_cache) {
+    if (ref.registry_id == id_ && ref.index == index) {
+      return *static_cast<SketchShard*>(ref.shard);
+    }
+  }
+  std::lock_guard lock(mutex_);
+  AAD_EXPECTS(index < sketches_.size());
+  SketchInstrument& instrument = *sketches_[index];
+  instrument.shards.push_back(
+      std::make_unique<SketchShard>(instrument.relative_accuracy));
+  SketchShard* shard = instrument.shards.back().get();
+  t_sketch_cache.push_back(SketchRef{id_, index, shard});
+  return *shard;
+}
+
+void MetricsRegistry::observe_sketch(std::uint32_t index, double value) {
+  SketchShard& shard = local_sketch_shard(index);
+  std::lock_guard lock(shard.mutex);
+  shard.sketch.observe(value);
+}
+
+std::uint32_t MetricsRegistry::register_instrument(std::string_view base,
+                                                   const MetricLabels& labels,
                                                    MetricKind kind,
                                                    std::uint32_t width) {
-  AAD_EXPECTS(!name.empty());
+  std::string name = encode_metric_name(base, labels);
   std::lock_guard lock(mutex_);
   for (const Instrument& instrument : instruments_) {
     if (instrument.name == name) {
@@ -106,35 +171,68 @@ std::uint32_t MetricsRegistry::register_instrument(std::string_view name,
       return instrument.base;
     }
   }
+  for (const auto& sketch : sketches_) {
+    AAD_EXPECTS(sketch->name != name);  // kind mismatch with a sketch
+  }
   AAD_EXPECTS(slots_used_ + width <= slot_capacity_);
-  const std::uint32_t base = slots_used_;
-  instruments_.push_back(Instrument{std::string(name), kind, base, width});
+  const std::uint32_t slot = slots_used_;
+  instruments_.push_back(Instrument{std::move(name), std::string(base), labels,
+                                    kind, slot, width});
   slots_used_ += width;
-  return base;
+  return slot;
 }
 
-Counter MetricsRegistry::counter(std::string_view name) {
-  return Counter{this, register_instrument(name, MetricKind::kCounter, 1)};
+Counter MetricsRegistry::counter(std::string_view name,
+                                 const MetricLabels& labels) {
+  return Counter{this,
+                 register_instrument(name, labels, MetricKind::kCounter, 1)};
 }
 
-Gauge MetricsRegistry::gauge(std::string_view name) {
-  return Gauge{this, register_instrument(name, MetricKind::kGauge, 1)};
+Gauge MetricsRegistry::gauge(std::string_view name,
+                             const MetricLabels& labels) {
+  return Gauge{this, register_instrument(name, labels, MetricKind::kGauge, 1)};
 }
 
-Histogram MetricsRegistry::histogram(std::string_view name) {
+Histogram MetricsRegistry::histogram(std::string_view name,
+                                     const MetricLabels& labels) {
   return Histogram{
       this, register_instrument(
-                name, MetricKind::kHistogram,
+                name, labels, MetricKind::kHistogram,
                 static_cast<std::uint32_t>(kHistogramBuckets) + 1)};
+}
+
+Sketch MetricsRegistry::sketch(std::string_view name,
+                               const MetricLabels& labels,
+                               double relative_accuracy) {
+  std::string canonical = encode_metric_name(name, labels);
+  std::lock_guard lock(mutex_);
+  for (std::uint32_t i = 0; i < sketches_.size(); ++i) {
+    if (sketches_[i]->name == canonical) {
+      AAD_EXPECTS(sketches_[i]->relative_accuracy == relative_accuracy);
+      return Sketch{this, i};
+    }
+  }
+  for (const Instrument& instrument : instruments_) {
+    AAD_EXPECTS(instrument.name != canonical);  // kind mismatch
+  }
+  auto instrument = std::make_unique<SketchInstrument>();
+  instrument->name = std::move(canonical);
+  instrument->base_name = std::string(name);
+  instrument->labels = labels;
+  instrument->relative_accuracy = relative_accuracy;
+  sketches_.push_back(std::move(instrument));
+  return Sketch{this, static_cast<std::uint32_t>(sketches_.size() - 1)};
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   std::lock_guard lock(mutex_);
   MetricsSnapshot snapshot;
-  snapshot.entries.reserve(instruments_.size());
+  snapshot.entries.reserve(instruments_.size() + sketches_.size());
   for (const Instrument& instrument : instruments_) {
     MetricsSnapshot::Entry entry;
     entry.name = instrument.name;
+    entry.base_name = instrument.base_name;
+    entry.labels = instrument.labels;
     entry.kind = instrument.kind;
     for (const auto& shard : shards_) {
       const auto slot = [&](std::uint32_t offset) {
@@ -158,7 +256,22 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
               slot(static_cast<std::uint32_t>(kHistogramBuckets));
           break;
         }
+        case MetricKind::kSketch:
+          break;  // sketches are not slot-table instruments
       }
+    }
+    snapshot.entries.push_back(std::move(entry));
+  }
+  for (const auto& sketch : sketches_) {
+    MetricsSnapshot::Entry entry;
+    entry.name = sketch->name;
+    entry.base_name = sketch->base_name;
+    entry.labels = sketch->labels;
+    entry.kind = MetricKind::kSketch;
+    entry.sketch = QuantileSketch(sketch->relative_accuracy);
+    for (const auto& shard : sketch->shards) {
+      std::lock_guard shard_lock(shard->mutex);
+      entry.sketch.merge(shard->sketch);
     }
     snapshot.entries.push_back(std::move(entry));
   }

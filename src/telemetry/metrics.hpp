@@ -1,5 +1,5 @@
-// Metrics registry: named counters, gauges, and log-bucketed histograms
-// with thread-local shards.
+// Metrics registry: named counters, gauges, log-bucketed histograms, and
+// quantile sketches with thread-local shards, all optionally labeled.
 //
 // Hot-path design: every thread gets its own shard (a flat array of
 // relaxed atomics), created lazily on first touch, so increments never
@@ -16,6 +16,21 @@
 // Instruments are registered up front (idempotent by name) and the slot
 // table is fixed at construction, so handles stay valid and shards never
 // reallocate while worker threads are live.
+//
+// Labels: an instrument may carry a label set — (tenant, application
+// category, stage) in the fleet harness — encoded canonically into the
+// instrument name as `name{k1="v1",k2="v2"}` with sorted keys. A labeled
+// instrument is an ordinary distinct instrument: registration with the
+// same base name and labels is idempotent, and the hot path is untouched
+// (the label cost is paid once at registration). Snapshot entries carry
+// the parsed base name + labels so the Prometheus exposition writer and
+// RunReport never re-parse.
+//
+// Sketches live outside the fixed atomic slot table: a QuantileSketch is
+// a variable-size structure, so each sketch instrument keeps one
+// mutex-guarded shard per writer thread (the same isolation idea, with a
+// lock in place of relaxed atomics — the shard mutex is contended only
+// by snapshot()). See sketch.hpp for why the merge is exact.
 #pragma once
 
 #include <array>
@@ -25,13 +40,26 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
+
+#include "telemetry/sketch.hpp"
 
 namespace aadedupe::telemetry {
 
 class JsonValue;
 
-enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram, kSketch };
+
+/// One label set: (key, value) pairs. Order given by the caller is
+/// irrelevant — encoding sorts by key, so {a,b} and {b,a} name the same
+/// instrument.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Canonical instrument name: `base{k1="v1",k2="v2"}` with keys sorted
+/// and `\`/`"` escaped in values. Empty labels yield `base` unchanged.
+[[nodiscard]] std::string encode_metric_name(std::string_view base,
+                                             const MetricLabels& labels);
 
 /// Log2 bucket layout shared by live shards and snapshots: bucket 0 holds
 /// exact zeros, bucket b >= 1 holds values in [2^(b-1), 2^b). 65 buckets
@@ -63,18 +91,24 @@ struct HistogramSnapshot {
 /// Point-in-time merged view of every instrument (registration order).
 struct MetricsSnapshot {
   struct Entry {
-    std::string name;
+    std::string name;       // canonical (labels encoded)
+    std::string base_name;  // name without labels
+    MetricLabels labels;
     MetricKind kind = MetricKind::kCounter;
     std::uint64_t value = 0;  // counter total / gauge max across shards
     HistogramSnapshot histogram;
+    QuantileSketch sketch;
   };
 
   std::vector<Entry> entries;
 
+  /// Lookup by canonical name (pass the encoded name for labeled
+  /// instruments).
   [[nodiscard]] const Entry* find(std::string_view name) const;
-  /// Counter/gauge value by name; 0 when absent.
+  /// Counter/gauge value by canonical name; 0 when absent.
   [[nodiscard]] std::uint64_t value(std::string_view name) const;
-  /// Counters/gauges as members, histograms as {count,sum,mean,p50,p99}.
+  /// Counters/gauges as members, histograms as {count,sum,mean,p50,...},
+  /// sketches as their full mergeable encoding (see QuantileSketch).
   void fill_json(JsonValue& out) const;
 };
 
@@ -126,23 +160,43 @@ class Histogram {
   std::uint32_t slot_ = 0;
 };
 
+/// Quantile-sketch handle. observe() records into the calling thread's
+/// shard under that shard's (uncontended) mutex; not async-signal-safe
+/// and not noexcept (the sketch map may allocate).
+class Sketch {
+ public:
+  Sketch() = default;
+  void observe(double value) const;
+
+ private:
+  friend class MetricsRegistry;
+  Sketch(MetricsRegistry* registry, std::uint32_t index)
+      : registry_(registry), index_(index) {}
+  MetricsRegistry* registry_ = nullptr;
+  std::uint32_t index_ = 0;
+};
+
 class MetricsRegistry {
  public:
   /// `slot_capacity` bounds the per-shard slot table (a counter or gauge
-  /// uses 1 slot, a histogram kHistogramBuckets + 1). Fixed at
-  /// construction so shards never reallocate under concurrent writers.
+  /// uses 1 slot, a histogram kHistogramBuckets + 1; sketches live
+  /// outside the table). Fixed at construction so shards never
+  /// reallocate under concurrent writers.
   explicit MetricsRegistry(std::size_t slot_capacity = 1024);
   ~MetricsRegistry();
 
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  /// Register (or fetch, idempotent by name) an instrument. Throws
-  /// PreconditionError on a kind mismatch with a previous registration or
-  /// when the slot table is exhausted.
-  Counter counter(std::string_view name);
-  Gauge gauge(std::string_view name);
-  Histogram histogram(std::string_view name);
+  /// Register (or fetch, idempotent by canonical name) an instrument.
+  /// Throws PreconditionError on a kind mismatch with a previous
+  /// registration or when the slot table is exhausted.
+  Counter counter(std::string_view name, const MetricLabels& labels = {});
+  Gauge gauge(std::string_view name, const MetricLabels& labels = {});
+  Histogram histogram(std::string_view name, const MetricLabels& labels = {});
+  Sketch sketch(std::string_view name, const MetricLabels& labels = {},
+                double relative_accuracy =
+                    QuantileSketch::kDefaultRelativeAccuracy);
 
   /// Merge every thread's shard into one consistent-enough view. Exact
   /// when no writer is mid-flight (e.g. after joining workers); otherwise
@@ -156,22 +210,45 @@ class MetricsRegistry {
   friend class Counter;
   friend class Gauge;
   friend class Histogram;
+  friend class Sketch;
 
   struct Shard {
     explicit Shard(std::size_t slots) : values(slots) {}
     std::vector<std::atomic<std::uint64_t>> values;
   };
 
+  /// One writer thread's view of one sketch instrument. The mutex is
+  /// uncontended on the hot path — only snapshot() ever takes it from
+  /// another thread.
+  struct SketchShard {
+    explicit SketchShard(double relative_accuracy)
+        : sketch(relative_accuracy) {}
+    std::mutex mutex;
+    QuantileSketch sketch;
+  };
+
+  struct SketchInstrument {
+    std::string name;       // canonical
+    std::string base_name;  // without labels
+    MetricLabels labels;
+    double relative_accuracy;
+    std::vector<std::unique_ptr<SketchShard>> shards;
+  };
+
   struct Instrument {
-    std::string name;
+    std::string name;       // canonical
+    std::string base_name;  // without labels
+    MetricLabels labels;
     MetricKind kind;
     std::uint32_t base;   // first slot
     std::uint32_t width;  // slots used
   };
 
-  std::uint32_t register_instrument(std::string_view name, MetricKind kind,
-                                    std::uint32_t width);
+  std::uint32_t register_instrument(std::string_view base,
+                                    const MetricLabels& labels,
+                                    MetricKind kind, std::uint32_t width);
   Shard& local_shard();
+  SketchShard& local_sketch_shard(std::uint32_t index);
 
   void add_slot(std::uint32_t slot, std::uint64_t delta) noexcept {
     local_shard().values[slot].fetch_add(delta, std::memory_order_relaxed);
@@ -185,6 +262,7 @@ class MetricsRegistry {
       cell.store(value, std::memory_order_relaxed);
     }
   }
+  void observe_sketch(std::uint32_t index, double value);
 
   const std::size_t slot_capacity_;
   const std::uint64_t id_;  // process-unique; keys the thread-local cache
@@ -193,6 +271,7 @@ class MetricsRegistry {
   std::vector<Instrument> instruments_;
   std::uint32_t slots_used_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<SketchInstrument>> sketches_;
 };
 
 inline void Counter::add(std::uint64_t delta) const noexcept {
@@ -213,6 +292,10 @@ inline void Histogram::observe(std::uint64_t value) const noexcept {
       slot_ + static_cast<std::uint32_t>(histogram_bucket(value)), 1);
   registry_->add_slot(
       slot_ + static_cast<std::uint32_t>(kHistogramBuckets), value);
+}
+
+inline void Sketch::observe(double value) const {
+  if (registry_ != nullptr) registry_->observe_sketch(index_, value);
 }
 
 }  // namespace aadedupe::telemetry

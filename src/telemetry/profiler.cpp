@@ -1,0 +1,186 @@
+#include "telemetry/profiler.hpp"
+
+#include <sys/time.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include "telemetry/json.hpp"
+#include "telemetry/trace.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::telemetry {
+
+namespace {
+
+/// The one active profiler (SIGPROF has a single process-wide
+/// disposition). Written by start()/stop(), acquire-read by the handler.
+std::atomic<SpanProfiler*> g_active{nullptr};
+
+/// Previous SIGPROF disposition, restored by stop(). Only valid while a
+/// profiler is active, which start() guarantees is exclusive.
+struct sigaction g_previous_action;
+
+}  // namespace
+
+SpanProfiler::SpanProfiler(std::uint64_t period_us)
+    : period_us_(period_us), samples_(new Sample[kCapacity]) {
+  AAD_EXPECTS(period_us > 0);
+}
+
+SpanProfiler::~SpanProfiler() {
+  stop();
+  delete[] samples_;
+}
+
+void SpanProfiler::handle_sigprof(int /*signum*/) {
+  const int saved_errno = errno;
+  SpanProfiler* self = g_active.load(std::memory_order_acquire);
+  if (self != nullptr) {
+    const std::uint64_t slot =
+        self->cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (slot >= kCapacity) {
+      self->dropped_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      Sample& sample = self->samples_[slot];
+      // Collect leaf -> root, bounded; the chain only contains fully
+      // constructed spans of this thread (see trace.hpp).
+      const TraceSpan* frames[kMaxDepth];
+      std::size_t depth = 0;
+      bool truncated = false;
+      for (const TraceSpan* span = current_thread_span(); span != nullptr;
+           span = span->parent()) {
+        if (depth == kMaxDepth) {
+          truncated = true;
+          break;
+        }
+        frames[depth++] = span;
+      }
+      for (std::size_t i = 0; i < depth; ++i) {
+        sample.stages[i] =
+            static_cast<std::uint8_t>(frames[depth - 1 - i]->stage());
+      }
+      sample.depth = static_cast<std::uint8_t>(depth);
+      sample.truncated = truncated ? 1 : 0;
+      sample.category[0] = '\0';
+      if (depth > 0) {
+        const char* category = frames[0]->category_c_str();
+        std::size_t n = 0;
+        while (n < kMaxCategory && category[n] != '\0') {
+          sample.category[n] = category[n];
+          ++n;
+        }
+        sample.category[n] = '\0';
+      }
+      sample.ready.store(1, std::memory_order_release);
+    }
+  }
+  errno = saved_errno;
+}
+
+void SpanProfiler::start() {
+  AAD_EXPECTS(!running_.load(std::memory_order_relaxed));
+  SpanProfiler* expected = nullptr;
+  // Only one SIGPROF disposition exists per process.
+  AAD_EXPECTS(g_active.compare_exchange_strong(expected, this,
+                                               std::memory_order_acq_rel));
+  // Only slots claimed by a previous run carry stale ready flags (the
+  // array starts zeroed), so a restart clears min(cursor, capacity)
+  // flags — nothing on first start. This keeps start()/stop() cheap
+  // enough to toggle around measured regions (bench_fingerprint's
+  // profiler-overhead probe interleaves profiled and bare blocks).
+  const std::uint64_t used = std::min<std::uint64_t>(
+      cursor_.load(std::memory_order_relaxed), kCapacity);
+  for (std::uint64_t i = 0; i < used; ++i) {
+    samples_[i].ready.store(0, std::memory_order_relaxed);
+  }
+  cursor_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+
+  struct sigaction action = {};
+  action.sa_handler = &SpanProfiler::handle_sigprof;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  AAD_ENSURES(sigaction(SIGPROF, &action, &g_previous_action) == 0);
+
+  itimerval timer = {};
+  timer.it_interval.tv_sec = static_cast<time_t>(period_us_ / 1000000);
+  timer.it_interval.tv_usec =
+      static_cast<suseconds_t>(period_us_ % 1000000);
+  timer.it_value = timer.it_interval;
+  AAD_ENSURES(setitimer(ITIMER_PROF, &timer, nullptr) == 0);
+  running_.store(true, std::memory_order_release);
+}
+
+void SpanProfiler::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  itimerval off = {};
+  AAD_ENSURES(setitimer(ITIMER_PROF, &off, nullptr) == 0);
+  // Detach before restoring the disposition: a tick already in flight on
+  // another thread sees nullptr and becomes a no-op; one that claimed a
+  // slot earlier publishes it with a release store that fold() observes.
+  g_active.store(nullptr, std::memory_order_release);
+  AAD_ENSURES(sigaction(SIGPROF, &g_previous_action, nullptr) == 0);
+}
+
+bool SpanProfiler::running() const noexcept {
+  return running_.load(std::memory_order_acquire);
+}
+
+std::uint64_t SpanProfiler::sample_count() const noexcept {
+  return std::min<std::uint64_t>(cursor_.load(std::memory_order_relaxed),
+                                 kCapacity);
+}
+
+std::uint64_t SpanProfiler::dropped_count() const noexcept {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+std::map<std::string, std::uint64_t> SpanProfiler::fold() const {
+  std::map<std::string, std::uint64_t> folded;
+  const std::uint64_t n = sample_count();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Sample& sample = samples_[i];
+    if (sample.ready.load(std::memory_order_acquire) == 0) continue;
+    std::string stack;
+    if (sample.depth == 0) {
+      stack = "untraced";
+    } else {
+      for (std::size_t d = 0; d < sample.depth; ++d) {
+        if (d != 0) stack += ';';
+        stack += to_string(static_cast<Stage>(sample.stages[d]));
+      }
+      if (sample.category[0] != '\0') {
+        stack += '@';
+        stack += sample.category;
+      }
+      if (sample.truncated != 0) stack += ";...";
+    }
+    ++folded[stack];
+  }
+  return folded;
+}
+
+std::string SpanProfiler::folded_text() const {
+  std::string out;
+  for (const auto& [stack, count] : fold()) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+void SpanProfiler::fill_json(JsonValue& out) const {
+  out.make_object();
+  out["period_us"] = period_us_;
+  out["samples"] = sample_count();
+  out["dropped"] = dropped_count();
+  JsonValue& folded = out["folded"].make_object();
+  for (const auto& [stack, count] : fold()) folded[stack] = count;
+}
+
+}  // namespace aadedupe::telemetry

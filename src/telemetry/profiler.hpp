@@ -1,0 +1,95 @@
+// Span-attributed sampling profiler (ITIMER_PROF / SIGPROF).
+//
+// Answers "where does the CPU time actually go" without symbolization,
+// debug info, or an external tool: every SIGPROF tick the handler walks
+// the calling thread's live TraceSpan chain (trace.hpp publishes spans to
+// a thread-local list only after full construction, so the walk is
+// async-signal-safe on the owning thread) and records the stage stack
+// plus the innermost span's application category. Folded-stack output —
+// `session;chunk;fingerprint@doc 42` — feeds any flamegraph renderer
+// directly and `tools/report.py flame` renders it in the terminal.
+//
+// ITIMER_PROF counts *process CPU time*, so a 10 ms period (~97 Hz
+// default, a prime-ish rate that avoids phase-locking with millisecond
+// schedulers) costs one tiny handler per 10 ms of CPU burned regardless
+// of thread count — overhead is bounded well under the 2% budget that
+// bench_fingerprint measures and report.py perf-gate enforces.
+//
+// Handler discipline: the SIGPROF handler reads one global atomic, walks
+// thread-local memory, copies into a preallocated slot claimed by an
+// atomic cursor, and publishes it with a release store. No allocation, no
+// locks, no library calls; errno is saved and restored. Samples that
+// arrive when the buffer is full are counted and dropped.
+//
+// One profiler may be active per process at a time (SIGPROF has a single
+// disposition); start() throws if another instance is running.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace aadedupe::telemetry {
+
+class JsonValue;
+
+class SpanProfiler {
+ public:
+  /// Default sampling period: ~97 Hz of process CPU time.
+  static constexpr std::uint64_t kDefaultPeriodUs = 10300;
+  static constexpr std::size_t kMaxDepth = 16;       // span stack frames kept
+  static constexpr std::size_t kMaxCategory = 23;    // leaf category chars
+  static constexpr std::size_t kCapacity = 1 << 16;  // preallocated samples
+
+  explicit SpanProfiler(std::uint64_t period_us = kDefaultPeriodUs);
+  ~SpanProfiler();
+
+  SpanProfiler(const SpanProfiler&) = delete;
+  SpanProfiler& operator=(const SpanProfiler&) = delete;
+
+  /// Install the SIGPROF handler and arm ITIMER_PROF. Throws
+  /// PreconditionError when a profiler is already active in this process.
+  void start();
+
+  /// Disarm the timer, restore the previous SIGPROF disposition, and
+  /// quiesce in-flight handler invocations. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept;
+
+  /// Folded stacks -> sample counts, e.g. "session;chunk@doc" -> 42.
+  /// Samples taken outside any span fold to "untraced". Call after
+  /// stop() (or live: only published samples are read).
+  [[nodiscard]] std::map<std::string, std::uint64_t> fold() const;
+
+  /// Render fold() in the standard folded-stack text format, one
+  /// `stack count` line per entry, sorted by stack for determinism.
+  [[nodiscard]] std::string folded_text() const;
+
+  [[nodiscard]] std::uint64_t sample_count() const noexcept;
+  [[nodiscard]] std::uint64_t dropped_count() const noexcept;
+  [[nodiscard]] std::uint64_t period_us() const noexcept { return period_us_; }
+
+  /// Summary object: {period_us, samples, dropped, folded:{stack:count}}.
+  void fill_json(JsonValue& out) const;
+
+ private:
+  struct Sample {
+    std::uint8_t depth;                  // 0 => untraced tick
+    std::uint8_t truncated;              // stack deeper than kMaxDepth
+    std::uint8_t stages[kMaxDepth];      // root ... leaf Stage values
+    char category[kMaxCategory + 1];     // leaf span category, NUL-padded
+    std::atomic<std::uint8_t> ready{0};  // release-published by the handler
+  };
+
+  static void handle_sigprof(int signum);
+
+  const std::uint64_t period_us_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> cursor_{0};   // total accepted samples
+  std::atomic<std::uint64_t> dropped_{0};  // buffer-full ticks
+  Sample* samples_;                        // [kCapacity], heap-preallocated
+};
+
+}  // namespace aadedupe::telemetry

@@ -1,0 +1,118 @@
+#include "telemetry/sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "telemetry/json.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::telemetry {
+
+QuantileSketch::QuantileSketch(double relative_accuracy)
+    : alpha_(relative_accuracy) {
+  AAD_EXPECTS(relative_accuracy > 0.0 && relative_accuracy < 1.0);
+  gamma_ = (1.0 + alpha_) / (1.0 - alpha_);
+  inv_log_gamma_ = 1.0 / std::log(gamma_);
+}
+
+std::int32_t QuantileSketch::bucket_index(double value) const {
+  // ceil(log_gamma(v)): the smallest i with gamma^i >= v, i.e. the bucket
+  // whose value range (gamma^(i-1), gamma^i] contains v.
+  return static_cast<std::int32_t>(std::ceil(std::log(value) * inv_log_gamma_));
+}
+
+double QuantileSketch::bucket_value(std::int32_t index) const {
+  // Midpoint of (gamma^(i-1), gamma^i] in the relative sense:
+  // 2*gamma^i/(gamma+1) is within alpha of every value in the range.
+  return 2.0 * std::pow(gamma_, static_cast<double>(index)) / (gamma_ + 1.0);
+}
+
+void QuantileSketch::observe(double value) {
+  if (std::isnan(value)) return;
+  if (value < 0.0) value = 0.0;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  if (value < kMinIndexable) {
+    ++zero_count_;
+    return;
+  }
+  ++buckets_[bucket_index(value)];
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  AAD_EXPECTS(alpha_ == other.alpha_);
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  zero_count_ += other.zero_count_;
+  for (const auto& [index, n] : other.buckets_) buckets_[index] += n;
+}
+
+double QuantileSketch::min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+
+double QuantileSketch::max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+
+double QuantileSketch::mean() const noexcept {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  if (clamped <= 0.0) return min();
+  if (clamped >= 1.0) return max();
+  // Rank of the target order statistic, 1-based.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(clamped * static_cast<double>(count_))));
+  if (rank <= zero_count_) return std::clamp(0.0, min(), max());
+  std::uint64_t cumulative = zero_count_;
+  for (const auto& [index, n] : buckets_) {
+    cumulative += n;
+    if (cumulative >= rank) {
+      return std::clamp(bucket_value(index), min(), max());
+    }
+  }
+  return max();
+}
+
+bool QuantileSketch::same_distribution(const QuantileSketch& other) const {
+  return alpha_ == other.alpha_ && count_ == other.count_ &&
+         zero_count_ == other.zero_count_ && buckets_ == other.buckets_;
+}
+
+void QuantileSketch::fill_json(JsonValue& out) const {
+  out.make_object();
+  out["alpha"] = alpha_;
+  out["count"] = count_;
+  out["sum"] = sum_;
+  out["min"] = min();
+  out["max"] = max();
+  out["mean"] = mean();
+  out["p50"] = quantile(0.50);
+  out["p90"] = quantile(0.90);
+  out["p95"] = quantile(0.95);
+  out["p99"] = quantile(0.99);
+  out["zeros"] = zero_count_;
+  JsonValue& idx = out["idx"].make_array();
+  JsonValue& cnt = out["cnt"].make_array();
+  for (const auto& [index, n] : buckets_) {
+    idx.push_back(static_cast<std::int64_t>(index));
+    cnt.push_back(n);
+  }
+}
+
+}  // namespace aadedupe::telemetry

@@ -1,0 +1,110 @@
+// Mergeable quantile sketch (DDSketch-style) for fleet observability.
+//
+// The log2 histograms in MetricsRegistry answer "what order of magnitude"
+// with a factor-of-two error — good enough for byte sizes, useless for
+// tail latency and for the paper's derived metrics (BWS, DR, DE) where
+// p95/p99 must be trusted to a percent. A QuantileSketch buckets values
+// on a geometric grid with ratio gamma = (1+a)/(1-a), so every quantile
+// estimate is within relative error `a` (default 1%) of the true value.
+//
+// The property that makes it *fleet-grade*: two sketches built with the
+// same accuracy share the same grid, so merging is exact bucket-wise
+// integer addition — associative and commutative, with no re-sampling
+// error. A per-tenant sketch embedded in each run report can therefore be
+// merged across N sessions (or N machines) by tools/report.py `aggregate`
+// and yield byte-identical bucket counts to a sketch that saw the whole
+// stream. Registry sharding (one sketch shard per writer thread, merged
+// at snapshot time) is the same idea applied inside one process.
+//
+// Values are non-negative reals (durations, ratios, byte counts): zero
+// and any value too small to index land in a dedicated zero bucket;
+// negative inputs are clamped to zero (none of the instrumented series
+// can legitimately go negative). min/max are tracked exactly, so
+// quantile(0)/quantile(1) are exact and interior estimates are clamped
+// into [min, max].
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace aadedupe::telemetry {
+
+class JsonValue;
+
+class QuantileSketch {
+ public:
+  /// Default relative accuracy: 1%, the acceptance bar for fleet
+  /// percentile reporting (ISSUE 9 / ROADMAP item 3).
+  static constexpr double kDefaultRelativeAccuracy = 0.01;
+
+  /// Values below this threshold are counted in the zero bucket. Keeps
+  /// bucket indices small and treats denormal noise as zero.
+  static constexpr double kMinIndexable = 1e-12;
+
+  explicit QuantileSketch(
+      double relative_accuracy = kDefaultRelativeAccuracy);
+
+  /// Record one observation. Negative values count as zero.
+  void observe(double value);
+
+  /// Fold `other` into this sketch. Exact (integer bucket addition);
+  /// throws PreconditionError when the accuracies differ (different
+  /// grids cannot be merged without re-sampling error).
+  void merge(const QuantileSketch& other);
+
+  /// Quantile estimate for q in [0, 1]; 0 on an empty sketch. Guaranteed
+  /// within `relative_accuracy()` of the exact order statistic; q == 0
+  /// and q == 1 return the exact min/max.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double min() const noexcept;  // 0 when empty
+  [[nodiscard]] double max() const noexcept;  // 0 when empty
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] double relative_accuracy() const noexcept { return alpha_; }
+
+  /// The representative value reported for bucket `index` (the midpoint
+  /// of the bucket's value range, which bounds the relative error by
+  /// alpha). Exposed so tools/report.py can evaluate merged sketches
+  /// with the same arithmetic.
+  [[nodiscard]] double bucket_value(std::int32_t index) const;
+
+  /// Geometric bucket counts, keyed by grid index (ascending). Exposed
+  /// for merge/shard equality tests and the JSON encoding.
+  [[nodiscard]] const std::map<std::int32_t, std::uint64_t>& buckets()
+      const noexcept {
+    return buckets_;
+  }
+  [[nodiscard]] std::uint64_t zero_count() const noexcept {
+    return zero_count_;
+  }
+
+  /// Identical grids (same accuracy), identical counts. Sums may differ
+  /// in the last ulp depending on accumulation order, so equality is
+  /// deliberately count-based: two equal sketches report identical
+  /// quantiles.
+  [[nodiscard]] bool same_distribution(const QuantileSketch& other) const;
+
+  /// Self-describing JSON: summary fields (count/sum/min/max/mean and
+  /// p50/p90/p95/p99) plus the exact encoding (alpha, zeros, idx[],
+  /// cnt[]) that report.py `aggregate` merges without loss.
+  void fill_json(JsonValue& out) const;
+
+ private:
+  [[nodiscard]] std::int32_t bucket_index(double value) const;
+
+  double alpha_;
+  double gamma_;          // bucket ratio (1+a)/(1-a)
+  double inv_log_gamma_;  // 1 / ln(gamma)
+  std::uint64_t zero_count_ = 0;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;  // valid iff count_ > 0
+  double max_ = 0.0;
+  std::map<std::int32_t, std::uint64_t> buckets_;
+};
+
+}  // namespace aadedupe::telemetry

@@ -54,17 +54,32 @@ bool Timeline::maybe_sample(double now_s) {
     // extra point; the authoritative check below settles it.
     if (now_s < last + interval()) return false;
   }
-  std::lock_guard lock(mutex_);
-  if (!samples_.empty() && now_s < samples_.back().t_s + interval_s_) {
-    return false;
+  std::function<void(double)> hook;
+  {
+    std::lock_guard lock(mutex_);
+    if (!samples_.empty() && now_s < samples_.back().t_s + interval_s_) {
+      return false;
+    }
+    sample_locked(now_s);
+    hook = sample_hook_;
   }
-  sample_locked(now_s);
+  if (hook) hook(now_s);
   return true;
 }
 
 void Timeline::force_sample(double now_s) {
+  std::function<void(double)> hook;
+  {
+    std::lock_guard lock(mutex_);
+    sample_locked(now_s);
+    hook = sample_hook_;
+  }
+  if (hook) hook(now_s);
+}
+
+void Timeline::set_sample_hook(std::function<void(double)> hook) {
   std::lock_guard lock(mutex_);
-  sample_locked(now_s);
+  sample_hook_ = std::move(hook);
 }
 
 void Timeline::sample_locked(double now_s) {
@@ -74,7 +89,10 @@ void Timeline::sample_locked(double now_s) {
   const MetricsSnapshot snap = metrics_->snapshot();
   sample.values.reserve(snap.entries.size());
   for (const MetricsSnapshot::Entry& entry : snap.entries) {
-    if (entry.kind == MetricKind::kHistogram) continue;
+    if (entry.kind == MetricKind::kHistogram ||
+        entry.kind == MetricKind::kSketch) {
+      continue;  // per-point cost/size dwarfs a scalar's
+    }
     sample.values.emplace_back(entry.name, entry.value);
   }
   samples_.push_back(std::move(sample));

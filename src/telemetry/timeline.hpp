@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -53,6 +54,12 @@ class Timeline {
   /// Take a sample unconditionally (session end wants the final point).
   void force_sample(double now_s);
 
+  /// Invoked with the sample time after every successful sample, outside
+  /// the timeline mutex (so the hook may snapshot the registry itself —
+  /// bench::Observability uses this to refresh the Prometheus exposition
+  /// file alongside each timeline point). Pass nullptr to clear.
+  void set_sample_hook(std::function<void(double)> hook);
+
   [[nodiscard]] std::size_t sample_count() const;
   [[nodiscard]] bool empty() const { return sample_count() == 0; }
 
@@ -76,6 +83,7 @@ class Timeline {
   mutable std::mutex mutex_;
   double interval_s_ = kDefaultIntervalS;
   std::vector<Sample> samples_;
+  std::function<void(double)> sample_hook_;
 };
 
 }  // namespace aadedupe::telemetry

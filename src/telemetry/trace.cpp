@@ -234,4 +234,6 @@ void TraceSpan::finish() {
 
 TraceSpan::~TraceSpan() { finish(); }
 
+const TraceSpan* current_thread_span() noexcept { return t_current_span; }
+
 }  // namespace aadedupe::telemetry

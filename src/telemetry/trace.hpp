@@ -165,6 +165,17 @@ class TraceSpan {
   /// End the span early (idempotent; the destructor becomes a no-op).
   void finish();
 
+  // Read-only structure accessors for the sampling profiler: a SIGPROF
+  // handler walks the same-thread span chain, so these must touch only
+  // memory that is immutable once the span is published (stage_ and
+  // category_ are set before `this` becomes the thread's current span,
+  // and never change afterwards). async-signal-safe on the owning thread.
+  [[nodiscard]] Stage stage() const noexcept { return stage_; }
+  [[nodiscard]] const char* category_c_str() const noexcept {
+    return category_.c_str();
+  }
+  [[nodiscard]] const TraceSpan* parent() const noexcept { return parent_; }
+
  private:
   friend class Tracer;
 
@@ -176,5 +187,11 @@ class TraceSpan {
   double sim_s_ = 0.0;
   TraceSpan* parent_ = nullptr;  // enclosing span on this thread
 };
+
+/// The calling thread's innermost live span (nullptr outside any span).
+/// Safe to call from a signal handler delivered to this thread: spans are
+/// published to the thread-local chain only after full construction and
+/// unlinked before destruction, so the chain is always walkable.
+[[nodiscard]] const TraceSpan* current_thread_span() noexcept;
 
 }  // namespace aadedupe::telemetry

@@ -1,0 +1,133 @@
+// Prometheus exposition tests: name sanitization, family grouping of
+// labeled variants, the histogram `le` encoding, and sketch summaries.
+#include "telemetry/exposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace aadedupe::telemetry {
+namespace {
+
+/// Count occurrences of `needle` in `text`.
+std::size_t occurrences(const std::string& text, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t at = text.find(needle); at != std::string::npos;
+       at = text.find(needle, at + 1)) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(PrometheusSanitize, RestrictsToTheMetricCharset) {
+  EXPECT_EQ(prometheus_sanitize("chunk.latency_s"), "chunk_latency_s");
+  EXPECT_EQ(prometheus_sanitize("a:b_C9"), "a:b_C9");  // legal as-is
+  EXPECT_EQ(prometheus_sanitize("spaces and-dashes"), "spaces_and_dashes");
+  // A leading digit is illegal; an underscore is prepended.
+  EXPECT_EQ(prometheus_sanitize("9lives"), "_9lives");
+  EXPECT_EQ(prometheus_sanitize(""), "_");
+}
+
+TEST(PrometheusText, CountersAndGaugesRenderOneSampleEach) {
+  MetricsRegistry registry;
+  registry.counter("container.bytes").add(1234);
+  registry.gauge("pipeline.queue_depth").set(7);
+
+  const std::string text = to_prometheus_text(registry.snapshot());
+  EXPECT_NE(text.find("# TYPE aad_container_bytes counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aad_container_bytes 1234\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE aad_pipeline_queue_depth gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aad_pipeline_queue_depth 7\n"), std::string::npos);
+}
+
+TEST(PrometheusText, LabeledVariantsShareOneFamilyHeader) {
+  MetricsRegistry registry;
+  registry.counter("session.chunks", {{"tenant", "t00"}}).add(10);
+  registry.counter("session.chunks", {{"tenant", "t01"}}).add(20);
+
+  const std::string text = to_prometheus_text(registry.snapshot());
+  // The format requires all samples of a family to be contiguous under a
+  // single TYPE header — per-tenant variants must not fork the family.
+  EXPECT_EQ(occurrences(text, "# TYPE aad_session_chunks counter"), 1u);
+  EXPECT_NE(text.find("aad_session_chunks{tenant=\"t00\"} 10\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aad_session_chunks{tenant=\"t01\"} 20\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusText, LabelValuesAreEscaped) {
+  MetricsRegistry registry;
+  registry.counter("session.chunks", {{"tenant", "a\"b\\c"}}).add(1);
+  const std::string text = to_prometheus_text(registry.snapshot());
+  EXPECT_NE(text.find("aad_session_chunks{tenant=\"a\\\"b\\\\c\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusText, HistogramsRenderCumulativeLeBuckets) {
+  MetricsRegistry registry;
+  const Histogram bytes = registry.histogram("pipeline.item_bytes");
+  bytes.observe(1);   // bucket upper bound 1
+  bytes.observe(3);   // bucket upper bound 3
+  bytes.observe(3);
+  bytes.observe(100);  // bucket upper bound 127
+
+  const std::string text = to_prometheus_text(registry.snapshot());
+  EXPECT_NE(text.find("# TYPE aad_pipeline_item_bytes histogram\n"),
+            std::string::npos);
+  // Cumulative: 1 at le=1, 3 at le=3, 4 at le=127 and at +Inf. Empty
+  // buckets are elided.
+  EXPECT_NE(text.find("aad_pipeline_item_bytes_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aad_pipeline_item_bytes_bucket{le=\"3\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aad_pipeline_item_bytes_bucket{le=\"127\"} 4\n"),
+            std::string::npos);
+  EXPECT_EQ(occurrences(text, "_bucket{le=\"+Inf\"} 4"), 1u);
+  EXPECT_NE(text.find("aad_pipeline_item_bytes_sum 107\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aad_pipeline_item_bytes_count 4\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusText, SketchesRenderAsSummariesWithQuantileLabels) {
+  MetricsRegistry registry;
+  const Sketch latency =
+      registry.sketch("chunk.latency_s", {{"tenant", "t00"}});
+  for (int i = 1; i <= 100; ++i) latency.observe(static_cast<double>(i));
+
+  const std::string text = to_prometheus_text(registry.snapshot());
+  EXPECT_NE(text.find("# TYPE aad_chunk_latency_s summary\n"),
+            std::string::npos);
+  // One line per exported quantile, the tenant label alongside.
+  for (const char* q : {"0.5", "0.9", "0.95", "0.99"}) {
+    const std::string needle =
+        std::string("aad_chunk_latency_s{tenant=\"t00\",quantile=\"") + q +
+        "\"} ";
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+  EXPECT_NE(text.find("aad_chunk_latency_s_sum{tenant=\"t00\"} 5050\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aad_chunk_latency_s_count{tenant=\"t00\"} 100\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusText, PrefixNamespacesEveryFamily) {
+  MetricsRegistry registry;
+  registry.counter("chunks").add(1);
+  const std::string text =
+      to_prometheus_text(registry.snapshot(), "fleet_");
+  EXPECT_NE(text.find("# TYPE fleet_chunks counter\n"), std::string::npos);
+  EXPECT_EQ(text.find("aad_"), std::string::npos);
+}
+
+TEST(PrometheusText, EmptySnapshotRendersEmpty) {
+  MetricsRegistry registry;
+  EXPECT_EQ(to_prometheus_text(registry.snapshot()), "");
+}
+
+}  // namespace
+}  // namespace aadedupe::telemetry

@@ -1,0 +1,135 @@
+// SpanProfiler tests: lifecycle (exclusive start, idempotent stop,
+// restart resets state), span attribution of real SIGPROF ticks, and the
+// folded-stack / JSON encodings. Runs on the tsan rung too — the handler
+// and fold() are exactly the code paths TSan should see.
+#include "telemetry/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <ctime>
+#include <map>
+#include <string>
+
+#include "telemetry/json.hpp"
+#include "telemetry/trace.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::telemetry {
+namespace {
+
+/// Burn process CPU until the profiler has at least `want` samples or
+/// `budget_s` of CPU time has gone by. ITIMER_PROF ticks on CPU time, so
+/// a generous budget makes this deterministic even on loaded machines —
+/// and the kernel rounds the period up to its tick (~10 ms), so the
+/// budget must cover many ticks, not many requested periods.
+std::uint64_t burn_until_samples(const SpanProfiler& profiler,
+                                 std::uint64_t want, double budget_s) {
+  const std::clock_t start = std::clock();
+  volatile std::uint64_t sink = 0;
+  while (profiler.sample_count() < want) {
+    for (int i = 0; i < 50'000; ++i) {
+      sink = sink + static_cast<std::uint64_t>(i);
+    }
+    const double spent =
+        static_cast<double>(std::clock() - start) / CLOCKS_PER_SEC;
+    if (spent > budget_s) break;
+  }
+  return profiler.sample_count();
+}
+
+TEST(SpanProfiler, LifecycleStopIsIdempotentAndRestartResets) {
+  SpanProfiler profiler(1000);
+  EXPECT_FALSE(profiler.running());
+  profiler.stop();  // never started: no-op
+  EXPECT_FALSE(profiler.running());
+
+  profiler.start();
+  EXPECT_TRUE(profiler.running());
+  burn_until_samples(profiler, 1, 0.5);
+  profiler.stop();
+  profiler.stop();  // second stop: no-op
+  EXPECT_FALSE(profiler.running());
+
+  // start() discards the previous run's samples.
+  profiler.start();
+  EXPECT_EQ(profiler.sample_count(), 0u);
+  EXPECT_EQ(profiler.dropped_count(), 0u);
+  profiler.stop();
+}
+
+TEST(SpanProfiler, OnlyOneProfilerMayBeActive) {
+  SpanProfiler first;
+  SpanProfiler second;
+  first.start();
+  // SIGPROF has one process-wide disposition; a second start must refuse
+  // rather than silently steal it.
+  EXPECT_THROW(second.start(), PreconditionError);
+  first.stop();
+  second.start();  // fine once the first released the signal
+  second.stop();
+}
+
+TEST(SpanProfiler, ConstructorRejectsZeroPeriod) {
+  EXPECT_THROW(SpanProfiler(0), PreconditionError);
+}
+
+TEST(SpanProfiler, EmptyProfilerFoldsToNothing) {
+  SpanProfiler profiler;
+  EXPECT_TRUE(profiler.fold().empty());
+  EXPECT_EQ(profiler.folded_text(), "");
+
+  JsonValue doc;
+  profiler.fill_json(doc);
+  EXPECT_EQ(doc.find("samples")->as_uint(), 0u);
+  EXPECT_EQ(doc.find("dropped")->as_uint(), 0u);
+  EXPECT_EQ(doc.find("folded")->size(), 0u);
+}
+
+TEST(SpanProfiler, SamplesAttributeToTheLiveSpanStack) {
+  Tracer tracer;
+  SpanProfiler profiler(1000);
+  profiler.start();
+  std::uint64_t samples = 0;
+  {
+    TraceSpan session(&tracer, Stage::kSession);
+    TraceSpan fingerprint(&tracer, Stage::kFingerprint, "doc");
+    // ~10 ms kernel ticks: asking for 3 samples needs ~30 ms of CPU; give
+    // it 4 s of budget so slow sanitizer builds still get there.
+    samples = burn_until_samples(profiler, 3, 4.0);
+  }
+  profiler.stop();
+  ASSERT_GE(samples, 1u) << "no SIGPROF ticks landed within the budget";
+
+  const std::map<std::string, std::uint64_t> folded = profiler.fold();
+  // Every CPU-burning tick inside the two spans folds to the full
+  // root->leaf stack with the leaf span's category attached.
+  std::uint64_t attributed = 0;
+  for (const auto& [stack, count] : folded) {
+    if (stack == "session;fingerprint@doc") attributed += count;
+  }
+  EXPECT_GT(attributed, 0u)
+      << "folded stacks: " << profiler.folded_text();
+
+  // folded_text: one "stack count" line per fold() entry.
+  const std::string text = profiler.folded_text();
+  EXPECT_NE(text.find("session;fingerprint@doc "), std::string::npos);
+  JsonValue doc;
+  profiler.fill_json(doc);
+  EXPECT_EQ(doc.find("samples")->as_uint(), samples);
+  EXPECT_EQ(doc.find("period_us")->as_uint(), 1000u);
+  EXPECT_EQ(doc.find("folded")->size(), folded.size());
+}
+
+TEST(SpanProfiler, TicksOutsideAnySpanFoldToUntraced) {
+  SpanProfiler profiler(1000);
+  profiler.start();
+  const std::uint64_t samples = burn_until_samples(profiler, 2, 4.0);
+  profiler.stop();
+  ASSERT_GE(samples, 1u) << "no SIGPROF ticks landed within the budget";
+  const auto folded = profiler.fold();
+  ASSERT_EQ(folded.size(), 1u);
+  EXPECT_EQ(folded.begin()->first, "untraced");
+}
+
+}  // namespace
+}  // namespace aadedupe::telemetry

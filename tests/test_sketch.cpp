@@ -1,0 +1,274 @@
+// QuantileSketch tests: the 1% relative-error guarantee against exact
+// order statistics, exact bucket-wise merge (associative + commutative),
+// thread-sharded registry sketches merging to the single-thread answer,
+// and a TSan-visible stress race against Timeline snapshots.
+#include "telemetry/sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/timeline.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace aadedupe::telemetry {
+namespace {
+
+/// Deterministic heavy-tailed values (roughly lognormal), the shape of
+/// every instrumented series: many small latencies, a long tail.
+std::vector<double> tail_heavy_values(std::uint64_t seed, std::size_t n) {
+  Xoshiro256 rng(seed);
+  std::vector<double> values;
+  values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    const double v = rng.uniform();
+    // exp of a symmetric sum stretches uniform noise into a fat tail.
+    values.push_back(1e-4 * std::exp(3.0 * (u + v - 1.0)));
+  }
+  return values;
+}
+
+/// Exact order statistic with the sketch's own rank rule
+/// (rank = max(1, ceil(q * count))), so the comparison isolates bucket
+/// error from rank-definition differences.
+double exact_quantile(std::vector<double> sorted, double q) {
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+  const auto rank = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(q * n)));
+  return sorted[rank - 1];
+}
+
+TEST(QuantileSketch, EmptyAndSingleValueEdges) {
+  QuantileSketch sketch;
+  EXPECT_TRUE(sketch.empty());
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.min(), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.max(), 0.0);
+
+  sketch.observe(42.0);
+  EXPECT_EQ(sketch.count(), 1u);
+  // min/max are exact, and every quantile of one value is that value.
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(1.0), 42.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 42.0);
+}
+
+TEST(QuantileSketch, ZeroBucketAbsorbsZerosNegativesAndDenormals) {
+  QuantileSketch sketch;
+  sketch.observe(0.0);
+  sketch.observe(-3.5);                               // clamped to zero
+  sketch.observe(QuantileSketch::kMinIndexable / 2);  // below the grid
+  EXPECT_EQ(sketch.count(), 3u);
+  EXPECT_EQ(sketch.zero_count(), 3u);
+  EXPECT_TRUE(sketch.buckets().empty());
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 0.0);
+  // max is tracked exactly, even for sub-grid values.
+  EXPECT_DOUBLE_EQ(sketch.max(), QuantileSketch::kMinIndexable / 2);
+
+  // Zeros sort before every indexable value.
+  sketch.observe(10.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(1.0), 10.0);
+}
+
+TEST(QuantileSketch, QuantilesWithinOnePercentOfExact) {
+  const std::vector<double> values = tail_heavy_values(7, 5000);
+  QuantileSketch sketch;  // default accuracy: 1%
+  for (const double v : values) sketch.observe(v);
+
+  for (const double q : {0.01, 0.10, 0.50, 0.90, 0.95, 0.99, 0.999}) {
+    const double exact = exact_quantile(values, q);
+    const double estimate = sketch.quantile(q);
+    // Guarantee is relative error <= alpha; allow float slack on top.
+    EXPECT_NEAR(estimate, exact, 0.0101 * exact)
+        << "q=" << q << " exact=" << exact << " est=" << estimate;
+  }
+}
+
+TEST(QuantileSketch, QuantileIsMonotoneInQ) {
+  const std::vector<double> values = tail_heavy_values(11, 2000);
+  QuantileSketch sketch;
+  for (const double v : values) sketch.observe(v);
+  double previous = sketch.quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double current = sketch.quantile(q);
+    EXPECT_GE(current, previous) << "q=" << q;
+    previous = current;
+  }
+}
+
+TEST(QuantileSketch, MergeIsCommutativeAndAssociativeExactly) {
+  const std::vector<double> values = tail_heavy_values(23, 3000);
+  QuantileSketch a, b, c;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).observe(values[i]);
+  }
+  a.observe(0.0);  // exercise zero-bucket merging too
+
+  // (a + b) + c
+  QuantileSketch left(a.relative_accuracy());
+  left.merge(a);
+  left.merge(b);
+  left.merge(c);
+  // a + (b + c)
+  QuantileSketch bc(b.relative_accuracy());
+  bc.merge(b);
+  bc.merge(c);
+  QuantileSketch right(a.relative_accuracy());
+  right.merge(a);
+  right.merge(bc);
+  // c + b + a
+  QuantileSketch reversed(c.relative_accuracy());
+  reversed.merge(c);
+  reversed.merge(b);
+  reversed.merge(a);
+  // The whole stream, one sketch.
+  QuantileSketch whole;
+  whole.observe(0.0);
+  for (const double v : values) whole.observe(v);
+
+  // Bucket-wise integer addition: all orders are byte-identical, and all
+  // equal the sketch that saw the unsplit stream.
+  EXPECT_TRUE(left.same_distribution(right));
+  EXPECT_TRUE(left.same_distribution(reversed));
+  EXPECT_TRUE(left.same_distribution(whole));
+  EXPECT_EQ(left.buckets(), whole.buckets());
+  EXPECT_EQ(left.zero_count(), whole.zero_count());
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+  for (const double q : {0.5, 0.9, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(left.quantile(q), whole.quantile(q));
+  }
+}
+
+TEST(QuantileSketch, MergeRejectsMismatchedAccuracy) {
+  QuantileSketch fine(0.01);
+  QuantileSketch coarse(0.05);
+  coarse.observe(1.0);
+  EXPECT_THROW(fine.merge(coarse), PreconditionError);
+}
+
+TEST(QuantileSketch, FillJsonCarriesTheExactEncoding) {
+  QuantileSketch sketch;
+  sketch.observe(0.0);
+  sketch.observe(1.5);
+  sketch.observe(1500.0);
+
+  JsonValue doc;
+  sketch.fill_json(doc);
+  EXPECT_DOUBLE_EQ(doc.find("alpha")->as_double(), 0.01);
+  EXPECT_EQ(doc.find("count")->as_uint(), 3u);
+  EXPECT_EQ(doc.find("zeros")->as_uint(), 1u);
+  EXPECT_DOUBLE_EQ(doc.find("min")->as_double(), 0.0);
+  EXPECT_DOUBLE_EQ(doc.find("max")->as_double(), 1500.0);
+  // idx[] / cnt[] are the mergeable part: one row per occupied bucket.
+  EXPECT_EQ(doc.find("idx")->size(), sketch.buckets().size());
+  EXPECT_EQ(doc.find("cnt")->size(), sketch.buckets().size());
+}
+
+#ifdef AAD_TSAN
+constexpr std::size_t kStressThreads = 4;
+constexpr std::size_t kObservationsPerThread = 2'000;
+#else
+constexpr std::size_t kStressThreads = 8;
+constexpr std::size_t kObservationsPerThread = 20'000;
+#endif
+
+TEST(QuantileSketch, ThreadShardedRegistryMatchesSingleThread) {
+  MetricsRegistry registry;
+  const Sketch handle = registry.sketch("chunk.latency_s");
+
+  // Pre-split the deterministic stream so the sharded run and the serial
+  // run see exactly the same multiset of values.
+  std::vector<std::vector<double>> slices(kStressThreads);
+  for (std::size_t t = 0; t < kStressThreads; ++t) {
+    slices[t] = tail_heavy_values(100 + t, kObservationsPerThread);
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(kStressThreads);
+  for (std::size_t t = 0; t < kStressThreads; ++t) {
+    threads.emplace_back([&handle, &slices, t] {
+      for (const double v : slices[t]) handle.observe(v);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  QuantileSketch serial;
+  for (const auto& slice : slices) {
+    for (const double v : slice) serial.observe(v);
+  }
+
+  const MetricsSnapshot snapshot = registry.snapshot();
+  const MetricsSnapshot::Entry* entry = snapshot.find("chunk.latency_s");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->kind, MetricKind::kSketch);
+  // Shard-merge == serial, bucket for bucket: the same exactness the
+  // fleet aggregation relies on, applied inside one process.
+  EXPECT_TRUE(entry->sketch.same_distribution(serial));
+  EXPECT_EQ(entry->sketch.buckets(), serial.buckets());
+  EXPECT_DOUBLE_EQ(entry->sketch.min(), serial.min());
+  EXPECT_DOUBLE_EQ(entry->sketch.max(), serial.max());
+}
+
+TEST(QuantileSketch, ObserversRaceTimelineSnapshotsCleanly) {
+  // TSan-checked: writer threads observe into labeled sketches while the
+  // main thread forces Timeline samples (each one a full registry
+  // snapshot, sketch shards included). The mid-flight snapshots only
+  // need to be well-formed; the final one must be exact.
+  MetricsRegistry registry;
+  Timeline timeline(&registry);
+  timeline.set_interval(1.0);
+
+  std::vector<Sketch> handles;
+  handles.reserve(kStressThreads);
+  for (std::size_t t = 0; t < kStressThreads; ++t) {
+    std::string tenant = "t";  // (two-step append dodges a GCC 12
+    tenant += std::to_string(t);  // -Werror=restrict false positive)
+    handles.push_back(
+        registry.sketch("session.dedupe_ratio", {{"tenant", tenant}}));
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(kStressThreads);
+  for (std::size_t t = 0; t < kStressThreads; ++t) {
+    threads.emplace_back([&handles, t] {
+      Xoshiro256 rng(t + 1);
+      for (std::size_t i = 0; i < kObservationsPerThread; ++i) {
+        handles[t].observe(1.0 + rng.uniform());
+      }
+    });
+  }
+  for (double at = 0.0; at < 32.0; at += 1.0) {
+    timeline.force_sample(at);
+    const MetricsSnapshot racing = registry.snapshot();
+    for (const MetricsSnapshot::Entry& entry : racing.entries) {
+      std::uint64_t bucketed = entry.sketch.zero_count();
+      for (const auto& [index, count] : entry.sketch.buckets()) {
+        bucketed += count;
+      }
+      EXPECT_EQ(bucketed, entry.sketch.count());
+    }
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const MetricsSnapshot snapshot = registry.snapshot();
+  std::uint64_t total = 0;
+  for (const MetricsSnapshot::Entry& entry : snapshot.entries) {
+    total += entry.sketch.count();
+  }
+  EXPECT_EQ(total, kStressThreads * kObservationsPerThread);
+}
+
+}  // namespace
+}  // namespace aadedupe::telemetry

@@ -32,6 +32,12 @@ Rules (see DESIGN.md §5 for rationale):
                   counters/histograms and RunReport sections instead of yet
                   another ad-hoc struct. The existing five are grandfathered
                   (and are themselves folded into RunReport).
+  no-raw-getenv   no raw std::getenv outside src/telemetry/ and
+                  bench/bench_common.* — environment knobs flow through
+                  bench::env_u64/env_double/env_str (one parse, one doc
+                  comment, one place the Observability contract lives) so
+                  a knob can't silently fork semantics per call site. Two
+                  pre-rule hits are grandfathered explicitly.
 """
 
 from __future__ import annotations
@@ -275,6 +281,49 @@ def check_stats_structs(findings):
                         "counters/histograms or a RunReport section"))
 
 
+RAW_GETENV = re.compile(r"(?<![\w:])(?:std::)?getenv\s*\(")
+
+# Pre-rule call sites, grandfathered by exact (file, line-content) so the
+# set can only shrink: moving or adding a call re-trips the rule.
+#   cpu_features — reads AAD_DISABLE_SIMD during static dispatch init,
+#     before any bench scaffolding exists to route through.
+#   backup_tool — reads the AAD_PASSPHRASE secret, which must NOT pass
+#     through the logged/documented knob helpers.
+GRANDFATHERED_GETENV = {
+    ("src/hash/cpu_features.cpp",
+     'parse_simd_disable_flag(std::getenv("AAD_DISABLE_SIMD"))'),
+    ("examples/backup_tool.cpp",
+     'std::getenv("AAD_PASSPHRASE")'),
+}
+
+
+def check_no_raw_getenv(findings):
+    # The sanctioned homes: the env helpers themselves (bench_common) and
+    # src/telemetry/ (logger/observability bootstrap reads its own knobs
+    # before a bench context exists).
+    telemetry_dir = REPO / "src" / "telemetry"
+    for path in iter_files(CPP_DIRS, SOURCE_GLOBS):
+        if telemetry_dir in path.parents:
+            continue
+        if path.parent == REPO / "bench" and path.stem == "bench_common":
+            continue
+        rel = path.relative_to(REPO).as_posix()
+        raw = path.read_text(encoding="utf-8")
+        text = strip_comments_and_strings(raw)
+        lines = raw.splitlines()
+        for m in RAW_GETENV.finditer(text):
+            line = line_of(text, m.start())
+            content = lines[line - 1] if line <= len(lines) else ""
+            if any(rel == g_rel and g_frag in content
+                   for g_rel, g_frag in GRANDFATHERED_GETENV):
+                continue
+            findings.append(
+                Finding("no-raw-getenv", path, line,
+                        "raw `std::getenv` — read environment knobs via "
+                        "bench::env_u64/env_double/env_str (bench_common) "
+                        "so every knob has one parse and one doc home"))
+
+
 CHECKS = (
     check_pragma_once,
     check_using_namespace,
@@ -283,6 +332,7 @@ CHECKS = (
     check_throw_taxonomy,
     check_no_raw_random,
     check_stats_structs,
+    check_no_raw_getenv,
 )
 
 

@@ -12,17 +12,25 @@ Usage:
   report.py timeseries <report.json>       metric snapshot curves as text
   report.py trace-check <trace.json>       validate a Chrome-trace export
   report.py perf-gate <fresh.json> <baseline.json> [tolerance_pct]
-                                           BENCH_chunking.json regression gate
+                                           bench-JSON regression gate
+  report.py aggregate <report.json>... [--reports <dir>]
+                                           merge quantile sketches across
+                                           run reports (fleet view)
+  report.py aggregate --check <fleet.json> --reports <dir>
+                                           re-merge and verify against a
+                                           BENCH_fleet.json aggregate
+  report.py flame <folded.txt>             render profiler folded stacks
   report.py --selftest                     internal check (ctest smoke)
 
-Exit codes: 0 ok, 1 bad input / gate failure, 2 usage. `diff` always
-exits 0 when both files parse — differing numbers are the expected
-output, not an error.
+Exit codes: 0 ok, 1 bad input / gate or check failure, 2 usage. `diff`
+exits 0 when both files parse and no gated key regressed — differing
+numbers are the expected output; a regression on a GATE_KEYS key is not.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import sys
 from pathlib import Path
 
@@ -146,11 +154,17 @@ def show(path: str) -> int:
 
 
 def diff(path_a: str, path_b: str) -> int:
+    """Field-by-field comparison, a -> b. Differing numbers are the
+    expected output, with one exception: a GATE_KEYS key that regressed
+    (b worse than a beyond the perf-gate tolerance) makes the diff exit
+    nonzero, so `diff fresh.json baseline.json`-style CI steps fail
+    loudly instead of printing a delta nobody reads."""
     flat_a = flatten(load(path_a))
     flat_b = flatten(load(path_b))
     keys = sorted(set(flat_a) | set(flat_b))
     width = max((len(k) for k in keys), default=0)
     changed = 0
+    regressions = []
     for key in keys:
         if key.startswith("build."):
             continue  # environment, not results
@@ -166,9 +180,23 @@ def diff(path_a: str, path_b: str) -> int:
                 and not isinstance(a, bool) and not isinstance(b, bool) and a:
             delta = f"  ({100.0 * (b - a) / a:+.1f}%)"
         print(f"{key:<{width}}  {sa} -> {sb}{delta}")
+        direction = GATE_KEYS.get(last)
+        if direction is None or a is None or b is None:
+            continue
+        if direction == "true":
+            if bool(a) and not bool(b):
+                regressions.append(f"{key}: true -> {b!r}")
+        elif isinstance(a, (int, float)) and isinstance(b, (int, float)):
+            # diff's orientation is old -> new, so the "fresh" side is b.
+            regressed, _, detail = compare_gate_key(
+                direction, float(b), float(a), 0.15)
+            if regressed:
+                regressions.append(f"{key}: {detail}")
     print(f"# {changed} field(s) differ "
           f"({len(keys)} compared, build.* ignored)")
-    return 0
+    for entry in regressions:
+        print(f"# gated regression: {entry}")
+    return 1 if regressions else 0
 
 
 def timeseries(path: str) -> int:
@@ -257,7 +285,10 @@ def trace_check(path: str) -> int:
         else:
             counters += 1
             args = ev.get("args")
-            if not isinstance(args, dict) or not args or not all(
+            # An empty args dict is a counter series with no samples yet
+            # (e.g. a run too short for a timeline tick) — tolerated, not
+            # malformed. Values that ARE present must be numeric.
+            if not isinstance(args, dict) or not all(
                     isinstance(v, (int, float)) and not isinstance(v, bool)
                     for v in args.values()):
                 return bad(f"event #{i}: C event needs numeric args")
@@ -265,6 +296,309 @@ def trace_check(path: str) -> int:
         return bad("no X (span) events — empty trace")
     print(f"trace-check: {path}: OK ({spans} spans, {counters} counter "
           f"samples, {metadata} metadata events, {len(tids)} threads)")
+    return 0
+
+
+class Sketch:
+    """Python mirror of telemetry::QuantileSketch (src/telemetry/sketch.*).
+
+    Same bucket mapping (index = ceil(log_gamma v)), same bucket value
+    (2*gamma^i/(gamma+1)), same rank walk — so merging run-report sketch
+    JSON here reproduces the C++ merge: integer state (count, zeros,
+    buckets) exactly, float state (sum, quantiles) to JSON round-trip
+    precision.
+    """
+
+    MIN_INDEXABLE = 1e-12
+
+    def __init__(self, alpha: float = 0.01):
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"sketch alpha {alpha} out of (0,1)")
+        self.alpha = alpha
+        self.gamma = (1.0 + alpha) / (1.0 - alpha)
+        self.count = 0
+        self.zeros = 0
+        self.sum = 0.0
+        self.min = 0.0
+        self.max = 0.0
+        self.buckets: dict[int, int] = {}
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "Sketch":
+        sketch = cls(float(obj["alpha"]))
+        sketch.count = int(obj["count"])
+        sketch.zeros = int(obj["zeros"])
+        sketch.sum = float(obj["sum"])
+        sketch.min = float(obj["min"])
+        sketch.max = float(obj["max"])
+        idx, cnt = obj.get("idx", []), obj.get("cnt", [])
+        if len(idx) != len(cnt):
+            raise ValueError("sketch idx/cnt length mismatch")
+        sketch.buckets = {int(i): int(n) for i, n in zip(idx, cnt)}
+        return sketch
+
+    def observe(self, value: float) -> None:
+        value = max(0.0, value)
+        if self.count == 0:
+            self.min = self.max = value
+        else:
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+        self.count += 1
+        self.sum += value
+        if value < self.MIN_INDEXABLE:
+            self.zeros += 1
+            return
+        index = math.ceil(math.log(value) / math.log(self.gamma))
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def merge(self, other: "Sketch") -> None:
+        if self.alpha != other.alpha:
+            raise ValueError(
+                f"cannot merge sketches: alpha {self.alpha} vs {other.alpha}")
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.min, self.max = other.min, other.max
+        else:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+        self.count += other.count
+        self.zeros += other.zeros
+        self.sum += other.sum
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + n
+
+    def bucket_value(self, index: int) -> float:
+        return 2.0 * self.gamma ** index / (self.gamma + 1.0)
+
+    def quantile(self, q: float) -> float:
+        if self.count == 0:
+            return 0.0
+        q = min(1.0, max(0.0, q))
+        if q <= 0.0:
+            return self.min
+        if q >= 1.0:
+            return self.max
+        rank = max(1, math.ceil(q * self.count))
+        if rank <= self.zeros:
+            return min(max(0.0, self.min), self.max)
+        cumulative = self.zeros
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if cumulative >= rank:
+                return min(max(self.bucket_value(index), self.min), self.max)
+        return self.max
+
+
+def split_metric_name(name: str) -> tuple[str, dict]:
+    """Parse a canonical instrument name `base{k1="v1",...}` back into
+    (base, labels). Values may contain escaped `\\"` and `\\\\`."""
+    if "{" not in name or not name.endswith("}"):
+        return name, {}
+    base, _, body = name.partition("{")
+    labels = {}
+    i, n = 0, len(body) - 1  # strip trailing }
+    while i < n:
+        eq = body.index("=", i)
+        key = body[i:eq]
+        if body[eq + 1] != '"':
+            raise ValueError(f"malformed metric name {name!r}")
+        value, j = [], eq + 2
+        while body[j] != '"':
+            if body[j] == "\\":
+                j += 1
+            value.append(body[j])
+            j += 1
+        labels[key] = "".join(value)
+        i = j + 1
+        if i < n and body[i] == ",":
+            i += 1
+    return base, labels
+
+
+def sketch_entries(report: dict):
+    """Yield (base_name, labels, Sketch) for every sketch-valued metric."""
+    metrics = report.get("metrics", {})
+    if not isinstance(metrics, dict):
+        return
+    for name, value in metrics.items():
+        if isinstance(value, dict) and "alpha" in value and "idx" in value:
+            base, labels = split_metric_name(name)
+            yield base, labels, Sketch.from_json(value)
+
+
+QUANTS = (("p50", 0.50), ("p90", 0.90), ("p95", 0.95), ("p99", 0.99))
+
+
+def merge_reports(paths: list[str]):
+    """Merge every sketch family across the given run reports.
+
+    Returns (families, tenants): families maps base name -> Sketch merged
+    over every label set in every report; tenants maps tenant label ->
+    {base name -> Sketch} for the per-tenant table (the empty tenant ""
+    collects unlabeled single-client reports).
+    """
+    families: dict[str, Sketch] = {}
+    tenants: dict[str, dict[str, Sketch]] = {}
+    for path in paths:
+        report = load(path)
+        for base, labels, sketch in sketch_entries(report):
+            if base not in families:
+                families[base] = Sketch(sketch.alpha)
+            families[base].merge(sketch)
+            per = tenants.setdefault(labels.get("tenant", ""), {})
+            if base not in per:
+                per[base] = Sketch(sketch.alpha)
+            per[base].merge(sketch)
+    return families, tenants
+
+
+def print_sketch_table(rows: dict, indent: str = "") -> None:
+    width = max((len(k) for k in rows), default=0)
+    print(f"{indent}{'family':<{width}} {'count':>8} {'mean':>11} "
+          f"{'p50':>11} {'p90':>11} {'p95':>11} {'p99':>11} {'max':>11}")
+    for name in sorted(rows):
+        s = rows[name]
+        mean = s.sum / s.count if s.count else 0.0
+        cells = " ".join(f"{s.quantile(q):>11.5g}" for _, q in QUANTS)
+        print(f"{indent}{name:<{width}} {s.count:>8} {mean:>11.5g} "
+              f"{cells} {s.max:>11.5g}")
+
+
+def close(a: float, b: float, rel: float = 1e-9) -> bool:
+    return math.isclose(a, b, rel_tol=rel, abs_tol=1e-12)
+
+
+def aggregate_check(fleet_path: str, report_paths: list[str]) -> int:
+    """Re-merge per-tenant reports and verify a BENCH_fleet.json
+    aggregate: integer sketch state must match exactly, float state to
+    JSON round-trip precision (the C++ merge and this one see the same
+    bucket integers; only sums/extrema pass through %.12g)."""
+    try:
+        fleet_doc = json.loads(Path(fleet_path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"report.py: cannot read {fleet_path}: {exc}")
+    expected = fleet_doc.get("fleet")
+    if not isinstance(expected, dict) or not expected:
+        print(f"aggregate --check: {fleet_path}: no fleet section",
+              file=sys.stderr)
+        return 1
+    families, _ = merge_reports(report_paths)
+    failures = 0
+
+    def bad(family: str, what: str) -> None:
+        nonlocal failures
+        failures += 1
+        print(f"FAIL {family}: {what}")
+
+    for family, obj in expected.items():
+        merged = families.get(family)
+        if merged is None:
+            bad(family, "absent from the merged reports")
+            continue
+        want = Sketch.from_json(obj)
+        if (want.count, want.zeros) != (merged.count, merged.zeros):
+            bad(family, f"count/zeros {merged.count}/{merged.zeros} != "
+                        f"{want.count}/{want.zeros}")
+            continue
+        if want.buckets != merged.buckets:
+            bad(family, "bucket map differs (merge is not exact)")
+            continue
+        for field in ("sum", "min", "max"):
+            if not close(getattr(want, field), getattr(merged, field)):
+                bad(family, f"{field} {getattr(merged, field)!r} != "
+                            f"{getattr(want, field)!r}")
+        for key, q in QUANTS:
+            if key in obj and not close(float(obj[key]), merged.quantile(q)):
+                bad(family, f"{key} {merged.quantile(q)!r} != {obj[key]!r}")
+    extra = sorted(set(families) - set(expected))
+    if extra:
+        bad(",".join(extra), "merged families missing from the fleet file")
+    if "fleet_dr_p50" in fleet_doc and "session.dedupe_ratio" in families:
+        got = families["session.dedupe_ratio"].quantile(0.50)
+        if not close(float(fleet_doc["fleet_dr_p50"]), got):
+            bad("fleet_dr_p50", f"{got!r} != {fleet_doc['fleet_dr_p50']!r}")
+    status = "FAILED" if failures else "OK"
+    print(f"aggregate --check: {len(expected)} families over "
+          f"{len(report_paths)} reports: {status}")
+    return 1 if failures else 0
+
+
+def aggregate(argv: list[str]) -> int:
+    check_path = None
+    paths: list[str] = []
+    i = 0
+    while i < len(argv):
+        if argv[i] == "--check" and i + 1 < len(argv):
+            check_path = argv[i + 1]
+            i += 2
+        elif argv[i] == "--reports" and i + 1 < len(argv):
+            paths.extend(sorted(str(p) for p in
+                                Path(argv[i + 1]).glob("*.json")))
+            i += 2
+        elif argv[i].startswith("--"):
+            print(f"aggregate: unknown flag {argv[i]}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(argv[i])
+            i += 1
+    if not paths:
+        print("aggregate: no run reports given", file=sys.stderr)
+        return 2
+    if check_path is not None:
+        return aggregate_check(check_path, paths)
+    families, tenants = merge_reports(paths)
+    if not families:
+        print(f"aggregate: no sketch metrics in {len(paths)} report(s)")
+        return 0
+    print(f"fleet aggregate over {len(paths)} report(s):")
+    print_sketch_table(families, indent="  ")
+    named = {t: rows for t, rows in tenants.items() if t}
+    for tenant in sorted(named):
+        session_rows = {base: s for base, s in named[tenant].items()
+                        if base.startswith("session.")}
+        if session_rows:
+            print(f"  tenant {tenant}:")
+            print_sketch_table(session_rows, indent="    ")
+    return 0
+
+
+def flame(path: str, width: int = 50) -> int:
+    """Render profiler folded stacks (AAD_PROFILE_OUT) as a text table:
+    per-stack share with a bar, then per-leaf-frame self share."""
+    try:
+        lines = Path(path).read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        raise SystemExit(f"report.py: cannot read {path}: {exc}")
+    stacks: dict[str, int] = {}
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        stack, _, count = line.rpartition(" ")
+        if not stack or not count.isdigit():
+            print(f"flame: {path}:{lineno}: malformed folded line "
+                  f"{line!r}", file=sys.stderr)
+            return 1
+        stacks[stack] = stacks.get(stack, 0) + int(count)
+    total = sum(stacks.values())
+    if total == 0:
+        print(f"flame: {path}: no samples (run longer or lower "
+              "AAD_PROFILE_PERIOD_US)")
+        return 0
+    print(f"flame: {total} samples, {len(stacks)} distinct stacks")
+    for stack, count in sorted(stacks.items(), key=lambda kv: -kv[1]):
+        share = count / total
+        bar = "#" * max(1, round(share * width))
+        print(f"  {100.0 * share:6.2f}% {count:>8}  {bar:<{width}}  {stack}")
+    leaves: dict[str, int] = {}
+    for stack, count in stacks.items():
+        leaf = stack.rsplit(";", 1)[-1]
+        leaves[leaf] = leaves.get(leaf, 0) + count
+    print("  self time by leaf frame:")
+    for leaf, count in sorted(leaves.items(), key=lambda kv: -kv[1]):
+        print(f"    {100.0 * count / total:6.2f}% {count:>8}  {leaf}")
     return 0
 
 
@@ -281,6 +615,7 @@ GATE_KEYS = {
     "cdc_speedup_vs_reference": "higher",
     "session_file_vs_stream_speedup": "higher",
     "telemetry_overhead_pct_cdc_fingerprint": "lower_pct",
+    "profiler_overhead_pct_cdc_fingerprint": "lower_pct",
     # Batched hash engine (PR 7): best compiled SIMD rung vs the scalar
     # rung measured in the same process, and the end-to-end dynamic-path
     # chunk+fingerprint throughput vs the recorded pre-engine seed.
@@ -293,7 +628,39 @@ GATE_KEYS = {
     "cold_disk_reads_per_lookup": "lower",
     "restart_recovery_ok": "true",
     "rss_bounded": "true",
+    # BENCH_fleet.json (fleet observability): the fleet's median dedup
+    # ratio is dataset + chunking, no wall clock — byte-exact across
+    # hosts given the same seed/scale.
+    "fleet_dr_p50": "higher",
 }
+
+# Absolute acceptance ceilings, gated on the fresh file alone: a slowly
+# drifting baseline must never ratchet the observability tax above the
+# 2% budget the instrumentation was accepted under.
+GATE_CEILINGS = {
+    "telemetry_overhead_pct_cdc_fingerprint": 2.0,
+    "profiler_overhead_pct_cdc_fingerprint": 2.0,
+}
+
+
+def compare_gate_key(direction: str, f: float, b: float, tol: float):
+    """Direction-aware regression test shared by perf-gate and diff.
+    Returns (regressed, improved, detail)."""
+    if direction == "lower_pct":
+        # Percentage-point deltas; lower is better.
+        slack = max(abs(b) * tol, 2.0)
+        return (f > b + slack, f < b - slack,
+                f"{b:.2f} -> {f:.2f} points (slack {slack:.2f})")
+    if direction == "lower":
+        # Absolute-delta slack floor: a baseline of ~zero (the bloom
+        # filter absorbing everything) must not turn any nonzero fresh
+        # value into a failure.
+        slack = max(abs(b) * tol, 0.02)
+        return (f > b + slack, f < b - slack,
+                f"{b:.4f} -> {f:.4f} (slack {slack:.4f})")
+    delta = 100.0 * (f - b) / b if b else 0.0
+    return (f < b * (1.0 - tol), f > b * (1.0 + tol),
+            f"{b:.3f} -> {f:.3f} ({delta:+.1f}%)")
 
 
 def perf_gate(fresh_path: str, base_path: str,
@@ -327,26 +694,13 @@ def perf_gate(fresh_path: str, base_path: str,
             continue
         f, b = float(fresh[key]), float(base[key])
         compared += 1
-        if direction == "lower_pct":
-            # Percentage-point deltas; lower is better.
-            slack = max(abs(b) * tol, 2.0)
-            regressed = f > b + slack
-            improved = f < b - slack
-            detail = f"{b:.2f} -> {f:.2f} points (slack {slack:.2f})"
-        elif direction == "lower":
-            # Absolute-delta slack floor: a baseline of ~zero (the bloom
-            # filter absorbing everything) must not turn any nonzero fresh
-            # value into a failure.
-            slack = max(abs(b) * tol, 0.02)
-            regressed = f > b + slack
-            improved = f < b - slack
-            detail = f"{b:.4f} -> {f:.4f} (slack {slack:.4f})"
-        else:
-            regressed = f < b * (1.0 - tol)
-            improved = f > b * (1.0 + tol)
-            delta = 100.0 * (f - b) / b if b else 0.0
-            detail = f"{b:.3f} -> {f:.3f} ({delta:+.1f}%)"
-        if regressed:
+        regressed, improved, detail = compare_gate_key(direction, f, b, tol)
+        ceiling = GATE_CEILINGS.get(key)
+        if ceiling is not None and f > ceiling:
+            failures += 1
+            print(f"FAIL {key}: {f:.2f} exceeds the absolute ceiling "
+                  f"{ceiling:.2f} ({detail})")
+        elif regressed:
             failures += 1
             print(f"FAIL {key}: {detail}")
         elif improved:
@@ -507,6 +861,125 @@ def selftest() -> int:
         assert "FAIL cold_disk_reads_per_lookup" in gated, gated
         assert "FAIL restart_recovery_ok" in gated, gated
 
+        # The absolute overhead ceiling gates the fresh file even when the
+        # baseline already sits above it (no ratcheting past 2%).
+        over = {"telemetry_overhead_pct_cdc_fingerprint": 3.0}
+        out = io.StringIO()
+        with redirect_stdout(out):
+            assert perf_gate(write("over.json", over),
+                             write("over_base.json", over)) == 1
+        assert "absolute ceiling" in out.getvalue(), out.getvalue()
+
+        # diff exits nonzero on a gated regression, zero on plain churn.
+        out = io.StringIO()
+        with redirect_stdout(out):
+            assert diff(write("dbase.json", bench_base),
+                        write("dbad.json", bench_bad)) == 1
+            assert diff(write("dbase2.json", bench_base),
+                        write("dok.json", bench_ok)) == 0
+        assert "# gated regression: cdc_speedup_vs_reference" \
+            in out.getvalue(), out.getvalue()
+
+        # C events with an empty args dict (counter series with no
+        # samples) are tolerated.
+        empty_counter = {"traceEvents": [
+            {"ph": "X", "name": "chunk", "ts": 0.0, "dur": 1.0,
+             "pid": 1, "tid": 0},
+            {"ph": "C", "name": "container.bytes", "ts": 0.0, "pid": 1,
+             "args": {}},
+        ]}
+        out = io.StringIO()
+        with redirect_stdout(out):
+            assert trace_check(write("empty_c.json", empty_counter)) == 0
+
+    # Sketch mirror: relative accuracy, exactness of merge, canonical-name
+    # parsing — the Python half of the C++ <-> Python aggregate contract.
+    import random
+    rng = random.Random(20110926)
+    values = [rng.lognormvariate(0.0, 2.0) for _ in range(4000)] + [0.0] * 7
+    whole, left, right = Sketch(), Sketch(), Sketch()
+    for i, v in enumerate(values):
+        whole.observe(v)
+        (left if i % 2 else right).observe(v)
+    left.merge(right)
+    assert left.count == whole.count and left.buckets == whole.buckets
+    ordered = sorted(values)
+    for q in (0.5, 0.9, 0.95, 0.99):
+        exact = ordered[max(1, math.ceil(q * len(ordered))) - 1]
+        got = whole.quantile(q)
+        assert abs(got - exact) <= 0.0101 * exact + 1e-12, (q, got, exact)
+        assert abs(left.quantile(q) - got) <= 1e-12 * max(1.0, got)
+    base_name, labels = split_metric_name(
+        'session.dedupe_ratio{scheme="AA-Dedupe",tenant="t00"}')
+    assert base_name == "session.dedupe_ratio"
+    assert labels == {"scheme": "AA-Dedupe", "tenant": "t00"}
+    assert split_metric_name("plain.counter") == ("plain.counter", {})
+    esc_base, esc = split_metric_name('m{k="a\\"b\\\\c"}')
+    assert esc_base == "m" and esc == {"k": 'a"b\\c'}, esc
+
+    def sketch_json(sketch: Sketch) -> dict:
+        idx = sorted(sketch.buckets)
+        return {"alpha": sketch.alpha, "count": sketch.count,
+                "sum": sketch.sum, "min": sketch.min, "max": sketch.max,
+                "mean": sketch.sum / sketch.count if sketch.count else 0.0,
+                "p50": sketch.quantile(0.5), "p90": sketch.quantile(0.9),
+                "p95": sketch.quantile(0.95), "p99": sketch.quantile(0.99),
+                "zeros": sketch.zeros, "idx": idx,
+                "cnt": [sketch.buckets[i] for i in idx]}
+
+    # aggregate + --check round trip over two synthetic tenant reports.
+    t0, t1 = Sketch(), Sketch()
+    for v in (2.0, 4.0, 8.0):
+        t0.observe(v)
+    for v in (1.0, 16.0):
+        t1.observe(v)
+    fleet_sketch = Sketch()
+    fleet_sketch.merge(t0)
+    fleet_sketch.merge(t1)
+    report0 = {"schema": SCHEMA, "metrics": {
+        'session.dedupe_ratio{scheme="AA-Dedupe",tenant="t00"}':
+            sketch_json(t0)}}
+    report1 = {"schema": SCHEMA, "metrics": {
+        'session.dedupe_ratio{scheme="AA-Dedupe",tenant="t01"}':
+            sketch_json(t1)}}
+    fleet_doc = {"benchmark": "fleet observability",
+                 "fleet": {"session.dedupe_ratio": sketch_json(fleet_sketch)},
+                 "fleet_dr_p50": fleet_sketch.quantile(0.5)}
+    bad_fleet = json.loads(json.dumps(fleet_doc))
+    bad_fleet["fleet"]["session.dedupe_ratio"]["cnt"][0] += 1
+
+    with tempfile.TemporaryDirectory() as tmp:
+        write = lambda name, obj: (  # noqa: E731
+            (Path(tmp) / name).write_text(json.dumps(obj)),
+            str(Path(tmp) / name))[1]
+        reports_dir = Path(tmp) / "reports"
+        reports_dir.mkdir()
+        r0 = write("reports/t00.json", report0)
+        r1 = write("reports/t01.json", report1)
+        fp = write("fleet.json", fleet_doc)
+        out = io.StringIO()
+        with redirect_stdout(out):
+            assert aggregate([r0, r1]) == 0
+        table = out.getvalue()
+        assert "session.dedupe_ratio" in table, table
+        assert "tenant t01" in table, table
+        out = io.StringIO()
+        with redirect_stdout(out):
+            assert aggregate(["--check", fp, "--reports",
+                              str(reports_dir)]) == 0
+            assert aggregate(["--check", write("bad_fleet.json", bad_fleet),
+                              r0, r1]) == 1
+        assert "bucket map differs" in out.getvalue(), out.getvalue()
+
+        folded = "chunk;hash@doc 40\nchunk 40\nuntraced 20\n"
+        (Path(tmp) / "prof.folded").write_text(folded)
+        out = io.StringIO()
+        with redirect_stdout(out):
+            assert flame(str(Path(tmp) / "prof.folded")) == 0
+        flamed = out.getvalue()
+        assert "100 samples" in flamed, flamed
+        assert "40.00%" in flamed and "hash@doc" in flamed, flamed
+
     print("report.py selftest: OK")
     return 0
 
@@ -525,6 +998,10 @@ def main(argv: list[str]) -> int:
     if argv and argv[0] == "perf-gate" and len(argv) in (3, 4):
         tolerance = float(argv[3]) if len(argv) == 4 else 15.0
         return perf_gate(argv[1], argv[2], tolerance)
+    if len(argv) >= 2 and argv[0] == "aggregate":
+        return aggregate(argv[1:])
+    if len(argv) == 2 and argv[0] == "flame":
+        return flame(argv[1])
     print(__doc__.strip(), file=sys.stderr)
     return 2
 

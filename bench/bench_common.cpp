@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include <chrono>
+#include <thread>
+
 #include "backup/chunk_level.hpp"
 #include "backup/file_level.hpp"
 #include "backup/full_backup.hpp"
@@ -10,6 +13,7 @@
 #include "backup/sam.hpp"
 #include "core/aa_dedupe.hpp"
 #include "telemetry/build_info.hpp"
+#include "telemetry/env.hpp"
 #include "telemetry/exposition.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/log.hpp"
@@ -18,23 +22,14 @@
 namespace aadedupe::bench {
 
 std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return fallback;
-  return static_cast<std::uint64_t>(std::strtoull(value, nullptr, 10));
+  return telemetry::env_u64(name, fallback);
 }
 
 double env_double(const char* name, double fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return fallback;
-  char* end = nullptr;
-  const double parsed = std::strtod(value, &end);
-  return end == value ? fallback : parsed;
+  return telemetry::env_double(name, fallback);
 }
 
-std::string env_str(const char* name) {
-  const char* value = std::getenv(name);
-  return value == nullptr ? std::string() : std::string(value);
-}
+std::string env_str(const char* name) { return telemetry::env_str(name); }
 
 namespace {
 /// Truncate-write a small text artifact; failures log and move on (an
@@ -66,18 +61,61 @@ Observability::Observability()
       env_double("AAD_SNAPSHOT_INTERVAL_S", telemetry::Timeline::kDefaultIntervalS));
   // Context logger to stderr, floored at warn so demo stdout stays clean;
   // AAD_LOG_LEVEL=info (or debug/trace) opens up the stream.
+  const std::string log_level = env_str("AAD_LOG_LEVEL");
   telemetry_.log.add_sink(telemetry::make_stderr_sink());
   telemetry_.log.set_level(telemetry::parse_log_level(
-      std::getenv("AAD_LOG_LEVEL"), telemetry::LogLevel::kWarn));
+      log_level.empty() ? nullptr : log_level.c_str(),
+      telemetry::LogLevel::kWarn));
   telemetry::install_global_flight_recorder(&telemetry_.flight);
-  if (!prom_path_.empty()) {
-    // Scrape-file bridge: refresh the exposition at every timeline sample
-    // (the hook runs outside the timeline mutex, so snapshotting the
-    // registry here is safe).
-    telemetry_.timeline.set_sample_hook([this](double) {
-      write_text_file(prom_path_,
-                      telemetry::to_prometheus_text(telemetry_.metrics.snapshot()),
-                      "AAD_PROM_OUT");
+
+  // Live ops plane: a HealthMonitor whenever any SLO/ops knob asks for
+  // one, an introspection server when AAD_OPS_PORT is set.
+  const std::string ops_port = env_str("AAD_OPS_PORT");
+  const double slo_bws = env_double("AAD_SLO_BACKUP_WINDOW_S", 0.0);
+  const double slo_rate = env_double("AAD_SLO_BYTES_SAVED_PER_S", 0.0);
+  if (!ops_port.empty() || slo_bws > 0.0 || slo_rate > 0.0) {
+    telemetry::HealthMonitorOptions health_options;
+    health_options.slo.backup_window_s = slo_bws;
+    health_options.slo.bytes_saved_per_s = slo_rate;
+    health_options.default_stall_deadline_s =
+        env_double("AAD_STALL_DEADLINE_S",
+                   health_options.default_stall_deadline_s);
+    health_ = std::make_unique<telemetry::HealthMonitor>(telemetry_,
+                                                         health_options);
+  }
+  if (!ops_port.empty()) {
+    ops_linger_s_ = env_double("AAD_OPS_LINGER_S", 0.0);
+    telemetry::OpsServerOptions ops_options;
+    ops_options.port = static_cast<std::uint16_t>(env_u64("AAD_OPS_PORT", 0));
+    ops_ = std::make_unique<telemetry::OpsServer>(ops_options);
+    ops_->wire_telemetry(telemetry_);
+    try {
+      ops_->start();
+      AAD_LOG(&telemetry_.log, kInfo, "session",
+              "ops server listening on 127.0.0.1:%u",
+              static_cast<unsigned>(ops_->port()));
+    } catch (const std::exception& e) {
+      // The ops plane is auxiliary: a busy port must not take the
+      // measured run down.
+      AAD_LOG(&telemetry_.log, kWarn, "session", "ops server not started: %s",
+              e.what());
+      ops_.reset();
+    }
+  }
+
+  if (!prom_path_.empty() || health_) {
+    // Timeline-sample piggyback (the hook runs outside the timeline
+    // mutex, so snapshotting the registry here is safe): refresh the
+    // Prometheus scrape file and drive the stall watchdog from the same
+    // heartbeat the curves use.
+    telemetry_.timeline.set_sample_hook([this](double t_s) {
+      if (health_) health_->tick(t_s);
+      if (!prom_path_.empty()) {
+        write_text_file(
+            prom_path_,
+            telemetry::to_prometheus_text(telemetry_.metrics.snapshot()),
+            "AAD_PROM_OUT");
+      }
     });
   }
   if (!profile_path_.empty()) {
@@ -128,12 +166,26 @@ std::string Observability::finish(
     }
     exporter_.write_file(trace_path_);
   }
-  if (report_path_.empty()) return report_path_;
-  telemetry::RunReport report;
-  report.add_telemetry(telemetry_);
-  if (profiler_) profiler_->fill_json(report.section("profiler"));
-  if (fill) fill(report);
-  report.write_file(report_path_);
+  if (!report_path_.empty()) {
+    telemetry::RunReport report;
+    report.add_telemetry(telemetry_);
+    if (profiler_) profiler_->fill_json(report.section("profiler"));
+    if (health_) health_->fill_healthz_json(report.section("health"));
+    if (fill) fill(report);
+    report.write_file(report_path_);
+  }
+  if (ops_ && ops_->running()) {
+    if (ops_linger_s_ > 0.0) {
+      // Give an external scraper (the CI curl loop) a final stable
+      // window before the endpoints disappear.
+      AAD_LOG(&telemetry_.log, kInfo, "session",
+              "ops server lingering %.1fs on port %u", ops_linger_s_,
+              static_cast<unsigned>(ops_->port()));
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(ops_linger_s_));
+    }
+    ops_->stop();
+  }
   return report_path_;
 }
 
@@ -206,12 +258,12 @@ namespace {
 /// plotting: set AAD_BENCH_CSV=<path> and every run_suite() appends rows.
 void maybe_export_csv(const BenchConfig& config,
                       const std::vector<SchemeRun>& runs) {
-  const char* path = std::getenv("AAD_BENCH_CSV");
-  if (path == nullptr || *path == '\0') return;
-  std::FILE* f = std::fopen(path, "a");
+  const std::string path = env_str("AAD_BENCH_CSV");
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "a");
   if (f == nullptr) {
     AAD_LOG(&telemetry::stderr_logger(), kWarn, "session",
-            "cannot open AAD_BENCH_CSV=%s", path);
+            "cannot open AAD_BENCH_CSV=%s", path.c_str());
     return;
   }
   if (std::ftell(f) == 0) {

@@ -23,6 +23,8 @@
 #include "backup/scheme.hpp"
 #include "cloud/cloud_target.hpp"
 #include "dataset/generator.hpp"
+#include "telemetry/health.hpp"
+#include "telemetry/ops_server.hpp"
 #include "telemetry/profiler.hpp"
 #include "telemetry/run_report.hpp"
 #include "telemetry/telemetry.hpp"
@@ -43,8 +45,9 @@ inline void do_not_optimize(const T& value) noexcept {
 /// Compiler barrier: force pending writes to be considered observable.
 inline void clobber_memory() noexcept { __asm__ __volatile__("" ::: "memory"); }
 
-/// Environment parsing shared by every bench and example entry point (the
-/// one copy of getenv + strtoull in the repo).
+/// Environment parsing shared by every bench and example entry point.
+/// Thin aliases of the telemetry::env_* helpers (src/telemetry/env.hpp),
+/// kept so existing bench call sites read naturally.
 [[nodiscard]] std::uint64_t env_u64(const char* name, std::uint64_t fallback);
 [[nodiscard]] double env_double(const char* name, double fallback);
 /// Empty string when unset or empty.
@@ -69,6 +72,21 @@ inline void clobber_memory() noexcept { __asm__ __volatile__("" ::: "memory"); }
 ///   AAD_PROM_OUT=<path>            Prometheus text exposition of the
 ///                                  metrics registry, refreshed at every
 ///                                  timeline sample and on finish
+///   AAD_OPS_PORT=<port>            start the live ops plane (HTTP/1.0
+///                                  on loopback): /metrics, /varz,
+///                                  /healthz, /tracez, /flightz. Port 0
+///                                  picks an ephemeral port — read it
+///                                  via ops_server()->port()
+///   AAD_SLO_BACKUP_WINDOW_S=<sec>  per-session backup-window SLO fed to
+///                                  the HealthMonitor's burn-rate
+///                                  windows (degrades /healthz when the
+///                                  fast burn exceeds the alert)
+///   AAD_SLO_BYTES_SAVED_PER_S=<v>  bytes-saved-rate SLO (same monitor)
+///   AAD_STALL_DEADLINE_S=<sec>     stage stall-watchdog deadline
+///                                  (default 30s)
+///   AAD_OPS_LINGER_S=<sec>         keep the ops server up this long
+///                                  after finish() so an external
+///                                  scraper can take a final snapshot
 ///
 /// Construction wires a Telemetry context and installs its flight
 /// recorder as the process-global crash recorder; finish() (or the
@@ -91,6 +109,14 @@ class Observability {
   [[nodiscard]] bool trace_requested() const noexcept {
     return !trace_path_.empty();
   }
+  /// The live introspection server, when AAD_OPS_PORT asked for one.
+  [[nodiscard]] telemetry::OpsServer* ops_server() noexcept {
+    return ops_ ? ops_.get() : nullptr;
+  }
+  /// The health monitor, when an SLO/ops knob brought one up.
+  [[nodiscard]] telemetry::HealthMonitor* health() noexcept {
+    return health_ ? health_.get() : nullptr;
+  }
 
   /// Write the requested artifacts (idempotent). When AAD_RUN_REPORT is
   /// set, a RunReport pre-filled with the telemetry context is passed to
@@ -107,6 +133,9 @@ class Observability {
   std::string profile_path_;
   std::string prom_path_;
   std::unique_ptr<telemetry::SpanProfiler> profiler_;
+  std::unique_ptr<telemetry::HealthMonitor> health_;
+  std::unique_ptr<telemetry::OpsServer> ops_;
+  double ops_linger_s_ = 0.0;
   bool finished_ = false;
 };
 

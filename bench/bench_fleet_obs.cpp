@@ -25,10 +25,18 @@
 //   --smoke       8 tenants instead of 32 (CI smoke label)
 // Scale knobs AAD_BENCH_MIB / AAD_BENCH_SESSIONS / AAD_BENCH_SEED apply
 // per tenant (each tenant derives its own dataset seed from the base).
+//
+// Live ops plane: with AAD_OPS_PORT set (see bench::Observability) the
+// harness serves /metrics, /varz, /healthz, /tracez, and /flightz while
+// the fleet runs. Tenant contexts share the harness clock and report
+// their spans and session SLO outcomes into the harness HealthMonitor,
+// and the /metrics + /varz endpoints follow the tenant currently
+// running, so a scrape mid-run sees the live fleet, not a stale file.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -36,9 +44,11 @@
 #include "cloud/cloud_target.hpp"
 #include "core/aa_dedupe.hpp"
 #include "telemetry/build_info.hpp"
+#include "telemetry/exposition.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/log.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/ops_server.hpp"
 #include "telemetry/run_report.hpp"
 #include "telemetry/sketch.hpp"
 #include "telemetry/telemetry.hpp"
@@ -100,6 +110,40 @@ int main(int argc, char** argv) {
   const bench::BenchConfig base = bench::BenchConfig::from_env();
   const std::size_t tenants = config.tenants();
   std::filesystem::create_directories(config.report_dir);
+
+  // Harness-level ops plane (AAD_OPS_PORT / AAD_SLO_* knobs). The fleet
+  // runs tenants through per-tenant telemetry contexts, so the harness
+  // serves live views by (a) pointing /metrics and /varz at the tenant
+  // currently running — guarded by a mutex because the listener thread
+  // reads the pointer while the main thread retires each tenant context —
+  // and (b) attaching every tenant context to the harness HealthMonitor
+  // on the harness clock, so /healthz and /tracez cover the whole fleet
+  // on one time axis.
+  bench::Observability obs;
+  std::mutex live_mutex;
+  telemetry::Telemetry* live_telemetry = nullptr;
+  if (telemetry::OpsServer* ops = obs.ops_server()) {
+    ops->set_handler("/metrics", [&]() {
+      telemetry::OpsResponse response;
+      response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      std::lock_guard<std::mutex> lock(live_mutex);
+      telemetry::Telemetry& source =
+          live_telemetry != nullptr ? *live_telemetry : obs.telemetry();
+      response.body = telemetry::to_prometheus_text(source.metrics.snapshot());
+      return response;
+    });
+    ops->set_handler("/varz", [&]() {
+      telemetry::OpsResponse response;
+      response.content_type = "application/json; charset=utf-8";
+      telemetry::RunReport report;
+      std::lock_guard<std::mutex> lock(live_mutex);
+      report.add_telemetry(live_telemetry != nullptr ? *live_telemetry
+                                                     : obs.telemetry());
+      response.body = report.to_json();
+      return response;
+    });
+  }
+
   std::printf("# fleet: %zu tenants x %u sessions x ~%llu MiB, base seed "
               "%llu\n",
               tenants, base.sessions,
@@ -123,7 +167,18 @@ int main(int argc, char** argv) {
     bench::BenchConfig tenant_config = base;
     tenant_config.seed = base.seed + 1000003ull * (t + 1);
 
-    telemetry::Telemetry telemetry;
+    // On the harness clock so span idle times and SLO windows in the
+    // shared HealthMonitor compare correctly across tenants.
+    telemetry::Telemetry telemetry(
+        [&obs]() { return obs.telemetry().trace.now(); });
+    if (telemetry::HealthMonitor* health = obs.health()) {
+      telemetry.health = health;
+      telemetry.trace.set_health_monitor(health);
+    }
+    {
+      std::lock_guard<std::mutex> lock(live_mutex);
+      live_telemetry = &telemetry;
+    }
     cloud::CloudTarget target;
     target.attach_telemetry(&telemetry);
     core::AaDedupeOptions options;
@@ -172,6 +227,15 @@ int main(int argc, char** argv) {
     const double dr = reports.empty() ? 0.0 : reports.back().dedupe_ratio();
     std::printf("# tenant %s: %zu sessions, last DR %.2f -> %s\n",
                 name.c_str(), reports.size(), dr, report_path.c_str());
+
+    // Retire this tenant from the live view BEFORE its context is
+    // destroyed — the listener thread must never snapshot a dead
+    // registry, and the tracer must stop feeding the fleet monitor.
+    {
+      std::lock_guard<std::mutex> lock(live_mutex);
+      live_telemetry = nullptr;
+    }
+    telemetry.trace.set_health_monitor(nullptr);
   }
 
   telemetry::JsonValue doc;

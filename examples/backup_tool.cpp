@@ -22,6 +22,7 @@
 #include <fstream>
 
 #include "backup/keys.hpp"
+#include "telemetry/env.hpp"
 #include "telemetry/log.hpp"
 #include "cloud/cloud_target.hpp"
 #include "core/aa_dedupe.hpp"
@@ -47,7 +48,10 @@ void open_client(Client& client, const fs::path& state_dir) {
   fs::create_directories(state_dir);
 
   core::AaDedupeOptions options;
-  if (const char* pw = std::getenv("AAD_PASSPHRASE"); pw && *pw) {
+  // env_secret, not env_str: the passphrase must never reach a log line
+  // or report artifact.
+  if (const std::string pw = telemetry::env_secret("AAD_PASSPHRASE");
+      !pw.empty()) {
     options.convergent_encryption = true;
     options.passphrase = pw;
   }

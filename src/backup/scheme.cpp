@@ -1,5 +1,6 @@
 #include "backup/scheme.hpp"
 
+#include "telemetry/health.hpp"
 #include "telemetry/log.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
@@ -65,6 +66,13 @@ SessionReport BackupScheme::backup(const dataset::Snapshot& snapshot) {
         .observe(report.dedupe_ratio());
     telemetry->metrics.sketch("session.bytes_saved_per_s", labels)
         .observe(report.bytes_saved_per_second());
+    // Same observations feed the live SLO burn-rate windows when a
+    // HealthMonitor is attached (the ops plane's /healthz verdict).
+    if (telemetry->health != nullptr) {
+      telemetry->health->record_session(telemetry_tenant_,
+                                        report.backup_window_seconds(),
+                                        report.bytes_saved_per_second());
+    }
     AAD_LOG(&telemetry->log, kInfo, "session",
             "%s session %u: %.1f MB dataset, %.1f MB transferred, "
             "DR %.2f, window %.2fs",

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/health.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -63,6 +64,13 @@ CloudResult<T> RetryingBackend::run_with_retries(const std::string& key,
   }
   for (std::uint32_t attempt = 1;; ++attempt) {
     CloudResult<T> result = op();
+    // Each attempt is progress as far as the stall watchdog is
+    // concerned: the enclosing kUpload span legitimately stays open
+    // across a whole retry ladder, so refresh its stage activity here
+    // instead of letting backoff look like a hang.
+    if (telemetry_ != nullptr && telemetry_->health != nullptr) {
+      telemetry_->health->heartbeat(telemetry::Stage::kUpload);
+    }
     {
       std::lock_guard lock(mutex_);
       ++attempts_;

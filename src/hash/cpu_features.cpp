@@ -1,14 +1,12 @@
 #include "hash/cpu_features.hpp"
 
-#include <cctype>
-#include <cstddef>
 #include <cstdint>
-#include <cstdlib>
-#include <cstring>
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <cpuid.h>
 #endif
+
+#include "telemetry/env.hpp"
 
 namespace aadedupe::hash {
 
@@ -52,20 +50,13 @@ CpuFeatures detect_cpu_features() noexcept {
 }
 
 bool parse_simd_disable_flag(const char* value) noexcept {
-  if (value == nullptr) return false;
-  char lowered[8] = {};
-  const std::size_t len = std::strlen(value);
-  if (len == 0 || len >= sizeof(lowered)) return false;
-  for (std::size_t i = 0; i < len; ++i) {
-    lowered[i] = static_cast<char>(
-        std::tolower(static_cast<unsigned char>(value[i])));
-  }
-  return std::strcmp(lowered, "1") == 0 || std::strcmp(lowered, "true") == 0 ||
-         std::strcmp(lowered, "yes") == 0 || std::strcmp(lowered, "on") == 0;
+  // Kept as a thin alias so the veto's truth table has one home (the
+  // shared env-flag parser) while the unit tests keep their entry point.
+  return telemetry::parse_env_flag(value);
 }
 
 bool simd_disabled_by_env() noexcept {
-  return parse_simd_disable_flag(std::getenv("AAD_DISABLE_SIMD"));
+  return telemetry::env_flag("AAD_DISABLE_SIMD");
 }
 
 }  // namespace aadedupe::hash

@@ -1,6 +1,12 @@
 #include "telemetry/build_info.hpp"
 
+#include <cstdio>
+#include <cstring>
 #include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
 
 #include "telemetry/json.hpp"
 
@@ -25,6 +31,57 @@
 
 namespace aadedupe::telemetry {
 
+namespace {
+
+/// Trim leading/trailing whitespace in place (brand strings pad with
+/// spaces; /proc lines end in '\n').
+std::string trimmed(const char* text) {
+  std::string s(text);
+  const std::size_t begin = s.find_first_not_of(" \t\n");
+  if (begin == std::string::npos) return {};
+  const std::size_t end = s.find_last_not_of(" \t\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string detect_cpu_model() {
+#if defined(__x86_64__) || defined(__i386__)
+  // CPUID brand string: leaves 0x80000002..4 spell 48 bytes of model
+  // name when the extended range reaches them.
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(0x80000000u, &eax, &ebx, &ecx, &edx) != 0 &&
+      eax >= 0x80000004u) {
+    unsigned words[12] = {};
+    for (unsigned leaf = 0; leaf < 3; ++leaf) {
+      __get_cpuid(0x80000002u + leaf, &words[leaf * 4 + 0],
+                  &words[leaf * 4 + 1], &words[leaf * 4 + 2],
+                  &words[leaf * 4 + 3]);
+    }
+    char brand[sizeof words + 1] = {};
+    std::memcpy(brand, words, sizeof words);
+    const std::string model = trimmed(brand);
+    if (!model.empty()) return model;
+  }
+#endif
+  // Non-x86 (or a hypervisor hiding the brand leaves): first "model name"
+  // line of /proc/cpuinfo.
+  std::FILE* f = std::fopen("/proc/cpuinfo", "r");
+  if (f == nullptr) return "unknown";
+  char line[256];
+  std::string model = "unknown";
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "model name", 10) == 0) {
+      if (const char* colon = std::strchr(line, ':')) {
+        model = trimmed(colon + 1);
+        break;
+      }
+    }
+  }
+  std::fclose(f);
+  return model;
+}
+
+}  // namespace
+
 BuildInfo BuildInfo::current() {
   BuildInfo info;
   info.compiler = AAD_BUILD_COMPILER;
@@ -33,6 +90,7 @@ BuildInfo BuildInfo::current() {
   info.sanitizer = AAD_BUILD_SANITIZE;
   info.preset = AAD_BUILD_PRESET;
   info.hardware_threads = std::thread::hardware_concurrency();
+  info.cpu_model = detect_cpu_model();
   return info;
 }
 
@@ -44,6 +102,7 @@ void BuildInfo::fill_json(JsonValue& out) const {
   out["sanitizer"] = sanitizer;
   out["preset"] = preset;
   out["hardware_threads"] = hardware_threads;
+  out["cpu_model"] = cpu_model;
 }
 
 }  // namespace aadedupe::telemetry

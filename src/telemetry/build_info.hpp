@@ -15,9 +15,13 @@ struct BuildInfo {
   std::string build_type;  // Release / RelWithDebInfo / ...
   std::string sanitizer;   // OFF / address / thread
   std::string preset;      // build-dir basename: build / build-tsan / ...
+  // Host context, resolved at run time (not bake time) so a binary built
+  // in CI but run elsewhere stamps the machine that produced the numbers.
   unsigned hardware_threads = 0;
+  std::string cpu_model;   // CPUID brand string, or /proc/cpuinfo fallback
 
-  /// The values baked in at compile time (hardware_threads at runtime).
+  /// The values baked in at compile time (hardware_threads and cpu_model
+  /// at runtime).
   [[nodiscard]] static BuildInfo current();
 
   void fill_json(JsonValue& out) const;

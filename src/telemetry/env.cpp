@@ -1,0 +1,52 @@
+#include "telemetry/env.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace aadedupe::telemetry {
+
+std::string env_str(const char* name) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? std::string() : std::string(value);
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const std::uint64_t parsed = std::strtoull(value, &end, 10);
+  return end == value ? fallback : parsed;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return end == value ? fallback : parsed;
+}
+
+bool parse_env_flag(const char* value) noexcept {
+  if (value == nullptr) return false;
+  // Lowercase into a fixed buffer; anything longer than "false" cannot
+  // be a recognized spelling.
+  char lowered[8] = {};
+  for (std::size_t i = 0; i < sizeof lowered - 1 && value[i] != '\0'; ++i) {
+    char c = value[i];
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    lowered[i] = c;
+  }
+  const std::string_view text(lowered);
+  return text == "1" || text == "true" || text == "yes" || text == "on";
+}
+
+bool env_flag(const char* name) {
+  return parse_env_flag(std::getenv(name));
+}
+
+std::string env_secret(const char* name) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? std::string() : std::string(value);
+}
+
+}  // namespace aadedupe::telemetry

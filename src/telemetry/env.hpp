@@ -1,0 +1,44 @@
+// Environment-variable parsing — the sanctioned home for std::getenv.
+//
+// Library and entry-point code reads its AAD_* knobs through these
+// helpers (tools/lint.py's no-raw-getenv rule bans direct std::getenv
+// elsewhere), so every knob shares one parsing discipline: empty counts
+// as unset, numeric parses fall back instead of throwing, and boolean
+// flags accept the same four spellings everywhere.
+//
+// env_secret is deliberately separate from env_str: it marks values that
+// must never appear in logs, reports, or exposition output (passphrases,
+// credentials). The helper itself cannot enforce that downstream, but the
+// distinct name makes a grep for secret handling trivial and keeps
+// secrets out of the knob-documentation habit of logging env_str values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace aadedupe::telemetry {
+
+/// Value of `name`, or "" when unset or set to the empty string.
+[[nodiscard]] std::string env_str(const char* name);
+
+/// Unsigned integer knob; `fallback` when unset, empty, or unparseable.
+[[nodiscard]] std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+
+/// Floating-point knob; `fallback` when unset, empty, or unparseable.
+[[nodiscard]] double env_double(const char* name, double fallback);
+
+/// Boolean knob: "1", "true", "yes", "on" (ASCII case-insensitive) are
+/// true; anything else — including unset — is false.
+[[nodiscard]] bool env_flag(const char* name);
+
+/// Same truth table as env_flag, applied to an already-fetched value
+/// (nullptr is false). Exposed so call sites that must keep their own
+/// getenv discipline (e.g. pre-main CPU dispatch) share the parser.
+[[nodiscard]] bool parse_env_flag(const char* value) noexcept;
+
+/// A sensitive value (passphrase, token): same fetch semantics as
+/// env_str, but callers must treat the result as a secret — never log
+/// it, never stamp it into a report or artifact.
+[[nodiscard]] std::string env_secret(const char* name);
+
+}  // namespace aadedupe::telemetry

@@ -1,0 +1,314 @@
+#include "telemetry/health.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+#include "telemetry/json.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::telemetry {
+
+namespace {
+std::uint64_t time_bits(double t_s) noexcept {
+  return std::bit_cast<std::uint64_t>(t_s);
+}
+double bits_time(std::uint64_t bits) noexcept {
+  return std::bit_cast<double>(bits);
+}
+
+/// JSON-object key for a tenant ("" is the unlabeled single-PC regime).
+std::string tenant_label(std::string_view tenant) {
+  return tenant.empty() ? std::string("default") : std::string(tenant);
+}
+}  // namespace
+
+HealthMonitor::HealthMonitor(Telemetry& telemetry, HealthMonitorOptions options)
+    : telemetry_(telemetry), options_(options) {
+  AAD_EXPECTS(options_.fast_window_s > 0.0);
+  AAD_EXPECTS(options_.slow_window_s >= options_.fast_window_s);
+  AAD_EXPECTS(options_.error_budget > 0.0);
+  AAD_EXPECTS(options_.recent_spans_per_stage > 0);
+  deadlines_.fill(options_.default_stall_deadline_s);
+  for (StageRing& ring : rings_) {
+    ring.slots.resize(options_.recent_spans_per_stage);
+  }
+  telemetry_.health = this;
+  telemetry_.trace.set_health_monitor(this);
+}
+
+HealthMonitor::~HealthMonitor() {
+  telemetry_.trace.set_health_monitor(nullptr);
+  if (telemetry_.health == this) telemetry_.health = nullptr;
+}
+
+double HealthMonitor::now() const { return telemetry_.trace.now(); }
+
+void HealthMonitor::touch(Stage stage, double now_s) noexcept {
+  stages_[static_cast<std::size_t>(stage)].last_activity_bits.store(
+      time_bits(now_s), std::memory_order_relaxed);
+}
+
+void HealthMonitor::on_span_open(Stage stage, double now_s) noexcept {
+  StageWatch& watch = stages_[static_cast<std::size_t>(stage)];
+  watch.live.fetch_add(1, std::memory_order_relaxed);
+  watch.opened.fetch_add(1, std::memory_order_relaxed);
+  touch(stage, now_s);
+}
+
+void HealthMonitor::on_span_close(Stage stage, std::string_view category,
+                                  double start_s, double wall_s) noexcept {
+  StageWatch& watch = stages_[static_cast<std::size_t>(stage)];
+  // A span opened before the monitor attached may close through it;
+  // never let the live count wrap.
+  if (watch.live.fetch_sub(1, std::memory_order_relaxed) == 0) {
+    watch.live.fetch_add(1, std::memory_order_relaxed);
+  }
+  watch.closed.fetch_add(1, std::memory_order_relaxed);
+  touch(stage, start_s + wall_s);
+
+  StageRing& ring = rings_[static_cast<std::size_t>(stage)];
+  std::lock_guard lock(ring.mutex);
+  RecentSpan& slot = ring.slots[ring.cursor % ring.slots.size()];
+  slot.start_s = start_s;
+  slot.wall_s = wall_s;
+  const std::size_t n = std::min(category.size(), sizeof slot.category - 1);
+  std::memcpy(slot.category, category.data(), n);
+  slot.category[n] = '\0';
+  ++ring.cursor;
+}
+
+void HealthMonitor::heartbeat(Stage stage) noexcept { touch(stage, now()); }
+
+void HealthMonitor::set_stall_deadline(Stage stage, double seconds) {
+  std::lock_guard lock(mutex_);
+  deadlines_[static_cast<std::size_t>(stage)] =
+      seconds > 0.0 ? seconds : options_.default_stall_deadline_s;
+}
+
+double HealthMonitor::deadline_for(std::size_t stage) const {
+  std::lock_guard lock(mutex_);
+  return deadlines_[stage];
+}
+
+void HealthMonitor::tick(double now_s) {
+  std::array<double, kStageCount> deadlines{};
+  {
+    std::lock_guard lock(mutex_);
+    deadlines = deadlines_;
+  }
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    StageWatch& watch = stages_[i];
+    const Stage stage = static_cast<Stage>(i);
+    const bool has_live = watch.live.load(std::memory_order_relaxed) > 0;
+    const double idle =
+        now_s - bits_time(watch.last_activity_bits.load(
+                    std::memory_order_relaxed));
+    if (has_live && idle > deadlines[i]) {
+      if (!watch.stalled.exchange(true, std::memory_order_relaxed)) {
+        AAD_LOG(&telemetry_.log, kWarn, to_string(stage),
+                "stage stalled: live span idle %.1fs past %.1fs deadline",
+                idle, deadlines[i]);
+        // One post-mortem artifact per stall burst: dump on the first
+        // stall transition, then hold off for the rate-limit interval.
+        const double last_dump =
+            bits_time(last_dump_bits_.load(std::memory_order_relaxed));
+        if (!ever_dumped_.load(std::memory_order_relaxed) ||
+            now_s - last_dump >= options_.flight_dump_min_interval_s) {
+          ever_dumped_.store(true, std::memory_order_relaxed);
+          last_dump_bits_.store(time_bits(now_s), std::memory_order_relaxed);
+          stall_dumps_.fetch_add(1, std::memory_order_relaxed);
+          telemetry_.flight.trigger("stage_stall", to_string(stage));
+        }
+      }
+    } else if (watch.stalled.load(std::memory_order_relaxed)) {
+      watch.stalled.store(false, std::memory_order_relaxed);
+      AAD_LOG(&telemetry_.log, kInfo, to_string(stage),
+              "stage recovered from stall");
+    }
+  }
+}
+
+void HealthMonitor::set_objectives(std::string_view tenant, SloObjectives slo) {
+  std::lock_guard lock(mutex_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    it = tenants_.emplace(std::string(tenant), TenantSlo{}).first;
+  }
+  it->second.objectives = slo;
+  it->second.has_override = true;
+}
+
+void HealthMonitor::record_session(std::string_view tenant,
+                                   double backup_window_s,
+                                   double bytes_saved_per_s) {
+  const double now_s = now();
+  std::lock_guard lock(mutex_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    it = tenants_.emplace(std::string(tenant), TenantSlo{}).first;
+    it->second.objectives = options_.slo;
+  }
+  TenantSlo& state = it->second;
+  const SloObjectives& slo = state.objectives;
+  const bool violated =
+      (slo.backup_window_s > 0.0 && backup_window_s > slo.backup_window_s) ||
+      (slo.bytes_saved_per_s > 0.0 && bytes_saved_per_s < slo.bytes_saved_per_s);
+  state.window.push_back(Observation{now_s, violated});
+  ++state.sessions;
+  if (violated) ++state.violations;
+  while (!state.window.empty() &&
+         now_s - state.window.front().t_s > options_.slow_window_s) {
+    state.window.pop_front();
+  }
+}
+
+HealthMonitor::BurnRates HealthMonitor::burn_rates_locked(
+    const TenantSlo& tenant, double now_s) const {
+  BurnRates rates;
+  std::size_t fast_violations = 0;
+  std::size_t slow_violations = 0;
+  for (const Observation& obs : tenant.window) {
+    if (now_s - obs.t_s > options_.slow_window_s) continue;
+    ++rates.slow_n;
+    if (obs.violated) ++slow_violations;
+    if (now_s - obs.t_s <= options_.fast_window_s) {
+      ++rates.fast_n;
+      if (obs.violated) ++fast_violations;
+    }
+  }
+  if (rates.fast_n > 0) {
+    rates.fast = (static_cast<double>(fast_violations) /
+                  static_cast<double>(rates.fast_n)) /
+                 options_.error_budget;
+  }
+  if (rates.slow_n > 0) {
+    rates.slow = (static_cast<double>(slow_violations) /
+                  static_cast<double>(rates.slow_n)) /
+                 options_.error_budget;
+  }
+  return rates;
+}
+
+bool HealthMonitor::any_stage_stalled() const noexcept {
+  for (const StageWatch& watch : stages_) {
+    if (watch.stalled.load(std::memory_order_relaxed)) return true;
+  }
+  return false;
+}
+
+HealthMonitor::Verdict HealthMonitor::verdict() const {
+  Verdict result;
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    if (stages_[i].stalled.load(std::memory_order_relaxed)) {
+      result.reasons.push_back(
+          "stage " + std::string(to_string(static_cast<Stage>(i))) +
+          " stalled");
+    }
+  }
+  const double now_s = now();
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, tenant] : tenants_) {
+    const BurnRates rates = burn_rates_locked(tenant, now_s);
+    if (rates.fast_n > 0 && rates.fast >= options_.fast_burn_alert) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf, "tenant %s fast SLO burn %.2f >= %.2f",
+                    tenant_label(name).c_str(), rates.fast,
+                    options_.fast_burn_alert);
+      result.reasons.emplace_back(buf);
+    }
+  }
+  result.degraded = !result.reasons.empty();
+  return result;
+}
+
+void HealthMonitor::fill_healthz_json(JsonValue& out) const {
+  out.make_object();
+  const Verdict v = verdict();
+  out["status"] = v.degraded ? "degraded" : "ok";
+  JsonValue& reasons = out["reasons"].make_array();
+  for (const std::string& reason : v.reasons) reasons.push_back(reason);
+
+  const double now_s = now();
+  JsonValue& stages = out["stages"].make_object();
+  std::array<double, kStageCount> deadlines{};
+  {
+    std::lock_guard lock(mutex_);
+    deadlines = deadlines_;
+  }
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const StageWatch& watch = stages_[i];
+    const std::uint64_t opened = watch.opened.load(std::memory_order_relaxed);
+    if (opened == 0) continue;  // never-used stages add noise, not signal
+    JsonValue& stage = stages[to_string(static_cast<Stage>(i))];
+    stage["live"] = watch.live.load(std::memory_order_relaxed);
+    stage["opened"] = opened;
+    stage["closed"] = watch.closed.load(std::memory_order_relaxed);
+    stage["stalled"] = watch.stalled.load(std::memory_order_relaxed);
+    stage["idle_s"] =
+        now_s - bits_time(watch.last_activity_bits.load(
+                    std::memory_order_relaxed));
+    stage["deadline_s"] = deadlines[i];
+  }
+
+  JsonValue& slo = out["slo"].make_object();
+  slo["fast_window_s"] = options_.fast_window_s;
+  slo["slow_window_s"] = options_.slow_window_s;
+  slo["error_budget"] = options_.error_budget;
+  slo["fast_burn_alert"] = options_.fast_burn_alert;
+  JsonValue& tenants = slo["tenants"].make_object();
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, tenant] : tenants_) {
+    const BurnRates rates = burn_rates_locked(tenant, now_s);
+    JsonValue& entry = tenants[tenant_label(name)];
+    entry["backup_window_s"] = tenant.objectives.backup_window_s;
+    entry["bytes_saved_per_s"] = tenant.objectives.bytes_saved_per_s;
+    entry["sessions"] = tenant.sessions;
+    entry["violations"] = tenant.violations;
+    entry["fast_burn"] = rates.fast;
+    entry["slow_burn"] = rates.slow;
+    entry["fast_n"] = static_cast<std::uint64_t>(rates.fast_n);
+    entry["slow_n"] = static_cast<std::uint64_t>(rates.slow_n);
+  }
+}
+
+void HealthMonitor::fill_tracez_json(JsonValue& out) const {
+  out.make_object();
+  JsonValue& stages = out["stages"].make_array();
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    // Snapshot the ring under its mutex, format outside.
+    std::vector<RecentSpan> recent;
+    std::uint64_t completed = 0;
+    {
+      const StageRing& ring = rings_[i];
+      std::lock_guard lock(ring.mutex);
+      completed = ring.cursor;
+      const std::size_t capacity = ring.slots.size();
+      const std::size_t count =
+          static_cast<std::size_t>(std::min<std::uint64_t>(ring.cursor,
+                                                           capacity));
+      recent.reserve(count);
+      // Oldest retained first.
+      for (std::size_t k = 0; k < count; ++k) {
+        recent.push_back(ring.slots[(ring.cursor - count + k) % capacity]);
+      }
+    }
+    if (completed == 0) continue;
+    JsonValue entry;
+    entry["stage"] = to_string(static_cast<Stage>(i));
+    entry["completed"] = completed;
+    JsonValue& spans = entry["recent"].make_array();
+    for (const RecentSpan& span : recent) {
+      JsonValue one;
+      one["category"] = span.category;
+      one["start_s"] = span.start_s;
+      one["wall_s"] = span.wall_s;
+      spans.push_back(std::move(one));
+    }
+    stages.push_back(std::move(entry));
+  }
+}
+
+}  // namespace aadedupe::telemetry

@@ -1,0 +1,205 @@
+// HealthMonitor — the live health verdict behind the ops plane.
+//
+// Three concerns, one object, because all three feed the same /healthz
+// answer:
+//
+//   * Stage stall watchdog. The Tracer mirrors span open/close into
+//     per-stage atomic state (live-span count + last-activity time);
+//     layers whose spans legitimately sit open for a long time (the
+//     upload retry loop) call heartbeat() to refresh activity without
+//     closing the span. tick() — driven by the ops server's accept-loop
+//     cadence and the Timeline sample hook — compares each stage's idle
+//     time against its deadline: a stage with live spans and no activity
+//     past the deadline is STALLED, which flips the verdict to degraded,
+//     logs a warning, and fires one rate-limited flight-recorder dump
+//     (so a hung uploader leaves a post-mortem artifact even if nobody
+//     is curling /healthz). Renewed activity clears the stall.
+//
+//   * SLO burn rates. Each completed backup session reports its window
+//     (BWS) and saved-bytes rate (DE) per tenant; the monitor keeps the
+//     observations in two rolling windows — fast (~5 min) and slow
+//     (~1 h) — and computes Google-SRE-style burn rates: the fraction of
+//     sessions violating the objective divided by the error budget. A
+//     fast burn over the alert threshold degrades the verdict (the
+//     fleet is burning budget *now*); the slow burn is reported for
+//     trend reading but does not alert on its own.
+//
+//   * Recent-span ring. The last few completed spans per stage, in a
+//     fixed ring, so /tracez can show what the pipeline just did without
+//     unbounded retention.
+//
+// Hot-path cost: span open/close touch two relaxed atomics plus one
+// uncontended per-stage mutex for the ring (bounded memcpy, no
+// allocation) — measured inside the ops-plane overhead gate
+// (`ops_overhead_pct_cdc_fingerprint` ≤ 1%).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/trace.hpp"
+
+namespace aadedupe::telemetry {
+
+class JsonValue;
+struct Telemetry;
+
+/// Number of Stage enumerators (the watchdog keeps a slot per stage).
+inline constexpr std::size_t kStageCount =
+    static_cast<std::size_t>(Stage::kMetadataSync) + 1;
+
+/// Per-tenant service-level objectives. A zero threshold disables that
+/// objective (the monitor then never counts it as violated).
+struct SloObjectives {
+  double backup_window_s = 0.0;    // session must finish within this
+  double bytes_saved_per_s = 0.0;  // session DE must reach this
+};
+
+struct HealthMonitorOptions {
+  /// Objectives applied to every tenant (per-tenant overrides via
+  /// set_objectives).
+  SloObjectives slo;
+  /// Rolling-window spans for the burn-rate pair.
+  double fast_window_s = 300.0;
+  double slow_window_s = 3600.0;
+  /// Tolerated violation fraction (SRE error budget). Burn rate 1.0
+  /// means violations are arriving exactly at budget.
+  double error_budget = 0.10;
+  /// Fast burn rate at or above which the verdict degrades.
+  double fast_burn_alert = 2.0;
+  /// Stall deadline applied to stages without an override.
+  double default_stall_deadline_s = 30.0;
+  /// Minimum spacing between watchdog-triggered flight dumps.
+  double flight_dump_min_interval_s = 300.0;
+  /// Completed spans retained per stage for /tracez.
+  std::size_t recent_spans_per_stage = 8;
+};
+
+class HealthMonitor {
+ public:
+  /// Category bytes kept per recent span (truncating, like the flight
+  /// recorder's fixed slots — ring writes never allocate).
+  static constexpr std::size_t kCategoryBytes = 24;
+
+  /// Attaches to `telemetry`: sets telemetry.health, registers with the
+  /// tracer so spans report in, and shares the tracer's clock. The
+  /// monitor must outlive every span opened while attached; the
+  /// destructor detaches.
+  explicit HealthMonitor(Telemetry& telemetry,
+                         HealthMonitorOptions options = {});
+  ~HealthMonitor();
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  // --- watchdog feed (called by TraceSpan via the tracer hook) ---------
+  void on_span_open(Stage stage, double now_s) noexcept;
+  void on_span_close(Stage stage, std::string_view category, double start_s,
+                     double wall_s) noexcept;
+  /// Refresh a stage's activity without span churn — for long-lived
+  /// spans that are making progress (per upload attempt, per retry).
+  void heartbeat(Stage stage) noexcept;
+
+  /// Override one stage's stall deadline (seconds; <= 0 restores the
+  /// default).
+  void set_stall_deadline(Stage stage, double seconds);
+
+  /// Evaluate stall deadlines at `now_s` (tracer-clock seconds). Called
+  /// from the ops server's accept-loop tick and the Timeline sample
+  /// hook; cheap enough for either cadence.
+  void tick(double now_s);
+
+  // --- SLO feed --------------------------------------------------------
+  /// Per-tenant objective override (empty tenant = the shared default).
+  void set_objectives(std::string_view tenant, SloObjectives slo);
+
+  /// Record one completed session's SLO-relevant outcomes. Timestamped
+  /// from the shared tracer clock.
+  void record_session(std::string_view tenant, double backup_window_s,
+                      double bytes_saved_per_s);
+
+  // --- verdict / export ------------------------------------------------
+  struct Verdict {
+    bool degraded = false;
+    std::vector<std::string> reasons;  // empty when healthy
+  };
+  [[nodiscard]] Verdict verdict() const;
+
+  /// {"status","reasons","stages":{...},"slo":{...}} — the /healthz body.
+  void fill_healthz_json(JsonValue& out) const;
+  /// {"stages":[{"stage","recent":[{...} ...]}]} — the /tracez body.
+  void fill_tracez_json(JsonValue& out) const;
+
+  /// Watchdog-triggered flight dumps so far (tests assert exactly one).
+  [[nodiscard]] std::uint64_t stall_dump_count() const noexcept {
+    return stall_dumps_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool any_stage_stalled() const noexcept;
+
+ private:
+  struct StageWatch {
+    std::atomic<std::uint64_t> live{0};
+    std::atomic<std::uint64_t> last_activity_bits{0};  // double bit pattern
+    std::atomic<std::uint64_t> opened{0};
+    std::atomic<std::uint64_t> closed{0};
+    std::atomic<bool> stalled{false};
+  };
+
+  struct RecentSpan {
+    double start_s = 0.0;
+    double wall_s = 0.0;
+    char category[kCategoryBytes] = {};
+  };
+  struct StageRing {
+    mutable std::mutex mutex;
+    std::uint64_t cursor = 0;  // spans ever written
+    std::vector<RecentSpan> slots;
+  };
+
+  struct Observation {
+    double t_s;
+    bool violated;
+  };
+  struct TenantSlo {
+    SloObjectives objectives;
+    bool has_override = false;
+    std::deque<Observation> window;  // pruned to slow_window_s
+    std::uint64_t sessions = 0;
+    std::uint64_t violations = 0;
+  };
+  struct BurnRates {
+    double fast = 0.0;
+    double slow = 0.0;
+    std::size_t fast_n = 0;
+    std::size_t slow_n = 0;
+  };
+
+  [[nodiscard]] double now() const;
+  [[nodiscard]] double deadline_for(std::size_t stage) const;
+  [[nodiscard]] BurnRates burn_rates_locked(const TenantSlo& tenant,
+                                            double now_s) const;
+  void touch(Stage stage, double now_s) noexcept;
+
+  Telemetry& telemetry_;
+  const HealthMonitorOptions options_;
+
+  std::array<StageWatch, kStageCount> stages_;
+  std::array<StageRing, kStageCount> rings_;
+
+  mutable std::mutex mutex_;  // guards deadlines_ and tenants_
+  std::array<double, kStageCount> deadlines_;
+  std::map<std::string, TenantSlo, std::less<>> tenants_;
+
+  std::atomic<std::uint64_t> stall_dumps_{0};
+  std::atomic<std::uint64_t> last_dump_bits_{0};  // double bit pattern
+  std::atomic<bool> ever_dumped_{false};
+};
+
+}  // namespace aadedupe::telemetry

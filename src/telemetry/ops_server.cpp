@@ -1,0 +1,421 @@
+#include "telemetry/ops_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "telemetry/exposition.hpp"
+#include "telemetry/health.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/run_report.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe::telemetry {
+
+namespace {
+
+constexpr std::string_view kJsonType = "application/json; charset=utf-8";
+// The exposition format version Prometheus scrapers expect.
+constexpr std::string_view kPromType = "text/plain; version=0.0.4; charset=utf-8";
+
+std::string_view reason_phrase(int status) noexcept {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+void set_io_timeouts(int fd, double seconds) noexcept {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+/// send() the whole buffer; false on timeout/error. MSG_NOSIGNAL so a
+/// client that hangs up mid-response cannot SIGPIPE the process.
+bool send_all(int fd, std::string_view data) noexcept {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+OpsServer::OpsServer(OpsServerOptions options) : options_(std::move(options)) {
+  AAD_EXPECTS(options_.io_timeout_s > 0.0);
+  AAD_EXPECTS(options_.tick_interval_s > 0.0);
+  AAD_EXPECTS(options_.max_request_bytes >= 16);
+}
+
+OpsServer::~OpsServer() { stop(); }
+
+void OpsServer::set_handler(std::string path, Handler handler) {
+  std::lock_guard lock(mutex_);
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+void OpsServer::set_tick(std::function<void()> tick) {
+  std::lock_guard lock(mutex_);
+  tick_ = std::move(tick);
+}
+
+void OpsServer::wire_telemetry(Telemetry& telemetry,
+                               std::function<std::string()> varz) {
+  Telemetry* t = &telemetry;
+  set_handler("/", [] {
+    OpsResponse response;
+    response.body =
+        "aadedupe ops plane\n"
+        "  /metrics  Prometheus exposition (live registry)\n"
+        "  /varz     run-report JSON snapshot\n"
+        "  /healthz  health verdict (503 when degraded)\n"
+        "  /tracez   recent completed spans per stage\n"
+        "  /flightz  flight-recorder dump\n";
+    return response;
+  });
+  set_handler("/metrics", [t] {
+    OpsResponse response;
+    response.content_type = std::string(kPromType);
+    response.body = to_prometheus_text(t->metrics.snapshot());
+    return response;
+  });
+  set_handler("/varz", [t, varz = std::move(varz)] {
+    OpsResponse response;
+    response.content_type = std::string(kJsonType);
+    if (varz) {
+      response.body = varz();
+    } else {
+      RunReport report;
+      report.add_telemetry(*t);
+      response.body = report.to_json();
+    }
+    return response;
+  });
+  set_handler("/healthz", [t] {
+    OpsResponse response;
+    response.content_type = std::string(kJsonType);
+    JsonValue out;
+    if (t->health != nullptr) {
+      // Evaluate stalls against the current clock before answering, so a
+      // curl sees a hang even between accept-loop ticks.
+      t->health->tick(t->trace.now());
+      t->health->fill_healthz_json(out);
+      if (t->health->verdict().degraded) response.status = 503;
+    } else {
+      out.make_object();
+      out["status"] = "ok";
+      out["reasons"].make_array();
+    }
+    response.body = out.dump();
+    return response;
+  });
+  set_handler("/tracez", [t] {
+    OpsResponse response;
+    response.content_type = std::string(kJsonType);
+    JsonValue out;
+    if (t->health != nullptr) {
+      t->health->fill_tracez_json(out);
+    } else {
+      out.make_object();
+      out["stages"].make_array();
+    }
+    response.body = out.dump();
+    return response;
+  });
+  set_handler("/flightz", [t] {
+    OpsResponse response;
+    response.content_type = std::string(kJsonType);
+    JsonValue out;
+    t->flight.fill_json(out);
+    response.body = out.dump();
+    return response;
+  });
+  set_tick([t] {
+    if (t->health != nullptr) t->health->tick(t->trace.now());
+  });
+}
+
+void OpsServer::start() {
+  if (running()) return;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw FormatError(std::string("ops server: socket() failed: ") +
+                      std::strerror(errno));
+  }
+  const int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof reuse);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    throw FormatError("ops server: bad bind address '" +
+                      options_.bind_address + "'");
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw FormatError("ops server: cannot bind " + options_.bind_address +
+                      ":" + std::to_string(options_.port) + ": " +
+                      std::strerror(err));
+  }
+  if (::listen(fd, 8) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw FormatError(std::string("ops server: listen() failed: ") +
+                      std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  } else {
+    port_.store(options_.port, std::memory_order_release);
+  }
+  listen_fd_ = fd;
+  running_.store(true, std::memory_order_release);
+  listener_ = std::thread([this] { listen_loop(); });
+}
+
+void OpsServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (listener_.joinable()) listener_.join();
+    return;
+  }
+  // The accept loop polls with a bounded timeout, so the thread notices
+  // the flag within one tick; close the socket only after the join so
+  // the loop never polls a dead fd.
+  if (listener_.joinable()) listener_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void OpsServer::listen_loop() {
+  const int timeout_ms =
+      std::max(1, static_cast<int>(options_.tick_interval_s * 1000.0));
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    {
+      // Copy under the lock, invoke outside it (the tick may be slow).
+      std::function<void()> tick;
+      {
+        std::lock_guard lock(mutex_);
+        tick = tick_;
+      }
+      if (tick) tick();
+    }
+    if (rc <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    serve_client(client);
+    ::close(client);
+  }
+}
+
+void OpsServer::serve_client(int client_fd) {
+  set_io_timeouts(client_fd, options_.io_timeout_s);
+
+  // Read until the end of the request line; everything past it (headers,
+  // body) is irrelevant to a GET-only debugging surface.
+  std::string request;
+  request.reserve(256);
+  bool too_long = false;
+  while (request.find('\n') == std::string::npos) {
+    char buf[512];
+    const ssize_t n = ::recv(client_fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+    if (request.size() > options_.max_request_bytes) {
+      too_long = true;
+      break;
+    }
+  }
+
+  OpsResponse response;
+  if (too_long) {
+    response.status = 431;
+    response.body = "request too large\n";
+  } else {
+    const std::size_t eol = request.find_first_of("\r\n");
+    std::string_view line(request.data(),
+                          eol == std::string::npos ? request.size() : eol);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string_view::npos ? std::string_view::npos
+                                      : line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos) {
+      response.status = 404;
+      response.body = "malformed request\n";
+    } else {
+      const std::string_view method = line.substr(0, sp1);
+      std::string_view path =
+          sp2 == std::string_view::npos ? line.substr(sp1 + 1)
+                                        : line.substr(sp1 + 1, sp2 - sp1 - 1);
+      // Queries are accepted and ignored (curl '...?foo' should work).
+      if (const std::size_t q = path.find('?'); q != std::string_view::npos) {
+        path = path.substr(0, q);
+      }
+      response = dispatch(method, path);
+    }
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  std::string head;
+  head.reserve(128);
+  head += "HTTP/1.0 ";
+  head += std::to_string(response.status);
+  head += ' ';
+  head += reason_phrase(response.status);
+  head += "\r\nContent-Type: ";
+  head += response.content_type;
+  head += "\r\nContent-Length: ";
+  head += std::to_string(response.body.size());
+  head += "\r\nConnection: close\r\n\r\n";
+  if (send_all(client_fd, head)) send_all(client_fd, response.body);
+}
+
+OpsResponse OpsServer::dispatch(std::string_view method,
+                                std::string_view path) {
+  OpsResponse response;
+  if (method != "GET") {
+    response.status = 405;
+    response.body = "only GET is served here\n";
+    return response;
+  }
+  Handler handler;
+  {
+    std::lock_guard lock(mutex_);
+    if (const auto it = handlers_.find(path); it != handlers_.end()) {
+      handler = it->second;
+    }
+  }
+  if (!handler) {
+    response.status = 404;
+    response.body = "unknown endpoint; see /\n";
+    return response;
+  }
+  try {
+    return handler();
+  } catch (const std::exception& e) {
+    response.status = 500;
+    response.body = std::string("handler failed: ") + e.what() + "\n";
+    return response;
+  }
+}
+
+OpsHttpResult ops_http_request(std::uint16_t port, const std::string& request,
+                               double timeout_s) {
+  OpsHttpResult result;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    result.body = std::string("socket() failed: ") + std::strerror(errno);
+    return result;
+  }
+  set_io_timeouts(fd, timeout_s);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    result.body = std::string("connect() failed: ") + std::strerror(errno);
+    ::close(fd);
+    return result;
+  }
+  if (!send_all(fd, request)) {
+    result.body = "send failed";
+    ::close(fd);
+    return result;
+  }
+  std::string raw;
+  // A /varz of a large fleet run is big but bounded; cap defensively.
+  constexpr std::size_t kMaxResponse = 64u << 20;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+    if (raw.size() > kMaxResponse) break;
+  }
+  ::close(fd);
+
+  const std::size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    result.body = "malformed response";
+    return result;
+  }
+  const std::string_view head(raw.data(), header_end);
+  const std::size_t status_sp = head.find(' ');
+  if (status_sp != std::string_view::npos) {
+    result.status =
+        std::atoi(std::string(head.substr(status_sp + 1, 3)).c_str());
+  }
+  // Content-Type, if present (case per our own server; tolerate any case).
+  std::size_t pos = 0;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(pos, eol - pos);
+    constexpr std::string_view kPrefix = "content-type:";
+    if (line.size() > kPrefix.size()) {
+      std::string lowered(line.substr(0, kPrefix.size()));
+      for (char& c : lowered) {
+        if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+      }
+      if (lowered == kPrefix) {
+        std::string_view value = line.substr(kPrefix.size());
+        while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+        result.content_type = std::string(value);
+      }
+    }
+    pos = eol + 2;
+  }
+  result.body = raw.substr(header_end + 4);
+  return result;
+}
+
+OpsHttpResult ops_http_get(std::uint16_t port, const std::string& path,
+                           double timeout_s) {
+  return ops_http_request(port,
+                          "GET " + path +
+                              " HTTP/1.0\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n",
+                          timeout_s);
+}
+
+}  // namespace aadedupe::telemetry

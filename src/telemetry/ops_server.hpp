@@ -1,0 +1,149 @@
+// OpsServer — the embedded introspection endpoint behind AAD_OPS_PORT.
+//
+// A deliberately small HTTP/1.0 server: one listener thread, loopback
+// bind by default, one request handled at a time, bounded request
+// parsing, and socket timeouts on both directions — a debugging port,
+// not a web server. It exists so a live fleet run is not a black box:
+// the artifacts the Observability wrapper writes *after* a run
+// (/metrics exposition, the run report, flight dumps) are all available
+// *during* it, plus the HealthMonitor's live verdict.
+//
+// Endpoints (all GET; anything else is 404/405):
+//   /         tiny index listing the endpoints
+//   /metrics  Prometheus text exposition of the live registry
+//   /varz     JSON snapshot of the in-progress run report
+//   /healthz  aggregated health verdict (200 ok / 503 degraded)
+//   /tracez   most recent completed spans per stage
+//   /flightz  on-demand flight-recorder dump (no file written)
+//
+// Isolation from the data path: handlers run on the listener thread
+// only and read through the same snapshot interfaces every artifact
+// writer uses (MetricsRegistry::snapshot, seqlock flight rings, atomic
+// health state) — a curl can never block a worker, and an idle server
+// costs the pipeline nothing but the port. The accept loop's poll
+// timeout doubles as the watchdog tick, so stall detection needs no
+// extra thread.
+//
+// This file is the one sanctioned home for raw socket(2) use
+// (tools/lint.py no-raw-socket); tests and tools talk to the server
+// through ops_http_get() below.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace aadedupe::telemetry {
+
+class HealthMonitor;
+struct Telemetry;
+
+struct OpsServerOptions {
+  /// TCP port to bind; 0 picks an ephemeral port (read it via port()).
+  std::uint16_t port = 0;
+  /// Loopback by default — the ops plane is a local debugging surface,
+  /// never an exposed service.
+  std::string bind_address = "127.0.0.1";
+  /// Per-socket receive/send timeout: a stuck client cannot hold the
+  /// listener hostage for longer than this.
+  double io_timeout_s = 2.0;
+  /// Request-line bound; longer requests are rejected with 431.
+  std::size_t max_request_bytes = 4096;
+  /// Accept-poll timeout — also the tick() cadence (watchdog heartbeat).
+  double tick_interval_s = 0.25;
+};
+
+struct OpsResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class OpsServer {
+ public:
+  using Handler = std::function<OpsResponse()>;
+
+  explicit OpsServer(OpsServerOptions options = {});
+  ~OpsServer();  // stops if running
+
+  OpsServer(const OpsServer&) = delete;
+  OpsServer& operator=(const OpsServer&) = delete;
+
+  /// Route an exact path to a handler (replaces any previous handler).
+  /// Handlers run on the listener thread; an exception becomes a 500.
+  void set_handler(std::string path, Handler handler);
+
+  /// Invoked roughly every tick_interval_s on the listener thread while
+  /// the server runs — the HealthMonitor watchdog hook.
+  void set_tick(std::function<void()> tick);
+
+  /// Install the five standard endpoints against `telemetry`:
+  /// /metrics, /varz, /healthz, /tracez, /flightz (and /). `varz_fill`,
+  /// when set, adds layer sections to the /varz run report (same shape
+  /// as Observability::finish's fill callback — takes the report root).
+  /// When telemetry.health is attached, also wires the watchdog tick.
+  void wire_telemetry(Telemetry& telemetry,
+                      std::function<std::string()> varz = {});
+
+  /// Bind + listen + start the listener thread. Throws FormatError when
+  /// the port cannot be bound. Idempotent once running.
+  void start();
+  /// Stop the listener and close the socket (idempotent).
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  /// The bound port (resolves port 0 to the ephemeral pick); 0 before
+  /// start().
+  [[nodiscard]] std::uint16_t port() const noexcept {
+    return port_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void listen_loop();
+  void serve_client(int client_fd);
+  [[nodiscard]] OpsResponse dispatch(std::string_view method,
+                                     std::string_view path);
+
+  OpsServerOptions options_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint16_t> port_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  int listen_fd_ = -1;
+  std::thread listener_;
+
+  mutable std::mutex mutex_;  // guards handlers_ and tick_
+  std::map<std::string, Handler, std::less<>> handlers_;
+  std::function<void()> tick_;
+};
+
+/// Minimal loopback HTTP GET for tests and tools — the sanctioned way to
+/// talk to an OpsServer without raw sockets at the call site. Returns
+/// status 0 with an error message in `body` when the connection fails.
+struct OpsHttpResult {
+  int status = 0;
+  std::string content_type;
+  std::string body;
+};
+[[nodiscard]] OpsHttpResult ops_http_get(std::uint16_t port,
+                                         const std::string& path,
+                                         double timeout_s = 5.0);
+
+/// Send a raw HTTP request verbatim (tests exercising the server's
+/// error paths: non-GET methods, oversized request lines). ops_http_get
+/// is this with a well-formed GET.
+[[nodiscard]] OpsHttpResult ops_http_request(std::uint16_t port,
+                                             const std::string& request,
+                                             double timeout_s = 5.0);
+
+}  // namespace aadedupe::telemetry

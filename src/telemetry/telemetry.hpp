@@ -30,12 +30,18 @@
 
 namespace aadedupe::telemetry {
 
+class HealthMonitor;
+
 struct Telemetry {
   MetricsRegistry metrics;
   Tracer trace;
   Logger log;
   FlightRecorder flight;
   Timeline timeline;
+  /// Live health verdict (stall watchdog + SLO burn rates); nullptr when
+  /// no HealthMonitor is attached. Set/cleared by HealthMonitor itself —
+  /// non-owning, the monitor outlives its registration.
+  HealthMonitor* health = nullptr;
 
   Telemetry() : timeline(&metrics) { wire(); }
   /// Deterministic-clock variant for tests: spans, log lines, and flight

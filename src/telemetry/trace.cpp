@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "telemetry/flight_recorder.hpp"
+#include "telemetry/health.hpp"
 #include "telemetry/json.hpp"
 #include "util/check.hpp"
 
@@ -198,6 +199,10 @@ TraceSpan::TraceSpan(Tracer* tracer, Stage stage, std::string_view category)
     recorder->record(FlightEventKind::kSpanOpen, LogLevel::kTrace, start_s_,
                      to_string(stage_), category_);
   }
+  if (HealthMonitor* health =
+          tracer_->health_.load(std::memory_order_acquire)) {
+    health->on_span_open(stage_, start_s_);
+  }
 }
 
 void TraceSpan::finish() {
@@ -224,6 +229,10 @@ void TraceSpan::finish() {
           tracer_->recorder_.load(std::memory_order_acquire)) {
     recorder->record(FlightEventKind::kSpanClose, LogLevel::kTrace,
                      start_s_ + wall, to_string(stage_), category_);
+  }
+  if (HealthMonitor* health =
+          tracer_->health_.load(std::memory_order_acquire)) {
+    health->on_span_close(stage_, category_, start_s_, wall);
   }
   if (parent_ != nullptr && parent_->tracer_ == tracer_) {
     parent_->child_wall_s_ += wall;

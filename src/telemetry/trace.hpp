@@ -33,6 +33,7 @@
 namespace aadedupe::telemetry {
 
 class FlightRecorder;
+class HealthMonitor;
 class JsonValue;
 
 /// Pipeline stages instrumented across the backup path.
@@ -105,6 +106,13 @@ class Tracer {
     recorder_.store(recorder, std::memory_order_release);
   }
 
+  /// Report span open/close to `health`'s stall watchdog and recent-span
+  /// ring (nullptr detaches). Same lifetime contract as the flight
+  /// recorder: the monitor must outlive every span opened while attached.
+  void set_health_monitor(HealthMonitor* health) noexcept {
+    health_.store(health, std::memory_order_release);
+  }
+
   /// Record a completed measurement directly (no RAII). The duration is
   /// attributed to the enclosing span's children, exactly as a nested
   /// TraceSpan would be, so self-time accounting stays consistent.
@@ -148,6 +156,7 @@ class Tracer {
   std::atomic<bool> events_enabled_{false};  // lock-free fast-path check
   std::atomic<bool> spans_enabled_{false};
   std::atomic<FlightRecorder*> recorder_{nullptr};
+  std::atomic<HealthMonitor*> health_{nullptr};
 };
 
 /// RAII stage span. Null tracer => inert.

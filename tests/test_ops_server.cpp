@@ -1,0 +1,256 @@
+// Live ops plane tests: the embedded introspection server serving real
+// telemetry during a backup, the HTTP error paths, the stage stall
+// watchdog (a deliberately stalled uploader must flip /healthz to
+// degraded and leave exactly one flight dump), and the SLO burn-rate
+// verdict. All client traffic goes through ops_http_get/ops_http_request
+// — raw sockets stay confined to ops_server.cpp (tools/lint.py).
+#include "telemetry/ops_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "cloud/cloud_target.hpp"
+#include "core/aa_dedupe.hpp"
+#include "dataset/generator.hpp"
+#include "telemetry/health.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/check.hpp"
+
+namespace aadedupe {
+namespace {
+
+using telemetry::HealthMonitor;
+using telemetry::HealthMonitorOptions;
+using telemetry::OpsHttpResult;
+using telemetry::OpsServer;
+using telemetry::Stage;
+using telemetry::Telemetry;
+using telemetry::TraceSpan;
+
+/// One real backup session observed by a live server: every endpoint
+/// must answer 200 with the advertised content type while the context
+/// holds the session's data.
+TEST(OpsServer, ServesEveryEndpointOverALiveBackup) {
+  Telemetry telemetry;
+  HealthMonitor health(telemetry);
+  cloud::CloudTarget target;
+  target.attach_telemetry(&telemetry);
+  core::AaDedupeOptions options;
+  options.telemetry = &telemetry;
+  options.tenant = "t-live";
+  core::AaDedupeScheme scheme(target, options);
+
+  dataset::DatasetConfig config;
+  config.seed = 23;
+  config.session_bytes = 2ull << 20;
+  config.max_file_bytes = 1 << 20;
+  dataset::DatasetGenerator gen(config);
+  scheme.backup(gen.initial());
+
+  OpsServer server;  // port 0: ephemeral
+  server.wire_telemetry(telemetry);
+  server.start();
+  ASSERT_TRUE(server.running());
+  ASSERT_NE(server.port(), 0);
+
+  const OpsHttpResult index = telemetry::ops_http_get(server.port(), "/");
+  EXPECT_EQ(index.status, 200);
+  EXPECT_NE(index.body.find("/metrics"), std::string::npos);
+
+  const OpsHttpResult metrics =
+      telemetry::ops_http_get(server.port(), "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.content_type.find("version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.body.find("aad_session_bytes_logical"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("tenant=\"t-live\""), std::string::npos);
+
+  const OpsHttpResult varz = telemetry::ops_http_get(server.port(), "/varz");
+  EXPECT_EQ(varz.status, 200);
+  EXPECT_NE(varz.content_type.find("application/json"), std::string::npos);
+  EXPECT_NE(varz.body.find("\"schema\": \"aadedupe-run-report/v1\""),
+            std::string::npos);
+
+  const OpsHttpResult healthz =
+      telemetry::ops_http_get(server.port(), "/healthz");
+  EXPECT_EQ(healthz.status, 200);
+  EXPECT_NE(healthz.body.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(healthz.body.find("\"upload\""), std::string::npos);
+
+  const OpsHttpResult tracez =
+      telemetry::ops_http_get(server.port(), "/tracez");
+  EXPECT_EQ(tracez.status, 200);
+  EXPECT_NE(tracez.body.find("\"stage\": \"session\""), std::string::npos);
+  EXPECT_NE(tracez.body.find("\"recent\""), std::string::npos);
+
+  const OpsHttpResult flightz =
+      telemetry::ops_http_get(server.port(), "/flightz");
+  EXPECT_EQ(flightz.status, 200);
+  EXPECT_NE(flightz.content_type.find("application/json"), std::string::npos);
+
+  // Query strings are tolerated; unknown paths are 404.
+  EXPECT_EQ(telemetry::ops_http_get(server.port(), "/healthz?verbose=1")
+                .status,
+            200);
+  EXPECT_EQ(telemetry::ops_http_get(server.port(), "/nope").status, 404);
+
+  EXPECT_GE(server.requests_served(), 8u);
+  server.stop();
+  EXPECT_FALSE(server.running());
+  server.stop();  // idempotent
+}
+
+TEST(OpsServer, RejectsNonGetOversizedAndMalformedRequests) {
+  Telemetry telemetry;
+  OpsServer server;
+  server.wire_telemetry(telemetry);
+  server.start();
+
+  const OpsHttpResult post = telemetry::ops_http_request(
+      server.port(),
+      "POST /metrics HTTP/1.0\r\nConnection: close\r\n\r\n");
+  EXPECT_EQ(post.status, 405);
+
+  const std::string huge_path(8192, 'a');
+  const OpsHttpResult oversized = telemetry::ops_http_request(
+      server.port(),
+      "GET /" + huge_path + " HTTP/1.0\r\nConnection: close\r\n\r\n");
+  EXPECT_EQ(oversized.status, 431);
+
+  const OpsHttpResult malformed = telemetry::ops_http_request(
+      server.port(), "garbage\r\n\r\n");
+  EXPECT_EQ(malformed.status, 404);
+}
+
+TEST(OpsServer, HandlerExceptionBecomes500) {
+  OpsServer server;
+  server.set_handler("/boom", []() -> telemetry::OpsResponse {
+    throw FormatError("deliberate");
+  });
+  server.start();
+  const OpsHttpResult boom = telemetry::ops_http_get(server.port(), "/boom");
+  EXPECT_EQ(boom.status, 500);
+}
+
+/// The acceptance scenario: an uploader whose span sits open making no
+/// progress past the deadline flips /healthz to degraded and fires
+/// exactly one flight dump; renewed activity recovers the verdict and
+/// the dump count stays at one.
+TEST(OpsServer, StalledUploadDegradesHealthzAndDumpsOnce) {
+  // Atomic: the listener thread reads the clock while the test advances it.
+  std::atomic<double> fake_now{0.0};
+  Telemetry telemetry(
+      [&fake_now] { return fake_now.load(std::memory_order_relaxed); });
+  HealthMonitorOptions options;
+  options.default_stall_deadline_s = 5.0;
+  options.flight_dump_min_interval_s = 1000.0;
+  HealthMonitor health(telemetry, options);
+
+  OpsServer server;
+  server.wire_telemetry(telemetry);
+  server.start();
+
+  {
+    // The deliberately stalled uploader: a kUpload span held open with
+    // no heartbeat while the clock runs past the deadline.
+    TraceSpan upload(&telemetry.trace, Stage::kUpload, "stalled");
+    fake_now = 10.0;
+    health.tick(fake_now);
+    EXPECT_TRUE(health.any_stage_stalled());
+    EXPECT_EQ(health.stall_dump_count(), 1u);
+
+    const HealthMonitor::Verdict degraded = health.verdict();
+    ASSERT_TRUE(degraded.degraded);
+    ASSERT_EQ(degraded.reasons.size(), 1u);
+    EXPECT_NE(degraded.reasons[0].find("upload"), std::string::npos);
+
+    // The endpoint mirrors the verdict as 503 with a JSON body.
+    const OpsHttpResult healthz =
+        telemetry::ops_http_get(server.port(), "/healthz");
+    EXPECT_EQ(healthz.status, 503);
+    EXPECT_NE(healthz.body.find("\"status\": \"degraded\""),
+              std::string::npos);
+    EXPECT_NE(healthz.body.find("stage upload stalled"), std::string::npos);
+
+    // A stall is an edge, not a level: further ticks must not dump again.
+    fake_now = 20.0;
+    health.tick(fake_now);
+    fake_now = 30.0;
+    health.tick(fake_now);
+    EXPECT_EQ(health.stall_dump_count(), 1u);
+
+    // Progress (the retry ladder's per-attempt heartbeat) recovers it.
+    health.heartbeat(Stage::kUpload);
+    health.tick(fake_now);
+    EXPECT_FALSE(health.any_stage_stalled());
+    EXPECT_FALSE(health.verdict().degraded);
+    EXPECT_EQ(telemetry::ops_http_get(server.port(), "/healthz").status,
+              200);
+    EXPECT_EQ(health.stall_dump_count(), 1u);
+  }
+}
+
+TEST(OpsServer, SloFastBurnDegradesAndRecovers) {
+  double fake_now = 0.0;
+  Telemetry telemetry([&fake_now] { return fake_now; });
+  HealthMonitorOptions options;
+  options.slo.backup_window_s = 60.0;  // sessions must finish within 60s
+  options.error_budget = 0.10;
+  options.fast_burn_alert = 2.0;
+  HealthMonitor health(telemetry, options);
+
+  // Ten compliant sessions: burn rate 0, healthy.
+  for (int i = 0; i < 10; ++i) {
+    fake_now += 1.0;
+    health.record_session("acme", 30.0, 1e6);
+  }
+  EXPECT_FALSE(health.verdict().degraded);
+
+  // Ten violating sessions inside the fast window: violation fraction
+  // 0.5, burn 0.5/0.1 = 5 >= 2 -> degraded, naming the tenant.
+  for (int i = 0; i < 10; ++i) {
+    fake_now += 1.0;
+    health.record_session("acme", 120.0, 1e6);
+  }
+  const HealthMonitor::Verdict burning = health.verdict();
+  ASSERT_TRUE(burning.degraded);
+  EXPECT_NE(burning.reasons[0].find("acme"), std::string::npos);
+  EXPECT_NE(burning.reasons[0].find("fast SLO burn"), std::string::npos);
+
+  // Once the violations age out of the fast window, the verdict heals
+  // (the slow burn still reports them, but does not alert).
+  fake_now += options.fast_window_s + 1.0;
+  for (int i = 0; i < 10; ++i) {
+    fake_now += 1.0;
+    health.record_session("acme", 30.0, 1e6);
+  }
+  EXPECT_FALSE(health.verdict().degraded);
+
+  // A disabled objective (zero threshold) never violates.
+  Telemetry plain;
+  HealthMonitor relaxed(plain);
+  relaxed.record_session("acme", 1e9, 0.0);
+  EXPECT_FALSE(relaxed.verdict().degraded);
+}
+
+TEST(OpsServer, BytesSavedRateObjectiveViolates) {
+  double fake_now = 0.0;
+  Telemetry telemetry([&fake_now] { return fake_now; });
+  HealthMonitorOptions options;
+  options.slo.bytes_saved_per_s = 1e6;  // DE floor
+  HealthMonitor health(telemetry, options);
+  for (int i = 0; i < 10; ++i) {
+    fake_now += 1.0;
+    health.record_session("", 10.0, 1e3);  // far below the floor
+  }
+  const HealthMonitor::Verdict v = health.verdict();
+  ASSERT_TRUE(v.degraded);
+  // The empty tenant renders as "default" in reasons and JSON.
+  EXPECT_NE(v.reasons[0].find("default"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aadedupe

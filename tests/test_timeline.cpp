@@ -1,14 +1,21 @@
 // Timeline tests: snapshot interval arithmetic on an injected (sim)
 // clock, forced samples, columnar JSON with union-of-names zero fill,
-// histogram exclusion, and the bounded-memory thinning rule.
+// histogram exclusion, the bounded-memory thinning rule (including the
+// exactly-at-cap boundary), and sampling racing concurrent readers
+// (fill_json + a HealthMonitor driven from the sample hook) — the last
+// is what TSan runs watch.
 #include "telemetry/timeline.hpp"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 
+#include "telemetry/health.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace aadedupe::telemetry {
@@ -124,6 +131,81 @@ TEST(Timeline, ThinningBoundsMemoryAndDoublesTheInterval) {
   // The next sample must respect the doubled interval.
   EXPECT_FALSE(timeline.maybe_sample(cap + 1.0));
   EXPECT_TRUE(timeline.maybe_sample(cap + 2.0));
+}
+
+TEST(Timeline, ExactlyAtTheCapDoesNotThin) {
+  MetricsRegistry metrics;
+  Timeline timeline(&metrics);
+  timeline.set_interval(1.0);
+
+  // Exactly kMaxSamples points: the thinning rule is strictly
+  // greater-than, so the cap itself must survive untouched.
+  for (double t = 0.0;
+       t < static_cast<double>(Timeline::kMaxSamples); t += 1.0) {
+    EXPECT_TRUE(timeline.maybe_sample(t));
+  }
+  EXPECT_EQ(timeline.sample_count(), Timeline::kMaxSamples);
+  EXPECT_DOUBLE_EQ(timeline.interval(), 1.0);
+
+  // The 1025th point tips it over: half the points, doubled interval.
+  EXPECT_TRUE(
+      timeline.maybe_sample(static_cast<double>(Timeline::kMaxSamples)));
+  EXPECT_EQ(timeline.sample_count(), Timeline::kMaxSamples / 2 + 1);
+  EXPECT_DOUBLE_EQ(timeline.interval(), 2.0);
+}
+
+/// Sampling (with the hook driving a HealthMonitor tick, exactly as
+/// bench::Observability wires it) racing a reader that snapshots both
+/// the timeline JSON and the health verdict. No assertions beyond "the
+/// numbers add up" — the point is that a TSan build sees the
+/// interleaving and must stay silent.
+TEST(Timeline, SamplingRacesJsonSnapshotAndHealthReader) {
+  double base = 0.0;
+  std::atomic<double> now{0.0};
+  Telemetry telemetry([&now] { return now.load(std::memory_order_relaxed); });
+  HealthMonitor health(telemetry);
+  const Counter ticks = telemetry.metrics.counter("race.ticks");
+  telemetry.timeline.set_interval(0.001);
+  telemetry.timeline.set_sample_hook(
+      [&health](double t_s) { health.tick(t_s); });
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      JsonValue timeline_doc, healthz_doc, tracez_doc;
+      telemetry.timeline.fill_json(timeline_doc);
+      health.fill_healthz_json(healthz_doc);
+      health.fill_tracez_json(tracez_doc);
+      (void)health.verdict();
+    }
+  });
+  std::thread late_reader([&] {
+    // The "late" HealthMonitor reader: starts against a timeline that is
+    // already thinning and keeps reading until the writer is done.
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)health.any_stage_stalled();
+      (void)telemetry.timeline.sample_count();
+    }
+  });
+
+  for (int i = 0; i < 4000; ++i) {
+    base += 0.001;
+    now.store(base, std::memory_order_relaxed);
+    ticks.add(1);
+    {
+      TraceSpan span(&telemetry.trace, Stage::kChunk, "race");
+    }
+    telemetry.timeline.maybe_sample(base);
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  late_reader.join();
+
+  telemetry.timeline.set_sample_hook(nullptr);
+  EXPECT_GT(telemetry.timeline.sample_count(), 0u);
+  JsonValue doc;
+  telemetry.timeline.fill_json(doc);
+  EXPECT_NE(doc.find("t_s"), nullptr);
 }
 
 }  // namespace

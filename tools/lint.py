@@ -34,10 +34,17 @@ Rules (see DESIGN.md §5 for rationale):
                   (and are themselves folded into RunReport).
   no-raw-getenv   no raw std::getenv outside src/telemetry/ and
                   bench/bench_common.* — environment knobs flow through
-                  bench::env_u64/env_double/env_str (one parse, one doc
-                  comment, one place the Observability contract lives) so
-                  a knob can't silently fork semantics per call site. Two
-                  pre-rule hits are grandfathered explicitly.
+                  telemetry::env_u64/env_double/env_str/env_flag (and
+                  env_secret for values that must never be logged) so a
+                  knob can't silently fork semantics per call site. The
+                  grandfather list is empty: every pre-rule hit has been
+                  migrated.
+  no-raw-socket   no raw socket(2)/accept/bind/listen/connect outside
+                  src/telemetry/ops_server.cpp — the ops plane is the one
+                  network surface in the tree; everything else (tests,
+                  tools, benches) talks to it via ops_http_get(), which
+                  keeps bind policy, timeouts, and request bounding in a
+                  single reviewed file.
 """
 
 from __future__ import annotations
@@ -283,45 +290,49 @@ def check_stats_structs(findings):
 
 RAW_GETENV = re.compile(r"(?<![\w:])(?:std::)?getenv\s*\(")
 
-# Pre-rule call sites, grandfathered by exact (file, line-content) so the
-# set can only shrink: moving or adding a call re-trips the rule.
-#   cpu_features — reads AAD_DISABLE_SIMD during static dispatch init,
-#     before any bench scaffolding exists to route through.
-#   backup_tool — reads the AAD_PASSPHRASE secret, which must NOT pass
-#     through the logged/documented knob helpers.
-GRANDFATHERED_GETENV = {
-    ("src/hash/cpu_features.cpp",
-     'parse_simd_disable_flag(std::getenv("AAD_DISABLE_SIMD"))'),
-    ("examples/backup_tool.cpp",
-     'std::getenv("AAD_PASSPHRASE")'),
-}
-
 
 def check_no_raw_getenv(findings):
-    # The sanctioned homes: the env helpers themselves (bench_common) and
-    # src/telemetry/ (logger/observability bootstrap reads its own knobs
-    # before a bench context exists).
+    # The sanctioned homes: src/telemetry/ (env.cpp is the parser; the
+    # logger/observability bootstrap reads its own knobs before a bench
+    # context exists) and bench_common (legacy aliases of the telemetry
+    # helpers). The one-time grandfather list (cpu_features, backup_tool)
+    # is gone — both sites now route through telemetry::env_*.
     telemetry_dir = REPO / "src" / "telemetry"
     for path in iter_files(CPP_DIRS, SOURCE_GLOBS):
         if telemetry_dir in path.parents:
             continue
         if path.parent == REPO / "bench" and path.stem == "bench_common":
             continue
-        rel = path.relative_to(REPO).as_posix()
-        raw = path.read_text(encoding="utf-8")
-        text = strip_comments_and_strings(raw)
-        lines = raw.splitlines()
+        text = strip_comments_and_strings(path.read_text(encoding="utf-8"))
         for m in RAW_GETENV.finditer(text):
-            line = line_of(text, m.start())
-            content = lines[line - 1] if line <= len(lines) else ""
-            if any(rel == g_rel and g_frag in content
-                   for g_rel, g_frag in GRANDFATHERED_GETENV):
-                continue
             findings.append(
-                Finding("no-raw-getenv", path, line,
+                Finding("no-raw-getenv", path, line_of(text, m.start()),
                         "raw `std::getenv` — read environment knobs via "
-                        "bench::env_u64/env_double/env_str (bench_common) "
-                        "so every knob has one parse and one doc home"))
+                        "telemetry::env_u64/env_double/env_str/env_flag "
+                        "(env_secret for sensitive values) so every knob "
+                        "has one parse and one doc home"))
+
+
+RAW_SOCKET = re.compile(
+    r"(?<![\w:.])::(?:socket|bind|listen|accept|connect|recv|send)\s*\(|"
+    r"(?<![\w:.])(?:socket|accept)\s*\(\s*AF_")
+
+
+def check_no_raw_socket(findings):
+    # One network surface: the ops server. Its bind policy (loopback),
+    # socket timeouts, and request bounding are security-relevant and
+    # reviewed in one file; test/tool clients go through ops_http_get().
+    allowed = REPO / "src" / "telemetry" / "ops_server.cpp"
+    for path in iter_files(CPP_DIRS, SOURCE_GLOBS):
+        if path == allowed:
+            continue
+        text = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        for m in RAW_SOCKET.finditer(text):
+            findings.append(
+                Finding("no-raw-socket", path, line_of(text, m.start()),
+                        f"raw socket call `{m.group(0).rstrip('(').strip()}` "
+                        "outside src/telemetry/ops_server.cpp — serve via "
+                        "OpsServer, query via ops_http_get()"))
 
 
 CHECKS = (
@@ -333,6 +344,7 @@ CHECKS = (
     check_no_raw_random,
     check_stats_structs,
     check_no_raw_getenv,
+    check_no_raw_socket,
 )
 
 

@@ -20,6 +20,13 @@ Usage:
                                            re-merge and verify against a
                                            BENCH_fleet.json aggregate
   report.py flame <folded.txt>             render profiler folded stacks
+  report.py healthz <port>                 fetch /healthz from a live ops
+                                           server (AAD_OPS_PORT) and
+                                           pretty-print the verdict; exits
+                                           1 when the process is degraded
+  report.py slo <port|report.json>         SLO burn-rate table, from a
+                                           live ops server or the health
+                                           section of a run report
   report.py --selftest                     internal check (ctest smoke)
 
 Exit codes: 0 ok, 1 bad input / gate or check failure, 2 usage. `diff`
@@ -150,6 +157,18 @@ def show(path: str) -> int:
               f"window={report.get('backup_window_seconds', 0.0):.1f}s "
               f"dedupe={report.get('dedupe_seconds', 0.0):.1f}s "
               f"transfer={report.get('transfer_seconds', 0.0):.1f}s")
+
+    health = data.get("health")
+    if health:
+        stalled = [name for name, st in health.get("stages", {}).items()
+                   if isinstance(st, dict) and st.get("stalled")]
+        line = f"  health  : {health.get('status', '?')}"
+        if stalled:
+            line += f" (stalled: {', '.join(stalled)})"
+        print(line)
+        for reason in health.get("reasons", []):
+            print(f"    reason: {reason}")
+        print_slo_table(health.get("slo"), indent="  ")
     return 0
 
 
@@ -325,6 +344,11 @@ class Sketch:
 
     @classmethod
     def from_json(cls, obj: dict) -> "Sketch":
+        missing = [k for k in ("alpha", "count", "zeros", "sum", "min",
+                               "max") if k not in obj]
+        if missing:
+            raise ValueError(
+                f"sketch missing field(s): {', '.join(missing)}")
         sketch = cls(float(obj["alpha"]))
         sketch.count = int(obj["count"])
         sketch.zeros = int(obj["zeros"])
@@ -443,14 +467,20 @@ def merge_reports(paths: list[str]):
     tenants: dict[str, dict[str, Sketch]] = {}
     for path in paths:
         report = load(path)
-        for base, labels, sketch in sketch_entries(report):
-            if base not in families:
-                families[base] = Sketch(sketch.alpha)
-            families[base].merge(sketch)
-            per = tenants.setdefault(labels.get("tenant", ""), {})
-            if base not in per:
-                per[base] = Sketch(sketch.alpha)
-            per[base].merge(sketch)
+        try:
+            for base, labels, sketch in sketch_entries(report):
+                if base not in families:
+                    families[base] = Sketch(sketch.alpha)
+                families[base].merge(sketch)
+                per = tenants.setdefault(labels.get("tenant", ""), {})
+                if base not in per:
+                    per[base] = Sketch(sketch.alpha)
+                per[base].merge(sketch)
+        except (KeyError, TypeError, ValueError) as exc:
+            # A malformed sketch is a bad input, not a crash: name the
+            # file so the user knows which artifact to regenerate.
+            raise SystemExit(f"report.py: {path}: malformed sketch "
+                             f"metric: {exc}")
     return families, tenants
 
 
@@ -534,8 +564,17 @@ def aggregate(argv: list[str]) -> int:
             check_path = argv[i + 1]
             i += 2
         elif argv[i] == "--reports" and i + 1 < len(argv):
-            paths.extend(sorted(str(p) for p in
-                                Path(argv[i + 1]).glob("*.json")))
+            reports_dir = Path(argv[i + 1])
+            if not reports_dir.is_dir():
+                print(f"aggregate: --reports {reports_dir}: not a "
+                      "directory", file=sys.stderr)
+                return 2
+            found = sorted(str(p) for p in reports_dir.glob("*.json"))
+            if not found:
+                print(f"aggregate: --reports {reports_dir}: no *.json "
+                      "run reports in it", file=sys.stderr)
+                return 2
+            paths.extend(found)
             i += 2
         elif argv[i].startswith("--"):
             print(f"aggregate: unknown flag {argv[i]}", file=sys.stderr)
@@ -602,6 +641,93 @@ def flame(path: str, width: int = 50) -> int:
     return 0
 
 
+def print_slo_table(slo_doc, indent: str = "") -> None:
+    """Render a HealthMonitor slo section (live /healthz or the health
+    section of a run report)."""
+    if not isinstance(slo_doc, dict):
+        return
+    tenants = slo_doc.get("tenants", {})
+    if not tenants:
+        return
+    print(f"{indent}slo: fast window {slo_doc.get('fast_window_s', 0):g}s / "
+          f"slow {slo_doc.get('slow_window_s', 0):g}s, error budget "
+          f"{slo_doc.get('error_budget', 0):g}, alert at fast burn "
+          f">= {slo_doc.get('fast_burn_alert', 0):g}")
+    print(f"{indent}  {'tenant':10} {'sessions':>8} {'violations':>10} "
+          f"{'fast_burn':>9} {'slow_burn':>9}")
+    for name in sorted(tenants):
+        t = tenants[name]
+        print(f"{indent}  {name:10} {t.get('sessions', 0):>8} "
+              f"{t.get('violations', 0):>10} "
+              f"{t.get('fast_burn', 0.0):>9.2f} "
+              f"{t.get('slow_burn', 0.0):>9.2f}")
+
+
+def fetch_ops_json(port: str, endpoint: str) -> tuple[int, dict]:
+    """GET a JSON endpoint from a live ops server (AAD_OPS_PORT; the
+    server binds loopback only). Returns (http_status, parsed_body) —
+    /healthz answers 503 with a JSON body when degraded, so an HTTP
+    error status is a payload, not a fetch failure."""
+    import urllib.error
+    import urllib.request
+    url = f"http://127.0.0.1:{int(port)}{endpoint}"
+    try:
+        with urllib.request.urlopen(url, timeout=5) as resp:
+            status, body = resp.status, resp.read()
+    except urllib.error.HTTPError as exc:
+        status, body = exc.code, exc.read()
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"report.py: cannot fetch {url}: {exc} — is the "
+                         "process running with AAD_OPS_PORT set?")
+    try:
+        return status, json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"report.py: {url}: not JSON: {exc}")
+
+
+def healthz(port: str) -> int:
+    """Fetch and pretty-print /healthz; exit 1 when degraded (mirrors
+    the endpoint's 200/503 split so scripts can gate on it)."""
+    status, doc = fetch_ops_json(port, "/healthz")
+    print(f"healthz (port {int(port)}): {doc.get('status', '?')} "
+          f"[HTTP {status}]")
+    for reason in doc.get("reasons", []):
+        print(f"  reason: {reason}")
+    stages = doc.get("stages", {})
+    if stages:
+        print(f"  {'stage':14} {'live':>5} {'opened':>8} {'closed':>8} "
+              f"{'idle_s':>9} {'deadline':>9}  stalled")
+        for name, st in stages.items():
+            print(f"  {name:14} {st.get('live', 0):>5} "
+                  f"{st.get('opened', 0):>8} {st.get('closed', 0):>8} "
+                  f"{st.get('idle_s', 0.0):>9.2f} "
+                  f"{st.get('deadline_s', 0.0):>9.1f}  "
+                  f"{'STALLED' if st.get('stalled') else '-'}")
+    print_slo_table(doc.get("slo"), indent="  ")
+    return 1 if doc.get("status") != "ok" else 0
+
+
+def slo(target: str) -> int:
+    """SLO burn-rate table from a live ops server (numeric port) or the
+    health section of a run report (path)."""
+    if target.isdigit():
+        _, doc = fetch_ops_json(target, "/healthz")
+        slo_doc = doc.get("slo")
+    else:
+        health = load(target).get("health")
+        if not isinstance(health, dict):
+            print(f"slo: {target}: no health section (run with "
+                  "AAD_OPS_PORT or an AAD_SLO_* knob set)", file=sys.stderr)
+            return 1
+        slo_doc = health.get("slo")
+    if not isinstance(slo_doc, dict) or not slo_doc.get("tenants"):
+        print("slo: no SLO observations yet (set AAD_SLO_BACKUP_WINDOW_S "
+              "or AAD_SLO_BYTES_SAVED_PER_S and run sessions)")
+        return 0
+    print_slo_table(slo_doc)
+    return 0
+
+
 # Bench-JSON keys that are meaningful across machines: ratios of two
 # measurements taken on the same host, not absolute MB/s. `higher`/`lower`
 # mark direction; pct keys are compared in absolute percentage points
@@ -616,6 +742,7 @@ GATE_KEYS = {
     "session_file_vs_stream_speedup": "higher",
     "telemetry_overhead_pct_cdc_fingerprint": "lower_pct",
     "profiler_overhead_pct_cdc_fingerprint": "lower_pct",
+    "ops_overhead_pct_cdc_fingerprint": "lower_pct",
     # Batched hash engine (PR 7): best compiled SIMD rung vs the scalar
     # rung measured in the same process, and the end-to-end dynamic-path
     # chunk+fingerprint throughput vs the recorded pre-engine seed.
@@ -640,6 +767,9 @@ GATE_KEYS = {
 GATE_CEILINGS = {
     "telemetry_overhead_pct_cdc_fingerprint": 2.0,
     "profiler_overhead_pct_cdc_fingerprint": 2.0,
+    # The enabled-but-idle ops plane (HealthMonitor span hooks + a
+    # listening-but-unscraped OpsServer) was accepted under a 1% budget.
+    "ops_overhead_pct_cdc_fingerprint": 1.0,
 }
 
 
@@ -747,7 +877,7 @@ def selftest() -> int:
 
     import io
     import tempfile
-    from contextlib import redirect_stdout
+    from contextlib import redirect_stderr, redirect_stdout
 
     with tempfile.TemporaryDirectory() as tmp:
         pa, pb = Path(tmp) / "a.json", Path(tmp) / "b.json"
@@ -980,6 +1110,71 @@ def selftest() -> int:
         assert "100 samples" in flamed, flamed
         assert "40.00%" in flamed and "hash@doc" in flamed, flamed
 
+        # Empty folded input degrades to a message, not a traceback.
+        (Path(tmp) / "empty.folded").write_text("")
+        out = io.StringIO()
+        with redirect_stdout(out):
+            assert flame(str(Path(tmp) / "empty.folded")) == 0
+        assert "no samples" in out.getvalue(), out.getvalue()
+
+        # A malformed sketch (missing "count") exits with the file name,
+        # not a KeyError traceback.
+        broken = json.loads(json.dumps(report0))
+        key = next(iter(broken["metrics"]))
+        del broken["metrics"][key]["count"]
+        bad_path = write("broken.json", broken)
+        try:
+            aggregate([bad_path])
+            raise AssertionError("malformed sketch did not exit")
+        except SystemExit as exc:
+            assert "broken.json" in str(exc) and "count" in str(exc), exc
+
+        # --reports on a missing/empty directory names the directory.
+        err = io.StringIO()
+        with redirect_stderr(err):
+            assert aggregate(["--reports", str(Path(tmp) / "nodir")]) == 2
+        assert "nodir" in err.getvalue(), err.getvalue()
+        (Path(tmp) / "emptydir").mkdir()
+        err = io.StringIO()
+        with redirect_stderr(err):
+            assert aggregate(["--reports", str(Path(tmp) / "emptydir")]) == 2
+        assert "emptydir" in err.getvalue(), err.getvalue()
+
+        # show renders the health section; slo reads it from a report.
+        health_report = {
+            "schema": SCHEMA,
+            "build": {"compiler": "x", "build_type": "Release"},
+            "health": {
+                "status": "degraded",
+                "reasons": ["stage upload stalled"],
+                "stages": {"upload": {"live": 1, "opened": 3, "closed": 2,
+                                      "stalled": True, "idle_s": 45.0,
+                                      "deadline_s": 30.0}},
+                "slo": {"fast_window_s": 300, "slow_window_s": 3600,
+                        "error_budget": 0.1, "fast_burn_alert": 2.0,
+                        "tenants": {"default": {
+                            "backup_window_s": 30.0,
+                            "bytes_saved_per_s": 0.0, "sessions": 10,
+                            "violations": 4, "fast_burn": 4.0,
+                            "slow_burn": 4.0, "fast_n": 10,
+                            "slow_n": 10}}}}}
+        hp = write("health_report.json", health_report)
+        out = io.StringIO()
+        with redirect_stdout(out):
+            assert show(hp) == 0
+        shown = out.getvalue()
+        assert "degraded" in shown and "stalled: upload" in shown, shown
+        assert "fast_burn" in shown, shown
+        out = io.StringIO()
+        with redirect_stdout(out):
+            assert slo(hp) == 0
+        assert "4.00" in out.getvalue(), out.getvalue()
+        # A report without a health section is a clear error, not silence.
+        err = io.StringIO()
+        with redirect_stderr(err):
+            assert slo(r0) == 1
+        assert "no health section" in err.getvalue(), err.getvalue()
+
     print("report.py selftest: OK")
     return 0
 
@@ -1002,6 +1197,10 @@ def main(argv: list[str]) -> int:
         return aggregate(argv[1:])
     if len(argv) == 2 and argv[0] == "flame":
         return flame(argv[1])
+    if len(argv) == 2 and argv[0] == "healthz":
+        return healthz(argv[1])
+    if len(argv) == 2 and argv[0] == "slo":
+        return slo(argv[1])
     print(__doc__.strip(), file=sys.stderr)
     return 2
 
